@@ -1,0 +1,109 @@
+package dita_test
+
+// End-to-end tests of the command-line tools: each binary is compiled once
+// per test run into a temp dir and driven as a real process.
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+var (
+	buildOnce sync.Once
+	buildDir  string
+	buildErr  error
+)
+
+// buildTools compiles the cmd binaries once for all CLI tests.
+func buildTools(t *testing.T) string {
+	t.Helper()
+	buildOnce.Do(func() {
+		buildDir, buildErr = os.MkdirTemp("", "dita-cli")
+		if buildErr != nil {
+			return
+		}
+		for _, tool := range []string{"dita", "datagen", "ditabench", "dita-worker", "dita-net"} {
+			out, err := exec.Command("go", "build", "-o", filepath.Join(buildDir, tool), "./cmd/"+tool).CombinedOutput()
+			if err != nil {
+				buildErr = err
+				buildDir = string(out)
+				return
+			}
+		}
+	})
+	if buildErr != nil {
+		t.Fatalf("building tools: %v (%s)", buildErr, buildDir)
+	}
+	return buildDir
+}
+
+func runTool(t *testing.T, dir, tool string, args ...string) string {
+	t.Helper()
+	out, err := exec.Command(filepath.Join(dir, tool), args...).CombinedOutput()
+	if err != nil {
+		t.Fatalf("%s %v: %v\n%s", tool, args, err, out)
+	}
+	return string(out)
+}
+
+func TestCLIDatagenAndShell(t *testing.T) {
+	dir := buildTools(t)
+	csv := filepath.Join(t.TempDir(), "trips.csv")
+	out := runTool(t, dir, "datagen", "-preset", "chengdu", "-n", "200", "-seed", "3", "-o", csv, "-stats")
+	if !strings.Contains(out, "200 trajectories") {
+		t.Errorf("datagen stats output: %q", out)
+	}
+	if fi, err := os.Stat(csv); err != nil || fi.Size() == 0 {
+		t.Fatalf("datagen produced no CSV: %v", err)
+	}
+
+	// Load the CSV through the SQL shell and count rows.
+	out = runTool(t, dir, "dita", "-load", csv, "-table", "trips",
+		"-c", "SELECT COUNT(*) FROM trips")
+	if !strings.Contains(out, "count: 200") {
+		t.Errorf("shell count output: %q", out)
+	}
+
+	// Index + search through the shell.
+	out = runTool(t, dir, "dita", "-gen", "beijing:300", "-c",
+		"SELECT * FROM trips ORDER BY DTW(trips, TRAJECTORY((116.3 39.9), (116.31 39.91))) LIMIT 3")
+	if !strings.Contains(out, "3 rows") {
+		t.Errorf("shell kNN output: %q", out)
+	}
+}
+
+func TestCLIDitabench(t *testing.T) {
+	dir := buildTools(t)
+	out := runTool(t, dir, "ditabench", "-list")
+	for _, id := range []string{"fig7a", "fig16a", "table5"} {
+		if !strings.Contains(out, id) {
+			t.Errorf("ditabench -list missing %s", id)
+		}
+	}
+	out = runTool(t, dir, "ditabench", "-exp", "table1,table2", "-scale", "0.05", "-queries", "5", "-workers", "2")
+	if !strings.Contains(out, "5.41") {
+		t.Errorf("table1 output missing the DTW value: %q", out)
+	}
+	if !strings.Contains(out, "BeijingLike") {
+		t.Errorf("table2 output missing dataset rows: %q", out)
+	}
+	// TSV mode.
+	out = runTool(t, dir, "ditabench", "-exp", "table2", "-scale", "0.05", "-tsv")
+	if !strings.Contains(out, "\t") {
+		t.Errorf("tsv output has no tabs: %q", out)
+	}
+}
+
+func TestCLINetworkMode(t *testing.T) {
+	dir := buildTools(t)
+	out := runTool(t, dir, "dita-net", "-spawn", "2", "-gen", "beijing:400", "-tau", "0.005", "-queries", "10")
+	for _, want := range []string{"spawned 2 loopback workers", "dispatched 400 trajectories", "search: 10 queries"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("dita-net output missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,39 @@
+// Command dita-worker runs one network-mode DITA worker: a TCP server that
+// holds partitions (trajectories + trie indexes) in memory and serves
+// Load/Search/Join RPCs from a coordinator and join shipments from peer
+// workers.
+//
+// Usage:
+//
+//	dita-worker -listen 127.0.0.1:7001
+//
+// Pair with cmd/dita-net (the coordinator CLI) or the dnet API.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+
+	"dita/internal/dnet"
+)
+
+func main() {
+	listen := flag.String("listen", "127.0.0.1:0", "address to listen on (port 0 picks a free port)")
+	flag.Parse()
+
+	w := dnet.NewWorker()
+	addr, err := w.Serve(*listen)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dita-worker: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("dita-worker listening on %s\n", addr)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	<-sig
+	w.Close()
+	fmt.Println("dita-worker: shut down")
+}

@@ -1,0 +1,188 @@
+// Command dita is an interactive SQL shell (and one-shot query runner) for
+// the DITA trajectory analytics engine.
+//
+// Usage:
+//
+//	dita                                      # empty catalog, REPL
+//	dita -gen beijing:5000 -table trips      # preloaded synthetic table
+//	dita -load trips.csv -table trips        # preloaded CSV table
+//	dita -c "SELECT * FROM trips WHERE DTW(trips, TRAJECTORY((1 1),(2 2))) <= 0.5"
+//
+// The dialect (Section 3 of the paper):
+//
+//	CREATE TABLE name
+//	LOAD 'file.csv' INTO name
+//	CREATE INDEX idx ON name USE TRIE
+//	SELECT * FROM T WHERE DTW(T, TRAJECTORY((x y), ...)) <= τ
+//	SELECT * FROM T TRA-JOIN Q ON DTW(T, Q) <= τ
+//	SELECT * FROM T ORDER BY DTW(T, TRAJECTORY(...)) LIMIT k
+//	SHOW TABLES / SHOW INDEXES
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"dita"
+)
+
+func main() {
+	genSpec := flag.String("gen", "", "preload a synthetic table: preset:count (e.g. beijing:5000)")
+	load := flag.String("load", "", "preload a CSV file")
+	table := flag.String("table", "trips", "name for the preloaded table")
+	command := flag.String("c", "", "execute one statement and exit")
+	workers := flag.Int("workers", 4, "simulated worker count")
+	seed := flag.Int64("seed", 1, "generation seed")
+	flag.Parse()
+
+	opts := dita.DefaultOptions()
+	db := dita.NewDB(dita.NewCluster(*workers), opts)
+
+	if *genSpec != "" {
+		d, err := generate(*genSpec, *seed)
+		if err != nil {
+			fatal(err)
+		}
+		db.Register(*table, d)
+		fmt.Fprintf(os.Stderr, "registered %q: %d trajectories\n", *table, d.Len())
+	}
+	if *load != "" {
+		f, err := os.Open(*load)
+		if err != nil {
+			fatal(err)
+		}
+		d, err := dita.ReadCSV(f, *table)
+		f.Close()
+		if err != nil {
+			fatal(err)
+		}
+		db.Register(*table, d)
+		fmt.Fprintf(os.Stderr, "loaded %q: %d trajectories\n", *table, d.Len())
+	}
+
+	if *command != "" {
+		if err := run(db, *command); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
+	fmt.Println("DITA SQL shell — \\q to quit, \\h for help")
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	for {
+		fmt.Print("dita> ")
+		if !sc.Scan() {
+			break
+		}
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case line == "":
+			continue
+		case line == "\\q" || line == "exit" || line == "quit":
+			return
+		case line == "\\h" || line == "help":
+			usage()
+			continue
+		}
+		if err := run(db, line); err != nil {
+			fmt.Fprintf(os.Stderr, "error: %v\n", err)
+		}
+	}
+}
+
+func generate(spec string, seed int64) (*dita.Dataset, error) {
+	parts := strings.SplitN(spec, ":", 2)
+	n := 1000
+	if len(parts) == 2 {
+		v, err := strconv.Atoi(parts[1])
+		if err != nil {
+			return nil, fmt.Errorf("bad -gen count %q", parts[1])
+		}
+		n = v
+	}
+	switch parts[0] {
+	case "beijing":
+		return dita.Generate(dita.BeijingLike(n, seed)), nil
+	case "chengdu":
+		return dita.Generate(dita.ChengduLike(n, seed)), nil
+	case "osm":
+		return dita.Generate(dita.OSMLike(n, seed)), nil
+	}
+	return nil, fmt.Errorf("unknown preset %q", parts[0])
+}
+
+func run(db *dita.DB, sql string) error {
+	res, err := db.Exec(sql)
+	if err != nil {
+		return err
+	}
+	switch {
+	case res.Message != "":
+		fmt.Println(res.Message)
+	case res.Tables != nil:
+		for _, row := range res.Tables {
+			fmt.Println(row)
+		}
+	case res.Pairs != nil:
+		for i, p := range res.Pairs {
+			if i >= 20 {
+				fmt.Printf("... (%d more pairs)\n", len(res.Pairs)-20)
+				break
+			}
+			fmt.Printf("(%d, %d)  dist=%.6f\n", p.T.ID, p.Q.ID, p.Distance)
+		}
+		fmt.Printf("%d pairs", len(res.Pairs))
+		if res.Plan != "" {
+			fmt.Printf("  [%s]", res.Plan)
+		}
+		fmt.Println()
+	case res.Trajs == nil && res.Count > 0:
+		// COUNT(*) projection.
+		fmt.Printf("count: %d", res.Count)
+		if res.Plan != "" {
+			fmt.Printf("  [%s]", res.Plan)
+		}
+		fmt.Println()
+	default:
+		for i, r := range res.Trajs {
+			if i >= 20 {
+				fmt.Printf("... (%d more rows)\n", len(res.Trajs)-20)
+				break
+			}
+			fmt.Printf("traj %-8d len=%-4d dist=%.6f\n", r.Traj.ID, r.Traj.Len(), r.Distance)
+		}
+		fmt.Printf("%d rows", len(res.Trajs))
+		if res.Plan != "" {
+			fmt.Printf("  [%s]", res.Plan)
+		}
+		fmt.Println()
+	}
+	return nil
+}
+
+func usage() {
+	fmt.Println(`statements:
+  CREATE TABLE name
+  LOAD 'file.csv' INTO name
+  CREATE INDEX idx ON name USE TRIE
+  SELECT * FROM T WHERE DTW(T, TRAJECTORY((x y), (x y), ...)) <= 0.005
+  SELECT * FROM T TRA-JOIN Q ON DTW(T, Q) <= 0.005
+  SELECT * FROM T TRA-KNN-JOIN Q USING DTW LIMIT 3
+  SELECT * FROM T ORDER BY DTW(T, TRAJECTORY(...)) LIMIT 5
+  SELECT COUNT(*) FROM T WHERE DTW(T, TRAJECTORY(...)) <= 0.005
+  INSERT INTO T VALUES (id, TRAJECTORY((x y), ...))
+  DROP TABLE T | DROP INDEX ON T
+  EXPLAIN SELECT ...
+  SHOW TABLES | SHOW INDEXES
+measures: DTW, FRECHET, EDR, LCSS, ERP, HAUSDORFF`)
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "dita: %v\n", err)
+	os.Exit(1)
+}

@@ -1,0 +1,75 @@
+package dita_test
+
+import (
+	"testing"
+
+	"dita"
+)
+
+// TestPublicAPI exercises the whole facade end to end: generate, index,
+// search, join, kNN, SQL, DataFrame.
+func TestPublicAPI(t *testing.T) {
+	data := dita.Generate(dita.BeijingLike(400, 1))
+	if data.Len() != 400 {
+		t.Fatalf("generated %d trajectories", data.Len())
+	}
+	opts := dita.DefaultOptions()
+	opts.NG = 3
+	opts.Cluster = dita.NewCluster(4)
+	eng, err := dita.NewEngine(data, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := dita.Queries(data, 1, 2)[0]
+	res := eng.Search(q, 0.01, nil)
+	foundSelf := false
+	for _, r := range res {
+		if r.Traj.ID == q.ID {
+			foundSelf = true
+		}
+	}
+	if !foundSelf {
+		t.Error("search did not find the query itself")
+	}
+	knn := eng.SearchKNN(q, 5)
+	if len(knn) != 5 || knn[0].Traj.ID != q.ID {
+		t.Errorf("kNN: %d results, first=%v", len(knn), knn[0].Traj.ID)
+	}
+
+	eng2, err := dita.NewEngine(data, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pairs := eng.Join(eng2, 0.002, dita.DefaultJoinOptions(), nil)
+	if len(pairs) < data.Len() {
+		t.Errorf("self-join found %d pairs, want at least %d (self pairs)", len(pairs), data.Len())
+	}
+
+	db := dita.NewDB(nil, opts)
+	db.Register("trips", data)
+	if _, err := db.Exec("CREATE INDEX TrieIndex ON trips USE TRIE"); err != nil {
+		t.Fatal(err)
+	}
+	out, err := db.Exec("SELECT * FROM trips WHERE DTW(trips, ?) <= 0.01", q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Trajs) != len(res) {
+		t.Errorf("SQL search returned %d, API returned %d", len(out.Trajs), len(res))
+	}
+	df, err := db.Table("trips")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dfRes, err := df.SimilaritySearch(q, "DTW", 0.01)
+	if err != nil || len(dfRes) != len(res) {
+		t.Errorf("DataFrame search: %v, %d vs %d", err, len(dfRes), len(res))
+	}
+
+	if _, err := dita.MeasureByName("LCSS", 0.001, 3); err != nil {
+		t.Error(err)
+	}
+	if _, err := dita.ParseSQL("SELECT * FROM trips ORDER BY DTW(trips, ?) LIMIT 3"); err != nil {
+		t.Error(err)
+	}
+}

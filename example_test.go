@@ -1,0 +1,83 @@
+package dita_test
+
+// Compile-checked godoc examples for the public API.
+
+import (
+	"fmt"
+
+	"dita"
+)
+
+// ExampleNewEngine indexes a small dataset and runs a similarity search.
+func ExampleNewEngine() {
+	data := dita.Generate(dita.BeijingLike(1000, 1))
+	opts := dita.DefaultOptions()
+	opts.Cluster = dita.NewCluster(4)
+	engine, err := dita.NewEngine(data, opts)
+	if err != nil {
+		panic(err)
+	}
+	q := data.Trajs[0]
+	results := engine.Search(q, 0.002, nil)
+	found := false
+	for _, r := range results {
+		if r.Traj.ID == q.ID {
+			found = true
+		}
+	}
+	fmt.Println("query found itself:", found)
+	// Output: query found itself: true
+}
+
+// ExampleEngine_SearchKNN finds the nearest neighbors of a trajectory.
+func ExampleEngine_SearchKNN() {
+	data := dita.Generate(dita.BeijingLike(500, 2))
+	opts := dita.DefaultOptions()
+	opts.Cluster = dita.NewCluster(2)
+	engine, _ := dita.NewEngine(data, opts)
+	q := data.Trajs[7] // note: dataset order is shuffled; use the actual ID
+	knn := engine.SearchKNN(q, 3)
+	fmt.Println("neighbors:", len(knn), "nearest is itself:", knn[0].Traj.ID == q.ID)
+	// Output: neighbors: 3 nearest is itself: true
+}
+
+// ExampleDB_Exec runs the SQL front end: DDL, index creation, and a
+// parameterized similarity search.
+func ExampleDB_Exec() {
+	data := dita.Generate(dita.ChengduLike(800, 3))
+	db := dita.NewDB(dita.NewCluster(4), dita.DefaultOptions())
+	db.Register("trips", data)
+
+	if _, err := db.Exec("CREATE INDEX TrieIndex ON trips USE TRIE"); err != nil {
+		panic(err)
+	}
+	res, err := db.Exec("SELECT COUNT(*) FROM trips")
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("rows:", res.Count)
+
+	plan, _ := db.Exec("EXPLAIN SELECT * FROM trips WHERE DTW(trips, ?) <= 0.005")
+	fmt.Println("plan:", plan.Plan)
+	// Output:
+	// rows: 800
+	// plan: TrieIndexSearch(trips, τ=0.005, DTW)
+}
+
+// ExampleMeasureByName resolves measures dynamically.
+func ExampleMeasureByName() {
+	m, _ := dita.MeasureByName("frechet", 0, 0)
+	a := []dita.Point{{X: 0, Y: 0}, {X: 1, Y: 0}}
+	b := []dita.Point{{X: 0, Y: 1}, {X: 1, Y: 1}}
+	fmt.Printf("%s = %.0f\n", m.Name(), m.Distance(a, b))
+	// Output: FRECHET = 1
+}
+
+// ExampleSimplify shrinks raw traces with a bounded error.
+func ExampleSimplify() {
+	data := dita.Generate(dita.BeijingLike(100, 4))
+	before := data.Stats().TotalPoints
+	after := dita.Simplify(data, 0.0002).Stats().TotalPoints
+	fmt.Println("simplification reduced points:", after < before)
+	// Output: simplification reduced points: true
+}

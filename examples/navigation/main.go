@@ -1,0 +1,92 @@
+// Navigation: frequent-trajectory route suggestion.
+//
+// The paper motivates DITA with "frequent trajectory based navigation
+// systems": given the route a driver is about to take, find how often
+// similar routes were driven historically — a popular route with many
+// similar past trips is well-validated; an unusual one may deserve a
+// re-route suggestion. This example uses similarity search over a history
+// of trips, comparing DTW and Fréchet as the similarity notion.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dita"
+)
+
+func main() {
+	history := dita.Generate(dita.BeijingLike(8000, 30))
+	fmt.Printf("route history: %d past trips\n", history.Len())
+
+	opts := dita.DefaultOptions()
+	opts.Cluster = dita.NewCluster(4)
+	engine, err := dita.NewEngine(history, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Planned routes to score (drawn from the same traffic distribution).
+	planned := dita.Queries(history, 5, 99)
+	const tau = 0.004
+
+	fmt.Printf("scoring %d planned routes at τ=%.3f (DTW)\n\n", len(planned), tau)
+	for _, route := range planned {
+		var stats dita.SearchStats
+		similar := engine.Search(route, tau, &stats)
+		// The route itself is in the history; don't count it.
+		support := 0
+		for _, r := range similar {
+			if r.Traj.ID != route.ID {
+				support++
+			}
+		}
+		verdict := "UNUSUAL — consider re-route suggestion"
+		if support >= 10 {
+			verdict = "popular, well-validated route"
+		} else if support >= 3 {
+			verdict = "known route"
+		}
+		fmt.Printf("route %-6d (%2d points): %3d similar past trips -> %s\n",
+			route.ID, route.Len(), support, verdict)
+	}
+
+	// The same question under the metric Fréchet distance (maximum
+	// deviation rather than accumulated deviation).
+	fopts := opts
+	fopts.Measure = dita.Frechet{}
+	fengine, err := dita.NewEngine(history, fopts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nsame routes under Fréchet (max deviation <= %.3f):\n", 0.002)
+	for _, route := range planned {
+		similar := fengine.Search(route, 0.002, nil)
+		fmt.Printf("route %-6d: %3d past trips never deviate more than ~220 m\n",
+			route.ID, len(similar)-1)
+	}
+
+	// Road-network awareness (the road-network extension): the same two
+	// trips can be Euclidean-close but far apart on the road graph when a
+	// barrier (river, railway) separates their streets.
+	ext := dita.MBR{Min: dita.Point{X: 116.0, Y: 39.6}, Max: dita.Point{X: 116.8, Y: 40.2}}
+	roads := dita.GridRoadNetwork(ext, 40, 40)
+	a, b := planned[0], planned[1]
+	fmt.Printf("\nroad-network DTW between routes %d and %d: %.4f (network-constrained)\n",
+		a.ID, b.ID, roads.TrajectoryDTW(a, b))
+
+	// And through SQL, as a navigation backend would issue it.
+	db := dita.NewDB(opts.Cluster, opts)
+	db.Register("history", history)
+	if _, err := db.Exec("CREATE INDEX TrieIndex ON history USE TRIE"); err != nil {
+		log.Fatal(err)
+	}
+	res, err := db.Exec("SELECT * FROM history ORDER BY DTW(history, ?) LIMIT 3", planned[0])
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\ntop-3 most similar historical trips to route %d (via SQL kNN):\n", planned[0].ID)
+	for _, r := range res.Trajs {
+		fmt.Printf("  traj %-6d DTW=%.5f\n", r.Traj.ID, r.Distance)
+	}
+}

@@ -1,0 +1,58 @@
+// Package baseline implements the distributed comparison systems of the
+// paper's evaluation (Section 7.1), re-created from their descriptions and
+// run on the same cluster substrate as DITA so costs are comparable:
+//
+//   - Naive: no index. Queries are broadcast; every worker scans its
+//     trajectories with threshold verification.
+//   - Simba: adapted from the in-memory spatial system [47] exactly as the
+//     paper did: "we first indexed the first points of trajectories using
+//     Simba, and then used Simba to find trajectories whose first point was
+//     within a distance of τ from the query trajectory's first point as
+//     the candidates. Finally we verified the candidates." Joins match
+//     partition-to-partition (Simba ships whole partitions, unlike DITA's
+//     per-trajectory shuffle).
+//   - DFT: adapted from the distributed trajectory search system [46]: a
+//     non-clustered segment R-tree per partition, per-query candidate
+//     bitmaps collected at the master, merged, and broadcast back before
+//     verification — the "barrier between indexing and verification" whose
+//     parallelism cost the paper highlights, plus the bitmap memory that
+//     makes DFT joins infeasible (Section 7.2.2).
+//
+// All three are exact: their filters are sound supersets and candidates are
+// verified with the same threshold-distance routines DITA uses.
+package baseline
+
+import (
+	"sort"
+
+	"dita/internal/cluster"
+	"dita/internal/geom"
+	"dita/internal/measure"
+	"dita/internal/traj"
+)
+
+// Searcher is a distributed trajectory similarity search system.
+type Searcher interface {
+	// Name identifies the system in experiment output.
+	Name() string
+	// Search returns trajectories within tau of q, sorted by ID.
+	Search(q *traj.T, tau float64) []*traj.T
+	// Cluster exposes the substrate for cost accounting.
+	Cluster() *cluster.Cluster
+}
+
+// verifyAll runs threshold verification over candidates (the baselines use
+// the same optimized DTW(T,Q,τ) as DITA, per the paper's setup).
+func verifyAll(m measure.Measure, cands []*traj.T, q []geom.Point, tau float64) []*traj.T {
+	var out []*traj.T
+	for _, t := range cands {
+		if _, ok := m.DistanceThreshold(t.Points, q, tau); ok {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+func sortByID(ts []*traj.T) {
+	sort.Slice(ts, func(a, b int) bool { return ts[a].ID < ts[b].ID })
+}

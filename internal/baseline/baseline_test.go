@@ -1,0 +1,177 @@
+package baseline
+
+import (
+	"testing"
+
+	"dita/internal/cluster"
+	"dita/internal/core"
+	"dita/internal/gen"
+	"dita/internal/measure"
+	"dita/internal/traj"
+)
+
+func bruteSearch(d *traj.Dataset, m measure.Measure, q *traj.T, tau float64) map[int]bool {
+	out := map[int]bool{}
+	for _, t := range d.Trajs {
+		if m.Distance(t.Points, q.Points) <= tau {
+			out[t.ID] = true
+		}
+	}
+	return out
+}
+
+func checkSearch(t *testing.T, name string, got []*traj.T, want map[int]bool) {
+	t.Helper()
+	ids := map[int]bool{}
+	for _, tr := range got {
+		if ids[tr.ID] {
+			t.Fatalf("%s: duplicate result %d", name, tr.ID)
+		}
+		ids[tr.ID] = true
+	}
+	if len(ids) != len(want) {
+		t.Fatalf("%s: got %d results, want %d", name, len(ids), len(want))
+	}
+	for id := range want {
+		if !ids[id] {
+			t.Fatalf("%s: missing %d", name, id)
+		}
+	}
+}
+
+// All three baselines must return exactly the brute-force answers — they
+// are slower than DITA, not wronger.
+func TestBaselinesExact(t *testing.T) {
+	d := gen.Generate(gen.BeijingLike(300, 1))
+	for _, m := range []measure.Measure{measure.DTW{}, measure.Frechet{}} {
+		cl := cluster.New(cluster.DefaultConfig(4))
+		systems := []Searcher{
+			NewNaive(d, m, cl),
+			NewSimba(d, m, cluster.New(cluster.DefaultConfig(4)), 9),
+			NewDFT(d, m, cluster.New(cluster.DefaultConfig(4)), 9),
+		}
+		var tau float64
+		if m.Accumulation() == measure.AccumMax {
+			tau = 0.01
+		} else {
+			tau = 0.05
+		}
+		for _, q := range gen.Queries(d, 10, 2) {
+			want := bruteSearch(d, m, q, tau)
+			for _, s := range systems {
+				got := s.Search(q, tau)
+				checkSearch(t, m.Name()+"/"+s.Name(), got, want)
+			}
+		}
+	}
+}
+
+func TestBaselineDegenerate(t *testing.T) {
+	d := gen.Generate(gen.BeijingLike(50, 3))
+	cl := cluster.New(cluster.DefaultConfig(2))
+	for _, s := range []Searcher{
+		NewNaive(d, nil, cl),
+		NewSimba(d, nil, nil, 0),
+		NewDFT(d, nil, nil, 0),
+	} {
+		if got := s.Search(nil, 1); got != nil {
+			t.Errorf("%s: nil query returned %v", s.Name(), got)
+		}
+		if got := s.Search(&traj.T{}, 1); got != nil {
+			t.Errorf("%s: empty query returned %v", s.Name(), got)
+		}
+		if s.Cluster() == nil {
+			t.Errorf("%s: nil cluster", s.Name())
+		}
+	}
+}
+
+func TestSimbaJoinExact(t *testing.T) {
+	a := gen.Generate(gen.BeijingLike(80, 4))
+	b := gen.Generate(gen.BeijingLike(70, 5))
+	for _, tr := range b.Trajs {
+		tr.ID += 10000
+	}
+	cl := cluster.New(cluster.DefaultConfig(4))
+	sa := NewSimba(a, measure.DTW{}, cl, 6)
+	sb := NewSimba(b, measure.DTW{}, cl, 6)
+	pairs := sa.Join(sb, 0.04)
+	want := map[[2]int]bool{}
+	for _, t1 := range a.Trajs {
+		for _, t2 := range b.Trajs {
+			if (measure.DTW{}).Distance(t1.Points, t2.Points) <= 0.04 {
+				want[[2]int{t1.ID, t2.ID}] = true
+			}
+		}
+	}
+	got := map[[2]int]bool{}
+	for _, p := range pairs {
+		got[[2]int{p.T.ID, p.Q.ID}] = true
+	}
+	if len(got) != len(want) {
+		t.Fatalf("Simba join: %d pairs, want %d", len(got), len(want))
+	}
+	for k := range want {
+		if !got[k] {
+			t.Fatalf("Simba join missing %v", k)
+		}
+	}
+}
+
+func TestNaiveJoinExact(t *testing.T) {
+	a := gen.Generate(gen.BeijingLike(40, 6))
+	b := gen.Generate(gen.BeijingLike(40, 7))
+	for _, tr := range b.Trajs {
+		tr.ID += 10000
+	}
+	cl := cluster.New(cluster.DefaultConfig(2))
+	n := NewNaive(a, measure.DTW{}, cl)
+	pairs := n.Join(b, 0.04)
+	count := 0
+	for _, t1 := range a.Trajs {
+		for _, t2 := range b.Trajs {
+			if (measure.DTW{}).Distance(t1.Points, t2.Points) <= 0.04 {
+				count++
+			}
+		}
+	}
+	if len(pairs) != count {
+		t.Fatalf("Naive join: %d pairs, want %d", len(pairs), count)
+	}
+	var _ []core.Pair = pairs
+}
+
+// DFT's defining costs must be visible: bitmap sizes, barrier traffic, and
+// a larger local index than Simba's.
+func TestDFTCostCharacteristics(t *testing.T) {
+	d := gen.Generate(gen.BeijingLike(400, 8))
+	f := NewDFT(d, measure.DTW{}, cluster.New(cluster.DefaultConfig(4)), 8)
+	if f.BitmapBytes() != (400+7)/8 {
+		t.Errorf("BitmapBytes = %d", f.BitmapBytes())
+	}
+	if f.JoinBitmapBytes() != int64(400)*int64(f.BitmapBytes()) {
+		t.Errorf("JoinBitmapBytes = %d", f.JoinBitmapBytes())
+	}
+	s := NewSimba(d, measure.DTW{}, cluster.New(cluster.DefaultConfig(4)), 8)
+	_, dftLocal := f.IndexSizeBytes()
+	_, simbaLocal := s.IndexSizeBytes()
+	if dftLocal <= simbaLocal {
+		t.Errorf("DFT local index (%d) should exceed Simba's (%d): it indexes every segment", dftLocal, simbaLocal)
+	}
+	// The barrier should show up as traffic to/from the master.
+	q := gen.Queries(d, 1, 9)[0]
+	f.Search(q, 0.02)
+	if f.Cluster().Metrics().Messages == 0 {
+		t.Error("DFT search produced no network messages")
+	}
+}
+
+func TestBaselineRejectsUnanchoredMeasure(t *testing.T) {
+	d := gen.Generate(gen.BeijingLike(20, 10))
+	defer func() {
+		if recover() == nil {
+			t.Error("Simba must reject edit measures")
+		}
+	}()
+	NewSimba(d, measure.EDR{Eps: 1}, nil, 2)
+}

@@ -1,0 +1,207 @@
+package baseline
+
+import (
+	"dita/internal/cluster"
+	"dita/internal/geom"
+	"dita/internal/measure"
+	"dita/internal/rtree"
+	"dita/internal/str"
+	"dita/internal/traj"
+)
+
+// DFT is the segment-based distributed trajectory search baseline adapted
+// to threshold DTW search as in the paper's evaluation (Section 7.1). Its
+// defining characteristics, which the paper's comparison hinges on:
+//
+//   - A non-clustered index: each partition's R-tree indexes trajectory
+//     segments (consecutive point pairs), with a trajectory-id payload —
+//     index probing yields ids, not data.
+//   - A two-phase protocol with a master-side barrier: every worker probes
+//     its segment index and produces a bitmap of surviving trajectory ids;
+//     the master collects all bitmaps, merges them, and broadcasts the
+//     merged bitmap; only then do workers verify their local survivors.
+//     The barrier serializes indexing and verification ("DFT had less
+//     parallelism than Simba and DITA").
+//   - Bitmap memory that scales with dataset size per query, which is why
+//     DFT cannot support joins on large data (Section 7.2.2); see
+//     JoinBitmapBytes.
+//
+// The filter is sound for endpoint-anchored measures: a trajectory
+// survives only if its first segment is within τ of q1 and its last
+// segment is within τ of qn (dist(t1,q1) <= DTW and dist(tm,qn) <= DTW).
+type DFT struct {
+	m     measure.Measure
+	cl    *cluster.Cluster
+	parts []*dftPartition
+	total int
+	// localIndexBytes aggregates segment R-tree sizes: DFT's index is
+	// "much bigger (even by one order of magnitude)" than DITA's local
+	// index (Table 5) because every segment is an entry.
+	localIndexBytes int
+}
+
+type dftPartition struct {
+	id      int
+	worker  int
+	trajs   []*traj.T
+	segIdx  *rtree.Tree // entries: segment MBRs; ID = trajIdx*2 + (0 first seg, 1 last seg)
+	firstPt geom.MBR
+}
+
+// NewDFT builds segment indexes over nparts STR partitions (partitioned by
+// first point, as DFT partitions segments spatially).
+func NewDFT(d *traj.Dataset, m measure.Measure, cl *cluster.Cluster, nparts int) *DFT {
+	if m == nil {
+		m = measure.DTW{}
+	}
+	if !m.AlignsEndpoints() {
+		panic("baseline: first/last-point filtering requires an endpoint-anchored measure (DTW or Fr\u00e9chet)")
+	}
+	if cl == nil {
+		cl = cluster.New(cluster.DefaultConfig(4))
+	}
+	if nparts < 1 {
+		nparts = cl.Workers()
+	}
+	f := &DFT{m: m, cl: cl, total: d.Len()}
+	firsts := make([]geom.Point, d.Len())
+	for i, t := range d.Trajs {
+		firsts[i] = t.First()
+	}
+	for _, tile := range str.Tile(firsts, nparts) {
+		p := &dftPartition{id: len(f.parts), firstPt: geom.EmptyMBR()}
+		p.worker = p.id % cl.Workers()
+		for _, i := range tile {
+			p.trajs = append(p.trajs, d.Trajs[i])
+			p.firstPt = p.firstPt.Extend(d.Trajs[i].First())
+		}
+		f.parts = append(f.parts, p)
+	}
+	var tasks []cluster.Task
+	for _, p := range f.parts {
+		p := p
+		tasks = append(tasks, cluster.Task{Worker: p.worker, Fn: func() {
+			var es []rtree.Entry
+			for ti, t := range p.trajs {
+				pts := t.Points
+				// All segments are indexed (the non-clustered bulk);
+				// first/last segments carry the ids the filter uses.
+				for si := 0; si+1 < len(pts); si++ {
+					mbr := geom.NewMBR(pts[si]).Extend(pts[si+1])
+					id := -1
+					if si == 0 {
+						id = ti * 2
+					} else if si == len(pts)-2 {
+						id = ti*2 + 1
+					}
+					es = append(es, rtree.Entry{MBR: mbr, ID: id})
+				}
+				if len(pts) == 2 {
+					// Single segment doubles as first and last.
+					es = append(es, rtree.Entry{MBR: geom.NewMBR(pts[0]).Extend(pts[1]), ID: ti*2 + 1})
+				}
+			}
+			p.segIdx = rtree.New(es)
+		}})
+	}
+	cl.Run(tasks)
+	for _, p := range f.parts {
+		f.localIndexBytes += p.segIdx.SizeBytes()
+	}
+	return f
+}
+
+// Name implements Searcher.
+func (f *DFT) Name() string { return "DFT" }
+
+// Cluster implements Searcher.
+func (f *DFT) Cluster() *cluster.Cluster { return f.cl }
+
+// IndexSizeBytes returns (global, local) sizes; DFT has no global R-tree
+// beyond partition MBRs, reported as a small constant per partition.
+func (f *DFT) IndexSizeBytes() (int, int) { return 48 * len(f.parts), f.localIndexBytes }
+
+// BitmapBytes is the per-query bitmap size: one bit per trajectory in the
+// dataset (the paper measured 0.2 MB per query on the 11M-trajectory
+// Beijing dataset with compressed bitmaps; a plain bitmap is n/8 bytes).
+func (f *DFT) BitmapBytes() int { return (f.total + 7) / 8 }
+
+// JoinBitmapBytes estimates the memory a DFT-style join would need: one
+// bitmap per query trajectory (Section 7.2.2's 2.2 TB argument on
+// Beijing).
+func (f *DFT) JoinBitmapBytes() int64 { return int64(f.total) * int64(f.BitmapBytes()) }
+
+// Search implements Searcher with the two-phase bitmap protocol.
+func (f *DFT) Search(q *traj.T, tau float64) []*traj.T {
+	if q == nil || len(q.Points) == 0 {
+		return nil
+	}
+	q1, qn := q.Points[0], q.Points[len(q.Points)-1]
+	const master = 0
+	// Phase 1: probe segment indexes, build per-partition bitmaps.
+	type bitmap map[int]uint8 // trajIdx -> bit0: first seg near q1, bit1: last seg near qn
+	bitmaps := make([]bitmap, len(f.parts))
+	var tasks []cluster.Task
+	for i, p := range f.parts {
+		i, p := i, p
+		f.cl.Transfer(master, p.worker, q.Bytes())
+		tasks = append(tasks, cluster.Task{Worker: p.worker, Fn: func() {
+			bm := bitmap{}
+			for _, e := range p.segIdx.WithinDist(q1, tau, nil) {
+				if e.ID >= 0 && e.ID%2 == 0 {
+					bm[e.ID/2] |= 1
+				}
+			}
+			for _, e := range p.segIdx.WithinDist(qn, tau, nil) {
+				if e.ID >= 0 && e.ID%2 == 1 {
+					bm[e.ID/2] |= 2
+				}
+			}
+			bitmaps[i] = bm
+		}})
+	}
+	f.cl.Run(tasks)
+	// Barrier: bitmaps travel to the master, are merged there, and the
+	// merged bitmap is broadcast back (this is the parallelism bottleneck
+	// the paper describes).
+	for _, p := range f.parts {
+		f.cl.Transfer(p.worker, master, f.BitmapBytes())
+	}
+	merge := make([]map[int]bool, len(f.parts))
+	f.cl.Run([]cluster.Task{{Worker: master, Fn: func() {
+		for i, bm := range bitmaps {
+			keep := map[int]bool{}
+			for ti, bits := range bm {
+				if bits == 3 {
+					keep[ti] = true
+				}
+			}
+			merge[i] = keep
+		}
+	}}})
+	f.cl.Broadcast(master, f.BitmapBytes())
+	// Phase 2: verification of survivors on the owning workers.
+	results := make([][]*traj.T, len(f.parts))
+	tasks = tasks[:0]
+	for i, p := range f.parts {
+		i, p := i, p
+		if len(merge[i]) == 0 {
+			continue
+		}
+		tasks = append(tasks, cluster.Task{Worker: p.worker, Fn: func() {
+			var cands []*traj.T
+			for ti := range merge[i] {
+				cands = append(cands, p.trajs[ti])
+			}
+			sortByID(cands)
+			results[i] = verifyAll(f.m, cands, q.Points, tau)
+		}})
+	}
+	f.cl.Run(tasks)
+	var out []*traj.T
+	for _, r := range results {
+		out = append(out, r...)
+	}
+	sortByID(out)
+	return out
+}

@@ -1,0 +1,103 @@
+package baseline
+
+import (
+	"sync"
+
+	"dita/internal/cluster"
+	"dita/internal/core"
+	"dita/internal/measure"
+	"dita/internal/traj"
+)
+
+// Naive is the index-free baseline: trajectories are scattered round-robin
+// over the workers, a query is broadcast, and every worker scans its whole
+// share with threshold verification.
+type Naive struct {
+	m     measure.Measure
+	cl    *cluster.Cluster
+	parts [][]*traj.T
+}
+
+// NewNaive partitions the dataset round-robin over the cluster's workers.
+func NewNaive(d *traj.Dataset, m measure.Measure, cl *cluster.Cluster) *Naive {
+	if m == nil {
+		m = measure.DTW{}
+	}
+	if cl == nil {
+		cl = cluster.New(cluster.DefaultConfig(4))
+	}
+	n := &Naive{m: m, cl: cl, parts: make([][]*traj.T, cl.Workers())}
+	for i, t := range d.Trajs {
+		w := i % cl.Workers()
+		n.parts[w] = append(n.parts[w], t)
+	}
+	return n
+}
+
+// Name implements Searcher.
+func (n *Naive) Name() string { return "Naive" }
+
+// Cluster implements Searcher.
+func (n *Naive) Cluster() *cluster.Cluster { return n.cl }
+
+// Search implements Searcher by full distributed scan.
+func (n *Naive) Search(q *traj.T, tau float64) []*traj.T {
+	if q == nil || len(q.Points) == 0 {
+		return nil
+	}
+	n.cl.Broadcast(0, q.Bytes())
+	results := make([][]*traj.T, n.cl.Workers())
+	var tasks []cluster.Task
+	for w := range n.parts {
+		w := w
+		if len(n.parts[w]) == 0 {
+			continue
+		}
+		tasks = append(tasks, cluster.Task{Worker: w, Fn: func() {
+			results[w] = verifyAll(n.m, n.parts[w], q.Points, tau)
+		}})
+	}
+	n.cl.Run(tasks)
+	var out []*traj.T
+	for _, r := range results {
+		out = append(out, r...)
+	}
+	sortByID(out)
+	return out
+}
+
+// Join runs the index-free distributed nested-loop join: every partition
+// of the left side is verified against the full broadcast right side. The
+// paper reports Naive "too slow to complete" for joins on real datasets;
+// it is provided for correctness cross-checks at small scale.
+func (n *Naive) Join(other *traj.Dataset, tau float64) []core.Pair {
+	otherBytes := 0
+	for _, t := range other.Trajs {
+		otherBytes += t.Bytes()
+	}
+	n.cl.Broadcast(0, otherBytes)
+	var mu sync.Mutex
+	var pairs []core.Pair
+	var tasks []cluster.Task
+	for w := range n.parts {
+		w := w
+		if len(n.parts[w]) == 0 {
+			continue
+		}
+		tasks = append(tasks, cluster.Task{Worker: w, Fn: func() {
+			var local []core.Pair
+			for _, t := range n.parts[w] {
+				for _, q := range other.Trajs {
+					if d, ok := n.m.DistanceThreshold(t.Points, q.Points, tau); ok {
+						local = append(local, core.Pair{T: t, Q: q, Distance: d})
+					}
+				}
+			}
+			mu.Lock()
+			pairs = append(pairs, local...)
+			mu.Unlock()
+		}})
+	}
+	n.cl.Run(tasks)
+	return pairs
+}

@@ -1,0 +1,166 @@
+package baseline
+
+import (
+	"sync"
+
+	"dita/internal/cluster"
+	"dita/internal/core"
+	"dita/internal/geom"
+	"dita/internal/measure"
+	"dita/internal/rtree"
+	"dita/internal/str"
+	"dita/internal/traj"
+)
+
+// Simba is the spatial-analytics baseline adapted to trajectories exactly
+// as the paper's evaluation did (Section 7.1): trajectories are
+// partitioned by their first point only (STR), each partition indexes the
+// first points in an R-tree, and a search takes trajectories whose first
+// point is within τ of the query's first point as candidates, then
+// verifies. Joins are partition-to-partition: whole partitions are shipped
+// when their first-point MBRs may contain result pairs.
+type Simba struct {
+	m     measure.Measure
+	cl    *cluster.Cluster
+	parts []*simbaPartition
+	// global is the R-tree over partition first-point MBRs.
+	global *rtree.Tree
+	// BuildTime mirrors core.Engine's accounting for Table 5.
+	localIndexBytes int
+}
+
+type simbaPartition struct {
+	id     int
+	worker int
+	trajs  []*traj.T
+	index  *rtree.Tree // over first points
+	mbrF   geom.MBR
+	bytes  int
+}
+
+// NewSimba builds the first-point index over nparts STR partitions.
+func NewSimba(d *traj.Dataset, m measure.Measure, cl *cluster.Cluster, nparts int) *Simba {
+	if m == nil {
+		m = measure.DTW{}
+	}
+	if !m.AlignsEndpoints() {
+		panic("baseline: first/last-point filtering requires an endpoint-anchored measure (DTW or Fr\u00e9chet)")
+	}
+	if cl == nil {
+		cl = cluster.New(cluster.DefaultConfig(4))
+	}
+	if nparts < 1 {
+		nparts = cl.Workers()
+	}
+	s := &Simba{m: m, cl: cl}
+	firsts := make([]geom.Point, d.Len())
+	for i, t := range d.Trajs {
+		firsts[i] = t.First()
+	}
+	var ge []rtree.Entry
+	for _, tile := range str.Tile(firsts, nparts) {
+		p := &simbaPartition{id: len(s.parts), mbrF: geom.EmptyMBR()}
+		p.worker = p.id % cl.Workers()
+		for _, i := range tile {
+			p.trajs = append(p.trajs, d.Trajs[i])
+			p.mbrF = p.mbrF.Extend(d.Trajs[i].First())
+			p.bytes += d.Trajs[i].Bytes()
+		}
+		s.parts = append(s.parts, p)
+		ge = append(ge, rtree.Entry{MBR: p.mbrF, ID: p.id})
+	}
+	s.global = rtree.New(ge)
+	// Local indexes are built in parallel on owners.
+	var tasks []cluster.Task
+	for _, p := range s.parts {
+		p := p
+		tasks = append(tasks, cluster.Task{Worker: p.worker, Fn: func() {
+			es := make([]rtree.Entry, len(p.trajs))
+			for i, t := range p.trajs {
+				es[i] = rtree.Entry{MBR: geom.NewMBR(t.First()), ID: i}
+			}
+			p.index = rtree.New(es)
+		}})
+	}
+	cl.Run(tasks)
+	for _, p := range s.parts {
+		s.localIndexBytes += p.index.SizeBytes()
+	}
+	return s
+}
+
+// Name implements Searcher.
+func (s *Simba) Name() string { return "Simba" }
+
+// Cluster implements Searcher.
+func (s *Simba) Cluster() *cluster.Cluster { return s.cl }
+
+// IndexSizeBytes returns (global, local) index sizes.
+func (s *Simba) IndexSizeBytes() (int, int) { return s.global.SizeBytes(), s.localIndexBytes }
+
+// Search implements Searcher: first-point filtering then verification.
+func (s *Simba) Search(q *traj.T, tau float64) []*traj.T {
+	if q == nil || len(q.Points) == 0 {
+		return nil
+	}
+	q1 := q.Points[0]
+	rel := s.global.WithinDist(q1, tau, nil)
+	results := make([][]*traj.T, len(rel))
+	var tasks []cluster.Task
+	for i, en := range rel {
+		i, p := i, s.parts[en.ID]
+		s.cl.Transfer(0, p.worker, q.Bytes())
+		tasks = append(tasks, cluster.Task{Worker: p.worker, Fn: func() {
+			var cands []*traj.T
+			for _, e := range p.index.WithinDist(q1, tau, nil) {
+				cands = append(cands, p.trajs[e.ID])
+			}
+			results[i] = verifyAll(s.m, cands, q.Points, tau)
+		}})
+	}
+	s.cl.Run(tasks)
+	var out []*traj.T
+	for _, r := range results {
+		out = append(out, r...)
+	}
+	sortByID(out)
+	return out
+}
+
+// Join computes the similarity join the Simba way: every partition pair
+// whose first-point MBRs are within τ exchanges the **whole** left
+// partition (the paper: "Simba processed join by matching partition to
+// partition ... thus DITA sent much less data"), then the receiving worker
+// filters by first point and verifies.
+func (s *Simba) Join(other *Simba, tau float64) []core.Pair {
+	var mu sync.Mutex
+	var pairs []core.Pair
+	var tasks []cluster.Task
+	for _, pt := range s.parts {
+		for _, pq := range other.parts {
+			if pt.mbrF.MinDistMBR(pq.mbrF) > tau {
+				continue
+			}
+			pt, pq := pt, pq
+			// Ship the whole left partition to the right partition's
+			// worker.
+			s.cl.Transfer(pt.worker, pq.worker, pt.bytes)
+			tasks = append(tasks, cluster.Task{Worker: pq.worker, Fn: func() {
+				var local []core.Pair
+				for _, t := range pt.trajs {
+					for _, e := range pq.index.WithinDist(t.First(), tau, nil) {
+						q := pq.trajs[e.ID]
+						if d, ok := s.m.DistanceThreshold(t.Points, q.Points, tau); ok {
+							local = append(local, core.Pair{T: t, Q: q, Distance: d})
+						}
+					}
+				}
+				mu.Lock()
+				pairs = append(pairs, local...)
+				mu.Unlock()
+			}})
+		}
+	}
+	s.cl.Run(tasks)
+	return pairs
+}

@@ -1,0 +1,289 @@
+// Package central implements the centralized (single-machine) baselines of
+// the paper's Appendix C: the minimal-bounding-envelope index MBE [Vlachos
+// et al., KDD 2003] for DTW and Fréchet, and the vantage-point tree
+// VP-Tree [Fu et al. / Yianilos] for the metric Fréchet distance, plus the
+// candidate/latency accounting Figure 17 reports.
+package central
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"time"
+
+	"dita/internal/geom"
+	"dita/internal/measure"
+	"dita/internal/traj"
+)
+
+// Result is one range-search answer.
+type Result struct {
+	Traj     *traj.T
+	Distance float64
+}
+
+// Stats counts the work a centralized search did: Candidates is the number
+// of trajectories that reached exact verification (Figure 17's
+// "# of Candidates"), Pruned the number eliminated by the index.
+type Stats struct {
+	Candidates int
+	Pruned     int
+}
+
+// MBE is the minimal-bounding-envelope index: each trajectory is split
+// into runs of EnvelopeSize consecutive points, each run covered by an
+// MBR; the envelope yields the lower bounds
+//
+//	DTW(T,Q)     >= Σ_j min_r MinDist(qj, MBR_r)    (every column is crossed)
+//	Fréchet(T,Q) >= max_j min_r MinDist(qj, MBR_r)
+//
+// plus the endpoint bound dist-to-trajectory-MBR. Candidates surviving the
+// bounds are verified exactly.
+type MBE struct {
+	m       measure.Measure
+	trajs   []*traj.T
+	envs    [][]geom.MBR
+	mbrs    []geom.MBR
+	envSize int
+	// BuildTime and SizeBytes feed Table 7.
+	BuildTime time.Duration
+}
+
+// DefaultEnvelopeSize is the per-MBR run length.
+const DefaultEnvelopeSize = 8
+
+// NewMBE builds the envelope index. Only endpoint-anchored measures (DTW,
+// Fréchet) are supported, as in the original.
+func NewMBE(d *traj.Dataset, m measure.Measure, envSize int) *MBE {
+	if m == nil {
+		m = measure.DTW{}
+	}
+	if envSize < 1 {
+		envSize = DefaultEnvelopeSize
+	}
+	start := time.Now()
+	e := &MBE{m: m, trajs: d.Trajs, envSize: envSize}
+	e.envs = make([][]geom.MBR, len(d.Trajs))
+	e.mbrs = make([]geom.MBR, len(d.Trajs))
+	for i, t := range d.Trajs {
+		e.mbrs[i] = t.MBR()
+		var env []geom.MBR
+		for s := 0; s < len(t.Points); s += envSize {
+			end := s + envSize
+			if end > len(t.Points) {
+				end = len(t.Points)
+			}
+			env = append(env, geom.MBROf(t.Points[s:end]))
+		}
+		e.envs[i] = env
+	}
+	e.BuildTime = time.Since(start)
+	return e
+}
+
+// SizeBytes estimates the index footprint.
+func (e *MBE) SizeBytes() int {
+	n := 0
+	for _, env := range e.envs {
+		n += 40 * len(env)
+	}
+	return n + 40*len(e.mbrs)
+}
+
+// Search returns all trajectories within tau of q. stats may be nil.
+func (e *MBE) Search(q *traj.T, tau float64, stats *Stats) []Result {
+	if q == nil || len(q.Points) == 0 {
+		return nil
+	}
+	qp := q.Points
+	q1, qn := qp[0], qp[len(qp)-1]
+	maxForm := e.m.Accumulation() == measure.AccumMax
+	var out []Result
+	for i, t := range e.trajs {
+		// Endpoint bound against the whole-trajectory MBR.
+		d1, dn := e.mbrs[i].MinDist(q1), e.mbrs[i].MinDist(qn)
+		if maxForm {
+			if d1 > tau || dn > tau {
+				if stats != nil {
+					stats.Pruned++
+				}
+				continue
+			}
+		} else if d1+dn > tau {
+			if stats != nil {
+				stats.Pruned++
+			}
+			continue
+		}
+		// Envelope bound.
+		if envelopeLB(qp, e.envs[i], maxForm, tau) > tau {
+			if stats != nil {
+				stats.Pruned++
+			}
+			continue
+		}
+		if stats != nil {
+			stats.Candidates++
+		}
+		if d, ok := e.m.DistanceThreshold(t.Points, qp, tau); ok {
+			out = append(out, Result{Traj: t, Distance: d})
+		}
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].Traj.ID < out[b].Traj.ID })
+	return out
+}
+
+// envelopeLB computes the envelope lower bound, early-exiting once it
+// exceeds tau.
+func envelopeLB(q []geom.Point, env []geom.MBR, maxForm bool, tau float64) float64 {
+	acc := 0.0
+	for _, p := range q {
+		best := math.Inf(1)
+		for _, m := range env {
+			if d := m.MinDist(p); d < best {
+				best = d
+				if best == 0 {
+					break
+				}
+			}
+		}
+		if maxForm {
+			if best > acc {
+				acc = best
+			}
+		} else {
+			acc += best
+		}
+		if acc > tau {
+			return acc
+		}
+	}
+	return acc
+}
+
+// Join computes the centralized similarity join by probing the index with
+// every left-side trajectory (Appendix C's join comparison).
+func (e *MBE) Join(left *traj.Dataset, tau float64) int {
+	pairs := 0
+	for _, t := range left.Trajs {
+		pairs += len(e.Search(t, tau, nil))
+	}
+	return pairs
+}
+
+// VPTree is a vantage-point tree over trajectories under a metric
+// trajectory distance (Fréchet or ERP); the triangle inequality drives the
+// pruning, so non-metric measures (DTW, LCSS, EDR) are not supported —
+// exactly the limitation the paper ascribes to it.
+type VPTree struct {
+	m    measure.Measure
+	root *vpNode
+	n    int
+	// BuildTime and DistanceCalls feed Table 7 and Figure 17.
+	BuildTime     time.Duration
+	buildDistCall int
+}
+
+type vpNode struct {
+	point   *traj.T
+	radius  float64
+	in, out *vpNode
+}
+
+// NewVPTree builds the tree. The measure must be a metric; DTW and the
+// edit measures violate the triangle inequality and would make pruning
+// unsound.
+func NewVPTree(d *traj.Dataset, m measure.Measure, seed int64) *VPTree {
+	if m == nil {
+		m = measure.Frechet{}
+	}
+	switch m.(type) {
+	case measure.Frechet, measure.ERP:
+	default:
+		panic("central: VP-tree requires a metric measure (Fréchet or ERP)")
+	}
+	t := &VPTree{m: m, n: d.Len()}
+	start := time.Now()
+	items := make([]*traj.T, d.Len())
+	copy(items, d.Trajs)
+	rng := rand.New(rand.NewSource(seed))
+	t.root = t.build(items, rng)
+	t.BuildTime = time.Since(start)
+	return t
+}
+
+func (t *VPTree) build(items []*traj.T, rng *rand.Rand) *vpNode {
+	if len(items) == 0 {
+		return nil
+	}
+	// Random vantage point.
+	vi := rng.Intn(len(items))
+	items[0], items[vi] = items[vi], items[0]
+	vp := items[0]
+	rest := items[1:]
+	if len(rest) == 0 {
+		return &vpNode{point: vp}
+	}
+	ds := make([]float64, len(rest))
+	for i, it := range rest {
+		ds[i] = t.m.Distance(vp.Points, it.Points)
+		t.buildDistCall++
+	}
+	// Median radius.
+	sorted := append([]float64(nil), ds...)
+	sort.Float64s(sorted)
+	radius := sorted[len(sorted)/2]
+	var in, out []*traj.T
+	for i, it := range rest {
+		if ds[i] <= radius {
+			in = append(in, it)
+		} else {
+			out = append(out, it)
+		}
+	}
+	return &vpNode{point: vp, radius: radius, in: t.build(in, rng), out: t.build(out, rng)}
+}
+
+// BuildDistanceCalls returns the number of exact distance computations the
+// construction needed (the reason VP-tree construction is slow, Table 7).
+func (t *VPTree) BuildDistanceCalls() int { return t.buildDistCall }
+
+// SizeBytes estimates the tree footprint (nodes only; data is referenced).
+func (t *VPTree) SizeBytes() int { return 48 * t.n }
+
+// Search returns all trajectories within tau of q using metric pruning:
+// given d = dist(q, vp), the inside ball can be skipped when
+// d - tau > radius, the outside when d + tau < radius. Every exact
+// distance evaluation is counted as a candidate.
+func (t *VPTree) Search(q *traj.T, tau float64, stats *Stats) []Result {
+	if q == nil || len(q.Points) == 0 {
+		return nil
+	}
+	var out []Result
+	var walk func(n *vpNode)
+	walk = func(n *vpNode) {
+		if n == nil {
+			return
+		}
+		if stats != nil {
+			stats.Candidates++
+		}
+		d := t.m.Distance(n.point.Points, q.Points)
+		if d <= tau {
+			out = append(out, Result{Traj: n.point, Distance: d})
+		}
+		if d-tau <= n.radius {
+			walk(n.in)
+		} else if stats != nil {
+			stats.Pruned++
+		}
+		if d+tau >= n.radius {
+			walk(n.out)
+		} else if stats != nil {
+			stats.Pruned++
+		}
+	}
+	walk(t.root)
+	sort.Slice(out, func(a, b int) bool { return out[a].Traj.ID < out[b].Traj.ID })
+	return out
+}

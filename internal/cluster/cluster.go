@@ -1,0 +1,269 @@
+// Package cluster is DITA's distributed-execution substrate: an in-process
+// stand-in for the Spark cluster the paper runs on (64 nodes × 8 cores,
+// Gigabit Ethernet).
+//
+// The DITA algorithms interact with Spark through a narrow set of
+// primitives — partitioned data, per-partition tasks, stages with barriers
+// between them, and shuffles of trajectories between partitions. This
+// package provides exactly those primitives and makes their costs
+// observable:
+//
+//   - A Cluster has W workers. Each worker owns a virtual clock. A stage
+//     (Run) executes tasks assigned to workers; tasks on the same worker
+//     run sequentially against its clock, tasks on different workers run in
+//     parallel (physically bounded by GOMAXPROCS, but the virtual clocks
+//     model W true cores, so scale-up experiments behave like the paper's
+//     even beyond the host's core count).
+//   - Transfer(from, to, bytes) accounts a network movement using a
+//     bandwidth + latency model (default: Gigabit, 0.1 ms), advancing both
+//     endpoints' clocks.
+//   - Elapsed() is the simulated makespan: the sum over stages of the
+//     maximum per-worker stage time — what the paper's wall-clock figures
+//     measure. LoadRatio() is max/min cumulative worker time — Figure 16's
+//     un-balanced ratio.
+//
+// Nothing here is specific to trajectories; the DITA engine (internal/core)
+// and the baselines are all built on it, so their costs are comparable.
+package cluster
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+)
+
+// Config parameterizes the simulated cluster.
+type Config struct {
+	// Workers is the number of simulated cores ("# of cores" in the
+	// paper's scale-up experiments).
+	Workers int
+	// BandwidthBytesPerSec models the interconnect; the default is
+	// Gigabit Ethernet (125e6 B/s), matching the paper's testbed.
+	BandwidthBytesPerSec float64
+	// LatencyPerMessage is the fixed per-message cost.
+	LatencyPerMessage time.Duration
+}
+
+// DefaultConfig returns a Gigabit-Ethernet cluster with the given worker
+// count.
+func DefaultConfig(workers int) Config {
+	return Config{
+		Workers:              workers,
+		BandwidthBytesPerSec: 125e6,
+		LatencyPerMessage:    100 * time.Microsecond,
+	}
+}
+
+// Cluster is a simulated distributed in-memory cluster. Create with New;
+// the zero value is not usable.
+type Cluster struct {
+	cfg Config
+
+	mu      sync.Mutex
+	stage   []time.Duration // per-worker time within the current stage
+	total   []time.Duration // per-worker cumulative time across stages
+	elapsed time.Duration   // sum of stage makespans
+	bytes   int64
+	msgs    int64
+	tasks   int64
+}
+
+// New creates a cluster with at least one worker.
+func New(cfg Config) *Cluster {
+	if cfg.Workers < 1 {
+		cfg.Workers = 1
+	}
+	if cfg.BandwidthBytesPerSec <= 0 {
+		cfg.BandwidthBytesPerSec = 125e6
+	}
+	return &Cluster{
+		cfg:   cfg,
+		stage: make([]time.Duration, cfg.Workers),
+		total: make([]time.Duration, cfg.Workers),
+	}
+}
+
+// Workers returns the worker count.
+func (c *Cluster) Workers() int { return c.cfg.Workers }
+
+// Task is a unit of work bound to a worker.
+type Task struct {
+	// Worker is the executing worker id in [0, Workers).
+	Worker int
+	// Fn is the work. Its real execution time is charged to the worker's
+	// virtual clock.
+	Fn func()
+}
+
+// Run executes one stage: all tasks, grouped per worker; per-worker tasks
+// run sequentially, distinct workers in parallel. Run returns when every
+// task finished (the stage barrier) and adds the stage makespan to
+// Elapsed.
+func (c *Cluster) Run(tasks []Task) {
+	if len(tasks) == 0 {
+		return
+	}
+	perWorker := make([][]func(), c.cfg.Workers)
+	for _, t := range tasks {
+		w := t.Worker
+		if w < 0 || w >= c.cfg.Workers {
+			panic(fmt.Sprintf("cluster: task bound to invalid worker %d of %d", w, c.cfg.Workers))
+		}
+		perWorker[w] = append(perWorker[w], t.Fn)
+	}
+	// Physical parallelism is capped by the host; virtual clocks measure
+	// as if every worker had its own core.
+	sem := make(chan struct{}, maxParallel())
+	var wg sync.WaitGroup
+	for w, fns := range perWorker {
+		if len(fns) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(w int, fns []func()) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			var busy time.Duration
+			for _, fn := range fns {
+				start := time.Now()
+				fn()
+				busy += time.Since(start)
+			}
+			c.mu.Lock()
+			c.stage[w] += busy
+			c.tasks += int64(len(fns))
+			c.mu.Unlock()
+		}(w, fns)
+	}
+	wg.Wait()
+	c.endStage()
+}
+
+func maxParallel() int {
+	n := runtime.GOMAXPROCS(0)
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// endStage folds the current stage into the cumulative clocks and the
+// makespan.
+func (c *Cluster) endStage() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var span time.Duration
+	for w := range c.stage {
+		if c.stage[w] > span {
+			span = c.stage[w]
+		}
+		c.total[w] += c.stage[w]
+		c.stage[w] = 0
+	}
+	c.elapsed += span
+}
+
+// Transfer accounts moving bytes from one worker to another (from == to is
+// free). The transfer time advances both endpoints' stage clocks; it is
+// charged inside the current stage, so callers should invoke it from
+// within or between the stages that cause the movement.
+func (c *Cluster) Transfer(from, to int, bytes int) {
+	if from == to || bytes <= 0 {
+		return
+	}
+	d := time.Duration(float64(bytes)/c.cfg.BandwidthBytesPerSec*float64(time.Second)) +
+		c.cfg.LatencyPerMessage
+	c.mu.Lock()
+	c.stage[from] += d
+	c.stage[to] += d
+	c.bytes += int64(bytes)
+	c.msgs++
+	c.mu.Unlock()
+}
+
+// Broadcast accounts sending bytes from one worker (usually the driver's
+// worker 0) to every other worker.
+func (c *Cluster) Broadcast(from, bytes int) {
+	for w := 0; w < c.cfg.Workers; w++ {
+		c.Transfer(from, w, bytes)
+	}
+}
+
+// Metrics is a snapshot of the cluster's accounting.
+type Metrics struct {
+	// Elapsed is the simulated makespan: Σ over stages of max per-worker
+	// stage time.
+	Elapsed time.Duration
+	// WorkerBusy is each worker's cumulative time.
+	WorkerBusy []time.Duration
+	// BytesTransferred and Messages count Transfer traffic.
+	BytesTransferred int64
+	Messages         int64
+	// TasksRun counts executed tasks.
+	TasksRun int64
+}
+
+// Metrics returns a snapshot. Any stage time not yet folded by a Run
+// barrier is excluded.
+func (c *Cluster) Metrics() Metrics {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	busy := make([]time.Duration, len(c.total))
+	copy(busy, c.total)
+	return Metrics{
+		Elapsed:          c.elapsed,
+		WorkerBusy:       busy,
+		BytesTransferred: c.bytes,
+		Messages:         c.msgs,
+		TasksRun:         c.tasks,
+	}
+}
+
+// Elapsed returns the simulated makespan so far.
+func (c *Cluster) Elapsed() time.Duration {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.elapsed
+}
+
+// LoadRatio returns max/min cumulative worker time — the paper's
+// "un-balanced ratio" (Figure 16). Workers that never ran anything are
+// ignored; the ratio is 1 when fewer than two workers ran.
+func (c *Cluster) LoadRatio() float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var min, max time.Duration
+	seen := 0
+	for _, t := range c.total {
+		if t == 0 {
+			continue
+		}
+		if seen == 0 || t < min {
+			min = t
+		}
+		if t > max {
+			max = t
+		}
+		seen++
+	}
+	if seen < 2 || min == 0 {
+		return 1
+	}
+	return float64(max) / float64(min)
+}
+
+// Reset clears all accounting but keeps the configuration.
+func (c *Cluster) Reset() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for w := range c.total {
+		c.total[w] = 0
+		c.stage[w] = 0
+	}
+	c.elapsed = 0
+	c.bytes = 0
+	c.msgs = 0
+	c.tasks = 0
+}

@@ -1,0 +1,225 @@
+package cluster
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestRunExecutesAllTasks(t *testing.T) {
+	c := New(DefaultConfig(4))
+	var n atomic.Int64
+	var tasks []Task
+	for i := 0; i < 40; i++ {
+		tasks = append(tasks, Task{Worker: i % 4, Fn: func() { n.Add(1) }})
+	}
+	c.Run(tasks)
+	if n.Load() != 40 {
+		t.Fatalf("ran %d tasks, want 40", n.Load())
+	}
+	m := c.Metrics()
+	if m.TasksRun != 40 {
+		t.Errorf("TasksRun = %d", m.TasksRun)
+	}
+}
+
+func TestSameWorkerTasksSequential(t *testing.T) {
+	c := New(DefaultConfig(2))
+	var cur, maxConc atomic.Int64
+	var tasks []Task
+	for i := 0; i < 10; i++ {
+		tasks = append(tasks, Task{Worker: 0, Fn: func() {
+			v := cur.Add(1)
+			for {
+				m := maxConc.Load()
+				if v <= m || maxConc.CompareAndSwap(m, v) {
+					break
+				}
+			}
+			time.Sleep(time.Millisecond)
+			cur.Add(-1)
+		}})
+	}
+	c.Run(tasks)
+	if maxConc.Load() != 1 {
+		t.Errorf("same-worker tasks overlapped: max concurrency %d", maxConc.Load())
+	}
+}
+
+func TestElapsedIsMakespanNotSum(t *testing.T) {
+	c := New(DefaultConfig(4))
+	var tasks []Task
+	for w := 0; w < 4; w++ {
+		tasks = append(tasks, Task{Worker: w, Fn: func() { time.Sleep(20 * time.Millisecond) }})
+	}
+	c.Run(tasks)
+	el := c.Elapsed()
+	if el < 15*time.Millisecond {
+		t.Errorf("elapsed %v too small", el)
+	}
+	// Structural property (robust to scheduler noise on loaded hosts):
+	// the makespan is the max per-worker time, so with 4 near-equal
+	// workers it must sit well below the sum of their busy times.
+	var sum, max time.Duration
+	for _, b := range c.Metrics().WorkerBusy {
+		sum += b
+		if b > max {
+			max = b
+		}
+	}
+	if el != max {
+		t.Errorf("elapsed %v != max worker busy %v", el, max)
+	}
+	if el*2 > sum {
+		t.Errorf("elapsed %v looks like a sum (Σ busy = %v), not a makespan", el, sum)
+	}
+}
+
+func TestStagesAccumulate(t *testing.T) {
+	c := New(DefaultConfig(2))
+	stage := []Task{{Worker: 0, Fn: func() { time.Sleep(10 * time.Millisecond) }}}
+	c.Run(stage)
+	first := c.Elapsed()
+	c.Run(stage)
+	if c.Elapsed() <= first {
+		t.Error("second stage did not extend elapsed time")
+	}
+}
+
+func TestTransferAccounting(t *testing.T) {
+	c := New(DefaultConfig(4))
+	c.Transfer(0, 1, 125_000_000) // 1 second at Gigabit
+	m := c.Metrics()
+	if m.BytesTransferred != 125_000_000 || m.Messages != 1 {
+		t.Errorf("metrics = %+v", m)
+	}
+	// Transfer time lands in the *stage* clock and is folded at the next
+	// barrier.
+	c.Run([]Task{{Worker: 0, Fn: func() {}}})
+	if el := c.Elapsed(); el < time.Second {
+		t.Errorf("1s transfer not reflected in elapsed: %v", el)
+	}
+	// Self-transfer and zero bytes are free.
+	before := c.Metrics()
+	c.Transfer(2, 2, 1000)
+	c.Transfer(0, 1, 0)
+	after := c.Metrics()
+	if after.BytesTransferred != before.BytesTransferred || after.Messages != before.Messages {
+		t.Error("self/zero transfer should not be accounted")
+	}
+}
+
+func TestBroadcast(t *testing.T) {
+	c := New(DefaultConfig(4))
+	c.Broadcast(0, 1000)
+	m := c.Metrics()
+	if m.Messages != 3 { // to the 3 other workers; self is free
+		t.Errorf("broadcast messages = %d, want 3", m.Messages)
+	}
+	if m.BytesTransferred != 3000 {
+		t.Errorf("broadcast bytes = %d, want 3000", m.BytesTransferred)
+	}
+}
+
+func TestLoadRatio(t *testing.T) {
+	c := New(DefaultConfig(4))
+	if r := c.LoadRatio(); r != 1 {
+		t.Errorf("idle cluster ratio = %v", r)
+	}
+	c.Run([]Task{
+		{Worker: 0, Fn: func() { time.Sleep(40 * time.Millisecond) }},
+		{Worker: 1, Fn: func() { time.Sleep(10 * time.Millisecond) }},
+	})
+	r := c.LoadRatio()
+	if r < 1.5 {
+		t.Errorf("imbalanced stage ratio = %v, want > 1.5", r)
+	}
+}
+
+func TestReset(t *testing.T) {
+	c := New(DefaultConfig(2))
+	c.Run([]Task{{Worker: 0, Fn: func() { time.Sleep(time.Millisecond) }}})
+	c.Transfer(0, 1, 100)
+	c.Reset()
+	m := c.Metrics()
+	if m.Elapsed != 0 || m.BytesTransferred != 0 || m.TasksRun != 0 {
+		t.Errorf("reset incomplete: %+v", m)
+	}
+}
+
+func TestInvalidWorkerPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("invalid worker id should panic")
+		}
+	}()
+	c := New(DefaultConfig(2))
+	c.Run([]Task{{Worker: 7, Fn: func() {}}})
+}
+
+func TestMinimumOneWorker(t *testing.T) {
+	c := New(Config{Workers: 0})
+	if c.Workers() != 1 {
+		t.Errorf("workers = %d, want 1", c.Workers())
+	}
+	c = New(Config{Workers: -3})
+	if c.Workers() != 1 {
+		t.Errorf("workers = %d, want 1", c.Workers())
+	}
+}
+
+func TestParallelismAcrossWorkers(t *testing.T) {
+	// With enough physical cores, distinct workers overlap in real time.
+	c := New(DefaultConfig(4))
+	start := time.Now()
+	var tasks []Task
+	for w := 0; w < 4; w++ {
+		tasks = append(tasks, Task{Worker: w, Fn: func() { time.Sleep(30 * time.Millisecond) }})
+	}
+	c.Run(tasks)
+	real := time.Since(start)
+	if real > 110*time.Millisecond {
+		t.Logf("low physical parallelism (GOMAXPROCS small?): %v", real)
+	}
+}
+
+// Straggler injection: one worker is artificially slowed; the makespan
+// must track the straggler while other workers' clocks stay small — the
+// observable the paper's load-balancing mechanisms act on.
+func TestStragglerInjection(t *testing.T) {
+	c := New(DefaultConfig(4))
+	var tasks []Task
+	for w := 0; w < 4; w++ {
+		w := w
+		delay := 5 * time.Millisecond
+		if w == 3 {
+			delay = 60 * time.Millisecond // injected straggler
+		}
+		tasks = append(tasks, Task{Worker: w, Fn: func() { time.Sleep(delay) }})
+	}
+	c.Run(tasks)
+	m := c.Metrics()
+	if m.Elapsed < 50*time.Millisecond {
+		t.Errorf("makespan %v does not reflect the straggler", m.Elapsed)
+	}
+	if r := c.LoadRatio(); r < 5 {
+		t.Errorf("load ratio %v too low for a 12x straggler", r)
+	}
+	if m.WorkerBusy[3] < 10*m.WorkerBusy[0]/2 {
+		t.Errorf("per-worker accounting wrong: %v", m.WorkerBusy)
+	}
+}
+
+// A stage with tasks on a single worker serializes: the makespan is the
+// sum, not the max — the "barrier costs" DFT pays.
+func TestSingleWorkerSerialization(t *testing.T) {
+	c := New(DefaultConfig(4))
+	var tasks []Task
+	for i := 0; i < 5; i++ {
+		tasks = append(tasks, Task{Worker: 0, Fn: func() { time.Sleep(8 * time.Millisecond) }})
+	}
+	c.Run(tasks)
+	if el := c.Elapsed(); el < 35*time.Millisecond {
+		t.Errorf("5 serial 8ms tasks took %v simulated; want >= 40ms", el)
+	}
+}

@@ -1,0 +1,72 @@
+package core
+
+import (
+	"testing"
+
+	"dita/internal/gen"
+	"dita/internal/measure"
+	"dita/internal/traj"
+)
+
+// Ablation benchmarks for the verification cascade (Section 5.3.3): raw
+// threshold DTW on every candidate vs the full coverage→cell→DTW pipeline.
+
+func benchCandidates(b *testing.B) (*traj.Dataset, *traj.T, []trajMeta) {
+	b.Helper()
+	d := gen.Generate(gen.BeijingLike(2000, 3))
+	q := gen.Queries(d, 1, 4)[0]
+	meta := make([]trajMeta, d.Len())
+	for i, t := range d.Trajs {
+		meta[i] = newTrajMeta(t, 0.01)
+	}
+	return d, q, meta
+}
+
+func BenchmarkVerifyRawDTW(b *testing.B) {
+	d, q, _ := benchCandidates(b)
+	m := measure.DTW{}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t := d.Trajs[i%d.Len()]
+		m.DistanceThreshold(t.Points, q.Points, 0.003)
+	}
+}
+
+func BenchmarkVerifyFullCascade(b *testing.B) {
+	d, q, meta := benchCandidates(b)
+	v := NewVerifier(measure.DTW{}, q.Points, 0.003, 0.01)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		j := i % d.Len()
+		v.Verify(d.Trajs[j], meta[j])
+	}
+}
+
+func BenchmarkPAMDFilter(b *testing.B) {
+	d, q, _ := benchCandidates(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t := d.Trajs[i%d.Len()]
+		PAMDK(t.Points, q.Points, 4, 0)
+	}
+}
+
+func BenchmarkTrieFilterPerQuery(b *testing.B) {
+	d := gen.Generate(gen.BeijingLike(5000, 5))
+	e, err := NewEngine(d, DefaultOptions())
+	if err != nil {
+		b.Fatal(err)
+	}
+	qs := gen.Queries(d, 64, 6)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q := qs[i%len(qs)]
+		for _, p := range e.parts {
+			p.Index.Search(q.Points, e.opts.Measure, 0.003, nil)
+		}
+	}
+}

@@ -1,0 +1,325 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"dita/internal/cluster"
+	"dita/internal/geom"
+	"dita/internal/measure"
+	"dita/internal/rtree"
+	"dita/internal/str"
+	"dita/internal/traj"
+	"dita/internal/trie"
+)
+
+// Options configures an Engine.
+type Options struct {
+	// NG is the global grid factor: trajectories are STR-grouped by first
+	// point into NG buckets and each bucket by last point into NG
+	// sub-buckets, giving up to NG² partitions (Section 4.2.1; Table 3
+	// uses 32–256, scaled down here).
+	NG int
+	// Trie configures each partition's local index.
+	Trie trie.Config
+	// Measure is the similarity function; DTW when nil.
+	Measure measure.Measure
+	// CellD is the cell side length for the compression filter; <= 0
+	// derives it from the data extent (1% of the larger dimension).
+	CellD float64
+	// Cluster is the execution substrate; a fresh 4-worker cluster is
+	// created when nil.
+	Cluster *cluster.Cluster
+	// RandomPartition disables the first/last STR partitioning and
+	// scatters trajectories round-robin — the "Random" ablation of
+	// Appendix B (Figure 13). The index structures are still built.
+	RandomPartition bool
+}
+
+// DefaultOptions returns laptop-scale defaults: NG=8 (64 partitions),
+// default trie config, DTW.
+func DefaultOptions() Options {
+	return Options{NG: 8, Trie: trie.DefaultConfig(), Measure: measure.DTW{}}
+}
+
+// Partition is one data partition: its trajectories, local trie index, and
+// the first/last-point MBRs the global index stores.
+type Partition struct {
+	ID     int
+	Worker int
+	Trajs  []*traj.T
+	Index  *trie.Trie
+	MBRf   geom.MBR // MBR of members' first points
+	MBRl   geom.MBR // MBR of members' last points
+	meta   []trajMeta
+	bytes  int
+}
+
+// Bytes returns the approximate wire size of the partition's trajectory
+// data.
+func (p *Partition) Bytes() int { return p.bytes }
+
+// Engine is a built DITA index over one dataset, ready to serve searches
+// and act as a join side.
+type Engine struct {
+	opts    Options
+	cl      *cluster.Cluster
+	dataset *traj.Dataset
+	parts   []*Partition
+	rtF     *rtree.Tree // global index over partition MBRf
+	rtL     *rtree.Tree // global index over partition MBRl
+	cellD   float64
+
+	// BuildTime is the wall-clock index construction time (Table 5).
+	BuildTime time.Duration
+}
+
+// NewEngine partitions and indexes the dataset (Algorithm 1). It is the
+// CREATE INDEX ... USE TRIE operation.
+func NewEngine(d *traj.Dataset, opts Options) (*Engine, error) {
+	if d == nil {
+		return nil, fmt.Errorf("core: nil dataset")
+	}
+	if opts.NG < 1 {
+		opts.NG = 1
+	}
+	if opts.Measure == nil {
+		opts.Measure = measure.DTW{}
+	}
+	if opts.Cluster == nil {
+		opts.Cluster = cluster.New(cluster.DefaultConfig(4))
+	}
+	e := &Engine{opts: opts, cl: opts.Cluster, dataset: d}
+	start := time.Now()
+	e.cellD = opts.CellD
+	if e.cellD <= 0 {
+		e.cellD = defaultCellD(d)
+	}
+	e.partition()
+	e.buildGlobalIndex()
+	e.buildLocalIndexes()
+	e.BuildTime = time.Since(start)
+	return e, nil
+}
+
+// defaultCellD picks a cell side length from the data extent: 1% of the
+// larger dimension keeps cell lists short while preserving pruning power
+// at the paper's τ scales.
+func defaultCellD(d *traj.Dataset) float64 {
+	ext := d.Stats().Extent
+	if ext.IsEmpty() {
+		return 0.01
+	}
+	w := ext.Max.X - ext.Min.X
+	if h := ext.Max.Y - ext.Min.Y; h > w {
+		w = h
+	}
+	if w <= 0 {
+		return 0.01
+	}
+	return w / 100
+}
+
+// partition implements Section 4.2.1: STR by first point into NG buckets,
+// then STR by last point into NG sub-buckets per bucket.
+func (e *Engine) partition() {
+	trajs := e.dataset.Trajs
+	W := e.cl.Workers()
+	if e.opts.RandomPartition {
+		n := e.opts.NG * e.opts.NG
+		if n > len(trajs) {
+			n = len(trajs)
+		}
+		if n < 1 {
+			n = 1
+		}
+		groups := make([][]*traj.T, n)
+		for i, t := range trajs {
+			groups[i%n] = append(groups[i%n], t)
+		}
+		for _, g := range groups {
+			if len(g) == 0 {
+				continue
+			}
+			e.addPartition(g, W)
+		}
+		return
+	}
+	firsts := make([]geom.Point, len(trajs))
+	for i, t := range trajs {
+		firsts[i] = t.First()
+	}
+	for _, bucket := range str.Tile(firsts, e.opts.NG) {
+		lasts := make([]geom.Point, len(bucket))
+		for j, i := range bucket {
+			lasts[j] = trajs[i].Last()
+		}
+		for _, sub := range str.Tile(lasts, e.opts.NG) {
+			group := make([]*traj.T, len(sub))
+			for j, k := range sub {
+				group[j] = trajs[bucket[k]]
+			}
+			e.addPartition(group, W)
+		}
+	}
+}
+
+func (e *Engine) addPartition(group []*traj.T, workers int) {
+	p := &Partition{ID: len(e.parts), Trajs: group}
+	p.Worker = p.ID % workers
+	p.MBRf, p.MBRl = geom.EmptyMBR(), geom.EmptyMBR()
+	for _, t := range group {
+		p.MBRf = p.MBRf.Extend(t.First())
+		p.MBRl = p.MBRl.Extend(t.Last())
+		p.bytes += t.Bytes()
+	}
+	e.parts = append(e.parts, p)
+}
+
+// buildGlobalIndex builds the two R-trees over partition MBRs
+// (Section 4.2.2). The global index is small (Table 5: ≤ 65 MB even at
+// NG=128) and conceptually replicated to every worker; it lives on the
+// driver here.
+func (e *Engine) buildGlobalIndex() {
+	ef := make([]rtree.Entry, len(e.parts))
+	el := make([]rtree.Entry, len(e.parts))
+	for i, p := range e.parts {
+		ef[i] = rtree.Entry{MBR: p.MBRf, ID: p.ID}
+		el[i] = rtree.Entry{MBR: p.MBRl, ID: p.ID}
+	}
+	e.rtF = rtree.New(ef)
+	e.rtL = rtree.New(el)
+}
+
+// buildLocalIndexes builds each partition's trie and verification metadata
+// in parallel on the owning workers.
+func (e *Engine) buildLocalIndexes() {
+	tasks := make([]cluster.Task, 0, len(e.parts))
+	for _, p := range e.parts {
+		p := p
+		tasks = append(tasks, cluster.Task{Worker: p.Worker, Fn: func() {
+			p.Index = trie.Build(p.Trajs, e.opts.Trie)
+			p.meta = make([]trajMeta, len(p.Trajs))
+			for i, t := range p.Trajs {
+				p.meta[i] = newTrajMeta(t, e.cellD)
+			}
+		}})
+	}
+	e.cl.Run(tasks)
+}
+
+// Partitions returns the engine's partitions (read-only use).
+func (e *Engine) Partitions() []*Partition { return e.parts }
+
+// Cluster returns the execution substrate.
+func (e *Engine) Cluster() *cluster.Cluster { return e.cl }
+
+// Measure returns the engine's similarity function.
+func (e *Engine) Measure() measure.Measure { return e.opts.Measure }
+
+// Dataset returns the indexed dataset.
+func (e *Engine) Dataset() *traj.Dataset { return e.dataset }
+
+// CellD returns the cell side length used for verification metadata.
+func (e *Engine) CellD() float64 { return e.cellD }
+
+// IndexSizeBytes returns (globalBytes, localBytes) — Table 5's "Global
+// Size" and "Local Size".
+func (e *Engine) IndexSizeBytes() (global, local int) {
+	global = e.rtF.SizeBytes() + e.rtL.SizeBytes()
+	for _, p := range e.parts {
+		if p.Index != nil {
+			local += p.Index.SizeBytes()
+		}
+	}
+	return global, local
+}
+
+// relevantPartitions implements the global pruning of Section 5.2,
+// generalized to all supported measures:
+//
+//   - Endpoint-anchored, sum-accumulating (DTW): partitions with
+//     MinDist(q1, MBRf) + MinDist(qn, MBRl) <= τ.
+//   - Endpoint-anchored, max-accumulating (Fréchet): MinDist(q1, MBRf) <= τ
+//     and MinDist(qn, MBRl) <= τ.
+//   - Edit measures: a partition is pruned only when being far from both
+//     endpoint MBRs costs more edits than τ allows.
+//   - ERP: like DTW but each term may be satisfied by the gap point, and
+//     any query point may align with the partition's endpoints.
+func (e *Engine) relevantPartitions(q []geom.Point, tau float64) []int {
+	m := e.opts.Measure
+	if len(q) == 0 {
+		return nil
+	}
+	var out []int
+	if m.AlignsEndpoints() {
+		q1, qn := q[0], q[len(q)-1]
+		cf := e.rtF.WithinDist(q1, tau, nil)
+		inCf := make(map[int]float64, len(cf))
+		for _, en := range cf {
+			inCf[en.ID] = en.MBR.MinDist(q1)
+		}
+		cl := e.rtL.WithinDist(qn, tau, nil)
+		for _, en := range cl {
+			df, ok := inCf[en.ID]
+			if !ok {
+				continue
+			}
+			dl := en.MBR.MinDist(qn)
+			if m.Accumulation() == measure.AccumMax {
+				// Both within τ independently (already guaranteed).
+				out = append(out, en.ID)
+			} else if df+dl <= tau {
+				out = append(out, en.ID)
+			}
+		}
+		return out
+	}
+	// Non-anchored measures: endpoints of the data trajectories may match
+	// any query point (or the gap point, or be edited away).
+	gap, hasGap := m.GapPoint()
+	eps := m.Epsilon()
+	for _, p := range e.parts {
+		df := minDistTrajMBR(q, p.MBRf)
+		dl := minDistTrajMBR(q, p.MBRl)
+		if hasGap {
+			if d := p.MBRf.MinDist(gap); d < df {
+				df = d
+			}
+			if d := p.MBRl.MinDist(gap); d < dl {
+				dl = d
+			}
+		}
+		switch m.Accumulation() {
+		case measure.AccumEdit:
+			cost := 0.0
+			if df > eps {
+				cost++
+			}
+			if dl > eps {
+				cost++
+			}
+			if cost <= tau {
+				out = append(out, p.ID)
+			}
+		default: // AccumSum (ERP)
+			if df+dl <= tau {
+				out = append(out, p.ID)
+			}
+		}
+	}
+	return out
+}
+
+func minDistTrajMBR(q []geom.Point, m geom.MBR) float64 {
+	best := m.MinDist(q[0])
+	for _, p := range q[1:] {
+		if d := m.MinDist(p); d < best {
+			best = d
+			if best == 0 {
+				break
+			}
+		}
+	}
+	return best
+}

@@ -1,0 +1,525 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"sync"
+
+	"dita/internal/cluster"
+	"dita/internal/geom"
+	"dita/internal/measure"
+	"dita/internal/traj"
+)
+
+// Pair is one join answer: a similar (T, Q) pair and its distance.
+type Pair struct {
+	T, Q     *traj.T
+	Distance float64
+}
+
+// JoinOptions tunes the distributed join (Section 6).
+type JoinOptions struct {
+	// SampleRate is the fraction of each partition sampled to estimate
+	// the bi-graph edge weights (trans, comp).
+	SampleRate float64
+	// Lambda converts transmitted bytes into candidate-pair-equivalents:
+	// TC = λ·NC + CC with λ = 1/(Δ·B) (Section 6.2). <= 0 uses a default
+	// calibrated for Gigabit bandwidth and microsecond verifications.
+	Lambda float64
+	// DisableOrientation keeps every edge at its locally cheaper initial
+	// direction without the greedy TC-reduction loop (ablation).
+	DisableOrientation bool
+	// DisableDivision turns off the division-based load balancing of
+	// Section 6.3 (ablation: the "Naive" series of Figure 16).
+	DisableDivision bool
+	// DivisionQuantile is the cost quantile above which partitions are
+	// divided; the paper uses 0.98.
+	DivisionQuantile float64
+	// Seed drives weight-estimation sampling.
+	Seed int64
+}
+
+// DefaultJoinOptions mirrors the paper's settings.
+func DefaultJoinOptions() JoinOptions {
+	return JoinOptions{SampleRate: 0.05, DivisionQuantile: 0.98, Seed: 1}
+}
+
+// JoinStats reports the join's cost-model and execution counters.
+type JoinStats struct {
+	// Edges is the number of partition pairs that may contain results.
+	Edges int
+	// Oriented counts edges flipped by the greedy orientation.
+	Oriented int
+	// Divisions counts partition replicas created by load balancing.
+	Divisions int
+	// TrajsSent and BytesSent count shuffled trajectories.
+	TrajsSent int
+	BytesSent int
+	// CandPairs counts candidate pairs produced by local tries.
+	CandPairs int
+	// Results is the answer count.
+	Results int
+	// LoadRatio is the cluster's max/min worker-time ratio after the join.
+	LoadRatio float64
+}
+
+// edge is one bi-graph edge between partition Ti (left, index into
+// e.parts) and Qj (right, index into other.parts), with its two weight
+// pairs (Section 6.2).
+type edge struct {
+	ti, qj int
+	// transTQ/compTQ: weights if oriented Ti -> Qj (Ti's trajectories are
+	// sent to and joined on Qj's worker). transQT/compQT: the reverse.
+	transTQ, compTQ float64
+	transQT, compQT float64
+	// dirTQ is the chosen orientation: true means Ti -> Qj.
+	dirTQ bool
+	// execWorker is the worker executing this edge's local join after
+	// division-based balancing (the receiving side's worker, or a replica
+	// worker).
+	execWorker int
+}
+
+// Join computes the distributed similarity join T ⋈_τ Q between two built
+// engines sharing a cluster (Algorithm 3). Both sides must use the same
+// measure. stats may be nil.
+func (e *Engine) Join(other *Engine, tau float64, opts JoinOptions, stats *JoinStats) []Pair {
+	if opts.SampleRate <= 0 || opts.SampleRate > 1 {
+		opts.SampleRate = 0.05
+	}
+	if opts.DivisionQuantile <= 0 || opts.DivisionQuantile > 1 {
+		opts.DivisionQuantile = 0.98
+	}
+	if opts.Lambda <= 0 {
+		// λ = 1/(Δ·B): Δ ≈ 2 µs per candidate verification, B = 125 MB/s
+		// => one candidate pair "costs" the same as 250 bytes on the wire.
+		opts.Lambda = 1.0 / 250.0
+	}
+	edges := e.buildBigraph(other, tau, opts)
+	if stats != nil {
+		stats.Edges = len(edges)
+	}
+	if len(edges) == 0 {
+		return nil
+	}
+	flips := orient(edges, e, other, opts)
+	divisions := balance(edges, e, other, opts)
+	if stats != nil {
+		stats.Oriented = flips
+		stats.Divisions = divisions
+	}
+	pairs := e.executeJoin(other, tau, edges, stats)
+	if stats != nil {
+		stats.Results = len(pairs)
+		stats.LoadRatio = e.cl.LoadRatio()
+	}
+	sort.Slice(pairs, func(a, b int) bool {
+		if pairs[a].T.ID != pairs[b].T.ID {
+			return pairs[a].T.ID < pairs[b].T.ID
+		}
+		return pairs[a].Q.ID < pairs[b].Q.ID
+	})
+	return pairs
+}
+
+// buildBigraph finds candidate partition pairs and estimates edge weights
+// by sampling (Section 6.2).
+func (e *Engine) buildBigraph(other *Engine, tau float64, opts JoinOptions) []*edge {
+	m := e.opts.Measure
+	anchored := m.AlignsEndpoints()
+	rng := rand.New(rand.NewSource(opts.Seed))
+	var edges []*edge
+	for ti, pt := range e.parts {
+		for qj, pq := range other.parts {
+			if anchored {
+				// Partition-level pruning: the cheapest possible pair
+				// between the partitions must be within τ.
+				df := pt.MBRf.MinDistMBR(pq.MBRf)
+				dl := pt.MBRl.MinDistMBR(pq.MBRl)
+				prune := false
+				switch m.Accumulation() {
+				case measure.AccumMax:
+					prune = df > tau || dl > tau
+				default:
+					prune = df+dl > tau
+				}
+				if prune {
+					continue
+				}
+			}
+			ed := &edge{ti: ti, qj: qj}
+			e.estimateEdge(other, ed, tau, opts, rng)
+			edges = append(edges, ed)
+		}
+	}
+	return edges
+}
+
+// estimateEdge samples both partitions to estimate trans and comp for both
+// orientations, scaled up by the inverse sample rate.
+func (e *Engine) estimateEdge(other *Engine, ed *edge, tau float64, opts JoinOptions, rng *rand.Rand) {
+	pt := e.parts[ed.ti]
+	pq := other.parts[ed.qj]
+	ed.transTQ, ed.compTQ = estimateDirection(pt, pq, other, tau, opts.SampleRate, rng)
+	ed.transQT, ed.compQT = estimateDirection(pq, pt, e, tau, opts.SampleRate, rng)
+}
+
+// estimateDirection estimates sending src's trajectories to dst: trans is
+// the expected bytes shipped (trajectories of src with candidates in dst),
+// comp the expected candidate pairs produced by dst's trie.
+func estimateDirection(src, dst *Partition, dstEngine *Engine, tau float64, rate float64, rng *rand.Rand) (trans, comp float64) {
+	n := len(src.Trajs)
+	k := int(float64(n)*rate + 0.5)
+	if k < 1 {
+		k = 1
+	}
+	if k > n {
+		k = n
+	}
+	scale := float64(n) / float64(k)
+	for s := 0; s < k; s++ {
+		t := src.Trajs[rng.Intn(n)]
+		if !dstEngine.trajRelevantToPartition(t, dst, tau) {
+			continue
+		}
+		trans += float64(t.Bytes()) * scale
+		cands := dst.Index.Search(t.Points, dstEngine.opts.Measure, tau, nil)
+		comp += float64(len(cands)) * scale
+	}
+	return trans, comp
+}
+
+// trajRelevantToPartition is the per-trajectory global-index check used
+// both for weight estimation and for the shuffle itself ("we only send
+// the trajectory T ∈ Ti that has candidates in Qj").
+func (e *Engine) trajRelevantToPartition(t *traj.T, p *Partition, tau float64) bool {
+	return TrajRelevant(e.opts.Measure, t.Points, p.MBRf, p.MBRl, tau)
+}
+
+// TrajRelevant reports whether a trajectory may have answers in a
+// partition described by its first/last-point MBRs (Section 5.2's global
+// pruning, generalized per measure). Exported for the network-mode worker.
+func TrajRelevant(m measure.Measure, q []geom.Point, mbrF, mbrL geom.MBR, tau float64) bool {
+	if m.AlignsEndpoints() {
+		df := mbrF.MinDist(q[0])
+		dl := mbrL.MinDist(q[len(q)-1])
+		if m.Accumulation() == measure.AccumMax {
+			return df <= tau && dl <= tau
+		}
+		return df+dl <= tau
+	}
+	gap, hasGap := m.GapPoint()
+	df := minDistTrajMBR(q, mbrF)
+	dl := minDistTrajMBR(q, mbrL)
+	if hasGap {
+		if d := mbrF.MinDist(gap); d < df {
+			df = d
+		}
+		if d := mbrL.MinDist(gap); d < dl {
+			dl = d
+		}
+	}
+	if m.Accumulation() == measure.AccumEdit {
+		cost := 0.0
+		if df > m.Epsilon() {
+			cost++
+		}
+		if dl > m.Epsilon() {
+			cost++
+		}
+		return cost <= tau
+	}
+	return df+dl <= tau
+}
+
+// orient chooses edge directions to minimize the maximum per-partition
+// total cost TC = λ·NC + CC (Section 6.2). The problem is NP-hard (graph
+// orientation); the greedy algorithm initializes each edge to its locally
+// cheaper direction and then repeatedly flips the best edge at the
+// current argmax partition. Returns the number of flips.
+func orient(edges []*edge, e, other *Engine, opts JoinOptions) int {
+	λ := opts.Lambda
+	// Node cost arrays: T partitions then Q partitions.
+	nT := len(e.parts)
+	tc := make([]float64, nT+len(other.parts))
+	nodeT := func(ed *edge) int { return ed.ti }
+	nodeQ := func(ed *edge) int { return nT + ed.qj }
+	// Cost contribution of an edge given its direction (Section 6.2):
+	// orientation Ti->Qj charges the network cost to Ti (sender) and the
+	// computation cost to Qj (receiver runs the local join).
+	apply := func(ed *edge, sign float64) {
+		if ed.dirTQ {
+			tc[nodeT(ed)] += sign * λ * ed.transTQ
+			tc[nodeQ(ed)] += sign * ed.compTQ
+		} else {
+			tc[nodeQ(ed)] += sign * λ * ed.transQT
+			tc[nodeT(ed)] += sign * ed.compQT
+		}
+	}
+	for _, ed := range edges {
+		ed.dirTQ = λ*ed.transTQ+ed.compTQ <= λ*ed.transQT+ed.compQT
+		apply(ed, +1)
+	}
+	if opts.DisableOrientation {
+		return 0
+	}
+	byNode := make(map[int][]*edge)
+	for _, ed := range edges {
+		byNode[nodeT(ed)] = append(byNode[nodeT(ed)], ed)
+		byNode[nodeQ(ed)] = append(byNode[nodeQ(ed)], ed)
+	}
+	maxTC := func() (int, float64) {
+		bi, bv := -1, -1.0
+		for i, v := range tc {
+			if v > bv {
+				bi, bv = i, v
+			}
+		}
+		return bi, bv
+	}
+	flips := 0
+	for iter := 0; iter < 4*len(edges)+16; iter++ {
+		node, worst := maxTC()
+		var bestEdge *edge
+		bestNew := worst
+		for _, ed := range byNode[node] {
+			apply(ed, -1)
+			ed.dirTQ = !ed.dirTQ
+			apply(ed, +1)
+			if _, nv := maxTC(); nv < bestNew {
+				bestNew = nv
+				bestEdge = ed
+			}
+			apply(ed, -1)
+			ed.dirTQ = !ed.dirTQ
+			apply(ed, +1)
+		}
+		if bestEdge == nil {
+			break
+		}
+		apply(bestEdge, -1)
+		bestEdge.dirTQ = !bestEdge.dirTQ
+		apply(bestEdge, +1)
+		flips++
+	}
+	return flips
+}
+
+// balance implements the division-based load balancing of Section 6.3:
+// partitions whose total cost exceeds the DivisionQuantile cost get their
+// edges spread over ⌈TC/TC_q⌉ replica workers. Here "dividing" a
+// partition means assigning subsets of its incident local-join work to
+// distinct workers (the replica receives a copy of the partition's index
+// and data, accounted as network transfer at execution time). Returns
+// the number of replicas created.
+func balance(edges []*edge, e, other *Engine, opts JoinOptions) int {
+	// Default execution worker: the receiving partition's worker.
+	for _, ed := range edges {
+		if ed.dirTQ {
+			ed.execWorker = other.parts[ed.qj].Worker
+		} else {
+			ed.execWorker = e.parts[ed.ti].Worker
+		}
+	}
+	if opts.DisableDivision {
+		return 0
+	}
+	λ := opts.Lambda
+	// Receiving-side cost per partition node (the execution workload).
+	nT := len(e.parts)
+	type nodeEdges struct {
+		cost  float64
+		edges []*edge
+	}
+	nodes := make(map[int]*nodeEdges)
+	add := func(id int, ed *edge, c float64) {
+		ne := nodes[id]
+		if ne == nil {
+			ne = &nodeEdges{}
+			nodes[id] = ne
+		}
+		ne.cost += c
+		ne.edges = append(ne.edges, ed)
+	}
+	for _, ed := range edges {
+		if ed.dirTQ {
+			add(nT+ed.qj, ed, λ*ed.transTQ+ed.compTQ)
+		} else {
+			add(ed.ti, ed, λ*ed.transQT+ed.compQT)
+		}
+	}
+	// The quantile ranges over ALL partitions of both sides (the paper
+	// sorts P1..PN with N = |T partitions| + |Q partitions|), zero-cost
+	// ones included — otherwise a single dominating node would be its own
+	// percentile and never divide.
+	costs := make([]float64, nT+len(other.parts))
+	total := 0.0
+	for id, ne := range nodes {
+		if id < len(costs) {
+			costs[id] = ne.cost
+		}
+		total += ne.cost
+	}
+	sort.Float64s(costs)
+	qIdx := int(opts.DivisionQuantile * float64(len(costs)-1))
+	tcq := costs[qIdx]
+	if tcq <= 0 {
+		// Load so skewed that the quantile partition is idle: fall back to
+		// the average load per partition as the division unit.
+		tcq = total / float64(len(costs))
+	}
+	if tcq <= 0 {
+		return 0
+	}
+	W := e.cl.Workers()
+	replicas := 0
+	// Deterministic iteration order over nodes.
+	ids := make([]int, 0, len(nodes))
+	for id := range nodes {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		ne := nodes[id]
+		if ne.cost <= tcq {
+			continue
+		}
+		copies := int(math.Ceil(ne.cost / tcq))
+		if copies > W {
+			copies = W
+		}
+		if copies <= 1 {
+			continue
+		}
+		// Spread the node's edges over `copies` workers round-robin,
+		// starting at the home worker.
+		home := ne.edges[0].execWorker
+		for i, ed := range ne.edges {
+			ed.execWorker = (home + i%copies) % W
+		}
+		replicas += copies - 1
+	}
+	return replicas
+}
+
+// executeJoin ships trajectories along the oriented edges and runs the
+// local joins (Algorithm 3 lines 4–9) in two stages: (1) on each sending
+// worker, select the trajectories that have candidates in the destination
+// partition via the global-index check; (2) shuffle them to the executing
+// worker and probe the destination's trie there.
+func (e *Engine) executeJoin(other *Engine, tau float64, edges []*edge, stats *JoinStats) []Pair {
+	var mu sync.Mutex
+	var pairs []Pair
+	trajsSent, bytesSent, candPairs := 0, 0, 0
+	tasks := make([]cluster.Task, 0, len(edges))
+	type edgeState struct {
+		ed      *edge
+		shipped []int // indices into the source partition
+	}
+	states := make([]*edgeState, len(edges))
+	for i, ed := range edges {
+		states[i] = &edgeState{ed: ed}
+	}
+	for _, st := range states {
+		st := st
+		src, dst, dstEngine, _ := e.edgeSides(other, st.ed)
+		tasks = append(tasks, cluster.Task{Worker: src.Worker, Fn: func() {
+			for i, t := range src.Trajs {
+				if dstEngine.trajRelevantToPartition(t, dst, tau) {
+					st.shipped = append(st.shipped, i)
+				}
+			}
+		}})
+	}
+	e.cl.Run(tasks)
+
+	// Stage 2: shuffle + local join. If the executor is a replica worker
+	// (division balancing), the receiving partition's index+data transfer
+	// is accounted too.
+	tasks = tasks[:0]
+	replicated := map[[2]int]bool{}
+	for _, st := range states {
+		st := st
+		if len(st.shipped) == 0 {
+			continue
+		}
+		src, dst, dstEngine, flip := e.edgeSides(other, st.ed)
+		bytes := 0
+		for _, i := range st.shipped {
+			bytes += src.Trajs[i].Bytes()
+		}
+		e.cl.Transfer(src.Worker, st.ed.execWorker, bytes)
+		trajsSent += len(st.shipped)
+		bytesSent += bytes
+		if st.ed.execWorker != dst.Worker {
+			key := [2]int{boolToInt(flip)*1_000_000 + dst.ID, st.ed.execWorker}
+			if !replicated[key] {
+				replicated[key] = true
+				e.cl.Transfer(dst.Worker, st.ed.execWorker, dst.Bytes()+dst.Index.SizeBytes())
+			}
+		}
+		tasks = append(tasks, cluster.Task{Worker: st.ed.execWorker, Fn: func() {
+			local, cands := localJoin(dstEngine, dst, src, st.shipped, tau, flip)
+			mu.Lock()
+			pairs = append(pairs, local...)
+			candPairs += cands
+			mu.Unlock()
+		}})
+	}
+	e.cl.Run(tasks)
+	if stats != nil {
+		stats.TrajsSent = trajsSent
+		stats.BytesSent = bytesSent
+		stats.CandPairs = candPairs
+	}
+	return pairs
+}
+
+// edgeSides resolves an edge's (source partition, destination partition,
+// destination engine, flip) given its orientation. flip reports that the
+// shipped trajectories are Q-side (so result pairs are (dstTraj, shipped)).
+func (e *Engine) edgeSides(other *Engine, ed *edge) (src, dst *Partition, dstEngine *Engine, flip bool) {
+	if ed.dirTQ {
+		return e.parts[ed.ti], other.parts[ed.qj], other, false
+	}
+	return other.parts[ed.qj], e.parts[ed.ti], e, true
+}
+
+func boolToInt(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// localJoin probes dst's trie with each shipped trajectory (given as
+// indices into the source partition, whose precomputed metadata feeds the
+// verifier) and verifies candidates. flip=false: shipped are T-side, dst
+// holds Q-side.
+func localJoin(dstEngine *Engine, dst, src *Partition, shipped []int, tau float64, flip bool) ([]Pair, int) {
+	var out []Pair
+	cands := 0
+	m := dstEngine.opts.Measure
+	for _, si := range shipped {
+		t := src.Trajs[si]
+		idxs := dst.Index.Search(t.Points, m, tau, nil)
+		cands += len(idxs)
+		if len(idxs) == 0 {
+			continue
+		}
+		v := NewVerifierFromMeta(m, t.Points, tau, src.meta[si])
+		for _, i := range idxs {
+			d, ok := v.Verify(dst.Trajs[i], dst.meta[i])
+			if !ok {
+				continue
+			}
+			if flip {
+				out = append(out, Pair{T: dst.Trajs[i], Q: t, Distance: d})
+			} else {
+				out = append(out, Pair{T: t, Q: dst.Trajs[i], Distance: d})
+			}
+		}
+	}
+	return out, cands
+}

@@ -1,0 +1,244 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"dita/internal/cluster"
+	"dita/internal/gen"
+	"dita/internal/measure"
+	"dita/internal/traj"
+)
+
+func bruteJoin(a, b *traj.Dataset, m measure.Measure, tau float64) map[[2]int]bool {
+	out := map[[2]int]bool{}
+	for _, t := range a.Trajs {
+		for _, q := range b.Trajs {
+			if m.Distance(t.Points, q.Points) <= tau {
+				out[[2]int{t.ID, q.ID}] = true
+			}
+		}
+	}
+	return out
+}
+
+func checkJoin(t *testing.T, pairs []Pair, want map[[2]int]bool, label string) {
+	t.Helper()
+	got := map[[2]int]bool{}
+	for _, p := range pairs {
+		key := [2]int{p.T.ID, p.Q.ID}
+		if got[key] {
+			t.Fatalf("%s: duplicate pair %v", label, key)
+		}
+		got[key] = true
+	}
+	if len(got) != len(want) {
+		t.Fatalf("%s: got %d pairs, want %d", label, len(got), len(want))
+	}
+	for key := range want {
+		if !got[key] {
+			t.Fatalf("%s: missing pair %v", label, key)
+		}
+	}
+}
+
+// buildPair builds two engines on a shared cluster for joining.
+func buildPair(t *testing.T, a, b *traj.Dataset, m measure.Measure, workers int) (*Engine, *Engine) {
+	t.Helper()
+	cl := cluster.New(cluster.DefaultConfig(workers))
+	opts := DefaultOptions()
+	opts.NG = 3
+	opts.Trie.MinNode = 4
+	opts.Measure = m
+	opts.Cluster = cl
+	ea, err := NewEngine(a, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eb, err := NewEngine(b, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ea, eb
+}
+
+// The distributed join must produce exactly the brute-force pair set.
+func TestJoinMatchesBruteForce(t *testing.T) {
+	a := gen.Generate(gen.BeijingLike(120, 1))
+	bcfg := gen.BeijingLike(100, 2)
+	bcfg.Name = "B2"
+	b := gen.Generate(bcfg)
+	// Offset b's ids to keep pairs unambiguous.
+	for _, tr := range b.Trajs {
+		tr.ID += 10000
+	}
+	for _, m := range []measure.Measure{measure.DTW{}, measure.Frechet{}} {
+		var tau float64
+		if m.Accumulation() == measure.AccumMax {
+			tau = 0.01
+		} else {
+			tau = 0.05
+		}
+		ea, eb := buildPair(t, a, b, m, 4)
+		var stats JoinStats
+		pairs := ea.Join(eb, tau, DefaultJoinOptions(), &stats)
+		want := bruteJoin(a, b, m, tau)
+		checkJoin(t, pairs, want, m.Name())
+		if stats.Results != len(pairs) {
+			t.Errorf("stats.Results = %d, want %d", stats.Results, len(pairs))
+		}
+		if len(want) > 0 && stats.Edges == 0 {
+			t.Error("join produced results with zero edges?")
+		}
+	}
+}
+
+// Self-join: every trajectory pairs with itself.
+func TestSelfJoin(t *testing.T) {
+	d := gen.Generate(gen.BeijingLike(100, 3))
+	ea, eb := buildPair(t, d, d, measure.DTW{}, 4)
+	pairs := ea.Join(eb, 0.02, DefaultJoinOptions(), nil)
+	self := map[int]bool{}
+	for _, p := range pairs {
+		if p.T.ID == p.Q.ID {
+			self[p.T.ID] = true
+		}
+	}
+	if len(self) != d.Len() {
+		t.Errorf("self-join found %d self pairs, want %d", len(self), d.Len())
+	}
+	want := bruteJoin(d, d, measure.DTW{}, 0.02)
+	checkJoin(t, pairs, want, "self-join")
+}
+
+// Edit-measure joins must be exact too (no partition-level pruning path).
+func TestJoinEditMeasures(t *testing.T) {
+	a := gen.Generate(gen.BeijingLike(60, 4))
+	b := gen.Generate(gen.BeijingLike(50, 5))
+	for _, tr := range b.Trajs {
+		tr.ID += 10000
+	}
+	for _, m := range []measure.Measure{
+		measure.EDR{Eps: 0.002}, measure.LCSS{Eps: 0.002, Delta: 5}, measure.ERP{},
+	} {
+		var tau float64
+		if m.Accumulation() == measure.AccumEdit {
+			tau = 8
+		} else {
+			tau = 0.1
+		}
+		ea, eb := buildPair(t, a, b, m, 2)
+		pairs := ea.Join(eb, tau, DefaultJoinOptions(), nil)
+		want := bruteJoin(a, b, m, tau)
+		checkJoin(t, pairs, want, m.Name())
+	}
+}
+
+// The ablation switches must not change results, only costs.
+func TestJoinAblationsExact(t *testing.T) {
+	a := gen.Generate(gen.BeijingLike(80, 6))
+	b := gen.Generate(gen.BeijingLike(80, 7))
+	for _, tr := range b.Trajs {
+		tr.ID += 10000
+	}
+	want := bruteJoin(a, b, measure.DTW{}, 0.04)
+	for _, mode := range []struct {
+		name string
+		opts JoinOptions
+	}{
+		{"default", DefaultJoinOptions()},
+		{"no-orientation", JoinOptions{SampleRate: 0.1, DisableOrientation: true, DivisionQuantile: 0.98, Seed: 2}},
+		{"no-division", JoinOptions{SampleRate: 0.1, DisableDivision: true, DivisionQuantile: 0.98, Seed: 3}},
+		{"no-both", JoinOptions{SampleRate: 0.1, DisableOrientation: true, DisableDivision: true, Seed: 4}},
+	} {
+		ea, eb := buildPair(t, a, b, measure.DTW{}, 4)
+		pairs := ea.Join(eb, 0.04, mode.opts, nil)
+		checkJoin(t, pairs, want, mode.name)
+	}
+}
+
+// Joins on one worker (centralized) and many workers agree.
+func TestJoinWorkerCounts(t *testing.T) {
+	a := gen.Generate(gen.BeijingLike(70, 8))
+	b := gen.Generate(gen.BeijingLike(70, 9))
+	for _, tr := range b.Trajs {
+		tr.ID += 10000
+	}
+	want := bruteJoin(a, b, measure.DTW{}, 0.03)
+	for _, w := range []int{1, 2, 8} {
+		ea, eb := buildPair(t, a, b, measure.DTW{}, w)
+		pairs := ea.Join(eb, 0.03, DefaultJoinOptions(), nil)
+		checkJoin(t, pairs, want, fmt.Sprintf("workers=%d", w))
+	}
+}
+
+// Join stats must reflect the shuffle.
+func TestJoinStats(t *testing.T) {
+	a := gen.Generate(gen.BeijingLike(150, 10))
+	ea, eb := buildPair(t, a, a, measure.DTW{}, 4)
+	var stats JoinStats
+	pairs := ea.Join(eb, 0.02, DefaultJoinOptions(), &stats)
+	if stats.Results != len(pairs) || stats.Results < a.Len() {
+		t.Errorf("results: stats=%d pairs=%d", stats.Results, len(pairs))
+	}
+	if stats.Edges == 0 {
+		t.Error("no edges on a self-join")
+	}
+	if stats.TrajsSent == 0 || stats.BytesSent == 0 {
+		t.Errorf("shuffle not accounted: %+v", stats)
+	}
+	if stats.CandPairs < stats.Results {
+		t.Errorf("candidates %d < results %d", stats.CandPairs, stats.Results)
+	}
+	if stats.LoadRatio < 1 {
+		t.Errorf("load ratio %v < 1", stats.LoadRatio)
+	}
+}
+
+// An empty intersection produces no pairs and no spurious shuffle results.
+func TestJoinDisjointDatasets(t *testing.T) {
+	a := gen.Generate(gen.BeijingLike(50, 11))
+	ccfg := gen.ChengduLike(50, 12) // different city: far away extent
+	c := gen.Generate(ccfg)
+	for _, tr := range c.Trajs {
+		tr.ID += 10000
+	}
+	ea, ec := buildPair(t, a, c, measure.DTW{}, 2)
+	var stats JoinStats
+	pairs := ea.Join(ec, 0.05, DefaultJoinOptions(), &stats)
+	if len(pairs) != 0 {
+		t.Errorf("disjoint join returned %d pairs", len(pairs))
+	}
+	if stats.Edges != 0 {
+		t.Errorf("disjoint join built %d edges", stats.Edges)
+	}
+}
+
+// Division-based balancing should reduce the load ratio on skewed
+// workloads (Figure 16's claim), at least not increase it dramatically.
+func TestDivisionBalancesSkew(t *testing.T) {
+	// Skewed: all trajectories share nearly identical endpoints, so one
+	// partition pair dominates.
+	cfg := gen.BeijingLike(400, 13)
+	cfg.Hotspots = 1
+	cfg.HotspotStd = 0.001
+	d := gen.Generate(cfg)
+
+	run := func(disable bool) (float64, int) {
+		ea, eb := buildPair(t, d, d, measure.DTW{}, 8)
+		opts := DefaultJoinOptions()
+		opts.DisableDivision = disable
+		var stats JoinStats
+		ea.Join(eb, 0.002, opts, &stats)
+		return stats.LoadRatio, stats.Divisions
+	}
+	balancedRatio, divisions := run(false)
+	naiveRatio, _ := run(true)
+	t.Logf("load ratio: balanced=%.2f naive=%.2f divisions=%d", balancedRatio, naiveRatio, divisions)
+	if divisions == 0 {
+		t.Log("no divisions triggered on this workload (acceptable: quantile threshold not exceeded)")
+	}
+	if balancedRatio > naiveRatio*1.5+1 {
+		t.Errorf("division balancing made skew worse: %v vs %v", balancedRatio, naiveRatio)
+	}
+}

@@ -1,0 +1,76 @@
+package core
+
+import (
+	"math"
+	"sort"
+
+	"dita/internal/traj"
+)
+
+// SearchKNN returns the k trajectories nearest to q under the engine's
+// measure, ordered by ascending distance (ties broken by trajectory ID).
+//
+// kNN search is the paper's stated future work ("we plan to support
+// KNN-based search and join in DITA"); this implementation reuses the
+// threshold machinery: it probes with a geometrically growing threshold
+// until at least k answers are found, then trims. The initial radius is
+// seeded by the distance to a small sample, so well-clustered queries
+// converge in one or two probes.
+func (e *Engine) SearchKNN(q *traj.T, k int) []SearchResult {
+	if q == nil || len(q.Points) == 0 || k <= 0 || e.dataset.Len() == 0 {
+		return nil
+	}
+	if k > e.dataset.Len() {
+		k = e.dataset.Len()
+	}
+	tau := e.seedRadius(q, k)
+	for probe := 0; ; probe++ {
+		res := e.Search(q, tau, nil)
+		if len(res) >= k || probe > 60 {
+			sort.Slice(res, func(a, b int) bool {
+				if res[a].Distance != res[b].Distance {
+					return res[a].Distance < res[b].Distance
+				}
+				return res[a].Traj.ID < res[b].Traj.ID
+			})
+			if len(res) > k {
+				res = res[:k]
+			}
+			return res
+		}
+		tau *= 2
+	}
+}
+
+// seedRadius estimates a starting threshold: the k-th smallest distance
+// from q to a deterministic sample of the dataset, which upper-bounds the
+// true kNN radius when the sample is large enough and otherwise just
+// shortens the doubling search.
+func (e *Engine) seedRadius(q *traj.T, k int) float64 {
+	const sample = 24
+	n := e.dataset.Len()
+	step := n / sample
+	if step < 1 {
+		step = 1
+	}
+	var ds []float64
+	for i := 0; i < n; i += step {
+		d := e.opts.Measure.Distance(e.dataset.Trajs[i].Points, q.Points)
+		if !math.IsInf(d, 1) {
+			ds = append(ds, d)
+		}
+	}
+	if len(ds) == 0 {
+		return 1
+	}
+	sort.Float64s(ds)
+	idx := k - 1
+	if idx >= len(ds) {
+		idx = len(ds) - 1
+	}
+	r := ds[idx]
+	if r <= 0 {
+		r = 1e-9
+	}
+	return r
+}

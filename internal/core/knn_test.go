@@ -1,0 +1,138 @@
+package core
+
+import (
+	"sort"
+	"testing"
+
+	"dita/internal/gen"
+	"dita/internal/measure"
+	"dita/internal/traj"
+)
+
+func bruteKNN(d *traj.Dataset, m measure.Measure, q *traj.T, k int) []int {
+	type dr struct {
+		id int
+		d  float64
+	}
+	ds := make([]dr, 0, d.Len())
+	for _, t := range d.Trajs {
+		ds = append(ds, dr{t.ID, m.Distance(t.Points, q.Points)})
+	}
+	sort.Slice(ds, func(a, b int) bool {
+		if ds[a].d != ds[b].d {
+			return ds[a].d < ds[b].d
+		}
+		return ds[a].id < ds[b].id
+	})
+	if k > len(ds) {
+		k = len(ds)
+	}
+	out := make([]int, k)
+	for i := 0; i < k; i++ {
+		out[i] = ds[i].id
+	}
+	return out
+}
+
+func TestKNNMatchesBruteForce(t *testing.T) {
+	d := smallDataset(250, 20)
+	e, err := NewEngine(d, smallOpts(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range gen.Queries(d, 6, 21) {
+		for _, k := range []int{1, 5, 20} {
+			want := bruteKNN(d, measure.DTW{}, q, k)
+			got := e.SearchKNN(q, k)
+			if len(got) != len(want) {
+				t.Fatalf("k=%d: got %d results, want %d", k, len(got), len(want))
+			}
+			for i := range want {
+				if got[i].Traj.ID != want[i] {
+					t.Fatalf("k=%d: result %d = traj %d, want %d", k, i, got[i].Traj.ID, want[i])
+				}
+			}
+			// Distances ascending.
+			for i := 1; i < len(got); i++ {
+				if got[i].Distance < got[i-1].Distance {
+					t.Fatalf("k=%d: results not sorted by distance", k)
+				}
+			}
+		}
+	}
+}
+
+func TestKNNEdgeCases(t *testing.T) {
+	d := smallDataset(30, 22)
+	e, err := NewEngine(d, smallOpts(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := d.Trajs[0]
+	if got := e.SearchKNN(q, 0); got != nil {
+		t.Error("k=0 should return nil")
+	}
+	if got := e.SearchKNN(nil, 3); got != nil {
+		t.Error("nil query should return nil")
+	}
+	// k larger than the dataset returns everything.
+	if got := e.SearchKNN(q, 1000); len(got) != d.Len() {
+		t.Errorf("k>n returned %d, want %d", len(got), d.Len())
+	}
+	// 1-NN of a dataset member is itself.
+	if got := e.SearchKNN(q, 1); len(got) != 1 || got[0].Traj.ID != q.ID {
+		t.Errorf("1-NN of member = %v", got)
+	}
+}
+
+func TestKNNJoinMatchesBruteForce(t *testing.T) {
+	a := smallDataset(80, 30)
+	b := smallDataset(60, 31)
+	for _, tr := range b.Trajs {
+		tr.ID += 10000
+	}
+	opts := smallOpts(4)
+	ea, err := NewEngine(a, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eb, err := NewEngine(b, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := 3
+	got := ea.KNNJoin(eb, k)
+	if len(got) != a.Len() {
+		t.Fatalf("KNNJoin covered %d of %d left trajectories", len(got), a.Len())
+	}
+	for _, tr := range a.Trajs {
+		want := bruteKNN(b, measure.DTW{}, tr, k)
+		res := got[tr.ID]
+		if len(res) != len(want) {
+			t.Fatalf("traj %d: got %d neighbors, want %d", tr.ID, len(res), len(want))
+		}
+		for i := range want {
+			if res[i].Traj.ID != want[i] {
+				t.Fatalf("traj %d neighbor %d = %d, want %d", tr.ID, i, res[i].Traj.ID, want[i])
+			}
+		}
+	}
+}
+
+func TestKNNJoinDegenerate(t *testing.T) {
+	d := smallDataset(20, 32)
+	e, err := NewEngine(d, smallOpts(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := e.KNNJoin(e, 0); got != nil {
+		t.Error("k=0 should return nil")
+	}
+	// k exceeding the right side clamps.
+	got := e.KNNJoin(e, 1000)
+	for id, res := range got {
+		if len(res) != d.Len() {
+			t.Fatalf("traj %d: %d neighbors, want %d", id, len(res), d.Len())
+		}
+	}
+}

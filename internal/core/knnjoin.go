@@ -1,0 +1,76 @@
+package core
+
+import (
+	"sort"
+	"sync"
+
+	"dita/internal/cluster"
+	"dita/internal/traj"
+)
+
+// KNNJoin computes the k-nearest-neighbor join: for every trajectory T in
+// the receiver's dataset, the k trajectories of other's dataset nearest to
+// T under the engines' measure. This is the paper's stated future work
+// ("we plan to support KNN-based search and join in DITA"), built on the
+// same primitives as the threshold join: a per-trajectory radius is seeded
+// from the threshold search and grown geometrically until k answers exist.
+//
+// The result maps each left trajectory ID to its neighbors in ascending
+// distance order.
+func (e *Engine) KNNJoin(other *Engine, k int) map[int][]SearchResult {
+	if k <= 0 || e.dataset.Len() == 0 || other.dataset.Len() == 0 {
+		return nil
+	}
+	if k > other.dataset.Len() {
+		k = other.dataset.Len()
+	}
+	out := make(map[int][]SearchResult, e.dataset.Len())
+	var mu sync.Mutex
+	// Each left partition's worker resolves its own trajectories' kNN by
+	// probing the right engine's index, so the work parallelizes the same
+	// way the threshold join does.
+	tasks := make([]cluster.Task, 0, len(e.parts))
+	for _, p := range e.parts {
+		p := p
+		tasks = append(tasks, cluster.Task{Worker: p.Worker, Fn: func() {
+			local := make(map[int][]SearchResult, len(p.Trajs))
+			for _, t := range p.Trajs {
+				local[t.ID] = other.knnLocal(t, k)
+			}
+			mu.Lock()
+			for id, res := range local {
+				out[id] = res
+			}
+			mu.Unlock()
+		}})
+	}
+	e.cl.Run(tasks)
+	return out
+}
+
+// knnLocal finds t's k nearest trajectories without going through the
+// cluster scheduler (the caller is already inside a worker task): global
+// pruning plus local trie filtering at a growing radius.
+func (e *Engine) knnLocal(q *traj.T, k int) []SearchResult {
+	tau := e.seedRadius(q, k)
+	for probe := 0; ; probe++ {
+		var res []SearchResult
+		for _, pid := range e.relevantPartitions(q.Points, tau) {
+			r, _, _ := e.localSearch(e.parts[pid], q.Points, tau)
+			res = append(res, r...)
+		}
+		if len(res) >= k || probe > 60 {
+			sort.Slice(res, func(a, b int) bool {
+				if res[a].Distance != res[b].Distance {
+					return res[a].Distance < res[b].Distance
+				}
+				return res[a].Traj.ID < res[b].Traj.ID
+			})
+			if len(res) > k {
+				res = res[:k]
+			}
+			return res
+		}
+		tau *= 2
+	}
+}

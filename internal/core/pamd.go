@@ -1,0 +1,89 @@
+// Package core implements the DITA engine: first/last-point STR
+// partitioning, the two-level (global R-tree + local trie) index, the
+// filter–verification search pipeline (Algorithm 2), and the cost-based
+// distributed similarity join (Algorithm 3) with greedy bi-graph
+// orientation and division-based load balancing.
+package core
+
+import (
+	"math"
+
+	"dita/internal/geom"
+	"dita/internal/pivot"
+)
+
+// PAMD computes the pivot accumulated minimum distance of Definition 4.2:
+//
+//	PAMD(T,Q) = dist(t1,q1) + dist(tm,qn) + Σ_{p∈T_P} min_j dist(p,qj)
+//
+// given the pivot points tp of T. By Lemma 4.3, PAMD(T,Q) <= DTW(T,Q), so
+// PAMD > τ proves T and Q dissimilar at O(nK) cost instead of O(mn).
+func PAMD(t, q, tp []geom.Point) float64 {
+	m, n := len(t), len(q)
+	if m == 0 || n == 0 {
+		return math.Inf(1)
+	}
+	sum := t[0].Dist(q[0]) + t[m-1].Dist(q[n-1])
+	for _, p := range tp {
+		sum += minDistToPoints(p, q)
+	}
+	return sum
+}
+
+// PAMDK computes PAMD selecting k pivots with the given strategy.
+func PAMDK(t, q []geom.Point, k int, s pivot.Strategy) float64 {
+	return PAMD(t, q, pivot.Points(t, k, s))
+}
+
+// OPAMD computes the ordered pivot accumulated minimum distance of
+// Lemma 5.1: like PAMD, but each pivot may only align against the query
+// suffix remaining after discarding the prefix of points farther than the
+// budget from every earlier pivot (the DTW ordering constraint). OPAMD is
+// a tighter lower bound than PAMD; tau is the query threshold used for the
+// suffix advancement.
+func OPAMD(t, q, tp []geom.Point, tau float64) float64 {
+	m, n := len(t), len(q)
+	if m == 0 || n == 0 {
+		return math.Inf(1)
+	}
+	sum := t[0].Dist(q[0]) + t[m-1].Dist(q[n-1])
+	suf := 0
+	for _, p := range tp {
+		rem := tau - sum
+		if rem < 0 {
+			rem = 0
+		}
+		best := math.Inf(1)
+		advancing := true
+		for i := suf; i < n; i++ {
+			d := p.Dist(q[i])
+			if advancing && d > rem {
+				if i == suf {
+					suf = i + 1
+				}
+				continue
+			}
+			advancing = false
+			if d < best {
+				best = d
+			}
+		}
+		if math.IsInf(best, 1) {
+			// Every remaining query point is beyond the budget: the bound
+			// already exceeds tau.
+			return math.Inf(1)
+		}
+		sum += best
+	}
+	return sum
+}
+
+func minDistToPoints(p geom.Point, q []geom.Point) float64 {
+	best := math.Inf(1)
+	for _, qj := range q {
+		if d := p.SqDist(qj); d < best {
+			best = d
+		}
+	}
+	return math.Sqrt(best)
+}

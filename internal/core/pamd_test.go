@@ -1,0 +1,101 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"dita/internal/geom"
+	"dita/internal/measure"
+	"dita/internal/pivot"
+)
+
+var (
+	figT1 = []geom.Point{{X: 1, Y: 1}, {X: 1, Y: 2}, {X: 3, Y: 2}, {X: 4, Y: 4}, {X: 4, Y: 5}, {X: 5, Y: 5}}
+	figT3 = []geom.Point{{X: 1, Y: 1}, {X: 4, Y: 1}, {X: 4, Y: 3}, {X: 4, Y: 5}, {X: 4, Y: 6}, {X: 5, Y: 6}}
+	figT5 = []geom.Point{{X: 0, Y: 4}, {X: 0, Y: 5}, {X: 3, Y: 7}, {X: 3, Y: 3}, {X: 7, Y: 5}}
+)
+
+// TestPaperExample44 reproduces Example 4.4: with K=2 neighbor pivots,
+// PAMD(T1, T3) = 0 + 1 + 1.41 + 1 = 3.41 > τ = 3, proving T1 and T3
+// dissimilar.
+func TestPaperExample44(t *testing.T) {
+	got := PAMDK(figT1, figT3, 2, pivot.Neighbor)
+	want := 0 + 1 + math.Sqrt2 + 1
+	if math.Abs(got-want) > 1e-9 {
+		t.Errorf("PAMD(T1,T3) = %v, want %v (paper: 3.41)", got, want)
+	}
+	if got <= 3 {
+		t.Error("PAMD must exceed τ=3 to prune the pair as in the paper")
+	}
+}
+
+func randTrajPts(rng *rand.Rand, n int) []geom.Point {
+	pts := make([]geom.Point, n)
+	x, y := rng.Float64()*10, rng.Float64()*10
+	for i := range pts {
+		x += rng.NormFloat64()
+		y += rng.NormFloat64()
+		pts[i] = geom.Point{X: x, Y: y}
+	}
+	return pts
+}
+
+// PAMD and OPAMD must lower-bound DTW, and OPAMD must dominate PAMD.
+func TestPAMDLowerBoundsDTW(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 1000; i++ {
+		a := randTrajPts(rng, 3+rng.Intn(12))
+		b := randTrajPts(rng, 2+rng.Intn(12))
+		k := 1 + rng.Intn(4)
+		s := pivot.Strategy(rng.Intn(3))
+		tp := pivot.Points(a, k, s)
+		dtw := measure.DTW{}.Distance(a, b)
+		pamd := PAMD(a, b, tp)
+		if pamd > dtw+1e-9 {
+			t.Fatalf("PAMD %v > DTW %v", pamd, dtw)
+		}
+		// OPAMD with tau > dtw must also lower-bound DTW (tau == dtw
+		// exactly is an fp-boundary where the strict suffix comparison may
+		// fire on rounding noise, so give it slack).
+		opamd := OPAMD(a, b, tp, dtw*1.001+1e-9)
+		if opamd > dtw+1e-9 {
+			t.Fatalf("OPAMD %v > DTW %v", opamd, dtw)
+		}
+		if opamd+1e-9 < pamd {
+			t.Fatalf("OPAMD %v < PAMD %v: suffix restriction must not loosen the bound", opamd, pamd)
+		}
+	}
+}
+
+// OPAMD's pruning decision must be sound: OPAMD(...) > tau implies
+// DTW > tau.
+func TestOPAMDPruningSound(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 2000; i++ {
+		a := randTrajPts(rng, 3+rng.Intn(10))
+		b := randTrajPts(rng, 2+rng.Intn(10))
+		tp := pivot.Points(a, 2, pivot.Neighbor)
+		tau := rng.Float64() * 15
+		if OPAMD(a, b, tp, tau) > tau {
+			if dtw := (measure.DTW{}).Distance(a, b); dtw <= tau {
+				t.Fatalf("OPAMD pruned a true answer: dtw=%v tau=%v", dtw, tau)
+			}
+		}
+	}
+}
+
+func TestPAMDEdgeCases(t *testing.T) {
+	if got := PAMD(nil, figT1, nil); !math.IsInf(got, 1) {
+		t.Errorf("PAMD(empty, ...) = %v", got)
+	}
+	if got := OPAMD(figT1, nil, nil, 1); !math.IsInf(got, 1) {
+		t.Errorf("OPAMD(..., empty) = %v", got)
+	}
+	// No pivots: PAMD degenerates to endpoint distances.
+	got := PAMD(figT1, figT3, nil)
+	want := figT1[0].Dist(figT3[0]) + figT1[5].Dist(figT3[5])
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("pivot-free PAMD = %v, want %v", got, want)
+	}
+}

@@ -1,0 +1,131 @@
+package core
+
+import (
+	"sort"
+	"sync"
+
+	"dita/internal/cluster"
+	"dita/internal/geom"
+	"dita/internal/traj"
+)
+
+// SearchResult is one answer of a similarity search.
+type SearchResult struct {
+	Traj     *traj.T
+	Distance float64
+}
+
+// SearchStats reports the per-query filter/verification funnel.
+type SearchStats struct {
+	// RelevantPartitions survived global pruning.
+	RelevantPartitions int
+	// Candidates survived the local trie filter across all partitions.
+	Candidates int
+	// Verified counts exact distance computations (post cheap filters).
+	Verified int
+	// Results is the answer count.
+	Results int
+}
+
+// Search runs the distributed trajectory similarity search of Algorithm 2:
+// global pruning on the driver, a stage of local filter+verify tasks on
+// the workers owning the relevant partitions, then result collection at
+// the driver. stats may be nil.
+func (e *Engine) Search(q *traj.T, tau float64, stats *SearchStats) []SearchResult {
+	if q == nil || len(q.Points) == 0 {
+		return nil
+	}
+	rel := e.relevantPartitions(q.Points, tau)
+	if stats != nil {
+		stats.RelevantPartitions = len(rel)
+	}
+	if len(rel) == 0 {
+		return nil
+	}
+	results := make([][]SearchResult, len(rel))
+	candCounts := make([]int, len(rel))
+	verCounts := make([]int, len(rel))
+	tasks := make([]cluster.Task, 0, len(rel))
+	const driver = 0
+	for i, pid := range rel {
+		i, p := i, e.parts[pid]
+		// The driver ships the query to the partition's worker.
+		e.cl.Transfer(driver, p.Worker, q.Bytes())
+		tasks = append(tasks, cluster.Task{Worker: p.Worker, Fn: func() {
+			results[i], candCounts[i], verCounts[i] = e.localSearch(p, q.Points, tau)
+		}})
+	}
+	e.cl.Run(tasks)
+	var out []SearchResult
+	for i, r := range results {
+		out = append(out, r...)
+		if len(r) > 0 {
+			// Results ship back to the driver.
+			bytes := 0
+			for _, sr := range r {
+				bytes += sr.Traj.Bytes()
+			}
+			e.cl.Transfer(e.parts[rel[i]].Worker, driver, bytes)
+		}
+	}
+	if stats != nil {
+		for i := range rel {
+			stats.Candidates += candCounts[i]
+			stats.Verified += verCounts[i]
+		}
+		stats.Results = len(out)
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].Traj.ID < out[b].Traj.ID })
+	return out
+}
+
+// SearchBatch runs many queries in one cluster stage, modelling the
+// paper's workload of 1,000 random queries: each query's local tasks are
+// scattered to the owning workers and execute in parallel.
+func (e *Engine) SearchBatch(qs []*traj.T, tau float64) [][]SearchResult {
+	out := make([][]SearchResult, len(qs))
+	var mu sync.Mutex
+	tasks := make([]cluster.Task, 0, len(qs))
+	const driver = 0
+	for qi, q := range qs {
+		if q == nil || len(q.Points) == 0 {
+			continue
+		}
+		qi, q := qi, q
+		for _, pid := range e.relevantPartitions(q.Points, tau) {
+			p := e.parts[pid]
+			e.cl.Transfer(driver, p.Worker, q.Bytes())
+			tasks = append(tasks, cluster.Task{Worker: p.Worker, Fn: func() {
+				res, _, _ := e.localSearch(p, q.Points, tau)
+				if len(res) == 0 {
+					return
+				}
+				mu.Lock()
+				out[qi] = append(out[qi], res...)
+				mu.Unlock()
+			}})
+		}
+	}
+	e.cl.Run(tasks)
+	for _, r := range out {
+		sort.Slice(r, func(a, b int) bool { return r[a].Traj.ID < r[b].Traj.ID })
+	}
+	return out
+}
+
+// localSearch runs one partition's trie filter and verification cascade
+// and returns (results, candidateCount, verifiedCount).
+func (e *Engine) localSearch(p *Partition, q []geom.Point, tau float64) ([]SearchResult, int, int) {
+	cands := p.Index.Search(q, e.opts.Measure, tau, nil)
+	if len(cands) == 0 {
+		return nil, 0, 0
+	}
+	v := NewVerifier(e.opts.Measure, q, tau, e.cellD)
+	var out []SearchResult
+	for _, i := range cands {
+		if d, ok := v.Verify(p.Trajs[i], p.meta[i]); ok {
+			out = append(out, SearchResult{Traj: p.Trajs[i], Distance: d})
+		}
+	}
+	return out, len(cands), v.Verified
+}

@@ -1,0 +1,377 @@
+package dnet
+
+import (
+	"fmt"
+
+	"dita/internal/core"
+	"net/rpc"
+	"sort"
+	"sync"
+
+	"dita/internal/geom"
+	"dita/internal/measure"
+	"dita/internal/rtree"
+	"dita/internal/str"
+	"dita/internal/traj"
+	"dita/internal/trie"
+)
+
+// Config parameterizes a network-mode deployment.
+type Config struct {
+	// NG is the global grid factor (NG×NG partitions per dataset).
+	NG int
+	// Trie is the local index configuration (Strategy travels as an int).
+	Trie trie.Config
+	// Measure names the similarity function.
+	Measure MeasureSpec
+	// CellD is the verification cell side length; <= 0 derives it from
+	// the data extent like the in-process engine.
+	CellD float64
+}
+
+// DefaultNetConfig mirrors core.DefaultOptions for the network mode.
+func DefaultNetConfig() Config {
+	return Config{NG: 4, Trie: trie.DefaultConfig(), Measure: MeasureSpec{Name: "DTW"}}
+}
+
+// Coordinator is the network-mode driver: it partitions datasets across
+// the workers, keeps the global index (partition MBRs) locally, and fans
+// queries out over RPC.
+type Coordinator struct {
+	cfg     Config
+	m       measure.Measure
+	clients []*rpc.Client
+	addrs   []string
+
+	mu       sync.Mutex
+	datasets map[string]*dispatchedDataset
+}
+
+// dispatchedDataset records where a dataset's partitions live plus the
+// global index over their endpoint MBRs.
+type dispatchedDataset struct {
+	parts []dispatchedPartition
+	rtF   *rtree.Tree
+	rtL   *rtree.Tree
+}
+
+type dispatchedPartition struct {
+	worker     int // index into Coordinator.addrs
+	mbrF, mbrL geom.MBR
+	trajs      int
+}
+
+// Connect dials the workers and returns a coordinator.
+func Connect(addrs []string, cfg Config) (*Coordinator, error) {
+	if len(addrs) == 0 {
+		return nil, fmt.Errorf("dnet: no worker addresses")
+	}
+	if cfg.NG < 1 {
+		cfg.NG = 1
+	}
+	if cfg.Measure.Name == "" {
+		cfg.Measure.Name = "DTW"
+	}
+	m, err := measure.ByName(cfg.Measure.Name, cfg.Measure.Eps, cfg.Measure.Delta)
+	if err != nil {
+		return nil, err
+	}
+	c := &Coordinator{cfg: cfg, m: m, addrs: addrs, datasets: map[string]*dispatchedDataset{}}
+	for _, a := range addrs {
+		client, err := rpc.Dial("tcp", a)
+		if err != nil {
+			c.Close()
+			return nil, fmt.Errorf("dnet: dialing worker %s: %w", a, err)
+		}
+		c.clients = append(c.clients, client)
+	}
+	return c, nil
+}
+
+// Close disconnects from the workers (the workers keep running).
+func (c *Coordinator) Close() error {
+	var first error
+	for _, cl := range c.clients {
+		if cl == nil {
+			continue
+		}
+		if err := cl.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// Dispatch partitions the dataset (first/last STR, Section 4.2.1), ships
+// each partition to a worker round-robin, and has the workers index them.
+// The name identifies the dataset in later Search/Join calls.
+func (c *Coordinator) Dispatch(name string, d *traj.Dataset) error {
+	if d == nil || d.Len() == 0 {
+		return fmt.Errorf("dnet: empty dataset %q", name)
+	}
+	cellD := c.cfg.CellD
+	if cellD <= 0 {
+		cellD = defaultCellD(d)
+	}
+	dd := &dispatchedDataset{}
+	trajs := d.Trajs
+	firsts := make([]geom.Point, len(trajs))
+	for i, t := range trajs {
+		firsts[i] = t.First()
+	}
+	type loadCall struct {
+		worker int
+		args   *LoadArgs
+	}
+	var calls []loadCall
+	for _, bucket := range str.Tile(firsts, c.cfg.NG) {
+		lasts := make([]geom.Point, len(bucket))
+		for j, i := range bucket {
+			lasts[j] = trajs[i].Last()
+		}
+		for _, sub := range str.Tile(lasts, c.cfg.NG) {
+			pid := len(dd.parts)
+			worker := pid % len(c.clients)
+			args := &LoadArgs{
+				Dataset:   name,
+				Partition: pid,
+				Measure:   c.cfg.Measure,
+				K:         c.cfg.Trie.K,
+				NLAlign:   c.cfg.Trie.NLAlign,
+				NLPivot:   c.cfg.Trie.NLPivot,
+				MinNode:   c.cfg.Trie.MinNode,
+				Strategy:  int(c.cfg.Trie.Strategy),
+				CellD:     cellD,
+			}
+			mbrF, mbrL := geom.EmptyMBR(), geom.EmptyMBR()
+			for _, k := range sub {
+				t := trajs[bucket[k]]
+				args.Trajs = append(args.Trajs, WireTrajectory{ID: t.ID, Points: t.Points})
+				mbrF = mbrF.Extend(t.First())
+				mbrL = mbrL.Extend(t.Last())
+			}
+			dd.parts = append(dd.parts, dispatchedPartition{
+				worker: worker, mbrF: mbrF, mbrL: mbrL, trajs: len(args.Trajs),
+			})
+			calls = append(calls, loadCall{worker, args})
+		}
+	}
+	// Load partitions concurrently (one in-flight call per worker keeps
+	// ordering simple; net/rpc multiplexes on one connection anyway).
+	errs := make([]error, len(calls))
+	var wg sync.WaitGroup
+	for i, call := range calls {
+		wg.Add(1)
+		go func(i int, call loadCall) {
+			defer wg.Done()
+			var reply LoadReply
+			errs[i] = c.clients[call.worker].Call("Worker.Load", call.args, &reply)
+		}(i, call)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	ef := make([]rtree.Entry, len(dd.parts))
+	el := make([]rtree.Entry, len(dd.parts))
+	for i, p := range dd.parts {
+		ef[i] = rtree.Entry{MBR: p.mbrF, ID: i}
+		el[i] = rtree.Entry{MBR: p.mbrL, ID: i}
+	}
+	dd.rtF = rtree.New(ef)
+	dd.rtL = rtree.New(el)
+	c.mu.Lock()
+	c.datasets[name] = dd
+	c.mu.Unlock()
+	return nil
+}
+
+func (c *Coordinator) dataset(name string) (*dispatchedDataset, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	dd, ok := c.datasets[name]
+	if !ok {
+		return nil, fmt.Errorf("dnet: dataset %q not dispatched", name)
+	}
+	return dd, nil
+}
+
+// relevantPartitions mirrors the engine's global pruning for the
+// dispatched dataset: the R-trees narrow the candidates for anchored
+// measures, the measure-aware check decides.
+func (c *Coordinator) relevantPartitions(dd *dispatchedDataset, q []geom.Point, tau float64) []int {
+	var out []int
+	if c.m.AlignsEndpoints() {
+		inF := map[int]bool{}
+		for _, e := range dd.rtF.WithinDist(q[0], tau, nil) {
+			inF[e.ID] = true
+		}
+		for _, e := range dd.rtL.WithinDist(q[len(q)-1], tau, nil) {
+			if !inF[e.ID] {
+				continue
+			}
+			p := dd.parts[e.ID]
+			if core.TrajRelevant(c.m, q, p.mbrF, p.mbrL, tau) {
+				out = append(out, e.ID)
+			}
+		}
+		sort.Ints(out)
+		return out
+	}
+	for i, p := range dd.parts {
+		if core.TrajRelevant(c.m, q, p.mbrF, p.mbrL, tau) {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// Search fans the query out to the workers owning relevant partitions and
+// merges the verified hits (ascending id).
+func (c *Coordinator) Search(name string, q *traj.T, tau float64) ([]SearchHit, error) {
+	if q == nil || len(q.Points) == 0 {
+		return nil, nil
+	}
+	dd, err := c.dataset(name)
+	if err != nil {
+		return nil, err
+	}
+	rel := c.relevantPartitions(dd, q.Points, tau)
+	replies := make([]SearchReply, len(rel))
+	errs := make([]error, len(rel))
+	var wg sync.WaitGroup
+	for i, pid := range rel {
+		wg.Add(1)
+		go func(i, pid int) {
+			defer wg.Done()
+			args := &SearchArgs{Dataset: name, Partition: pid, Query: q.Points, Tau: tau}
+			errs[i] = c.clients[dd.parts[pid].worker].Call("Worker.Search", args, &replies[i])
+		}(i, pid)
+	}
+	wg.Wait()
+	var out []SearchHit
+	for i := range rel {
+		if errs[i] != nil {
+			return nil, errs[i]
+		}
+		out = append(out, replies[i].Hits...)
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].ID < out[b].ID })
+	return out, nil
+}
+
+// Join computes the distributed similarity join between two dispatched
+// datasets. For every candidate partition pair (by endpoint-MBR tests),
+// the left worker selects and ships its relevant trajectories directly to
+// the right worker, which runs the local join; pairs flow back through
+// the chain. The cheaper direction is chosen per edge by partition size
+// (a size-proxy of the paper's cost model; the full sampled model lives in
+// the in-process engine).
+func (c *Coordinator) Join(left, right string, tau float64) ([]WirePair, error) {
+	lt, err := c.dataset(left)
+	if err != nil {
+		return nil, err
+	}
+	rt, err := c.dataset(right)
+	if err != nil {
+		return nil, err
+	}
+	type edge struct {
+		src, dst         int // partition ids in their datasets
+		srcName, dstName string
+		flip             bool
+	}
+	var edges []edge
+	anchored := c.m.AlignsEndpoints()
+	maxForm := c.m.Accumulation() == measure.AccumMax
+	for i, pt := range lt.parts {
+		for j, pq := range rt.parts {
+			if anchored {
+				df := pt.mbrF.MinDistMBR(pq.mbrF)
+				dl := pt.mbrL.MinDistMBR(pq.mbrL)
+				if maxForm {
+					if df > tau || dl > tau {
+						continue
+					}
+				} else if df+dl > tau {
+					continue
+				}
+			}
+			// Orientation: ship the smaller side.
+			if pt.trajs <= pq.trajs {
+				edges = append(edges, edge{src: i, dst: j, srcName: left, dstName: right, flip: false})
+			} else {
+				edges = append(edges, edge{src: j, dst: i, srcName: right, dstName: left, flip: true})
+			}
+		}
+	}
+	replies := make([]JoinReply, len(edges))
+	errs := make([]error, len(edges))
+	var wg sync.WaitGroup
+	for i, ed := range edges {
+		wg.Add(1)
+		go func(i int, ed edge) {
+			defer wg.Done()
+			srcDD, dstDD := lt, rt
+			if ed.flip {
+				srcDD, dstDD = rt, lt
+			}
+			dst := dstDD.parts[ed.dst]
+			args := &ShipArgs{
+				SrcDataset:   ed.srcName,
+				SrcPartition: ed.src,
+				DstAddr:      c.addrs[dst.worker],
+				DstDataset:   ed.dstName,
+				DstPartition: ed.dst,
+				DstMBRf:      dst.mbrF,
+				DstMBRl:      dst.mbrL,
+				Tau:          tau,
+				Flip:         ed.flip,
+			}
+			errs[i] = c.clients[srcDD.parts[ed.src].worker].Call("Worker.Ship", args, &replies[i])
+		}(i, ed)
+	}
+	wg.Wait()
+	var pairs []WirePair
+	for i := range edges {
+		if errs[i] != nil {
+			return nil, errs[i]
+		}
+		pairs = append(pairs, replies[i].Pairs...)
+	}
+	sort.Slice(pairs, func(a, b int) bool {
+		if pairs[a].TID != pairs[b].TID {
+			return pairs[a].TID < pairs[b].TID
+		}
+		return pairs[a].QID < pairs[b].QID
+	})
+	return pairs, nil
+}
+
+// WorkerStats gathers each worker's inventory.
+func (c *Coordinator) WorkerStats() ([]StatsReply, error) {
+	out := make([]StatsReply, len(c.clients))
+	for i, cl := range c.clients {
+		if err := cl.Call("Worker.Stats", &StatsArgs{}, &out[i]); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+func defaultCellD(d *traj.Dataset) float64 {
+	ext := d.Stats().Extent
+	if ext.IsEmpty() {
+		return 0.01
+	}
+	w := ext.Max.X - ext.Min.X
+	if h := ext.Max.Y - ext.Min.Y; h > w {
+		w = h
+	}
+	if w <= 0 {
+		return 0.01
+	}
+	return w / 100
+}

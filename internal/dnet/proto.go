@@ -1,0 +1,150 @@
+// Package dnet is DITA's real-network execution mode: the same
+// partitioning, indexing and filter–verification pipeline as the simulated
+// substrate (internal/cluster), but with workers running as TCP servers
+// (stdlib net/rpc over gob) that hold their partitions' data and indexes
+// in memory, a coordinator that routes queries with the global index, and
+// a worker-to-worker shuffle for joins — the deployment shape of the
+// paper's Spark system, without Spark.
+//
+// The simulated substrate remains the tool for the paper's scale-up
+// experiments (virtual clocks model any core count); dnet demonstrates
+// that the engine's decomposition really is distributable: data never
+// leaves the owning worker except through the same movements the cost
+// model accounts (queries in, results out, join shipments between
+// workers).
+//
+//	workers: dita-worker -listen 127.0.0.1:7001 (one per node)
+//	coordinator: connects, partitions, indexes, serves Search/Join
+package dnet
+
+import (
+	"dita/internal/geom"
+)
+
+// WireTrajectory is the gob wire form of a trajectory.
+type WireTrajectory struct {
+	ID     int
+	Points []geom.Point
+}
+
+// MeasureSpec names a similarity function plus the parameters the
+// edit-based ones need; interfaces don't travel over gob, names do.
+type MeasureSpec struct {
+	Name  string
+	Eps   float64
+	Delta int
+}
+
+// LoadArgs ships one partition to a worker and asks it to index it.
+type LoadArgs struct {
+	// Dataset distinguishes the two sides of a join ("T", "Q", ...).
+	Dataset string
+	// Partition is the partition id within the dataset.
+	Partition int
+	Trajs     []WireTrajectory
+	// Index configuration.
+	Measure  MeasureSpec
+	K        int
+	NLAlign  int
+	NLPivot  int
+	MinNode  int
+	Strategy int
+	CellD    float64
+}
+
+// LoadReply reports the built index's footprint.
+type LoadReply struct {
+	Trajs      int
+	IndexBytes int
+}
+
+// SearchArgs runs a threshold search against one loaded partition.
+type SearchArgs struct {
+	Dataset   string
+	Partition int
+	Query     []geom.Point
+	Tau       float64
+}
+
+// SearchHit is one search answer (the data stays on the worker; the
+// coordinator can Fetch full trajectories if the caller wants them).
+type SearchHit struct {
+	ID       int
+	Distance float64
+}
+
+// SearchReply returns the verified hits plus filter statistics.
+type SearchReply struct {
+	Hits       []SearchHit
+	Candidates int
+	Verified   int
+}
+
+// FetchArgs retrieves full trajectories by id from a partition.
+type FetchArgs struct {
+	Dataset   string
+	Partition int
+	IDs       []int
+}
+
+// FetchReply carries the requested trajectories.
+type FetchReply struct {
+	Trajs []WireTrajectory
+}
+
+// ShipArgs instructs a worker to select its partition's trajectories
+// relevant to a destination partition (the per-trajectory global-index
+// check) and push them to the destination worker, which runs the local
+// join and returns the pairs. The caller (coordinator) receives the pairs
+// through the chain.
+type ShipArgs struct {
+	// Source partition on the worker receiving this call.
+	SrcDataset   string
+	SrcPartition int
+	// Destination partition and its owner's address.
+	DstAddr      string
+	DstDataset   string
+	DstPartition int
+	// MBRf/MBRl of the destination partition, for the relevance check.
+	DstMBRf, DstMBRl geom.MBR
+	Tau              float64
+	// Flip: the shipped side is the Q side (pairs come back reversed).
+	Flip bool
+}
+
+// JoinArgs is the worker-to-worker shipment: probe the destination
+// partition's trie with each shipped trajectory and verify.
+type JoinArgs struct {
+	Dataset   string
+	Partition int
+	Trajs     []WireTrajectory
+	Tau       float64
+	Flip      bool
+}
+
+// WirePair is one join result.
+type WirePair struct {
+	TID, QID int
+	Distance float64
+}
+
+// JoinReply returns the verified pairs and candidate counts.
+type JoinReply struct {
+	Pairs      []WirePair
+	Candidates int
+	// BytesReceived is the wire size of the shipment, for accounting.
+	BytesReceived int
+}
+
+// StatsArgs/StatsReply expose a worker's inventory.
+type StatsArgs struct{}
+
+// StatsReply summarizes what a worker holds.
+type StatsReply struct {
+	Partitions  int
+	Trajs       int
+	IndexBytes  int
+	SearchCalls int64
+	JoinCalls   int64
+	BytesIn     int64
+}

@@ -1,0 +1,287 @@
+package dnet
+
+import (
+	"fmt"
+	"net"
+	"net/rpc"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"dita/internal/core"
+	"dita/internal/measure"
+	"dita/internal/pivot"
+	"dita/internal/traj"
+	"dita/internal/trie"
+)
+
+// Worker is one node of the network-mode cluster: an RPC server holding
+// the partitions assigned to it (trajectories, trie index, verification
+// metadata) in memory.
+type Worker struct {
+	mu    sync.RWMutex
+	parts map[partKey]*workerPartition
+
+	searchCalls atomic.Int64
+	joinCalls   atomic.Int64
+	bytesIn     atomic.Int64
+
+	lis  net.Listener
+	srv  *rpc.Server
+	done chan struct{}
+
+	connMu sync.Mutex
+	conns  map[net.Conn]struct{}
+}
+
+type partKey struct {
+	dataset string
+	id      int
+}
+
+type workerPartition struct {
+	trajs []*traj.T
+	index *trie.Trie
+	meta  []core.VerifyMeta
+	m     measure.Measure
+	cellD float64
+}
+
+// NewWorker creates an unstarted worker.
+func NewWorker() *Worker {
+	return &Worker{
+		parts: map[partKey]*workerPartition{},
+		done:  make(chan struct{}),
+		conns: map[net.Conn]struct{}{},
+	}
+}
+
+// Serve starts listening on addr (host:port; port 0 picks a free port) and
+// serves RPCs until Close. It returns the bound address.
+func (w *Worker) Serve(addr string) (string, error) {
+	lis, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("dnet: %w", err)
+	}
+	w.lis = lis
+	w.srv = rpc.NewServer()
+	// The RPC service is a separate type so only the protocol methods are
+	// exported to the wire.
+	if err := w.srv.RegisterName("Worker", &workerService{w: w}); err != nil {
+		lis.Close()
+		return "", err
+	}
+	go func() {
+		for {
+			conn, err := lis.Accept()
+			if err != nil {
+				select {
+				case <-w.done:
+					return
+				default:
+					continue
+				}
+			}
+			w.connMu.Lock()
+			w.conns[conn] = struct{}{}
+			w.connMu.Unlock()
+			go func(conn net.Conn) {
+				w.srv.ServeConn(conn)
+				w.connMu.Lock()
+				delete(w.conns, conn)
+				w.connMu.Unlock()
+			}(conn)
+		}
+	}()
+	return lis.Addr().String(), nil
+}
+
+// Close stops the listener and terminates every established connection,
+// so in-flight and future RPCs against this worker fail fast (the behavior
+// a crashed node exhibits).
+func (w *Worker) Close() error {
+	close(w.done)
+	var err error
+	if w.lis != nil {
+		err = w.lis.Close()
+	}
+	w.connMu.Lock()
+	for conn := range w.conns {
+		conn.Close()
+	}
+	w.conns = map[net.Conn]struct{}{}
+	w.connMu.Unlock()
+	return err
+}
+
+// workerService carries the exported RPC surface.
+type workerService struct {
+	w *Worker
+}
+
+// Load implements the LoadPartition RPC: store and index a partition.
+func (s *workerService) Load(args *LoadArgs, reply *LoadReply) error {
+	m, err := measure.ByName(args.Measure.Name, args.Measure.Eps, args.Measure.Delta)
+	if err != nil {
+		return err
+	}
+	trajs := make([]*traj.T, len(args.Trajs))
+	bytes := 0
+	for i, wt := range args.Trajs {
+		trajs[i] = &traj.T{ID: wt.ID, Points: wt.Points}
+		bytes += trajs[i].Bytes()
+	}
+	cfg := trie.Config{
+		K:        args.K,
+		NLAlign:  args.NLAlign,
+		NLPivot:  args.NLPivot,
+		MinNode:  args.MinNode,
+		Strategy: pivot.Strategy(args.Strategy),
+	}
+	p := &workerPartition{
+		trajs: trajs,
+		index: trie.Build(trajs, cfg),
+		meta:  make([]core.VerifyMeta, len(trajs)),
+		m:     m,
+		cellD: args.CellD,
+	}
+	for i, t := range trajs {
+		p.meta[i] = core.NewVerifyMeta(t, args.CellD)
+	}
+	s.w.mu.Lock()
+	s.w.parts[partKey{args.Dataset, args.Partition}] = p
+	s.w.mu.Unlock()
+	s.w.bytesIn.Add(int64(bytes))
+	reply.Trajs = len(trajs)
+	reply.IndexBytes = p.index.SizeBytes()
+	return nil
+}
+
+func (s *workerService) partition(dataset string, id int) (*workerPartition, error) {
+	s.w.mu.RLock()
+	defer s.w.mu.RUnlock()
+	p, ok := s.w.parts[partKey{dataset, id}]
+	if !ok {
+		return nil, fmt.Errorf("dnet: partition %s/%d not loaded on this worker", dataset, id)
+	}
+	return p, nil
+}
+
+// Search implements the per-partition threshold search RPC.
+func (s *workerService) Search(args *SearchArgs, reply *SearchReply) error {
+	s.w.searchCalls.Add(1)
+	p, err := s.partition(args.Dataset, args.Partition)
+	if err != nil {
+		return err
+	}
+	cands := p.index.Search(args.Query, p.m, args.Tau, nil)
+	reply.Candidates = len(cands)
+	v := core.NewVerifier(p.m, args.Query, args.Tau, p.cellD)
+	for _, i := range cands {
+		if d, ok := v.Verify(p.trajs[i], p.meta[i]); ok {
+			reply.Hits = append(reply.Hits, SearchHit{ID: p.trajs[i].ID, Distance: d})
+		}
+	}
+	reply.Verified = v.Verified
+	sort.Slice(reply.Hits, func(a, b int) bool { return reply.Hits[a].ID < reply.Hits[b].ID })
+	return nil
+}
+
+// Fetch implements trajectory retrieval by id.
+func (s *workerService) Fetch(args *FetchArgs, reply *FetchReply) error {
+	p, err := s.partition(args.Dataset, args.Partition)
+	if err != nil {
+		return err
+	}
+	want := make(map[int]bool, len(args.IDs))
+	for _, id := range args.IDs {
+		want[id] = true
+	}
+	for _, t := range p.trajs {
+		if want[t.ID] {
+			reply.Trajs = append(reply.Trajs, WireTrajectory{ID: t.ID, Points: t.Points})
+		}
+	}
+	return nil
+}
+
+// Ship implements the coordinator-directed shuffle: select this worker's
+// partition trajectories relevant to the destination partition, push them
+// to the destination worker's Join RPC, and relay the pairs back.
+func (s *workerService) Ship(args *ShipArgs, reply *JoinReply) error {
+	p, err := s.partition(args.SrcDataset, args.SrcPartition)
+	if err != nil {
+		return err
+	}
+	var shipped []WireTrajectory
+	for _, t := range p.trajs {
+		if core.TrajRelevant(p.m, t.Points, args.DstMBRf, args.DstMBRl, args.Tau) {
+			shipped = append(shipped, WireTrajectory{ID: t.ID, Points: t.Points})
+		}
+	}
+	if len(shipped) == 0 {
+		return nil
+	}
+	// Worker-to-worker connection: the data does not pass through the
+	// coordinator.
+	client, err := rpc.Dial("tcp", args.DstAddr)
+	if err != nil {
+		return fmt.Errorf("dnet: dialing peer %s: %w", args.DstAddr, err)
+	}
+	defer client.Close()
+	jargs := &JoinArgs{
+		Dataset:   args.DstDataset,
+		Partition: args.DstPartition,
+		Trajs:     shipped,
+		Tau:       args.Tau,
+		Flip:      args.Flip,
+	}
+	return client.Call("Worker.Join", jargs, reply)
+}
+
+// Join implements the receiving side of the shuffle: probe the local trie
+// with each shipped trajectory and verify candidates.
+func (s *workerService) Join(args *JoinArgs, reply *JoinReply) error {
+	s.w.joinCalls.Add(1)
+	p, err := s.partition(args.Dataset, args.Partition)
+	if err != nil {
+		return err
+	}
+	for _, wt := range args.Trajs {
+		reply.BytesReceived += 16*len(wt.Points) + 8
+		idxs := p.index.Search(wt.Points, p.m, args.Tau, nil)
+		reply.Candidates += len(idxs)
+		if len(idxs) == 0 {
+			continue
+		}
+		v := core.NewVerifier(p.m, wt.Points, args.Tau, p.cellD)
+		for _, i := range idxs {
+			d, ok := v.Verify(p.trajs[i], p.meta[i])
+			if !ok {
+				continue
+			}
+			if args.Flip {
+				reply.Pairs = append(reply.Pairs, WirePair{TID: p.trajs[i].ID, QID: wt.ID, Distance: d})
+			} else {
+				reply.Pairs = append(reply.Pairs, WirePair{TID: wt.ID, QID: p.trajs[i].ID, Distance: d})
+			}
+		}
+	}
+	s.w.bytesIn.Add(int64(reply.BytesReceived))
+	return nil
+}
+
+// Stats implements the inventory RPC.
+func (s *workerService) Stats(args *StatsArgs, reply *StatsReply) error {
+	s.w.mu.RLock()
+	defer s.w.mu.RUnlock()
+	reply.Partitions = len(s.w.parts)
+	for _, p := range s.w.parts {
+		reply.Trajs += len(p.trajs)
+		reply.IndexBytes += p.index.SizeBytes()
+	}
+	reply.SearchCalls = s.w.searchCalls.Load()
+	reply.JoinCalls = s.w.joinCalls.Load()
+	reply.BytesIn = s.w.bytesIn.Load()
+	return nil
+}

@@ -1,0 +1,209 @@
+package exp
+
+import (
+	"fmt"
+
+	"time"
+
+	"dita/internal/core"
+	"dita/internal/gen"
+	"dita/internal/measure"
+	"dita/internal/pivot"
+	"dita/internal/traj"
+)
+
+func init() {
+	register("fig12a", "Pivot selection strategy, Beijing-like (join time vs τ)", pivotStrategy("beijing"))
+	register("fig12b", "Pivot selection strategy, Chengdu-like (join time vs τ)", pivotStrategy("chengdu"))
+	register("fig12c", "Pivot size K, Beijing-like (join time vs τ)", pivotSize("beijing", []int{2, 3, 4, 5}))
+	register("fig12d", "Pivot size K, Chengdu-like (join time vs τ)", pivotSize("chengdu", []int{3, 4, 5, 6}))
+	register("fig14a", "Trie fanout NL, Beijing-like (join time vs τ)", varyNL("beijing"))
+	register("fig14b", "Trie fanout NL, Chengdu-like (join time vs τ)", varyNL("chengdu"))
+	register("fig15a", "Other distance functions: DTW and Fréchet (join time vs τ)", otherDistances())
+	register("fig15b", "Other distance functions: EDR and LCSS (join time vs integer τ)", editDistances())
+	register("table4", "Varying number of partitions NG (search ms, join s)", varyNG())
+}
+
+// pivotStrategy reproduces Figure 12(a,b): join time under the three pivot
+// selection strategies.
+func pivotStrategy(kind string) Runner {
+	return func(cfg Config) (*Table, error) {
+		d := cfg.joinData(kind)
+		t := &Table{ID: "fig12-strategy-" + kind, Title: "pivot strategies, join time vs τ (" + d.Name + ")",
+			Columns: []string{"tau", "Inflection(s)", "Neighbor(s)", "First/Last(s)"}}
+		strategies := []pivot.Strategy{pivot.Inflection, pivot.Neighbor, pivot.FirstLast}
+		for _, tau := range Taus {
+			row := []string{fmt.Sprintf("%.3f", tau)}
+			for _, s := range strategies {
+				opts := engineOpts(measure.DTW{}, cfg.Workers)
+				opts.Trie.Strategy = s
+				el, err := selfJoinWith(d, opts, tau)
+				if err != nil {
+					return nil, err
+				}
+				row = append(row, fmtSec(el))
+			}
+			t.Rows = append(t.Rows, row)
+		}
+		return t, nil
+	}
+}
+
+// pivotSize reproduces Figure 12(c,d): join time for different K.
+func pivotSize(kind string, ks []int) Runner {
+	return func(cfg Config) (*Table, error) {
+		d := cfg.joinData(kind)
+		cols := []string{"tau"}
+		for _, k := range ks {
+			cols = append(cols, fmt.Sprintf("K=%d(s)", k))
+		}
+		t := &Table{ID: "fig12-K-" + kind, Title: "pivot size K, join time vs τ (" + d.Name + ")", Columns: cols}
+		for _, tau := range Taus {
+			row := []string{fmt.Sprintf("%.3f", tau)}
+			for _, k := range ks {
+				opts := engineOpts(measure.DTW{}, cfg.Workers)
+				opts.Trie.K = k
+				el, err := selfJoinWith(d, opts, tau)
+				if err != nil {
+					return nil, err
+				}
+				row = append(row, fmtSec(el))
+			}
+			t.Rows = append(t.Rows, row)
+		}
+		return t, nil
+	}
+}
+
+// varyNL reproduces Figure 14: join time for different trie fanouts.
+func varyNL(kind string) Runner {
+	return func(cfg Config) (*Table, error) {
+		d := cfg.joinData(kind)
+		nls := []int{4, 8, 16}
+		cols := []string{"tau"}
+		for _, nl := range nls {
+			cols = append(cols, fmt.Sprintf("NL=%d(s)", nl))
+		}
+		t := &Table{ID: "fig14-" + kind, Title: "trie fanout NL, join time vs τ (" + d.Name + ")", Columns: cols}
+		for _, tau := range Taus {
+			row := []string{fmt.Sprintf("%.3f", tau)}
+			for _, nl := range nls {
+				opts := engineOpts(measure.DTW{}, cfg.Workers)
+				opts.Trie.NLAlign = nl
+				opts.Trie.NLPivot = nl / 2
+				if opts.Trie.NLPivot < 2 {
+					opts.Trie.NLPivot = 2
+				}
+				el, err := selfJoinWith(d, opts, tau)
+				if err != nil {
+					return nil, err
+				}
+				row = append(row, fmtSec(el))
+			}
+			t.Rows = append(t.Rows, row)
+		}
+		return t, nil
+	}
+}
+
+// selfJoinWith builds two engines with opts (fresh cluster shared by both)
+// and returns the simulated join time.
+func selfJoinWith(d *traj.Dataset, opts core.Options, tau float64) (time.Duration, error) {
+	e1, err := core.NewEngine(d, opts)
+	if err != nil {
+		return 0, err
+	}
+	e2, err := core.NewEngine(d, opts)
+	if err != nil {
+		return 0, err
+	}
+	el := minElapsed(opts.Cluster, func() {
+		e1.Join(e2, tau, core.DefaultJoinOptions(), nil)
+	})
+	return el, nil
+}
+
+// otherDistances reproduces Figure 15(a): DTW vs Fréchet join times on
+// both city datasets.
+func otherDistances() Runner {
+	return func(cfg Config) (*Table, error) {
+		bj := cfg.joinData("beijing")
+		cd := cfg.joinData("chengdu")
+		t := &Table{ID: "fig15a", Title: "join time vs τ: DTW and Fréchet on both datasets",
+			Columns: []string{"tau", "DTW(Beijing)(s)", "DTW(Chengdu)(s)", "Frechet(Beijing)(s)", "Frechet(Chengdu)(s)"}}
+		for _, tau := range Taus {
+			row := []string{fmt.Sprintf("%.3f", tau)}
+			for _, m := range []measure.Measure{measure.DTW{}, measure.Frechet{}} {
+				for _, d := range []*traj.Dataset{bj, cd} {
+					el, _, err := ditaSelfJoin(d, m, cfg.Workers, tau, core.DefaultJoinOptions())
+					if err != nil {
+						return nil, err
+					}
+					row = append(row, fmtSec(el))
+				}
+			}
+			t.Rows = append(t.Rows, row)
+		}
+		return t, nil
+	}
+}
+
+// editDistances reproduces Figure 15(b): EDR and LCSS with integer
+// thresholds 1..5 (ε = 0.0001, δ = 3 per Appendix B).
+func editDistances() Runner {
+	return func(cfg Config) (*Table, error) {
+		bj := cfg.joinData("beijing")
+		cd := cfg.joinData("chengdu")
+		t := &Table{ID: "fig15b", Title: "join time vs integer τ: EDR and LCSS (ε=0.0001, δ=3)",
+			Columns: []string{"tau", "EDR(Beijing)(s)", "EDR(Chengdu)(s)", "LCSS(Beijing)(s)", "LCSS(Chengdu)(s)"}}
+		for tau := 1; tau <= 5; tau++ {
+			row := []string{fmt.Sprintf("%d", tau)}
+			for _, m := range []measure.Measure{measure.EDR{Eps: 0.0001}, measure.LCSS{Eps: 0.0001, Delta: 3}} {
+				for _, d := range []*traj.Dataset{bj, cd} {
+					el, _, err := ditaSelfJoin(d, m, cfg.Workers, float64(tau), core.DefaultJoinOptions())
+					if err != nil {
+						return nil, err
+					}
+					row = append(row, fmtSec(el))
+				}
+			}
+			t.Rows = append(t.Rows, row)
+		}
+		return t, nil
+	}
+}
+
+// varyNG reproduces Table 4: search and join performance as the global
+// partitioning factor changes.
+func varyNG() Runner {
+	return func(cfg Config) (*Table, error) {
+		d := cfg.dataset("beijing")
+		jd := cfg.joinData("beijing")
+		qs := gen.Queries(d, cfg.Queries, cfg.Seed+10)
+		t := &Table{ID: "table4", Title: "varying NG (Beijing-like, DTW, τ=default)",
+			Columns: []string{"NG", "partitions", "search(ms)", "join(s)"}}
+		for _, ng := range []int{2, 4, 8, 16, 32} {
+			opts := engineOpts(measure.DTW{}, cfg.Workers)
+			opts.NG = ng
+			e, err := core.NewEngine(d, opts)
+			if err != nil {
+				return nil, err
+			}
+			searchMS := msPerQuery(opts.Cluster, len(qs), func() {
+				for _, q := range qs {
+					e.Search(q, DefaultTau, nil)
+				}
+			})
+			jopts := engineOpts(measure.DTW{}, cfg.Workers)
+			jopts.NG = ng
+			el, err := selfJoinWith(jd, jopts, DefaultTau)
+			if err != nil {
+				return nil, err
+			}
+			t.Rows = append(t.Rows, []string{
+				fmt.Sprintf("%d", ng), fmt.Sprintf("%d", len(e.Partitions())), fmtMS(searchMS), fmtSec(el),
+			})
+		}
+		return t, nil
+	}
+}

@@ -1,0 +1,147 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+
+	"dita/internal/cluster"
+)
+
+// tinyConfig keeps experiment smoke tests fast.
+func tinyConfig() Config {
+	return Config{
+		NBeijing: 300, NChengdu: 300, NOSM: 150, NJoin: 150,
+		Queries: 8, Workers: 2, Scale: 1, Seed: 7,
+	}
+}
+
+func TestRegistryComplete(t *testing.T) {
+	// Every figure and table from DESIGN.md's per-experiment index must be
+	// registered.
+	want := []string{
+		"table1", "table2", "table3", "table4", "table5", "table7",
+		"fig7a", "fig7b", "fig7c", "fig7d",
+		"fig8a", "fig8b", "fig8c", "fig8d",
+		"fig9a", "fig9b", "fig9c", "fig9d",
+		"fig10a", "fig10b", "fig10c", "fig10d",
+		"fig11a", "fig11b", "fig11c", "fig11d",
+		"fig12a", "fig12b", "fig12c", "fig12d",
+		"fig13a", "fig13b",
+		"fig14a", "fig14b",
+		"fig15a", "fig15b",
+		"fig16a", "fig16b", "fig16c", "fig16d",
+		"fig17a", "fig17b", "fig17c", "fig17d",
+	}
+	ids := map[string]bool{}
+	for _, id := range IDs() {
+		ids[id] = true
+		if Title(id) == "" {
+			t.Errorf("experiment %s has no title", id)
+		}
+	}
+	for _, id := range want {
+		if !ids[id] {
+			t.Errorf("experiment %s not registered", id)
+		}
+	}
+	if len(ids) < len(want) {
+		t.Errorf("registry has %d experiments, want at least %d", len(ids), len(want))
+	}
+}
+
+func TestRunUnknown(t *testing.T) {
+	if _, err := Run("nope", tinyConfig()); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}
+
+// Smoke-run a representative subset at tiny scale; each must produce a
+// well-formed table (full runs live in cmd/ditabench).
+func TestExperimentsSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment smoke tests are not -short")
+	}
+	for _, id := range []string{"table1", "table2", "fig7a", "fig9a", "fig12a", "fig13a", "fig14a", "fig16a", "fig17a", "fig17c", "table4", "table5", "table7"} {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			tbl, err := Run(id, tinyConfig())
+			if err != nil {
+				t.Fatalf("%s: %v", id, err)
+			}
+			if len(tbl.Rows) == 0 || len(tbl.Columns) == 0 {
+				t.Fatalf("%s: empty table", id)
+			}
+			for _, r := range tbl.Rows {
+				if len(r) != len(tbl.Columns) {
+					t.Fatalf("%s: ragged row %v vs columns %v", id, r, tbl.Columns)
+				}
+			}
+			if !strings.Contains(tbl.String(), tbl.Columns[0]) {
+				t.Fatalf("%s: String() missing header", id)
+			}
+			if !strings.Contains(tbl.TSV(), "\t") {
+				t.Fatalf("%s: TSV() malformed", id)
+			}
+		})
+	}
+}
+
+// Table 1's DTW matrix must end at 5.41 (the paper's value).
+func TestTable1Value(t *testing.T) {
+	tbl, err := Run("table1", tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := tbl.Rows[len(tbl.Rows)-1]
+	if got := last[len(last)-1]; got != "5.41" {
+		t.Errorf("DTW(T1,T3) cell = %s, want 5.41", got)
+	}
+}
+
+func TestFormattingHelpers(t *testing.T) {
+	if got := fmtMS(250.4); got != "250" {
+		t.Errorf("fmtMS(250.4) = %q", got)
+	}
+	if got := fmtMS(3.14159); got != "3.14" {
+		t.Errorf("fmtMS(3.14) = %q", got)
+	}
+	if got := fmtMS(0.12345); got != "0.1235" && got != "0.1234" {
+		t.Errorf("fmtMS(0.12345) = %q", got)
+	}
+	if got := fmtBytes(2_500_000); got != "2.50" {
+		t.Errorf("fmtBytes = %q", got)
+	}
+}
+
+func TestConfigSanitization(t *testing.T) {
+	c := Config{}.sanitized()
+	d := DefaultConfig()
+	if c.NBeijing != d.NBeijing || c.Workers != d.Workers || c.Scale != 1 || c.Seed != d.Seed {
+		t.Errorf("zero config not defaulted: %+v", c)
+	}
+	c = Config{Scale: -1, Queries: -5}.sanitized()
+	if c.Scale != 1 || c.Queries != d.Queries {
+		t.Errorf("negative fields not defaulted: %+v", c)
+	}
+	// n() floors at 50 trajectories.
+	tiny := Config{Scale: 0.0001}.sanitized()
+	if tiny.n(10000) != 50 {
+		t.Errorf("n floor = %d", tiny.n(10000))
+	}
+}
+
+func TestMinElapsedTakesMinimum(t *testing.T) {
+	cl := expCluster(2)
+	calls := 0
+	el := minElapsed(cl, func() {
+		calls++
+		cl.Transfer(0, 1, 125_000*calls) // growing cost per rep
+		cl.Run([]cluster.Task{{Worker: 0, Fn: func() {}}})
+	})
+	if calls != measureReps {
+		t.Errorf("ran %d reps, want %d", calls, measureReps)
+	}
+	if el <= 0 {
+		t.Error("minElapsed returned nothing")
+	}
+}

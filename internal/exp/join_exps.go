@@ -1,0 +1,221 @@
+package exp
+
+import (
+	"fmt"
+	"time"
+
+	"dita/internal/baseline"
+	"dita/internal/core"
+	"dita/internal/measure"
+	"dita/internal/traj"
+)
+
+func init() {
+	register("fig9a", "Join time vs τ, Beijing-like (Simba vs DITA, DTW)", joinVaryTau("beijing"))
+	register("fig10a", "Join time vs τ, Chengdu-like (Simba vs DITA, DTW)", joinVaryTau("chengdu"))
+	register("fig9b", "Join scalability vs data size, Beijing-like", joinScalability("beijing"))
+	register("fig10b", "Join scalability vs data size, Chengdu-like", joinScalability("chengdu"))
+	register("fig9c", "Join scale-up vs workers, Beijing-like", joinScaleUp("beijing"))
+	register("fig10c", "Join scale-up vs workers, Chengdu-like", joinScaleUp("chengdu"))
+	register("fig9d", "Join scale-out (size+workers), Beijing-like", joinScaleOut("beijing"))
+	register("fig10d", "Join scale-out (size+workers), Chengdu-like", joinScaleOut("chengdu"))
+	register("fig11b", "Join time vs τ on OSM-like, DTW (DITA only)", joinLarge(measure.DTW{}))
+	register("fig11d", "Join time vs τ on OSM-like, Fréchet (DITA only)", joinLarge(measure.Frechet{}))
+	register("fig13a", "DITA vs Random partitioning, join, Beijing-like", partitioningScheme("beijing"))
+	register("fig13b", "DITA vs Random partitioning, join, Chengdu-like", partitioningScheme("chengdu"))
+	register("fig16a", "Load ratio vs τ, Beijing-like (balanced vs naive)", loadBalancing("beijing", true))
+	register("fig16b", "Load ratio vs τ, Chengdu-like (balanced vs naive)", loadBalancing("chengdu", true))
+	register("fig16c", "Join total time vs τ, Beijing-like (balanced vs naive)", loadBalancing("beijing", false))
+	register("fig16d", "Join total time vs τ, Chengdu-like (balanced vs naive)", loadBalancing("chengdu", false))
+}
+
+// joinData materializes a join-scale dataset of the given kind.
+func (c Config) joinData(kind string) *traj.Dataset {
+	cfg2 := c
+	cfg2.NBeijing, cfg2.NChengdu, cfg2.NOSM = c.NJoin, c.NJoin, c.NJoin
+	return cfg2.dataset(kind)
+}
+
+// ditaSelfJoin builds two engines over d on one cluster and times the
+// self-join, returning simulated elapsed and stats.
+func ditaSelfJoin(d *traj.Dataset, m measure.Measure, workers int, tau float64, jopts core.JoinOptions) (time.Duration, core.JoinStats, error) {
+	opts := engineOpts(m, workers)
+	e1, err := core.NewEngine(d, opts)
+	if err != nil {
+		return 0, core.JoinStats{}, err
+	}
+	e2, err := core.NewEngine(d, opts)
+	if err != nil {
+		return 0, core.JoinStats{}, err
+	}
+	var stats core.JoinStats
+	el := minElapsed(opts.Cluster, func() {
+		stats = core.JoinStats{}
+		e1.Join(e2, tau, jopts, &stats)
+	})
+	return el, stats, nil
+}
+
+// simbaSelfJoin times the Simba-style join.
+func simbaSelfJoin(d *traj.Dataset, workers int, tau float64) time.Duration {
+	cl := expCluster(workers)
+	s1 := baseline.NewSimba(d, measure.DTW{}, cl, 2*workers)
+	s2 := baseline.NewSimba(d, measure.DTW{}, cl, 2*workers)
+	return minElapsed(cl, func() { s1.Join(s2, tau) })
+}
+
+func joinVaryTau(kind string) Runner {
+	return func(cfg Config) (*Table, error) {
+		d := cfg.joinData(kind)
+		t := &Table{ID: "fig-join-tau-" + kind, Title: "join time vs τ (" + d.Name + ")",
+			Columns: []string{"tau", "Simba(s)", "DITA(s)"}}
+		for _, tau := range Taus {
+			simba := simbaSelfJoin(d, cfg.Workers, tau)
+			dita, _, err := ditaSelfJoin(d, measure.DTW{}, cfg.Workers, tau, core.DefaultJoinOptions())
+			if err != nil {
+				return nil, err
+			}
+			t.Rows = append(t.Rows, []string{fmt.Sprintf("%.3f", tau), fmtSec(simba), fmtSec(dita)})
+		}
+		return t, nil
+	}
+}
+
+func joinScalability(kind string) Runner {
+	return func(cfg Config) (*Table, error) {
+		full := cfg.joinData(kind)
+		t := &Table{ID: "fig-join-scale-" + kind, Title: "join time vs data size (" + full.Name + ")",
+			Columns: []string{"rate", "Simba(s)", "DITA(s)"}}
+		for _, rate := range []float64{0.25, 0.5, 0.75, 1.0} {
+			d := full.Sample(rate)
+			simba := simbaSelfJoin(d, cfg.Workers, DefaultTau)
+			dita, _, err := ditaSelfJoin(d, measure.DTW{}, cfg.Workers, DefaultTau, core.DefaultJoinOptions())
+			if err != nil {
+				return nil, err
+			}
+			t.Rows = append(t.Rows, []string{fmt.Sprintf("%.2f", rate), fmtSec(simba), fmtSec(dita)})
+		}
+		return t, nil
+	}
+}
+
+func joinScaleUp(kind string) Runner {
+	return func(cfg Config) (*Table, error) {
+		d := cfg.joinData(kind)
+		t := &Table{ID: "fig-join-scaleup-" + kind, Title: "join time vs workers (" + d.Name + ")",
+			Columns: []string{"workers", "Simba(s)", "DITA(s)"}}
+		for _, w := range []int{1, 2, 4, 8} {
+			simba := simbaSelfJoin(d, w, DefaultTau)
+			dita, _, err := ditaSelfJoin(d, measure.DTW{}, w, DefaultTau, core.DefaultJoinOptions())
+			if err != nil {
+				return nil, err
+			}
+			t.Rows = append(t.Rows, []string{fmt.Sprintf("%d", w), fmtSec(simba), fmtSec(dita)})
+		}
+		return t, nil
+	}
+}
+
+func joinScaleOut(kind string) Runner {
+	return func(cfg Config) (*Table, error) {
+		full := cfg.joinData(kind)
+		t := &Table{ID: "fig-join-scaleout-" + kind, Title: "join scale-out (" + full.Name + ")",
+			Columns: []string{"scale", "Simba(s)", "DITA(s)"}}
+		steps := []struct {
+			rate float64
+			w    int
+		}{{0.25, 1}, {0.5, 2}, {0.75, 4}, {1.0, 8}}
+		for _, st := range steps {
+			d := full.Sample(st.rate)
+			simba := simbaSelfJoin(d, st.w, DefaultTau)
+			dita, _, err := ditaSelfJoin(d, measure.DTW{}, st.w, DefaultTau, core.DefaultJoinOptions())
+			if err != nil {
+				return nil, err
+			}
+			t.Rows = append(t.Rows, []string{fmt.Sprintf("%.2f,%dw", st.rate, st.w), fmtSec(simba), fmtSec(dita)})
+		}
+		return t, nil
+	}
+}
+
+func joinLarge(m measure.Measure) Runner {
+	return func(cfg Config) (*Table, error) {
+		d := cfg.joinData("osm")
+		t := &Table{ID: "fig-join-osm-" + m.Name(), Title: "join time vs τ on OSM-like (" + m.Name() + ", DITA only)",
+			Columns: []string{"tau", "DITA(s)"}}
+		for _, tau := range Taus {
+			dita, _, err := ditaSelfJoin(d, m, cfg.Workers, tau, core.DefaultJoinOptions())
+			if err != nil {
+				return nil, err
+			}
+			t.Rows = append(t.Rows, []string{fmt.Sprintf("%.3f", tau), fmtSec(dita)})
+		}
+		return t, nil
+	}
+}
+
+// partitioningScheme reproduces Figure 13: DITA's first/last STR
+// partitioning vs random partitioning, join time vs τ.
+func partitioningScheme(kind string) Runner {
+	return func(cfg Config) (*Table, error) {
+		d := cfg.joinData(kind)
+		t := &Table{ID: "fig13-" + kind, Title: "partitioning scheme, join time vs τ (" + d.Name + ")",
+			Columns: []string{"tau", "DITA(s)", "Random(s)"}}
+		for _, tau := range Taus {
+			dita, _, err := ditaSelfJoin(d, measure.DTW{}, cfg.Workers, tau, core.DefaultJoinOptions())
+			if err != nil {
+				return nil, err
+			}
+			ropts := engineOpts(measure.DTW{}, cfg.Workers)
+			ropts.RandomPartition = true
+			r1, err := core.NewEngine(d, ropts)
+			if err != nil {
+				return nil, err
+			}
+			r2, err := core.NewEngine(d, ropts)
+			if err != nil {
+				return nil, err
+			}
+			random := minElapsed(ropts.Cluster, func() {
+				r1.Join(r2, tau, core.DefaultJoinOptions(), nil)
+			})
+			t.Rows = append(t.Rows, []string{fmt.Sprintf("%.3f", tau), fmtSec(dita), fmtSec(random)})
+		}
+		return t, nil
+	}
+}
+
+// loadBalancing reproduces Figure 16: the load (un-balance) ratio and the
+// join total time, with and without DITA's balancing mechanisms.
+func loadBalancing(kind string, ratio bool) Runner {
+	return func(cfg Config) (*Table, error) {
+		d := cfg.joinData(kind)
+		cols := []string{"tau", "DITA", "Naive"}
+		title := "join load ratio vs τ (" + d.Name + ")"
+		if !ratio {
+			title = "join total time vs τ, balancing ablation (" + d.Name + ")"
+			cols = []string{"tau", "DITA(s)", "Naive(s)"}
+		}
+		t := &Table{ID: "fig16-" + kind, Title: title, Columns: cols}
+		naiveOpts := core.DefaultJoinOptions()
+		naiveOpts.DisableOrientation = true
+		naiveOpts.DisableDivision = true
+		for _, tau := range Taus {
+			elB, stB, err := ditaSelfJoin(d, measure.DTW{}, cfg.Workers, tau, core.DefaultJoinOptions())
+			if err != nil {
+				return nil, err
+			}
+			elN, stN, err := ditaSelfJoin(d, measure.DTW{}, cfg.Workers, tau, naiveOpts)
+			if err != nil {
+				return nil, err
+			}
+			if ratio {
+				t.Rows = append(t.Rows, []string{fmt.Sprintf("%.3f", tau),
+					fmt.Sprintf("%.2f", stB.LoadRatio), fmt.Sprintf("%.2f", stN.LoadRatio)})
+			} else {
+				t.Rows = append(t.Rows, []string{fmt.Sprintf("%.3f", tau), fmtSec(elB), fmtSec(elN)})
+			}
+		}
+		return t, nil
+	}
+}

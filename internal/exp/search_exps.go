@@ -1,0 +1,179 @@
+package exp
+
+import (
+	"fmt"
+
+	"dita/internal/baseline"
+	"dita/internal/core"
+	"dita/internal/gen"
+	"dita/internal/measure"
+	"dita/internal/traj"
+)
+
+func init() {
+	register("fig7a", "Search time vs τ, Beijing-like (Naive/Simba/DFT/DITA, DTW)", searchVaryTau("beijing"))
+	register("fig8a", "Search time vs τ, Chengdu-like (Naive/Simba/DFT/DITA, DTW)", searchVaryTau("chengdu"))
+	register("fig7b", "Search scalability vs data size, Beijing-like", searchScalability("beijing"))
+	register("fig8b", "Search scalability vs data size, Chengdu-like", searchScalability("chengdu"))
+	register("fig7c", "Search scale-up vs workers, Beijing-like", searchScaleUp("beijing"))
+	register("fig8c", "Search scale-up vs workers, Chengdu-like", searchScaleUp("chengdu"))
+	register("fig7d", "Search scale-out (size+workers), Beijing-like", searchScaleOut("beijing"))
+	register("fig8d", "Search scale-out (size+workers), Chengdu-like", searchScaleOut("chengdu"))
+	register("fig11a", "Search time vs τ on OSM-like, DTW", searchLarge(measure.DTW{}))
+	register("fig11c", "Search time vs τ on OSM-like, Fréchet", searchLarge(measure.Frechet{}))
+}
+
+// systems bundles the four compared search systems, each on its own
+// cluster of the same size.
+type systems struct {
+	naive *baseline.Naive
+	simba *baseline.Simba
+	dft   *baseline.DFT
+	dita  *core.Engine
+}
+
+func buildSystems(d *traj.Dataset, m measure.Measure, workers int) (*systems, error) {
+	nparts := 2 * workers
+	e, err := core.NewEngine(d, engineOpts(m, workers))
+	if err != nil {
+		return nil, err
+	}
+	return &systems{
+		naive: baseline.NewNaive(d, m, expCluster(workers)),
+		simba: baseline.NewSimba(d, m, expCluster(workers), nparts),
+		dft:   baseline.NewDFT(d, m, expCluster(workers), nparts),
+		dita:  e,
+	}, nil
+}
+
+// measureSearch returns avg simulated ms/query for each system at tau.
+func (s *systems) measureSearch(qs []*traj.T, tau float64) [4]float64 {
+	var out [4]float64
+	out[0] = msPerQuery(s.naive.Cluster(), len(qs), func() {
+		for _, q := range qs {
+			s.naive.Search(q, tau)
+		}
+	})
+	out[1] = msPerQuery(s.simba.Cluster(), len(qs), func() {
+		for _, q := range qs {
+			s.simba.Search(q, tau)
+		}
+	})
+	out[2] = msPerQuery(s.dft.Cluster(), len(qs), func() {
+		for _, q := range qs {
+			s.dft.Search(q, tau)
+		}
+	})
+	out[3] = msPerQuery(s.dita.Cluster(), len(qs), func() {
+		for _, q := range qs {
+			s.dita.Search(q, tau, nil)
+		}
+	})
+	return out
+}
+
+var searchCols = []string{"tau", "Naive(ms)", "Simba(ms)", "DFT(ms)", "DITA(ms)"}
+
+func searchVaryTau(kind string) Runner {
+	return func(cfg Config) (*Table, error) {
+		d := cfg.dataset(kind)
+		qs := gen.Queries(d, cfg.Queries, cfg.Seed+10)
+		sys, err := buildSystems(d, measure.DTW{}, cfg.Workers)
+		if err != nil {
+			return nil, err
+		}
+		t := &Table{ID: "fig-search-tau-" + kind, Title: "search time vs τ (" + d.Name + ")", Columns: searchCols}
+		for _, tau := range Taus {
+			ms := sys.measureSearch(qs, tau)
+			t.Rows = append(t.Rows, []string{
+				fmt.Sprintf("%.3f", tau), fmtMS(ms[0]), fmtMS(ms[1]), fmtMS(ms[2]), fmtMS(ms[3]),
+			})
+		}
+		return t, nil
+	}
+}
+
+func searchScalability(kind string) Runner {
+	return func(cfg Config) (*Table, error) {
+		full := cfg.dataset(kind)
+		t := &Table{ID: "fig-search-scale-" + kind, Title: "search time vs data size (" + full.Name + ")",
+			Columns: []string{"rate", "Naive(ms)", "Simba(ms)", "DFT(ms)", "DITA(ms)"}}
+		for _, rate := range []float64{0.25, 0.5, 0.75, 1.0} {
+			d := full.Sample(rate)
+			qs := gen.Queries(d, cfg.Queries, cfg.Seed+10)
+			sys, err := buildSystems(d, measure.DTW{}, cfg.Workers)
+			if err != nil {
+				return nil, err
+			}
+			ms := sys.measureSearch(qs, DefaultTau)
+			t.Rows = append(t.Rows, []string{
+				fmt.Sprintf("%.2f", rate), fmtMS(ms[0]), fmtMS(ms[1]), fmtMS(ms[2]), fmtMS(ms[3]),
+			})
+		}
+		return t, nil
+	}
+}
+
+func searchScaleUp(kind string) Runner {
+	return func(cfg Config) (*Table, error) {
+		d := cfg.dataset(kind)
+		qs := gen.Queries(d, cfg.Queries, cfg.Seed+10)
+		t := &Table{ID: "fig-search-scaleup-" + kind, Title: "search time vs workers (" + d.Name + ")",
+			Columns: []string{"workers", "Naive(ms)", "Simba(ms)", "DFT(ms)", "DITA(ms)"}}
+		for _, w := range []int{1, 2, 4, 8} {
+			sys, err := buildSystems(d, measure.DTW{}, w)
+			if err != nil {
+				return nil, err
+			}
+			ms := sys.measureSearch(qs, DefaultTau)
+			t.Rows = append(t.Rows, []string{
+				fmt.Sprintf("%d", w), fmtMS(ms[0]), fmtMS(ms[1]), fmtMS(ms[2]), fmtMS(ms[3]),
+			})
+		}
+		return t, nil
+	}
+}
+
+func searchScaleOut(kind string) Runner {
+	return func(cfg Config) (*Table, error) {
+		full := cfg.dataset(kind)
+		t := &Table{ID: "fig-search-scaleout-" + kind, Title: "search scale-out (" + full.Name + ")",
+			Columns: []string{"scale", "Naive(ms)", "Simba(ms)", "DFT(ms)", "DITA(ms)"}}
+		steps := []struct {
+			rate float64
+			w    int
+		}{{0.25, 1}, {0.5, 2}, {0.75, 4}, {1.0, 8}}
+		for _, st := range steps {
+			d := full.Sample(st.rate)
+			qs := gen.Queries(d, cfg.Queries, cfg.Seed+10)
+			sys, err := buildSystems(d, measure.DTW{}, st.w)
+			if err != nil {
+				return nil, err
+			}
+			ms := sys.measureSearch(qs, DefaultTau)
+			t.Rows = append(t.Rows, []string{
+				fmt.Sprintf("%.2f,%dw", st.rate, st.w), fmtMS(ms[0]), fmtMS(ms[1]), fmtMS(ms[2]), fmtMS(ms[3]),
+			})
+		}
+		return t, nil
+	}
+}
+
+func searchLarge(m measure.Measure) Runner {
+	return func(cfg Config) (*Table, error) {
+		d := cfg.dataset("osm")
+		qs := gen.Queries(d, cfg.Queries/2+1, cfg.Seed+10)
+		sys, err := buildSystems(d, m, cfg.Workers)
+		if err != nil {
+			return nil, err
+		}
+		t := &Table{ID: "fig-search-osm-" + m.Name(), Title: "search time vs τ on OSM-like (" + m.Name() + ")", Columns: searchCols}
+		for _, tau := range Taus {
+			ms := sys.measureSearch(qs, tau)
+			t.Rows = append(t.Rows, []string{
+				fmt.Sprintf("%.3f", tau), fmtMS(ms[0]), fmtMS(ms[1]), fmtMS(ms[2]), fmtMS(ms[3]),
+			})
+		}
+		return t, nil
+	}
+}

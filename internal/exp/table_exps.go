@@ -1,0 +1,247 @@
+package exp
+
+import (
+	"fmt"
+	"time"
+
+	"dita/internal/baseline"
+	"dita/internal/central"
+	"dita/internal/core"
+	"dita/internal/gen"
+	"dita/internal/geom"
+	"dita/internal/measure"
+	"dita/internal/traj"
+)
+
+func init() {
+	register("table1", "Worked example: point distance and DTW matrices for T1, T3", table1())
+	register("table3", "Parameters (paper defaults vs this reproduction)", table3())
+	register("table2", "Dataset statistics (synthetic stand-ins)", table2())
+	register("table5", "Index build time and size, DITA vs DFT, by sample rate", table5())
+	register("table7", "Centralized index build time and size: DITA vs MBE vs VP-tree", table7())
+	register("fig17a", "Centralized candidates vs τ, DTW (MBE vs DITA)", fig17(measure.DTW{}, true))
+	register("fig17b", "Centralized search time vs τ, DTW (MBE vs DITA)", fig17(measure.DTW{}, false))
+	register("fig17c", "Centralized candidates vs τ, Fréchet (MBE, VP-tree, DITA)", fig17(measure.Frechet{}, true))
+	register("fig17d", "Centralized search time vs τ, Fréchet (MBE, VP-tree, DITA)", fig17(measure.Frechet{}, false))
+}
+
+// table1 prints the paper's worked example matrices for T1 and T3.
+func table1() Runner {
+	return func(cfg Config) (*Table, error) {
+		t1 := []geom.Point{{X: 1, Y: 1}, {X: 1, Y: 2}, {X: 3, Y: 2}, {X: 4, Y: 4}, {X: 4, Y: 5}, {X: 5, Y: 5}}
+		t3 := []geom.Point{{X: 1, Y: 1}, {X: 4, Y: 1}, {X: 4, Y: 3}, {X: 4, Y: 5}, {X: 4, Y: 6}, {X: 5, Y: 6}}
+		cols := []string{"matrix", "i"}
+		for j := 1; j <= len(t3); j++ {
+			cols = append(cols, fmt.Sprintf("t3_%d", j))
+		}
+		t := &Table{ID: "table1", Title: "distance and DTW matrices for T1 and T3 (paper Table 1)", Columns: cols}
+		// Point-to-point distances.
+		for i, p := range t1 {
+			row := []string{"dist", fmt.Sprintf("t1_%d", i+1)}
+			for _, q := range t3 {
+				row = append(row, fmt.Sprintf("%.2f", p.Dist(q)))
+			}
+			t.Rows = append(t.Rows, row)
+		}
+		// DTW prefix matrix.
+		for i := 1; i <= len(t1); i++ {
+			row := []string{"DTW", fmt.Sprintf("t1_%d", i)}
+			for j := 1; j <= len(t3); j++ {
+				row = append(row, fmt.Sprintf("%.2f", measure.DTW{}.Distance(t1[:i], t3[:j])))
+			}
+			t.Rows = append(t.Rows, row)
+		}
+		return t, nil
+	}
+}
+
+// table3 prints the parameter grid (the paper's Table 3) next to the
+// laptop-scale values this reproduction uses.
+func table3() Runner {
+	return func(cfg Config) (*Table, error) {
+		t := &Table{ID: "table3", Title: "parameters (paper Table 3 vs this reproduction)",
+			Columns: []string{"parameter", "paper values (default)", "reproduction values (default)"}}
+		t.Rows = [][]string{
+			{"threshold τ", "0.001..0.005 (0.003)", "0.001..0.005 (0.003)"},
+			{"NG", "32, 64*, 128*, 256 (per dataset)", "2..32 (6)"},
+			{"NL", "16, 32*, 64", "4, 8, 16 (align 16 / pivot 4)"},
+			{"pivot selection", "Inflection, Neighbor*, First/Last", "same"},
+			{"pivot size K", "2..6 (4 Beijing, 5 Chengdu)", "2..6 (4)"},
+			{"# of cores", "64..256", fmt.Sprintf("1..8 workers (%d)", cfg.Workers)},
+			{"dataset size", "0.25..1.0 of 11-141M trajs", fmt.Sprintf("0.25..1.0 of %d/%d/%d trajs", cfg.n(cfg.NBeijing), cfg.n(cfg.NChengdu), cfg.n(cfg.NOSM))},
+			{"queries", "1000", fmt.Sprintf("%d", cfg.Queries)},
+		}
+		return t, nil
+	}
+}
+
+// table2 reports the synthetic datasets' statistics next to the paper's
+// Table 2 targets.
+func table2() Runner {
+	return func(cfg Config) (*Table, error) {
+		t := &Table{ID: "table2", Title: "dataset statistics (synthetic stand-ins; paper targets in parentheses)",
+			Columns: []string{"dataset", "cardinality", "avgLen", "minLen", "maxLen", "size(MB)"}}
+		rows := []struct {
+			d      *traj.Dataset
+			target string
+		}{
+			{cfg.dataset("beijing"), "Beijing: avg 22.2, [7,112]"},
+			{cfg.dataset("chengdu"), "Chengdu: avg 37.4, [10,209]"},
+			{cfg.dataset("osm"), "OSM: avg ~114, [9,3000]"},
+		}
+		for _, r := range rows {
+			s := r.d.Stats()
+			t.Rows = append(t.Rows, []string{
+				fmt.Sprintf("%s (%s)", s.Name, r.target),
+				fmt.Sprintf("%d", s.Cardinality),
+				fmt.Sprintf("%.1f", s.AvgLen),
+				fmt.Sprintf("%d", s.MinLen),
+				fmt.Sprintf("%d", s.MaxLen),
+				fmtBytes(s.SizeBytes),
+			})
+		}
+		return t, nil
+	}
+}
+
+// table5 reports index build time and sizes for DITA and DFT across sample
+// rates.
+func table5() Runner {
+	return func(cfg Config) (*Table, error) {
+		t := &Table{ID: "table5", Title: "indexing time and size by sample rate (Beijing-like and Chengdu-like)",
+			Columns: []string{"method", "rate", "time(s)", "global(KB)", "local(MB)"}}
+		for _, kind := range []string{"beijing", "chengdu"} {
+			full := cfg.dataset(kind)
+			for _, rate := range []float64{0.25, 0.5, 0.75, 1.0} {
+				d := full.Sample(rate)
+				e, err := core.NewEngine(d, engineOpts(measure.DTW{}, cfg.Workers))
+				if err != nil {
+					return nil, err
+				}
+				g, l := e.IndexSizeBytes()
+				t.Rows = append(t.Rows, []string{
+					"DITA(" + kind + ")", fmt.Sprintf("%.2f", rate), fmtSec(e.BuildTime), fmtKB(g), fmtBytes(l),
+				})
+			}
+			// DFT at full rate only, as in the paper's Table 5.
+			start := time.Now()
+			f := baseline.NewDFT(full, measure.DTW{}, expCluster(cfg.Workers), 2*cfg.Workers)
+			buildTime := time.Since(start)
+			g, l := f.IndexSizeBytes()
+			t.Rows = append(t.Rows, []string{
+				"DFT(" + kind + ")", "1.00", fmtSec(buildTime), fmtKB(g), fmtBytes(l),
+			})
+		}
+		return t, nil
+	}
+}
+
+// tinyChengdu is the Appendix C "Chengdu(tiny)" stand-in.
+func tinyChengdu(cfg Config) *traj.Dataset {
+	n := cfg.n(cfg.NChengdu) / 4
+	if n < 50 {
+		n = 50
+	}
+	return gen.Generate(gen.ChengduLike(n, cfg.Seed+7))
+}
+
+// table7 reports centralized index build time and size.
+func table7() Runner {
+	return func(cfg Config) (*Table, error) {
+		d := tinyChengdu(cfg)
+		t := &Table{ID: "table7", Title: fmt.Sprintf("centralized indexing on Chengdu(tiny)-like (%d trajs)", d.Len()),
+			Columns: []string{"method", "time(s)", "size(MB)"}}
+		e, err := core.NewEngine(d, engineOpts(measure.Frechet{}, 1))
+		if err != nil {
+			return nil, err
+		}
+		g, l := e.IndexSizeBytes()
+		t.Rows = append(t.Rows, []string{"DITA", fmtSec(e.BuildTime), fmtBytes(g + l)})
+		mbe := central.NewMBE(d, measure.Frechet{}, central.DefaultEnvelopeSize)
+		t.Rows = append(t.Rows, []string{"MBE", fmtSec(mbe.BuildTime), fmtBytes(mbe.SizeBytes())})
+		vp := central.NewVPTree(d, measure.Frechet{}, cfg.Seed)
+		t.Rows = append(t.Rows, []string{"VP-Tree", fmtSec(vp.BuildTime), fmtBytes(vp.SizeBytes())})
+		return t, nil
+	}
+}
+
+// fig17 compares centralized candidates (or latency) across MBE, VP-tree
+// (Fréchet only) and centralized DITA.
+func fig17(m measure.Measure, candidates bool) Runner {
+	return func(cfg Config) (*Table, error) {
+		d := tinyChengdu(cfg)
+		qs := gen.Queries(d, cfg.Queries/2+1, cfg.Seed+11)
+		isFrechet := m.Accumulation() == measure.AccumMax
+		cols := []string{"tau", "MBE"}
+		if isFrechet {
+			cols = append(cols, "VP-Tree")
+		}
+		cols = append(cols, "DITA")
+		what := "search time (ms/query)"
+		if candidates {
+			what = "# candidates per query"
+		}
+		t := &Table{ID: "fig17-" + m.Name(), Title: fmt.Sprintf("centralized %s vs τ (%s)", what, m.Name()), Columns: cols}
+
+		mbe := central.NewMBE(d, m, central.DefaultEnvelopeSize)
+		var vp *central.VPTree
+		if isFrechet {
+			vp = central.NewVPTree(d, m, cfg.Seed)
+		}
+		e, err := core.NewEngine(d, engineOpts(m, 1))
+		if err != nil {
+			return nil, err
+		}
+		for _, tau := range Taus {
+			row := []string{fmt.Sprintf("%.3f", tau)}
+			// MBE.
+			var mbeCands int
+			start := time.Now()
+			for _, q := range qs {
+				var st central.Stats
+				mbe.Search(q, tau, &st)
+				mbeCands += st.Candidates
+			}
+			mbeMS := float64(time.Since(start).Microseconds()) / 1000 / float64(len(qs))
+			if candidates {
+				row = append(row, fmt.Sprintf("%d", mbeCands/len(qs)))
+			} else {
+				row = append(row, fmtMS(mbeMS))
+			}
+			// VP-tree.
+			if isFrechet {
+				var vpCands int
+				start = time.Now()
+				for _, q := range qs {
+					var st central.Stats
+					vp.Search(q, tau, &st)
+					vpCands += st.Candidates
+				}
+				vpMS := float64(time.Since(start).Microseconds()) / 1000 / float64(len(qs))
+				if candidates {
+					row = append(row, fmt.Sprintf("%d", vpCands/len(qs)))
+				} else {
+					row = append(row, fmtMS(vpMS))
+				}
+			}
+			// Centralized DITA: candidates = trajectories reaching exact
+			// verification (same definition as the baselines').
+			var ditaCands int
+			e.Cluster().Reset()
+			start = time.Now()
+			for _, q := range qs {
+				var st core.SearchStats
+				e.Search(q, tau, &st)
+				ditaCands += st.Verified
+			}
+			ditaMS := float64(time.Since(start).Microseconds()) / 1000 / float64(len(qs))
+			if candidates {
+				row = append(row, fmt.Sprintf("%d", ditaCands/len(qs)))
+			} else {
+				row = append(row, fmtMS(ditaMS))
+			}
+			t.Rows = append(t.Rows, row)
+		}
+		return t, nil
+	}
+}

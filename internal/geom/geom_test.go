@@ -1,0 +1,287 @@
+package geom
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestPointDist(t *testing.T) {
+	cases := []struct {
+		p, q Point
+		want float64
+	}{
+		{Point{0, 0}, Point{3, 4}, 5},
+		{Point{1, 1}, Point{1, 1}, 0},
+		{Point{-1, -1}, Point{2, 3}, 5},
+		{Point{0, 0}, Point{0, 2}, 2},
+	}
+	for _, c := range cases {
+		if got := c.p.Dist(c.q); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("Dist(%v, %v) = %v, want %v", c.p, c.q, got, c.want)
+		}
+		if got := c.p.SqDist(c.q); math.Abs(got-c.want*c.want) > 1e-9 {
+			t.Errorf("SqDist(%v, %v) = %v, want %v", c.p, c.q, got, c.want*c.want)
+		}
+	}
+}
+
+func TestPointArithmetic(t *testing.T) {
+	p := Point{1, 2}
+	q := Point{3, -1}
+	if got := p.Add(q); got != (Point{4, 1}) {
+		t.Errorf("Add = %v", got)
+	}
+	if got := p.Sub(q); got != (Point{-2, 3}) {
+		t.Errorf("Sub = %v", got)
+	}
+	if got := p.Scale(2); got != (Point{2, 4}) {
+		t.Errorf("Scale = %v", got)
+	}
+}
+
+func TestDistSymmetric(t *testing.T) {
+	f := func(ax, ay, bx, by float64) bool {
+		a, b := Point{ax, ay}, Point{bx, by}
+		d1, d2 := a.Dist(b), b.Dist(a)
+		if math.IsInf(d1, 1) || math.IsNaN(d1) {
+			// Overflow from quick's extreme inputs; symmetry still requires
+			// both directions to degrade identically.
+			return math.IsInf(d2, 1) == math.IsInf(d1, 1) && math.IsNaN(d2) == math.IsNaN(d1)
+		}
+		return d1 == d2
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDistTriangleInequality(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 1000; i++ {
+		a := Point{rng.Float64() * 10, rng.Float64() * 10}
+		b := Point{rng.Float64() * 10, rng.Float64() * 10}
+		c := Point{rng.Float64() * 10, rng.Float64() * 10}
+		if a.Dist(c) > a.Dist(b)+b.Dist(c)+1e-9 {
+			t.Fatalf("triangle inequality violated: %v %v %v", a, b, c)
+		}
+	}
+}
+
+func TestEmptyMBR(t *testing.T) {
+	e := EmptyMBR()
+	if !e.IsEmpty() {
+		t.Fatal("EmptyMBR should be empty")
+	}
+	if e.Contains(Point{0, 0}) {
+		t.Error("empty MBR should contain nothing")
+	}
+	if got := e.Area(); got != 0 {
+		t.Errorf("empty area = %v", got)
+	}
+	if !math.IsInf(e.MinDist(Point{1, 1}), 1) {
+		t.Error("MinDist to empty MBR should be +Inf")
+	}
+	// Extending empty yields the point rectangle.
+	p := Point{2, 3}
+	if got := e.Extend(p); got != NewMBR(p) {
+		t.Errorf("Extend(empty, p) = %v", got)
+	}
+	// Union with empty is identity.
+	m := MBR{Point{0, 0}, Point{1, 1}}
+	if got := e.Union(m); got != m {
+		t.Errorf("empty.Union(m) = %v", got)
+	}
+	if got := m.Union(e); got != m {
+		t.Errorf("m.Union(empty) = %v", got)
+	}
+	if got := e.Expand(1); !got.IsEmpty() {
+		t.Errorf("expanding empty should stay empty, got %v", got)
+	}
+}
+
+func TestMBROf(t *testing.T) {
+	pts := []Point{{1, 5}, {3, 2}, {-1, 4}}
+	m := MBROf(pts)
+	want := MBR{Point{-1, 2}, Point{3, 5}}
+	if m != want {
+		t.Errorf("MBROf = %v, want %v", m, want)
+	}
+	if got := MBROf(nil); !got.IsEmpty() {
+		t.Errorf("MBROf(nil) = %v, want empty", got)
+	}
+}
+
+func TestMBRContainsCovers(t *testing.T) {
+	m := MBR{Point{0, 0}, Point{4, 4}}
+	if !m.Contains(Point{0, 0}) || !m.Contains(Point{4, 4}) || !m.Contains(Point{2, 2}) {
+		t.Error("Contains should include borders and interior")
+	}
+	if m.Contains(Point{4.001, 2}) {
+		t.Error("Contains should exclude outside points")
+	}
+	inner := MBR{Point{1, 1}, Point{3, 3}}
+	if !m.Covers(inner) {
+		t.Error("m should cover inner")
+	}
+	if inner.Covers(m) {
+		t.Error("inner should not cover m")
+	}
+	if !m.Covers(m) {
+		t.Error("Covers should be reflexive")
+	}
+	if !m.Covers(EmptyMBR()) {
+		t.Error("anything covers empty")
+	}
+}
+
+func TestMBRIntersects(t *testing.T) {
+	a := MBR{Point{0, 0}, Point{2, 2}}
+	b := MBR{Point{2, 2}, Point{3, 3}} // corner touch
+	c := MBR{Point{2.1, 2.1}, Point{3, 3}}
+	if !a.Intersects(b) {
+		t.Error("corner-touching rectangles intersect")
+	}
+	if a.Intersects(c) {
+		t.Error("disjoint rectangles should not intersect")
+	}
+	if a.Intersects(EmptyMBR()) {
+		t.Error("nothing intersects empty")
+	}
+}
+
+func TestMinDist(t *testing.T) {
+	m := MBR{Point{1, 1}, Point{3, 3}}
+	cases := []struct {
+		p    Point
+		want float64
+	}{
+		{Point{2, 2}, 0},          // inside
+		{Point{1, 1}, 0},          // corner
+		{Point{0, 2}, 1},          // left of
+		{Point{2, 5}, 2},          // above
+		{Point{0, 0}, math.Sqrt2}, // diagonal corner
+		{Point{5, 5}, math.Sqrt(8)},
+	}
+	for _, c := range cases {
+		if got := m.MinDist(c.p); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("MinDist(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+}
+
+// MinDist must lower-bound the distance from the query point to every point
+// inside the rectangle — this is the property all index pruning relies on.
+func TestMinDistIsLowerBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 2000; i++ {
+		a := Point{rng.Float64()*10 - 5, rng.Float64()*10 - 5}
+		b := Point{rng.Float64()*10 - 5, rng.Float64()*10 - 5}
+		m := NewMBR(a).Extend(b)
+		q := Point{rng.Float64()*20 - 10, rng.Float64()*20 - 10}
+		// Random point inside m.
+		in := Point{
+			m.Min.X + rng.Float64()*(m.Max.X-m.Min.X),
+			m.Min.Y + rng.Float64()*(m.Max.Y-m.Min.Y),
+		}
+		if md := m.MinDist(q); md > q.Dist(in)+1e-9 {
+			t.Fatalf("MinDist %v > actual %v for q=%v m=%v in=%v", md, q.Dist(in), q, m, in)
+		}
+		if xd := m.MaxDist(q); xd < q.Dist(in)-1e-9 {
+			t.Fatalf("MaxDist %v < actual %v", xd, q.Dist(in))
+		}
+	}
+}
+
+func TestMinDistMBR(t *testing.T) {
+	a := MBR{Point{0, 0}, Point{1, 1}}
+	b := MBR{Point{4, 1}, Point{5, 2}}
+	if got := a.MinDistMBR(b); math.Abs(got-3) > 1e-12 {
+		t.Errorf("MinDistMBR = %v, want 3", got)
+	}
+	c := MBR{Point{0.5, 0.5}, Point{2, 2}}
+	if got := a.MinDistMBR(c); got != 0 {
+		t.Errorf("overlapping MinDistMBR = %v, want 0", got)
+	}
+	d := MBR{Point{3, 4}, Point{5, 6}}
+	if got := a.MinDistMBR(d); math.Abs(got-a.Min.Dist(Point{0, 0}.Add(Point{2, 3}).Add(Point{1, 1}).Sub(Point{1, 1}))) > 10 {
+		// sanity only: diagonal gap (2,3) from corner (1,1) to (3,4)
+		want := math.Sqrt(2*2 + 3*3)
+		if math.Abs(got-want) > 1e-12 {
+			t.Errorf("diagonal MinDistMBR = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestExpandAndCoverage(t *testing.T) {
+	m := MBR{Point{1, 1}, Point{2, 2}}
+	e := m.Expand(0.5)
+	want := MBR{Point{0.5, 0.5}, Point{2.5, 2.5}}
+	if e != want {
+		t.Errorf("Expand = %v, want %v", e, want)
+	}
+	if !e.Covers(m) {
+		t.Error("expanded MBR must cover original")
+	}
+}
+
+// Expand(r).Contains(p) must be equivalent to MinDist(p) <= r for
+// axis-aligned metrics... it is not exactly (corners differ: Chebyshev vs
+// Euclidean), but Expand must at least contain every point within r in
+// Euclidean distance.
+func TestExpandContainsBall(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 2000; i++ {
+		m := NewMBR(Point{rng.Float64(), rng.Float64()}).Extend(Point{rng.Float64() * 3, rng.Float64() * 3})
+		r := rng.Float64()
+		q := Point{rng.Float64()*5 - 1, rng.Float64()*5 - 1}
+		if m.MinDist(q) <= r && !m.Expand(r).Contains(q) {
+			t.Fatalf("point %v within %v of %v but not in expansion", q, r, m)
+		}
+	}
+}
+
+func TestUnionCommutativeAssociative(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	randMBR := func() MBR {
+		return NewMBR(Point{rng.Float64(), rng.Float64()}).Extend(Point{rng.Float64(), rng.Float64()})
+	}
+	for i := 0; i < 500; i++ {
+		a, b, c := randMBR(), randMBR(), randMBR()
+		if a.Union(b) != b.Union(a) {
+			t.Fatal("union not commutative")
+		}
+		if a.Union(b).Union(c) != a.Union(b.Union(c)) {
+			t.Fatal("union not associative")
+		}
+		u := a.Union(b)
+		if !u.Covers(a) || !u.Covers(b) {
+			t.Fatal("union must cover operands")
+		}
+	}
+}
+
+func TestCenterAreaMargin(t *testing.T) {
+	m := MBR{Point{0, 0}, Point{4, 2}}
+	if got := m.Center(); got != (Point{2, 1}) {
+		t.Errorf("Center = %v", got)
+	}
+	if got := m.Area(); got != 8 {
+		t.Errorf("Area = %v", got)
+	}
+	if got := m.Margin(); got != 6 {
+		t.Errorf("Margin = %v", got)
+	}
+}
+
+func TestStrings(t *testing.T) {
+	p := Point{1, 2}
+	if p.String() == "" {
+		t.Error("empty point string")
+	}
+	m := MBR{Point{0, 1}, Point{0, 4}}
+	if m.String() != "[(0, 1), (0, 4)]" {
+		t.Errorf("MBR string = %q", m.String())
+	}
+}

@@ -1,0 +1,81 @@
+package measure
+
+import (
+	"math/rand"
+	"testing"
+
+	"dita/internal/geom"
+)
+
+// Ablation benchmarks for the Section 5.3.3 verification optimizations:
+// exact DTW vs single-direction early abandoning vs double-direction.
+
+func benchPairs(n, length int) ([][]geom.Point, [][]geom.Point) {
+	rng := rand.New(rand.NewSource(9))
+	mk := func() []geom.Point {
+		pts := make([]geom.Point, length)
+		x, y := rng.Float64()*10, rng.Float64()*10
+		for i := range pts {
+			x += rng.NormFloat64() * 0.1
+			y += rng.NormFloat64() * 0.1
+			pts[i] = geom.Point{X: x, Y: y}
+		}
+		return pts
+	}
+	as := make([][]geom.Point, n)
+	bs := make([][]geom.Point, n)
+	for i := range as {
+		as[i], bs[i] = mk(), mk()
+	}
+	return as, bs
+}
+
+func BenchmarkDTWFull(b *testing.B) {
+	as, bs := benchPairs(64, 50)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		DTW{}.Distance(as[i%64], bs[i%64])
+	}
+}
+
+func BenchmarkDTWEarlyAbandon(b *testing.B) {
+	as, bs := benchPairs(64, 50)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		dtwEarlyAbandon(as[i%64], bs[i%64], 1.0)
+	}
+}
+
+func BenchmarkDTWDoubleDirection(b *testing.B) {
+	as, bs := benchPairs(64, 50)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		dtwDoubleDirection(as[i%64], bs[i%64], 1.0)
+	}
+}
+
+func BenchmarkFrechetThresholdReachability(b *testing.B) {
+	as, bs := benchPairs(64, 50)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Frechet{}.DistanceThreshold(as[i%64], bs[i%64], 0.5)
+	}
+}
+
+func BenchmarkEDRBanded(b *testing.B) {
+	as, bs := benchPairs(64, 50)
+	e := EDR{Eps: 0.2}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e.DistanceThreshold(as[i%64], bs[i%64], 5)
+	}
+}
+
+func BenchmarkEDRFull(b *testing.B) {
+	as, bs := benchPairs(64, 50)
+	e := EDR{Eps: 0.2}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e.Distance(as[i%64], bs[i%64])
+	}
+}

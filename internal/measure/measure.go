@@ -1,0 +1,373 @@
+// Package measure implements the trajectory similarity functions DITA
+// supports (Section 2.1 and Appendix A of the paper): Dynamic Time Warping
+// (DTW, the default), the discrete Fréchet distance, Edit Distance on Real
+// sequence (EDR), the Longest Common SubSequence distance (LCSS, the
+// paper's Definition A.3 formulation), Edit distance with Real Penalty
+// (ERP), and the symmetric Hausdorff distance.
+//
+// Each function comes in two flavors: an exact O(mn) dynamic program and a
+// threshold-aware variant that abandons early once the distance provably
+// exceeds τ (the paper's optimized DTW(T,Q,τ) with double-direction
+// verification, Section 5.3.3).
+//
+// The Measure interface abstracts what the DITA index needs to know about a
+// function: how thresholds accumulate down the trie levels (sum for
+// DTW/ERP, max for Fréchet, edit-count for EDR/LCSS) and which verification
+// filters are sound for it.
+package measure
+
+import (
+	"fmt"
+	"math"
+
+	"dita/internal/geom"
+)
+
+// Accumulation describes how a measure combines per-level MinDist values
+// during trie descent, which determines how the remaining threshold is
+// updated level by level (Section 5.3 and Appendix A).
+type Accumulation int
+
+const (
+	// AccumSum: the distance is a sum of per-alignment point distances
+	// (DTW, ERP). Each trie level's MinDist is subtracted from the
+	// remaining threshold.
+	AccumSum Accumulation = iota
+	// AccumMax: the distance is a maximum over the alignment (Fréchet).
+	// The threshold is not consumed; every level must independently be
+	// within τ.
+	AccumMax
+	// AccumEdit: the distance counts edit operations (EDR, LCSS). A level
+	// whose MinDist exceeds the matching tolerance ε costs one edit; the
+	// remaining (integer) threshold is decremented.
+	AccumEdit
+)
+
+// Measure is a trajectory distance function together with the metadata the
+// DITA index and verifier need.
+type Measure interface {
+	// Name returns the canonical upper-case name ("DTW", "FRECHET", ...).
+	Name() string
+	// Distance computes the exact distance between two trajectories.
+	Distance(t, q []geom.Point) float64
+	// DistanceThreshold computes the distance with early abandoning: the
+	// returned bool is true iff distance <= tau, and when it is false the
+	// returned value is only guaranteed to exceed tau.
+	DistanceThreshold(t, q []geom.Point, tau float64) (float64, bool)
+	// Accumulation reports the trie threshold-accumulation semantics.
+	Accumulation() Accumulation
+	// Epsilon returns the point-matching tolerance for edit-based measures
+	// and 0 for the others.
+	Epsilon() float64
+	// SupportsCoverageFilter reports whether the MBR-coverage filter
+	// (Lemma 5.4) is sound for this measure. True for DTW, Fréchet and ERP
+	// (every point must align within τ); false for edit-based measures
+	// where points may remain unmatched.
+	SupportsCoverageFilter() bool
+	// SupportsCellFilter reports whether the cell-compression lower bound
+	// (Lemma 5.6) is sound for this measure.
+	SupportsCellFilter() bool
+	// LengthLowerBound returns a lower bound on the distance implied by
+	// the two lengths alone (|m-n| for EDR/LCSS, 0 otherwise).
+	LengthLowerBound(m, n int) float64
+	// AlignsEndpoints reports whether the warping path is anchored at
+	// (1,1) and (m,n) so that the trie's first/last levels may be matched
+	// against q1/qn alone (true for DTW and Fréchet). Edit-based measures
+	// and ERP may skip endpoints, so all their levels are matched against
+	// the whole query.
+	AlignsEndpoints() bool
+	// GapPoint returns the gap reference point for measures that may align
+	// a point against a gap (ERP); ok is false for the others. Index
+	// lower bounds must take min(dist to query, dist to gap) when ok.
+	GapPoint() (geom.Point, bool)
+}
+
+// ByName returns the measure registered under the given (case-insensitive)
+// name. Edit-based measures are constructed with the provided epsilon and
+// (for LCSS) delta.
+func ByName(name string, epsilon float64, delta int) (Measure, error) {
+	switch upper(name) {
+	case "DTW":
+		return DTW{}, nil
+	case "FRECHET", "FRÉCHET":
+		return Frechet{}, nil
+	case "EDR":
+		return EDR{Eps: epsilon}, nil
+	case "LCSS":
+		return LCSS{Eps: epsilon, Delta: delta}, nil
+	case "ERP":
+		return ERP{}, nil
+	case "HAUSDORFF":
+		return Hausdorff{}, nil
+	}
+	return nil, fmt.Errorf("measure: unknown distance function %q", name)
+}
+
+func upper(s string) string {
+	b := []byte(s)
+	for i, c := range b {
+		if 'a' <= c && c <= 'z' {
+			b[i] = c - 'a' + 'A'
+		}
+	}
+	return string(b)
+}
+
+// dtwBuf is a scratch buffer pool for the DP rows, sized generously to
+// avoid reallocation across calls on the hot verification path.
+type dpRows struct {
+	prev, cur []float64
+}
+
+func newRows(n int) *dpRows {
+	return &dpRows{prev: make([]float64, n+1), cur: make([]float64, n+1)}
+}
+
+// DTW is Dynamic Time Warping (Definition 2.2): the default, most robust
+// similarity function per the paper's discussion.
+type DTW struct{}
+
+// Name implements Measure.
+func (DTW) Name() string { return "DTW" }
+
+// Accumulation implements Measure.
+func (DTW) Accumulation() Accumulation { return AccumSum }
+
+// Epsilon implements Measure.
+func (DTW) Epsilon() float64 { return 0 }
+
+// SupportsCoverageFilter implements Measure. Every point of T contributes
+// at least one aligned pair to the DTW sum, so if DTW(T,Q) <= τ then every
+// point of T is within τ of some point of Q (hence of MBR_Q).
+func (DTW) SupportsCoverageFilter() bool { return true }
+
+// SupportsCellFilter implements Measure.
+func (DTW) SupportsCellFilter() bool { return true }
+
+// LengthLowerBound implements Measure.
+func (DTW) LengthLowerBound(m, n int) float64 { return 0 }
+
+// AlignsEndpoints implements Measure: DTW paths are anchored at (1,1) and
+// (m,n) (Section 5.3.1, aligned point matching).
+func (DTW) AlignsEndpoints() bool { return true }
+
+// GapPoint implements Measure.
+func (DTW) GapPoint() (geom.Point, bool) { return geom.Point{}, false }
+
+// Distance implements Measure with the classic O(mn) dynamic program.
+func (DTW) Distance(t, q []geom.Point) float64 {
+	m, n := len(t), len(q)
+	if m == 0 || n == 0 {
+		return math.Inf(1)
+	}
+	rows := newRows(n)
+	prev, cur := rows.prev, rows.cur
+	inf := math.Inf(1)
+	for j := 0; j <= n; j++ {
+		prev[j] = inf
+	}
+	prev[0] = 0
+	for i := 1; i <= m; i++ {
+		cur[0] = inf
+		ti := t[i-1]
+		for j := 1; j <= n; j++ {
+			d := ti.Dist(q[j-1])
+			best := prev[j-1] // diagonal
+			if prev[j] < best {
+				best = prev[j] // up: advance t only
+			}
+			if cur[j-1] < best {
+				best = cur[j-1] // left: advance q only
+			}
+			cur[j] = d + best
+		}
+		prev, cur = cur, prev
+	}
+	return prev[n]
+}
+
+// DistanceThreshold implements Measure using double-direction verification
+// (Section 5.3.3): the DP is split at the middle row, computed forward from
+// (1,1) and backward from (m,n) simultaneously, abandoning as soon as the
+// sum of the two frontiers' minima exceeds tau. The exact distance is
+// recovered by joining the frontiers when no abandon triggers.
+func (DTW) DistanceThreshold(t, q []geom.Point, tau float64) (float64, bool) {
+	d, ok := dtwDoubleDirection(t, q, tau)
+	return d, ok
+}
+
+// dtwEarlyAbandon is the classic single-direction threshold DTW: abandon
+// when an entire DP row exceeds tau. Kept for benchmarking the
+// double-direction optimization (Figure ablations) and as a cross-check.
+func dtwEarlyAbandon(t, q []geom.Point, tau float64) (float64, bool) {
+	m, n := len(t), len(q)
+	if m == 0 || n == 0 {
+		return math.Inf(1), false
+	}
+	rows := newRows(n)
+	prev, cur := rows.prev, rows.cur
+	inf := math.Inf(1)
+	for j := 0; j <= n; j++ {
+		prev[j] = inf
+	}
+	prev[0] = 0
+	for i := 1; i <= m; i++ {
+		cur[0] = inf
+		ti := t[i-1]
+		rowMin := inf
+		for j := 1; j <= n; j++ {
+			d := ti.Dist(q[j-1])
+			best := prev[j-1]
+			if prev[j] < best {
+				best = prev[j]
+			}
+			if cur[j-1] < best {
+				best = cur[j-1]
+			}
+			cur[j] = d + best
+			if cur[j] < rowMin {
+				rowMin = cur[j]
+			}
+		}
+		if rowMin > tau {
+			return rowMin, false
+		}
+		prev, cur = cur, prev
+	}
+	return prev[n], prev[n] <= tau
+}
+
+// dtwDoubleDirection computes threshold DTW from both ends at once.
+//
+// Let F[i][j] = DTW(T^i, Q^j) (prefixes, inclusive) and
+// B[i][j] = DTW(T_{i..m}, Q_{j..n}) (suffixes, inclusive). A warping path
+// crosses from row mid to row mid+1 moving (mid, j) -> (mid+1, j') with
+// j' in {j, j+1}, so
+//
+//	DTW(T, Q) = min_j F[mid][j] + min(B[mid+1][j], B[mid+1][j+1]).
+//
+// We advance the forward DP down to row mid and the backward DP up to row
+// mid+1, interleaved; after each pair of rows, if minF + minB > tau, no
+// path can be within tau and we abandon — the double-direction pruning of
+// Section 5.3.3.
+func dtwDoubleDirection(t, q []geom.Point, tau float64) (float64, bool) {
+	m, n := len(t), len(q)
+	if m == 0 || n == 0 {
+		return math.Inf(1), false
+	}
+	if m == 1 || n == 1 {
+		// Degenerate shapes: fall back to the single-direction DP.
+		return dtwEarlyAbandon(t, q, tau)
+	}
+	mid := m / 2
+	inf := math.Inf(1)
+
+	// Forward DP over rows 1..mid.
+	fprev := make([]float64, n+1)
+	fcur := make([]float64, n+1)
+	for j := 0; j <= n; j++ {
+		fprev[j] = inf
+	}
+	fprev[0] = 0
+	// Backward DP over rows m..mid+1. bprev[j] corresponds to B[i][j] for
+	// 1-based j; bprev[n+1] is the out-of-range guard.
+	bprev := make([]float64, n+2)
+	bcur := make([]float64, n+2)
+	for j := 0; j <= n+1; j++ {
+		bprev[j] = inf
+	}
+	bprev[n+1] = 0 // virtual start below-right of (m, n)
+
+	fi, bi := 1, m // next rows to compute
+	minF, minB := 0.0, 0.0
+	for fi <= mid || bi > mid {
+		if fi <= mid {
+			ti := t[fi-1]
+			fcur[0] = inf
+			rowMin := inf
+			for j := 1; j <= n; j++ {
+				d := ti.Dist(q[j-1])
+				best := fprev[j-1]
+				if fprev[j] < best {
+					best = fprev[j]
+				}
+				if fcur[j-1] < best {
+					best = fcur[j-1]
+				}
+				fcur[j] = d + best
+				if fcur[j] < rowMin {
+					rowMin = fcur[j]
+				}
+			}
+			fprev, fcur = fcur, fprev
+			minF = rowMin
+			fi++
+		}
+		if bi > mid {
+			ti := t[bi-1]
+			bcur[n+1] = inf
+			rowMin := inf
+			for j := n; j >= 1; j-- {
+				d := ti.Dist(q[j-1])
+				best := bprev[j+1]
+				if bprev[j] < best {
+					best = bprev[j]
+				}
+				if bcur[j+1] < best {
+					best = bcur[j+1]
+				}
+				bcur[j] = d + best
+				if bcur[j] < rowMin {
+					rowMin = bcur[j]
+				}
+			}
+			bprev, bcur = bcur, bprev
+			minB = rowMin
+			bi--
+		}
+		if minF+minB > tau {
+			return minF + minB, false
+		}
+	}
+	// Join: fprev holds F[mid][·], bprev holds B[mid+1][·].
+	best := inf
+	for j := 1; j <= n; j++ {
+		b := bprev[j]
+		if j+1 <= n && bprev[j+1] < b {
+			b = bprev[j+1]
+		}
+		if v := fprev[j] + b; v < best {
+			best = v
+		}
+	}
+	return best, best <= tau
+}
+
+// AMD computes the accumulated minimum distance lower bound of Lemma 4.1:
+//
+//	AMD(T,Q) = dist(t1,q1) + dist(tm,qn) + Σ_{i=2}^{m-1} min_j dist(ti,qj).
+//
+// AMD(T,Q) <= DTW(T,Q), so AMD > τ proves dissimilarity. It costs O(mn)
+// like DTW; the pivot-based PAMD (package pivot / core) is the cheap
+// version.
+func AMD(t, q []geom.Point) float64 {
+	m, n := len(t), len(q)
+	if m == 0 || n == 0 {
+		return math.Inf(1)
+	}
+	sum := t[0].Dist(q[0]) + t[m-1].Dist(q[n-1])
+	for i := 1; i < m-1; i++ {
+		sum += minDistToTraj(t[i], q)
+	}
+	return sum
+}
+
+func minDistToTraj(p geom.Point, q []geom.Point) float64 {
+	best := math.Inf(1)
+	for _, qj := range q {
+		if d := p.SqDist(qj); d < best {
+			best = d
+		}
+	}
+	return math.Sqrt(best)
+}

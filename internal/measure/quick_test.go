@@ -1,0 +1,172 @@
+package measure
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"dita/internal/geom"
+)
+
+// qtraj is a trajectory wrapper with a quick.Generator that produces
+// small, well-conditioned random trajectories (2-12 points in [0,10]²).
+type qtraj struct {
+	Pts []geom.Point
+}
+
+// Generate implements quick.Generator.
+func (qtraj) Generate(rng *rand.Rand, size int) reflect.Value {
+	n := 2 + rng.Intn(11)
+	pts := make([]geom.Point, n)
+	x, y := rng.Float64()*10, rng.Float64()*10
+	for i := range pts {
+		x += rng.NormFloat64()
+		y += rng.NormFloat64()
+		pts[i] = geom.Point{X: x, Y: y}
+	}
+	return reflect.ValueOf(qtraj{pts})
+}
+
+var quickCfg = &quick.Config{MaxCount: 300}
+
+// DTW is bounded below by the anchored endpoint distances and above by the
+// "diagonal-ish" path cost; both bounds follow directly from the
+// definition and everything in the index relies on the lower one.
+func TestQuickDTWEndpointBounds(t *testing.T) {
+	f := func(a, b qtraj) bool {
+		d := DTW{}.Distance(a.Pts, b.Pts)
+		lb := a.Pts[0].Dist(b.Pts[0]) + a.Pts[len(a.Pts)-1].Dist(b.Pts[len(b.Pts)-1])
+		if len(a.Pts) > 1 && len(b.Pts) > 1 {
+			// First and last alignments are distinct matrix cells.
+			if d+1e-9 < lb {
+				return false
+			}
+		}
+		return d >= 0
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// Fréchet lower-bounds DTW pointwise... no — DTW >= Fréchet, because a sum
+// of non-negative terms that includes the maximum term is at least that
+// maximum along the optimal DTW path, and Fréchet minimizes the max.
+func TestQuickDTWDominatesFrechet(t *testing.T) {
+	f := func(a, b qtraj) bool {
+		return DTW{}.Distance(a.Pts, b.Pts)+1e-9 >= Frechet{}.Distance(a.Pts, b.Pts)
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// Identity of indiscernibles (relaxed): self-distance is zero for all
+// measures.
+func TestQuickSelfDistanceZero(t *testing.T) {
+	measures := []Measure{DTW{}, Frechet{}, EDR{Eps: 0.1}, LCSS{Eps: 0.1, Delta: 2}, ERP{}}
+	f := func(a qtraj) bool {
+		for _, m := range measures {
+			if d := m.Distance(a.Pts, a.Pts); d > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// All measures are symmetric with symmetric parameters.
+func TestQuickSymmetry(t *testing.T) {
+	measures := []Measure{DTW{}, Frechet{}, EDR{Eps: 0.3}, LCSS{Eps: 0.3, Delta: 2}, ERP{}}
+	f := func(a, b qtraj) bool {
+		for _, m := range measures {
+			if math.Abs(m.Distance(a.Pts, b.Pts)-m.Distance(b.Pts, a.Pts)) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// EDR/LCSS distances are integers bounded by m+n.
+func TestQuickEditDistanceRange(t *testing.T) {
+	f := func(a, b qtraj) bool {
+		for _, m := range []Measure{EDR{Eps: 0.5}, LCSS{Eps: 0.5, Delta: 3}} {
+			d := m.Distance(a.Pts, b.Pts)
+			if d != math.Trunc(d) || d < 0 || d > float64(len(a.Pts)+len(b.Pts)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// Monotonicity in ε: a larger matching tolerance can only decrease the
+// edit distance.
+func TestQuickEDRMonotoneInEpsilon(t *testing.T) {
+	f := func(a, b qtraj) bool {
+		return EDR{Eps: 1.0}.Distance(a.Pts, b.Pts) <= EDR{Eps: 0.2}.Distance(a.Pts, b.Pts)
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// Monotonicity in δ: a wider LCSS window can only decrease the distance.
+func TestQuickLCSSMonotoneInDelta(t *testing.T) {
+	f := func(a, b qtraj) bool {
+		return LCSS{Eps: 0.5, Delta: 8}.Distance(a.Pts, b.Pts) <= LCSS{Eps: 0.5, Delta: 1}.Distance(a.Pts, b.Pts)
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// AMD is a lower bound of DTW on arbitrary quick-generated inputs.
+func TestQuickAMDLowerBound(t *testing.T) {
+	f := func(a, b qtraj) bool {
+		return AMD(a.Pts, b.Pts) <= DTW{}.Distance(a.Pts, b.Pts)+1e-9
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// Translating both trajectories by the same vector leaves every measure
+// unchanged (translation invariance).
+func TestQuickTranslationInvariance(t *testing.T) {
+	measures := []Measure{DTW{}, Frechet{}, EDR{Eps: 0.4}, LCSS{Eps: 0.4, Delta: 3}}
+	f := func(a, b qtraj, dx, dy int8) bool {
+		shift := geom.Point{X: float64(dx), Y: float64(dy)}
+		as := translate(a.Pts, shift)
+		bs := translate(b.Pts, shift)
+		for _, m := range measures {
+			if math.Abs(m.Distance(a.Pts, b.Pts)-m.Distance(as, bs)) > 1e-6 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func translate(pts []geom.Point, d geom.Point) []geom.Point {
+	out := make([]geom.Point, len(pts))
+	for i, p := range pts {
+		out[i] = p.Add(d)
+	}
+	return out
+}

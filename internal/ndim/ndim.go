@@ -1,0 +1,362 @@
+// Package ndim extends DITA's distance machinery to d-dimensional
+// trajectories (d >= 3), per the paper's Section 2.1 claim that "our
+// method can be easily extended to support multi-dimensional data".
+//
+// The package provides d-dimensional points and MBRs, the DTW / Fréchet /
+// EDR dynamic programs over them, and the pivot-based filter pipeline
+// (endpoint + pivot accumulated minimum distance, Lemma 4.3) behind a
+// Searcher that prunes with PAMD before verifying — the same
+// filter–verification structure as the 2D engine, with the spatial
+// STR/trie layers (which are inherently 2D in this codebase) replaced by
+// the pivot filter. Typical uses: trajectories with altitude, or with a
+// time axis as a third dimension.
+package ndim
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Point is a d-dimensional location.
+type Point []float64
+
+// Dist returns the Euclidean distance between p and q. It panics if the
+// dimensions differ.
+func (p Point) Dist(q Point) float64 {
+	return math.Sqrt(p.SqDist(q))
+}
+
+// SqDist returns the squared Euclidean distance.
+func (p Point) SqDist(q Point) float64 {
+	if len(p) != len(q) {
+		panic(fmt.Sprintf("ndim: dimension mismatch %d vs %d", len(p), len(q)))
+	}
+	s := 0.0
+	for i := range p {
+		d := p[i] - q[i]
+		s += d * d
+	}
+	return s
+}
+
+// MBR is a d-dimensional minimum bounding box.
+type MBR struct {
+	Min, Max Point
+}
+
+// MBROf returns the bounding box of the points (nil for an empty slice).
+func MBROf(pts []Point) *MBR {
+	if len(pts) == 0 {
+		return nil
+	}
+	d := len(pts[0])
+	m := &MBR{Min: make(Point, d), Max: make(Point, d)}
+	copy(m.Min, pts[0])
+	copy(m.Max, pts[0])
+	for _, p := range pts[1:] {
+		for i := range p {
+			if p[i] < m.Min[i] {
+				m.Min[i] = p[i]
+			}
+			if p[i] > m.Max[i] {
+				m.Max[i] = p[i]
+			}
+		}
+	}
+	return m
+}
+
+// MinDist returns the minimum distance from p to the box.
+func (m *MBR) MinDist(p Point) float64 {
+	s := 0.0
+	for i := range p {
+		if d := m.Min[i] - p[i]; d > 0 {
+			s += d * d
+		} else if d := p[i] - m.Max[i]; d > 0 {
+			s += d * d
+		}
+	}
+	return math.Sqrt(s)
+}
+
+// DTW computes d-dimensional Dynamic Time Warping (Definition 2.2 with the
+// Euclidean point distance in R^d).
+func DTW(t, q []Point) float64 {
+	m, n := len(t), len(q)
+	if m == 0 || n == 0 {
+		return math.Inf(1)
+	}
+	inf := math.Inf(1)
+	prev := make([]float64, n+1)
+	cur := make([]float64, n+1)
+	for j := 0; j <= n; j++ {
+		prev[j] = inf
+	}
+	prev[0] = 0
+	for i := 1; i <= m; i++ {
+		cur[0] = inf
+		for j := 1; j <= n; j++ {
+			d := t[i-1].Dist(q[j-1])
+			best := prev[j-1]
+			if prev[j] < best {
+				best = prev[j]
+			}
+			if cur[j-1] < best {
+				best = cur[j-1]
+			}
+			cur[j] = d + best
+		}
+		prev, cur = cur, prev
+	}
+	return prev[n]
+}
+
+// DTWThreshold is DTW with row-minimum early abandoning.
+func DTWThreshold(t, q []Point, tau float64) (float64, bool) {
+	m, n := len(t), len(q)
+	if m == 0 || n == 0 {
+		return math.Inf(1), false
+	}
+	inf := math.Inf(1)
+	prev := make([]float64, n+1)
+	cur := make([]float64, n+1)
+	for j := 0; j <= n; j++ {
+		prev[j] = inf
+	}
+	prev[0] = 0
+	for i := 1; i <= m; i++ {
+		cur[0] = inf
+		rowMin := inf
+		for j := 1; j <= n; j++ {
+			d := t[i-1].Dist(q[j-1])
+			best := prev[j-1]
+			if prev[j] < best {
+				best = prev[j]
+			}
+			if cur[j-1] < best {
+				best = cur[j-1]
+			}
+			cur[j] = d + best
+			if cur[j] < rowMin {
+				rowMin = cur[j]
+			}
+		}
+		if rowMin > tau {
+			return rowMin, false
+		}
+		prev, cur = cur, prev
+	}
+	return prev[n], prev[n] <= tau
+}
+
+// Frechet computes the d-dimensional discrete Fréchet distance.
+func Frechet(t, q []Point) float64 {
+	m, n := len(t), len(q)
+	if m == 0 || n == 0 {
+		return math.Inf(1)
+	}
+	inf := math.Inf(1)
+	prev := make([]float64, n+1)
+	cur := make([]float64, n+1)
+	for j := 0; j <= n; j++ {
+		prev[j] = inf
+	}
+	prev[0] = 0
+	for i := 1; i <= m; i++ {
+		cur[0] = inf
+		for j := 1; j <= n; j++ {
+			d := t[i-1].Dist(q[j-1])
+			best := prev[j-1]
+			if prev[j] < best {
+				best = prev[j]
+			}
+			if cur[j-1] < best {
+				best = cur[j-1]
+			}
+			if d > best {
+				cur[j] = d
+			} else {
+				cur[j] = best
+			}
+		}
+		prev, cur = cur, prev
+	}
+	return prev[n]
+}
+
+// EDR computes d-dimensional Edit Distance on Real sequence with matching
+// tolerance eps.
+func EDR(t, q []Point, eps float64) float64 {
+	m, n := len(t), len(q)
+	if m == 0 {
+		return float64(n)
+	}
+	if n == 0 {
+		return float64(m)
+	}
+	prev := make([]float64, n+1)
+	cur := make([]float64, n+1)
+	for j := 0; j <= n; j++ {
+		prev[j] = float64(j)
+	}
+	epsSq := eps * eps
+	for i := 1; i <= m; i++ {
+		cur[0] = float64(i)
+		for j := 1; j <= n; j++ {
+			sub := 1.0
+			if t[i-1].SqDist(q[j-1]) <= epsSq {
+				sub = 0
+			}
+			best := prev[j-1] + sub
+			if v := prev[j] + 1; v < best {
+				best = v
+			}
+			if v := cur[j-1] + 1; v < best {
+				best = v
+			}
+			cur[j] = best
+		}
+		prev, cur = cur, prev
+	}
+	return prev[n]
+}
+
+// PAMD is the d-dimensional pivot accumulated minimum distance
+// (Definition 4.2): dist(t1,q1) + dist(tm,qn) + Σ_p min_j dist(p, qj)
+// over the pivot indices pivots (strictly interior). PAMD <= DTW.
+func PAMD(t, q []Point, pivots []int) float64 {
+	m, n := len(t), len(q)
+	if m == 0 || n == 0 {
+		return math.Inf(1)
+	}
+	sum := t[0].Dist(q[0]) + t[m-1].Dist(q[n-1])
+	for _, pi := range pivots {
+		best := math.Inf(1)
+		for _, qj := range q {
+			if d := t[pi].SqDist(qj); d < best {
+				best = d
+			}
+		}
+		sum += math.Sqrt(best)
+	}
+	return sum
+}
+
+// SelectPivots picks up to k interior pivot indices by the neighbor-
+// distance strategy (the 2D default), generalized to R^d.
+func SelectPivots(t []Point, k int) []int {
+	interior := len(t) - 2
+	if k <= 0 || interior <= 0 {
+		return nil
+	}
+	if k > interior {
+		k = interior
+	}
+	type wi struct {
+		w float64
+		i int
+	}
+	ws := make([]wi, 0, interior)
+	for i := 1; i < len(t)-1; i++ {
+		ws = append(ws, wi{t[i-1].Dist(t[i]), i})
+	}
+	sort.Slice(ws, func(a, b int) bool {
+		if ws[a].w != ws[b].w {
+			return ws[a].w > ws[b].w
+		}
+		return ws[a].i < ws[b].i
+	})
+	idx := make([]int, k)
+	for i := 0; i < k; i++ {
+		idx[i] = ws[i].i
+	}
+	sort.Ints(idx)
+	return idx
+}
+
+// Trajectory is a d-dimensional trajectory with an id.
+type Trajectory struct {
+	ID     int
+	Points []Point
+}
+
+// Searcher answers threshold DTW searches over d-dimensional trajectories
+// with the pivot filter: candidates whose PAMD exceeds τ are pruned
+// (Lemma 4.3), the rest verified with early-abandoning DTW.
+type Searcher struct {
+	trajs  []*Trajectory
+	pivots [][]int
+	mbrs   []*MBR
+	dim    int
+}
+
+// NewSearcher indexes the trajectories with k pivots each. All
+// trajectories must share one dimensionality and have >= 2 points.
+func NewSearcher(trajs []*Trajectory, k int) (*Searcher, error) {
+	s := &Searcher{trajs: trajs, pivots: make([][]int, len(trajs)), mbrs: make([]*MBR, len(trajs))}
+	for i, t := range trajs {
+		if len(t.Points) < 2 {
+			return nil, fmt.Errorf("ndim: trajectory %d has %d points, need >= 2", t.ID, len(t.Points))
+		}
+		d := len(t.Points[0])
+		if s.dim == 0 {
+			s.dim = d
+		} else if d != s.dim {
+			return nil, fmt.Errorf("ndim: trajectory %d has dimension %d, want %d", t.ID, d, s.dim)
+		}
+		s.pivots[i] = SelectPivots(t.Points, k)
+		s.mbrs[i] = MBROf(t.Points)
+	}
+	return s, nil
+}
+
+// Result is one search answer.
+type Result struct {
+	Traj     *Trajectory
+	Distance float64
+}
+
+// Stats counts the filter funnel.
+type Stats struct {
+	PrunedMBR  int
+	PrunedPAMD int
+	Verified   int
+}
+
+// Search returns all indexed trajectories within tau of q under
+// d-dimensional DTW, ascending by id. stats may be nil.
+func (s *Searcher) Search(q []Point, tau float64, stats *Stats) ([]Result, error) {
+	if len(q) == 0 {
+		return nil, nil
+	}
+	if len(q[0]) != s.dim && s.dim != 0 {
+		return nil, fmt.Errorf("ndim: query dimension %d, index dimension %d", len(q[0]), s.dim)
+	}
+	var out []Result
+	q1, qn := q[0], q[len(q)-1]
+	for i, t := range s.trajs {
+		// Endpoint bound against the whole-trajectory box: DTW includes
+		// dist(t1,q1) and dist(tm,qn), each at least the box distance.
+		if s.mbrs[i].MinDist(q1)+s.mbrs[i].MinDist(qn) > tau {
+			if stats != nil {
+				stats.PrunedMBR++
+			}
+			continue
+		}
+		if PAMD(t.Points, q, s.pivots[i]) > tau {
+			if stats != nil {
+				stats.PrunedPAMD++
+			}
+			continue
+		}
+		if stats != nil {
+			stats.Verified++
+		}
+		if d, ok := DTWThreshold(t.Points, q, tau); ok {
+			out = append(out, Result{Traj: t, Distance: d})
+		}
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].Traj.ID < out[b].Traj.ID })
+	return out, nil
+}

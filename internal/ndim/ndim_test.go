@@ -1,0 +1,214 @@
+package ndim
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func randTraj(rng *rand.Rand, n, d int) []Point {
+	pts := make([]Point, n)
+	base := make(Point, d)
+	for i := range base {
+		base[i] = rng.Float64() * 10
+	}
+	for i := range pts {
+		p := make(Point, d)
+		for j := range p {
+			base[j] += rng.NormFloat64()
+			p[j] = base[j]
+		}
+		pts[i] = p
+	}
+	return pts
+}
+
+// The 3D DTW must agree with the 2D implementation on trajectories whose
+// third coordinate is constant.
+func TestDTWReducesTo2D(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for iter := 0; iter < 100; iter++ {
+		a2 := randTraj(rng, 2+rng.Intn(10), 2)
+		b2 := randTraj(rng, 2+rng.Intn(10), 2)
+		lift := func(ps []Point) []Point {
+			out := make([]Point, len(ps))
+			for i, p := range ps {
+				out[i] = Point{p[0], p[1], 7.5} // constant extra axis
+			}
+			return out
+		}
+		if math.Abs(DTW(a2, b2)-DTW(lift(a2), lift(b2))) > 1e-9 {
+			t.Fatal("constant third axis changed DTW")
+		}
+		if math.Abs(Frechet(a2, b2)-Frechet(lift(a2), lift(b2))) > 1e-9 {
+			t.Fatal("constant third axis changed Frechet")
+		}
+	}
+}
+
+func TestDistBasics(t *testing.T) {
+	a := Point{0, 0, 0}
+	b := Point{1, 2, 2}
+	if got := a.Dist(b); math.Abs(got-3) > 1e-12 {
+		t.Errorf("Dist = %v, want 3", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("dimension mismatch should panic")
+		}
+	}()
+	a.Dist(Point{1, 2})
+}
+
+func TestMBR3D(t *testing.T) {
+	pts := []Point{{0, 0, 0}, {2, 4, 6}, {1, -1, 3}}
+	m := MBROf(pts)
+	for i, want := range []float64{0, -1, 0} {
+		if m.Min[i] != want {
+			t.Errorf("Min[%d] = %v, want %v", i, m.Min[i], want)
+		}
+	}
+	for i, want := range []float64{2, 4, 6} {
+		if m.Max[i] != want {
+			t.Errorf("Max[%d] = %v, want %v", i, m.Max[i], want)
+		}
+	}
+	if d := m.MinDist(Point{1, 1, 1}); d != 0 {
+		t.Errorf("inside MinDist = %v", d)
+	}
+	if d := m.MinDist(Point{3, 4, 6}); math.Abs(d-1) > 1e-12 {
+		t.Errorf("outside MinDist = %v, want 1", d)
+	}
+	if MBROf(nil) != nil {
+		t.Error("empty MBROf should be nil")
+	}
+}
+
+// PAMD must lower-bound DTW in any dimension.
+func TestPAMDLowerBound3D(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for iter := 0; iter < 500; iter++ {
+		d := 2 + rng.Intn(4) // 2..5 dimensions
+		a := randTraj(rng, 3+rng.Intn(10), d)
+		b := randTraj(rng, 2+rng.Intn(10), d)
+		pivots := SelectPivots(a, 1+rng.Intn(3))
+		if PAMD(a, b, pivots) > DTW(a, b)+1e-9 {
+			t.Fatalf("PAMD > DTW in dimension %d", d)
+		}
+	}
+}
+
+// Threshold DTW agrees with exact.
+func TestDTWThreshold3D(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for iter := 0; iter < 300; iter++ {
+		a := randTraj(rng, 2+rng.Intn(10), 3)
+		b := randTraj(rng, 2+rng.Intn(10), 3)
+		exact := DTW(a, b)
+		for _, tau := range []float64{exact * 0.5, exact * 1.5} {
+			if math.Abs(exact-tau) < 1e-9 {
+				continue
+			}
+			got, ok := DTWThreshold(a, b, tau)
+			if want := exact <= tau; ok != want {
+				t.Fatalf("threshold decision: exact=%v tau=%v ok=%v", exact, tau, ok)
+			}
+			if ok && math.Abs(got-exact) > 1e-9 {
+				t.Fatalf("accepted value %v != exact %v", got, exact)
+			}
+		}
+	}
+}
+
+// The searcher must equal brute force on 3D data.
+func TestSearcherMatchesBruteForce3D(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	trajs := make([]*Trajectory, 150)
+	for i := range trajs {
+		trajs[i] = &Trajectory{ID: i, Points: randTraj(rng, 2+rng.Intn(12), 3)}
+	}
+	s, err := NewSearcher(trajs, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for iter := 0; iter < 20; iter++ {
+		q := randTraj(rng, 2+rng.Intn(12), 3)
+		tau := rng.Float64() * 10
+		var st Stats
+		got, err := s.Search(q, tau, &st)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := 0
+		for _, tr := range trajs {
+			if DTW(tr.Points, q) <= tau {
+				want++
+			}
+		}
+		if len(got) != want {
+			t.Fatalf("got %d results, want %d (tau=%v)", len(got), want, tau)
+		}
+		if st.PrunedMBR+st.PrunedPAMD+st.Verified != len(trajs) {
+			t.Fatalf("stats don't cover the dataset: %+v", st)
+		}
+	}
+}
+
+// The pivot filter must actually prune on separated 4D data.
+func TestSearcherPrunes(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	trajs := make([]*Trajectory, 200)
+	for i := range trajs {
+		pts := randTraj(rng, 8, 4)
+		// Spread the clusters far apart in the 4th dimension.
+		for _, p := range pts {
+			p[3] += float64(i%20) * 100
+		}
+		trajs[i] = &Trajectory{ID: i, Points: pts}
+	}
+	s, err := NewSearcher(trajs, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st Stats
+	if _, err := s.Search(trajs[0].Points, 5, &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Verified > 30 {
+		t.Errorf("weak pruning: verified %d of 200", st.Verified)
+	}
+}
+
+func TestSearcherErrors(t *testing.T) {
+	if _, err := NewSearcher([]*Trajectory{{ID: 0, Points: []Point{{1, 2, 3}}}}, 2); err == nil {
+		t.Error("single-point trajectory accepted")
+	}
+	mixed := []*Trajectory{
+		{ID: 0, Points: []Point{{1, 2}, {3, 4}}},
+		{ID: 1, Points: []Point{{1, 2, 3}, {4, 5, 6}}},
+	}
+	if _, err := NewSearcher(mixed, 2); err == nil {
+		t.Error("mixed dimensions accepted")
+	}
+	s, err := NewSearcher([]*Trajectory{{ID: 0, Points: []Point{{1, 2, 3}, {4, 5, 6}}}}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Search([]Point{{1, 2}, {3, 4}}, 1, nil); err == nil {
+		t.Error("wrong-dimension query accepted")
+	}
+	if got, err := s.Search(nil, 1, nil); err != nil || got != nil {
+		t.Error("empty query should return nothing")
+	}
+}
+
+func TestEDR3D(t *testing.T) {
+	a := []Point{{0, 0, 0}, {1, 1, 1}, {2, 2, 2}}
+	b := []Point{{0, 0, 0.05}, {1, 1, 1.05}, {9, 9, 9}}
+	if got := EDR(a, b, 0.1); got != 1 {
+		t.Errorf("EDR = %v, want 1", got)
+	}
+	if got := EDR(nil, b, 0.1); got != 3 {
+		t.Errorf("EDR(empty) = %v, want 3", got)
+	}
+}

@@ -1,0 +1,386 @@
+// Package roadnet implements the paper's second stated future-work item:
+// "an extension of DITA by considering road networks". It provides
+//
+//   - a road network graph (nodes with coordinates, weighted undirected
+//     edges) with a grid constructor for city-like street layouts,
+//   - map matching: snapping a GPS trajectory to a node path on the
+//     network (nearest-node snapping with consecutive-duplicate
+//     collapsing — the standard lightweight matcher),
+//   - network shortest-path distances (Dijkstra, memoized per source),
+//   - NetworkDTW: Definition 2.2's dynamic program with the point-to-point
+//     Euclidean distance replaced by the network distance between matched
+//     nodes, so two trips are similar only if they traverse similar roads
+//     (a river between two parallel streets separates them even when they
+//     are Euclidean-close).
+package roadnet
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+
+	"dita/internal/geom"
+	"dita/internal/traj"
+)
+
+// NodeID identifies a network node.
+type NodeID int
+
+// Network is a weighted undirected road graph.
+type Network struct {
+	nodes []geom.Point
+	adj   [][]halfEdge
+
+	mu    sync.Mutex
+	memo  map[NodeID][]float64 // source -> all shortest path lengths
+	cells map[[2]int][]NodeID  // snap acceleration grid
+	cell  float64
+}
+
+type halfEdge struct {
+	to NodeID
+	w  float64
+}
+
+// New creates an empty network.
+func New() *Network {
+	return &Network{memo: map[NodeID][]float64{}}
+}
+
+// AddNode adds a node at p and returns its id.
+func (n *Network) AddNode(p geom.Point) NodeID {
+	n.nodes = append(n.nodes, p)
+	n.adj = append(n.adj, nil)
+	n.cells = nil // invalidate the snap grid
+	return NodeID(len(n.nodes) - 1)
+}
+
+// AddEdge connects a and b bidirectionally with the given weight (the
+// Euclidean length when w <= 0).
+func (n *Network) AddEdge(a, b NodeID, w float64) error {
+	if int(a) >= len(n.nodes) || int(b) >= len(n.nodes) || a < 0 || b < 0 {
+		return fmt.Errorf("roadnet: edge endpoints out of range")
+	}
+	if w <= 0 {
+		w = n.nodes[a].Dist(n.nodes[b])
+	}
+	n.adj[a] = append(n.adj[a], halfEdge{b, w})
+	n.adj[b] = append(n.adj[b], halfEdge{a, w})
+	n.mu.Lock()
+	n.memo = map[NodeID][]float64{} // distances changed
+	n.mu.Unlock()
+	return nil
+}
+
+// Nodes returns the node count.
+func (n *Network) Nodes() int { return len(n.nodes) }
+
+// NodePoint returns a node's coordinates.
+func (n *Network) NodePoint(id NodeID) geom.Point { return n.nodes[id] }
+
+// Grid builds a rows×cols street grid over the extent, connecting each
+// intersection to its horizontal and vertical neighbors — the Manhattan
+// layout the generator's taxi walks follow.
+func Grid(extent geom.MBR, rows, cols int) *Network {
+	n := New()
+	if rows < 2 {
+		rows = 2
+	}
+	if cols < 2 {
+		cols = 2
+	}
+	dx := (extent.Max.X - extent.Min.X) / float64(cols-1)
+	dy := (extent.Max.Y - extent.Min.Y) / float64(rows-1)
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			n.AddNode(geom.Point{X: extent.Min.X + float64(c)*dx, Y: extent.Min.Y + float64(r)*dy})
+		}
+	}
+	id := func(r, c int) NodeID { return NodeID(r*cols + c) }
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			if c+1 < cols {
+				n.AddEdge(id(r, c), id(r, c+1), 0)
+			}
+			if r+1 < rows {
+				n.AddEdge(id(r, c), id(r+1, c), 0)
+			}
+		}
+	}
+	return n
+}
+
+// RemoveEdge deletes the connection between a and b (both directions).
+// It returns false when no such edge exists.
+func (n *Network) RemoveEdge(a, b NodeID) bool {
+	removed := false
+	filter := func(from, to NodeID) {
+		out := n.adj[from][:0]
+		for _, e := range n.adj[from] {
+			if e.to != to {
+				out = append(out, e)
+			} else {
+				removed = true
+			}
+		}
+		n.adj[from] = out
+	}
+	filter(a, b)
+	filter(b, a)
+	if removed {
+		n.mu.Lock()
+		n.memo = map[NodeID][]float64{}
+		n.mu.Unlock()
+	}
+	return removed
+}
+
+// Nearest returns the node closest to p.
+func (n *Network) Nearest(p geom.Point) NodeID {
+	if len(n.nodes) == 0 {
+		return -1
+	}
+	n.buildSnapGrid()
+	// Search the point's cell ring outward until a candidate is found and
+	// no closer cell remains.
+	cx, cy := int(math.Floor(p.X/n.cell)), int(math.Floor(p.Y/n.cell))
+	best, bestD := NodeID(-1), math.Inf(1)
+	for ring := 0; ring < 1<<20; ring++ {
+		found := false
+		for dx := -ring; dx <= ring; dx++ {
+			for dy := -ring; dy <= ring; dy++ {
+				if abs(dx) != ring && abs(dy) != ring {
+					continue // interior already scanned
+				}
+				for _, id := range n.cells[[2]int{cx + dx, cy + dy}] {
+					found = true
+					if d := n.nodes[id].SqDist(p); d < bestD {
+						bestD, best = d, id
+					}
+				}
+			}
+		}
+		// Any node in a farther ring is at least (ring-1)*cell away.
+		if best >= 0 && float64(ring-1)*n.cell > math.Sqrt(bestD) {
+			break
+		}
+		if !found && best >= 0 {
+			break
+		}
+		if ring > len(n.nodes) { // degenerate fallback
+			break
+		}
+	}
+	if best < 0 {
+		// Fallback linear scan (extremely sparse grids).
+		for i, q := range n.nodes {
+			if d := q.SqDist(p); d < bestD {
+				bestD, best = d, NodeID(i)
+			}
+		}
+	}
+	return best
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+func (n *Network) buildSnapGrid() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.cells != nil {
+		return
+	}
+	// Cell size: extent / sqrt(nodes), a near-constant per-cell count.
+	m := geom.MBROf(n.nodes)
+	w := math.Max(m.Max.X-m.Min.X, m.Max.Y-m.Min.Y)
+	if w <= 0 {
+		w = 1
+	}
+	n.cell = w / math.Max(1, math.Sqrt(float64(len(n.nodes))))
+	n.cells = map[[2]int][]NodeID{}
+	for i, p := range n.nodes {
+		key := [2]int{int(math.Floor(p.X / n.cell)), int(math.Floor(p.Y / n.cell))}
+		n.cells[key] = append(n.cells[key], NodeID(i))
+	}
+}
+
+// MapMatch snaps each trajectory point to its nearest node and collapses
+// consecutive duplicates, returning the node path.
+func (n *Network) MapMatch(t *traj.T) []NodeID {
+	var path []NodeID
+	for _, p := range t.Points {
+		id := n.Nearest(p)
+		if id < 0 {
+			continue
+		}
+		if len(path) == 0 || path[len(path)-1] != id {
+			path = append(path, id)
+		}
+	}
+	return path
+}
+
+// Distance returns the network shortest-path distance between two nodes
+// (+Inf when disconnected). Per-source results are memoized, so repeated
+// queries from the same node (as NetworkDTW issues) cost O(1) after the
+// first Dijkstra.
+func (n *Network) Distance(a, b NodeID) float64 {
+	if a < 0 || b < 0 || int(a) >= len(n.nodes) || int(b) >= len(n.nodes) {
+		return math.Inf(1)
+	}
+	if a == b {
+		return 0
+	}
+	n.mu.Lock()
+	dists, ok := n.memo[a]
+	n.mu.Unlock()
+	if !ok {
+		dists = n.dijkstra(a)
+		n.mu.Lock()
+		n.memo[a] = dists
+		n.mu.Unlock()
+	}
+	return dists[b]
+}
+
+// dijkstra computes all shortest-path lengths from src.
+func (n *Network) dijkstra(src NodeID) []float64 {
+	dist := make([]float64, len(n.nodes))
+	for i := range dist {
+		dist[i] = math.Inf(1)
+	}
+	dist[src] = 0
+	pq := &nodeHeap{{id: src, d: 0}}
+	for pq.Len() > 0 {
+		cur := heap.Pop(pq).(nodeDist)
+		if cur.d > dist[cur.id] {
+			continue
+		}
+		for _, e := range n.adj[cur.id] {
+			if nd := cur.d + e.w; nd < dist[e.to] {
+				dist[e.to] = nd
+				heap.Push(pq, nodeDist{id: e.to, d: nd})
+			}
+		}
+	}
+	return dist
+}
+
+type nodeDist struct {
+	id NodeID
+	d  float64
+}
+
+type nodeHeap []nodeDist
+
+func (h nodeHeap) Len() int            { return len(h) }
+func (h nodeHeap) Less(i, j int) bool  { return h[i].d < h[j].d }
+func (h nodeHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *nodeHeap) Push(x interface{}) { *h = append(*h, x.(nodeDist)) }
+func (h *nodeHeap) Pop() interface{} {
+	old := *h
+	x := old[len(old)-1]
+	*h = old[:len(old)-1]
+	return x
+}
+
+// NetworkDTW computes DTW between two node paths with the network
+// shortest-path distance as the point distance. Empty paths yield +Inf.
+func (n *Network) NetworkDTW(a, b []NodeID) float64 {
+	m, k := len(a), len(b)
+	if m == 0 || k == 0 {
+		return math.Inf(1)
+	}
+	inf := math.Inf(1)
+	prev := make([]float64, k+1)
+	cur := make([]float64, k+1)
+	for j := 0; j <= k; j++ {
+		prev[j] = inf
+	}
+	prev[0] = 0
+	for i := 1; i <= m; i++ {
+		cur[0] = inf
+		for j := 1; j <= k; j++ {
+			d := n.Distance(a[i-1], b[j-1])
+			best := prev[j-1]
+			if prev[j] < best {
+				best = prev[j]
+			}
+			if cur[j-1] < best {
+				best = cur[j-1]
+			}
+			cur[j] = d + best
+		}
+		prev, cur = cur, prev
+	}
+	return prev[k]
+}
+
+// TrajectoryDTW map-matches both trajectories and returns their
+// NetworkDTW.
+func (n *Network) TrajectoryDTW(a, b *traj.T) float64 {
+	return n.NetworkDTW(n.MapMatch(a), n.MapMatch(b))
+}
+
+// Searcher answers network-DTW threshold searches: trajectories are
+// map-matched at index time, and a query is filtered with the network
+// endpoint lower bound (NetworkDTW includes the aligned endpoint node
+// distances) before the exact DP runs.
+type Searcher struct {
+	net   *Network
+	trajs []*traj.T
+	paths [][]NodeID
+}
+
+// NewSearcher map-matches and indexes the trajectories on the network.
+func NewSearcher(net *Network, trajs []*traj.T) *Searcher {
+	s := &Searcher{net: net, trajs: trajs, paths: make([][]NodeID, len(trajs))}
+	for i, t := range trajs {
+		s.paths[i] = net.MapMatch(t)
+	}
+	return s
+}
+
+// SearchResult is one network-similarity answer.
+type SearchResult struct {
+	Traj     *traj.T
+	Distance float64
+}
+
+// Search returns all indexed trajectories whose NetworkDTW to q's matched
+// path is at most tau, ascending by id.
+func (s *Searcher) Search(q *traj.T, tau float64) []SearchResult {
+	qp := s.net.MapMatch(q)
+	if len(qp) == 0 {
+		return nil
+	}
+	var out []SearchResult
+	for i, t := range s.trajs {
+		p := s.paths[i]
+		if len(p) == 0 {
+			continue
+		}
+		// Endpoint lower bound: the network DTW sums at least the aligned
+		// first-to-first and (when both paths have >= 2 nodes) last-to-last
+		// node distances.
+		lb := s.net.Distance(p[0], qp[0])
+		if len(p) > 1 && len(qp) > 1 {
+			lb += s.net.Distance(p[len(p)-1], qp[len(qp)-1])
+		}
+		if lb > tau {
+			continue
+		}
+		if d := s.net.NetworkDTW(p, qp); d <= tau {
+			out = append(out, SearchResult{Traj: t, Distance: d})
+		}
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].Traj.ID < out[b].Traj.ID })
+	return out
+}

@@ -1,0 +1,252 @@
+package roadnet
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"dita/internal/geom"
+	"dita/internal/traj"
+)
+
+func unitGrid(rows, cols int) *Network {
+	return Grid(geom.MBR{Min: geom.Point{X: 0, Y: 0}, Max: geom.Point{X: float64(cols - 1), Y: float64(rows - 1)}}, rows, cols)
+}
+
+func TestGridConstruction(t *testing.T) {
+	n := unitGrid(3, 4)
+	if n.Nodes() != 12 {
+		t.Fatalf("nodes = %d, want 12", n.Nodes())
+	}
+	// Interior node (r=1,c=1) has 4 neighbors; corner has 2.
+	if got := len(n.adj[1*4+1]); got != 4 {
+		t.Errorf("interior degree = %d", got)
+	}
+	if got := len(n.adj[0]); got != 2 {
+		t.Errorf("corner degree = %d", got)
+	}
+}
+
+// Grid shortest paths equal Manhattan distance (unit edges).
+func TestDijkstraManhattan(t *testing.T) {
+	n := unitGrid(5, 5)
+	rng := rand.New(rand.NewSource(1))
+	for iter := 0; iter < 100; iter++ {
+		r1, c1 := rng.Intn(5), rng.Intn(5)
+		r2, c2 := rng.Intn(5), rng.Intn(5)
+		a, b := NodeID(r1*5+c1), NodeID(r2*5+c2)
+		want := float64(abs(r1-r2) + abs(c1-c2))
+		if got := n.Distance(a, b); math.Abs(got-want) > 1e-9 {
+			t.Fatalf("Distance(%v,%v) = %v, want %v", a, b, got, want)
+		}
+	}
+	if d := n.Distance(3, 3); d != 0 {
+		t.Errorf("self distance = %v", d)
+	}
+	if d := n.Distance(-1, 3); !math.IsInf(d, 1) {
+		t.Errorf("invalid node distance = %v", d)
+	}
+}
+
+// Removing a bridge disconnects and the distance becomes +Inf; network
+// distances respect barriers Euclidean distances ignore.
+func TestRemoveEdgeDisconnects(t *testing.T) {
+	n := New()
+	a := n.AddNode(geom.Point{X: 0, Y: 0})
+	b := n.AddNode(geom.Point{X: 1, Y: 0})
+	c := n.AddNode(geom.Point{X: 2, Y: 0})
+	if err := n.AddEdge(a, b, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.AddEdge(b, c, 0); err != nil {
+		t.Fatal(err)
+	}
+	if got := n.Distance(a, c); math.Abs(got-2) > 1e-9 {
+		t.Fatalf("Distance = %v, want 2", got)
+	}
+	if !n.RemoveEdge(b, c) {
+		t.Fatal("edge not removed")
+	}
+	if got := n.Distance(a, c); !math.IsInf(got, 1) {
+		t.Fatalf("disconnected distance = %v, want +Inf", got)
+	}
+	if n.RemoveEdge(b, c) {
+		t.Error("double removal reported success")
+	}
+	if err := n.AddEdge(a, NodeID(99), 1); err == nil {
+		t.Error("out-of-range edge accepted")
+	}
+}
+
+// Nearest must agree with a linear scan.
+func TestNearestMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	n := New()
+	for i := 0; i < 300; i++ {
+		n.AddNode(geom.Point{X: rng.Float64() * 100, Y: rng.Float64() * 100})
+	}
+	for iter := 0; iter < 200; iter++ {
+		p := geom.Point{X: rng.Float64()*120 - 10, Y: rng.Float64()*120 - 10}
+		got := n.Nearest(p)
+		best, bestD := NodeID(-1), math.Inf(1)
+		for i := range n.nodes {
+			if d := n.nodes[i].SqDist(p); d < bestD {
+				bestD, best = d, NodeID(i)
+			}
+		}
+		// Ties are possible; accept equal distance.
+		if n.nodes[got].SqDist(p) > bestD+1e-12 {
+			t.Fatalf("Nearest(%v) = %v (d=%v), brute force %v (d=%v)",
+				p, got, n.nodes[got].SqDist(p), best, bestD)
+		}
+	}
+	empty := New()
+	if got := empty.Nearest(geom.Point{}); got != -1 {
+		t.Errorf("empty network Nearest = %v", got)
+	}
+}
+
+func TestMapMatch(t *testing.T) {
+	n := unitGrid(4, 4)
+	// A trajectory hugging the bottom row.
+	tr := &traj.T{ID: 1, Points: []geom.Point{
+		{X: 0.1, Y: 0.05}, {X: 0.4, Y: -0.1}, {X: 1.1, Y: 0.1}, {X: 1.9, Y: 0.05}, {X: 2.1, Y: -0.05}, {X: 3.0, Y: 0.2},
+	}}
+	path := n.MapMatch(tr)
+	want := []NodeID{0, 1, 2, 3}
+	if len(path) != len(want) {
+		t.Fatalf("path = %v, want %v", path, want)
+	}
+	for i := range want {
+		if path[i] != want[i] {
+			t.Fatalf("path = %v, want %v", path, want)
+		}
+	}
+}
+
+// The headline semantic: two Euclidean-close trajectories separated by a
+// removed street (a river) are far in network distance.
+func TestRiverSeparation(t *testing.T) {
+	n := unitGrid(2, 6) // two parallel streets, 6 intersections each
+	// Cut all crossings except at the far ends.
+	for c := 1; c < 5; c++ {
+		if !n.RemoveEdge(NodeID(c), NodeID(6+c)) {
+			t.Fatal("crossing not removed")
+		}
+	}
+	south := &traj.T{ID: 1, Points: []geom.Point{{X: 1, Y: 0}, {X: 2, Y: 0}, {X: 3, Y: 0}, {X: 4, Y: 0}}}
+	north := &traj.T{ID: 2, Points: []geom.Point{{X: 1, Y: 1}, {X: 2, Y: 1}, {X: 3, Y: 1}, {X: 4, Y: 1}}}
+	netDTW := n.TrajectoryDTW(south, north)
+	// Euclidean DTW would be ~4 (each aligned pair 1 apart); network DTW
+	// must be much larger because reaching the other bank needs a detour
+	// to an end crossing.
+	if netDTW < 8 {
+		t.Fatalf("network DTW = %v; the river should separate the banks", netDTW)
+	}
+	// Same-bank trips remain close.
+	south2 := &traj.T{ID: 3, Points: []geom.Point{{X: 1.1, Y: 0.1}, {X: 2.1, Y: 0.05}, {X: 2.9, Y: -0.1}, {X: 4.05, Y: 0}}}
+	if d := n.TrajectoryDTW(south, south2); d > 1 {
+		t.Fatalf("same-bank network DTW = %v, want ~0", d)
+	}
+}
+
+// NetworkDTW basics: identity, symmetry, empty paths.
+func TestNetworkDTWProperties(t *testing.T) {
+	n := unitGrid(4, 4)
+	rng := rand.New(rand.NewSource(3))
+	randPath := func() []NodeID {
+		k := 2 + rng.Intn(5)
+		out := make([]NodeID, k)
+		for i := range out {
+			out[i] = NodeID(rng.Intn(16))
+		}
+		return out
+	}
+	for i := 0; i < 100; i++ {
+		a, b := randPath(), randPath()
+		if d := n.NetworkDTW(a, a); d != 0 {
+			t.Fatalf("self NetworkDTW = %v", d)
+		}
+		if math.Abs(n.NetworkDTW(a, b)-n.NetworkDTW(b, a)) > 1e-9 {
+			t.Fatal("NetworkDTW not symmetric")
+		}
+	}
+	if d := n.NetworkDTW(nil, []NodeID{1}); !math.IsInf(d, 1) {
+		t.Errorf("empty path NetworkDTW = %v", d)
+	}
+}
+
+// Memoized distances stay correct under concurrent queries.
+func TestDistanceConcurrent(t *testing.T) {
+	n := unitGrid(6, 6)
+	done := make(chan bool, 8)
+	for w := 0; w < 8; w++ {
+		go func(seed int64) {
+			rng := rand.New(rand.NewSource(seed))
+			ok := true
+			for i := 0; i < 200; i++ {
+				r1, c1, r2, c2 := rng.Intn(6), rng.Intn(6), rng.Intn(6), rng.Intn(6)
+				want := float64(abs(r1-r2) + abs(c1-c2))
+				if got := n.Distance(NodeID(r1*6+c1), NodeID(r2*6+c2)); math.Abs(got-want) > 1e-9 {
+					ok = false
+				}
+			}
+			done <- ok
+		}(int64(w))
+	}
+	for w := 0; w < 8; w++ {
+		if !<-done {
+			t.Fatal("concurrent distance query returned a wrong value")
+		}
+	}
+}
+
+// The network searcher must equal brute-force NetworkDTW filtering.
+func TestSearcherMatchesBruteForce(t *testing.T) {
+	n := unitGrid(8, 8)
+	rng := rand.New(rand.NewSource(6))
+	trajs := make([]*traj.T, 80)
+	for i := range trajs {
+		// Walks near grid nodes.
+		pts := make([]geom.Point, 4+rng.Intn(6))
+		x, y := rng.Float64()*7, rng.Float64()*7
+		for j := range pts {
+			x += rng.NormFloat64() * 0.6
+			y += rng.NormFloat64() * 0.6
+			pts[j] = geom.Point{X: x, Y: y}
+		}
+		trajs[i] = &traj.T{ID: i, Points: pts}
+	}
+	s := NewSearcher(n, trajs)
+	for iter := 0; iter < 15; iter++ {
+		q := trajs[rng.Intn(len(trajs))]
+		tau := rng.Float64() * 12
+		got := s.Search(q, tau)
+		qp := n.MapMatch(q)
+		want := 0
+		for _, tr := range trajs {
+			if d := n.NetworkDTW(n.MapMatch(tr), qp); d <= tau {
+				want++
+			}
+		}
+		if len(got) != want {
+			t.Fatalf("searcher: %d results, want %d (tau=%v)", len(got), want, tau)
+		}
+		for i := 1; i < len(got); i++ {
+			if got[i].Traj.ID <= got[i-1].Traj.ID {
+				t.Fatal("results not sorted by id")
+			}
+		}
+	}
+	// Self query finds itself at tau 0.
+	self := s.Search(trajs[0], 0)
+	found := false
+	for _, r := range self {
+		if r.Traj.ID == 0 {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("self query missing at tau=0")
+	}
+}

@@ -1,0 +1,78 @@
+package rtree
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"dita/internal/geom"
+)
+
+// qindex is a quick.Generator bundling random entries with a random query.
+type qindex struct {
+	Entries []Entry
+	Q       geom.Point
+	R       float64
+	Fanout  int
+}
+
+// Generate implements quick.Generator.
+func (qindex) Generate(rng *rand.Rand, size int) reflect.Value {
+	n := rng.Intn(300)
+	es := make([]Entry, n)
+	for i := range es {
+		p := geom.Point{X: rng.Float64() * 50, Y: rng.Float64() * 50}
+		q := geom.Point{X: p.X + rng.Float64()*4, Y: p.Y + rng.Float64()*4}
+		es[i] = Entry{MBR: geom.NewMBR(p).Extend(q), ID: i}
+	}
+	return reflect.ValueOf(qindex{
+		Entries: es,
+		Q:       geom.Point{X: rng.Float64()*60 - 5, Y: rng.Float64()*60 - 5},
+		R:       rng.Float64() * 12,
+		Fanout:  2 + rng.Intn(20),
+	})
+}
+
+// WithinDist equals brute force for arbitrary entry sets, queries, radii
+// and fanouts.
+func TestQuickWithinDistExact(t *testing.T) {
+	f := func(in qindex) bool {
+		tree := NewWithFanout(in.Entries, in.Fanout)
+		got := map[int]bool{}
+		for _, e := range tree.WithinDist(in.Q, in.R, nil) {
+			got[e.ID] = true
+		}
+		for _, e := range in.Entries {
+			if want := e.MBR.MinDist(in.Q) <= in.R; got[e.ID] != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}
+
+// The tree indexes every entry exactly once.
+func TestQuickTreeComplete(t *testing.T) {
+	f := func(in qindex) bool {
+		tree := NewWithFanout(in.Entries, in.Fanout)
+		count := map[int]int{}
+		tree.Visit(geom.MBR{Min: geom.Point{X: -1e9, Y: -1e9}, Max: geom.Point{X: 1e9, Y: 1e9}},
+			func(e Entry) bool { count[e.ID]++; return true })
+		if len(count) != len(in.Entries) {
+			return false
+		}
+		for _, c := range count {
+			if c != 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}

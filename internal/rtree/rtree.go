@@ -1,0 +1,244 @@
+// Package rtree provides a static, STR bulk-loaded R-tree over rectangles.
+//
+// DITA's global index (Section 4.2.2) is "an R-tree for all MBR_f and an
+// R-tree for all MBR_l across all partitions": given a query point q and a
+// threshold τ, it returns every indexed rectangle whose MinDist to q is at
+// most τ. The trees are built once from the partitioning and never
+// mutated, so bulk loading [Leutenegger et al., ICDE 1997] is the right
+// construction: it yields near-perfectly packed nodes and balanced depth.
+package rtree
+
+import (
+	"sort"
+
+	"dita/internal/geom"
+)
+
+// DefaultFanout is the node capacity used by New. 16 keeps trees shallow
+// for the NG² ≤ 64k rectangles DITA indexes while staying cache-friendly.
+const DefaultFanout = 16
+
+// Entry is an indexed rectangle with an opaque identifier (DITA stores the
+// partition id).
+type Entry struct {
+	MBR geom.MBR
+	ID  int
+}
+
+type node struct {
+	mbr      geom.MBR
+	children []*node // nil for leaves
+	entries  []Entry // nil for internal nodes
+}
+
+// Tree is an immutable R-tree. The zero value is an empty tree.
+type Tree struct {
+	root   *node
+	size   int
+	fanout int
+}
+
+// New bulk-loads a tree from the entries with the default fanout.
+func New(entries []Entry) *Tree { return NewWithFanout(entries, DefaultFanout) }
+
+// NewWithFanout bulk-loads a tree with the given node capacity (minimum 2).
+func NewWithFanout(entries []Entry, fanout int) *Tree {
+	if fanout < 2 {
+		fanout = 2
+	}
+	t := &Tree{size: len(entries), fanout: fanout}
+	if len(entries) == 0 {
+		return t
+	}
+	leaves := packLeaves(entries, fanout)
+	t.root = packUpward(leaves, fanout)
+	return t
+}
+
+// Len returns the number of indexed entries.
+func (t *Tree) Len() int { return t.size }
+
+// packLeaves STR-sorts the entries by center and packs them into leaves.
+func packLeaves(entries []Entry, fanout int) []*node {
+	sorted := make([]Entry, len(entries))
+	copy(sorted, entries)
+	strSortEntries(sorted, fanout)
+	var leaves []*node
+	for start := 0; start < len(sorted); start += fanout {
+		end := start + fanout
+		if end > len(sorted) {
+			end = len(sorted)
+		}
+		chunk := sorted[start:end]
+		m := geom.EmptyMBR()
+		for _, e := range chunk {
+			m = m.Union(e.MBR)
+		}
+		leaves = append(leaves, &node{mbr: m, entries: chunk})
+	}
+	return leaves
+}
+
+// strSortEntries orders entries by STR: slabs by center x, then center y
+// within each slab.
+func strSortEntries(es []Entry, fanout int) {
+	n := len(es)
+	sort.SliceStable(es, func(a, b int) bool {
+		ca, cb := es[a].MBR.Center(), es[b].MBR.Center()
+		if ca.X != cb.X {
+			return ca.X < cb.X
+		}
+		return ca.Y < cb.Y
+	})
+	leaves := (n + fanout - 1) / fanout
+	slabs := intSqrtCeil(leaves)
+	if slabs == 0 {
+		return
+	}
+	perSlab := ((leaves + slabs - 1) / slabs) * fanout
+	for start := 0; start < n; start += perSlab {
+		end := start + perSlab
+		if end > n {
+			end = n
+		}
+		part := es[start:end]
+		sort.SliceStable(part, func(a, b int) bool {
+			ca, cb := part[a].MBR.Center(), part[b].MBR.Center()
+			if ca.Y != cb.Y {
+				return ca.Y < cb.Y
+			}
+			return ca.X < cb.X
+		})
+	}
+}
+
+func intSqrtCeil(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	r := 1
+	for r*r < n {
+		r++
+	}
+	return r
+}
+
+// packUpward builds internal levels until a single root remains.
+func packUpward(level []*node, fanout int) *node {
+	for len(level) > 1 {
+		var next []*node
+		// Re-sort nodes by center for spatial coherence of parents.
+		sort.SliceStable(level, func(a, b int) bool {
+			ca, cb := level[a].mbr.Center(), level[b].mbr.Center()
+			if ca.X != cb.X {
+				return ca.X < cb.X
+			}
+			return ca.Y < cb.Y
+		})
+		for start := 0; start < len(level); start += fanout {
+			end := start + fanout
+			if end > len(level) {
+				end = len(level)
+			}
+			chunk := level[start:end]
+			m := geom.EmptyMBR()
+			for _, c := range chunk {
+				m = m.Union(c.mbr)
+			}
+			next = append(next, &node{mbr: m, children: chunk})
+		}
+		level = next
+	}
+	return level[0]
+}
+
+// WithinDist appends to dst every entry whose rectangle's MinDist to p is
+// at most r, and returns the extended slice. This is the global index
+// probe: MinDist(q1, MBR_f) <= τ (Section 5.2).
+func (t *Tree) WithinDist(p geom.Point, r float64, dst []Entry) []Entry {
+	if t.root == nil {
+		return dst
+	}
+	return within(t.root, p, r, dst)
+}
+
+func within(n *node, p geom.Point, r float64, dst []Entry) []Entry {
+	if n.mbr.MinDist(p) > r {
+		return dst
+	}
+	if n.children == nil {
+		for _, e := range n.entries {
+			if e.MBR.MinDist(p) <= r {
+				dst = append(dst, e)
+			}
+		}
+		return dst
+	}
+	for _, c := range n.children {
+		dst = within(c, p, r, dst)
+	}
+	return dst
+}
+
+// Visit calls fn for every entry whose rectangle intersects query,
+// stopping early if fn returns false.
+func (t *Tree) Visit(query geom.MBR, fn func(Entry) bool) {
+	if t.root == nil {
+		return
+	}
+	visit(t.root, query, fn)
+}
+
+func visit(n *node, query geom.MBR, fn func(Entry) bool) bool {
+	if !n.mbr.Intersects(query) {
+		return true
+	}
+	if n.children == nil {
+		for _, e := range n.entries {
+			if e.MBR.Intersects(query) {
+				if !fn(e) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	for _, c := range n.children {
+		if !visit(c, query, fn) {
+			return false
+		}
+	}
+	return true
+}
+
+// Height returns the number of levels (0 for an empty tree).
+func (t *Tree) Height() int {
+	h := 0
+	for n := t.root; n != nil; {
+		h++
+		if n.children == nil {
+			break
+		}
+		n = n.children[0]
+	}
+	return h
+}
+
+// SizeBytes estimates the in-memory footprint: 4 float64 per rectangle
+// plus an int id per entry and per-node overhead. Table 5 reports index
+// sizes from this.
+func (t *Tree) SizeBytes() int {
+	total := 0
+	var walk func(n *node)
+	walk = func(n *node) {
+		total += 40 // node MBR + slice headers, approximately
+		total += len(n.entries) * 40
+		for _, c := range n.children {
+			walk(c)
+		}
+	}
+	if t.root != nil {
+		walk(t.root)
+	}
+	return total
+}

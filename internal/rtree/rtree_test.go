@@ -1,0 +1,142 @@
+package rtree
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"dita/internal/geom"
+)
+
+func randEntries(rng *rand.Rand, n int) []Entry {
+	es := make([]Entry, n)
+	for i := range es {
+		p := geom.Point{X: rng.Float64() * 100, Y: rng.Float64() * 100}
+		q := geom.Point{X: p.X + rng.Float64()*5, Y: p.Y + rng.Float64()*5}
+		es[i] = Entry{MBR: geom.NewMBR(p).Extend(q), ID: i}
+	}
+	return es
+}
+
+// WithinDist must return exactly the entries a linear scan returns.
+func TestWithinDistMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for iter := 0; iter < 50; iter++ {
+		n := rng.Intn(400)
+		es := randEntries(rng, n)
+		tree := New(es)
+		if tree.Len() != n {
+			t.Fatalf("Len = %d, want %d", tree.Len(), n)
+		}
+		for q := 0; q < 20; q++ {
+			p := geom.Point{X: rng.Float64()*120 - 10, Y: rng.Float64()*120 - 10}
+			r := rng.Float64() * 20
+			got := tree.WithinDist(p, r, nil)
+			var want []int
+			for _, e := range es {
+				if e.MBR.MinDist(p) <= r {
+					want = append(want, e.ID)
+				}
+			}
+			gotIDs := make([]int, len(got))
+			for i, e := range got {
+				gotIDs[i] = e.ID
+			}
+			sort.Ints(gotIDs)
+			sort.Ints(want)
+			if len(gotIDs) != len(want) {
+				t.Fatalf("got %d entries, want %d (n=%d r=%v)", len(gotIDs), len(want), n, r)
+			}
+			for i := range want {
+				if gotIDs[i] != want[i] {
+					t.Fatalf("result mismatch at %d", i)
+				}
+			}
+		}
+	}
+}
+
+func TestVisitMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	es := randEntries(rng, 500)
+	tree := New(es)
+	for q := 0; q < 50; q++ {
+		a := geom.Point{X: rng.Float64() * 100, Y: rng.Float64() * 100}
+		query := geom.NewMBR(a).Extend(geom.Point{X: a.X + 10, Y: a.Y + 10})
+		got := map[int]bool{}
+		tree.Visit(query, func(e Entry) bool { got[e.ID] = true; return true })
+		for _, e := range es {
+			want := e.MBR.Intersects(query)
+			if got[e.ID] != want {
+				t.Fatalf("entry %d: visit=%v want=%v", e.ID, got[e.ID], want)
+			}
+		}
+	}
+}
+
+func TestVisitEarlyStop(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	es := randEntries(rng, 100)
+	tree := New(es)
+	count := 0
+	all := geom.MBR{Min: geom.Point{X: -1000, Y: -1000}, Max: geom.Point{X: 1000, Y: 1000}}
+	tree.Visit(all, func(Entry) bool { count++; return count < 5 })
+	if count != 5 {
+		t.Errorf("early stop visited %d entries, want 5", count)
+	}
+}
+
+func TestEmptyTree(t *testing.T) {
+	tree := New(nil)
+	if tree.Len() != 0 || tree.Height() != 0 {
+		t.Errorf("empty tree: Len=%d Height=%d", tree.Len(), tree.Height())
+	}
+	if got := tree.WithinDist(geom.Point{}, 100, nil); len(got) != 0 {
+		t.Errorf("empty tree returned entries: %v", got)
+	}
+	tree.Visit(geom.MBR{Max: geom.Point{X: 1, Y: 1}}, func(Entry) bool {
+		t.Error("visit on empty tree")
+		return false
+	})
+	if tree.SizeBytes() != 0 {
+		t.Errorf("empty tree SizeBytes = %d", tree.SizeBytes())
+	}
+}
+
+func TestSingleEntry(t *testing.T) {
+	e := Entry{MBR: geom.MBR{Min: geom.Point{X: 1, Y: 1}, Max: geom.Point{X: 2, Y: 2}}, ID: 42}
+	tree := New([]Entry{e})
+	got := tree.WithinDist(geom.Point{X: 0, Y: 0}, 2, nil)
+	if len(got) != 1 || got[0].ID != 42 {
+		t.Errorf("got %v", got)
+	}
+	if got := tree.WithinDist(geom.Point{X: 0, Y: 0}, 1, nil); len(got) != 0 {
+		t.Errorf("too-far query returned %v", got)
+	}
+}
+
+func TestHeightGrows(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	small := New(randEntries(rng, 10))
+	big := NewWithFanout(randEntries(rng, 2000), 8)
+	if small.Height() < 1 {
+		t.Error("nonempty tree must have height >= 1")
+	}
+	if big.Height() <= small.Height() {
+		t.Errorf("2000-entry fanout-8 tree height %d should exceed 10-entry height %d",
+			big.Height(), small.Height())
+	}
+	if big.SizeBytes() <= small.SizeBytes() {
+		t.Error("bigger tree should report bigger size")
+	}
+}
+
+func TestLowFanoutClamped(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	es := randEntries(rng, 50)
+	tree := NewWithFanout(es, 0) // clamped to 2
+	got := tree.WithinDist(geom.Point{X: 50, Y: 50}, 1000, nil)
+	if len(got) != 50 {
+		t.Errorf("fanout-clamped tree lost entries: %d", len(got))
+	}
+}

@@ -1,0 +1,167 @@
+// Package simplify provides trajectory preprocessing utilities: error-
+// bounded polyline simplification (Douglas–Peucker) and uniform
+// resampling. The paper's related-work section surveys trajectory
+// simplification [28–30] as standard preprocessing for large-scale
+// analytics; downstream users typically simplify raw GPS traces before
+// indexing to cut point counts without moving any point more than a bound
+// ε — which also bounds the induced error of the trajectory distances
+// DITA computes.
+package simplify
+
+import (
+	"math"
+
+	"dita/internal/geom"
+	"dita/internal/traj"
+)
+
+// DouglasPeucker returns a subsequence of pts containing the first and
+// last point such that every dropped point lies within eps of the
+// simplified polyline. The classic divide-and-conquer: keep the point
+// farthest from the chord if it exceeds eps, recurse on both halves.
+func DouglasPeucker(pts []geom.Point, eps float64) []geom.Point {
+	if len(pts) <= 2 || eps <= 0 {
+		out := make([]geom.Point, len(pts))
+		copy(out, pts)
+		return out
+	}
+	keep := make([]bool, len(pts))
+	keep[0], keep[len(pts)-1] = true, true
+	dpRecurse(pts, 0, len(pts)-1, eps, keep)
+	var out []geom.Point
+	for i, k := range keep {
+		if k {
+			out = append(out, pts[i])
+		}
+	}
+	return out
+}
+
+func dpRecurse(pts []geom.Point, lo, hi int, eps float64, keep []bool) {
+	if hi-lo < 2 {
+		return
+	}
+	maxD, maxI := 0.0, -1
+	for i := lo + 1; i < hi; i++ {
+		if d := segDist(pts[i], pts[lo], pts[hi]); d > maxD {
+			maxD, maxI = d, i
+		}
+	}
+	if maxD > eps {
+		keep[maxI] = true
+		dpRecurse(pts, lo, maxI, eps, keep)
+		dpRecurse(pts, maxI, hi, eps, keep)
+	}
+}
+
+// segDist returns the distance from p to the segment a-b.
+func segDist(p, a, b geom.Point) float64 {
+	ab := b.Sub(a)
+	denom := ab.X*ab.X + ab.Y*ab.Y
+	if denom == 0 {
+		return p.Dist(a)
+	}
+	t := ((p.X-a.X)*ab.X + (p.Y-a.Y)*ab.Y) / denom
+	if t < 0 {
+		t = 0
+	} else if t > 1 {
+		t = 1
+	}
+	proj := geom.Point{X: a.X + t*ab.X, Y: a.Y + t*ab.Y}
+	return p.Dist(proj)
+}
+
+// Resample returns n points evenly spaced by arc length along the
+// polyline, always including the original endpoints. n < 2 is clamped
+// to 2. Resampling normalizes wildly different sampling rates before
+// distance comparison (the inconsistent-sampling problem of [33]).
+func Resample(pts []geom.Point, n int) []geom.Point {
+	if len(pts) == 0 {
+		return nil
+	}
+	if n < 2 {
+		n = 2
+	}
+	if len(pts) == 1 {
+		out := make([]geom.Point, n)
+		for i := range out {
+			out[i] = pts[0]
+		}
+		return out
+	}
+	// Cumulative arc length.
+	cum := make([]float64, len(pts))
+	for i := 1; i < len(pts); i++ {
+		cum[i] = cum[i-1] + pts[i-1].Dist(pts[i])
+	}
+	total := cum[len(pts)-1]
+	out := make([]geom.Point, n)
+	out[0] = pts[0]
+	out[n-1] = pts[len(pts)-1]
+	if total == 0 {
+		for i := range out {
+			out[i] = pts[0]
+		}
+		return out
+	}
+	seg := 1
+	for i := 1; i < n-1; i++ {
+		target := total * float64(i) / float64(n-1)
+		for seg < len(pts)-1 && cum[seg] < target {
+			seg++
+		}
+		span := cum[seg] - cum[seg-1]
+		t := 0.0
+		if span > 0 {
+			t = (target - cum[seg-1]) / span
+		}
+		a, b := pts[seg-1], pts[seg]
+		out[i] = geom.Point{X: a.X + t*(b.X-a.X), Y: a.Y + t*(b.Y-a.Y)}
+	}
+	return out
+}
+
+// Dataset simplifies every trajectory of d with DouglasPeucker, returning
+// a new dataset (ids preserved). Trajectories never drop below
+// traj.MinLen points.
+func Dataset(d *traj.Dataset, eps float64) *traj.Dataset {
+	out := make([]*traj.T, len(d.Trajs))
+	for i, t := range d.Trajs {
+		pts := DouglasPeucker(t.Points, eps)
+		for len(pts) < traj.MinLen {
+			pts = append(pts, pts[len(pts)-1])
+		}
+		out[i] = &traj.T{ID: t.ID, Points: pts}
+	}
+	return traj.NewDataset(d.Name+"(simplified)", out)
+}
+
+// MaxError returns the maximum distance from any original point to the
+// simplified polyline — the realized simplification error.
+func MaxError(orig, simplified []geom.Point) float64 {
+	if len(simplified) < 2 {
+		if len(simplified) == 1 {
+			worst := 0.0
+			for _, p := range orig {
+				if d := p.Dist(simplified[0]); d > worst {
+					worst = d
+				}
+			}
+			return worst
+		}
+		return math.Inf(1)
+	}
+	worst := 0.0
+	for _, p := range orig {
+		best := math.Inf(1)
+		for i := 1; i < len(simplified); i++ {
+			if d := segDist(p, simplified[i-1], simplified[i]); d < best {
+				best = d
+			}
+		}
+		if best > worst {
+			worst = best
+		}
+	}
+	return worst
+}

@@ -1,0 +1,93 @@
+package sqlx
+
+import "dita/internal/geom"
+
+// Statement is a parsed SQL statement.
+type Statement interface{ stmt() }
+
+// CreateTable is CREATE TABLE name.
+type CreateTable struct {
+	Name string
+}
+
+// Load is LOAD 'file.csv' INTO name.
+type Load struct {
+	Path  string
+	Table string
+}
+
+// CreateIndex is CREATE INDEX idx ON table USE TRIE.
+type CreateIndex struct {
+	Name  string
+	Table string
+}
+
+// TrajLiteral is TRAJECTORY((x y), (x y), ...) or a ? parameter.
+type TrajLiteral struct {
+	Points []geom.Point
+	Param  bool // true for '?'
+}
+
+// Predicate is f(T, Q) <= tau with f a measure name.
+type Predicate struct {
+	Measure string
+	// LeftTable is the table alias on the measure's first argument.
+	LeftTable string
+	// Right is either a table alias (joins) or a literal/param (search).
+	RightTable string
+	RightTraj  *TrajLiteral
+	Tau        float64
+}
+
+// Select is the unified search / join / kNN statement.
+type Select struct {
+	// Table is the FROM table.
+	Table string
+	// JoinTable is set for TRA-JOIN queries.
+	JoinTable string
+	// Where is the similarity predicate (search and join).
+	Where *Predicate
+	// OrderBy + Limit express kNN: ORDER BY f(T, Q) LIMIT k.
+	OrderBy *Predicate // Tau unused
+	Limit   int
+	// Count marks a SELECT COUNT(*) projection: only the row count is
+	// returned.
+	Count bool
+	// KNNJoin marks a TRA-KNN-JOIN: for every left trajectory, the Limit
+	// nearest right trajectories under the OrderBy measure.
+	KNNJoin bool
+}
+
+// Insert is INSERT INTO table VALUES (id, TRAJECTORY(...)). Inserting
+// invalidates the table's built engines (the index is rebuilt lazily).
+type Insert struct {
+	Table string
+	ID    int
+	Traj  *TrajLiteral
+}
+
+// Drop is DROP TABLE name or DROP INDEX ON name.
+type Drop struct {
+	Table string
+	// IndexOnly drops just the index, keeping the data.
+	IndexOnly bool
+}
+
+// Explain is EXPLAIN SELECT ...: plan the statement without executing it.
+type Explain struct {
+	Stmt *Select
+}
+
+// Show is SHOW TABLES / SHOW INDEXES.
+type Show struct {
+	What string // "TABLES" or "INDEXES"
+}
+
+func (*CreateTable) stmt() {}
+func (*Load) stmt()        {}
+func (*CreateIndex) stmt() {}
+func (*Select) stmt()      {}
+func (*Show) stmt()        {}
+func (*Explain) stmt()     {}
+func (*Insert) stmt()      {}
+func (*Drop) stmt()        {}

@@ -1,0 +1,405 @@
+package sqlx
+
+import (
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+
+	"dita/internal/cluster"
+	"dita/internal/core"
+	"dita/internal/measure"
+	"dita/internal/traj"
+)
+
+// DB is the catalog and execution context: named tables, their optional
+// trie indexes (one engine per table and measure), and the shared cluster.
+type DB struct {
+	cl   *cluster.Cluster
+	opts core.Options
+
+	// Eps and Delta configure edit-based measures named in queries.
+	Eps   float64
+	Delta int
+
+	mu     sync.Mutex
+	tables map[string]*table
+}
+
+type table struct {
+	name    string
+	data    *traj.Dataset
+	indexed bool
+	idxName string
+	// engines caches one built engine per measure name.
+	engines map[string]*core.Engine
+}
+
+// NewDB creates a context on the given cluster (a default 4-worker cluster
+// when nil) using the engine options as a template for CREATE INDEX.
+func NewDB(cl *cluster.Cluster, opts core.Options) *DB {
+	if cl == nil {
+		cl = cluster.New(cluster.DefaultConfig(4))
+	}
+	opts.Cluster = cl
+	if opts.NG < 1 {
+		opts.NG = core.DefaultOptions().NG
+	}
+	return &DB{cl: cl, opts: opts, Eps: 0.001, Delta: 5, tables: map[string]*table{}}
+}
+
+// Cluster returns the execution substrate.
+func (db *DB) Cluster() *cluster.Cluster { return db.cl }
+
+// Register adds (or replaces) a table backed by the dataset.
+func (db *DB) Register(name string, d *traj.Dataset) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.tables[strings.ToLower(name)] = &table{name: name, data: d, engines: map[string]*core.Engine{}}
+}
+
+func (db *DB) table(name string) (*table, error) {
+	t, ok := db.tables[strings.ToLower(name)]
+	if !ok {
+		return nil, fmt.Errorf("sqlx: unknown table %q", name)
+	}
+	return t, nil
+}
+
+// Result is the outcome of Exec: exactly one of the fields is populated
+// depending on the statement kind.
+type Result struct {
+	// Message reports DDL outcomes.
+	Message string
+	// Trajs holds search / kNN answers.
+	Trajs []core.SearchResult
+	// Pairs holds join answers.
+	Pairs []core.Pair
+	// Tables holds SHOW output rows.
+	Tables []string
+	// Plan describes the chosen physical plan.
+	Plan string
+	// Count is the row/pair count for SELECT COUNT(*) queries (and is
+	// also filled for ordinary SELECTs).
+	Count int
+}
+
+// Exec parses and executes one statement. Positional '?' parameters bind
+// query trajectories in order.
+func (db *DB) Exec(sql string, params ...*traj.T) (*Result, error) {
+	st, err := Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	return db.Execute(st, params...)
+}
+
+// Execute runs a parsed statement.
+func (db *DB) Execute(st Statement, params ...*traj.T) (*Result, error) {
+	switch s := st.(type) {
+	case *CreateTable:
+		db.Register(s.Name, traj.NewDataset(s.Name, nil))
+		return &Result{Message: fmt.Sprintf("table %s created", s.Name)}, nil
+	case *Load:
+		f, err := os.Open(s.Path)
+		if err != nil {
+			return nil, fmt.Errorf("sqlx: %w", err)
+		}
+		defer f.Close()
+		d, err := traj.ReadCSV(f, s.Table)
+		if err != nil {
+			return nil, err
+		}
+		db.Register(s.Table, d)
+		return &Result{Message: fmt.Sprintf("loaded %d trajectories into %s", d.Len(), s.Table)}, nil
+	case *CreateIndex:
+		db.mu.Lock()
+		defer db.mu.Unlock()
+		t, err := db.table(s.Table)
+		if err != nil {
+			return nil, err
+		}
+		t.indexed = true
+		t.idxName = s.Name
+		// Engines are built lazily per measure; eagerly build the default
+		// (DTW) so CREATE INDEX has the paper's Table 5 cost profile.
+		if _, err := db.engineLocked(t, measure.DTW{}); err != nil {
+			return nil, err
+		}
+		return &Result{Message: fmt.Sprintf("trie index %s created on %s", s.Name, s.Table)}, nil
+	case *Show:
+		db.mu.Lock()
+		defer db.mu.Unlock()
+		var rows []string
+		for _, t := range db.tables {
+			switch s.What {
+			case "TABLES":
+				rows = append(rows, fmt.Sprintf("%s (%d trajectories)", t.name, t.data.Len()))
+			case "INDEXES":
+				if t.indexed {
+					rows = append(rows, fmt.Sprintf("%s ON %s USE TRIE", t.idxName, t.name))
+				}
+			}
+		}
+		sort.Strings(rows)
+		return &Result{Tables: rows}, nil
+	case *Insert:
+		db.mu.Lock()
+		defer db.mu.Unlock()
+		t, err := db.table(s.Table)
+		if err != nil {
+			return nil, err
+		}
+		nt := &traj.T{ID: s.ID, Points: s.Traj.Points}
+		if err := nt.Validate(); err != nil {
+			return nil, err
+		}
+		for _, existing := range t.data.Trajs {
+			if existing.ID == s.ID {
+				return nil, fmt.Errorf("sqlx: trajectory id %d already exists in %s", s.ID, t.name)
+			}
+		}
+		t.data.Trajs = append(t.data.Trajs, nt)
+		// Built engines no longer reflect the data; rebuild lazily.
+		t.engines = map[string]*core.Engine{}
+		return &Result{Message: fmt.Sprintf("inserted trajectory %d into %s", s.ID, t.name)}, nil
+	case *Drop:
+		db.mu.Lock()
+		defer db.mu.Unlock()
+		t, err := db.table(s.Table)
+		if err != nil {
+			return nil, err
+		}
+		if s.IndexOnly {
+			t.indexed = false
+			t.idxName = ""
+			t.engines = map[string]*core.Engine{}
+			return &Result{Message: fmt.Sprintf("index dropped from %s", t.name)}, nil
+		}
+		delete(db.tables, strings.ToLower(s.Table))
+		return &Result{Message: fmt.Sprintf("table %s dropped", t.name)}, nil
+	case *Select:
+		res, err := db.execSelect(s, params, false)
+		if err != nil {
+			return nil, err
+		}
+		res.Count = len(res.Trajs) + len(res.Pairs)
+		if s.Count {
+			// COUNT(*) projects the count only.
+			res.Trajs, res.Pairs = nil, nil
+		}
+		return res, nil
+	case *Explain:
+		return db.execSelect(s.Stmt, params, true)
+	}
+	return nil, fmt.Errorf("sqlx: unsupported statement %T", st)
+}
+
+// measureFor resolves a measure name using the context's Eps/Delta.
+func (db *DB) measureFor(name string) (measure.Measure, error) {
+	return measure.ByName(name, db.Eps, db.Delta)
+}
+
+// engineLocked returns (building if needed) the table's engine for the
+// measure. Caller holds db.mu.
+func (db *DB) engineLocked(t *table, m measure.Measure) (*core.Engine, error) {
+	if e, ok := t.engines[m.Name()]; ok {
+		return e, nil
+	}
+	opts := db.opts
+	opts.Measure = m
+	opts.Cluster = db.cl
+	e, err := core.NewEngine(t.data, opts)
+	if err != nil {
+		return nil, err
+	}
+	t.engines[m.Name()] = e
+	return e, nil
+}
+
+func (db *DB) execSelect(s *Select, params []*traj.T, planOnly bool) (*Result, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	t, err := db.table(s.Table)
+	if err != nil {
+		return nil, err
+	}
+	nextParam := 0
+	bind := func(lit *TrajLiteral) (*traj.T, error) {
+		if lit == nil {
+			return nil, fmt.Errorf("sqlx: missing query trajectory")
+		}
+		if lit.Param {
+			if nextParam >= len(params) {
+				return nil, fmt.Errorf("sqlx: not enough parameters: need %d", nextParam+1)
+			}
+			q := params[nextParam]
+			nextParam++
+			return q, nil
+		}
+		return &traj.T{ID: -1, Points: lit.Points}, nil
+	}
+
+	// kNN join: TRA-KNN-JOIN Q USING f LIMIT k.
+	if s.KNNJoin {
+		t2, err := db.table(s.JoinTable)
+		if err != nil {
+			return nil, err
+		}
+		m, err := db.measureFor(s.OrderBy.Measure)
+		if err != nil {
+			return nil, err
+		}
+		plan := fmt.Sprintf("KNNIndexJoin(%s, %s, k=%d, %s)", t.name, t2.name, s.Limit, m.Name())
+		if planOnly {
+			return &Result{Plan: plan}, nil
+		}
+		e1, err := db.engineLocked(t, m)
+		if err != nil {
+			return nil, err
+		}
+		e2, err := db.engineLocked(t2, m)
+		if err != nil {
+			return nil, err
+		}
+		nn := e1.KNNJoin(e2, s.Limit)
+		// Flatten to pairs: (left id, neighbor) in left-id order.
+		ids := make([]int, 0, len(nn))
+		for id := range nn {
+			ids = append(ids, id)
+		}
+		sort.Ints(ids)
+		var pairs []core.Pair
+		left := make(map[int]*traj.T, t.data.Len())
+		for _, tr := range t.data.Trajs {
+			left[tr.ID] = tr
+		}
+		for _, id := range ids {
+			for _, r := range nn[id] {
+				pairs = append(pairs, core.Pair{T: left[id], Q: r.Traj, Distance: r.Distance})
+			}
+		}
+		return &Result{Pairs: pairs, Plan: plan}, nil
+	}
+
+	// kNN: ORDER BY f(T, Q) LIMIT k.
+	if s.OrderBy != nil {
+		m, err := db.measureFor(s.OrderBy.Measure)
+		if err != nil {
+			return nil, err
+		}
+		plan := fmt.Sprintf("KNNIndexSearch(%s, k=%d, %s)", t.name, s.Limit, m.Name())
+		if planOnly {
+			return &Result{Plan: plan}, nil
+		}
+		q, err := bind(s.OrderBy.RightTraj)
+		if err != nil {
+			return nil, err
+		}
+		e, err := db.engineLocked(t, m)
+		if err != nil {
+			return nil, err
+		}
+		return &Result{Trajs: e.SearchKNN(q, s.Limit), Plan: plan}, nil
+	}
+
+	// Join.
+	if s.JoinTable != "" {
+		if s.Where == nil {
+			return nil, fmt.Errorf("sqlx: TRA-JOIN requires an ON predicate")
+		}
+		t2, err := db.table(s.JoinTable)
+		if err != nil {
+			return nil, err
+		}
+		m, err := db.measureFor(s.Where.Measure)
+		if err != nil {
+			return nil, err
+		}
+		plan := fmt.Sprintf("TrieIndexJoin(%s, %s, τ=%g, %s)", t.name, t2.name, s.Where.Tau, m.Name())
+		if planOnly {
+			return &Result{Plan: plan}, nil
+		}
+		// The paper's join "first builds indexes for them" when missing.
+		e1, err := db.engineLocked(t, m)
+		if err != nil {
+			return nil, err
+		}
+		e2, err := db.engineLocked(t2, m)
+		if err != nil {
+			return nil, err
+		}
+		pairs := e1.Join(e2, s.Where.Tau, core.DefaultJoinOptions(), nil)
+		return &Result{Pairs: pairs, Plan: plan}, nil
+	}
+
+	// Plain scan.
+	if s.Where == nil {
+		plan := fmt.Sprintf("FullScan(%s)", t.name)
+		if planOnly {
+			return &Result{Plan: plan}, nil
+		}
+		out := make([]core.SearchResult, len(t.data.Trajs))
+		for i, tr := range t.data.Trajs {
+			out[i] = core.SearchResult{Traj: tr}
+		}
+		return &Result{Trajs: out, Plan: plan}, nil
+	}
+
+	// Similarity search: index scan when a trie index exists, full scan
+	// otherwise — the planner's cost-based physical choice.
+	m, err := db.measureFor(s.Where.Measure)
+	if err != nil {
+		return nil, err
+	}
+	if planOnly {
+		plan := fmt.Sprintf("FullScanFilter(%s, τ=%g, %s)", t.name, s.Where.Tau, m.Name())
+		if t.indexed {
+			plan = fmt.Sprintf("TrieIndexSearch(%s, τ=%g, %s)", t.name, s.Where.Tau, m.Name())
+		}
+		return &Result{Plan: plan}, nil
+	}
+	q, err := bind(s.Where.RightTraj)
+	if err != nil {
+		return nil, err
+	}
+	if q == nil || len(q.Points) == 0 {
+		return nil, fmt.Errorf("sqlx: empty query trajectory")
+	}
+	if t.indexed {
+		plan := fmt.Sprintf("TrieIndexSearch(%s, τ=%g, %s)", t.name, s.Where.Tau, m.Name())
+		e, err := db.engineLocked(t, m)
+		if err != nil {
+			return nil, err
+		}
+		return &Result{Trajs: e.Search(q, s.Where.Tau, nil), Plan: plan}, nil
+	}
+	plan := fmt.Sprintf("FullScanFilter(%s, τ=%g, %s)", t.name, s.Where.Tau, m.Name())
+	return &Result{Trajs: db.fullScan(t, m, q, s.Where.Tau), Plan: plan}, nil
+}
+
+// fullScan verifies every trajectory in parallel across the workers.
+func (db *DB) fullScan(t *table, m measure.Measure, q *traj.T, tau float64) []core.SearchResult {
+	W := db.cl.Workers()
+	results := make([][]core.SearchResult, W)
+	var tasks []cluster.Task
+	for w := 0; w < W; w++ {
+		w := w
+		tasks = append(tasks, cluster.Task{Worker: w, Fn: func() {
+			for i := w; i < t.data.Len(); i += W {
+				tr := t.data.Trajs[i]
+				if d, ok := m.DistanceThreshold(tr.Points, q.Points, tau); ok {
+					results[w] = append(results[w], core.SearchResult{Traj: tr, Distance: d})
+				}
+			}
+		}})
+	}
+	db.cl.Run(tasks)
+	var out []core.SearchResult
+	for _, r := range results {
+		out = append(out, r...)
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].Traj.ID < out[b].Traj.ID })
+	return out
+}

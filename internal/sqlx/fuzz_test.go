@@ -1,0 +1,105 @@
+package sqlx
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParse drives the lexer and parser with arbitrary input: the parser
+// must never panic, and any statement it accepts must round-trip through
+// the executor's statement dispatch without crashing. Run the corpus as a
+// plain test with `go test`, or fuzz with `go test -fuzz=FuzzParse`.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"CREATE TABLE t",
+		"CREATE INDEX i ON t USE TRIE",
+		"LOAD 'x.csv' INTO t",
+		"SELECT * FROM t",
+		"SELECT * FROM t WHERE DTW(t, ?) <= 0.005",
+		"SELECT * FROM t WHERE DTW(t, TRAJECTORY((1 1), (2 2))) <= 0.5",
+		"SELECT * FROM t TRA-JOIN q ON FRECHET(t, q) <= 0.1",
+		"SELECT * FROM t ORDER BY EDR(t, ?) LIMIT 3",
+		"SHOW TABLES",
+		"sElEcT * fRoM t WhErE lcss(t, ?) <= 2;",
+		"SELECT * FROM t WHERE DTW(t, TRAJECTORY((1 1)",
+		"'unterminated",
+		"CREATE",
+		"TRAJECTORY",
+		"((((((((",
+		"SELECT * FROM t WHERE DTW(t, ?) <= 1e309",
+		"SELECT * FROM été WHERE DTW(été, ?) <= 1",
+		"-- just a comment",
+		"LOAD '\x00' INTO t",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		if len(input) > 4096 {
+			return // keep fuzzing fast; the grammar has no length-dependent paths
+		}
+		st, err := Parse(input)
+		if err != nil {
+			return
+		}
+		if st == nil {
+			t.Fatalf("Parse(%q) returned nil statement and nil error", input)
+		}
+		// Accepted statements must carry sane invariants.
+		switch s := st.(type) {
+		case *Select:
+			if s.Table == "" {
+				t.Fatalf("Parse(%q): SELECT without table", input)
+			}
+			if s.JoinTable != "" && s.Where == nil {
+				t.Fatalf("Parse(%q): join without predicate", input)
+			}
+			if s.OrderBy != nil && s.Limit < 1 {
+				t.Fatalf("Parse(%q): ORDER BY without positive LIMIT", input)
+			}
+			if s.Where != nil && s.Where.Measure == "" {
+				t.Fatalf("Parse(%q): predicate without measure", input)
+			}
+		case *CreateIndex:
+			if s.Table == "" || s.Name == "" {
+				t.Fatalf("Parse(%q): CREATE INDEX missing fields", input)
+			}
+		case *Load:
+			if s.Table == "" {
+				t.Fatalf("Parse(%q): LOAD missing table", input)
+			}
+		case *CreateTable:
+			if s.Name == "" {
+				t.Fatalf("Parse(%q): CREATE TABLE missing name", input)
+			}
+		case *Show:
+			if s.What != "TABLES" && s.What != "INDEXES" {
+				t.Fatalf("Parse(%q): SHOW %q", input, s.What)
+			}
+		}
+	})
+}
+
+// FuzzLexer checks the tokenizer in isolation: no panics and monotone
+// token positions.
+func FuzzLexer(f *testing.F) {
+	f.Add("SELECT * FROM t -- c\n'str' 1.5e-3 <= >= ( ) , ? ; .")
+	f.Add("\x00\xff\xfe")
+	f.Add(strings.Repeat("(", 100))
+	f.Fuzz(func(t *testing.T, input string) {
+		toks, err := lex(input)
+		if err != nil {
+			return
+		}
+		last := -1
+		for _, tok := range toks {
+			if tok.pos < last {
+				t.Fatalf("token positions not monotone in %q", input)
+			}
+			last = tok.pos
+		}
+		if len(toks) == 0 || toks[len(toks)-1].kind != tokEOF {
+			t.Fatalf("lex(%q) missing EOF token", input)
+		}
+	})
+}

@@ -1,0 +1,125 @@
+// Package sqlx implements DITA's query front end (Section 3): the SQL
+// dialect extending standard SELECT with trajectory similarity predicates,
+//
+//	CREATE TABLE name
+//	LOAD 'file.csv' INTO name
+//	CREATE INDEX idx ON name USE TRIE
+//	SELECT * FROM T WHERE DTW(T, TRAJECTORY((x y), ...)) <= 0.005
+//	SELECT * FROM T TRA-JOIN Q ON DTW(T, Q) <= 0.005
+//	SELECT * FROM T ORDER BY DTW(T, ?) LIMIT 5        -- kNN
+//
+// and a DataFrame API over the same planner. Queries are parsed to an AST,
+// planned (index scan when a trie index exists, full scan otherwise — the
+// cost-based physical choice of Section 3's "Query Optimization"), and
+// executed on the DITA engine.
+package sqlx
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokNumber
+	tokString
+	tokPunct // ( ) , * ? ; . <= < >= > =
+)
+
+type token struct {
+	kind tokenKind
+	text string
+	pos  int
+}
+
+// lex splits the input into tokens. Identifiers keep their original case;
+// keyword comparison is case-insensitive at parse time. TRA-JOIN is lexed
+// as a single identifier (the '-' is allowed inside identifiers when
+// surrounded by letters, to honor the paper's syntax).
+func lex(input string) ([]token, error) {
+	var toks []token
+	i := 0
+	n := len(input)
+	for i < n {
+		c := rune(input[i])
+		switch {
+		case unicode.IsSpace(c):
+			i++
+		case c == '-' && i+1 < n && input[i+1] == '-':
+			// Line comment.
+			for i < n && input[i] != '\n' {
+				i++
+			}
+		case unicode.IsLetter(c) || c == '_':
+			start := i
+			for i < n {
+				c := rune(input[i])
+				if unicode.IsLetter(c) || unicode.IsDigit(c) || c == '_' {
+					i++
+					continue
+				}
+				// Allow '-' inside an identifier when followed by a letter
+				// (TRA-JOIN).
+				if c == '-' && i+1 < n && unicode.IsLetter(rune(input[i+1])) {
+					i += 2
+					continue
+				}
+				break
+			}
+			toks = append(toks, token{tokIdent, input[start:i], start})
+		case unicode.IsDigit(c) || (c == '-' && i+1 < n && (unicode.IsDigit(rune(input[i+1])) || input[i+1] == '.')) || (c == '.' && i+1 < n && unicode.IsDigit(rune(input[i+1]))):
+			start := i
+			if c == '-' {
+				i++
+			}
+			seenDot, seenExp := false, false
+			for i < n {
+				c := input[i]
+				if c >= '0' && c <= '9' {
+					i++
+				} else if c == '.' && !seenDot && !seenExp {
+					seenDot = true
+					i++
+				} else if (c == 'e' || c == 'E') && !seenExp {
+					seenExp = true
+					i++
+					if i < n && (input[i] == '+' || input[i] == '-') {
+						i++
+					}
+				} else {
+					break
+				}
+			}
+			toks = append(toks, token{tokNumber, input[start:i], start})
+		case c == '\'':
+			start := i
+			i++
+			for i < n && input[i] != '\'' {
+				i++
+			}
+			if i >= n {
+				return nil, fmt.Errorf("sqlx: unterminated string at %d", start)
+			}
+			toks = append(toks, token{tokString, input[start+1 : i], start})
+			i++
+		case c == '<' || c == '>':
+			start := i
+			i++
+			if i < n && input[i] == '=' {
+				i++
+			}
+			toks = append(toks, token{tokPunct, input[start:i], start})
+		case strings.ContainsRune("(),*?;.=", c):
+			toks = append(toks, token{tokPunct, string(c), i})
+			i++
+		default:
+			return nil, fmt.Errorf("sqlx: unexpected character %q at %d", c, i)
+		}
+	}
+	toks = append(toks, token{tokEOF, "", n})
+	return toks, nil
+}

@@ -1,0 +1,424 @@
+package sqlx
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"dita/internal/geom"
+)
+
+// Parse parses one SQL statement.
+func Parse(input string) (Statement, error) {
+	toks, err := lex(input)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	st, err := p.statement()
+	if err != nil {
+		return nil, err
+	}
+	// Optional trailing semicolon.
+	p.accept(";")
+	if !p.atEOF() {
+		return nil, fmt.Errorf("sqlx: trailing input at %q", p.peek().text)
+	}
+	return st, nil
+}
+
+type parser struct {
+	toks []token
+	i    int
+}
+
+func (p *parser) peek() token { return p.toks[p.i] }
+func (p *parser) atEOF() bool { return p.peek().kind == tokEOF }
+
+// acceptKw consumes the next token when it is the given keyword
+// (case-insensitive).
+func (p *parser) acceptKw(kw string) bool {
+	t := p.peek()
+	if t.kind == tokIdent && strings.EqualFold(t.text, kw) {
+		p.i++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectKw(kw string) error {
+	if !p.acceptKw(kw) {
+		return fmt.Errorf("sqlx: expected %s, got %q", kw, p.peek().text)
+	}
+	return nil
+}
+
+// accept consumes a punct token with exact text.
+func (p *parser) accept(text string) bool {
+	t := p.peek()
+	if t.kind == tokPunct && t.text == text {
+		p.i++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expect(text string) error {
+	if !p.accept(text) {
+		return fmt.Errorf("sqlx: expected %q, got %q", text, p.peek().text)
+	}
+	return nil
+}
+
+func (p *parser) ident() (string, error) {
+	t := p.peek()
+	if t.kind != tokIdent {
+		return "", fmt.Errorf("sqlx: expected identifier, got %q", t.text)
+	}
+	p.i++
+	return t.text, nil
+}
+
+func (p *parser) number() (float64, error) {
+	t := p.peek()
+	if t.kind != tokNumber {
+		return 0, fmt.Errorf("sqlx: expected number, got %q", t.text)
+	}
+	p.i++
+	return strconv.ParseFloat(t.text, 64)
+}
+
+func (p *parser) statement() (Statement, error) {
+	switch {
+	case p.acceptKw("CREATE"):
+		if p.acceptKw("TABLE") {
+			name, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			return &CreateTable{Name: name}, nil
+		}
+		if p.acceptKw("INDEX") {
+			name, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectKw("ON"); err != nil {
+				return nil, err
+			}
+			table, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectKw("USE"); err != nil {
+				return nil, err
+			}
+			if err := p.expectKw("TRIE"); err != nil {
+				return nil, err
+			}
+			return &CreateIndex{Name: name, Table: table}, nil
+		}
+		return nil, fmt.Errorf("sqlx: CREATE must be followed by TABLE or INDEX")
+	case p.acceptKw("LOAD"):
+		t := p.peek()
+		if t.kind != tokString {
+			return nil, fmt.Errorf("sqlx: LOAD expects a quoted path")
+		}
+		p.i++
+		if err := p.expectKw("INTO"); err != nil {
+			return nil, err
+		}
+		table, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		return &Load{Path: t.text, Table: table}, nil
+	case p.acceptKw("SHOW"):
+		if p.acceptKw("TABLES") {
+			return &Show{What: "TABLES"}, nil
+		}
+		if p.acceptKw("INDEXES") {
+			return &Show{What: "INDEXES"}, nil
+		}
+		return nil, fmt.Errorf("sqlx: SHOW must be followed by TABLES or INDEXES")
+	case p.acceptKw("INSERT"):
+		if err := p.expectKw("INTO"); err != nil {
+			return nil, err
+		}
+		table, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectKw("VALUES"); err != nil {
+			return nil, err
+		}
+		if err := p.expect("("); err != nil {
+			return nil, err
+		}
+		id, err := p.number()
+		if err != nil {
+			return nil, err
+		}
+		if id != float64(int(id)) {
+			return nil, fmt.Errorf("sqlx: trajectory id must be an integer")
+		}
+		if err := p.expect(","); err != nil {
+			return nil, err
+		}
+		lit, err := p.trajOperand()
+		if err != nil {
+			return nil, err
+		}
+		if lit.Param {
+			return nil, fmt.Errorf("sqlx: INSERT requires a TRAJECTORY literal")
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		return &Insert{Table: table, ID: int(id), Traj: lit}, nil
+	case p.acceptKw("DROP"):
+		if p.acceptKw("TABLE") {
+			table, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			return &Drop{Table: table}, nil
+		}
+		if p.acceptKw("INDEX") {
+			if err := p.expectKw("ON"); err != nil {
+				return nil, err
+			}
+			table, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			return &Drop{Table: table, IndexOnly: true}, nil
+		}
+		return nil, fmt.Errorf("sqlx: DROP must be followed by TABLE or INDEX ON")
+	case p.acceptKw("EXPLAIN"):
+		if !p.acceptKw("SELECT") {
+			return nil, fmt.Errorf("sqlx: EXPLAIN supports only SELECT")
+		}
+		st, err := p.selectStmt()
+		if err != nil {
+			return nil, err
+		}
+		return &Explain{Stmt: st.(*Select)}, nil
+	case p.acceptKw("SELECT"):
+		return p.selectStmt()
+	}
+	return nil, fmt.Errorf("sqlx: unrecognized statement start %q", p.peek().text)
+}
+
+func (p *parser) selectStmt() (Statement, error) {
+	count := false
+	if p.acceptKw("COUNT") {
+		if err := p.expect("("); err != nil {
+			return nil, err
+		}
+		if err := p.expect("*"); err != nil {
+			return nil, err
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		count = true
+	} else if err := p.expect("*"); err != nil {
+		return nil, err
+	}
+	if err := p.expectKw("FROM"); err != nil {
+		return nil, err
+	}
+	table, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	s := &Select{Table: table, Limit: -1, Count: count}
+	// TRA-KNN-JOIN (kNN join): ... TRA-KNN-JOIN Q USING DTW LIMIT k.
+	if p.acceptKw("TRA-KNN-JOIN") || p.acceptKw("TRAKNNJOIN") {
+		jt, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		s.JoinTable = jt
+		s.KNNJoin = true
+		if err := p.expectKw("USING"); err != nil {
+			return nil, err
+		}
+		name, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		s.OrderBy = &Predicate{Measure: strings.ToUpper(name), LeftTable: table, RightTable: jt}
+		if err := p.expectKw("LIMIT"); err != nil {
+			return nil, err
+		}
+		k, err := p.number()
+		if err != nil {
+			return nil, err
+		}
+		if k < 1 || k != float64(int(k)) {
+			return nil, fmt.Errorf("sqlx: LIMIT must be a positive integer")
+		}
+		s.Limit = int(k)
+		return s, nil
+	}
+	// TRA-JOIN (also accepted: TRAJOIN).
+	if p.acceptKw("TRA-JOIN") || p.acceptKw("TRAJOIN") {
+		jt, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		s.JoinTable = jt
+		if err := p.expectKw("ON"); err != nil {
+			return nil, err
+		}
+		pred, err := p.predicate(true)
+		if err != nil {
+			return nil, err
+		}
+		s.Where = pred
+		return s, nil
+	}
+	if p.acceptKw("WHERE") {
+		pred, err := p.predicate(false)
+		if err != nil {
+			return nil, err
+		}
+		s.Where = pred
+	}
+	if p.acceptKw("ORDER") {
+		if err := p.expectKw("BY"); err != nil {
+			return nil, err
+		}
+		pred, err := p.knnPredicate()
+		if err != nil {
+			return nil, err
+		}
+		s.OrderBy = pred
+		if err := p.expectKw("LIMIT"); err != nil {
+			return nil, err
+		}
+		k, err := p.number()
+		if err != nil {
+			return nil, err
+		}
+		if k < 1 || k != float64(int(k)) {
+			return nil, fmt.Errorf("sqlx: LIMIT must be a positive integer")
+		}
+		s.Limit = int(k)
+	}
+	return s, nil
+}
+
+// predicate parses f(T, rhs) <= tau. In join form the rhs must be a table
+// alias; in search form a TRAJECTORY literal or '?'.
+func (p *parser) predicate(join bool) (*Predicate, error) {
+	pred, err := p.measureCall(join)
+	if err != nil {
+		return nil, err
+	}
+	op := p.peek()
+	if op.kind != tokPunct || (op.text != "<=" && op.text != "<") {
+		return nil, fmt.Errorf("sqlx: expected <= after similarity function, got %q", op.text)
+	}
+	p.i++
+	tau, err := p.number()
+	if err != nil {
+		return nil, err
+	}
+	pred.Tau = tau
+	return pred, nil
+}
+
+func (p *parser) knnPredicate() (*Predicate, error) {
+	return p.measureCall(false)
+}
+
+func (p *parser) measureCall(join bool) (*Predicate, error) {
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	pred := &Predicate{Measure: strings.ToUpper(name)}
+	if err := p.expect("("); err != nil {
+		return nil, err
+	}
+	lt, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	// Optional .traj column suffix.
+	if p.accept(".") {
+		if _, err := p.ident(); err != nil {
+			return nil, err
+		}
+	}
+	pred.LeftTable = lt
+	if err := p.expect(","); err != nil {
+		return nil, err
+	}
+	if join {
+		rt, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		if p.accept(".") {
+			if _, err := p.ident(); err != nil {
+				return nil, err
+			}
+		}
+		pred.RightTable = rt
+	} else {
+		lit, err := p.trajOperand()
+		if err != nil {
+			return nil, err
+		}
+		pred.RightTraj = lit
+	}
+	if err := p.expect(")"); err != nil {
+		return nil, err
+	}
+	return pred, nil
+}
+
+// trajOperand parses TRAJECTORY((x y), (x y), ...) or '?'.
+func (p *parser) trajOperand() (*TrajLiteral, error) {
+	if p.accept("?") {
+		return &TrajLiteral{Param: true}, nil
+	}
+	if !p.acceptKw("TRAJECTORY") {
+		return nil, fmt.Errorf("sqlx: expected TRAJECTORY literal or ?, got %q", p.peek().text)
+	}
+	if err := p.expect("("); err != nil {
+		return nil, err
+	}
+	var pts []geom.Point
+	for {
+		if err := p.expect("("); err != nil {
+			return nil, err
+		}
+		x, err := p.number()
+		if err != nil {
+			return nil, err
+		}
+		y, err := p.number()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		pts = append(pts, geom.Point{X: x, Y: y})
+		if !p.accept(",") {
+			break
+		}
+	}
+	if err := p.expect(")"); err != nil {
+		return nil, err
+	}
+	if len(pts) < 2 {
+		return nil, fmt.Errorf("sqlx: TRAJECTORY literal needs at least 2 points")
+	}
+	return &TrajLiteral{Points: pts}, nil
+}

@@ -1,0 +1,89 @@
+package traj
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"dita/internal/geom"
+)
+
+// The CSV interchange format is one trajectory per line:
+//
+//	id,x1,y1,x2,y2,...
+//
+// which matches how taxi-trace datasets are commonly distributed after
+// per-trip grouping.
+
+// WriteCSV writes the dataset in the one-line-per-trajectory CSV format.
+func WriteCSV(w io.Writer, d *Dataset) error {
+	bw := bufio.NewWriter(w)
+	for _, t := range d.Trajs {
+		if _, err := fmt.Fprintf(bw, "%d", t.ID); err != nil {
+			return err
+		}
+		for _, p := range t.Points {
+			if _, err := fmt.Fprintf(bw, ",%g,%g", p.X, p.Y); err != nil {
+				return err
+			}
+		}
+		if err := bw.WriteByte('\n'); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadCSV parses the one-line-per-trajectory CSV format. Blank lines and
+// lines starting with '#' are skipped.
+func ReadCSV(r io.Reader, name string) (*Dataset, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	var trajs []*T
+	lineno := 0
+	for sc.Scan() {
+		lineno++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		t, err := parseCSVLine(line)
+		if err != nil {
+			return nil, fmt.Errorf("traj: line %d: %w", lineno, err)
+		}
+		trajs = append(trajs, t)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return NewDataset(name, trajs), nil
+}
+
+func parseCSVLine(line string) (*T, error) {
+	fields := strings.Split(line, ",")
+	if len(fields) < 1+2*MinLen {
+		return nil, fmt.Errorf("too few fields (%d)", len(fields))
+	}
+	if (len(fields)-1)%2 != 0 {
+		return nil, fmt.Errorf("odd number of coordinates (%d fields)", len(fields))
+	}
+	id, err := strconv.Atoi(strings.TrimSpace(fields[0]))
+	if err != nil {
+		return nil, fmt.Errorf("bad id %q: %w", fields[0], err)
+	}
+	t := &T{ID: id, Points: make([]geom.Point, 0, (len(fields)-1)/2)}
+	for i := 1; i < len(fields); i += 2 {
+		x, err := strconv.ParseFloat(strings.TrimSpace(fields[i]), 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad x %q: %w", fields[i], err)
+		}
+		y, err := strconv.ParseFloat(strings.TrimSpace(fields[i+1]), 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad y %q: %w", fields[i+1], err)
+		}
+		t.Points = append(t.Points, geom.Point{X: x, Y: y})
+	}
+	return t, nil
+}

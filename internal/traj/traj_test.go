@@ -1,0 +1,164 @@
+package traj
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"dita/internal/geom"
+)
+
+func mk(id int, pts ...geom.Point) *T { return &T{ID: id, Points: pts} }
+
+func TestTrajBasics(t *testing.T) {
+	tr := mk(7, geom.Point{X: 1, Y: 1}, geom.Point{X: 2, Y: 3}, geom.Point{X: 0, Y: 5})
+	if tr.Len() != 3 {
+		t.Errorf("Len = %d", tr.Len())
+	}
+	if tr.First() != (geom.Point{X: 1, Y: 1}) || tr.Last() != (geom.Point{X: 0, Y: 5}) {
+		t.Error("First/Last wrong")
+	}
+	want := geom.MBR{Min: geom.Point{X: 0, Y: 1}, Max: geom.Point{X: 2, Y: 5}}
+	if tr.MBR() != want {
+		t.Errorf("MBR = %v, want %v", tr.MBR(), want)
+	}
+	if tr.Bytes() != 16*3+8 {
+		t.Errorf("Bytes = %d", tr.Bytes())
+	}
+	c := tr.Clone()
+	c.Points[0].X = 99
+	if tr.Points[0].X == 99 {
+		t.Error("Clone must deep-copy points")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := mk(1, geom.Point{X: 0, Y: 0}, geom.Point{X: 1, Y: 1}).Validate(); err != nil {
+		t.Errorf("valid trajectory rejected: %v", err)
+	}
+	if err := mk(1, geom.Point{X: 0, Y: 0}).Validate(); err == nil {
+		t.Error("too-short trajectory accepted")
+	}
+	if err := mk(1, geom.Point{X: math.NaN(), Y: 0}, geom.Point{X: 1, Y: 1}).Validate(); err == nil {
+		t.Error("NaN coordinate accepted")
+	}
+	if err := mk(1, geom.Point{X: math.Inf(1), Y: 0}, geom.Point{X: 1, Y: 1}).Validate(); err == nil {
+		t.Error("Inf coordinate accepted")
+	}
+	var nilT *T
+	if err := nilT.Validate(); err == nil {
+		t.Error("nil trajectory accepted")
+	}
+}
+
+func TestDatasetStats(t *testing.T) {
+	d := NewDataset("x", []*T{
+		mk(0, geom.Point{X: 0, Y: 0}, geom.Point{X: 1, Y: 1}),
+		mk(1, geom.Point{X: 2, Y: 2}, geom.Point{X: 3, Y: 3}, geom.Point{X: 4, Y: 4}, geom.Point{X: 5, Y: 5}),
+	})
+	s := d.Stats()
+	if s.Cardinality != 2 || s.MinLen != 2 || s.MaxLen != 4 || s.TotalPoints != 6 {
+		t.Errorf("stats = %+v", s)
+	}
+	if math.Abs(s.AvgLen-3) > 1e-12 {
+		t.Errorf("AvgLen = %v", s.AvgLen)
+	}
+	if !s.Extent.Contains(geom.Point{X: 5, Y: 5}) || !s.Extent.Contains(geom.Point{X: 0, Y: 0}) {
+		t.Error("extent wrong")
+	}
+	empty := NewDataset("e", nil).Stats()
+	if empty.Cardinality != 0 || empty.AvgLen != 0 {
+		t.Errorf("empty stats = %+v", empty)
+	}
+}
+
+func TestSample(t *testing.T) {
+	trajs := make([]*T, 100)
+	for i := range trajs {
+		trajs[i] = mk(i, geom.Point{X: float64(i), Y: 0}, geom.Point{X: float64(i), Y: 1})
+	}
+	d := NewDataset("s", trajs)
+	if got := d.Sample(0.25).Len(); got != 25 {
+		t.Errorf("Sample(0.25) = %d trajs", got)
+	}
+	if got := d.Sample(1.0); got != d {
+		t.Error("Sample(1.0) should return the dataset itself")
+	}
+	if got := d.Sample(0).Len(); got != 0 {
+		t.Errorf("Sample(0) = %d", got)
+	}
+	// Nested prefixes: sample(0.5) contains sample(0.25).
+	a, b := d.Sample(0.25), d.Sample(0.5)
+	for i, tr := range a.Trajs {
+		if b.Trajs[i] != tr {
+			t.Fatal("samples are not nested prefixes")
+		}
+	}
+}
+
+func TestDatasetValidate(t *testing.T) {
+	good := NewDataset("g", []*T{
+		mk(0, geom.Point{X: 0, Y: 0}, geom.Point{X: 1, Y: 1}),
+		mk(1, geom.Point{X: 0, Y: 0}, geom.Point{X: 1, Y: 1}),
+	})
+	if err := good.Validate(); err != nil {
+		t.Errorf("valid dataset rejected: %v", err)
+	}
+	dup := NewDataset("d", []*T{
+		mk(3, geom.Point{X: 0, Y: 0}, geom.Point{X: 1, Y: 1}),
+		mk(3, geom.Point{X: 0, Y: 0}, geom.Point{X: 1, Y: 1}),
+	})
+	if err := dup.Validate(); err == nil {
+		t.Error("duplicate ids accepted")
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	d := NewDataset("rt", []*T{
+		mk(0, geom.Point{X: 0.5, Y: -1.25}, geom.Point{X: 1, Y: 1}),
+		mk(42, geom.Point{X: 2, Y: 2}, geom.Point{X: 3, Y: 3}, geom.Point{X: 4.125, Y: -4}),
+	})
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, d); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSV(&buf, "rt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != d.Len() {
+		t.Fatalf("round trip lost trajectories: %d != %d", got.Len(), d.Len())
+	}
+	for i, tr := range got.Trajs {
+		want := d.Trajs[i]
+		if tr.ID != want.ID || tr.Len() != want.Len() {
+			t.Fatalf("traj %d mismatch: %+v vs %+v", i, tr, want)
+		}
+		for j := range tr.Points {
+			if tr.Points[j] != want.Points[j] {
+				t.Fatalf("point mismatch at %d,%d", i, j)
+			}
+		}
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	cases := []string{
+		"notanum,1,2,3,4", // bad id
+		"1,1,2,3",         // odd coords
+		"1,1,2",           // too few fields
+		"1,x,2,3,4",       // bad x
+		"1,1,y,3,4",       // bad y
+	}
+	for _, c := range cases {
+		if _, err := ReadCSV(strings.NewReader(c), "bad"); err == nil {
+			t.Errorf("ReadCSV(%q) should fail", c)
+		}
+	}
+	// Comments and blank lines are fine.
+	d, err := ReadCSV(strings.NewReader("# comment\n\n1,0,0,1,1\n"), "ok")
+	if err != nil || d.Len() != 1 {
+		t.Errorf("comment handling: %v, %d", err, d.Len())
+	}
+}

@@ -1,0 +1,367 @@
+// Package trie implements DITA's local index (Section 4.2.3): a trie-like
+// multi-level structure over each partition's trajectories.
+//
+// Every trajectory T contributes a sequence of indexing points
+// T_I = (t1, tm, tP1, ..., tPK) — its first point, last point, and K pivot
+// points. Level 1 of the trie groups trajectories by their first point into
+// NL STR tiles, level 2 by the last point, and levels 3..K+2 by successive
+// pivot points; each node stores the MBR of its group's level point, and
+// leaves store the trajectories themselves (a clustered index, which the
+// paper contrasts with DFT's non-clustered segment index).
+//
+// Search descends the trie accumulating per-level lower bounds
+// (Section 5.3): the remaining threshold shrinks level by level for
+// sum-accumulating measures (DTW, ERP), stays fixed for max-accumulating
+// ones (Fréchet), and counts edits for EDR/LCSS. The ordered-suffix
+// optimization of Lemma 5.1 narrows the query suffix a pivot may align
+// with for endpoint-anchored measures.
+package trie
+
+import (
+	"math"
+
+	"dita/internal/geom"
+	"dita/internal/measure"
+	"dita/internal/pivot"
+	"dita/internal/str"
+	"dita/internal/traj"
+)
+
+// Config parameterizes trie construction.
+type Config struct {
+	// K is the number of pivot points per trajectory (Table 3: 2..6).
+	K int
+	// NLAlign is the fanout of the two align levels (first/last point).
+	// The paper sets a larger fanout there ("we usually set a larger NL"
+	// at the upper levels).
+	NLAlign int
+	// NLPivot is the fanout of the K pivot levels.
+	NLPivot int
+	// MinNode stops splitting when a group has at most this many
+	// trajectories (the paper stops at 16).
+	MinNode int
+	// Strategy selects pivot points.
+	Strategy pivot.Strategy
+}
+
+// DefaultConfig mirrors the paper's defaults scaled to laptop-size
+// partitions: K=4, NL=32 on align levels, NL=8 on pivot levels, stop at 16.
+func DefaultConfig() Config {
+	return Config{K: 4, NLAlign: 32, NLPivot: 8, MinNode: 16, Strategy: pivot.Neighbor}
+}
+
+func (c Config) sanitized() Config {
+	if c.K < 0 {
+		c.K = 0
+	}
+	if c.NLAlign < 2 {
+		c.NLAlign = 2
+	}
+	if c.NLPivot < 2 {
+		c.NLPivot = 2
+	}
+	if c.MinNode < 1 {
+		c.MinNode = 1
+	}
+	return c
+}
+
+// node is a trie node. level is the indexing-point position this node's
+// MBR describes: 0 = first point, 1 = last point, 2+i = i-th pivot. The
+// root has level -1 and an empty MBR.
+type node struct {
+	level    int
+	mbr      geom.MBR
+	children []*node
+	leafIdx  []int // leaf: indices into Trie.Trajs; nil for internal nodes
+}
+
+func (n *node) isLeaf() bool { return n.leafIdx != nil }
+
+// Trie is the immutable local index of one partition.
+type Trie struct {
+	cfg Config
+	// Trajs holds the partition's trajectories, aligned with the indices
+	// stored in leaves (the clustered-index property).
+	Trajs []*traj.T
+	ip    [][]geom.Point // indexing points per trajectory
+	root  *node
+	nodes int
+}
+
+// Build constructs a trie over the trajectories. The slice is retained.
+func Build(trajs []*traj.T, cfg Config) *Trie {
+	cfg = cfg.sanitized()
+	t := &Trie{cfg: cfg, Trajs: trajs, ip: make([][]geom.Point, len(trajs))}
+	for i, tr := range trajs {
+		t.ip[i] = pivot.IndexingPoints(tr.Points, cfg.K, cfg.Strategy)
+	}
+	all := make([]int, len(trajs))
+	for i := range all {
+		all[i] = i
+	}
+	t.root = t.build(all, 0)
+	return t
+}
+
+// build groups the given trajectory indices by their level-th indexing
+// point.
+func (t *Trie) build(idxs []int, level int) *node {
+	n := &node{level: level - 1, mbr: geom.EmptyMBR()}
+	if len(idxs) == 0 {
+		n.leafIdx = []int{}
+		t.nodes++
+		return n
+	}
+	maxLevel := t.cfg.K + 2
+	if level >= maxLevel || len(idxs) <= t.cfg.MinNode {
+		n.leafIdx = idxs
+		t.nodes++
+		return n
+	}
+	// Trajectories whose indexing sequence is exhausted (shorter than
+	// K+2 points) become a leaf child; the rest are STR-tiled by their
+	// level point.
+	var exhausted, alive []int
+	for _, i := range idxs {
+		if level >= len(t.ip[i]) {
+			exhausted = append(exhausted, i)
+		} else {
+			alive = append(alive, i)
+		}
+	}
+	fanout := t.cfg.NLPivot
+	if level < 2 {
+		fanout = t.cfg.NLAlign
+	}
+	if len(exhausted) > 0 {
+		leaf := &node{level: level - 1, mbr: geom.EmptyMBR(), leafIdx: exhausted}
+		// The exhausted leaf inherits the parent's level semantics but has
+		// no level point; its empty MBR is never distance-tested (see
+		// search), so it participates as an always-candidate bucket.
+		n.children = append(n.children, leaf)
+		t.nodes++
+	}
+	if len(alive) > 0 {
+		keys := make([]geom.Point, len(alive))
+		for j, i := range alive {
+			keys[j] = t.ip[i][level]
+		}
+		tiles := str.Tile(keys, fanout)
+		for _, tile := range tiles {
+			group := make([]int, len(tile))
+			m := geom.EmptyMBR()
+			for j, k := range tile {
+				group[j] = alive[k]
+				m = m.Extend(keys[k])
+			}
+			child := t.build(group, level+1)
+			child.level = level
+			child.mbr = m
+			n.children = append(n.children, child)
+		}
+	}
+	t.nodes++
+	return n
+}
+
+// NodeCount returns the number of trie nodes (Appendix B sizing).
+func (t *Trie) NodeCount() int { return t.nodes }
+
+// SizeBytes estimates the index footprint excluding trajectory data: per
+// node an MBR (32 bytes) plus slice headers, plus leaf index entries.
+func (t *Trie) SizeBytes() int {
+	total := 0
+	var walk func(*node)
+	walk = func(n *node) {
+		total += 64
+		total += 8 * len(n.leafIdx)
+		for _, c := range n.children {
+			walk(c)
+		}
+	}
+	if t.root != nil {
+		walk(t.root)
+	}
+	return total
+}
+
+// Stats reports search-cost counters for one query (Appendix C compares
+// candidate counts across indexes).
+type Stats struct {
+	// NodesVisited counts trie nodes whose MBR was distance-tested.
+	NodesVisited int
+	// Candidates counts trajectories surviving the filter.
+	Candidates int
+}
+
+// Search returns the indices (into Trajs) of candidate trajectories for
+// query q under the measure with threshold tau — a superset of the true
+// result set, to be verified by the caller. stats may be nil.
+func (t *Trie) Search(q []geom.Point, m measure.Measure, tau float64, stats *Stats) []int {
+	if len(q) == 0 || t.root == nil {
+		return nil
+	}
+	s := searcher{t: t, q: q, m: m, tau: tau, stats: stats}
+	s.gapPt, s.hasGap = m.GapPoint()
+	s.anchored = m.AlignsEndpoints()
+	s.accum = m.Accumulation()
+	s.eps = m.Epsilon()
+	var out []int
+	out = s.descend(t.root, tau, 0, out)
+	if stats != nil {
+		stats.Candidates = len(out)
+	}
+	return out
+}
+
+type searcher struct {
+	t        *Trie
+	q        []geom.Point
+	m        measure.Measure
+	tau      float64
+	stats    *Stats
+	anchored bool
+	accum    measure.Accumulation
+	eps      float64
+	gapPt    geom.Point
+	hasGap   bool
+}
+
+// descend visits n's children; rem is the remaining threshold budget (for
+// AccumSum), the full tau (AccumMax), or the remaining edit budget
+// (AccumEdit). suf is the query suffix start for the Lemma 5.1
+// optimization.
+func (s *searcher) descend(n *node, rem float64, suf int, out []int) []int {
+	if n.isLeaf() {
+		return append(out, n.leafIdx...)
+	}
+	for _, c := range n.children {
+		if c.isLeaf() && c.mbr.IsEmpty() {
+			// Exhausted bucket: no level point to test; all members stay
+			// candidates.
+			out = append(out, c.leafIdx...)
+			continue
+		}
+		if s.stats != nil {
+			s.stats.NodesVisited++
+		}
+		out = s.visitChild(c, rem, suf, out)
+	}
+	return out
+}
+
+// visitChild applies the level-appropriate lower bound to child c and
+// recurses when it survives.
+func (s *searcher) visitChild(c *node, rem float64, suf int, out []int) []int {
+	q := s.q
+	switch s.accum {
+	case measure.AccumSum:
+		var d float64
+		nsuf := suf
+		if s.anchored && c.level == 0 {
+			d = c.mbr.MinDist(q[0])
+		} else if s.anchored && c.level == 1 {
+			d = c.mbr.MinDist(q[len(q)-1])
+		} else {
+			d, nsuf = s.pivotMinDist(c.mbr, rem, suf)
+		}
+		if d > rem {
+			return out
+		}
+		return s.descend(c, rem-d, nsuf, out)
+
+	case measure.AccumMax:
+		var d float64
+		nsuf := suf
+		if s.anchored && c.level == 0 {
+			d = c.mbr.MinDist(q[0])
+		} else if s.anchored && c.level == 1 {
+			d = c.mbr.MinDist(q[len(q)-1])
+		} else {
+			d, nsuf = s.pivotMinDist(c.mbr, rem, suf)
+		}
+		if d > s.tau {
+			return out
+		}
+		// Max semantics: the budget is not consumed (Appendix A).
+		return s.descend(c, rem, nsuf, out)
+
+	default: // AccumEdit
+		// Every level (endpoints included — they may be edited away) is
+		// matched against the whole query; a level farther than ε from
+		// every query point costs one edit.
+		d, _ := s.pivotMinDist(c.mbr, math.Inf(1), 0)
+		nrem := rem
+		if d > s.eps {
+			nrem = rem - 1
+			if nrem < 0 {
+				return out
+			}
+		}
+		return s.descend(c, nrem, 0, out)
+	}
+}
+
+// pivotMinDist returns the minimum distance from the query suffix q[suf:]
+// to the MBR, honoring the measure's gap point, plus the advanced suffix
+// start per Lemma 5.1 (only advanced for endpoint-anchored measures; the
+// ordering argument needs anchored, monotone alignments).
+func (s *searcher) pivotMinDist(m geom.MBR, rem float64, suf int) (float64, int) {
+	q := s.q
+	best := math.Inf(1)
+	nsuf := suf
+	advancing := s.anchored
+	for i := suf; i < len(q); i++ {
+		d := m.MinDist(q[i])
+		if advancing && d > rem {
+			if i == nsuf {
+				// Still in the prefix of points that cannot align with
+				// this or any later pivot: drop them permanently.
+				nsuf = i + 1
+			}
+			continue
+		}
+		advancing = false
+		if d < best {
+			best = d
+			if best == 0 {
+				break
+			}
+		}
+	}
+	if s.hasGap {
+		if d := m.MinDist(s.gapPt); d < best {
+			best = d
+		}
+	}
+	return best, nsuf
+}
+
+// Candidates returns every trajectory index (an unfiltered scan), used by
+// tests as the trivial baseline.
+func (t *Trie) Candidates() []int {
+	out := make([]int, len(t.Trajs))
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+// Depth returns the maximum node depth (root = 0).
+func (t *Trie) Depth() int {
+	var walk func(*node) int
+	walk = func(n *node) int {
+		d := 0
+		for _, c := range n.children {
+			if cd := walk(c) + 1; cd > d {
+				d = cd
+			}
+		}
+		return d
+	}
+	if t.root == nil {
+		return 0
+	}
+	return walk(t.root)
+}

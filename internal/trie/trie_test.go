@@ -1,0 +1,282 @@
+package trie
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"dita/internal/geom"
+	"dita/internal/measure"
+	"dita/internal/pivot"
+	"dita/internal/traj"
+)
+
+func figure1Trajs() []*traj.T {
+	return []*traj.T{
+		{ID: 1, Points: []geom.Point{{X: 1, Y: 1}, {X: 1, Y: 2}, {X: 3, Y: 2}, {X: 4, Y: 4}, {X: 4, Y: 5}, {X: 5, Y: 5}}},
+		{ID: 2, Points: []geom.Point{{X: 0, Y: 1}, {X: 0, Y: 2}, {X: 4, Y: 2}, {X: 4, Y: 4}, {X: 4, Y: 5}, {X: 5, Y: 5}}},
+		{ID: 3, Points: []geom.Point{{X: 1, Y: 1}, {X: 4, Y: 1}, {X: 4, Y: 3}, {X: 4, Y: 5}, {X: 4, Y: 6}, {X: 5, Y: 6}}},
+		{ID: 4, Points: []geom.Point{{X: 0, Y: 4}, {X: 0, Y: 5}, {X: 3, Y: 3}, {X: 3, Y: 7}, {X: 7, Y: 5}}},
+		{ID: 5, Points: []geom.Point{{X: 0, Y: 4}, {X: 0, Y: 5}, {X: 3, Y: 7}, {X: 3, Y: 3}, {X: 7, Y: 5}}},
+	}
+}
+
+// paperConfig mirrors Figure 5: NL = 2, K = 2, neighbor strategy, and a
+// MinNode of 1 so the full depth is built.
+func paperConfig() Config {
+	return Config{K: 2, NLAlign: 2, NLPivot: 2, MinNode: 1, Strategy: pivot.Neighbor}
+}
+
+func randTraj(rng *rand.Rand, id, n int) *traj.T {
+	pts := make([]geom.Point, n)
+	x, y := rng.Float64()*10, rng.Float64()*10
+	for i := range pts {
+		x += rng.NormFloat64() * 0.5
+		y += rng.NormFloat64() * 0.5
+		pts[i] = geom.Point{X: x, Y: y}
+	}
+	return &traj.T{ID: id, Points: pts}
+}
+
+func randTrajs(rng *rand.Rand, n int) []*traj.T {
+	ts := make([]*traj.T, n)
+	for i := range ts {
+		ts[i] = randTraj(rng, i, 2+rng.Intn(15))
+	}
+	return ts
+}
+
+// TestPaperExample52 reproduces Example 5.2: querying the Figure 5 trie
+// with Q = T4 and τ = 3 yields T4 as the final candidate, and verification
+// confirms exactly {T4}.
+func TestPaperExample52(t *testing.T) {
+	ts := figure1Trajs()
+	tr := Build(ts, paperConfig())
+	q := ts[3].Points // T4
+	cands := tr.Search(q, measure.DTW{}, 3, nil)
+	found := false
+	for _, i := range cands {
+		if tr.Trajs[i].ID == 4 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("T4 must be a candidate for its own query, got %v", ids(tr, cands))
+	}
+	// Verified answers: exactly T4.
+	var verified []int
+	for _, i := range cands {
+		if d := (measure.DTW{}).Distance(tr.Trajs[i].Points, q); d <= 3 {
+			verified = append(verified, tr.Trajs[i].ID)
+		}
+	}
+	if len(verified) != 1 || verified[0] != 4 {
+		t.Errorf("verified = %v, want [4]", verified)
+	}
+}
+
+func ids(tr *Trie, idxs []int) []int {
+	out := make([]int, len(idxs))
+	for i, j := range idxs {
+		out[i] = tr.Trajs[j].ID
+	}
+	sort.Ints(out)
+	return out
+}
+
+// The filter must never drop a true answer: for every measure, trie
+// search candidates must be a superset of the brute-force result set.
+func TestNoFalseNegatives(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	measures := []measure.Measure{
+		measure.DTW{},
+		measure.Frechet{},
+		measure.EDR{Eps: 0.5},
+		measure.LCSS{Eps: 0.5, Delta: 3},
+		measure.ERP{},
+		measure.Hausdorff{},
+	}
+	for iter := 0; iter < 30; iter++ {
+		ts := randTrajs(rng, 60)
+		cfg := Config{
+			K:        1 + rng.Intn(4),
+			NLAlign:  2 + rng.Intn(6),
+			NLPivot:  2 + rng.Intn(4),
+			MinNode:  1 + rng.Intn(4),
+			Strategy: pivot.Strategy(rng.Intn(3)),
+		}
+		tr := Build(ts, cfg)
+		for _, m := range measures {
+			q := randTraj(rng, -1, 2+rng.Intn(12)).Points
+			var tau float64
+			if m.Accumulation() == measure.AccumEdit {
+				tau = float64(rng.Intn(8))
+			} else {
+				tau = rng.Float64() * 8
+			}
+			cands := map[int]bool{}
+			for _, i := range tr.Search(q, m, tau, nil) {
+				cands[i] = true
+			}
+			for i, cand := range ts {
+				if d := m.Distance(cand.Points, q); d <= tau && !cands[i] {
+					t.Fatalf("%s: trie dropped true answer traj %d (d=%v tau=%v cfg=%+v)",
+						m.Name(), cand.ID, d, tau, cfg)
+				}
+			}
+		}
+	}
+}
+
+// Self-query must always return the trajectory itself as candidate.
+func TestSelfQuery(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	ts := randTrajs(rng, 100)
+	tr := Build(ts, DefaultConfig())
+	for i, self := range ts {
+		cands := tr.Search(self.Points, measure.DTW{}, 0.001, nil)
+		ok := false
+		for _, c := range cands {
+			if c == i {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			t.Fatalf("traj %d missing from its own candidates", self.ID)
+		}
+	}
+}
+
+// The trie must prune: with a tiny threshold on well-spread data, the
+// candidate count should be far below the dataset size.
+func TestPruningPower(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	ts := make([]*traj.T, 500)
+	for i := range ts {
+		// Spread starting points widely so pruning has something to do.
+		base := geom.Point{X: float64(i%25) * 10, Y: float64(i/25) * 10}
+		pts := make([]geom.Point, 8)
+		for j := range pts {
+			pts[j] = geom.Point{X: base.X + rng.Float64(), Y: base.Y + rng.Float64()}
+		}
+		ts[i] = &traj.T{ID: i, Points: pts}
+	}
+	tr := Build(ts, DefaultConfig())
+	var st Stats
+	cands := tr.Search(ts[0].Points, measure.DTW{}, 1.0, &st)
+	if len(cands) > 50 {
+		t.Errorf("weak pruning: %d candidates of %d trajectories", len(cands), len(ts))
+	}
+	if st.Candidates != len(cands) {
+		t.Errorf("stats.Candidates = %d, want %d", st.Candidates, len(cands))
+	}
+	if st.NodesVisited == 0 {
+		t.Error("stats.NodesVisited not counted")
+	}
+}
+
+func TestShortTrajectories(t *testing.T) {
+	// Trajectories shorter than K+2 points must be indexed (exhausted
+	// buckets) and still be findable.
+	ts := []*traj.T{
+		{ID: 0, Points: []geom.Point{{X: 0, Y: 0}, {X: 1, Y: 1}}},
+		{ID: 1, Points: []geom.Point{{X: 0, Y: 0}, {X: 0.5, Y: 0.5}, {X: 1, Y: 1}}},
+		{ID: 2, Points: []geom.Point{{X: 5, Y: 5}, {X: 6, Y: 6}}},
+	}
+	tr := Build(ts, Config{K: 4, NLAlign: 2, NLPivot: 2, MinNode: 1, Strategy: pivot.Neighbor})
+	q := []geom.Point{{X: 0, Y: 0}, {X: 1, Y: 1}}
+	cands := tr.Search(q, measure.DTW{}, 0.5, nil)
+	got := ids(tr, cands)
+	// Trajectories 0 and 1 are near the query; 2 must be pruned.
+	for _, want := range []int{0, 1} {
+		if !containsInt(got, want) {
+			t.Errorf("candidates %v missing %d", got, want)
+		}
+	}
+	if containsInt(got, 2) {
+		t.Errorf("far trajectory 2 not pruned: %v", got)
+	}
+}
+
+func containsInt(s []int, v int) bool {
+	for _, x := range s {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+func TestEmptyAndDegenerate(t *testing.T) {
+	tr := Build(nil, DefaultConfig())
+	if got := tr.Search([]geom.Point{{X: 0, Y: 0}}, measure.DTW{}, 1, nil); len(got) != 0 {
+		t.Errorf("empty trie returned %v", got)
+	}
+	ts := randTrajs(rand.New(rand.NewSource(4)), 10)
+	tr = Build(ts, DefaultConfig())
+	if got := tr.Search(nil, measure.DTW{}, 1, nil); got != nil {
+		t.Errorf("empty query returned %v", got)
+	}
+	if tr.NodeCount() == 0 || tr.SizeBytes() == 0 || tr.Depth() < 0 {
+		t.Error("size accounting broken")
+	}
+	if got := len(tr.Candidates()); got != 10 {
+		t.Errorf("Candidates() = %d", got)
+	}
+}
+
+func TestConfigSanitized(t *testing.T) {
+	// Hostile config values must be clamped, not panic.
+	ts := randTrajs(rand.New(rand.NewSource(5)), 30)
+	tr := Build(ts, Config{K: -1, NLAlign: 0, NLPivot: -3, MinNode: 0})
+	cands := tr.Search(ts[0].Points, measure.DTW{}, 100, nil)
+	if len(cands) == 0 {
+		t.Error("sanitized trie lost all data")
+	}
+}
+
+// Deeper tries (larger K) must not lose answers and should generally not
+// increase candidates.
+func TestKMonotonicity(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	ts := randTrajs(rng, 300)
+	q := randTraj(rng, -1, 10).Points
+	tau := 3.0
+	prev := -1
+	for _, k := range []int{0, 1, 2, 4, 6} {
+		cfg := DefaultConfig()
+		cfg.K = k
+		cfg.MinNode = 1
+		tr := Build(ts, cfg)
+		n := len(tr.Search(q, measure.DTW{}, tau, nil))
+		// Ground truth safety.
+		for i, cand := range ts {
+			if d := (measure.DTW{}).Distance(cand.Points, q); d <= tau {
+				if !containsInt(tr.Search(q, measure.DTW{}, tau, nil), i) {
+					t.Fatalf("K=%d dropped answer", k)
+				}
+			}
+		}
+		_ = prev
+		prev = n
+	}
+}
+
+// Fréchet accumulation (max) must not consume the threshold: a candidate
+// whose every indexing point is within tau must survive even when the sum
+// of level distances exceeds tau.
+func TestFrechetMaxSemantics(t *testing.T) {
+	// One trajectory at constant offset 0.9 from the query in every point.
+	ts := []*traj.T{{ID: 0, Points: []geom.Point{{X: 0, Y: 0.9}, {X: 1, Y: 0.9}, {X: 2, Y: 0.9}, {X: 3, Y: 0.9}}}}
+	q := []geom.Point{{X: 0, Y: 0}, {X: 1, Y: 0}, {X: 2, Y: 0}, {X: 3, Y: 0}}
+	tr := Build(ts, Config{K: 2, NLAlign: 2, NLPivot: 2, MinNode: 1, Strategy: pivot.Neighbor})
+	// Sum of level dists = 4*0.9 = 3.6 > tau, but max = 0.9 <= tau = 1.
+	cands := tr.Search(q, measure.Frechet{}, 1, nil)
+	if len(cands) != 1 {
+		t.Fatalf("Fréchet max semantics broken: candidates = %v", cands)
+	}
+	if d := (measure.Frechet{}).Distance(ts[0].Points, q); d > 1 {
+		t.Fatalf("test setup wrong: Fréchet = %v", d)
+	}
+}
