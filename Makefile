@@ -1,0 +1,24 @@
+# DITA build/test entry points. `make check` is the CI gate: static
+# analysis plus the full test suite under the race detector (the dnet
+# chaos tests are required to be race-clean).
+
+GO ?= go
+
+.PHONY: build test race vet bench check
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchtime=1x ./...
+
+check: vet race

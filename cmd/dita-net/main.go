@@ -40,6 +40,9 @@ func main() {
 	doJoin := flag.Bool("join", false, "also run a self-join")
 	measureName := flag.String("measure", "DTW", "similarity function")
 	seed := flag.Int64("seed", 1, "generation seed")
+	replicas := flag.Int("replicas", 2, "partition replication factor (clamped to worker count)")
+	allowPartial := flag.Bool("allow-partial", false, "return partial results with a skip report when all replicas of a partition are down")
+	heartbeat := flag.Duration("heartbeat", 2*time.Second, "worker health-check interval (0 disables)")
 	flag.Parse()
 
 	var addrs []string
@@ -70,6 +73,9 @@ func main() {
 
 	cfg := dnet.DefaultNetConfig()
 	cfg.Measure.Name = *measureName
+	cfg.Replicas = *replicas
+	cfg.AllowPartial = *allowPartial
+	cfg.Health.Interval = *heartbeat
 	coord, err := dnet.Connect(addrs, cfg)
 	if err != nil {
 		fatal(err)
@@ -125,14 +131,21 @@ func main() {
 	qs := dita.Queries(data, *queries, *seed+1)
 	start = time.Now()
 	totalHits := 0
+	skippedParts := 0
 	for _, q := range qs {
-		hits, err := coord.Search("trips", q, *tau)
+		hits, rep, err := coord.SearchPartial("trips", q, *tau)
 		if err != nil {
 			fatal(err)
+		}
+		if rep.Partial() {
+			skippedParts += len(rep.Skipped)
 		}
 		totalHits += len(hits)
 	}
 	elapsed := time.Since(start)
+	if skippedParts > 0 {
+		fmt.Printf("partial results: %d partition probes skipped (replicas unreachable)\n", skippedParts)
+	}
 	fmt.Printf("search: %d queries at τ=%g in %v (%.2f ms/query, %.1f results/query)\n",
 		len(qs), *tau, elapsed.Round(time.Millisecond),
 		float64(elapsed.Microseconds())/1000/float64(len(qs)),

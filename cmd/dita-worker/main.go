@@ -7,6 +7,9 @@
 //
 //	dita-worker -listen 127.0.0.1:7001
 //
+// On SIGINT/SIGTERM the worker drains: it stops accepting work, finishes
+// in-flight RPCs (up to -drain), then exits.
+//
 // Pair with cmd/dita-net (the coordinator CLI) or the dnet API.
 package main
 
@@ -15,15 +18,28 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"syscall"
+	"time"
 
 	"dita/internal/dnet"
 )
 
 func main() {
 	listen := flag.String("listen", "127.0.0.1:0", "address to listen on (port 0 picks a free port)")
+	drain := flag.Duration("drain", 5*time.Second, "max time to wait for in-flight RPCs on shutdown")
+	chaos := flag.String("chaos", "", "fault-injection spec for soak testing, e.g. seed=7,drop=0.05,err=0.01,delay=2ms,sever=500 (testing only)")
 	flag.Parse()
 
 	w := dnet.NewWorker()
+	if *chaos != "" {
+		plan, err := dnet.ParseFaultPlan(*chaos)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dita-worker: %v\n", err)
+			os.Exit(2)
+		}
+		w.FaultInjection = &plan
+		fmt.Printf("dita-worker: fault injection active: %+v\n", plan)
+	}
 	addr, err := w.Serve(*listen)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "dita-worker: %v\n", err)
@@ -32,8 +48,12 @@ func main() {
 	fmt.Printf("dita-worker listening on %s\n", addr)
 
 	sig := make(chan os.Signal, 1)
-	signal.Notify(sig, os.Interrupt)
-	<-sig
-	w.Close()
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	s := <-sig
+	fmt.Printf("dita-worker: %v, draining (max %v)\n", s, *drain)
+	if err := w.Shutdown(*drain); err != nil {
+		fmt.Fprintf(os.Stderr, "dita-worker: shutdown: %v\n", err)
+		os.Exit(1)
+	}
 	fmt.Println("dita-worker: shut down")
 }

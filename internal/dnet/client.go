@@ -1,0 +1,234 @@
+package dnet
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"net"
+	"net/rpc"
+	"reflect"
+	"sync"
+	"time"
+)
+
+// RetryPolicy bounds the managed client's per-call behavior: every RPC
+// gets a deadline, and transport-level failures (broken connection,
+// refused dial, timeout) are retried with exponential backoff and full
+// jitter up to MaxAttempts. Application errors returned by the remote
+// method (rpc.ServerError) are never retried — they would fail again.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of tries per call (default 4).
+	MaxAttempts int
+	// BaseDelay is the backoff before the second attempt (default 20ms);
+	// it doubles per attempt up to MaxDelay (default 1s), with jitter.
+	BaseDelay time.Duration
+	MaxDelay  time.Duration
+	// CallTimeout is the per-attempt deadline (default 30s). On expiry the
+	// connection is torn down so the pending call unblocks immediately.
+	CallTimeout time.Duration
+	// Seed makes the jitter sequence deterministic (default 1).
+	Seed int64
+}
+
+func (p RetryPolicy) withDefaults() RetryPolicy {
+	if p.MaxAttempts < 1 {
+		p.MaxAttempts = 4
+	}
+	if p.BaseDelay <= 0 {
+		p.BaseDelay = 20 * time.Millisecond
+	}
+	if p.MaxDelay <= 0 {
+		p.MaxDelay = time.Second
+	}
+	if p.CallTimeout <= 0 {
+		p.CallTimeout = 30 * time.Second
+	}
+	if p.Seed == 0 {
+		p.Seed = 1
+	}
+	return p
+}
+
+// errClientClosed reports a call against a managed client after Close.
+var errClientClosed = errors.New("dnet: client closed")
+
+// timeoutError is the per-call deadline error; it implements net.Error so
+// the retry classifier treats it as a transport failure.
+type timeoutError struct {
+	method string
+	addr   string
+	d      time.Duration
+}
+
+func (e *timeoutError) Error() string {
+	return fmt.Sprintf("dnet: %s to %s timed out after %v", e.method, e.addr, e.d)
+}
+func (e *timeoutError) Timeout() bool   { return true }
+func (e *timeoutError) Temporary() bool { return true }
+
+// retryableError classifies an RPC failure: application errors from the
+// remote method come back as rpc.ServerError and are final; everything
+// else (dial failure, severed connection, EOF, codec error on a broken
+// stream, deadline) is a transport failure worth retrying on a fresh
+// connection.
+func retryableError(err error) bool {
+	if err == nil || errors.Is(err, errClientClosed) {
+		return false
+	}
+	var se rpc.ServerError
+	return !errors.As(err, &se)
+}
+
+// managedClient wraps *rpc.Client with automatic reconnect, per-call
+// deadlines, and bounded retry with exponential backoff + jitter. It is
+// safe for concurrent use; concurrent calls multiplex over one
+// connection like net/rpc itself.
+type managedClient struct {
+	addr   string
+	policy RetryPolicy
+
+	mu     sync.Mutex
+	client *rpc.Client
+	rng    *rand.Rand
+	closed bool
+}
+
+func newManagedClient(addr string, policy RetryPolicy) *managedClient {
+	policy = policy.withDefaults()
+	return &managedClient{
+		addr:   addr,
+		policy: policy,
+		rng:    rand.New(rand.NewSource(policy.Seed)),
+	}
+}
+
+// connect returns the live connection, dialing if necessary.
+func (mc *managedClient) connect() (*rpc.Client, error) {
+	mc.mu.Lock()
+	defer mc.mu.Unlock()
+	if mc.closed {
+		return nil, errClientClosed
+	}
+	if mc.client != nil {
+		return mc.client, nil
+	}
+	conn, err := net.DialTimeout("tcp", mc.addr, mc.policy.CallTimeout)
+	if err != nil {
+		return nil, err
+	}
+	mc.client = rpc.NewClient(conn)
+	return mc.client, nil
+}
+
+// discard drops cl from the cache (if it is still the cached client) and
+// closes it, so the next call redials.
+func (mc *managedClient) discard(cl *rpc.Client) {
+	mc.mu.Lock()
+	if mc.client == cl {
+		mc.client = nil
+	}
+	mc.mu.Unlock()
+	cl.Close()
+}
+
+// do runs one attempt with the per-attempt deadline.
+func (mc *managedClient) do(cl *rpc.Client, method string, args, reply any, timeout time.Duration) error {
+	if timeout <= 0 {
+		return cl.Call(method, args, reply)
+	}
+	call := cl.Go(method, args, reply, make(chan *rpc.Call, 1))
+	t := time.NewTimer(timeout)
+	defer t.Stop()
+	select {
+	case <-call.Done:
+		return call.Error
+	case <-t.C:
+		// Tear the connection down: the pending call errors out
+		// immediately, and waiting for it guarantees net/rpc is done
+		// touching reply before a retry reuses it.
+		mc.discard(cl)
+		<-call.Done
+		return &timeoutError{method: method, addr: mc.addr, d: timeout}
+	}
+}
+
+// backoff returns the sleep before the given attempt (1-based retry
+// index): exponential growth capped at MaxDelay, with full jitter in
+// [d/2, d) so synchronized retries from fan-outs spread out.
+func (mc *managedClient) backoff(attempt int) time.Duration {
+	d := mc.policy.BaseDelay << (attempt - 1)
+	if d > mc.policy.MaxDelay || d <= 0 {
+		d = mc.policy.MaxDelay
+	}
+	mc.mu.Lock()
+	j := time.Duration(mc.rng.Int63n(int64(d)/2 + 1))
+	mc.mu.Unlock()
+	return d/2 + j
+}
+
+// Call invokes method with retry per the policy. reply is zeroed between
+// attempts so a partially-decoded response from a severed connection
+// cannot leak into the retry's result.
+func (mc *managedClient) Call(method string, args, reply any) error {
+	var lastErr error
+	for attempt := 0; attempt < mc.policy.MaxAttempts; attempt++ {
+		if attempt > 0 {
+			time.Sleep(mc.backoff(attempt))
+			zeroReply(reply)
+		}
+		cl, err := mc.connect()
+		if err != nil {
+			if !retryableError(err) {
+				return err
+			}
+			lastErr = err
+			continue
+		}
+		err = mc.do(cl, method, args, reply, mc.policy.CallTimeout)
+		if err == nil {
+			return nil
+		}
+		if !retryableError(err) {
+			return err
+		}
+		lastErr = err
+		mc.discard(cl)
+	}
+	return fmt.Errorf("dnet: %s to %s failed after %d attempts: %w",
+		method, mc.addr, mc.policy.MaxAttempts, lastErr)
+}
+
+// CallOnce is a single attempt with an explicit deadline and no retry —
+// the shape health probes want (the heartbeat loop is the retry).
+func (mc *managedClient) CallOnce(method string, args, reply any, timeout time.Duration) error {
+	cl, err := mc.connect()
+	if err != nil {
+		return err
+	}
+	err = mc.do(cl, method, args, reply, timeout)
+	if err != nil && retryableError(err) {
+		mc.discard(cl)
+	}
+	return err
+}
+
+// Close tears down the connection; subsequent calls fail fast.
+func (mc *managedClient) Close() error {
+	mc.mu.Lock()
+	cl := mc.client
+	mc.client = nil
+	mc.closed = true
+	mc.mu.Unlock()
+	if cl != nil {
+		return cl.Close()
+	}
+	return nil
+}
+
+// zeroReply resets *reply to its zero value.
+func zeroReply(reply any) {
+	v := reflect.ValueOf(reply)
+	if v.Kind() == reflect.Pointer && !v.IsNil() {
+		v.Elem().SetZero()
+	}
+}

@@ -2,12 +2,12 @@ package dnet
 
 import (
 	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
 
 	"dita/internal/core"
-	"net/rpc"
-	"sort"
-	"sync"
-
 	"dita/internal/geom"
 	"dita/internal/measure"
 	"dita/internal/rtree"
@@ -27,6 +27,21 @@ type Config struct {
 	// CellD is the verification cell side length; <= 0 derives it from
 	// the data extent like the in-process engine.
 	CellD float64
+	// Replicas is the partition replication factor: each partition is
+	// shipped to this many distinct workers (default 2, clamped to the
+	// worker count). Searches route to the preferred replica and fail
+	// over to the others; when a worker is declared dead its partitions
+	// are re-replicated onto survivors from payloads the coordinator
+	// retains — the stand-in for Spark's lineage-based recovery.
+	Replicas int
+	// AllowPartial lets Search/Join return partial results plus an exact
+	// report of unreachable partitions when every replica of a partition
+	// is down, instead of failing the whole query.
+	AllowPartial bool
+	// Retry bounds the managed RPC clients (deadline, backoff, attempts).
+	Retry RetryPolicy
+	// Health configures the failure detector and optional heartbeat loop.
+	Health HealthPolicy
 }
 
 // DefaultNetConfig mirrors core.DefaultOptions for the network mode.
@@ -34,34 +49,73 @@ func DefaultNetConfig() Config {
 	return Config{NG: 4, Trie: trie.DefaultConfig(), Measure: MeasureSpec{Name: "DTW"}}
 }
 
+// SkippedPartition identifies one partition a partial query could not
+// reach, with the last error seen trying.
+type SkippedPartition struct {
+	Dataset   string
+	Partition int
+	Err       string
+}
+
+// PartialReport lists exactly the partitions a query skipped because
+// every replica was unreachable. Empty means the result is complete.
+type PartialReport struct {
+	Skipped []SkippedPartition
+}
+
+// Partial reports whether anything was skipped.
+func (r *PartialReport) Partial() bool { return r != nil && len(r.Skipped) > 0 }
+
+func (r *PartialReport) err(op string) error {
+	s := r.Skipped[0]
+	return fmt.Errorf("dnet: %s: %d partition(s) unreachable (first: %s/%d: %s)",
+		op, len(r.Skipped), s.Dataset, s.Partition, s.Err)
+}
+
 // Coordinator is the network-mode driver: it partitions datasets across
 // the workers, keeps the global index (partition MBRs) locally, and fans
-// queries out over RPC.
+// queries out over managed RPC clients with retry, failover, and
+// failure detection.
 type Coordinator struct {
 	cfg     Config
 	m       measure.Measure
-	clients []*rpc.Client
+	clients []*managedClient
 	addrs   []string
+	health  *healthTracker
+
+	hbStop   chan struct{}
+	hbOnce   sync.Once
+	hbClosed sync.WaitGroup
 
 	mu       sync.Mutex
 	datasets map[string]*dispatchedDataset
 }
 
 // dispatchedDataset records where a dataset's partitions live plus the
-// global index over their endpoint MBRs.
+// global index over their endpoint MBRs. parts is immutable after
+// Dispatch; the replica lists are mutable (healing rewrites them) and
+// guarded by their own lock.
 type dispatchedDataset struct {
 	parts []dispatchedPartition
 	rtF   *rtree.Tree
 	rtL   *rtree.Tree
+
+	// mu guards replicas: replicas[pid] lists the partition's owners
+	// (indexes into Coordinator.addrs), preferred first.
+	mu       sync.Mutex
+	replicas [][]int
 }
 
 type dispatchedPartition struct {
-	worker     int // index into Coordinator.addrs
 	mbrF, mbrL geom.MBR
 	trajs      int
+	// payload is the retained load request, kept so a dead replica can
+	// be rebuilt on a surviving worker without re-partitioning.
+	payload *LoadArgs
 }
 
-// Connect dials the workers and returns a coordinator.
+// Connect dials the workers and returns a coordinator. If
+// cfg.Health.Interval > 0, a background heartbeat loop runs until Close.
 func Connect(addrs []string, cfg Config) (*Coordinator, error) {
 	if len(addrs) == 0 {
 		return nil, fmt.Errorf("dnet: no worker addresses")
@@ -72,24 +126,49 @@ func Connect(addrs []string, cfg Config) (*Coordinator, error) {
 	if cfg.Measure.Name == "" {
 		cfg.Measure.Name = "DTW"
 	}
+	if cfg.Replicas < 1 {
+		cfg.Replicas = 2
+	}
+	if cfg.Replicas > len(addrs) {
+		cfg.Replicas = len(addrs)
+	}
+	cfg.Retry = cfg.Retry.withDefaults()
+	cfg.Health = cfg.Health.withDefaults()
 	m, err := measure.ByName(cfg.Measure.Name, cfg.Measure.Eps, cfg.Measure.Delta)
 	if err != nil {
 		return nil, err
 	}
-	c := &Coordinator{cfg: cfg, m: m, addrs: addrs, datasets: map[string]*dispatchedDataset{}}
-	for _, a := range addrs {
-		client, err := rpc.Dial("tcp", a)
-		if err != nil {
+	c := &Coordinator{
+		cfg:      cfg,
+		m:        m,
+		addrs:    addrs,
+		health:   newHealthTracker(len(addrs), cfg.Health),
+		hbStop:   make(chan struct{}),
+		datasets: map[string]*dispatchedDataset{},
+	}
+	for i, a := range addrs {
+		policy := cfg.Retry
+		policy.Seed = cfg.Retry.Seed + int64(i) // decorrelate jitter across workers
+		mc := newManagedClient(a, policy)
+		if _, err := mc.connect(); err != nil {
+			mc.Close()
 			c.Close()
 			return nil, fmt.Errorf("dnet: dialing worker %s: %w", a, err)
 		}
-		c.clients = append(c.clients, client)
+		c.clients = append(c.clients, mc)
+	}
+	if cfg.Health.Interval > 0 {
+		c.hbClosed.Add(1)
+		go c.heartbeatLoop(cfg.Health.Interval)
 	}
 	return c, nil
 }
 
-// Close disconnects from the workers (the workers keep running).
+// Close stops the heartbeat loop and disconnects from the workers (the
+// workers keep running). It is idempotent.
 func (c *Coordinator) Close() error {
+	c.hbOnce.Do(func() { close(c.hbStop) })
+	c.hbClosed.Wait()
 	var first error
 	for _, cl := range c.clients {
 		if cl == nil {
@@ -102,9 +181,35 @@ func (c *Coordinator) Close() error {
 	return first
 }
 
+func (c *Coordinator) heartbeatLoop(interval time.Duration) {
+	defer c.hbClosed.Done()
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-c.hbStop:
+			return
+		case <-t.C:
+			c.CheckHealth()
+		}
+	}
+}
+
+// replicaOwners places partition pid on r distinct workers out of w:
+// primary round-robin by pid, backups on the following workers.
+func replicaOwners(pid, r, w int) []int {
+	owners := make([]int, 0, r)
+	for i := 0; i < r; i++ {
+		owners = append(owners, (pid+i)%w)
+	}
+	return owners
+}
+
 // Dispatch partitions the dataset (first/last STR, Section 4.2.1), ships
-// each partition to a worker round-robin, and has the workers index them.
-// The name identifies the dataset in later Search/Join calls.
+// each partition to Replicas distinct workers, and has the workers index
+// them. The name identifies the dataset in later Search/Join calls. On
+// partial failure every partition already shipped is unloaded, so a
+// retried Dispatch cannot double-index data.
 func (c *Coordinator) Dispatch(name string, d *traj.Dataset) error {
 	if d == nil || d.Len() == 0 {
 		return fmt.Errorf("dnet: empty dataset %q", name)
@@ -125,13 +230,20 @@ func (c *Coordinator) Dispatch(name string, d *traj.Dataset) error {
 	}
 	var calls []loadCall
 	for _, bucket := range str.Tile(firsts, c.cfg.NG) {
+		if len(bucket) == 0 {
+			continue
+		}
 		lasts := make([]geom.Point, len(bucket))
 		for j, i := range bucket {
 			lasts[j] = trajs[i].Last()
 		}
 		for _, sub := range str.Tile(lasts, c.cfg.NG) {
+			// Zero-trajectory sub-buckets would pollute the global
+			// R-trees with empty MBRs and cost a useless RPC; skip them.
+			if len(sub) == 0 {
+				continue
+			}
 			pid := len(dd.parts)
-			worker := pid % len(c.clients)
 			args := &LoadArgs{
 				Dataset:   name,
 				Partition: pid,
@@ -150,14 +262,19 @@ func (c *Coordinator) Dispatch(name string, d *traj.Dataset) error {
 				mbrF = mbrF.Extend(t.First())
 				mbrL = mbrL.Extend(t.Last())
 			}
+			owners := replicaOwners(pid, c.cfg.Replicas, len(c.clients))
 			dd.parts = append(dd.parts, dispatchedPartition{
-				worker: worker, mbrF: mbrF, mbrL: mbrL, trajs: len(args.Trajs),
+				mbrF: mbrF, mbrL: mbrL,
+				trajs: len(args.Trajs), payload: args,
 			})
-			calls = append(calls, loadCall{worker, args})
+			dd.replicas = append(dd.replicas, owners)
+			for _, w := range owners {
+				calls = append(calls, loadCall{w, args})
+			}
 		}
 	}
-	// Load partitions concurrently (one in-flight call per worker keeps
-	// ordering simple; net/rpc multiplexes on one connection anyway).
+	// Load all replicas concurrently through the managed clients
+	// (net/rpc multiplexes on one connection per worker).
 	errs := make([]error, len(calls))
 	var wg sync.WaitGroup
 	for i, call := range calls {
@@ -169,10 +286,31 @@ func (c *Coordinator) Dispatch(name string, d *traj.Dataset) error {
 		}(i, call)
 	}
 	wg.Wait()
+	var firstErr error
 	for _, err := range errs {
 		if err != nil {
-			return err
+			firstErr = err
+			break
 		}
+	}
+	if firstErr != nil {
+		// Roll back: unload every partition that did land, best-effort,
+		// so a retried Dispatch starts from a clean slate.
+		var uwg sync.WaitGroup
+		for i, call := range calls {
+			if errs[i] != nil {
+				continue
+			}
+			uwg.Add(1)
+			go func(call loadCall) {
+				defer uwg.Done()
+				var reply UnloadReply
+				args := &UnloadArgs{Dataset: call.args.Dataset, Partition: call.args.Partition}
+				c.clients[call.worker].CallOnce("Worker.Unload", args, &reply, c.cfg.Retry.CallTimeout)
+			}(call)
+		}
+		uwg.Wait()
+		return firstErr
 	}
 	ef := make([]rtree.Entry, len(dd.parts))
 	el := make([]rtree.Entry, len(dd.parts))
@@ -196,6 +334,15 @@ func (c *Coordinator) dataset(name string) (*dispatchedDataset, error) {
 		return nil, fmt.Errorf("dnet: dataset %q not dispatched", name)
 	}
 	return dd, nil
+}
+
+// replicaOrder copies a partition's replica list (under the lock healing
+// takes to rewrite it) and orders it live-first.
+func (c *Coordinator) replicaOrder(dd *dispatchedDataset, pid int) []int {
+	dd.mu.Lock()
+	ws := append([]int(nil), dd.replicas[pid]...)
+	dd.mu.Unlock()
+	return c.health.order(ws)
 }
 
 // relevantPartitions mirrors the engine's global pruning for the
@@ -228,55 +375,102 @@ func (c *Coordinator) relevantPartitions(dd *dispatchedDataset, q []geom.Point, 
 	return out
 }
 
-// Search fans the query out to the workers owning relevant partitions and
-// merges the verified hits (ascending id).
+// Search fans the query out to the workers owning relevant partitions
+// and merges the verified hits (ascending id). Per partition it routes
+// to the preferred live replica and fails over to the others; with
+// AllowPartial unreachable partitions are skipped (SearchPartial exposes
+// the report), otherwise they fail the query.
 func (c *Coordinator) Search(name string, q *traj.T, tau float64) ([]SearchHit, error) {
+	hits, _, err := c.SearchPartial(name, q, tau)
+	return hits, err
+}
+
+// SearchPartial is Search plus the partial-result report: the returned
+// report lists exactly the partitions whose every replica was
+// unreachable. Without AllowPartial a non-empty report is an error.
+func (c *Coordinator) SearchPartial(name string, q *traj.T, tau float64) ([]SearchHit, *PartialReport, error) {
+	report := &PartialReport{}
 	if q == nil || len(q.Points) == 0 {
-		return nil, nil
+		return nil, report, nil
 	}
 	dd, err := c.dataset(name)
 	if err != nil {
-		return nil, err
+		return nil, report, err
 	}
 	rel := c.relevantPartitions(dd, q.Points, tau)
 	replies := make([]SearchReply, len(rel))
-	errs := make([]error, len(rel))
+	skipped := make([]*SkippedPartition, len(rel))
 	var wg sync.WaitGroup
 	for i, pid := range rel {
 		wg.Add(1)
 		go func(i, pid int) {
 			defer wg.Done()
 			args := &SearchArgs{Dataset: name, Partition: pid, Query: q.Points, Tau: tau}
-			errs[i] = c.clients[dd.parts[pid].worker].Call("Worker.Search", args, &replies[i])
+			var lastErr error
+			for _, w := range c.replicaOrder(dd, pid) {
+				replies[i] = SearchReply{}
+				if err := c.clients[w].Call("Worker.Search", args, &replies[i]); err != nil {
+					lastErr = err
+					c.health.failure(w, false)
+					continue
+				}
+				c.health.success(w)
+				return
+			}
+			skipped[i] = &SkippedPartition{Dataset: name, Partition: pid, Err: lastErr.Error()}
 		}(i, pid)
 	}
 	wg.Wait()
 	var out []SearchHit
 	for i := range rel {
-		if errs[i] != nil {
-			return nil, errs[i]
+		if skipped[i] != nil {
+			report.Skipped = append(report.Skipped, *skipped[i])
+			continue
 		}
 		out = append(out, replies[i].Hits...)
 	}
+	if report.Partial() && !c.cfg.AllowPartial {
+		return nil, report, report.err(fmt.Sprintf("search %q", name))
+	}
 	sort.Slice(out, func(a, b int) bool { return out[a].ID < out[b].ID })
-	return out, nil
+	return out, report, nil
+}
+
+// peerUnreachable marks/detects the Ship-side error for "the destination
+// worker is down" so the coordinator can fail over to another dst
+// replica rather than another src replica.
+const peerUnreachableMark = "peer unreachable"
+
+func isPeerUnreachable(err error) bool {
+	return err != nil && strings.Contains(err.Error(), peerUnreachableMark)
 }
 
 // Join computes the distributed similarity join between two dispatched
 // datasets. For every candidate partition pair (by endpoint-MBR tests),
-// the left worker selects and ships its relevant trajectories directly to
-// the right worker, which runs the local join; pairs flow back through
-// the chain. The cheaper direction is chosen per edge by partition size
-// (a size-proxy of the paper's cost model; the full sampled model lives in
-// the in-process engine).
+// a live replica of the source partition selects and ships its relevant
+// trajectories directly to a live replica of the destination partition,
+// which runs the local join; pairs flow back through the chain. The
+// cheaper direction is chosen per edge by partition size (a size-proxy
+// of the paper's cost model; the full sampled model lives in the
+// in-process engine). Replica failover applies on both ends of each
+// shipment.
 func (c *Coordinator) Join(left, right string, tau float64) ([]WirePair, error) {
+	pairs, _, err := c.JoinPartial(left, right, tau)
+	return pairs, err
+}
+
+// JoinPartial is Join plus the partial-result report: skipped entries
+// name exactly the partitions whose every replica was unreachable for
+// some shipment. Without AllowPartial a non-empty report is an error.
+func (c *Coordinator) JoinPartial(left, right string, tau float64) ([]WirePair, *PartialReport, error) {
+	report := &PartialReport{}
 	lt, err := c.dataset(left)
 	if err != nil {
-		return nil, err
+		return nil, report, err
 	}
 	rt, err := c.dataset(right)
 	if err != nil {
-		return nil, err
+		return nil, report, err
 	}
 	type edge struct {
 		src, dst         int // partition ids in their datasets
@@ -308,7 +502,7 @@ func (c *Coordinator) Join(left, right string, tau float64) ([]WirePair, error) 
 		}
 	}
 	replies := make([]JoinReply, len(edges))
-	errs := make([]error, len(edges))
+	skipped := make([]*SkippedPartition, len(edges))
 	var wg sync.WaitGroup
 	for i, ed := range edges {
 		wg.Add(1)
@@ -322,7 +516,6 @@ func (c *Coordinator) Join(left, right string, tau float64) ([]WirePair, error) 
 			args := &ShipArgs{
 				SrcDataset:   ed.srcName,
 				SrcPartition: ed.src,
-				DstAddr:      c.addrs[dst.worker],
 				DstDataset:   ed.dstName,
 				DstPartition: ed.dst,
 				DstMBRf:      dst.mbrF,
@@ -330,16 +523,69 @@ func (c *Coordinator) Join(left, right string, tau float64) ([]WirePair, error) 
 				Tau:          tau,
 				Flip:         ed.flip,
 			}
-			errs[i] = c.clients[srcDD.parts[ed.src].worker].Call("Worker.Ship", args, &replies[i])
+			var lastErr error
+			srcReached := false
+			for _, sw := range c.replicaOrder(srcDD, ed.src) {
+				dstDown := false
+				for _, dw := range c.replicaOrder(dstDD, ed.dst) {
+					args.DstAddr = c.addrs[dw]
+					replies[i] = JoinReply{}
+					err := c.clients[sw].Call("Worker.Ship", args, &replies[i])
+					if err == nil {
+						c.health.success(sw)
+						return
+					}
+					lastErr = err
+					if isPeerUnreachable(err) {
+						// The src worker answered; the dst replica is
+						// down. Try the next dst replica.
+						srcReached = true
+						c.health.failure(dw, false)
+						dstDown = true
+						continue
+					}
+					// The src replica itself failed; move on to the
+					// next src replica.
+					c.health.failure(sw, false)
+					break
+				}
+				if dstDown && srcReached {
+					// Every dst replica refused this reachable src;
+					// other src replicas would see the same thing.
+					break
+				}
+			}
+			// Attribute the skip: if no src replica ever answered, the
+			// src partition is down; otherwise the dst partition is.
+			if srcReached {
+				skipped[i] = &SkippedPartition{Dataset: ed.dstName, Partition: ed.dst, Err: lastErr.Error()}
+			} else {
+				skipped[i] = &SkippedPartition{Dataset: ed.srcName, Partition: ed.src, Err: lastErr.Error()}
+			}
 		}(i, ed)
 	}
 	wg.Wait()
 	var pairs []WirePair
+	seen := map[SkippedPartition]bool{}
 	for i := range edges {
-		if errs[i] != nil {
-			return nil, errs[i]
+		if skipped[i] != nil {
+			key := SkippedPartition{Dataset: skipped[i].Dataset, Partition: skipped[i].Partition}
+			if !seen[key] {
+				seen[key] = true
+				report.Skipped = append(report.Skipped, *skipped[i])
+			}
+			continue
 		}
 		pairs = append(pairs, replies[i].Pairs...)
+	}
+	sort.Slice(report.Skipped, func(a, b int) bool {
+		if report.Skipped[a].Dataset != report.Skipped[b].Dataset {
+			return report.Skipped[a].Dataset < report.Skipped[b].Dataset
+		}
+		return report.Skipped[a].Partition < report.Skipped[b].Partition
+	})
+	if report.Partial() && !c.cfg.AllowPartial {
+		return nil, report, report.err(fmt.Sprintf("join %q⋈%q", left, right))
 	}
 	sort.Slice(pairs, func(a, b int) bool {
 		if pairs[a].TID != pairs[b].TID {
@@ -347,7 +593,142 @@ func (c *Coordinator) Join(left, right string, tau float64) ([]WirePair, error) 
 		}
 		return pairs[a].QID < pairs[b].QID
 	})
-	return pairs, nil
+	return pairs, report, nil
+}
+
+// CheckHealth probes every worker once (Worker.Ping with the policy's
+// ping deadline) and advances the failure detector. Workers crossing
+// into Dead have their partitions re-replicated onto survivors from the
+// retained payloads. It returns the post-check states, indexed like the
+// worker address list. The heartbeat loop calls this on an interval;
+// tests and operators can call it directly.
+func (c *Coordinator) CheckHealth() []WorkerState {
+	ok := make([]bool, len(c.clients))
+	var wg sync.WaitGroup
+	for i := range c.clients {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			var reply PingReply
+			err := c.clients[i].CallOnce("Worker.Ping", &PingArgs{}, &reply, c.cfg.Health.PingTimeout)
+			ok[i] = err == nil
+		}(i)
+	}
+	wg.Wait()
+	var died []int
+	for i, alive := range ok {
+		if alive {
+			c.health.success(i)
+		} else if c.health.failure(i, true) {
+			died = append(died, i)
+		}
+	}
+	for _, w := range died {
+		c.healWorker(w)
+	}
+	return c.health.snapshot()
+}
+
+// WorkerStates returns the failure detector's current view.
+func (c *Coordinator) WorkerStates() []WorkerState { return c.health.snapshot() }
+
+// healWorker removes a dead worker from every partition's replica list
+// and re-dispatches the retained payloads onto live workers until each
+// affected partition is back at the configured replication factor (or
+// no eligible worker remains). Dataset healing is what substitutes for
+// Spark recomputing lost RDD partitions from lineage.
+func (c *Coordinator) healWorker(dead int) {
+	type healLoad struct {
+		dd      *dispatchedDataset
+		pid     int
+		payload *LoadArgs
+		target  int
+	}
+	c.mu.Lock()
+	dds := make([]*dispatchedDataset, 0, len(c.datasets))
+	for _, dd := range c.datasets {
+		dds = append(dds, dd)
+	}
+	c.mu.Unlock()
+	// Current load per worker, to place re-replicas evenly.
+	loads := make([]int, len(c.addrs))
+	for _, dd := range dds {
+		dd.mu.Lock()
+		for _, owners := range dd.replicas {
+			for _, w := range owners {
+				loads[w]++
+			}
+		}
+		dd.mu.Unlock()
+	}
+	states := c.health.snapshot()
+	var plan []healLoad
+	for _, dd := range dds {
+		dd.mu.Lock()
+		for pid := range dd.replicas {
+			owners := dd.replicas[pid]
+			has := false
+			for _, w := range owners {
+				if w == dead {
+					has = true
+					break
+				}
+			}
+			if !has {
+				continue
+			}
+			kept := owners[:0]
+			for _, w := range owners {
+				if w != dead {
+					kept = append(kept, w)
+				} else {
+					loads[w]--
+				}
+			}
+			dd.replicas[pid] = kept
+			// Pick the least-loaded live worker not already a replica.
+			target := -1
+			for w := range c.addrs {
+				if w == dead || states[w] == Dead {
+					continue
+				}
+				already := false
+				for _, r := range kept {
+					if r == w {
+						already = true
+						break
+					}
+				}
+				if already {
+					continue
+				}
+				if target < 0 || loads[w] < loads[target] {
+					target = w
+				}
+			}
+			if target >= 0 && len(kept) < c.cfg.Replicas {
+				loads[target]++
+				plan = append(plan, healLoad{dd: dd, pid: pid, payload: dd.parts[pid].payload, target: target})
+			}
+		}
+		dd.mu.Unlock()
+	}
+	// Ship the re-replicas outside the lock; register each on success.
+	var wg sync.WaitGroup
+	for _, h := range plan {
+		wg.Add(1)
+		go func(h healLoad) {
+			defer wg.Done()
+			var reply LoadReply
+			if err := c.clients[h.target].Call("Worker.Load", h.payload, &reply); err != nil {
+				return // next CheckHealth that buries a worker retries
+			}
+			h.dd.mu.Lock()
+			h.dd.replicas[h.pid] = append(h.dd.replicas[h.pid], h.target)
+			h.dd.mu.Unlock()
+		}(h)
+	}
+	wg.Wait()
 }
 
 // WorkerStats gathers each worker's inventory.

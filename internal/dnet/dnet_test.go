@@ -3,6 +3,7 @@ package dnet
 import (
 	"fmt"
 	"testing"
+	"time"
 
 	"dita/internal/gen"
 	"dita/internal/measure"
@@ -39,6 +40,14 @@ func testConfig() Config {
 	cfg := DefaultNetConfig()
 	cfg.NG = 3
 	cfg.Trie.MinNode = 2
+	// Fast retries so failure-path tests don't sit in backoff sleeps.
+	cfg.Retry = RetryPolicy{
+		MaxAttempts: 3,
+		BaseDelay:   time.Millisecond,
+		MaxDelay:    5 * time.Millisecond,
+		CallTimeout: 10 * time.Second,
+		Seed:        1,
+	}
 	return cfg
 }
 
@@ -146,8 +155,9 @@ func TestNetDistribution(t *testing.T) {
 			t.Error("worker holds data but no index")
 		}
 	}
-	if total != d.Len() {
-		t.Fatalf("workers hold %d trajectories, dataset has %d", total, d.Len())
+	// Every trajectory is held Replicas (default 2) times.
+	if total != 2*d.Len() {
+		t.Fatalf("workers hold %d trajectory copies, want %d (2 replicas)", total, 2*d.Len())
 	}
 	if loaded < 2 {
 		t.Fatalf("only %d workers hold data", loaded)
@@ -188,9 +198,9 @@ func TestNetFetch(t *testing.T) {
 		t.Fatal(err)
 	}
 	found := false
-	for pid, p := range dd.parts {
+	for pid := range dd.parts {
 		var reply FetchReply
-		err := c.clients[p.worker].Call("Worker.Fetch",
+		err := c.clients[c.replicaOrder(dd, pid)[0]].Call("Worker.Fetch",
 			&FetchArgs{Dataset: "trips", Partition: pid, IDs: []int{q.ID}}, &reply)
 		if err != nil {
 			t.Fatal(err)
@@ -308,13 +318,13 @@ func TestNetMultiDataset(t *testing.T) {
 	for _, s := range stats {
 		total += s.Trajs
 	}
-	if total != 180 {
-		t.Fatalf("workers hold %d trajectories, want 180", total)
+	if total != 360 { // 3 datasets × 60 trajectories × 2 replicas
+		t.Fatalf("workers hold %d trajectory copies, want 360", total)
 	}
 }
 
-// A worker dying after dispatch must surface as a clean error, not a hang
-// or a silent partial result.
+// With replication disabled, a worker dying after dispatch must surface
+// as a clean error (strict mode), not a hang or a silent partial result.
 func TestNetWorkerFailure(t *testing.T) {
 	w1 := NewWorker()
 	a1, err := w1.Serve("127.0.0.1:0")
@@ -327,7 +337,9 @@ func TestNetWorkerFailure(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer w1.Close()
-	c, err := Connect([]string{a1, a2}, testConfig())
+	cfg := testConfig()
+	cfg.Replicas = 1
+	c, err := Connect([]string{a1, a2}, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,167 @@
+package dnet
+
+import (
+	"fmt"
+	"math/rand"
+	"net"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// FaultPlan configures deterministic, seeded fault injection on a
+// worker's accepted connections — the chaos-testing transport. Each
+// accepted connection gets its own PRNG derived from Seed and the accept
+// index, so a fixed plan plus a fixed call pattern produces a
+// reproducible fault schedule per connection.
+//
+// The same plan drives the dnet chaos tests and `dita-worker -chaos`
+// manual soak testing.
+type FaultPlan struct {
+	// Seed makes the fault schedule deterministic.
+	Seed int64
+	// DropRate is the probability a freshly accepted connection is
+	// closed immediately (connection refused, as seen by the peer).
+	DropRate float64
+	// ErrorRate is the per-Read/Write probability of an injected error;
+	// the connection is also severed so both ends resynchronize on a
+	// fresh one.
+	ErrorRate float64
+	// Delay is added latency per Read.
+	Delay time.Duration
+	// SeverAfter closes the connection after this many combined
+	// Read/Write operations (0 = never).
+	SeverAfter int
+}
+
+// active reports whether per-op fault hooks are needed at all.
+func (p FaultPlan) active() bool {
+	return p.ErrorRate > 0 || p.Delay > 0 || p.SeverAfter > 0
+}
+
+// ParseFaultPlan parses a comma-separated spec like
+// "seed=7,drop=0.05,err=0.01,delay=2ms,sever=500". Unknown keys are an
+// error; every key is optional.
+func ParseFaultPlan(spec string) (FaultPlan, error) {
+	plan := FaultPlan{Seed: 1}
+	if strings.TrimSpace(spec) == "" {
+		return plan, nil
+	}
+	for _, field := range strings.Split(spec, ",") {
+		k, v, ok := strings.Cut(strings.TrimSpace(field), "=")
+		if !ok {
+			return plan, fmt.Errorf("dnet: fault spec %q: want key=value", field)
+		}
+		var err error
+		switch k {
+		case "seed":
+			plan.Seed, err = strconv.ParseInt(v, 10, 64)
+		case "drop":
+			plan.DropRate, err = strconv.ParseFloat(v, 64)
+		case "err":
+			plan.ErrorRate, err = strconv.ParseFloat(v, 64)
+		case "delay":
+			plan.Delay, err = time.ParseDuration(v)
+		case "sever":
+			plan.SeverAfter, err = strconv.Atoi(v)
+		default:
+			return plan, fmt.Errorf("dnet: fault spec: unknown key %q", k)
+		}
+		if err != nil {
+			return plan, fmt.Errorf("dnet: fault spec %q: %w", field, err)
+		}
+	}
+	return plan, nil
+}
+
+// injectedError is what a faulted Read/Write returns. It implements
+// net.Error so the managed client classifies it as transport-level.
+type injectedError struct{ op string }
+
+func (e *injectedError) Error() string   { return "faultconn: injected " + e.op + " error" }
+func (e *injectedError) Timeout() bool   { return false }
+func (e *injectedError) Temporary() bool { return true }
+
+// NewFaultListener wraps l so accepted connections misbehave per plan.
+func NewFaultListener(l net.Listener, plan FaultPlan) net.Listener {
+	return &faultListener{Listener: l, plan: plan, rng: rand.New(rand.NewSource(plan.Seed))}
+}
+
+type faultListener struct {
+	net.Listener
+	plan FaultPlan
+
+	mu    sync.Mutex
+	rng   *rand.Rand
+	nconn int64
+}
+
+func (l *faultListener) Accept() (net.Conn, error) {
+	for {
+		conn, err := l.Listener.Accept()
+		if err != nil {
+			return nil, err
+		}
+		l.mu.Lock()
+		n := l.nconn
+		l.nconn++
+		drop := l.plan.DropRate > 0 && l.rng.Float64() < l.plan.DropRate
+		l.mu.Unlock()
+		if drop {
+			conn.Close()
+			continue
+		}
+		if !l.plan.active() {
+			return conn, nil
+		}
+		// Per-connection PRNG: deterministic given the accept index.
+		seed := l.plan.Seed ^ (n+1)*0x9e3779b97f4a7c
+		return &faultConn{Conn: conn, plan: l.plan, rng: rand.New(rand.NewSource(seed))}, nil
+	}
+}
+
+type faultConn struct {
+	net.Conn
+	plan FaultPlan
+
+	mu  sync.Mutex
+	rng *rand.Rand
+	ops int
+}
+
+// fault rolls the per-op dice; on a hit it severs the connection so both
+// ends observe the failure and reconnect cleanly.
+func (c *faultConn) fault(op string) error {
+	c.mu.Lock()
+	c.ops++
+	sever := c.plan.SeverAfter > 0 && c.ops > c.plan.SeverAfter
+	inject := !sever && c.plan.ErrorRate > 0 && c.rng.Float64() < c.plan.ErrorRate
+	c.mu.Unlock()
+	if sever {
+		c.Conn.Close()
+		return &injectedError{op: op + " (severed)"}
+	}
+	if inject {
+		c.Conn.Close()
+		return &injectedError{op: op}
+	}
+	return nil
+}
+
+func (c *faultConn) Read(p []byte) (int, error) {
+	if c.plan.Delay > 0 {
+		time.Sleep(c.plan.Delay)
+	}
+	if err := c.fault("read"); err != nil {
+		return 0, err
+	}
+	return c.Conn.Read(p)
+}
+
+func (c *faultConn) Write(p []byte) (int, error) {
+	if err := c.fault("write"); err != nil {
+		return 0, err
+	}
+	return c.Conn.Write(p)
+}

@@ -1,0 +1,138 @@
+package dnet
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// WorkerState is a worker's position in the coordinator's failure
+// detector: Healthy workers serve traffic; Suspect workers have missed
+// pings (or failed data-path calls) but keep their partitions and are
+// still tried, just after healthy replicas; Dead workers have missed
+// enough consecutive health checks that the coordinator re-replicates
+// their partitions onto survivors. A Dead worker that answers a later
+// ping is revived to Healthy (empty — its partitions have moved) and
+// becomes eligible for future dispatches.
+type WorkerState int
+
+const (
+	Healthy WorkerState = iota
+	Suspect
+	Dead
+)
+
+func (s WorkerState) String() string {
+	switch s {
+	case Healthy:
+		return "healthy"
+	case Suspect:
+		return "suspect"
+	case Dead:
+		return "dead"
+	}
+	return "unknown"
+}
+
+// HealthPolicy configures failure detection.
+type HealthPolicy struct {
+	// Interval is the background heartbeat period; 0 disables the loop
+	// (CheckHealth can still be called manually).
+	Interval time.Duration
+	// SuspectAfter is the consecutive-failure count that moves a worker
+	// Healthy→Suspect (default 1).
+	SuspectAfter int
+	// DeadAfter is the consecutive health-check failure count that
+	// declares a worker Dead and triggers partition re-replication
+	// (default 3).
+	DeadAfter int
+	// PingTimeout is the per-ping deadline (default 2s).
+	PingTimeout time.Duration
+}
+
+func (p HealthPolicy) withDefaults() HealthPolicy {
+	if p.SuspectAfter < 1 {
+		p.SuspectAfter = 1
+	}
+	if p.DeadAfter < p.SuspectAfter {
+		p.DeadAfter = p.SuspectAfter + 2
+	}
+	if p.PingTimeout <= 0 {
+		p.PingTimeout = 2 * time.Second
+	}
+	return p
+}
+
+// healthTracker holds the per-worker failure-detector state.
+type healthTracker struct {
+	policy HealthPolicy
+
+	mu     sync.Mutex
+	states []WorkerState
+	fails  []int
+}
+
+func newHealthTracker(n int, policy HealthPolicy) *healthTracker {
+	return &healthTracker{
+		policy: policy,
+		states: make([]WorkerState, n),
+		fails:  make([]int, n),
+	}
+}
+
+// success records a successful probe or call; it revives Dead workers.
+func (h *healthTracker) success(i int) {
+	h.mu.Lock()
+	h.fails[i] = 0
+	h.states[i] = Healthy
+	h.mu.Unlock()
+}
+
+// failure records a failed probe or call. canKill distinguishes health
+// checks (which may declare a worker Dead, returning true exactly on the
+// Suspect→Dead transition so the caller heals once) from data-path
+// failures (which stop at Suspect — only the detector buries workers, so
+// healing has a single driver).
+func (h *healthTracker) failure(i int, canKill bool) (nowDead bool) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.fails[i]++
+	if h.states[i] == Dead {
+		return false
+	}
+	if canKill && h.fails[i] >= h.policy.DeadAfter {
+		h.states[i] = Dead
+		return true
+	}
+	if h.fails[i] >= h.policy.SuspectAfter {
+		h.states[i] = Suspect
+	}
+	return false
+}
+
+// state returns one worker's current state.
+func (h *healthTracker) state(i int) WorkerState {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.states[i]
+}
+
+// snapshot copies all states.
+func (h *healthTracker) snapshot() []WorkerState {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return append([]WorkerState(nil), h.states...)
+}
+
+// order sorts a replica list live-first (healthy, then suspect, then
+// dead — dead replicas are still tried last: the detector may lag
+// reality in both directions). The sort is stable so the dispatch-time
+// preference order breaks ties.
+func (h *healthTracker) order(replicas []int) []int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	sort.SliceStable(replicas, func(a, b int) bool {
+		return h.states[replicas[a]] < h.states[replicas[b]]
+	})
+	return replicas
+}

@@ -136,6 +136,29 @@ type JoinReply struct {
 	BytesReceived int
 }
 
+// PingArgs/PingReply are the heartbeat probe: the coordinator's failure
+// detector calls Worker.Ping on an interval; a draining or dead worker
+// fails the call.
+type PingArgs struct{}
+
+// PingReply reports liveness plus a cheap inventory summary.
+type PingReply struct {
+	Partitions int
+}
+
+// UnloadArgs drops one partition from a worker. The coordinator uses it
+// to roll back partially-shipped dispatches so a retry doesn't
+// double-index data.
+type UnloadArgs struct {
+	Dataset   string
+	Partition int
+}
+
+// UnloadReply reports whether the partition was present.
+type UnloadReply struct {
+	Unloaded bool
+}
+
 // StatsArgs/StatsReply expose a worker's inventory.
 type StatsArgs struct{}
 

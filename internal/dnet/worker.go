@@ -1,12 +1,14 @@
 package dnet
 
 import (
+	"errors"
 	"fmt"
 	"net"
 	"net/rpc"
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"dita/internal/core"
 	"dita/internal/measure"
@@ -14,6 +16,16 @@ import (
 	"dita/internal/traj"
 	"dita/internal/trie"
 )
+
+// shipRetry bounds the worker-to-worker shipment calls (peer may be
+// mid-restart); kept short because the coordinator also fails over to
+// other destination replicas.
+var shipRetry = RetryPolicy{
+	MaxAttempts: 2,
+	BaseDelay:   10 * time.Millisecond,
+	MaxDelay:    100 * time.Millisecond,
+	CallTimeout: 30 * time.Second,
+}
 
 // Worker is one node of the network-mode cluster: an RPC server holding
 // the partitions assigned to it (trajectories, trie index, verification
@@ -26,12 +38,28 @@ type Worker struct {
 	joinCalls   atomic.Int64
 	bytesIn     atomic.Int64
 
+	// FaultInjection, when set before Serve, wraps the listener so
+	// accepted connections drop/delay/error per the plan — the chaos
+	// transport (tests and `dita-worker -chaos`). Never set it in
+	// production.
+	FaultInjection *FaultPlan
+
 	lis  net.Listener
 	srv  *rpc.Server
 	done chan struct{}
 
+	closeOnce sync.Once
+	closeErr  error
+
 	connMu sync.Mutex
 	conns  map[net.Conn]struct{}
+
+	// Drain bookkeeping: draining rejects new RPCs; idle is closed when
+	// the last in-flight RPC finishes after draining began.
+	stateMu  sync.Mutex
+	draining bool
+	inflight int
+	idle     chan struct{}
 }
 
 type partKey struct {
@@ -63,6 +91,10 @@ func (w *Worker) Serve(addr string) (string, error) {
 	if err != nil {
 		return "", fmt.Errorf("dnet: %w", err)
 	}
+	bound := lis.Addr().String()
+	if w.FaultInjection != nil {
+		lis = NewFaultListener(lis, *w.FaultInjection)
+	}
 	w.lis = lis
 	w.srv = rpc.NewServer()
 	// The RPC service is a separate type so only the protocol methods are
@@ -79,8 +111,11 @@ func (w *Worker) Serve(addr string) (string, error) {
 				case <-w.done:
 					return
 				default:
-					continue
 				}
+				if errors.Is(err, net.ErrClosed) {
+					return
+				}
+				continue
 			}
 			w.connMu.Lock()
 			w.conns[conn] = struct{}{}
@@ -93,25 +128,79 @@ func (w *Worker) Serve(addr string) (string, error) {
 			}(conn)
 		}
 	}()
-	return lis.Addr().String(), nil
+	return bound, nil
+}
+
+// errDraining is returned to RPCs that arrive while the worker drains.
+var errDraining = errors.New("dnet: worker shutting down")
+
+// beginRPC admits one RPC unless the worker is draining.
+func (w *Worker) beginRPC() bool {
+	w.stateMu.Lock()
+	defer w.stateMu.Unlock()
+	if w.draining {
+		return false
+	}
+	w.inflight++
+	return true
+}
+
+func (w *Worker) endRPC() {
+	w.stateMu.Lock()
+	w.inflight--
+	if w.draining && w.inflight == 0 && w.idle != nil {
+		close(w.idle)
+		w.idle = nil
+	}
+	w.stateMu.Unlock()
+}
+
+// Shutdown drains the worker: it stops accepting connections and new
+// RPCs, waits up to timeout for in-flight RPCs to finish, then closes
+// everything. Safe to call more than once and after Close.
+func (w *Worker) Shutdown(timeout time.Duration) error {
+	w.stateMu.Lock()
+	if !w.draining {
+		w.draining = true
+		if w.inflight > 0 {
+			w.idle = make(chan struct{})
+		}
+	}
+	idle := w.idle
+	w.stateMu.Unlock()
+	if w.lis != nil {
+		w.lis.Close()
+	}
+	if idle != nil {
+		select {
+		case <-idle:
+		case <-time.After(timeout):
+		}
+	}
+	return w.Close()
 }
 
 // Close stops the listener and terminates every established connection,
-// so in-flight and future RPCs against this worker fail fast (the behavior
-// a crashed node exhibits).
+// so in-flight and future RPCs against this worker fail fast (the
+// behavior a crashed node exhibits). It is idempotent.
 func (w *Worker) Close() error {
-	close(w.done)
-	var err error
-	if w.lis != nil {
-		err = w.lis.Close()
-	}
-	w.connMu.Lock()
-	for conn := range w.conns {
-		conn.Close()
-	}
-	w.conns = map[net.Conn]struct{}{}
-	w.connMu.Unlock()
-	return err
+	w.closeOnce.Do(func() {
+		close(w.done)
+		if w.lis != nil {
+			// Shutdown may already have closed the listener to stop
+			// new connections; that's not an error.
+			if err := w.lis.Close(); err != nil && !errors.Is(err, net.ErrClosed) {
+				w.closeErr = err
+			}
+		}
+		w.connMu.Lock()
+		for conn := range w.conns {
+			conn.Close()
+		}
+		w.conns = map[net.Conn]struct{}{}
+		w.connMu.Unlock()
+	})
+	return w.closeErr
 }
 
 // workerService carries the exported RPC surface.
@@ -119,8 +208,27 @@ type workerService struct {
 	w *Worker
 }
 
+// Ping implements the heartbeat probe. A draining worker fails it so
+// coordinators route around the node before it disappears.
+func (s *workerService) Ping(args *PingArgs, reply *PingReply) error {
+	if !s.w.beginRPC() {
+		return errDraining
+	}
+	defer s.w.endRPC()
+	s.w.mu.RLock()
+	reply.Partitions = len(s.w.parts)
+	s.w.mu.RUnlock()
+	return nil
+}
+
 // Load implements the LoadPartition RPC: store and index a partition.
+// Reloading the same (dataset, partition) replaces it, which makes
+// coordinator retries and re-replication idempotent.
 func (s *workerService) Load(args *LoadArgs, reply *LoadReply) error {
+	if !s.w.beginRPC() {
+		return errDraining
+	}
+	defer s.w.endRPC()
 	m, err := measure.ByName(args.Measure.Name, args.Measure.Eps, args.Measure.Delta)
 	if err != nil {
 		return err
@@ -157,6 +265,20 @@ func (s *workerService) Load(args *LoadArgs, reply *LoadReply) error {
 	return nil
 }
 
+// Unload implements the rollback RPC: drop one partition.
+func (s *workerService) Unload(args *UnloadArgs, reply *UnloadReply) error {
+	if !s.w.beginRPC() {
+		return errDraining
+	}
+	defer s.w.endRPC()
+	key := partKey{args.Dataset, args.Partition}
+	s.w.mu.Lock()
+	_, reply.Unloaded = s.w.parts[key]
+	delete(s.w.parts, key)
+	s.w.mu.Unlock()
+	return nil
+}
+
 func (s *workerService) partition(dataset string, id int) (*workerPartition, error) {
 	s.w.mu.RLock()
 	defer s.w.mu.RUnlock()
@@ -169,6 +291,10 @@ func (s *workerService) partition(dataset string, id int) (*workerPartition, err
 
 // Search implements the per-partition threshold search RPC.
 func (s *workerService) Search(args *SearchArgs, reply *SearchReply) error {
+	if !s.w.beginRPC() {
+		return errDraining
+	}
+	defer s.w.endRPC()
 	s.w.searchCalls.Add(1)
 	p, err := s.partition(args.Dataset, args.Partition)
 	if err != nil {
@@ -189,6 +315,10 @@ func (s *workerService) Search(args *SearchArgs, reply *SearchReply) error {
 
 // Fetch implements trajectory retrieval by id.
 func (s *workerService) Fetch(args *FetchArgs, reply *FetchReply) error {
+	if !s.w.beginRPC() {
+		return errDraining
+	}
+	defer s.w.endRPC()
 	p, err := s.partition(args.Dataset, args.Partition)
 	if err != nil {
 		return err
@@ -207,8 +337,15 @@ func (s *workerService) Fetch(args *FetchArgs, reply *FetchReply) error {
 
 // Ship implements the coordinator-directed shuffle: select this worker's
 // partition trajectories relevant to the destination partition, push them
-// to the destination worker's Join RPC, and relay the pairs back.
+// to the destination worker's Join RPC, and relay the pairs back. A
+// transport-level failure reaching the peer is reported with the
+// peer-unreachable marker so the coordinator fails over to another
+// destination replica instead of another source replica.
 func (s *workerService) Ship(args *ShipArgs, reply *JoinReply) error {
+	if !s.w.beginRPC() {
+		return errDraining
+	}
+	defer s.w.endRPC()
 	p, err := s.partition(args.SrcDataset, args.SrcPartition)
 	if err != nil {
 		return err
@@ -224,11 +361,8 @@ func (s *workerService) Ship(args *ShipArgs, reply *JoinReply) error {
 	}
 	// Worker-to-worker connection: the data does not pass through the
 	// coordinator.
-	client, err := rpc.Dial("tcp", args.DstAddr)
-	if err != nil {
-		return fmt.Errorf("dnet: dialing peer %s: %w", args.DstAddr, err)
-	}
-	defer client.Close()
+	mc := newManagedClient(args.DstAddr, shipRetry)
+	defer mc.Close()
 	jargs := &JoinArgs{
 		Dataset:   args.DstDataset,
 		Partition: args.DstPartition,
@@ -236,12 +370,22 @@ func (s *workerService) Ship(args *ShipArgs, reply *JoinReply) error {
 		Tau:       args.Tau,
 		Flip:      args.Flip,
 	}
-	return client.Call("Worker.Join", jargs, reply)
+	if err := mc.Call("Worker.Join", jargs, reply); err != nil {
+		if retryableError(err) {
+			return fmt.Errorf("dnet: %s %s: %v", peerUnreachableMark, args.DstAddr, err)
+		}
+		return err
+	}
+	return nil
 }
 
 // Join implements the receiving side of the shuffle: probe the local trie
 // with each shipped trajectory and verify candidates.
 func (s *workerService) Join(args *JoinArgs, reply *JoinReply) error {
+	if !s.w.beginRPC() {
+		return errDraining
+	}
+	defer s.w.endRPC()
 	s.w.joinCalls.Add(1)
 	p, err := s.partition(args.Dataset, args.Partition)
 	if err != nil {
@@ -273,6 +417,10 @@ func (s *workerService) Join(args *JoinArgs, reply *JoinReply) error {
 
 // Stats implements the inventory RPC.
 func (s *workerService) Stats(args *StatsArgs, reply *StatsReply) error {
+	if !s.w.beginRPC() {
+		return errDraining
+	}
+	defer s.w.endRPC()
 	s.w.mu.RLock()
 	defer s.w.mu.RUnlock()
 	reply.Partitions = len(s.w.parts)
