@@ -1,6 +1,7 @@
 package dnet
 
 import (
+	"net/rpc"
 	"strings"
 	"testing"
 	"time"
@@ -346,6 +347,179 @@ func TestChaosAllowPartialReport(t *testing.T) {
 		}
 	}
 }
+
+// Losing every worker drains the replica lists to empty. Partial-mode
+// queries over drained lists must report the partitions (not panic on a
+// nil error), and once a worker comes back, the next health check — with
+// no further death transition — must rebuild the dataset onto it from
+// the retained payloads.
+func TestChaosHealRetryAfterTotalLoss(t *testing.T) {
+	cfg := chaosConfig()
+	cfg.AllowPartial = true
+	workers, addrs, c := chaosCluster(t, 2, cfg)
+	dT := gen.Generate(gen.BeijingLike(60, 114))
+	dQ := gen.Generate(gen.BeijingLike(50, 114))
+	for _, tr := range dQ.Trajs {
+		tr.ID += 100000
+	}
+	if err := c.Dispatch("T", dT); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Dispatch("Q", dQ); err != nil {
+		t.Fatal(err)
+	}
+	tau := 100.0 // every partition relevant, every pair within tau
+	for _, w := range workers {
+		w.Close()
+	}
+	c.CheckHealth()
+	states := c.CheckHealth() // DeadAfter=2: both workers buried
+	if states[0] != Dead || states[1] != Dead {
+		t.Fatalf("worker states after total loss = %v, want all dead", states)
+	}
+	dd, err := c.dataset("T")
+	if err != nil {
+		t.Fatal(err)
+	}
+	nparts := len(dd.parts)
+	dd.mu.Lock()
+	for pid, owners := range dd.replicas {
+		if len(owners) != 0 {
+			t.Fatalf("partition %d still lists replicas %v after total loss", pid, owners)
+		}
+	}
+	dd.mu.Unlock()
+
+	// Empty replica lists: partial queries report, with a real error.
+	q := dT.Trajs[0]
+	hits, rep, err := c.SearchPartial("T", q, tau)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hits) != 0 {
+		t.Fatalf("search over a fully-lost dataset returned %d hits", len(hits))
+	}
+	if len(rep.Skipped) != nparts {
+		t.Fatalf("report lists %d skipped partitions, want %d", len(rep.Skipped), nparts)
+	}
+	for _, s := range rep.Skipped {
+		if !strings.Contains(s.Err, "no replicas") {
+			t.Fatalf("skipped partition %d carries error %q, want a no-replicas error", s.Partition, s.Err)
+		}
+	}
+	pairs, jrep, err := c.JoinPartial("T", "Q", tau)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pairs) != 0 || !jrep.Partial() {
+		t.Fatalf("join over a fully-lost dataset: %d pairs, partial=%v", len(pairs), jrep.Partial())
+	}
+	for _, s := range jrep.Skipped {
+		if s.Err == "" {
+			t.Fatalf("skipped partition %s/%d carries no error", s.Dataset, s.Partition)
+		}
+	}
+
+	// One worker returns (empty, as after a process restart). The next
+	// check revives it and heals both datasets onto it — no death
+	// transition involved, so this exercises the periodic re-scan.
+	w := NewWorker()
+	if _, err := w.Serve(addrs[0]); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { w.Close() })
+	if states := c.CheckHealth(); states[0] != Healthy {
+		t.Fatalf("restarted worker state = %v, want healthy", states[0])
+	}
+	dd.mu.Lock()
+	for pid, owners := range dd.replicas {
+		if len(owners) != 1 || owners[0] != 0 {
+			t.Fatalf("partition %d replicas after heal = %v, want [0]", pid, owners)
+		}
+	}
+	dd.mu.Unlock()
+	hits, rep, err = c.SearchPartial("T", q, tau)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Partial() {
+		t.Fatalf("healed search still partial: %+v", rep.Skipped)
+	}
+	if len(hits) != dT.Len() {
+		t.Fatalf("healed search returned %d hits, want %d", len(hits), dT.Len())
+	}
+	pairs, jrep, err = c.JoinPartial("T", "Q", tau)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if jrep.Partial() {
+		t.Fatalf("healed join still partial: %+v", jrep.Skipped)
+	}
+	if len(pairs) != dT.Len()*dQ.Len() {
+		t.Fatalf("healed join returned %d pairs, want %d", len(pairs), dT.Len()*dQ.Len())
+	}
+}
+
+// An application-level error (here: a replica that lost a partition)
+// must route the query to the next replica without marking the answering
+// worker suspect — only transport failures count against health.
+func TestChaosAppErrorDoesNotPoisonHealth(t *testing.T) {
+	d := gen.Generate(gen.BeijingLike(80, 115))
+	_, _, c := chaosCluster(t, 2, chaosConfig())
+	if err := c.Dispatch("trips", d); err != nil {
+		t.Fatal(err)
+	}
+	dd, err := c.dataset("trips")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dd.mu.Lock()
+	preferred := dd.replicas[0][0]
+	dd.mu.Unlock()
+	// Drop partition 0 from its preferred replica behind the
+	// coordinator's back; searches hit an rpc.ServerError there.
+	var ur UnloadReply
+	if err := c.clients[preferred].Call("Worker.Unload", &UnloadArgs{Dataset: "trips", Partition: 0}, &ur); err != nil {
+		t.Fatal(err)
+	}
+	if !ur.Unloaded {
+		t.Fatal("preferred replica did not hold partition 0")
+	}
+	tau := 100.0 // every partition (including 0) is relevant
+	hits, err := c.Search("trips", d.Trajs[0], tau)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hits) != d.Len() {
+		t.Fatalf("failover search returned %d hits, want %d", len(hits), d.Len())
+	}
+	for i, s := range c.WorkerStates() {
+		if s != Healthy {
+			t.Fatalf("worker %d state = %v after an application error, want healthy", i, s)
+		}
+	}
+}
+
+// Peer-unreachable detection is structural: only an rpc.ServerError
+// carrying the exact Ship prefix selects destination-side failover.
+func TestIsPeerUnreachable(t *testing.T) {
+	if !isPeerUnreachable(rpc.ServerError(peerUnreachablePrefix + "127.0.0.1:9: connection refused")) {
+		t.Fatal("genuine ship error not detected")
+	}
+	if isPeerUnreachable(rpc.ServerError("dnet: dataset about peer unreachable things not loaded")) {
+		t.Fatal("substring in an unrelated application error detected as peer-unreachable")
+	}
+	if isPeerUnreachable(errTest(peerUnreachablePrefix + "x")) {
+		t.Fatal("non-ServerError detected as peer-unreachable")
+	}
+	if isPeerUnreachable(nil) {
+		t.Fatal("nil error detected as peer-unreachable")
+	}
+}
+
+type errTest string
+
+func (e errTest) Error() string { return string(e) }
 
 // A dispatch that fails partway (one worker dead, no replicas possible)
 // must unload everything it already shipped, so a later retry cannot

@@ -1,7 +1,9 @@
 package dnet
 
 import (
+	"errors"
 	"fmt"
+	"net/rpc"
 	"sort"
 	"strings"
 	"sync"
@@ -80,8 +82,13 @@ type Coordinator struct {
 	cfg     Config
 	m       measure.Measure
 	clients []*managedClient
-	addrs   []string
-	health  *healthTracker
+	// pings are dedicated per-worker probe connections. Health checks must
+	// not share the data connection: a ping deadline tears its connection
+	// down, and a large reply in transit can legitimately delay a ping
+	// past 2s — severing every in-flight data call on a healthy worker.
+	pings  []*managedClient
+	addrs  []string
+	health *healthTracker
 
 	hbStop   chan struct{}
 	hbOnce   sync.Once
@@ -156,6 +163,7 @@ func Connect(addrs []string, cfg Config) (*Coordinator, error) {
 			return nil, fmt.Errorf("dnet: dialing worker %s: %w", a, err)
 		}
 		c.clients = append(c.clients, mc)
+		c.pings = append(c.pings, newManagedClient(a, policy)) // dials lazily
 	}
 	if cfg.Health.Interval > 0 {
 		c.hbClosed.Add(1)
@@ -170,12 +178,14 @@ func (c *Coordinator) Close() error {
 	c.hbOnce.Do(func() { close(c.hbStop) })
 	c.hbClosed.Wait()
 	var first error
-	for _, cl := range c.clients {
-		if cl == nil {
-			continue
-		}
-		if err := cl.Close(); err != nil && first == nil {
-			first = err
+	for _, cls := range [][]*managedClient{c.clients, c.pings} {
+		for _, cl := range cls {
+			if cl == nil {
+				continue
+			}
+			if err := cl.Close(); err != nil && first == nil {
+				first = err
+			}
 		}
 	}
 	return first
@@ -411,11 +421,23 @@ func (c *Coordinator) SearchPartial(name string, q *traj.T, tau float64) ([]Sear
 				replies[i] = SearchReply{}
 				if err := c.clients[w].Call("Worker.Search", args, &replies[i]); err != nil {
 					lastErr = err
-					c.health.failure(w, false)
+					if retryableError(err) {
+						c.health.failure(w, false)
+					} else {
+						// An application error is proof of life: the
+						// worker answered, it just can't serve this
+						// partition. Don't deprioritize it.
+						c.health.success(w)
+					}
 					continue
 				}
 				c.health.success(w)
 				return
+			}
+			if lastErr == nil {
+				// Healing can drain a replica list to empty (Replicas=1,
+				// or every re-load still failing): nothing to even try.
+				lastErr = fmt.Errorf("dnet: no replicas for partition %s/%d", name, pid)
 			}
 			skipped[i] = &SkippedPartition{Dataset: name, Partition: pid, Err: lastErr.Error()}
 		}(i, pid)
@@ -436,13 +458,15 @@ func (c *Coordinator) SearchPartial(name string, q *traj.T, tau float64) ([]Sear
 	return out, report, nil
 }
 
-// peerUnreachable marks/detects the Ship-side error for "the destination
-// worker is down" so the coordinator can fail over to another dst
-// replica rather than another src replica.
-const peerUnreachableMark = "peer unreachable"
-
+// isPeerUnreachable detects the Ship-side signal for "the destination
+// worker is down" so the coordinator fails over to another dst replica
+// rather than another src replica. Only an rpc.ServerError that starts
+// with the exact prefix Worker.Ship emits (peerUnreachablePrefix,
+// worker.go) qualifies — never a substring match, which an unrelated
+// application error mentioning the phrase could trip.
 func isPeerUnreachable(err error) bool {
-	return err != nil && strings.Contains(err.Error(), peerUnreachableMark)
+	var se rpc.ServerError
+	return errors.As(err, &se) && strings.HasPrefix(string(se), peerUnreachablePrefix)
 }
 
 // Join computes the distributed similarity join between two dispatched
@@ -544,15 +568,33 @@ func (c *Coordinator) JoinPartial(left, right string, tau float64) ([]WirePair, 
 						dstDown = true
 						continue
 					}
-					// The src replica itself failed; move on to the
-					// next src replica.
-					c.health.failure(sw, false)
+					if retryableError(err) {
+						// The src replica itself failed at the transport
+						// level; move on to the next src replica.
+						c.health.failure(sw, false)
+					} else {
+						// Application-level refusal: the src worker is
+						// alive, it just can't serve this partition. Try
+						// the next src replica without penalizing it.
+						c.health.success(sw)
+					}
 					break
 				}
 				if dstDown && srcReached {
 					// Every dst replica refused this reachable src;
 					// other src replicas would see the same thing.
 					break
+				}
+			}
+			if lastErr == nil {
+				// A replica list was drained to empty by healing, so the
+				// loops had nothing to try. Attribute the side with no
+				// replicas left.
+				if len(c.replicaOrder(dstDD, ed.dst)) == 0 && len(c.replicaOrder(srcDD, ed.src)) > 0 {
+					srcReached = true
+					lastErr = fmt.Errorf("dnet: no replicas for partition %s/%d", ed.dstName, ed.dst)
+				} else {
+					lastErr = fmt.Errorf("dnet: no replicas for partition %s/%d", ed.srcName, ed.src)
 				}
 			}
 			// Attribute the skip: if no src replica ever answered, the
@@ -596,21 +638,23 @@ func (c *Coordinator) JoinPartial(left, right string, tau float64) ([]WirePair, 
 	return pairs, report, nil
 }
 
-// CheckHealth probes every worker once (Worker.Ping with the policy's
-// ping deadline) and advances the failure detector. Workers crossing
-// into Dead have their partitions re-replicated onto survivors from the
-// retained payloads. It returns the post-check states, indexed like the
-// worker address list. The heartbeat loop calls this on an interval;
+// CheckHealth probes every worker once (Worker.Ping over the dedicated
+// ping connections, with the policy's ping deadline) and advances the
+// failure detector. Workers crossing into Dead are dropped from every
+// replica list; then every under-replicated partition — from this death
+// or any earlier heal that failed — is re-replicated onto survivors from
+// the retained payloads. It returns the post-check states, indexed like
+// the worker address list. The heartbeat loop calls this on an interval;
 // tests and operators can call it directly.
 func (c *Coordinator) CheckHealth() []WorkerState {
-	ok := make([]bool, len(c.clients))
+	ok := make([]bool, len(c.pings))
 	var wg sync.WaitGroup
-	for i := range c.clients {
+	for i := range c.pings {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
 			var reply PingReply
-			err := c.clients[i].CallOnce("Worker.Ping", &PingArgs{}, &reply, c.cfg.Health.PingTimeout)
+			err := c.pings[i].CallOnce("Worker.Ping", &PingArgs{}, &reply, c.cfg.Health.PingTimeout)
 			ok[i] = err == nil
 		}(i)
 	}
@@ -624,32 +668,60 @@ func (c *Coordinator) CheckHealth() []WorkerState {
 		}
 	}
 	for _, w := range died {
-		c.healWorker(w)
+		c.removeWorker(w)
 	}
+	// Healing runs on every check, not just on a death transition, so a
+	// re-replication Load that failed last time is retried on the next
+	// tick instead of staying under-replicated until another worker dies.
+	c.rereplicate()
 	return c.health.snapshot()
 }
 
 // WorkerStates returns the failure detector's current view.
 func (c *Coordinator) WorkerStates() []WorkerState { return c.health.snapshot() }
 
-// healWorker removes a dead worker from every partition's replica list
-// and re-dispatches the retained payloads onto live workers until each
-// affected partition is back at the configured replication factor (or
-// no eligible worker remains). Dataset healing is what substitutes for
-// Spark recomputing lost RDD partitions from lineage.
-func (c *Coordinator) healWorker(dead int) {
+// lockedDatasets snapshots the dispatched-dataset list.
+func (c *Coordinator) lockedDatasets() []*dispatchedDataset {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	dds := make([]*dispatchedDataset, 0, len(c.datasets))
+	for _, dd := range c.datasets {
+		dds = append(dds, dd)
+	}
+	return dds
+}
+
+// removeWorker strips a dead worker from every partition's replica list.
+// The partitions it leaves under-replicated are rebuilt by rereplicate.
+func (c *Coordinator) removeWorker(dead int) {
+	for _, dd := range c.lockedDatasets() {
+		dd.mu.Lock()
+		for pid, owners := range dd.replicas {
+			kept := owners[:0]
+			for _, w := range owners {
+				if w != dead {
+					kept = append(kept, w)
+				}
+			}
+			dd.replicas[pid] = kept
+		}
+		dd.mu.Unlock()
+	}
+}
+
+// rereplicate scans every dispatched partition and re-dispatches retained
+// payloads onto the least-loaded eligible live workers until each is back
+// at the configured replication factor (or no eligible worker remains —
+// then the next scan tries again). Dataset healing is what substitutes
+// for Spark recomputing lost RDD partitions from lineage.
+func (c *Coordinator) rereplicate() {
 	type healLoad struct {
 		dd      *dispatchedDataset
 		pid     int
 		payload *LoadArgs
 		target  int
 	}
-	c.mu.Lock()
-	dds := make([]*dispatchedDataset, 0, len(c.datasets))
-	for _, dd := range c.datasets {
-		dds = append(dds, dd)
-	}
-	c.mu.Unlock()
+	dds := c.lockedDatasets()
 	// Current load per worker, to place re-replicas evenly.
 	loads := make([]int, len(c.addrs))
 	for _, dd := range dds {
@@ -666,54 +738,41 @@ func (c *Coordinator) healWorker(dead int) {
 	for _, dd := range dds {
 		dd.mu.Lock()
 		for pid := range dd.replicas {
-			owners := dd.replicas[pid]
-			has := false
-			for _, w := range owners {
-				if w == dead {
-					has = true
-					break
-				}
-			}
-			if !has {
-				continue
-			}
-			kept := owners[:0]
-			for _, w := range owners {
-				if w != dead {
-					kept = append(kept, w)
-				} else {
-					loads[w]--
-				}
-			}
-			dd.replicas[pid] = kept
-			// Pick the least-loaded live worker not already a replica.
-			target := -1
-			for w := range c.addrs {
-				if w == dead || states[w] == Dead {
-					continue
-				}
-				already := false
-				for _, r := range kept {
-					if r == w {
-						already = true
-						break
+			owners := append([]int(nil), dd.replicas[pid]...)
+			for len(owners) < c.cfg.Replicas {
+				// Pick the least-loaded live worker not already a replica.
+				target := -1
+				for w := range c.addrs {
+					if states[w] == Dead {
+						continue
+					}
+					already := false
+					for _, r := range owners {
+						if r == w {
+							already = true
+							break
+						}
+					}
+					if already {
+						continue
+					}
+					if target < 0 || loads[w] < loads[target] {
+						target = w
 					}
 				}
-				if already {
-					continue
+				if target < 0 {
+					break
 				}
-				if target < 0 || loads[w] < loads[target] {
-					target = w
-				}
-			}
-			if target >= 0 && len(kept) < c.cfg.Replicas {
 				loads[target]++
+				owners = append(owners, target)
 				plan = append(plan, healLoad{dd: dd, pid: pid, payload: dd.parts[pid].payload, target: target})
 			}
 		}
 		dd.mu.Unlock()
 	}
 	// Ship the re-replicas outside the lock; register each on success.
+	// Concurrent scans (heartbeat loop + a manual CheckHealth) may race to
+	// heal the same partition, so registration re-checks under the lock.
 	var wg sync.WaitGroup
 	for _, h := range plan {
 		wg.Add(1)
@@ -721,11 +780,30 @@ func (c *Coordinator) healWorker(dead int) {
 			defer wg.Done()
 			var reply LoadReply
 			if err := c.clients[h.target].Call("Worker.Load", h.payload, &reply); err != nil {
-				return // next CheckHealth that buries a worker retries
+				return // retried on the next CheckHealth
 			}
 			h.dd.mu.Lock()
-			h.dd.replicas[h.pid] = append(h.dd.replicas[h.pid], h.target)
+			owners := h.dd.replicas[h.pid]
+			for _, w := range owners {
+				if w == h.target {
+					// A concurrent heal already registered this worker;
+					// our Load was an idempotent reload of its copy.
+					h.dd.mu.Unlock()
+					return
+				}
+			}
+			if len(owners) < c.cfg.Replicas {
+				h.dd.replicas[h.pid] = append(owners, h.target)
+				h.dd.mu.Unlock()
+				return
+			}
 			h.dd.mu.Unlock()
+			// A concurrent heal already restored full replication through
+			// other workers; drop the surplus copy.
+			var ur UnloadReply
+			c.clients[h.target].CallOnce("Worker.Unload",
+				&UnloadArgs{Dataset: h.payload.Dataset, Partition: h.payload.Partition}, &ur,
+				c.cfg.Retry.CallTimeout)
 		}(h)
 	}
 	wg.Wait()

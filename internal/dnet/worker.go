@@ -335,11 +335,18 @@ func (s *workerService) Fetch(args *FetchArgs, reply *FetchReply) error {
 	return nil
 }
 
+// peerUnreachablePrefix starts the error Ship returns when the
+// destination worker cannot be reached at the transport level. It
+// crosses the wire as the rpc.ServerError string, and the coordinator's
+// isPeerUnreachable matches it with an exact prefix check to pick
+// dst-side failover — keep the two in sync when rewording.
+const peerUnreachablePrefix = "dnet: peer unreachable: "
+
 // Ship implements the coordinator-directed shuffle: select this worker's
 // partition trajectories relevant to the destination partition, push them
 // to the destination worker's Join RPC, and relay the pairs back. A
 // transport-level failure reaching the peer is reported with the
-// peer-unreachable marker so the coordinator fails over to another
+// peer-unreachable prefix so the coordinator fails over to another
 // destination replica instead of another source replica.
 func (s *workerService) Ship(args *ShipArgs, reply *JoinReply) error {
 	if !s.w.beginRPC() {
@@ -372,7 +379,7 @@ func (s *workerService) Ship(args *ShipArgs, reply *JoinReply) error {
 	}
 	if err := mc.Call("Worker.Join", jargs, reply); err != nil {
 		if retryableError(err) {
-			return fmt.Errorf("dnet: %s %s: %v", peerUnreachableMark, args.DstAddr, err)
+			return fmt.Errorf("%s%s: %v", peerUnreachablePrefix, args.DstAddr, err)
 		}
 		return err
 	}
