@@ -1,10 +1,11 @@
 # DITA build/test entry points. `make check` is the CI gate: static
 # analysis plus the full test suite under the race detector (the dnet
-# chaos tests are required to be race-clean).
+# chaos tests are required to be race-clean), then a repeat run of the
+# chaos tests to shake out order-dependent flakes.
 
 GO ?= go
 
-.PHONY: build test race vet bench check
+.PHONY: build test race vet staticcheck chaos check soak bench
 
 build:
 	$(GO) build ./...
@@ -15,10 +16,31 @@ test:
 vet:
 	$(GO) vet ./...
 
+# staticcheck runs only when installed — the build environment is
+# offline, so the tool cannot be fetched on demand.
+staticcheck:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; skipping"; \
+	fi
+
 race:
 	$(GO) test -race ./...
+
+# Chaos tests re-run (-count=2 defeats the test cache) to catch failures
+# that only appear with state left over from a prior in-process run.
+chaos:
+	$(GO) test -race -run Chaos -count=2 ./...
 
 bench:
 	$(GO) test -bench=. -benchtime=1x ./...
 
-check: vet race
+check: vet staticcheck race chaos
+
+# 30-second soak: dita-net's cancelled-query churn workload against
+# in-process workers running under fault injection (-chaos). Exits
+# non-zero if any query fails with something other than a clean
+# lifecycle outcome (done / deadline / cancelled / overloaded).
+soak:
+	./scripts/soak.sh

@@ -16,18 +16,31 @@
 //
 // With -spawn N the workers are started in-process on loopback instead,
 // for a one-command demo.
+//
+// Query lifecycle flags: -deadline bounds each query (expiry is reported,
+// not fatal); -max-concurrent/-max-queue/-queue-timeout enable admission
+// control on the coordinator; SIGINT cancels the in-flight query and
+// stops the workload. -soak runs a cancelled-query churn workload for the
+// given duration instead of the normal benchmark — pair it with workers
+// started under -chaos to soak-test the failure paths.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
+	"math/rand"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 	"time"
 
 	"dita"
 	"dita/internal/dnet"
+	"dita/internal/traj"
 )
 
 func main() {
@@ -43,7 +56,18 @@ func main() {
 	replicas := flag.Int("replicas", 2, "partition replication factor (clamped to worker count)")
 	allowPartial := flag.Bool("allow-partial", false, "return partial results with a skip report when all replicas of a partition are down")
 	heartbeat := flag.Duration("heartbeat", 2*time.Second, "worker health-check interval (0 disables)")
+	deadline := flag.Duration("deadline", 0, "per-query deadline (0 = none); expiry cancels the query's remaining partition work")
+	maxConcurrent := flag.Int("max-concurrent", 0, "admission control: max concurrent queries on this coordinator (0 = unlimited)")
+	maxQueue := flag.Int("max-queue", 0, "admission control: queries allowed to wait for a slot beyond -max-concurrent")
+	queueTimeout := flag.Duration("queue-timeout", time.Second, "admission control: max wait for a slot before ErrOverloaded")
+	soak := flag.Duration("soak", 0, "run a cancelled-query churn workload for this long instead of the benchmark")
 	flag.Parse()
+
+	// SIGINT/SIGTERM cancel the context every query runs under, so an
+	// interrupt aborts the in-flight query (within one verification step)
+	// instead of waiting for it.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 
 	var addrs []string
 	var local []*dnet.Worker
@@ -76,6 +100,9 @@ func main() {
 	cfg.Replicas = *replicas
 	cfg.AllowPartial = *allowPartial
 	cfg.Health.Interval = *heartbeat
+	cfg.Admission.MaxConcurrent = *maxConcurrent
+	cfg.Admission.MaxQueue = *maxQueue
+	cfg.Admission.QueueTimeout = *queueTimeout
 	coord, err := dnet.Connect(addrs, cfg)
 	if err != nil {
 		fatal(err)
@@ -129,14 +156,35 @@ func main() {
 	}
 
 	qs := dita.Queries(data, *queries, *seed+1)
+
+	if *soak > 0 {
+		runSoak(ctx, coord, qs, *tau, *soak, *seed)
+		return
+	}
+
 	start = time.Now()
 	totalHits := 0
 	skippedParts := 0
+	expired := 0
+	ran := 0
 	for _, q := range qs {
-		hits, rep, err := coord.SearchPartial("trips", q, *tau)
-		if err != nil {
+		qctx, cancel := queryContext(ctx, *deadline)
+		hits, rep, err := coord.SearchPartialContext(qctx, "trips", q, *tau)
+		cancel()
+		switch {
+		case err == nil:
+		case ctx.Err() != nil:
+			fmt.Println("dita-net: interrupted, stopping workload")
+			return
+		case errors.Is(err, context.DeadlineExceeded):
+			expired++
+			continue
+		case errors.Is(err, dnet.ErrOverloaded):
+			fatal(fmt.Errorf("%w (a serial workload should never queue; lower -queries or raise -max-concurrent)", err))
+		default:
 			fatal(err)
 		}
+		ran++
 		if rep.Partial() {
 			skippedParts += len(rep.Skipped)
 		}
@@ -146,22 +194,102 @@ func main() {
 	if skippedParts > 0 {
 		fmt.Printf("partial results: %d partition probes skipped (replicas unreachable)\n", skippedParts)
 	}
-	fmt.Printf("search: %d queries at τ=%g in %v (%.2f ms/query, %.1f results/query)\n",
-		len(qs), *tau, elapsed.Round(time.Millisecond),
-		float64(elapsed.Microseconds())/1000/float64(len(qs)),
-		float64(totalHits)/float64(len(qs)))
+	if expired > 0 {
+		fmt.Printf("deadlines: %d/%d queries exceeded -deadline=%v\n", expired, len(qs), *deadline)
+	}
+	if ran > 0 {
+		fmt.Printf("search: %d queries at τ=%g in %v (%.2f ms/query, %.1f results/query)\n",
+			ran, *tau, elapsed.Round(time.Millisecond),
+			float64(elapsed.Microseconds())/1000/float64(ran),
+			float64(totalHits)/float64(ran))
+	}
 
 	if *doJoin {
 		if err := coord.Dispatch("trips2", data); err != nil {
 			fatal(err)
 		}
 		start = time.Now()
-		pairs, err := coord.Join("trips", "trips2", *tau)
-		if err != nil {
+		jctx, cancel := queryContext(ctx, *deadline)
+		pairs, rep, err := coord.JoinPartialContext(jctx, "trips", "trips2", *tau)
+		cancel()
+		switch {
+		case err == nil:
+		case ctx.Err() != nil:
+			fmt.Println("dita-net: interrupted, stopping workload")
+			return
+		case errors.Is(err, context.DeadlineExceeded):
+			fmt.Printf("join: deadline %v exceeded\n", *deadline)
+			return
+		default:
 			fatal(err)
+		}
+		if rep.Partial() {
+			fmt.Printf("join: partial — %d partition probes skipped\n", len(rep.Skipped))
 		}
 		fmt.Printf("self-join at τ=%g: %d pairs in %v\n",
 			*tau, len(pairs), time.Since(start).Round(time.Millisecond))
+	}
+}
+
+// queryContext derives the per-query context: the signal-cancelled parent
+// plus the optional -deadline.
+func queryContext(parent context.Context, d time.Duration) (context.Context, context.CancelFunc) {
+	if d <= 0 {
+		return context.WithCancel(parent)
+	}
+	return context.WithTimeout(parent, d)
+}
+
+// runSoak hammers the cluster with queries whose lifecycles are cut short
+// on purpose — tight deadlines and client-side cancellation — for dur,
+// counting how each one ended. Nothing here may crash or leak: run it
+// against workers started with -chaos to soak the combined failure paths.
+func runSoak(ctx context.Context, coord *dnet.Coordinator, qs []*traj.T, tau float64, dur time.Duration, seed int64) {
+	rng := rand.New(rand.NewSource(seed))
+	var completed, cancelled, expired, overloaded, failed, partial int
+	n := 0
+	fmt.Printf("soak: cancelled-query workload for %v\n", dur)
+	end := time.Now().Add(dur)
+	for time.Now().Before(end) && ctx.Err() == nil {
+		q := qs[n%len(qs)]
+		n++
+		qctx := ctx
+		cancel := context.CancelFunc(func() {})
+		switch n % 3 {
+		case 0:
+			// Tight deadline: often expires mid-fan-out.
+			qctx, cancel = context.WithTimeout(ctx, time.Duration(1+rng.Intn(20))*time.Millisecond)
+		case 1:
+			// Client-side cancel racing the query.
+			qctx, cancel = context.WithCancel(ctx)
+			go func(c context.CancelFunc, d time.Duration) {
+				time.Sleep(d)
+				c()
+			}(cancel, time.Duration(rng.Intn(10))*time.Millisecond)
+		}
+		_, rep, err := coord.SearchPartialContext(qctx, "trips", q, tau)
+		cancel()
+		switch {
+		case err == nil:
+			completed++
+			if rep.Partial() {
+				partial++
+			}
+		case errors.Is(err, context.DeadlineExceeded):
+			expired++
+		case errors.Is(err, context.Canceled):
+			cancelled++
+		case errors.Is(err, dnet.ErrOverloaded):
+			overloaded++
+		default:
+			failed++
+			fmt.Fprintf(os.Stderr, "soak: query %d: %v\n", n, err)
+		}
+	}
+	fmt.Printf("soak: %d queries — %d completed (%d partial), %d expired, %d cancelled, %d overloaded, %d failed\n",
+		n, completed, partial, expired, cancelled, overloaded, failed)
+	if failed > 0 {
+		os.Exit(1)
 	}
 }
 

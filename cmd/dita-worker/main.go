@@ -7,8 +7,10 @@
 //
 //	dita-worker -listen 127.0.0.1:7001
 //
-// On SIGINT/SIGTERM the worker drains: it stops accepting work, finishes
-// in-flight RPCs (up to -drain), then exits.
+// On SIGINT the worker first cancels in-flight queries (Search/Ship/Join
+// work aborts at its next cancellation check), then drains like SIGTERM:
+// stop accepting work, finish in-flight RPCs (up to -drain), exit. A
+// second signal forces an immediate close.
 //
 // Pair with cmd/dita-net (the coordinator CLI) or the dnet API.
 package main
@@ -47,9 +49,22 @@ func main() {
 	}
 	fmt.Printf("dita-worker listening on %s\n", addr)
 
-	sig := make(chan os.Signal, 1)
+	sig := make(chan os.Signal, 2)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	s := <-sig
+	if s == os.Interrupt {
+		// Interrupt means "stop what you're doing": abort queries in
+		// progress before the drain so the drain isn't spent waiting on
+		// work nobody wants anymore.
+		fmt.Println("dita-worker: interrupt, cancelling in-flight queries")
+		w.CancelInflight()
+	}
+	go func() {
+		s := <-sig
+		fmt.Fprintf(os.Stderr, "dita-worker: second %v, closing immediately\n", s)
+		w.Close()
+		os.Exit(1)
+	}()
 	fmt.Printf("dita-worker: %v, draining (max %v)\n", s, *drain)
 	if err := w.Shutdown(*drain); err != nil {
 		fmt.Fprintf(os.Stderr, "dita-worker: shutdown: %v\n", err)

@@ -34,6 +34,7 @@ package dita
 import (
 	"io"
 
+	"dita/internal/admit"
 	"dita/internal/cluster"
 	"dita/internal/core"
 	"dita/internal/dnet"
@@ -77,6 +78,10 @@ type (
 	SearchResult = core.SearchResult
 	// Pair is one join answer.
 	Pair = core.Pair
+	// SkipReport lists partitions a partial-tolerant query skipped.
+	SkipReport = core.SkipReport
+	// SkippedPartition attributes one skipped partition to its error.
+	SkippedPartition = core.SkippedPartition
 	// TrieConfig configures the local index.
 	TrieConfig = trie.Config
 	// Cluster is the simulated distributed substrate.
@@ -112,6 +117,17 @@ type (
 	// SQLResult is the outcome of a SQL statement.
 	SQLResult = sqlx.Result
 )
+
+// AdmissionPolicy bounds concurrent queries on a DB (DB.SetAdmission) or
+// a network-mode coordinator (NetConfig.Admission): MaxConcurrent run,
+// MaxQueue wait up to QueueTimeout for a slot, the rest fail fast with
+// ErrOverloaded.
+type AdmissionPolicy = admit.Policy
+
+// ErrOverloaded is returned (wrapped — test with errors.Is) when
+// admission control rejects a query because the system is at its
+// concurrency limit and the queue is full or the queue wait timed out.
+var ErrOverloaded = admit.ErrOverloaded
 
 // Data generation.
 type (

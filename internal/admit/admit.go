@@ -1,0 +1,130 @@
+// Package admit is a query admission controller: a bounded
+// concurrent-query semaphore with a configurable wait queue and queue
+// timeout. The SQL layer (internal/sqlx) and the network-mode coordinator
+// (internal/dnet) both gate query entry through it, so a burst of
+// expensive queries degrades into fast, typed ErrOverloaded rejections
+// instead of unbounded goroutine/memory growth — the role LocationSpark's
+// query scheduler plays for skewed spatial workloads.
+package admit
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"time"
+)
+
+// ErrOverloaded reports that the controller is saturated: every execution
+// slot is busy and the wait queue is full (or the queue wait timed out).
+// Callers should surface it verbatim so clients can distinguish overload
+// (retry later, shed load) from query failure.
+var ErrOverloaded = errors.New("admit: overloaded: concurrent query limit and queue are full")
+
+// Policy bounds concurrent query admission.
+type Policy struct {
+	// MaxConcurrent is the number of queries allowed to execute at once.
+	// <= 0 disables admission control entirely.
+	MaxConcurrent int
+	// MaxQueue is the number of queries allowed to wait for a slot beyond
+	// MaxConcurrent; a query arriving when the queue is full fails fast
+	// with ErrOverloaded. Default 0 (no queue: at-capacity arrivals fail
+	// immediately).
+	MaxQueue int
+	// QueueTimeout caps how long a queued query waits for a slot before
+	// giving up with ErrOverloaded (default 1s).
+	QueueTimeout time.Duration
+}
+
+func (p Policy) withDefaults() Policy {
+	if p.MaxQueue < 0 {
+		p.MaxQueue = 0
+	}
+	if p.QueueTimeout <= 0 {
+		p.QueueTimeout = time.Second
+	}
+	return p
+}
+
+// Controller is the admission gate. A nil *Controller admits everything,
+// so callers can hold one unconditionally and only construct it when a
+// policy is configured.
+type Controller struct {
+	policy Policy
+	slots  chan struct{}
+
+	mu      sync.Mutex
+	waiting int
+}
+
+// New builds a controller for the policy, or nil when the policy disables
+// admission control (MaxConcurrent <= 0).
+func New(p Policy) *Controller {
+	if p.MaxConcurrent <= 0 {
+		return nil
+	}
+	p = p.withDefaults()
+	return &Controller{policy: p, slots: make(chan struct{}, p.MaxConcurrent)}
+}
+
+// Acquire admits one query, blocking in the queue when all slots are
+// busy. It returns a release function that must be called exactly once
+// when the query finishes (it is safe to defer immediately). Errors:
+// ErrOverloaded when the queue is full or the queue wait times out,
+// ctx.Err() when the caller's context ends first.
+func (c *Controller) Acquire(ctx context.Context) (release func(), err error) {
+	if c == nil {
+		return func() {}, nil
+	}
+	// Fast path: a slot is free right now.
+	select {
+	case c.slots <- struct{}{}:
+		return c.releaseFn(), nil
+	default:
+	}
+	// Saturated: join the queue if it has room.
+	c.mu.Lock()
+	if c.waiting >= c.policy.MaxQueue {
+		c.mu.Unlock()
+		return nil, ErrOverloaded
+	}
+	c.waiting++
+	c.mu.Unlock()
+	defer func() {
+		c.mu.Lock()
+		c.waiting--
+		c.mu.Unlock()
+	}()
+	t := time.NewTimer(c.policy.QueueTimeout)
+	defer t.Stop()
+	select {
+	case c.slots <- struct{}{}:
+		return c.releaseFn(), nil
+	case <-t.C:
+		return nil, ErrOverloaded
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+func (c *Controller) releaseFn() func() {
+	var once sync.Once
+	return func() { once.Do(func() { <-c.slots }) }
+}
+
+// InFlight reports the number of currently admitted queries.
+func (c *Controller) InFlight() int {
+	if c == nil {
+		return 0
+	}
+	return len(c.slots)
+}
+
+// Waiting reports the number of queries currently queued for a slot.
+func (c *Controller) Waiting() int {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.waiting
+}

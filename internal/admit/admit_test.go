@@ -1,0 +1,164 @@
+package admit
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+// A nil controller (admission disabled) admits everything.
+func TestNilController(t *testing.T) {
+	var c *Controller
+	release, err := c.Acquire(context.Background())
+	if err != nil {
+		t.Fatalf("nil controller rejected: %v", err)
+	}
+	release()
+	if c.InFlight() != 0 || c.Waiting() != 0 {
+		t.Fatal("nil controller reported activity")
+	}
+	if New(Policy{}) != nil || New(Policy{MaxConcurrent: -3}) != nil {
+		t.Fatal("MaxConcurrent <= 0 should build a nil controller")
+	}
+}
+
+// With limit N and queue Q, query N+Q+1 fails fast with ErrOverloaded —
+// the acceptance shape from the issue.
+func TestOverloadedFailsFast(t *testing.T) {
+	c := New(Policy{MaxConcurrent: 2, MaxQueue: 1, QueueTimeout: time.Minute})
+	var releases []func()
+	for i := 0; i < 2; i++ {
+		release, err := c.Acquire(context.Background())
+		if err != nil {
+			t.Fatalf("query %d rejected below the limit: %v", i, err)
+		}
+		releases = append(releases, release)
+	}
+	// Query 3 occupies the single queue slot.
+	queued := make(chan error, 1)
+	go func() {
+		release, err := c.Acquire(context.Background())
+		if err == nil {
+			release()
+		}
+		queued <- err
+	}()
+	waitFor(t, func() bool { return c.Waiting() == 1 })
+	// Query 4 finds slots and queue full: immediate typed rejection.
+	start := time.Now()
+	_, err := c.Acquire(context.Background())
+	if !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("over-capacity acquire: err = %v, want ErrOverloaded", err)
+	}
+	if d := time.Since(start); d > time.Second {
+		t.Fatalf("rejection took %v, want fail-fast", d)
+	}
+	// Releasing a slot admits the queued query.
+	releases[0]()
+	if err := <-queued; err != nil {
+		t.Fatalf("queued query: %v", err)
+	}
+	releases[1]()
+}
+
+// A queued query gives up with ErrOverloaded after QueueTimeout.
+func TestQueueTimeout(t *testing.T) {
+	c := New(Policy{MaxConcurrent: 1, MaxQueue: 1, QueueTimeout: 50 * time.Millisecond})
+	release, err := c.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer release()
+	start := time.Now()
+	_, err = c.Acquire(context.Background())
+	if !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("queued acquire: err = %v, want ErrOverloaded", err)
+	}
+	if d := time.Since(start); d < 40*time.Millisecond || d > 5*time.Second {
+		t.Fatalf("queue wait was %v, want ~50ms", d)
+	}
+}
+
+// A queued query whose context ends first returns the context error, not
+// ErrOverloaded — the caller cancelled, the system is not to blame.
+func TestQueueCancellation(t *testing.T) {
+	c := New(Policy{MaxConcurrent: 1, MaxQueue: 1, QueueTimeout: time.Minute})
+	release, err := c.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer release()
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := c.Acquire(ctx)
+		done <- err
+	}()
+	waitFor(t, func() bool { return c.Waiting() == 1 })
+	cancel()
+	if err := <-done; !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled queue wait: err = %v, want context.Canceled", err)
+	}
+}
+
+// Release is idempotent and frees the slot for the next query.
+func TestReleaseIdempotent(t *testing.T) {
+	c := New(Policy{MaxConcurrent: 1})
+	release, err := c.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	release()
+	release() // double release must not free a slot twice
+	if got := c.InFlight(); got != 0 {
+		t.Fatalf("InFlight = %d after release", got)
+	}
+	r2, err := c.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r2()
+	if _, err := c.Acquire(context.Background()); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("slot double-freed: second acquire err = %v", err)
+	}
+}
+
+// Hammer the controller: InFlight never exceeds the limit.
+func TestConcurrentAcquireBound(t *testing.T) {
+	const limit = 4
+	c := New(Policy{MaxConcurrent: limit, MaxQueue: 64, QueueTimeout: time.Minute})
+	var wg sync.WaitGroup
+	for i := 0; i < 32; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			release, err := c.Acquire(context.Background())
+			if err != nil {
+				t.Errorf("acquire: %v", err)
+				return
+			}
+			if n := c.InFlight(); n > limit {
+				t.Errorf("InFlight = %d > limit %d", n, limit)
+			}
+			time.Sleep(time.Millisecond)
+			release()
+		}()
+	}
+	wg.Wait()
+	if c.InFlight() != 0 || c.Waiting() != 0 {
+		t.Fatalf("leaked: inflight=%d waiting=%d", c.InFlight(), c.Waiting())
+	}
+}
+
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition not reached in 5s")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

@@ -6,6 +6,7 @@
 package central
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"sort"
@@ -92,14 +93,25 @@ func (e *MBE) SizeBytes() int {
 
 // Search returns all trajectories within tau of q. stats may be nil.
 func (e *MBE) Search(q *traj.T, tau float64, stats *Stats) []Result {
+	out, _ := e.SearchContext(context.Background(), q, tau, stats)
+	return out
+}
+
+// SearchContext is Search with cancellation checked before each
+// trajectory's pruning-and-verification step, so an expired or cancelled
+// context aborts the scan within one exact-distance computation.
+func (e *MBE) SearchContext(ctx context.Context, q *traj.T, tau float64, stats *Stats) ([]Result, error) {
 	if q == nil || len(q.Points) == 0 {
-		return nil
+		return nil, ctx.Err()
 	}
 	qp := q.Points
 	q1, qn := qp[0], qp[len(qp)-1]
 	maxForm := e.m.Accumulation() == measure.AccumMax
 	var out []Result
 	for i, t := range e.trajs {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		// Endpoint bound against the whole-trajectory MBR.
 		d1, dn := e.mbrs[i].MinDist(q1), e.mbrs[i].MinDist(qn)
 		if maxForm {
@@ -130,7 +142,7 @@ func (e *MBE) Search(q *traj.T, tau float64, stats *Stats) []Result {
 		}
 	}
 	sort.Slice(out, func(a, b int) bool { return out[a].Traj.ID < out[b].Traj.ID })
-	return out
+	return out, nil
 }
 
 // envelopeLB computes the envelope lower bound, early-exiting once it
@@ -164,11 +176,21 @@ func envelopeLB(q []geom.Point, env []geom.MBR, maxForm bool, tau float64) float
 // Join computes the centralized similarity join by probing the index with
 // every left-side trajectory (Appendix C's join comparison).
 func (e *MBE) Join(left *traj.Dataset, tau float64) int {
+	pairs, _ := e.JoinContext(context.Background(), left, tau)
+	return pairs
+}
+
+// JoinContext is Join with cancellation checked throughout each probe.
+func (e *MBE) JoinContext(ctx context.Context, left *traj.Dataset, tau float64) (int, error) {
 	pairs := 0
 	for _, t := range left.Trajs {
-		pairs += len(e.Search(t, tau, nil))
+		res, err := e.SearchContext(ctx, t, tau, nil)
+		if err != nil {
+			return pairs, err
+		}
+		pairs += len(res)
 	}
-	return pairs
+	return pairs, nil
 }
 
 // VPTree is a vantage-point tree over trajectories under a metric
@@ -256,13 +278,24 @@ func (t *VPTree) SizeBytes() int { return 48 * t.n }
 // d - tau > radius, the outside when d + tau < radius. Every exact
 // distance evaluation is counted as a candidate.
 func (t *VPTree) Search(q *traj.T, tau float64, stats *Stats) []Result {
+	out, _ := t.SearchContext(context.Background(), q, tau, stats)
+	return out
+}
+
+// SearchContext is Search with cancellation checked before each node's
+// exact distance computation (the unit of work in a VP-tree descent).
+func (t *VPTree) SearchContext(ctx context.Context, q *traj.T, tau float64, stats *Stats) ([]Result, error) {
 	if q == nil || len(q.Points) == 0 {
-		return nil
+		return nil, ctx.Err()
 	}
 	var out []Result
+	var ctxErr error
 	var walk func(n *vpNode)
 	walk = func(n *vpNode) {
-		if n == nil {
+		if n == nil || ctxErr != nil {
+			return
+		}
+		if ctxErr = ctx.Err(); ctxErr != nil {
 			return
 		}
 		if stats != nil {
@@ -284,6 +317,9 @@ func (t *VPTree) Search(q *traj.T, tau float64, stats *Stats) []Result {
 		}
 	}
 	walk(t.root)
+	if ctxErr != nil {
+		return nil, ctxErr
+	}
 	sort.Slice(out, func(a, b int) bool { return out[a].Traj.ID < out[b].Traj.ID })
-	return out
+	return out, nil
 }

@@ -1,0 +1,73 @@
+package central
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"dita/internal/gen"
+	"dita/internal/measure"
+)
+
+// Both centralized baselines honor cancellation: an expired context
+// aborts the scan/descent promptly instead of finishing the query.
+func TestCentralSearchContextCancelled(t *testing.T) {
+	d := gen.Generate(gen.BeijingLike(400, 70))
+	q := gen.Queries(d, 1, 71)[0]
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+
+	mbe := NewMBE(d, measure.DTW{}, 0)
+	if _, err := mbe.SearchContext(ctx, q, 0.05, nil); !errors.Is(err, context.Canceled) {
+		t.Fatalf("MBE err = %v, want context.Canceled", err)
+	}
+	vp := NewVPTree(d, measure.Frechet{}, 1)
+	if _, err := vp.SearchContext(ctx, q, 0.05, nil); !errors.Is(err, context.Canceled) {
+		t.Fatalf("VP-tree err = %v, want context.Canceled", err)
+	}
+	if _, err := mbe.JoinContext(ctx, d, 0.05); !errors.Is(err, context.Canceled) {
+		t.Fatalf("MBE join err = %v, want context.Canceled", err)
+	}
+}
+
+// A deadline bounds the centralized join even when the full join would
+// take much longer.
+func TestCentralJoinDeadlinePrompt(t *testing.T) {
+	d := gen.Generate(gen.BeijingLike(1500, 72))
+	mbe := NewMBE(d, measure.DTW{}, 0)
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := mbe.JoinContext(ctx, d, 0.05)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Fatalf("expired join took %v, want < 1s", elapsed)
+	}
+}
+
+// The context variants agree with the legacy API when never cancelled.
+func TestCentralContextVariantsMatchLegacy(t *testing.T) {
+	d := gen.Generate(gen.BeijingLike(200, 73))
+	q := gen.Queries(d, 1, 74)[0]
+	mbe := NewMBE(d, measure.DTW{}, 0)
+	legacy := mbe.Search(q, 0.05, nil)
+	viaCtx, err := mbe.SearchContext(context.Background(), q, 0.05, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(legacy) != len(viaCtx) {
+		t.Fatalf("MBE: legacy %d results, ctx %d", len(legacy), len(viaCtx))
+	}
+	vp := NewVPTree(d, measure.Frechet{}, 1)
+	vLegacy := vp.Search(q, 0.05, nil)
+	vCtx, err := vp.SearchContext(context.Background(), q, 0.05, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vLegacy) != len(vCtx) {
+		t.Fatalf("VP-tree: legacy %d results, ctx %d", len(vLegacy), len(vCtx))
+	}
+}

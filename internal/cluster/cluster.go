@@ -27,8 +27,10 @@
 package cluster
 
 import (
+	"context"
 	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"time"
 )
@@ -96,13 +98,42 @@ type Task struct {
 	Fn func()
 }
 
+// TaskPanic is the error RunContext returns when a task panicked: the
+// worker is identified, the panic value preserved, and the stack captured
+// at recovery time. Engines translate it into per-partition skip reports.
+type TaskPanic struct {
+	Worker int
+	Value  any
+	Stack  []byte
+}
+
+func (e *TaskPanic) Error() string {
+	return fmt.Sprintf("cluster: task panic on worker %d: %v", e.Worker, e.Value)
+}
+
 // Run executes one stage: all tasks, grouped per worker; per-worker tasks
 // run sequentially, distinct workers in parallel. Run returns when every
 // task finished (the stage barrier) and adds the stage makespan to
-// Elapsed.
+// Elapsed. A task panic propagates on the caller's goroutine (crashing
+// semantics for legacy callers); lifecycle-aware callers use RunContext.
 func (c *Cluster) Run(tasks []Task) {
+	if err := c.RunContext(context.Background(), tasks); err != nil {
+		// Background contexts never cancel, so the only error is a panic;
+		// re-raise it where the caller can see it instead of killing the
+		// process from an anonymous worker goroutine.
+		panic(err)
+	}
+}
+
+// RunContext is Run with query-lifecycle control: every task runs under
+// recover() (the first panic is returned as a *TaskPanic after the stage
+// barrier), and a cancelled context stops workers from starting further
+// tasks — in-flight tasks finish (cooperative abort; pass the context
+// into the task closures to interrupt long-running work) and the stage
+// accounting stays consistent. Returns nil, ctx.Err(), or a *TaskPanic.
+func (c *Cluster) RunContext(ctx context.Context, tasks []Task) error {
 	if len(tasks) == 0 {
-		return
+		return ctx.Err()
 	}
 	perWorker := make([][]func(), c.cfg.Workers)
 	for _, t := range tasks {
@@ -112,6 +143,8 @@ func (c *Cluster) Run(tasks []Task) {
 		}
 		perWorker[w] = append(perWorker[w], t.Fn)
 	}
+	var panicMu sync.Mutex
+	var firstPanic *TaskPanic
 	// Physical parallelism is capped by the host; virtual clocks measure
 	// as if every worker had its own core.
 	sem := make(chan struct{}, maxParallel())
@@ -126,19 +159,42 @@ func (c *Cluster) Run(tasks []Task) {
 			sem <- struct{}{}
 			defer func() { <-sem }()
 			var busy time.Duration
+			ran := 0
 			for _, fn := range fns {
+				if ctx.Err() != nil {
+					break // cancelled: skip tasks not yet started
+				}
 				start := time.Now()
-				fn()
+				func() {
+					defer func() {
+						if r := recover(); r != nil {
+							panicMu.Lock()
+							if firstPanic == nil {
+								firstPanic = &TaskPanic{Worker: w, Value: r, Stack: debug.Stack()}
+							}
+							panicMu.Unlock()
+						}
+					}()
+					fn()
+				}()
 				busy += time.Since(start)
+				ran++
 			}
 			c.mu.Lock()
 			c.stage[w] += busy
-			c.tasks += int64(len(fns))
+			c.tasks += int64(ran)
 			c.mu.Unlock()
 		}(w, fns)
 	}
 	wg.Wait()
 	c.endStage()
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if firstPanic != nil {
+		return firstPanic
+	}
+	return nil
 }
 
 func maxParallel() int {

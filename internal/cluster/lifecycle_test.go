@@ -1,0 +1,102 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+)
+
+// A panicking task surfaces as a *TaskPanic after the stage barrier; the
+// other tasks still run (panic isolation, not stage abort).
+func TestRunContextPanicReturnsTaskPanic(t *testing.T) {
+	c := New(DefaultConfig(2))
+	var ran atomic.Int64
+	err := c.RunContext(context.Background(), []Task{
+		{Worker: 0, Fn: func() { panic("poisoned partition") }},
+		{Worker: 1, Fn: func() { ran.Add(1) }},
+	})
+	var tp *TaskPanic
+	if !errors.As(err, &tp) {
+		t.Fatalf("err = %v, want *TaskPanic", err)
+	}
+	if tp.Worker != 0 {
+		t.Errorf("panic attributed to worker %d, want 0", tp.Worker)
+	}
+	if tp.Value != "poisoned partition" {
+		t.Errorf("panic value = %v", tp.Value)
+	}
+	if len(tp.Stack) == 0 {
+		t.Error("stack not captured")
+	}
+	if ran.Load() != 1 {
+		t.Errorf("healthy task did not run (ran=%d)", ran.Load())
+	}
+}
+
+// Legacy Run keeps crashing semantics: the panic propagates on the
+// caller's goroutine instead of killing an anonymous worker goroutine.
+func TestRunRepanicsOnCallerGoroutine(t *testing.T) {
+	c := New(DefaultConfig(1))
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("Run swallowed the task panic")
+		}
+		if _, ok := r.(*TaskPanic); !ok {
+			t.Fatalf("recovered %T, want *TaskPanic", r)
+		}
+	}()
+	c.Run([]Task{{Worker: 0, Fn: func() { panic("boom") }}})
+}
+
+// Cancellation stops workers from starting further tasks: with a context
+// cancelled by the first task, the remaining tasks on that worker are
+// skipped and RunContext reports ctx.Err().
+func TestRunContextCancelSkipsUnstartedTasks(t *testing.T) {
+	c := New(DefaultConfig(1)) // one worker: tasks run sequentially
+	ctx, cancel := context.WithCancel(context.Background())
+	var ran atomic.Int64
+	err := c.RunContext(ctx, []Task{
+		{Worker: 0, Fn: func() { ran.Add(1); cancel() }},
+		{Worker: 0, Fn: func() { ran.Add(1) }},
+		{Worker: 0, Fn: func() { ran.Add(1) }},
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if got := ran.Load(); got != 1 {
+		t.Fatalf("ran %d tasks after cancellation, want 1", got)
+	}
+}
+
+// An already-cancelled context runs nothing.
+func TestRunContextPreCancelled(t *testing.T) {
+	c := New(DefaultConfig(2))
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var ran atomic.Int64
+	err := c.RunContext(ctx, []Task{
+		{Worker: 0, Fn: func() { ran.Add(1) }},
+		{Worker: 1, Fn: func() { ran.Add(1) }},
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if ran.Load() != 0 {
+		t.Fatalf("%d tasks ran under a dead context", ran.Load())
+	}
+}
+
+// Cancellation wins over a panic when both happen: the caller asked the
+// query to die; the panic is a side-show of work it no longer wants.
+func TestRunContextCancelBeatsPanic(t *testing.T) {
+	c := New(DefaultConfig(1))
+	ctx, cancel := context.WithCancel(context.Background())
+	err := c.RunContext(ctx, []Task{
+		{Worker: 0, Fn: func() { cancel(); panic("late panic") }},
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+	"fmt"
 	"math"
 	"math/rand"
 	"sort"
@@ -83,8 +85,41 @@ type edge struct {
 
 // Join computes the distributed similarity join T ⋈_τ Q between two built
 // engines sharing a cluster (Algorithm 3). Both sides must use the same
-// measure. stats may be nil.
+// measure. stats may be nil. A panic in an edge task propagates (legacy
+// crash semantics); lifecycle-aware callers use JoinContext.
 func (e *Engine) Join(other *Engine, tau float64, opts JoinOptions, stats *JoinStats) []Pair {
+	out, rep, err := e.JoinPartialContext(context.Background(), other, tau, opts, stats)
+	if err != nil {
+		panic(err) // unreachable with a background context
+	}
+	if rep.Partial() {
+		panic(rep.err("join"))
+	}
+	return out
+}
+
+// JoinContext is Join with query-lifecycle control: the context is checked
+// while building and orienting the bi-graph, during trajectory selection,
+// and between local-join verification steps; a panic on any edge task is
+// isolated and surfaces as an error instead of crashing the process.
+func (e *Engine) JoinContext(ctx context.Context, other *Engine, tau float64, opts JoinOptions, stats *JoinStats) ([]Pair, error) {
+	out, rep, err := e.JoinPartialContext(ctx, other, tau, opts, stats)
+	if err != nil {
+		return nil, err
+	}
+	if rep.Partial() {
+		return nil, rep.err("join")
+	}
+	return out, nil
+}
+
+// JoinPartialContext is JoinContext plus partial-result semantics: an
+// edge whose selection or local-join task panics is dropped and its
+// destination partition recorded in the SkipReport, while pairs from the
+// surviving edges are still returned. Cancellation is never partial: a
+// done context returns ctx.Err().
+func (e *Engine) JoinPartialContext(ctx context.Context, other *Engine, tau float64, opts JoinOptions, stats *JoinStats) ([]Pair, *SkipReport, error) {
+	report := &SkipReport{}
 	if opts.SampleRate <= 0 || opts.SampleRate > 1 {
 		opts.SampleRate = 0.05
 	}
@@ -96,20 +131,29 @@ func (e *Engine) Join(other *Engine, tau float64, opts JoinOptions, stats *JoinS
 		// => one candidate pair "costs" the same as 250 bytes on the wire.
 		opts.Lambda = 1.0 / 250.0
 	}
-	edges := e.buildBigraph(other, tau, opts)
+	edges, err := e.buildBigraph(ctx, other, tau, opts)
+	if err != nil {
+		return nil, report, err
+	}
 	if stats != nil {
 		stats.Edges = len(edges)
 	}
 	if len(edges) == 0 {
-		return nil
+		return nil, report, nil
 	}
-	flips := orient(edges, e, other, opts)
+	flips, err := orient(ctx, edges, e, other, opts)
+	if err != nil {
+		return nil, report, err
+	}
 	divisions := balance(edges, e, other, opts)
 	if stats != nil {
 		stats.Oriented = flips
 		stats.Divisions = divisions
 	}
-	pairs := e.executeJoin(other, tau, edges, stats)
+	pairs, err := e.executeJoin(ctx, other, tau, edges, stats, report)
+	if err != nil {
+		return nil, report, err
+	}
 	if stats != nil {
 		stats.Results = len(pairs)
 		stats.LoadRatio = e.cl.LoadRatio()
@@ -120,18 +164,22 @@ func (e *Engine) Join(other *Engine, tau float64, opts JoinOptions, stats *JoinS
 		}
 		return pairs[a].Q.ID < pairs[b].Q.ID
 	})
-	return pairs
+	return pairs, report, nil
 }
 
 // buildBigraph finds candidate partition pairs and estimates edge weights
-// by sampling (Section 6.2).
-func (e *Engine) buildBigraph(other *Engine, tau float64, opts JoinOptions) []*edge {
+// by sampling (Section 6.2). Cancellation is checked per candidate pair
+// (weight estimation runs trie searches, the expensive part).
+func (e *Engine) buildBigraph(ctx context.Context, other *Engine, tau float64, opts JoinOptions) ([]*edge, error) {
 	m := e.opts.Measure
 	anchored := m.AlignsEndpoints()
 	rng := rand.New(rand.NewSource(opts.Seed))
 	var edges []*edge
 	for ti, pt := range e.parts {
 		for qj, pq := range other.parts {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
 			if anchored {
 				// Partition-level pruning: the cheapest possible pair
 				// between the partitions must be within τ.
@@ -153,7 +201,7 @@ func (e *Engine) buildBigraph(other *Engine, tau float64, opts JoinOptions) []*e
 			edges = append(edges, ed)
 		}
 	}
-	return edges
+	return edges, nil
 }
 
 // estimateEdge samples both partitions to estimate trans and comp for both
@@ -237,8 +285,10 @@ func TrajRelevant(m measure.Measure, q []geom.Point, mbrF, mbrL geom.MBR, tau fl
 // total cost TC = λ·NC + CC (Section 6.2). The problem is NP-hard (graph
 // orientation); the greedy algorithm initializes each edge to its locally
 // cheaper direction and then repeatedly flips the best edge at the
-// current argmax partition. Returns the number of flips.
-func orient(edges []*edge, e, other *Engine, opts JoinOptions) int {
+// current argmax partition. Returns the number of flips. Cancellation is
+// checked once per greedy iteration (each iteration scans all edges at
+// the argmax node — O(edges²) total in the worst case).
+func orient(ctx context.Context, edges []*edge, e, other *Engine, opts JoinOptions) (int, error) {
 	λ := opts.Lambda
 	// Node cost arrays: T partitions then Q partitions.
 	nT := len(e.parts)
@@ -262,7 +312,7 @@ func orient(edges []*edge, e, other *Engine, opts JoinOptions) int {
 		apply(ed, +1)
 	}
 	if opts.DisableOrientation {
-		return 0
+		return 0, nil
 	}
 	byNode := make(map[int][]*edge)
 	for _, ed := range edges {
@@ -280,6 +330,9 @@ func orient(edges []*edge, e, other *Engine, opts JoinOptions) int {
 	}
 	flips := 0
 	for iter := 0; iter < 4*len(edges)+16; iter++ {
+		if err := ctx.Err(); err != nil {
+			return flips, err
+		}
 		node, worst := maxTC()
 		var bestEdge *edge
 		bestNew := worst
@@ -303,7 +356,7 @@ func orient(edges []*edge, e, other *Engine, opts JoinOptions) int {
 		apply(bestEdge, +1)
 		flips++
 	}
-	return flips
+	return flips, nil
 }
 
 // balance implements the division-based load balancing of Section 6.3:
@@ -407,8 +460,10 @@ func balance(edges []*edge, e, other *Engine, opts JoinOptions) int {
 // local joins (Algorithm 3 lines 4–9) in two stages: (1) on each sending
 // worker, select the trajectories that have candidates in the destination
 // partition via the global-index check; (2) shuffle them to the executing
-// worker and probe the destination's trie there.
-func (e *Engine) executeJoin(other *Engine, tau float64, edges []*edge, stats *JoinStats) []Pair {
+// worker and probe the destination's trie there. An edge whose task
+// panics is recorded in report (attributed to its destination partition)
+// and the other edges proceed.
+func (e *Engine) executeJoin(ctx context.Context, other *Engine, tau float64, edges []*edge, stats *JoinStats, report *SkipReport) ([]Pair, error) {
 	var mu sync.Mutex
 	var pairs []Pair
 	trajsSent, bytesSent, candPairs := 0, 0, 0
@@ -416,6 +471,7 @@ func (e *Engine) executeJoin(other *Engine, tau float64, edges []*edge, stats *J
 	type edgeState struct {
 		ed      *edge
 		shipped []int // indices into the source partition
+		err     error
 	}
 	states := make([]*edgeState, len(edges))
 	for i, ed := range edges {
@@ -425,14 +481,24 @@ func (e *Engine) executeJoin(other *Engine, tau float64, edges []*edge, stats *J
 		st := st
 		src, dst, dstEngine, _ := e.edgeSides(other, st.ed)
 		tasks = append(tasks, cluster.Task{Worker: src.Worker, Fn: func() {
+			defer func() {
+				if r := recover(); r != nil {
+					st.err = fmt.Errorf("panic: %v", r)
+				}
+			}()
 			for i, t := range src.Trajs {
+				if st.err = ctx.Err(); st.err != nil {
+					return
+				}
 				if dstEngine.trajRelevantToPartition(t, dst, tau) {
 					st.shipped = append(st.shipped, i)
 				}
 			}
 		}})
 	}
-	e.cl.Run(tasks)
+	if err := e.cl.RunContext(ctx, tasks); err != nil {
+		return nil, err
+	}
 
 	// Stage 2: shuffle + local join. If the executor is a replica worker
 	// (division balancing), the receiving partition's index+data transfer
@@ -441,7 +507,7 @@ func (e *Engine) executeJoin(other *Engine, tau float64, edges []*edge, stats *J
 	replicated := map[[2]int]bool{}
 	for _, st := range states {
 		st := st
-		if len(st.shipped) == 0 {
+		if st.err != nil || len(st.shipped) == 0 {
 			continue
 		}
 		src, dst, dstEngine, flip := e.edgeSides(other, st.ed)
@@ -460,20 +526,48 @@ func (e *Engine) executeJoin(other *Engine, tau float64, edges []*edge, stats *J
 			}
 		}
 		tasks = append(tasks, cluster.Task{Worker: st.ed.execWorker, Fn: func() {
-			local, cands := localJoin(dstEngine, dst, src, st.shipped, tau, flip)
+			defer func() {
+				if r := recover(); r != nil {
+					st.err = fmt.Errorf("panic: %v", r)
+				}
+			}()
+			local, cands, err := localJoin(ctx, dstEngine, dst, src, st.shipped, tau, flip)
+			if err != nil {
+				st.err = err
+				return
+			}
 			mu.Lock()
 			pairs = append(pairs, local...)
 			candPairs += cands
 			mu.Unlock()
 		}})
 	}
-	e.cl.Run(tasks)
+	if err := e.cl.RunContext(ctx, tasks); err != nil {
+		return nil, err
+	}
+	// Fold edge failures into the skip report, one entry per destination
+	// partition (several edges may target the same partition).
+	seen := map[int]bool{}
+	for _, st := range states {
+		if st.err == nil {
+			continue
+		}
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		_, dst, _, _ := e.edgeSides(other, st.ed)
+		if !seen[dst.ID] {
+			seen[dst.ID] = true
+			report.Skipped = append(report.Skipped,
+				SkippedPartition{Partition: dst.ID, Err: st.err.Error()})
+		}
+	}
 	if stats != nil {
 		stats.TrajsSent = trajsSent
 		stats.BytesSent = bytesSent
 		stats.CandPairs = candPairs
 	}
-	return pairs
+	return pairs, nil
 }
 
 // edgeSides resolves an edge's (source partition, destination partition,
@@ -496,20 +590,27 @@ func boolToInt(b bool) int {
 // localJoin probes dst's trie with each shipped trajectory (given as
 // indices into the source partition, whose precomputed metadata feeds the
 // verifier) and verifies candidates. flip=false: shipped are T-side, dst
-// holds Q-side.
-func localJoin(dstEngine *Engine, dst, src *Partition, shipped []int, tau float64, flip bool) ([]Pair, int) {
+// holds Q-side. Cancellation is checked inside each trie probe and before
+// every verification step.
+func localJoin(ctx context.Context, dstEngine *Engine, dst, src *Partition, shipped []int, tau float64, flip bool) ([]Pair, int, error) {
 	var out []Pair
 	cands := 0
 	m := dstEngine.opts.Measure
 	for _, si := range shipped {
 		t := src.Trajs[si]
-		idxs := dst.Index.Search(t.Points, m, tau, nil)
+		idxs, err := dst.Index.SearchContext(ctx, t.Points, m, tau, nil)
+		if err != nil {
+			return nil, cands, err
+		}
 		cands += len(idxs)
 		if len(idxs) == 0 {
 			continue
 		}
 		v := NewVerifierFromMeta(m, t.Points, tau, src.meta[si])
 		for _, i := range idxs {
+			if err := ctx.Err(); err != nil {
+				return nil, cands, err
+			}
 			d, ok := v.Verify(dst.Trajs[i], dst.meta[i])
 			if !ok {
 				continue
@@ -521,5 +622,5 @@ func localJoin(dstEngine *Engine, dst, src *Partition, shipped []int, tau float6
 			}
 		}
 	}
-	return out, cands
+	return out, cands, nil
 }

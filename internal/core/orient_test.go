@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -73,11 +74,11 @@ func TestOrientImproves(t *testing.T) {
 	}
 	// Initial local choice (what DisableOrientation keeps).
 	init := append([]*edge(nil), cloneEdges(edges)...)
-	orient(init, e1, e2, JoinOptions{Lambda: 1, DisableOrientation: true})
+	orient(context.Background(), init, e1, e2, JoinOptions{Lambda: 1, DisableOrientation: true})
 	initCost := maxTC(init, e1, e2, 1)
 
 	greedy := cloneEdges(edges)
-	orient(greedy, e1, e2, JoinOptions{Lambda: 1})
+	orient(context.Background(), greedy, e1, e2, JoinOptions{Lambda: 1})
 	greedyCost := maxTC(greedy, e1, e2, 1)
 
 	if greedyCost > initCost {
@@ -115,9 +116,9 @@ func TestOrientNeverWorsens(t *testing.T) {
 		}
 		lambda := rng.Float64() + 0.1
 		init := cloneEdges(edges)
-		orient(init, e1, e2, JoinOptions{Lambda: lambda, DisableOrientation: true})
+		orient(context.Background(), init, e1, e2, JoinOptions{Lambda: lambda, DisableOrientation: true})
 		greedy := cloneEdges(edges)
-		orient(greedy, e1, e2, JoinOptions{Lambda: lambda})
+		orient(context.Background(), greedy, e1, e2, JoinOptions{Lambda: lambda})
 		if maxTC(greedy, e1, e2, lambda) > maxTC(init, e1, e2, lambda)+1e-9 {
 			t.Fatalf("greedy worsened objective on iteration %d", iter)
 		}

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+	"fmt"
 	"sort"
 	"sync"
 
@@ -27,24 +29,84 @@ type SearchStats struct {
 	Results int
 }
 
+// SkippedPartition identifies one partition a partial query could not
+// complete, with the error (typically a recovered panic) that stopped it.
+type SkippedPartition struct {
+	Partition int
+	Err       string
+}
+
+// SkipReport lists exactly the partitions a query skipped because their
+// tasks failed (panicked). Empty means the result is complete.
+type SkipReport struct {
+	Skipped []SkippedPartition
+}
+
+// Partial reports whether anything was skipped.
+func (r *SkipReport) Partial() bool { return r != nil && len(r.Skipped) > 0 }
+
+func (r *SkipReport) err(op string) error {
+	s := r.Skipped[0]
+	return fmt.Errorf("core: %s: %d partition(s) failed (first: partition %d: %s)",
+		op, len(r.Skipped), s.Partition, s.Err)
+}
+
 // Search runs the distributed trajectory similarity search of Algorithm 2:
 // global pruning on the driver, a stage of local filter+verify tasks on
 // the workers owning the relevant partitions, then result collection at
-// the driver. stats may be nil.
+// the driver. stats may be nil. A panic in a partition task propagates
+// (legacy crash semantics); lifecycle-aware callers use SearchContext.
 func (e *Engine) Search(q *traj.T, tau float64, stats *SearchStats) []SearchResult {
+	out, rep, err := e.SearchPartialContext(context.Background(), q, tau, stats)
+	if err != nil {
+		panic(err) // unreachable with a background context
+	}
+	if rep.Partial() {
+		panic(rep.err("search"))
+	}
+	return out
+}
+
+// SearchContext is Search with query-lifecycle control: the context is
+// checked during global pruning, trie descent, and between verification
+// steps, so a cancelled or expired context aborts the query within one
+// verification step; a panic in any partition task is isolated and
+// surfaces as an error instead of crashing the process.
+func (e *Engine) SearchContext(ctx context.Context, q *traj.T, tau float64, stats *SearchStats) ([]SearchResult, error) {
+	out, rep, err := e.SearchPartialContext(ctx, q, tau, stats)
+	if err != nil {
+		return nil, err
+	}
+	if rep.Partial() {
+		return nil, rep.err("search")
+	}
+	return out, nil
+}
+
+// SearchPartialContext is SearchContext plus partial-result semantics: a
+// partition whose task panics is recorded in the returned SkipReport and
+// the hits from the surviving partitions are still returned — the
+// in-process analogue of the network mode's AllowPartial machinery.
+// Cancellation is never partial: a done context returns ctx.Err().
+func (e *Engine) SearchPartialContext(ctx context.Context, q *traj.T, tau float64, stats *SearchStats) ([]SearchResult, *SkipReport, error) {
+	report := &SkipReport{}
 	if q == nil || len(q.Points) == 0 {
-		return nil
+		return nil, report, ctx.Err()
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, report, err
 	}
 	rel := e.relevantPartitions(q.Points, tau)
 	if stats != nil {
 		stats.RelevantPartitions = len(rel)
 	}
 	if len(rel) == 0 {
-		return nil
+		return nil, report, nil
 	}
 	results := make([][]SearchResult, len(rel))
 	candCounts := make([]int, len(rel))
 	verCounts := make([]int, len(rel))
+	errs := make([]error, len(rel))
 	tasks := make([]cluster.Task, 0, len(rel))
 	const driver = 0
 	for i, pid := range rel {
@@ -52,12 +114,30 @@ func (e *Engine) Search(q *traj.T, tau float64, stats *SearchStats) []SearchResu
 		// The driver ships the query to the partition's worker.
 		e.cl.Transfer(driver, p.Worker, q.Bytes())
 		tasks = append(tasks, cluster.Task{Worker: p.Worker, Fn: func() {
-			results[i], candCounts[i], verCounts[i] = e.localSearch(p, q.Points, tau)
+			// Panic isolation: a poisoned partition (bad data, a bug in a
+			// measure) must not take down the whole query, let alone the
+			// process. The recovered panic becomes this partition's error.
+			defer func() {
+				if r := recover(); r != nil {
+					errs[i] = fmt.Errorf("panic: %v", r)
+				}
+			}()
+			results[i], candCounts[i], verCounts[i], errs[i] = e.localSearchContext(ctx, p, q.Points, tau)
 		}})
 	}
-	e.cl.Run(tasks)
+	if err := e.cl.RunContext(ctx, tasks); err != nil {
+		return nil, report, err
+	}
 	var out []SearchResult
 	for i, r := range results {
+		if errs[i] != nil {
+			if ctxErr := ctx.Err(); ctxErr != nil {
+				return nil, report, ctxErr
+			}
+			report.Skipped = append(report.Skipped,
+				SkippedPartition{Partition: rel[i], Err: errs[i].Error()})
+			continue
+		}
 		out = append(out, r...)
 		if len(r) > 0 {
 			// Results ship back to the driver.
@@ -76,7 +156,7 @@ func (e *Engine) Search(q *traj.T, tau float64, stats *SearchStats) []SearchResu
 		stats.Results = len(out)
 	}
 	sort.Slice(out, func(a, b int) bool { return out[a].Traj.ID < out[b].Traj.ID })
-	return out
+	return out, report, nil
 }
 
 // SearchBatch runs many queries in one cluster stage, modelling the
@@ -116,16 +196,31 @@ func (e *Engine) SearchBatch(qs []*traj.T, tau float64) [][]SearchResult {
 // localSearch runs one partition's trie filter and verification cascade
 // and returns (results, candidateCount, verifiedCount).
 func (e *Engine) localSearch(p *Partition, q []geom.Point, tau float64) ([]SearchResult, int, int) {
-	cands := p.Index.Search(q, e.opts.Measure, tau, nil)
+	out, cands, verified, _ := e.localSearchContext(context.Background(), p, q, tau)
+	return out, cands, verified
+}
+
+// localSearchContext is localSearch with cancellation checked inside the
+// trie descent and before every verification step ("one verification
+// step" — a single threshold-distance computation — is the abort
+// granularity).
+func (e *Engine) localSearchContext(ctx context.Context, p *Partition, q []geom.Point, tau float64) ([]SearchResult, int, int, error) {
+	cands, err := p.Index.SearchContext(ctx, q, e.opts.Measure, tau, nil)
+	if err != nil {
+		return nil, 0, 0, err
+	}
 	if len(cands) == 0 {
-		return nil, 0, 0
+		return nil, 0, 0, nil
 	}
 	v := NewVerifier(e.opts.Measure, q, tau, e.cellD)
 	var out []SearchResult
 	for _, i := range cands {
+		if err := ctx.Err(); err != nil {
+			return nil, len(cands), v.Verified, err
+		}
 		if d, ok := v.Verify(p.Trajs[i], p.meta[i]); ok {
 			out = append(out, SearchResult{Traj: p.Trajs[i], Distance: d})
 		}
 	}
-	return out, len(cands), v.Verified
+	return out, len(cands), v.Verified, nil
 }

@@ -1,6 +1,7 @@
 package dnet
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -133,22 +134,38 @@ func (mc *managedClient) discard(cl *rpc.Client) {
 
 // do runs one attempt with the per-attempt deadline.
 func (mc *managedClient) do(cl *rpc.Client, method string, args, reply any, timeout time.Duration) error {
-	if timeout <= 0 {
+	return mc.doContext(context.Background(), cl, method, args, reply, timeout)
+}
+
+// doContext runs one attempt bounded by both the per-attempt deadline and
+// the caller's context. A deadline expiry tears the connection down (the
+// pending call errors out immediately, and waiting for it guarantees
+// net/rpc is done touching reply before a retry reuses it). A context
+// cancellation instead *abandons* the call: the shared connection stays up
+// for other in-flight queries, the pending call completes into a reply
+// nobody reads (rpc.Go's buffered done channel means no goroutine is
+// parked on it), and server-side work is bounded by the wire-level
+// deadline the coordinator stamped on the request.
+func (mc *managedClient) doContext(ctx context.Context, cl *rpc.Client, method string, args, reply any, timeout time.Duration) error {
+	if timeout <= 0 && ctx.Done() == nil {
 		return cl.Call(method, args, reply)
 	}
 	call := cl.Go(method, args, reply, make(chan *rpc.Call, 1))
-	t := time.NewTimer(timeout)
-	defer t.Stop()
+	var tc <-chan time.Time
+	if timeout > 0 {
+		t := time.NewTimer(timeout)
+		defer t.Stop()
+		tc = t.C
+	}
 	select {
 	case <-call.Done:
 		return call.Error
-	case <-t.C:
-		// Tear the connection down: the pending call errors out
-		// immediately, and waiting for it guarantees net/rpc is done
-		// touching reply before a retry reuses it.
+	case <-tc:
 		mc.discard(cl)
 		<-call.Done
 		return &timeoutError{method: method, addr: mc.addr, d: timeout}
+	case <-ctx.Done():
+		return ctx.Err()
 	}
 }
 
@@ -170,11 +187,34 @@ func (mc *managedClient) backoff(attempt int) time.Duration {
 // attempts so a partially-decoded response from a severed connection
 // cannot leak into the retry's result.
 func (mc *managedClient) Call(method string, args, reply any) error {
+	return mc.CallContext(context.Background(), method, args, reply)
+}
+
+// CallContext is Call under query-lifecycle control: a cancelled or
+// expired context is never retried (a dead query must not consume retry
+// attempts or backoff sleeps), backoff sleeps abort on cancellation, and
+// the per-attempt deadline shrinks to the context's remaining time so an
+// attempt can't outlive the query it serves.
+func (mc *managedClient) CallContext(ctx context.Context, method string, args, reply any) error {
 	var lastErr error
 	for attempt := 0; attempt < mc.policy.MaxAttempts; attempt++ {
 		if attempt > 0 {
-			time.Sleep(mc.backoff(attempt))
+			if err := sleepContext(ctx, mc.backoff(attempt)); err != nil {
+				return err
+			}
 			zeroReply(reply)
+		}
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		timeout := mc.policy.CallTimeout
+		if dl, ok := ctx.Deadline(); ok {
+			if rem := time.Until(dl); rem < timeout {
+				timeout = rem
+			}
+			if timeout <= 0 {
+				return context.DeadlineExceeded
+			}
 		}
 		cl, err := mc.connect()
 		if err != nil {
@@ -184,9 +224,12 @@ func (mc *managedClient) Call(method string, args, reply any) error {
 			lastErr = err
 			continue
 		}
-		err = mc.do(cl, method, args, reply, mc.policy.CallTimeout)
+		err = mc.doContext(ctx, cl, method, args, reply, timeout)
 		if err == nil {
 			return nil
+		}
+		if ctx.Err() != nil {
+			return err
 		}
 		if !retryableError(err) {
 			return err
@@ -196,6 +239,22 @@ func (mc *managedClient) Call(method string, args, reply any) error {
 	}
 	return fmt.Errorf("dnet: %s to %s failed after %d attempts: %w",
 		method, mc.addr, mc.policy.MaxAttempts, lastErr)
+}
+
+// sleepContext sleeps for d unless the context ends first.
+func sleepContext(ctx context.Context, d time.Duration) error {
+	if ctx.Done() == nil {
+		time.Sleep(d)
+		return nil
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
 }
 
 // CallOnce is a single attempt with an explicit deadline and no retry —

@@ -1,6 +1,7 @@
 package dnet
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"net/rpc"
@@ -9,6 +10,7 @@ import (
 	"sync"
 	"time"
 
+	"dita/internal/admit"
 	"dita/internal/core"
 	"dita/internal/geom"
 	"dita/internal/measure"
@@ -44,7 +46,15 @@ type Config struct {
 	Retry RetryPolicy
 	// Health configures the failure detector and optional heartbeat loop.
 	Health HealthPolicy
+	// Admission bounds concurrent Search/Join queries; the zero value
+	// (MaxConcurrent <= 0) admits everything. Saturation returns
+	// ErrOverloaded instead of queueing work without bound.
+	Admission admit.Policy
 }
+
+// ErrOverloaded is returned by Search/Join when the admission controller
+// is saturated (all slots busy and the wait queue full or timed out).
+var ErrOverloaded = admit.ErrOverloaded
 
 // DefaultNetConfig mirrors core.DefaultOptions for the network mode.
 func DefaultNetConfig() Config {
@@ -89,6 +99,7 @@ type Coordinator struct {
 	pings  []*managedClient
 	addrs  []string
 	health *healthTracker
+	adm    *admit.Controller
 
 	hbStop   chan struct{}
 	hbOnce   sync.Once
@@ -150,6 +161,7 @@ func Connect(addrs []string, cfg Config) (*Coordinator, error) {
 		m:        m,
 		addrs:    addrs,
 		health:   newHealthTracker(len(addrs), cfg.Health),
+		adm:      admit.New(cfg.Admission),
 		hbStop:   make(chan struct{}),
 		datasets: map[string]*dispatchedDataset{},
 	}
@@ -391,7 +403,16 @@ func (c *Coordinator) relevantPartitions(dd *dispatchedDataset, q []geom.Point, 
 // AllowPartial unreachable partitions are skipped (SearchPartial exposes
 // the report), otherwise they fail the query.
 func (c *Coordinator) Search(name string, q *traj.T, tau float64) ([]SearchHit, error) {
-	hits, _, err := c.SearchPartial(name, q, tau)
+	hits, _, err := c.SearchPartialContext(context.Background(), name, q, tau)
+	return hits, err
+}
+
+// SearchContext is Search under query-lifecycle control: the query passes
+// admission control, a cancelled context aborts remaining replica
+// attempts and drains the fan-out, and a context deadline travels to the
+// workers in-band so remote work stops when the query's budget runs out.
+func (c *Coordinator) SearchContext(ctx context.Context, name string, q *traj.T, tau float64) ([]SearchHit, error) {
+	hits, _, err := c.SearchPartialContext(ctx, name, q, tau)
 	return hits, err
 }
 
@@ -399,10 +420,37 @@ func (c *Coordinator) Search(name string, q *traj.T, tau float64) ([]SearchHit, 
 // report lists exactly the partitions whose every replica was
 // unreachable. Without AllowPartial a non-empty report is an error.
 func (c *Coordinator) SearchPartial(name string, q *traj.T, tau float64) ([]SearchHit, *PartialReport, error) {
+	return c.SearchPartialContext(context.Background(), name, q, tau)
+}
+
+// remainingMillis converts a context deadline into the in-band budget
+// stamped on worker calls; 0 means unbounded. An already-expired deadline
+// still sends 1ms — the caller's next ctx check aborts before the call.
+func remainingMillis(ctx context.Context) int64 {
+	dl, ok := ctx.Deadline()
+	if !ok {
+		return 0
+	}
+	rem := time.Until(dl).Milliseconds()
+	if rem < 1 {
+		rem = 1
+	}
+	return rem
+}
+
+// SearchPartialContext is SearchContext plus the partial-result report.
+// Cancellation is never partial: a done context fails the query with
+// ctx.Err() after the fan-out goroutines drain.
+func (c *Coordinator) SearchPartialContext(ctx context.Context, name string, q *traj.T, tau float64) ([]SearchHit, *PartialReport, error) {
 	report := &PartialReport{}
 	if q == nil || len(q.Points) == 0 {
-		return nil, report, nil
+		return nil, report, ctx.Err()
 	}
+	release, err := c.adm.Acquire(ctx)
+	if err != nil {
+		return nil, report, err
+	}
+	defer release()
 	dd, err := c.dataset(name)
 	if err != nil {
 		return nil, report, err
@@ -418,9 +466,23 @@ func (c *Coordinator) SearchPartial(name string, q *traj.T, tau float64) ([]Sear
 			args := &SearchArgs{Dataset: name, Partition: pid, Query: q.Points, Tau: tau}
 			var lastErr error
 			for _, w := range c.replicaOrder(dd, pid) {
-				replies[i] = SearchReply{}
-				if err := c.clients[w].Call("Worker.Search", args, &replies[i]); err != nil {
+				// A dead query must not burn failover attempts: the check
+				// runs before every replica, so deadline expiry on one
+				// worker cancels the remaining attempts instead of
+				// retrying them.
+				if err := ctx.Err(); err != nil {
 					lastErr = err
+					break
+				}
+				args.TimeoutMillis = remainingMillis(ctx)
+				replies[i] = SearchReply{}
+				if err := c.clients[w].CallContext(ctx, "Worker.Search", args, &replies[i]); err != nil {
+					lastErr = err
+					if ctx.Err() != nil {
+						// Cancelled mid-call: not the worker's fault, so
+						// no health verdict either way.
+						break
+					}
 					if retryableError(err) {
 						c.health.failure(w, false)
 					} else {
@@ -443,6 +505,9 @@ func (c *Coordinator) SearchPartial(name string, q *traj.T, tau float64) ([]Sear
 		}(i, pid)
 	}
 	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, report, err
+	}
 	var out []SearchHit
 	for i := range rel {
 		if skipped[i] != nil {
@@ -479,7 +544,15 @@ func isPeerUnreachable(err error) bool {
 // in-process engine). Replica failover applies on both ends of each
 // shipment.
 func (c *Coordinator) Join(left, right string, tau float64) ([]WirePair, error) {
-	pairs, _, err := c.JoinPartial(left, right, tau)
+	pairs, _, err := c.JoinPartialContext(context.Background(), left, right, tau)
+	return pairs, err
+}
+
+// JoinContext is Join under query-lifecycle control: admission, prompt
+// cancellation of the per-edge fan-out, and deadline propagation through
+// both hops of each shipment (source selection and destination join).
+func (c *Coordinator) JoinContext(ctx context.Context, left, right string, tau float64) ([]WirePair, error) {
+	pairs, _, err := c.JoinPartialContext(ctx, left, right, tau)
 	return pairs, err
 }
 
@@ -487,7 +560,19 @@ func (c *Coordinator) Join(left, right string, tau float64) ([]WirePair, error) 
 // name exactly the partitions whose every replica was unreachable for
 // some shipment. Without AllowPartial a non-empty report is an error.
 func (c *Coordinator) JoinPartial(left, right string, tau float64) ([]WirePair, *PartialReport, error) {
+	return c.JoinPartialContext(context.Background(), left, right, tau)
+}
+
+// JoinPartialContext is JoinContext plus the partial-result report.
+// Cancellation is never partial: a done context fails the join with
+// ctx.Err() after the fan-out goroutines drain.
+func (c *Coordinator) JoinPartialContext(ctx context.Context, left, right string, tau float64) ([]WirePair, *PartialReport, error) {
 	report := &PartialReport{}
+	release, err := c.adm.Acquire(ctx)
+	if err != nil {
+		return nil, report, err
+	}
+	defer release()
 	lt, err := c.dataset(left)
 	if err != nil {
 		return nil, report, err
@@ -550,16 +635,30 @@ func (c *Coordinator) JoinPartial(left, right string, tau float64) ([]WirePair, 
 			var lastErr error
 			srcReached := false
 			for _, sw := range c.replicaOrder(srcDD, ed.src) {
+				if err := ctx.Err(); err != nil {
+					lastErr = err
+					break
+				}
 				dstDown := false
 				for _, dw := range c.replicaOrder(dstDD, ed.dst) {
+					// Same rule as the search fan-out: a dead query stops
+					// consuming replica attempts immediately.
+					if err := ctx.Err(); err != nil {
+						lastErr = err
+						break
+					}
 					args.DstAddr = c.addrs[dw]
+					args.TimeoutMillis = remainingMillis(ctx)
 					replies[i] = JoinReply{}
-					err := c.clients[sw].Call("Worker.Ship", args, &replies[i])
+					err := c.clients[sw].CallContext(ctx, "Worker.Ship", args, &replies[i])
 					if err == nil {
 						c.health.success(sw)
 						return
 					}
 					lastErr = err
+					if ctx.Err() != nil {
+						break
+					}
 					if isPeerUnreachable(err) {
 						// The src worker answered; the dst replica is
 						// down. Try the next dst replica.
@@ -607,6 +706,9 @@ func (c *Coordinator) JoinPartial(left, right string, tau float64) ([]WirePair, 
 		}(i, ed)
 	}
 	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, report, err
+	}
 	var pairs []WirePair
 	seen := map[SkippedPartition]bool{}
 	for i := range edges {

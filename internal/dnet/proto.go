@@ -64,6 +64,11 @@ type SearchArgs struct {
 	Partition int
 	Query     []geom.Point
 	Tau       float64
+	// TimeoutMillis is the query's remaining deadline budget when the
+	// coordinator issued the call; the worker bounds its trie descent and
+	// verification loop by it. 0 means no deadline. (net/rpc has no
+	// cancellation channel, so the deadline travels in-band.)
+	TimeoutMillis int64
 }
 
 // SearchHit is one search answer (the data stays on the worker; the
@@ -110,6 +115,10 @@ type ShipArgs struct {
 	Tau              float64
 	// Flip: the shipped side is the Q side (pairs come back reversed).
 	Flip bool
+	// TimeoutMillis bounds the whole shipment (selection + peer join);
+	// the remaining budget is forwarded to the destination's Join call.
+	// 0 means no deadline.
+	TimeoutMillis int64
 }
 
 // JoinArgs is the worker-to-worker shipment: probe the destination
@@ -120,6 +129,8 @@ type JoinArgs struct {
 	Trajs     []WireTrajectory
 	Tau       float64
 	Flip      bool
+	// TimeoutMillis bounds the local join; 0 means no deadline.
+	TimeoutMillis int64
 }
 
 // WirePair is one join result.

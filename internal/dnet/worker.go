@@ -1,6 +1,7 @@
 package dnet
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"net"
@@ -44,6 +45,12 @@ type Worker struct {
 	// production.
 	FaultInjection *FaultPlan
 
+	// searchHook, when set (tests only), runs at the start of every
+	// Search RPC — panic injection and admission-blocking both hang off
+	// it. It runs inside the handler's recover, so a panicking hook
+	// exercises exactly the production containment path.
+	searchHook func(*SearchArgs)
+
 	lis  net.Listener
 	srv  *rpc.Server
 	done chan struct{}
@@ -60,6 +67,12 @@ type Worker struct {
 	draining bool
 	inflight int
 	idle     chan struct{}
+
+	// queryMu guards the base context query deadlines derive from;
+	// CancelInflight swaps it to abort everything currently executing.
+	queryMu     sync.Mutex
+	queryBase   context.Context
+	queryCancel context.CancelFunc
 }
 
 type partKey struct {
@@ -77,11 +90,27 @@ type workerPartition struct {
 
 // NewWorker creates an unstarted worker.
 func NewWorker() *Worker {
-	return &Worker{
+	w := &Worker{
 		parts: map[partKey]*workerPartition{},
 		done:  make(chan struct{}),
 		conns: map[net.Conn]struct{}{},
 	}
+	w.queryBase, w.queryCancel = context.WithCancel(context.Background())
+	return w
+}
+
+// CancelInflight aborts every query currently executing on this worker:
+// Search/Ship/Join work in progress observes cancellation at its next
+// check (one trie step or one verification) and returns a context error
+// over the wire. New queries are unaffected — the base context is swapped
+// before the old one is cancelled — so a SIGINT-style "cancel what's
+// running, then drain" sequence doesn't poison retries.
+func (w *Worker) CancelInflight() {
+	w.queryMu.Lock()
+	cancel := w.queryCancel
+	w.queryBase, w.queryCancel = context.WithCancel(context.Background())
+	w.queryMu.Unlock()
+	cancel()
 }
 
 // Serve starts listening on addr (host:port; port 0 picks a free port) and
@@ -208,6 +237,34 @@ type workerService struct {
 	w *Worker
 }
 
+// rpcRecover converts a handler panic into an application error. It
+// crosses the wire as an rpc.ServerError, which the coordinator already
+// treats as proof of life (the worker answered; this partition's work
+// exploded), so a poisoned partition flows into replica failover and the
+// AllowPartial skip report instead of killing the worker process — net/rpc
+// would otherwise let the panic unwind ServeConn's goroutine and crash us.
+func rpcRecover(op string, errp *error) {
+	if r := recover(); r != nil {
+		*errp = fmt.Errorf("dnet: %s panic: %v", op, r)
+	}
+}
+
+// queryCtx turns the in-band deadline budget stamped by the coordinator
+// into a context bounding the handler's work. net/rpc has no cancellation
+// signal, so a client that abandons a call cannot reach us — the deadline
+// is what keeps server-side work from running unbounded after the query
+// died. The context derives from the worker's cancellable base so
+// CancelInflight reaches queries with no deadline too.
+func (w *Worker) queryCtx(timeoutMillis int64) (context.Context, context.CancelFunc) {
+	w.queryMu.Lock()
+	base := w.queryBase
+	w.queryMu.Unlock()
+	if timeoutMillis <= 0 {
+		return base, func() {}
+	}
+	return context.WithTimeout(base, time.Duration(timeoutMillis)*time.Millisecond)
+}
+
 // Ping implements the heartbeat probe. A draining worker fails it so
 // coordinators route around the node before it disappears.
 func (s *workerService) Ping(args *PingArgs, reply *PingReply) error {
@@ -224,11 +281,12 @@ func (s *workerService) Ping(args *PingArgs, reply *PingReply) error {
 // Load implements the LoadPartition RPC: store and index a partition.
 // Reloading the same (dataset, partition) replaces it, which makes
 // coordinator retries and re-replication idempotent.
-func (s *workerService) Load(args *LoadArgs, reply *LoadReply) error {
+func (s *workerService) Load(args *LoadArgs, reply *LoadReply) (err error) {
 	if !s.w.beginRPC() {
 		return errDraining
 	}
 	defer s.w.endRPC()
+	defer rpcRecover("load", &err)
 	m, err := measure.ByName(args.Measure.Name, args.Measure.Eps, args.Measure.Delta)
 	if err != nil {
 		return err
@@ -289,21 +347,42 @@ func (s *workerService) partition(dataset string, id int) (*workerPartition, err
 	return p, nil
 }
 
-// Search implements the per-partition threshold search RPC.
-func (s *workerService) Search(args *SearchArgs, reply *SearchReply) error {
+// Search implements the per-partition threshold search RPC. Work is
+// bounded by the query's in-band deadline (checked inside the trie
+// descent and before every verification), and a panic anywhere in the
+// pipeline is contained to this call.
+func (s *workerService) Search(args *SearchArgs, reply *SearchReply) (err error) {
 	if !s.w.beginRPC() {
 		return errDraining
 	}
 	defer s.w.endRPC()
+	defer rpcRecover("search", &err)
 	s.w.searchCalls.Add(1)
+	// The query context is derived before the hook so a hook that stalls
+	// (admission tests) models work happening inside an already-admitted
+	// query — CancelInflight then reaches it like any other in-flight work.
+	ctx, cancel := s.w.queryCtx(args.TimeoutMillis)
+	defer cancel()
+	if s.w.searchHook != nil {
+		s.w.searchHook(args)
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	p, err := s.partition(args.Dataset, args.Partition)
 	if err != nil {
 		return err
 	}
-	cands := p.index.Search(args.Query, p.m, args.Tau, nil)
+	cands, err := p.index.SearchContext(ctx, args.Query, p.m, args.Tau, nil)
+	if err != nil {
+		return err
+	}
 	reply.Candidates = len(cands)
 	v := core.NewVerifier(p.m, args.Query, args.Tau, p.cellD)
 	for _, i := range cands {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		if d, ok := v.Verify(p.trajs[i], p.meta[i]); ok {
 			reply.Hits = append(reply.Hits, SearchHit{ID: p.trajs[i].ID, Distance: d})
 		}
@@ -348,17 +427,23 @@ const peerUnreachablePrefix = "dnet: peer unreachable: "
 // transport-level failure reaching the peer is reported with the
 // peer-unreachable prefix so the coordinator fails over to another
 // destination replica instead of another source replica.
-func (s *workerService) Ship(args *ShipArgs, reply *JoinReply) error {
+func (s *workerService) Ship(args *ShipArgs, reply *JoinReply) (err error) {
 	if !s.w.beginRPC() {
 		return errDraining
 	}
 	defer s.w.endRPC()
+	defer rpcRecover("ship", &err)
 	p, err := s.partition(args.SrcDataset, args.SrcPartition)
 	if err != nil {
 		return err
 	}
+	ctx, cancel := s.w.queryCtx(args.TimeoutMillis)
+	defer cancel()
 	var shipped []WireTrajectory
 	for _, t := range p.trajs {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		if core.TrajRelevant(p.m, t.Points, args.DstMBRf, args.DstMBRl, args.Tau) {
 			shipped = append(shipped, WireTrajectory{ID: t.ID, Points: t.Points})
 		}
@@ -377,7 +462,23 @@ func (s *workerService) Ship(args *ShipArgs, reply *JoinReply) error {
 		Tau:       args.Tau,
 		Flip:      args.Flip,
 	}
-	if err := mc.Call("Worker.Join", jargs, reply); err != nil {
+	// Forward the remaining deadline budget to the peer's local join, and
+	// bound our own wait on it (CallContext shrinks the per-attempt
+	// timeout to the context's remaining time).
+	if dl, ok := ctx.Deadline(); ok {
+		rem := time.Until(dl).Milliseconds()
+		if rem < 1 {
+			rem = 1
+		}
+		jargs.TimeoutMillis = rem
+	}
+	if err := mc.CallContext(ctx, "Worker.Join", jargs, reply); err != nil {
+		if ctxErr := ctx.Err(); ctxErr != nil {
+			// Deadline expiry is the query's fault, not the peer's: report
+			// it plainly so the coordinator doesn't fail over to another
+			// destination replica for a query that is already dead.
+			return ctxErr
+		}
 		if retryableError(err) {
 			return fmt.Errorf("%s%s: %v", peerUnreachablePrefix, args.DstAddr, err)
 		}
@@ -387,26 +488,36 @@ func (s *workerService) Ship(args *ShipArgs, reply *JoinReply) error {
 }
 
 // Join implements the receiving side of the shuffle: probe the local trie
-// with each shipped trajectory and verify candidates.
-func (s *workerService) Join(args *JoinArgs, reply *JoinReply) error {
+// with each shipped trajectory and verify candidates. Bounded by the
+// shipment's forwarded deadline; panics are contained to this call.
+func (s *workerService) Join(args *JoinArgs, reply *JoinReply) (err error) {
 	if !s.w.beginRPC() {
 		return errDraining
 	}
 	defer s.w.endRPC()
+	defer rpcRecover("join", &err)
 	s.w.joinCalls.Add(1)
 	p, err := s.partition(args.Dataset, args.Partition)
 	if err != nil {
 		return err
 	}
+	ctx, cancel := s.w.queryCtx(args.TimeoutMillis)
+	defer cancel()
 	for _, wt := range args.Trajs {
 		reply.BytesReceived += 16*len(wt.Points) + 8
-		idxs := p.index.Search(wt.Points, p.m, args.Tau, nil)
+		idxs, err := p.index.SearchContext(ctx, wt.Points, p.m, args.Tau, nil)
+		if err != nil {
+			return err
+		}
 		reply.Candidates += len(idxs)
 		if len(idxs) == 0 {
 			continue
 		}
 		v := core.NewVerifier(p.m, wt.Points, args.Tau, p.cellD)
 		for _, i := range idxs {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
 			d, ok := v.Verify(p.trajs[i], p.meta[i])
 			if !ok {
 				continue

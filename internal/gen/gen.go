@@ -174,6 +174,17 @@ func Generate(cfg Config) *traj.Dataset {
 			trajs[i] = &traj.T{ID: i, Points: walk(cfg, rng, hot, sampleLen(cfg, rng))}
 		}
 	}
+	// A pathological config (NaN Step, zero-width Extent with NaN bounds)
+	// can produce non-finite walks; drop any invalid trajectory here so bad
+	// synthetic data can't poison index construction downstream — same
+	// contract as ReadCSV's line validation.
+	kept := trajs[:0]
+	for _, t := range trajs {
+		if t.Validate() == nil {
+			kept = append(kept, t)
+		}
+	}
+	trajs = kept
 	// Shuffle so prefixes are unbiased samples; the shuffle is part of the
 	// seeded generation and therefore deterministic.
 	rng.Shuffle(len(trajs), func(i, j int) { trajs[i], trajs[j] = trajs[j], trajs[i] })

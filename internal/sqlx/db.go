@@ -1,17 +1,23 @@
 package sqlx
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"sort"
 	"strings"
 	"sync"
 
+	"dita/internal/admit"
 	"dita/internal/cluster"
 	"dita/internal/core"
 	"dita/internal/measure"
 	"dita/internal/traj"
 )
+
+// ErrOverloaded is returned by Exec/ExecContext when the admission
+// controller is saturated (see SetAdmission).
+var ErrOverloaded = admit.ErrOverloaded
 
 // DB is the catalog and execution context: named tables, their optional
 // trie indexes (one engine per table and measure), and the shared cluster.
@@ -22,6 +28,9 @@ type DB struct {
 	// Eps and Delta configure edit-based measures named in queries.
 	Eps   float64
 	Delta int
+
+	// adm gates SELECT execution; nil admits everything.
+	adm *admit.Controller
 
 	mu     sync.Mutex
 	tables map[string]*table
@@ -51,6 +60,12 @@ func NewDB(cl *cluster.Cluster, opts core.Options) *DB {
 
 // Cluster returns the execution substrate.
 func (db *DB) Cluster() *cluster.Cluster { return db.cl }
+
+// SetAdmission installs (or, with a zero policy, removes) admission
+// control over SELECT execution: at most MaxConcurrent queries run at
+// once, MaxQueue more wait up to QueueTimeout, and the rest fail fast
+// with ErrOverloaded. DDL and EXPLAIN are never gated.
+func (db *DB) SetAdmission(p admit.Policy) { db.adm = admit.New(p) }
 
 // Register adds (or replaces) a table backed by the dataset.
 func (db *DB) Register(name string, d *traj.Dataset) {
@@ -88,15 +103,27 @@ type Result struct {
 // Exec parses and executes one statement. Positional '?' parameters bind
 // query trajectories in order.
 func (db *DB) Exec(sql string, params ...*traj.T) (*Result, error) {
+	return db.ExecContext(context.Background(), sql, params...)
+}
+
+// ExecContext is Exec under query-lifecycle control: the context gates
+// admission, is checked throughout index probing and verification, and a
+// cancellation or deadline aborts the statement with ctx.Err().
+func (db *DB) ExecContext(ctx context.Context, sql string, params ...*traj.T) (*Result, error) {
 	st, err := Parse(sql)
 	if err != nil {
 		return nil, err
 	}
-	return db.Execute(st, params...)
+	return db.ExecuteContext(ctx, st, params...)
 }
 
 // Execute runs a parsed statement.
 func (db *DB) Execute(st Statement, params ...*traj.T) (*Result, error) {
+	return db.ExecuteContext(context.Background(), st, params...)
+}
+
+// ExecuteContext runs a parsed statement under the context's lifecycle.
+func (db *DB) ExecuteContext(ctx context.Context, st Statement, params ...*traj.T) (*Result, error) {
 	switch s := st.(type) {
 	case *CreateTable:
 		db.Register(s.Name, traj.NewDataset(s.Name, nil))
@@ -180,7 +207,7 @@ func (db *DB) Execute(st Statement, params ...*traj.T) (*Result, error) {
 		delete(db.tables, strings.ToLower(s.Table))
 		return &Result{Message: fmt.Sprintf("table %s dropped", t.name)}, nil
 	case *Select:
-		res, err := db.execSelect(s, params, false)
+		res, err := db.execSelect(ctx, s, params, false)
 		if err != nil {
 			return nil, err
 		}
@@ -191,7 +218,7 @@ func (db *DB) Execute(st Statement, params ...*traj.T) (*Result, error) {
 		}
 		return res, nil
 	case *Explain:
-		return db.execSelect(s.Stmt, params, true)
+		return db.execSelect(ctx, s.Stmt, params, true)
 	}
 	return nil, fmt.Errorf("sqlx: unsupported statement %T", st)
 }
@@ -218,9 +245,33 @@ func (db *DB) engineLocked(t *table, m measure.Measure) (*core.Engine, error) {
 	return e, nil
 }
 
-func (db *DB) execSelect(s *Select, params []*traj.T, planOnly bool) (*Result, error) {
+// execSelect plans and runs one SELECT. The catalog lock (db.mu) is held
+// only while resolving tables and engines; the query itself — trie
+// probing, verification, joins — runs outside it, so admission control
+// actually bounds concurrent query *work* rather than serializing it
+// behind a mutex. Engines are immutable once built (an Insert clears the
+// cache instead of mutating them), so running one unlocked is safe.
+func (db *DB) execSelect(ctx context.Context, s *Select, params []*traj.T, planOnly bool) (*Result, error) {
+	// EXPLAIN never executes anything; only real queries pass admission.
+	if !planOnly {
+		release, err := db.adm.Acquire(ctx)
+		if err != nil {
+			return nil, err
+		}
+		defer release()
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	db.mu.Lock()
-	defer db.mu.Unlock()
+	locked := true
+	unlock := func() {
+		if locked {
+			locked = false
+			db.mu.Unlock()
+		}
+	}
+	defer unlock()
 	t, err := db.table(s.Table)
 	if err != nil {
 		return nil, err
@@ -263,6 +314,8 @@ func (db *DB) execSelect(s *Select, params []*traj.T, planOnly bool) (*Result, e
 		if err != nil {
 			return nil, err
 		}
+		leftTrajs := append([]*traj.T(nil), t.data.Trajs...)
+		unlock()
 		nn := e1.KNNJoin(e2, s.Limit)
 		// Flatten to pairs: (left id, neighbor) in left-id order.
 		ids := make([]int, 0, len(nn))
@@ -271,8 +324,8 @@ func (db *DB) execSelect(s *Select, params []*traj.T, planOnly bool) (*Result, e
 		}
 		sort.Ints(ids)
 		var pairs []core.Pair
-		left := make(map[int]*traj.T, t.data.Len())
-		for _, tr := range t.data.Trajs {
+		left := make(map[int]*traj.T, len(leftTrajs))
+		for _, tr := range leftTrajs {
 			left[tr.ID] = tr
 		}
 		for _, id := range ids {
@@ -301,6 +354,7 @@ func (db *DB) execSelect(s *Select, params []*traj.T, planOnly bool) (*Result, e
 		if err != nil {
 			return nil, err
 		}
+		unlock()
 		return &Result{Trajs: e.SearchKNN(q, s.Limit), Plan: plan}, nil
 	}
 
@@ -330,7 +384,11 @@ func (db *DB) execSelect(s *Select, params []*traj.T, planOnly bool) (*Result, e
 		if err != nil {
 			return nil, err
 		}
-		pairs := e1.Join(e2, s.Where.Tau, core.DefaultJoinOptions(), nil)
+		unlock()
+		pairs, err := e1.JoinContext(ctx, e2, s.Where.Tau, core.DefaultJoinOptions(), nil)
+		if err != nil {
+			return nil, err
+		}
 		return &Result{Pairs: pairs, Plan: plan}, nil
 	}
 
@@ -344,6 +402,7 @@ func (db *DB) execSelect(s *Select, params []*traj.T, planOnly bool) (*Result, e
 		for i, tr := range t.data.Trajs {
 			out[i] = core.SearchResult{Traj: tr}
 		}
+		unlock()
 		return &Result{Trajs: out, Plan: plan}, nil
 	}
 
@@ -373,33 +432,50 @@ func (db *DB) execSelect(s *Select, params []*traj.T, planOnly bool) (*Result, e
 		if err != nil {
 			return nil, err
 		}
-		return &Result{Trajs: e.Search(q, s.Where.Tau, nil), Plan: plan}, nil
+		unlock()
+		trajs, err := e.SearchContext(ctx, q, s.Where.Tau, nil)
+		if err != nil {
+			return nil, err
+		}
+		return &Result{Trajs: trajs, Plan: plan}, nil
 	}
 	plan := fmt.Sprintf("FullScanFilter(%s, τ=%g, %s)", t.name, s.Where.Tau, m.Name())
-	return &Result{Trajs: db.fullScan(t, m, q, s.Where.Tau), Plan: plan}, nil
+	trajs := append([]*traj.T(nil), t.data.Trajs...)
+	unlock()
+	out, err := db.fullScan(ctx, trajs, m, q, s.Where.Tau)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Trajs: out, Plan: plan}, nil
 }
 
-// fullScan verifies every trajectory in parallel across the workers.
-func (db *DB) fullScan(t *table, m measure.Measure, q *traj.T, tau float64) []core.SearchResult {
+// fullScan verifies every trajectory in parallel across the workers,
+// checking the context before each threshold-distance computation.
+func (db *DB) fullScan(ctx context.Context, trajs []*traj.T, m measure.Measure, q *traj.T, tau float64) ([]core.SearchResult, error) {
 	W := db.cl.Workers()
 	results := make([][]core.SearchResult, W)
 	var tasks []cluster.Task
 	for w := 0; w < W; w++ {
 		w := w
 		tasks = append(tasks, cluster.Task{Worker: w, Fn: func() {
-			for i := w; i < t.data.Len(); i += W {
-				tr := t.data.Trajs[i]
+			for i := w; i < len(trajs); i += W {
+				if ctx.Err() != nil {
+					return
+				}
+				tr := trajs[i]
 				if d, ok := m.DistanceThreshold(tr.Points, q.Points, tau); ok {
 					results[w] = append(results[w], core.SearchResult{Traj: tr, Distance: d})
 				}
 			}
 		}})
 	}
-	db.cl.Run(tasks)
+	if err := db.cl.RunContext(ctx, tasks); err != nil {
+		return nil, err
+	}
 	var out []core.SearchResult
 	for _, r := range results {
 		out = append(out, r...)
 	}
 	sort.Slice(out, func(a, b int) bool { return out[a].Traj.ID < out[b].Traj.ID })
-	return out
+	return out, nil
 }

@@ -85,5 +85,12 @@ func parseCSVLine(line string) (*T, error) {
 		}
 		t.Points = append(t.Points, geom.Point{X: x, Y: y})
 	}
+	// ParseFloat happily accepts "NaN" and "Inf"; a single such coordinate
+	// would poison MBRs and STR partitioning far from this line, so reject
+	// it here where the offending line number is still known (Validate also
+	// catches zero/one-point trajectories the field-count check lets by).
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
 	return t, nil
 }

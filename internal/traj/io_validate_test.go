@@ -1,0 +1,59 @@
+package traj
+
+import (
+	"strings"
+	"testing"
+)
+
+// Non-finite coordinates parse fine as floats but would poison MBRs and
+// STR partitioning far from the source line — ReadCSV must reject them at
+// load, naming the offending line.
+func TestReadCSVRejectsNonFinite(t *testing.T) {
+	cases := []struct {
+		name, csv, wantLine string
+	}{
+		{"NaN", "1,0,0,1,1\n2,NaN,0,1,1\n", "line 2"},
+		{"+Inf", "1,0,0,Inf,1\n", "line 1"},
+		{"-Inf", "# header\n1,0,0,1,1\n2,0,-Inf,1,1\n", "line 3"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ReadCSV(strings.NewReader(tc.csv), "bad")
+			if err == nil {
+				t.Fatalf("%s coordinate accepted", tc.name)
+			}
+			if !strings.Contains(err.Error(), tc.wantLine) {
+				t.Fatalf("error %q does not name %s", err, tc.wantLine)
+			}
+		})
+	}
+}
+
+// Too-short trajectories are rejected with the line number (the field
+// count check catches them before Validate, but the contract is the
+// same: bad line in, named error out).
+func TestReadCSVRejectsTooShort(t *testing.T) {
+	_, err := ReadCSV(strings.NewReader("1,0,0,1,1\n7,5,5\n"), "short")
+	if err == nil {
+		t.Fatal("single-point trajectory accepted")
+	}
+	if !strings.Contains(err.Error(), "line 2") {
+		t.Fatalf("error %q does not name line 2", err)
+	}
+}
+
+// Valid input still round-trips.
+func TestReadCSVValidRoundTrip(t *testing.T) {
+	d, err := ReadCSV(strings.NewReader("1,0,0,1,1\n\n# comment\n2,3,4,5,6,7,8\n"), "ok")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Len() != 2 {
+		t.Fatalf("parsed %d trajectories, want 2", d.Len())
+	}
+	for _, tr := range d.Trajs {
+		if err := tr.Validate(); err != nil {
+			t.Fatalf("trajectory %d invalid after load: %v", tr.ID, err)
+		}
+	}
+}

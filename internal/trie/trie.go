@@ -18,6 +18,7 @@
 package trie
 
 import (
+	"context"
 	"math"
 
 	"dita/internal/geom"
@@ -199,21 +200,39 @@ type Stats struct {
 // query q under the measure with threshold tau — a superset of the true
 // result set, to be verified by the caller. stats may be nil.
 func (t *Trie) Search(q []geom.Point, m measure.Measure, tau float64, stats *Stats) []int {
+	out, _ := t.SearchContext(context.Background(), q, m, tau, stats)
+	return out
+}
+
+// SearchContext is Search with cooperative cancellation: the trie descent
+// checks the context every ctxCheckEvery node visits and aborts with
+// ctx.Err(), so a runaway query (huge τ over a deep trie) cannot pin a
+// worker past its deadline. The partial candidate list accumulated before
+// the abort is discarded.
+func (t *Trie) SearchContext(ctx context.Context, q []geom.Point, m measure.Measure, tau float64, stats *Stats) ([]int, error) {
 	if len(q) == 0 || t.root == nil {
-		return nil
+		return nil, ctx.Err()
 	}
-	s := searcher{t: t, q: q, m: m, tau: tau, stats: stats}
+	s := searcher{t: t, q: q, m: m, tau: tau, stats: stats, ctx: ctx}
 	s.gapPt, s.hasGap = m.GapPoint()
 	s.anchored = m.AlignsEndpoints()
 	s.accum = m.Accumulation()
 	s.eps = m.Epsilon()
 	var out []int
 	out = s.descend(t.root, tau, 0, out)
+	if s.err != nil {
+		return nil, s.err
+	}
 	if stats != nil {
 		stats.Candidates = len(out)
 	}
-	return out
+	return out, nil
 }
+
+// ctxCheckEvery is the node-visit stride between context checks during
+// descent: frequent enough that cancellation lands within microseconds,
+// sparse enough that the atomic load cost is invisible.
+const ctxCheckEvery = 64
 
 type searcher struct {
 	t        *Trie
@@ -226,6 +245,10 @@ type searcher struct {
 	eps      float64
 	gapPt    geom.Point
 	hasGap   bool
+
+	ctx    context.Context
+	visits int
+	err    error
 }
 
 // descend visits n's children; rem is the remaining threshold budget (for
@@ -233,10 +256,22 @@ type searcher struct {
 // (AccumEdit). suf is the query suffix start for the Lemma 5.1
 // optimization.
 func (s *searcher) descend(n *node, rem float64, suf int, out []int) []int {
+	if s.err != nil {
+		return out
+	}
+	if s.visits++; s.visits%ctxCheckEvery == 0 {
+		if err := s.ctx.Err(); err != nil {
+			s.err = err
+			return out
+		}
+	}
 	if n.isLeaf() {
 		return append(out, n.leafIdx...)
 	}
 	for _, c := range n.children {
+		if s.err != nil {
+			return out
+		}
 		if c.isLeaf() && c.mbr.IsEmpty() {
 			// Exhausted bucket: no level point to test; all members stay
 			// candidates.

@@ -1,0 +1,42 @@
+#!/bin/sh
+# Soak test for the query lifecycle machinery: start dita-worker
+# processes under fault injection (-chaos), then drive dita-net's
+# cancelled-query churn workload (-soak) against them. Every query must
+# end in a clean lifecycle outcome — completed (possibly partial),
+# deadline exceeded, cancelled, or overloaded; anything else fails the
+# run (dita-net exits non-zero), as does a worker crash.
+#
+#   make soak                  # 30s run
+#   SOAK_DURATION=5s make soak # shorter
+set -eu
+
+cd "$(dirname "$0")/.."
+DUR="${SOAK_DURATION:-30s}"
+TMP="$(mktemp -d)"
+W1= W2=
+cleanup() {
+	[ -n "$W1" ] && kill "$W1" 2>/dev/null || true
+	[ -n "$W2" ] && kill "$W2" 2>/dev/null || true
+	rm -rf "$TMP"
+}
+trap cleanup EXIT INT TERM
+
+go build -o "$TMP/dita-worker" ./cmd/dita-worker
+go build -o "$TMP/dita-net" ./cmd/dita-net
+
+"$TMP/dita-worker" -listen 127.0.0.1:17461 \
+	-chaos seed=7,drop=0.02,err=0.01,delay=1ms >"$TMP/w1.log" 2>&1 &
+W1=$!
+"$TMP/dita-worker" -listen 127.0.0.1:17462 \
+	-chaos seed=8,drop=0.02,err=0.01,delay=1ms >"$TMP/w2.log" 2>&1 &
+W2=$!
+sleep 1
+
+"$TMP/dita-net" -workers 127.0.0.1:17461,127.0.0.1:17462 \
+	-gen beijing:1000 -tau 0.005 -allow-partial \
+	-max-concurrent 8 -max-queue 8 -soak "$DUR"
+
+# Both workers must have survived the churn.
+kill -0 "$W1" 2>/dev/null || { echo "soak: worker 1 died"; cat "$TMP/w1.log"; exit 1; }
+kill -0 "$W2" 2>/dev/null || { echo "soak: worker 2 died"; cat "$TMP/w2.log"; exit 1; }
+echo "soak: ok"
