@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: build test race vet staticcheck chaos check soak bench
+.PHONY: build test race vet staticcheck chaos check soak bench bench-json
 
 build:
 	$(GO) build ./...
@@ -35,6 +35,13 @@ chaos:
 
 bench:
 	$(GO) test -bench=. -benchtime=1x ./...
+
+# Machine-readable benchmark: per-workload latency percentiles plus the
+# pruning funnel, written to BENCH_<preset>.json (schema: EXPERIMENTS.md).
+BENCH_DIR ?= .
+BENCH_PRESETS ?= beijing
+bench-json:
+	$(GO) run ./cmd/ditabench -bench $(BENCH_PRESETS) -bench-json $(BENCH_DIR)
 
 check: vet staticcheck race chaos
 

@@ -40,6 +40,7 @@ import (
 
 	"dita"
 	"dita/internal/dnet"
+	"dita/internal/obs"
 	"dita/internal/traj"
 )
 
@@ -61,6 +62,8 @@ func main() {
 	maxQueue := flag.Int("max-queue", 0, "admission control: queries allowed to wait for a slot beyond -max-concurrent")
 	queueTimeout := flag.Duration("queue-timeout", time.Second, "admission control: max wait for a slot before ErrOverloaded")
 	soak := flag.Duration("soak", 0, "run a cancelled-query churn workload for this long instead of the benchmark")
+	metricsAddr := flag.String("metrics-addr", "", "address to serve /metrics, /metrics.json, /debug/vars, and /debug/pprof on (empty disables)")
+	trace := flag.Bool("trace", false, "print the assembled cluster trace of the first search query (and the join)")
 	flag.Parse()
 
 	// SIGINT/SIGTERM cancel the context every query runs under, so an
@@ -103,6 +106,17 @@ func main() {
 	cfg.Admission.MaxConcurrent = *maxConcurrent
 	cfg.Admission.MaxQueue = *maxQueue
 	cfg.Admission.QueueTimeout = *queueTimeout
+	var reg *obs.Registry
+	if *metricsAddr != "" {
+		reg = obs.New()
+		cfg.Obs = reg
+		ln, err := obs.Serve(*metricsAddr, reg)
+		if err != nil {
+			fatal(err)
+		}
+		defer ln.Close()
+		fmt.Printf("metrics on http://%s/metrics\n", ln.Addr())
+	}
 	coord, err := dnet.Connect(addrs, cfg)
 	if err != nil {
 		fatal(err)
@@ -167,10 +181,18 @@ func main() {
 	skippedParts := 0
 	expired := 0
 	ran := 0
-	for _, q := range qs {
+	for i, q := range qs {
 		qctx, cancel := queryContext(ctx, *deadline)
-		hits, rep, err := coord.SearchPartialContext(qctx, "trips", q, *tau)
+		var qstats *dnet.QueryStats
+		if *trace && i == 0 {
+			qstats = &dnet.QueryStats{Trace: obs.NewTrace("search")}
+		}
+		hits, rep, err := coord.SearchTraced(qctx, "trips", q, *tau, qstats)
 		cancel()
+		if qstats != nil && err == nil {
+			qstats.Trace.Write(os.Stdout)
+			fmt.Printf("  query funnel: %s\n", qstats.Funnel)
+		}
 		switch {
 		case err == nil:
 		case ctx.Err() != nil:
@@ -210,8 +232,16 @@ func main() {
 		}
 		start = time.Now()
 		jctx, cancel := queryContext(ctx, *deadline)
-		pairs, rep, err := coord.JoinPartialContext(jctx, "trips", "trips2", *tau)
+		var qstats *dnet.QueryStats
+		if *trace {
+			qstats = &dnet.QueryStats{Trace: obs.NewTrace("join")}
+		}
+		pairs, rep, err := coord.JoinTraced(jctx, "trips", "trips2", *tau, qstats)
 		cancel()
+		if qstats != nil && err == nil {
+			qstats.Trace.Write(os.Stdout)
+			fmt.Printf("  join funnel: %s\n", qstats.Funnel)
+		}
 		switch {
 		case err == nil:
 		case ctx.Err() != nil:

@@ -24,15 +24,28 @@ import (
 	"time"
 
 	"dita/internal/dnet"
+	"dita/internal/obs"
 )
 
 func main() {
 	listen := flag.String("listen", "127.0.0.1:0", "address to listen on (port 0 picks a free port)")
 	drain := flag.Duration("drain", 5*time.Second, "max time to wait for in-flight RPCs on shutdown")
 	chaos := flag.String("chaos", "", "fault-injection spec for soak testing, e.g. seed=7,drop=0.05,err=0.01,delay=2ms,sever=500 (testing only)")
+	metricsAddr := flag.String("metrics-addr", "", "address to serve /metrics, /metrics.json, /debug/vars, and /debug/pprof on (empty disables)")
 	flag.Parse()
 
 	w := dnet.NewWorker()
+	if *metricsAddr != "" {
+		reg := obs.New()
+		w.Instrument(reg)
+		ln, err := obs.Serve(*metricsAddr, reg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dita-worker: metrics: %v\n", err)
+			os.Exit(2)
+		}
+		defer ln.Close()
+		fmt.Printf("dita-worker metrics on http://%s/metrics\n", ln.Addr())
+	}
 	if *chaos != "" {
 		plan, err := dnet.ParseFaultPlan(*chaos)
 		if err != nil {

@@ -7,15 +7,18 @@
 //	ditabench -exp fig7a                    # one experiment, aligned text
 //	ditabench -exp fig7a,fig9a -tsv         # several, tab-separated
 //	ditabench -exp all -scale 0.2           # full suite at reduced scale
+//	ditabench -bench beijing -bench-json .  # machine-readable BENCH_beijing.json
 //
 // Scale, worker count and query count are adjustable; EXPERIMENTS.md
-// records the reference run.
+// records the reference run and the BENCH_<name>.json schema.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strings"
 	"time"
 
@@ -30,6 +33,8 @@ func main() {
 	queries := flag.Int("queries", 100, "search workload size")
 	seed := flag.Int64("seed", 42, "generation seed")
 	tsv := flag.Bool("tsv", false, "emit tab-separated values instead of aligned text")
+	bench := flag.String("bench", "beijing", "comma-separated dataset presets for -bench-json")
+	benchJSON := flag.String("bench-json", "", "run latency+funnel benchmarks and write BENCH_<preset>.json into this directory")
 	flag.Parse()
 
 	if *list {
@@ -38,15 +43,40 @@ func main() {
 		}
 		return
 	}
-	if *expFlag == "" {
-		fmt.Fprintln(os.Stderr, "ditabench: -exp required (or -list); e.g. -exp fig7a or -exp all")
-		os.Exit(2)
-	}
 	cfg := exp.DefaultConfig()
 	cfg.Scale = *scale
 	cfg.Workers = *workers
 	cfg.Queries = *queries
 	cfg.Seed = *seed
+
+	if *benchJSON != "" {
+		for _, kind := range strings.Split(*bench, ",") {
+			kind = strings.TrimSpace(kind)
+			start := time.Now()
+			rep, err := exp.Bench(kind, cfg)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "ditabench: %v\n", err)
+				os.Exit(1)
+			}
+			out, err := json.MarshalIndent(rep, "", "  ")
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "ditabench: %v\n", err)
+				os.Exit(1)
+			}
+			path := filepath.Join(*benchJSON, "BENCH_"+kind+".json")
+			if err := os.WriteFile(path, append(out, '\n'), 0o644); err != nil {
+				fmt.Fprintf(os.Stderr, "ditabench: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Printf("wrote %s (%d trajectories, %d workloads, %v)\n",
+				path, rep.Trajectories, len(rep.Workloads), time.Since(start).Round(time.Millisecond))
+		}
+		return
+	}
+	if *expFlag == "" {
+		fmt.Fprintln(os.Stderr, "ditabench: -exp required (or -list, -bench-json); e.g. -exp fig7a or -exp all")
+		os.Exit(2)
+	}
 
 	var ids []string
 	if *expFlag == "all" {

@@ -12,6 +12,8 @@ import (
 	"errors"
 	"sync"
 	"time"
+
+	"dita/internal/obs"
 )
 
 // ErrOverloaded reports that the controller is saturated: every execution
@@ -51,9 +53,38 @@ func (p Policy) withDefaults() Policy {
 type Controller struct {
 	policy Policy
 	slots  chan struct{}
+	met    *ctrlMetrics // nil until Instrument; nil disables recording
 
 	mu      sync.Mutex
 	waiting int
+}
+
+// ctrlMetrics holds the controller's pre-resolved registry handles.
+type ctrlMetrics struct {
+	admitted  *obs.Counter
+	rejected  *obs.Counter
+	cancelled *obs.Counter
+	wait      *obs.Histogram
+}
+
+// Instrument registers the controller's state on a metrics registry under
+// <prefix>_: queries_inflight and queries_waiting gauges (read on
+// scrape), admitted/rejected/cancelled outcome counters, and a
+// queue-wait histogram in microseconds (observed only for queries that
+// actually queued — the fast path stays clock-free). Call before serving
+// queries; a nil controller or registry is a no-op.
+func (c *Controller) Instrument(r *obs.Registry, prefix string) {
+	if c == nil || r == nil {
+		return
+	}
+	r.GaugeFunc(prefix+"_queries_inflight", func() int64 { return int64(c.InFlight()) })
+	r.GaugeFunc(prefix+"_queries_waiting", func() int64 { return int64(c.Waiting()) })
+	c.met = &ctrlMetrics{
+		admitted:  r.Counter(prefix + "_admitted_total"),
+		rejected:  r.Counter(prefix + "_rejected_total"),
+		cancelled: r.Counter(prefix + "_cancelled_total"),
+		wait:      r.Histogram(prefix + "_queue_wait_us"),
+	}
 }
 
 // New builds a controller for the policy, or nil when the policy disables
@@ -78,6 +109,9 @@ func (c *Controller) Acquire(ctx context.Context) (release func(), err error) {
 	// Fast path: a slot is free right now.
 	select {
 	case c.slots <- struct{}{}:
+		if c.met != nil {
+			c.met.admitted.Inc()
+		}
 		return c.releaseFn(), nil
 	default:
 	}
@@ -85,6 +119,9 @@ func (c *Controller) Acquire(ctx context.Context) (release func(), err error) {
 	c.mu.Lock()
 	if c.waiting >= c.policy.MaxQueue {
 		c.mu.Unlock()
+		if c.met != nil {
+			c.met.rejected.Inc()
+		}
 		return nil, ErrOverloaded
 	}
 	c.waiting++
@@ -94,14 +131,28 @@ func (c *Controller) Acquire(ctx context.Context) (release func(), err error) {
 		c.waiting--
 		c.mu.Unlock()
 	}()
+	var qStart time.Time
+	if c.met != nil {
+		qStart = time.Now()
+	}
 	t := time.NewTimer(c.policy.QueueTimeout)
 	defer t.Stop()
 	select {
 	case c.slots <- struct{}{}:
+		if c.met != nil {
+			c.met.admitted.Inc()
+			c.met.wait.Observe(time.Since(qStart).Microseconds())
+		}
 		return c.releaseFn(), nil
 	case <-t.C:
+		if c.met != nil {
+			c.met.rejected.Inc()
+		}
 		return nil, ErrOverloaded
 	case <-ctx.Done():
+		if c.met != nil {
+			c.met.cancelled.Inc()
+		}
 		return nil, ctx.Err()
 	}
 }

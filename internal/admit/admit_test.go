@@ -6,6 +6,8 @@ import (
 	"sync"
 	"testing"
 	"time"
+
+	"dita/internal/obs"
 )
 
 // A nil controller (admission disabled) admits everything.
@@ -160,5 +162,93 @@ func waitFor(t *testing.T, cond func() bool) {
 			t.Fatal("condition not reached in 5s")
 		}
 		time.Sleep(time.Millisecond)
+	}
+}
+
+// Instrument must expose gauges for live state and counters for every
+// admission outcome, with queue wait observed only for queued queries.
+func TestInstrument(t *testing.T) {
+	reg := obs.New()
+	c := New(Policy{MaxConcurrent: 1, MaxQueue: 1, QueueTimeout: 20 * time.Millisecond})
+	c.Instrument(reg, "admit")
+	var nilC *Controller
+	nilC.Instrument(reg, "nil") // must not panic
+
+	// Fast-path admit.
+	rel1, err := c.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := reg.Snapshot().Gauges["admit_queries_inflight"]; got != 1 {
+		t.Fatalf("inflight gauge = %d, want 1", got)
+	}
+	// Queued admit: release the slot while a second query waits.
+	done := make(chan error, 1)
+	go func() {
+		rel2, err := c.Acquire(context.Background())
+		if err == nil {
+			rel2()
+		}
+		done <- err
+	}()
+	for c.Waiting() == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	rel1()
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	// Saturate to force a rejection: hold the slot, fill the queue, and
+	// have a third query bounce off the full queue.
+	rel3, err := c.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rel3()
+	wait := make(chan error, 1)
+	go func() {
+		rel, err := c.Acquire(context.Background())
+		if err == nil {
+			rel()
+		}
+		wait <- err
+	}()
+	for c.Waiting() == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	if _, err := c.Acquire(context.Background()); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("queue-full acquire = %v, want ErrOverloaded", err)
+	}
+	if err := <-wait; !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("queued acquire = %v, want timeout ErrOverloaded", err)
+	}
+	// Cancelled waiter.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancelDone := make(chan error, 1)
+	go func() {
+		_, err := c.Acquire(ctx)
+		cancelDone <- err
+	}()
+	for c.Waiting() == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+	if err := <-cancelDone; !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled acquire = %v", err)
+	}
+
+	snap := reg.Snapshot()
+	if got := snap.Counters["admit_admitted_total"]; got != 3 {
+		t.Fatalf("admitted = %d, want 3", got)
+	}
+	if got := snap.Counters["admit_rejected_total"]; got != 2 {
+		t.Fatalf("rejected = %d, want 2 (queue-full + timeout)", got)
+	}
+	if got := snap.Counters["admit_cancelled_total"]; got != 1 {
+		t.Fatalf("cancelled = %d, want 1", got)
+	}
+	if snap.Histograms["admit_queue_wait_us"].Count != 1 {
+		t.Fatalf("queue_wait observations = %d, want 1 (only the queued admit)",
+			snap.Histograms["admit_queue_wait_us"].Count)
 	}
 }

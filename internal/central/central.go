@@ -46,6 +46,7 @@ type MBE struct {
 	envs    [][]geom.MBR
 	mbrs    []geom.MBR
 	envSize int
+	met     *metrics
 	// BuildTime and SizeBytes feed Table 7.
 	BuildTime time.Duration
 }
@@ -100,7 +101,14 @@ func (e *MBE) Search(q *traj.T, tau float64, stats *Stats) []Result {
 // SearchContext is Search with cancellation checked before each
 // trajectory's pruning-and-verification step, so an expired or cancelled
 // context aborts the scan within one exact-distance computation.
-func (e *MBE) SearchContext(ctx context.Context, q *traj.T, tau float64, stats *Stats) ([]Result, error) {
+func (e *MBE) SearchContext(ctx context.Context, q *traj.T, tau float64, stats *Stats) (out []Result, err error) {
+	e.met.record(stats, func(st *Stats) {
+		out, err = e.searchImpl(ctx, q, tau, st)
+	})
+	return out, err
+}
+
+func (e *MBE) searchImpl(ctx context.Context, q *traj.T, tau float64, stats *Stats) ([]Result, error) {
 	if q == nil || len(q.Points) == 0 {
 		return nil, ctx.Err()
 	}
@@ -201,6 +209,7 @@ type VPTree struct {
 	m    measure.Measure
 	root *vpNode
 	n    int
+	met  *metrics
 	// BuildTime and DistanceCalls feed Table 7 and Figure 17.
 	BuildTime     time.Duration
 	buildDistCall int
@@ -284,7 +293,14 @@ func (t *VPTree) Search(q *traj.T, tau float64, stats *Stats) []Result {
 
 // SearchContext is Search with cancellation checked before each node's
 // exact distance computation (the unit of work in a VP-tree descent).
-func (t *VPTree) SearchContext(ctx context.Context, q *traj.T, tau float64, stats *Stats) ([]Result, error) {
+func (t *VPTree) SearchContext(ctx context.Context, q *traj.T, tau float64, stats *Stats) (out []Result, err error) {
+	t.met.record(stats, func(st *Stats) {
+		out, err = t.searchImpl(ctx, q, tau, st)
+	})
+	return out, err
+}
+
+func (t *VPTree) searchImpl(ctx context.Context, q *traj.T, tau float64, stats *Stats) ([]Result, error) {
 	if q == nil || len(q.Points) == 0 {
 		return nil, ctx.Err()
 	}

@@ -1,0 +1,59 @@
+package central
+
+import (
+	"time"
+
+	"dita/internal/obs"
+)
+
+// metrics holds a baseline index's pre-resolved registry handles.
+type metrics struct {
+	searches   *obs.Counter
+	candidates *obs.Counter
+	pruned     *obs.Counter
+	latency    *obs.Histogram
+}
+
+func newMetrics(r *obs.Registry, prefix string) *metrics {
+	if r == nil {
+		return nil
+	}
+	return &metrics{
+		searches:   r.Counter(prefix + "_searches_total"),
+		candidates: r.Counter(prefix + "_candidates_total"),
+		pruned:     r.Counter(prefix + "_pruned_total"),
+		latency:    r.Histogram(prefix + "_search_latency_us"),
+	}
+}
+
+// record wraps one search: it runs fn with a stats collector (chained to
+// the caller's, which may be nil) and publishes the counts. A nil
+// receiver runs fn(stats) untouched — the disabled path stays clock-free.
+func (m *metrics) record(stats *Stats, fn func(*Stats)) {
+	if m == nil {
+		fn(stats)
+		return
+	}
+	local := stats
+	if local == nil {
+		local = &Stats{}
+	}
+	before := *local
+	start := time.Now()
+	fn(local)
+	m.searches.Inc()
+	m.latency.Observe(time.Since(start).Microseconds())
+	m.candidates.Add(int64(local.Candidates - before.Candidates))
+	m.pruned.Add(int64(local.Pruned - before.Pruned))
+}
+
+// Instrument attaches a metrics registry to the MBE baseline: every
+// search records count, latency, and candidate/pruned totals under
+// central_mbe_*. Call before serving queries; not safe concurrently with
+// searches.
+func (e *MBE) Instrument(r *obs.Registry) { e.met = newMetrics(r, "central_mbe") }
+
+// Instrument attaches a metrics registry to the VP-tree baseline
+// (central_vptree_* metrics). Call before serving queries; not safe
+// concurrently with searches.
+func (t *VPTree) Instrument(r *obs.Registry) { t.met = newMetrics(r, "central_vptree") }

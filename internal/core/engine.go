@@ -7,6 +7,7 @@ import (
 	"dita/internal/cluster"
 	"dita/internal/geom"
 	"dita/internal/measure"
+	"dita/internal/obs"
 	"dita/internal/rtree"
 	"dita/internal/str"
 	"dita/internal/traj"
@@ -34,6 +35,10 @@ type Options struct {
 	// scatters trajectories round-robin — the "Random" ablation of
 	// Appendix B (Figure 13). The index structures are still built.
 	RandomPartition bool
+	// Obs, when non-nil, receives engine metrics: query counters, latency
+	// histograms, and the cumulative pruning funnel per query path. Nil
+	// disables all recording including the per-query clock reads.
+	Obs *obs.Registry
 }
 
 // DefaultOptions returns laptop-scale defaults: NG=8 (64 partitions),
@@ -69,6 +74,7 @@ type Engine struct {
 	rtF     *rtree.Tree // global index over partition MBRf
 	rtL     *rtree.Tree // global index over partition MBRl
 	cellD   float64
+	met     *engineMetrics // nil when Options.Obs is nil
 
 	// BuildTime is the wall-clock index construction time (Table 5).
 	BuildTime time.Duration
@@ -89,7 +95,7 @@ func NewEngine(d *traj.Dataset, opts Options) (*Engine, error) {
 	if opts.Cluster == nil {
 		opts.Cluster = cluster.New(cluster.DefaultConfig(4))
 	}
-	e := &Engine{opts: opts, cl: opts.Cluster, dataset: d}
+	e := &Engine{opts: opts, cl: opts.Cluster, dataset: d, met: newEngineMetrics(opts.Obs)}
 	start := time.Now()
 	e.cellD = opts.CellD
 	if e.cellD <= 0 {

@@ -7,10 +7,12 @@ import (
 	"math/rand"
 	"sort"
 	"sync"
+	"time"
 
 	"dita/internal/cluster"
 	"dita/internal/geom"
 	"dita/internal/measure"
+	"dita/internal/obs"
 	"dita/internal/traj"
 )
 
@@ -64,6 +66,15 @@ type JoinStats struct {
 	Results int
 	// LoadRatio is the cluster's max/min worker-time ratio after the join.
 	LoadRatio float64
+	// Funnel is the join's pruning funnel: Partitions counts possible
+	// partition pairs, Relevant the bi-graph edges surviving partition-
+	// level pruning, Considered the candidate pairs the shipped
+	// trajectories were probed against (|shipped|·|dst| per edge), and the
+	// remaining stages the verification cascade over candidate pairs.
+	Funnel obs.Funnel
+	// Trace, when non-nil, receives spans for bigraph construction,
+	// orientation, balancing, selection, per-edge local joins, and merge.
+	Trace *obs.Trace
 }
 
 // edge is one bi-graph edge between partition Ti (left, index into
@@ -131,17 +142,48 @@ func (e *Engine) JoinPartialContext(ctx context.Context, other *Engine, tau floa
 		// => one candidate pair "costs" the same as 250 bytes on the wire.
 		opts.Lambda = 1.0 / 250.0
 	}
+	var tr *obs.Trace
+	if stats != nil {
+		tr = stats.Trace
+	}
+	var qStart time.Time
+	if tr != nil || e.met != nil {
+		qStart = time.Now()
+	}
+	planDone := tr.StartSpan("bigraph", -1)
 	edges, err := e.buildBigraph(ctx, other, tau, opts)
+	planDone(err)
 	if err != nil {
 		return nil, report, err
 	}
+	funnel := obs.Funnel{
+		Partitions: int64(len(e.parts)) * int64(len(other.parts)),
+		Relevant:   int64(len(edges)),
+	}
+	if tr != nil {
+		tr.Add(obs.Span{Name: "global-prune", Partition: -1,
+			Funnel: &obs.Funnel{Partitions: funnel.Partitions, Relevant: funnel.Relevant}})
+	}
+	defer func() {
+		if stats != nil {
+			stats.Funnel = funnel
+			stats.CandPairs = int(funnel.TrieCands)
+		}
+		if e.met != nil {
+			e.met.joins.Inc()
+			e.met.joinLatency.Observe(time.Since(qStart).Microseconds())
+			e.met.joinFunnel.Record(funnel)
+		}
+	}()
 	if stats != nil {
 		stats.Edges = len(edges)
 	}
 	if len(edges) == 0 {
 		return nil, report, nil
 	}
+	orientDone := tr.StartSpan("orient", -1)
 	flips, err := orient(ctx, edges, e, other, opts)
+	orientDone(err)
 	if err != nil {
 		return nil, report, err
 	}
@@ -150,7 +192,7 @@ func (e *Engine) JoinPartialContext(ctx context.Context, other *Engine, tau floa
 		stats.Oriented = flips
 		stats.Divisions = divisions
 	}
-	pairs, err := e.executeJoin(ctx, other, tau, edges, stats, report)
+	pairs, err := e.executeJoin(ctx, other, tau, edges, stats, tr, &funnel, report)
 	if err != nil {
 		return nil, report, err
 	}
@@ -463,20 +505,24 @@ func balance(edges []*edge, e, other *Engine, opts JoinOptions) int {
 // worker and probe the destination's trie there. An edge whose task
 // panics is recorded in report (attributed to its destination partition)
 // and the other edges proceed.
-func (e *Engine) executeJoin(ctx context.Context, other *Engine, tau float64, edges []*edge, stats *JoinStats, report *SkipReport) ([]Pair, error) {
+func (e *Engine) executeJoin(ctx context.Context, other *Engine, tau float64, edges []*edge, stats *JoinStats, tr *obs.Trace, funnel *obs.Funnel, report *SkipReport) ([]Pair, error) {
 	var mu sync.Mutex
 	var pairs []Pair
-	trajsSent, bytesSent, candPairs := 0, 0, 0
+	trajsSent, bytesSent := 0, 0
+	timed := tr != nil || e.met != nil
 	tasks := make([]cluster.Task, 0, len(edges))
 	type edgeState struct {
 		ed      *edge
 		shipped []int // indices into the source partition
+		funnel  obs.Funnel
+		elapsed time.Duration
 		err     error
 	}
 	states := make([]*edgeState, len(edges))
 	for i, ed := range edges {
 		states[i] = &edgeState{ed: ed}
 	}
+	selectDone := tr.StartSpan("select", -1)
 	for _, st := range states {
 		st := st
 		src, dst, dstEngine, _ := e.edgeSides(other, st.ed)
@@ -497,8 +543,10 @@ func (e *Engine) executeJoin(ctx context.Context, other *Engine, tau float64, ed
 		}})
 	}
 	if err := e.cl.RunContext(ctx, tasks); err != nil {
+		selectDone(err)
 		return nil, err
 	}
+	selectDone(nil)
 
 	// Stage 2: shuffle + local join. If the executor is a replica worker
 	// (division balancing), the receiving partition's index+data transfer
@@ -526,19 +574,26 @@ func (e *Engine) executeJoin(ctx context.Context, other *Engine, tau float64, ed
 			}
 		}
 		tasks = append(tasks, cluster.Task{Worker: st.ed.execWorker, Fn: func() {
+			var t0 time.Time
+			if timed {
+				t0 = time.Now()
+			}
 			defer func() {
 				if r := recover(); r != nil {
 					st.err = fmt.Errorf("panic: %v", r)
 				}
+				if timed {
+					st.elapsed = time.Since(t0)
+				}
 			}()
-			local, cands, err := localJoin(ctx, dstEngine, dst, src, st.shipped, tau, flip)
+			local, f, err := localJoin(ctx, dstEngine, dst, src, st.shipped, tau, flip)
+			st.funnel = f
 			if err != nil {
 				st.err = err
 				return
 			}
 			mu.Lock()
 			pairs = append(pairs, local...)
-			candPairs += cands
 			mu.Unlock()
 		}})
 	}
@@ -549,23 +604,34 @@ func (e *Engine) executeJoin(ctx context.Context, other *Engine, tau float64, ed
 	// partition (several edges may target the same partition).
 	seen := map[int]bool{}
 	for _, st := range states {
+		_, dst, _, _ := e.edgeSides(other, st.ed)
 		if st.err == nil {
+			funnel.Merge(st.funnel)
+			if tr != nil {
+				f := st.funnel
+				tr.Add(obs.Span{Name: "local-join", Partition: dst.ID,
+					Duration: st.elapsed, Funnel: &f})
+			}
 			continue
 		}
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
-		_, dst, _, _ := e.edgeSides(other, st.ed)
+		class := obs.Classify(st.err)
+		if tr != nil {
+			tr.Add(obs.Span{Name: "local-join", Partition: dst.ID,
+				Duration: st.elapsed, Err: st.err.Error(), Class: class})
+		}
 		if !seen[dst.ID] {
 			seen[dst.ID] = true
-			report.Skipped = append(report.Skipped,
-				SkippedPartition{Partition: dst.ID, Err: st.err.Error()})
+			report.Skipped = append(report.Skipped, SkippedPartition{
+				Partition: dst.ID, Err: st.err.Error(), Elapsed: st.elapsed, Class: class})
+			e.met.recordSkip(class)
 		}
 	}
 	if stats != nil {
 		stats.TrajsSent = trajsSent
 		stats.BytesSent = bytesSent
-		stats.CandPairs = candPairs
 	}
 	return pairs, nil
 }
@@ -591,25 +657,29 @@ func boolToInt(b bool) int {
 // indices into the source partition, whose precomputed metadata feeds the
 // verifier) and verifies candidates. flip=false: shipped are T-side, dst
 // holds Q-side. Cancellation is checked inside each trie probe and before
-// every verification step.
-func localJoin(ctx context.Context, dstEngine *Engine, dst, src *Partition, shipped []int, tau float64, flip bool) ([]Pair, int, error) {
+// every verification step. The returned funnel covers the edge: Considered
+// is |shipped|·|dst| pairs, TrieCands the candidate pairs the tries
+// emitted, and the later stages the verification cascade over those pairs.
+func localJoin(ctx context.Context, dstEngine *Engine, dst, src *Partition, shipped []int, tau float64, flip bool) ([]Pair, obs.Funnel, error) {
 	var out []Pair
-	cands := 0
+	f := obs.Funnel{Considered: int64(len(shipped)) * int64(len(dst.Trajs))}
 	m := dstEngine.opts.Measure
 	for _, si := range shipped {
 		t := src.Trajs[si]
 		idxs, err := dst.Index.SearchContext(ctx, t.Points, m, tau, nil)
 		if err != nil {
-			return nil, cands, err
+			return nil, f, err
 		}
-		cands += len(idxs)
 		if len(idxs) == 0 {
 			continue
 		}
 		v := NewVerifierFromMeta(m, t.Points, tau, src.meta[si])
 		for _, i := range idxs {
 			if err := ctx.Err(); err != nil {
-				return nil, cands, err
+				vf := v.Funnel(0, len(idxs))
+				vf.Considered = 0
+				f.Merge(vf)
+				return nil, f, err
 			}
 			d, ok := v.Verify(dst.Trajs[i], dst.meta[i])
 			if !ok {
@@ -621,6 +691,9 @@ func localJoin(ctx context.Context, dstEngine *Engine, dst, src *Partition, ship
 				out = append(out, Pair{T: t, Q: dst.Trajs[i], Distance: d})
 			}
 		}
+		vf := v.Funnel(0, len(idxs))
+		vf.Considered = 0
+		f.Merge(vf)
 	}
-	return out, cands, nil
+	return out, f, nil
 }

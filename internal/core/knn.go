@@ -17,15 +17,34 @@ import (
 // seeded by the distance to a small sample, so well-clustered queries
 // converge in one or two probes.
 func (e *Engine) SearchKNN(q *traj.T, k int) []SearchResult {
+	return e.SearchKNNStats(q, k, nil)
+}
+
+// SearchKNNStats is SearchKNN with observability: the funnels of every
+// threshold probe accumulate into stats.Funnel (a kNN query's total work
+// is the sum of its probes), probe spans land on stats.Trace when set,
+// and RelevantPartitions reports the final probe's partition count.
+func (e *Engine) SearchKNNStats(q *traj.T, k int, stats *SearchStats) []SearchResult {
 	if q == nil || len(q.Points) == 0 || k <= 0 || e.dataset.Len() == 0 {
 		return nil
 	}
 	if k > e.dataset.Len() {
 		k = e.dataset.Len()
 	}
+	e.met.knnInc()
 	tau := e.seedRadius(q, k)
 	for probe := 0; ; probe++ {
-		res := e.Search(q, tau, nil)
+		var ps *SearchStats
+		if stats != nil {
+			ps = &SearchStats{Trace: stats.Trace}
+		}
+		res := e.Search(q, tau, ps)
+		if stats != nil {
+			stats.Funnel.Merge(ps.Funnel)
+			stats.RelevantPartitions = ps.RelevantPartitions
+			stats.Candidates += ps.Candidates
+			stats.Verified += ps.Verified
+		}
 		if len(res) >= k || probe > 60 {
 			sort.Slice(res, func(a, b int) bool {
 				if res[a].Distance != res[b].Distance {
@@ -35,6 +54,9 @@ func (e *Engine) SearchKNN(q *traj.T, k int) []SearchResult {
 			})
 			if len(res) > k {
 				res = res[:k]
+			}
+			if stats != nil {
+				stats.Results = len(res)
 			}
 			return res
 		}

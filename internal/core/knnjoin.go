@@ -56,7 +56,7 @@ func (e *Engine) knnLocal(q *traj.T, k int) []SearchResult {
 	for probe := 0; ; probe++ {
 		var res []SearchResult
 		for _, pid := range e.relevantPartitions(q.Points, tau) {
-			r, _, _ := e.localSearch(e.parts[pid], q.Points, tau)
+			r, _ := e.localSearch(e.parts[pid], q.Points, tau)
 			res = append(res, r...)
 		}
 		if len(res) >= k || probe > 60 {

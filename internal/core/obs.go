@@ -1,0 +1,73 @@
+package core
+
+import (
+	"dita/internal/obs"
+)
+
+// engineMetrics holds the engine's registry handles, resolved once at
+// build time. A nil *engineMetrics disables all recording (and, more
+// importantly, the clock reads that feed the latency histograms).
+type engineMetrics struct {
+	reg           *obs.Registry
+	searches      *obs.Counter
+	joins         *obs.Counter
+	knns          *obs.Counter
+	searchLatency *obs.Histogram
+	joinLatency   *obs.Histogram
+	searchFunnel  *obs.FunnelCounters
+	joinFunnel    *obs.FunnelCounters
+	skips         *obs.Counter
+}
+
+func newEngineMetrics(r *obs.Registry) *engineMetrics {
+	if r == nil {
+		return nil
+	}
+	return &engineMetrics{
+		reg:           r,
+		searches:      r.Counter("engine_searches_total"),
+		joins:         r.Counter("engine_joins_total"),
+		knns:          r.Counter("engine_knn_total"),
+		searchLatency: r.Histogram("engine_search_latency_us"),
+		joinLatency:   r.Histogram("engine_join_latency_us"),
+		searchFunnel:  obs.NewFunnelCounters(r, "engine_search_"),
+		joinFunnel:    obs.NewFunnelCounters(r, "engine_join_"),
+		skips:         r.Counter("engine_partition_skips_total"),
+	}
+}
+
+// knnInc counts one kNN query (its probes also count as searches).
+func (m *engineMetrics) knnInc() {
+	if m != nil {
+		m.knns.Inc()
+	}
+}
+
+// recordSkip counts a skipped partition, overall and by error class. The
+// per-class counter goes through the registry map — skips are rare, the
+// lookup cost is irrelevant.
+func (m *engineMetrics) recordSkip(class string) {
+	if m == nil {
+		return
+	}
+	m.skips.Inc()
+	if class != "" {
+		m.reg.Counter("engine_partition_skips_" + class + "_total").Inc()
+	}
+}
+
+// Funnel converts the verifier's cascade counters into the verification
+// stages of a pruning funnel. considered is the candidate population the
+// trie filtered (partition size for search, |shipped|·|dst| pairs for a
+// join edge); trieCands is the trie's output feeding this verifier.
+func (v *Verifier) Funnel(considered, trieCands int) obs.Funnel {
+	afterLen := trieCands - v.LengthPruned
+	return obs.Funnel{
+		Considered:    int64(considered),
+		TrieCands:     int64(trieCands),
+		AfterLength:   int64(afterLen),
+		AfterCoverage: int64(afterLen - v.CoveragePruned),
+		Verified:      int64(v.Verified),
+		Matched:       int64(v.Accepted),
+	}
+}

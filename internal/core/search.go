@@ -5,9 +5,11 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"time"
 
 	"dita/internal/cluster"
 	"dita/internal/geom"
+	"dita/internal/obs"
 	"dita/internal/traj"
 )
 
@@ -27,13 +29,25 @@ type SearchStats struct {
 	Verified int
 	// Results is the answer count.
 	Results int
+	// Funnel is the full pruning funnel, one stage per filter of the
+	// cascade (global index → trie → length → coverage → cell → exact).
+	Funnel obs.Funnel
+	// Trace, when non-nil, receives per-stage spans (global-prune, per-
+	// partition trie descent and verification, merge). Setting it enables
+	// per-partition timing; leave nil on hot paths that only need counts.
+	Trace *obs.Trace
 }
 
 // SkippedPartition identifies one partition a partial query could not
 // complete, with the error (typically a recovered panic) that stopped it.
+// Elapsed is how long the partition's task ran before failing (zero when
+// the query ran untimed, i.e. no trace and no metrics registry), and
+// Class is the coarse obs error class of Err.
 type SkippedPartition struct {
 	Partition int
 	Err       string
+	Elapsed   time.Duration
+	Class     string
 }
 
 // SkipReport lists exactly the partitions a query skipped because their
@@ -96,16 +110,50 @@ func (e *Engine) SearchPartialContext(ctx context.Context, q *traj.T, tau float6
 	if err := ctx.Err(); err != nil {
 		return nil, report, err
 	}
+	// timed gates every clock read on this path: queries run clock-free
+	// unless a trace is attached or the engine has a metrics registry.
+	var tr *obs.Trace
+	if stats != nil {
+		tr = stats.Trace
+	}
+	timed := tr != nil || e.met != nil
+	var qStart time.Time
+	if timed {
+		qStart = time.Now()
+	}
+	var gStart time.Time
+	if tr != nil {
+		gStart = time.Now()
+	}
 	rel := e.relevantPartitions(q.Points, tau)
+	funnel := obs.Funnel{Partitions: int64(len(e.parts)), Relevant: int64(len(rel))}
+	if tr != nil {
+		tr.Add(obs.Span{Name: "global-prune", Partition: -1,
+			Start: gStart.Sub(tr.Begin), Duration: time.Since(gStart),
+			Funnel: &obs.Funnel{Partitions: funnel.Partitions, Relevant: funnel.Relevant}})
+	}
 	if stats != nil {
 		stats.RelevantPartitions = len(rel)
 	}
+	defer func() {
+		if stats != nil {
+			stats.Funnel = funnel
+			stats.Candidates = int(funnel.TrieCands)
+			stats.Verified = int(funnel.Verified)
+			stats.Results = int(funnel.Matched)
+		}
+		if e.met != nil {
+			e.met.searches.Inc()
+			e.met.searchLatency.Observe(time.Since(qStart).Microseconds())
+			e.met.searchFunnel.Record(funnel)
+		}
+	}()
 	if len(rel) == 0 {
 		return nil, report, nil
 	}
 	results := make([][]SearchResult, len(rel))
-	candCounts := make([]int, len(rel))
-	verCounts := make([]int, len(rel))
+	funnels := make([]obs.Funnel, len(rel))
+	elapsed := make([]time.Duration, len(rel))
 	errs := make([]error, len(rel))
 	tasks := make([]cluster.Task, 0, len(rel))
 	const driver = 0
@@ -114,6 +162,10 @@ func (e *Engine) SearchPartialContext(ctx context.Context, q *traj.T, tau float6
 		// The driver ships the query to the partition's worker.
 		e.cl.Transfer(driver, p.Worker, q.Bytes())
 		tasks = append(tasks, cluster.Task{Worker: p.Worker, Fn: func() {
+			var t0 time.Time
+			if timed {
+				t0 = time.Now()
+			}
 			// Panic isolation: a poisoned partition (bad data, a bug in a
 			// measure) must not take down the whole query, let alone the
 			// process. The recovered panic becomes this partition's error.
@@ -121,23 +173,31 @@ func (e *Engine) SearchPartialContext(ctx context.Context, q *traj.T, tau float6
 				if r := recover(); r != nil {
 					errs[i] = fmt.Errorf("panic: %v", r)
 				}
+				if timed {
+					elapsed[i] = time.Since(t0)
+				}
 			}()
-			results[i], candCounts[i], verCounts[i], errs[i] = e.localSearchContext(ctx, p, q.Points, tau)
+			results[i], funnels[i], errs[i] = e.localSearchContext(ctx, p, q.Points, tau, tr)
 		}})
 	}
 	if err := e.cl.RunContext(ctx, tasks); err != nil {
 		return nil, report, err
 	}
+	mergeDone := tr.StartSpan("merge", -1)
 	var out []SearchResult
 	for i, r := range results {
 		if errs[i] != nil {
 			if ctxErr := ctx.Err(); ctxErr != nil {
+				mergeDone(ctxErr)
 				return nil, report, ctxErr
 			}
-			report.Skipped = append(report.Skipped,
-				SkippedPartition{Partition: rel[i], Err: errs[i].Error()})
+			class := obs.Classify(errs[i])
+			report.Skipped = append(report.Skipped, SkippedPartition{
+				Partition: rel[i], Err: errs[i].Error(), Elapsed: elapsed[i], Class: class})
+			e.met.recordSkip(class)
 			continue
 		}
+		funnel.Merge(funnels[i])
 		out = append(out, r...)
 		if len(r) > 0 {
 			// Results ship back to the driver.
@@ -148,14 +208,8 @@ func (e *Engine) SearchPartialContext(ctx context.Context, q *traj.T, tau float6
 			e.cl.Transfer(e.parts[rel[i]].Worker, driver, bytes)
 		}
 	}
-	if stats != nil {
-		for i := range rel {
-			stats.Candidates += candCounts[i]
-			stats.Verified += verCounts[i]
-		}
-		stats.Results = len(out)
-	}
 	sort.Slice(out, func(a, b int) bool { return out[a].Traj.ID < out[b].Traj.ID })
+	mergeDone(nil)
 	return out, report, nil
 }
 
@@ -176,7 +230,7 @@ func (e *Engine) SearchBatch(qs []*traj.T, tau float64) [][]SearchResult {
 			p := e.parts[pid]
 			e.cl.Transfer(driver, p.Worker, q.Bytes())
 			tasks = append(tasks, cluster.Task{Worker: p.Worker, Fn: func() {
-				res, _, _ := e.localSearch(p, q.Points, tau)
+				res, _ := e.localSearch(p, q.Points, tau)
 				if len(res) == 0 {
 					return
 				}
@@ -194,33 +248,55 @@ func (e *Engine) SearchBatch(qs []*traj.T, tau float64) [][]SearchResult {
 }
 
 // localSearch runs one partition's trie filter and verification cascade
-// and returns (results, candidateCount, verifiedCount).
-func (e *Engine) localSearch(p *Partition, q []geom.Point, tau float64) ([]SearchResult, int, int) {
-	out, cands, verified, _ := e.localSearchContext(context.Background(), p, q, tau)
-	return out, cands, verified
+// and returns (results, partitionFunnel).
+func (e *Engine) localSearch(p *Partition, q []geom.Point, tau float64) ([]SearchResult, obs.Funnel) {
+	out, f, _ := e.localSearchContext(context.Background(), p, q, tau, nil)
+	return out, f
 }
 
 // localSearchContext is localSearch with cancellation checked inside the
 // trie descent and before every verification step ("one verification
 // step" — a single threshold-distance computation — is the abort
-// granularity).
-func (e *Engine) localSearchContext(ctx context.Context, p *Partition, q []geom.Point, tau float64) ([]SearchResult, int, int, error) {
-	cands, err := p.Index.SearchContext(ctx, q, e.opts.Measure, tau, nil)
-	if err != nil {
-		return nil, 0, 0, err
+// granularity). When tr is non-nil, a trie-descend span and a verify span
+// are recorded for this partition, each carrying its funnel stages.
+func (e *Engine) localSearchContext(ctx context.Context, p *Partition, q []geom.Point, tau float64, tr *obs.Trace) ([]SearchResult, obs.Funnel, error) {
+	var t0 time.Time
+	if tr != nil {
+		t0 = time.Now()
 	}
-	if len(cands) == 0 {
-		return nil, 0, 0, nil
+	cands, err := p.Index.SearchContext(ctx, q, e.opts.Measure, tau, nil)
+	if tr != nil {
+		span := obs.Span{Name: "trie-descend", Partition: p.ID,
+			Start: t0.Sub(tr.Begin), Duration: time.Since(t0),
+			Funnel: &obs.Funnel{Considered: int64(len(p.Trajs)), TrieCands: int64(len(cands))}}
+		if err != nil {
+			span.Err, span.Class = err.Error(), obs.Classify(err)
+		}
+		tr.Add(span)
+	}
+	f := obs.Funnel{Considered: int64(len(p.Trajs)), TrieCands: int64(len(cands))}
+	if err != nil || len(cands) == 0 {
+		return nil, f, err
+	}
+	if tr != nil {
+		t0 = time.Now()
 	}
 	v := NewVerifier(e.opts.Measure, q, tau, e.cellD)
 	var out []SearchResult
 	for _, i := range cands {
 		if err := ctx.Err(); err != nil {
-			return nil, len(cands), v.Verified, err
+			return nil, v.Funnel(len(p.Trajs), len(cands)), err
 		}
 		if d, ok := v.Verify(p.Trajs[i], p.meta[i]); ok {
 			out = append(out, SearchResult{Traj: p.Trajs[i], Distance: d})
 		}
 	}
-	return out, len(cands), v.Verified, nil
+	f = v.Funnel(len(p.Trajs), len(cands))
+	if tr != nil {
+		vf := f
+		vf.Considered, vf.TrieCands = 0, 0 // already on the trie span
+		tr.Add(obs.Span{Name: "verify", Partition: p.ID,
+			Start: t0.Sub(tr.Begin), Duration: time.Since(t0), Funnel: &vf})
+	}
+	return out, f, nil
 }

@@ -196,16 +196,24 @@ func (mc *managedClient) Call(method string, args, reply any) error {
 // the per-attempt deadline shrinks to the context's remaining time so an
 // attempt can't outlive the query it serves.
 func (mc *managedClient) CallContext(ctx context.Context, method string, args, reply any) error {
+	_, err := mc.CallContextN(ctx, method, args, reply)
+	return err
+}
+
+// CallContextN is CallContext reporting how many attempts ran (at least 1
+// once anything was tried, including dial failures), so callers can
+// surface retry counts in traces and metrics.
+func (mc *managedClient) CallContextN(ctx context.Context, method string, args, reply any) (attempts int, _ error) {
 	var lastErr error
 	for attempt := 0; attempt < mc.policy.MaxAttempts; attempt++ {
 		if attempt > 0 {
 			if err := sleepContext(ctx, mc.backoff(attempt)); err != nil {
-				return err
+				return attempts, err
 			}
 			zeroReply(reply)
 		}
 		if err := ctx.Err(); err != nil {
-			return err
+			return attempts, err
 		}
 		timeout := mc.policy.CallTimeout
 		if dl, ok := ctx.Deadline(); ok {
@@ -213,31 +221,32 @@ func (mc *managedClient) CallContext(ctx context.Context, method string, args, r
 				timeout = rem
 			}
 			if timeout <= 0 {
-				return context.DeadlineExceeded
+				return attempts, context.DeadlineExceeded
 			}
 		}
+		attempts++
 		cl, err := mc.connect()
 		if err != nil {
 			if !retryableError(err) {
-				return err
+				return attempts, err
 			}
 			lastErr = err
 			continue
 		}
 		err = mc.doContext(ctx, cl, method, args, reply, timeout)
 		if err == nil {
-			return nil
+			return attempts, nil
 		}
 		if ctx.Err() != nil {
-			return err
+			return attempts, err
 		}
 		if !retryableError(err) {
-			return err
+			return attempts, err
 		}
 		lastErr = err
 		mc.discard(cl)
 	}
-	return fmt.Errorf("dnet: %s to %s failed after %d attempts: %w",
+	return attempts, fmt.Errorf("dnet: %s to %s failed after %d attempts: %w",
 		method, mc.addr, mc.policy.MaxAttempts, lastErr)
 }
 

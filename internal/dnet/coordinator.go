@@ -14,6 +14,7 @@ import (
 	"dita/internal/core"
 	"dita/internal/geom"
 	"dita/internal/measure"
+	"dita/internal/obs"
 	"dita/internal/rtree"
 	"dita/internal/str"
 	"dita/internal/traj"
@@ -50,6 +51,12 @@ type Config struct {
 	// (MaxConcurrent <= 0) admits everything. Saturation returns
 	// ErrOverloaded instead of queueing work without bound.
 	Admission admit.Policy
+	// Obs, when non-nil, receives the coordinator's metrics: query
+	// counts, latency and admission-wait histograms, retry/failover
+	// counters, per-class skip counters, and whole-query pruning funnels
+	// (coord_* names). Nil disables recording and the per-query clock
+	// reads that feed it.
+	Obs *obs.Registry
 }
 
 // ErrOverloaded is returned by Search/Join when the admission controller
@@ -62,11 +69,17 @@ func DefaultNetConfig() Config {
 }
 
 // SkippedPartition identifies one partition a partial query could not
-// reach, with the last error seen trying.
+// reach, with the last error seen trying and how much the query spent
+// trying: total RPC attempts across every replica (managed-client retries
+// included), wall-clock elapsed, and the coarse error class (obs.Classify)
+// so operators can tell a timeout storm from a partition of dead workers.
 type SkippedPartition struct {
 	Dataset   string
 	Partition int
 	Err       string
+	Attempts  int
+	Elapsed   time.Duration
+	Class     string
 }
 
 // PartialReport lists exactly the partitions a query skipped because
@@ -100,6 +113,7 @@ type Coordinator struct {
 	addrs  []string
 	health *healthTracker
 	adm    *admit.Controller
+	met    *coordMetrics // nil when Config.Obs is nil
 
 	hbStop   chan struct{}
 	hbOnce   sync.Once
@@ -162,9 +176,11 @@ func Connect(addrs []string, cfg Config) (*Coordinator, error) {
 		addrs:    addrs,
 		health:   newHealthTracker(len(addrs), cfg.Health),
 		adm:      admit.New(cfg.Admission),
+		met:      newCoordMetrics(cfg.Obs),
 		hbStop:   make(chan struct{}),
 		datasets: map[string]*dispatchedDataset{},
 	}
+	c.adm.Instrument(cfg.Obs, "coord_admit")
 	for i, a := range addrs {
 		policy := cfg.Retry
 		policy.Seed = cfg.Retry.Seed + int64(i) // decorrelate jitter across workers
@@ -442,11 +458,46 @@ func remainingMillis(ctx context.Context) int64 {
 // Cancellation is never partial: a done context fails the query with
 // ctx.Err() after the fan-out goroutines drain.
 func (c *Coordinator) SearchPartialContext(ctx context.Context, name string, q *traj.T, tau float64) ([]SearchHit, *PartialReport, error) {
+	return c.SearchTraced(ctx, name, q, tau, nil)
+}
+
+// SearchTraced is SearchPartialContext plus per-query observability: qs
+// (may be nil) receives the whole-query pruning funnel, attempt/failover
+// totals and timings, and — when qs.Trace is set — a coordinator-assembled
+// trace with one span per partition RPC (worker address, attempts
+// including retries and failovers, remote compute time, partition-local
+// funnel), plus admission, global-prune, skip, and merge spans.
+func (c *Coordinator) SearchTraced(ctx context.Context, name string, q *traj.T, tau float64, qs *QueryStats) ([]SearchHit, *PartialReport, error) {
 	report := &PartialReport{}
 	if q == nil || len(q.Points) == 0 {
 		return nil, report, ctx.Err()
 	}
+	var tr *obs.Trace
+	if qs != nil {
+		tr = qs.Trace
+	}
+	timed := qs != nil || c.met != nil
+	var qStart time.Time
+	if timed {
+		qStart = time.Now()
+	}
 	release, err := c.adm.Acquire(ctx)
+	if timed {
+		wait := time.Since(qStart)
+		if qs != nil {
+			qs.AdmissionWait = wait
+		}
+		if c.met != nil {
+			c.met.admissionWait.Observe(wait.Microseconds())
+		}
+		if tr != nil {
+			s := obs.Span{Name: "admit", Partition: -1, Start: qStart.Sub(tr.Begin), Duration: wait}
+			if err != nil {
+				s.Err, s.Class = err.Error(), obs.Classify(err)
+			}
+			tr.Add(s)
+		}
+	}
 	if err != nil {
 		return nil, report, err
 	}
@@ -455,15 +506,34 @@ func (c *Coordinator) SearchPartialContext(ctx context.Context, name string, q *
 	if err != nil {
 		return nil, report, err
 	}
+	var gStart time.Time
+	if timed {
+		gStart = time.Now()
+	}
 	rel := c.relevantPartitions(dd, q.Points, tau)
+	funnel := obs.Funnel{Partitions: int64(len(dd.parts)), Relevant: int64(len(rel))}
+	if tr != nil {
+		gf := funnel
+		tr.Add(obs.Span{Name: "global-prune", Partition: -1,
+			Start: gStart.Sub(tr.Begin), Duration: time.Since(gStart), Funnel: &gf})
+	}
 	replies := make([]SearchReply, len(rel))
 	skipped := make([]*SkippedPartition, len(rel))
+	attempts := make([]int, len(rel))
+	tried := make([]int, len(rel))
 	var wg sync.WaitGroup
 	for i, pid := range rel {
 		wg.Add(1)
 		go func(i, pid int) {
 			defer wg.Done()
+			// Unconditional: a clock read is noise next to the RPC it
+			// brackets, and skip reports must carry timing even with
+			// observability off.
+			pStart := time.Now()
 			args := &SearchArgs{Dataset: name, Partition: pid, Query: q.Points, Tau: tau}
+			if tr != nil {
+				args.TraceID, args.SpanID = tr.ID, obs.NewTraceID()
+			}
 			var lastErr error
 			for _, w := range c.replicaOrder(dd, pid) {
 				// A dead query must not burn failover attempts: the check
@@ -476,7 +546,10 @@ func (c *Coordinator) SearchPartialContext(ctx context.Context, name string, q *
 				}
 				args.TimeoutMillis = remainingMillis(ctx)
 				replies[i] = SearchReply{}
-				if err := c.clients[w].CallContext(ctx, "Worker.Search", args, &replies[i]); err != nil {
+				tried[i]++
+				n, err := c.clients[w].CallContextN(ctx, "Worker.Search", args, &replies[i])
+				attempts[i] += n
+				if err != nil {
 					lastErr = err
 					if ctx.Err() != nil {
 						// Cancelled mid-call: not the worker's fault, so
@@ -494,6 +567,14 @@ func (c *Coordinator) SearchPartialContext(ctx context.Context, name string, q *
 					continue
 				}
 				c.health.success(w)
+				if tr != nil {
+					f := replies[i].Funnel
+					tr.Add(obs.Span{Name: "partition-search", Worker: c.addrs[w],
+						Partition: pid, Attempts: attempts[i],
+						Start: pStart.Sub(tr.Begin), Duration: time.Since(pStart),
+						Remote: time.Duration(replies[i].ElapsedMicros) * time.Microsecond,
+						Funnel: &f})
+				}
 				return
 			}
 			if lastErr == nil {
@@ -501,25 +582,55 @@ func (c *Coordinator) SearchPartialContext(ctx context.Context, name string, q *
 				// or every re-load still failing): nothing to even try.
 				lastErr = fmt.Errorf("dnet: no replicas for partition %s/%d", name, pid)
 			}
-			skipped[i] = &SkippedPartition{Dataset: name, Partition: pid, Err: lastErr.Error()}
+			elapsed := time.Since(pStart)
+			skipped[i] = &SkippedPartition{Dataset: name, Partition: pid, Err: lastErr.Error(),
+				Attempts: attempts[i], Elapsed: elapsed, Class: obs.Classify(lastErr)}
+			if tr != nil {
+				tr.Add(obs.Span{Name: "partition-search", Partition: pid,
+					Attempts: attempts[i], Start: pStart.Sub(tr.Begin), Duration: elapsed,
+					Err: lastErr.Error(), Class: obs.Classify(lastErr)})
+			}
 		}(i, pid)
 	}
 	wg.Wait()
 	if err := ctx.Err(); err != nil {
 		return nil, report, err
 	}
+	mergeDone := tr.StartSpan("merge", -1)
 	var out []SearchHit
 	for i := range rel {
+		c.met.recordRetries(attempts[i], tried[i])
 		if skipped[i] != nil {
 			report.Skipped = append(report.Skipped, *skipped[i])
+			c.met.recordSkip(skipped[i].Class)
 			continue
 		}
+		funnel.Merge(replies[i].Funnel)
 		out = append(out, replies[i].Hits...)
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].ID < out[b].ID })
+	mergeDone(nil)
+	if timed {
+		elapsed := time.Since(qStart)
+		if qs != nil {
+			qs.Funnel = funnel
+			qs.Elapsed = elapsed
+			for i := range rel {
+				qs.Attempts += attempts[i]
+				if tried[i] > 1 {
+					qs.Failovers += tried[i] - 1
+				}
+			}
+		}
+		if c.met != nil {
+			c.met.searches.Inc()
+			c.met.searchLatency.Observe(elapsed.Microseconds())
+			c.met.searchFunnel.Record(funnel)
+		}
 	}
 	if report.Partial() && !c.cfg.AllowPartial {
 		return nil, report, report.err(fmt.Sprintf("search %q", name))
 	}
-	sort.Slice(out, func(a, b int) bool { return out[a].ID < out[b].ID })
 	return out, report, nil
 }
 
@@ -567,8 +678,43 @@ func (c *Coordinator) JoinPartial(left, right string, tau float64) ([]WirePair, 
 // Cancellation is never partial: a done context fails the join with
 // ctx.Err() after the fan-out goroutines drain.
 func (c *Coordinator) JoinPartialContext(ctx context.Context, left, right string, tau float64) ([]WirePair, *PartialReport, error) {
+	return c.JoinTraced(ctx, left, right, tau, nil)
+}
+
+// JoinTraced is JoinPartialContext plus per-query observability, the join
+// analogue of SearchTraced: one span per shipment edge (source worker,
+// attempts across both replica loops, whole-shipment remote time,
+// destination-local funnel), plus admission, global-prune, and merge
+// spans. In the funnel, Partitions counts possible partition pairs and
+// Relevant the bigraph edges that survived MBR pruning.
+func (c *Coordinator) JoinTraced(ctx context.Context, left, right string, tau float64, qs *QueryStats) ([]WirePair, *PartialReport, error) {
 	report := &PartialReport{}
+	var tr *obs.Trace
+	if qs != nil {
+		tr = qs.Trace
+	}
+	timed := qs != nil || c.met != nil
+	var qStart time.Time
+	if timed {
+		qStart = time.Now()
+	}
 	release, err := c.adm.Acquire(ctx)
+	if timed {
+		wait := time.Since(qStart)
+		if qs != nil {
+			qs.AdmissionWait = wait
+		}
+		if c.met != nil {
+			c.met.admissionWait.Observe(wait.Microseconds())
+		}
+		if tr != nil {
+			s := obs.Span{Name: "admit", Partition: -1, Start: qStart.Sub(tr.Begin), Duration: wait}
+			if err != nil {
+				s.Err, s.Class = err.Error(), obs.Classify(err)
+			}
+			tr.Add(s)
+		}
+	}
 	if err != nil {
 		return nil, report, err
 	}
@@ -580,6 +726,10 @@ func (c *Coordinator) JoinPartialContext(ctx context.Context, left, right string
 	rt, err := c.dataset(right)
 	if err != nil {
 		return nil, report, err
+	}
+	var gStart time.Time
+	if timed {
+		gStart = time.Now()
 	}
 	type edge struct {
 		src, dst         int // partition ids in their datasets
@@ -610,13 +760,24 @@ func (c *Coordinator) JoinPartialContext(ctx context.Context, left, right string
 			}
 		}
 	}
+	if tr != nil {
+		gf := obs.Funnel{Partitions: int64(len(lt.parts)) * int64(len(rt.parts)), Relevant: int64(len(edges))}
+		tr.Add(obs.Span{Name: "global-prune", Partition: -1,
+			Start: gStart.Sub(tr.Begin), Duration: time.Since(gStart), Funnel: &gf})
+	}
+	funnel := obs.Funnel{Partitions: int64(len(lt.parts)) * int64(len(rt.parts)), Relevant: int64(len(edges))}
 	replies := make([]JoinReply, len(edges))
 	skipped := make([]*SkippedPartition, len(edges))
+	attempts := make([]int, len(edges))
+	tried := make([]int, len(edges))
 	var wg sync.WaitGroup
 	for i, ed := range edges {
 		wg.Add(1)
 		go func(i int, ed edge) {
 			defer wg.Done()
+			// Unconditional, like the search fan-out: skip reports carry
+			// timing even with observability off.
+			eStart := time.Now()
 			srcDD, dstDD := lt, rt
 			if ed.flip {
 				srcDD, dstDD = rt, lt
@@ -631,6 +792,9 @@ func (c *Coordinator) JoinPartialContext(ctx context.Context, left, right string
 				DstMBRl:      dst.mbrL,
 				Tau:          tau,
 				Flip:         ed.flip,
+			}
+			if tr != nil {
+				args.TraceID, args.SpanID = tr.ID, obs.NewTraceID()
 			}
 			var lastErr error
 			srcReached := false
@@ -650,9 +814,20 @@ func (c *Coordinator) JoinPartialContext(ctx context.Context, left, right string
 					args.DstAddr = c.addrs[dw]
 					args.TimeoutMillis = remainingMillis(ctx)
 					replies[i] = JoinReply{}
-					err := c.clients[sw].CallContext(ctx, "Worker.Ship", args, &replies[i])
+					tried[i]++
+					n, err := c.clients[sw].CallContextN(ctx, "Worker.Ship", args, &replies[i])
+					attempts[i] += n
 					if err == nil {
 						c.health.success(sw)
+						if tr != nil {
+							f := replies[i].Funnel
+							tr.Add(obs.Span{Name: "edge-join",
+								Worker:    c.addrs[sw] + ">" + c.addrs[dw],
+								Partition: ed.dst, Attempts: attempts[i],
+								Start: eStart.Sub(tr.Begin), Duration: time.Since(eStart),
+								Remote: time.Duration(replies[i].ElapsedMicros) * time.Microsecond,
+								Funnel: &f})
+						}
 						return
 					}
 					lastErr = err
@@ -696,12 +871,21 @@ func (c *Coordinator) JoinPartialContext(ctx context.Context, left, right string
 					lastErr = fmt.Errorf("dnet: no replicas for partition %s/%d", ed.srcName, ed.src)
 				}
 			}
+			elapsed := time.Since(eStart)
+			class := obs.Classify(lastErr)
 			// Attribute the skip: if no src replica ever answered, the
 			// src partition is down; otherwise the dst partition is.
 			if srcReached {
-				skipped[i] = &SkippedPartition{Dataset: ed.dstName, Partition: ed.dst, Err: lastErr.Error()}
+				skipped[i] = &SkippedPartition{Dataset: ed.dstName, Partition: ed.dst, Err: lastErr.Error(),
+					Attempts: attempts[i], Elapsed: elapsed, Class: class}
 			} else {
-				skipped[i] = &SkippedPartition{Dataset: ed.srcName, Partition: ed.src, Err: lastErr.Error()}
+				skipped[i] = &SkippedPartition{Dataset: ed.srcName, Partition: ed.src, Err: lastErr.Error(),
+					Attempts: attempts[i], Elapsed: elapsed, Class: class}
+			}
+			if tr != nil {
+				tr.Add(obs.Span{Name: "edge-join", Partition: ed.dst,
+					Attempts: attempts[i], Start: eStart.Sub(tr.Begin), Duration: elapsed,
+					Err: lastErr.Error(), Class: class})
 			}
 		}(i, ed)
 	}
@@ -709,17 +893,21 @@ func (c *Coordinator) JoinPartialContext(ctx context.Context, left, right string
 	if err := ctx.Err(); err != nil {
 		return nil, report, err
 	}
+	mergeDone := tr.StartSpan("merge", -1)
 	var pairs []WirePair
 	seen := map[SkippedPartition]bool{}
 	for i := range edges {
+		c.met.recordRetries(attempts[i], tried[i])
 		if skipped[i] != nil {
 			key := SkippedPartition{Dataset: skipped[i].Dataset, Partition: skipped[i].Partition}
 			if !seen[key] {
 				seen[key] = true
 				report.Skipped = append(report.Skipped, *skipped[i])
+				c.met.recordSkip(skipped[i].Class)
 			}
 			continue
 		}
+		funnel.Merge(replies[i].Funnel)
 		pairs = append(pairs, replies[i].Pairs...)
 	}
 	sort.Slice(report.Skipped, func(a, b int) bool {
@@ -728,15 +916,34 @@ func (c *Coordinator) JoinPartialContext(ctx context.Context, left, right string
 		}
 		return report.Skipped[a].Partition < report.Skipped[b].Partition
 	})
-	if report.Partial() && !c.cfg.AllowPartial {
-		return nil, report, report.err(fmt.Sprintf("join %q⋈%q", left, right))
-	}
 	sort.Slice(pairs, func(a, b int) bool {
 		if pairs[a].TID != pairs[b].TID {
 			return pairs[a].TID < pairs[b].TID
 		}
 		return pairs[a].QID < pairs[b].QID
 	})
+	mergeDone(nil)
+	if timed {
+		elapsed := time.Since(qStart)
+		if qs != nil {
+			qs.Funnel = funnel
+			qs.Elapsed = elapsed
+			for i := range edges {
+				qs.Attempts += attempts[i]
+				if tried[i] > 1 {
+					qs.Failovers += tried[i] - 1
+				}
+			}
+		}
+		if c.met != nil {
+			c.met.joins.Inc()
+			c.met.joinLatency.Observe(elapsed.Microseconds())
+			c.met.joinFunnel.Record(funnel)
+		}
+	}
+	if report.Partial() && !c.cfg.AllowPartial {
+		return nil, report, report.err(fmt.Sprintf("join %q⋈%q", left, right))
+	}
 	return pairs, report, nil
 }
 

@@ -1,0 +1,95 @@
+package dnet
+
+import (
+	"time"
+
+	"dita/internal/obs"
+)
+
+// QueryStats collects one distributed query's observability: set Trace to
+// a live *obs.Trace before the call to receive the coordinator-assembled
+// whole-cluster span report; the remaining fields are filled on return.
+// Pass nil (or leave Trace nil) to keep the query clock-free apart from
+// whatever the coordinator's metrics registry requires.
+type QueryStats struct {
+	// Trace, when non-nil, receives spans for admission wait, global
+	// pruning, every partition/edge RPC (worker address, attempts,
+	// remote compute time, partition-local funnel), skips, and the merge.
+	Trace *obs.Trace
+	// Funnel is the whole-query pruning funnel: global stages measured by
+	// the coordinator, local stages summed from the worker replies.
+	Funnel obs.Funnel
+	// Attempts is the total RPC attempts the query issued, including
+	// managed-client retries and replica failovers. Relevant partitions
+	// reached on the first try contribute one each.
+	Attempts int
+	// Failovers is how many replicas were tried beyond the first, summed
+	// over partitions (search) or shipment endpoints (join).
+	Failovers int
+	// AdmissionWait is time spent queued before the query was admitted.
+	AdmissionWait time.Duration
+	// Elapsed is the whole query, admission included.
+	Elapsed time.Duration
+}
+
+// coordMetrics is the coordinator's pre-resolved registry handles; nil
+// disables recording and the per-query clock reads feeding it.
+type coordMetrics struct {
+	reg           *obs.Registry
+	searches      *obs.Counter
+	joins         *obs.Counter
+	searchLatency *obs.Histogram
+	joinLatency   *obs.Histogram
+	admissionWait *obs.Histogram
+	retries       *obs.Counter
+	failovers     *obs.Counter
+	skips         *obs.Counter
+	searchFunnel  *obs.FunnelCounters
+	joinFunnel    *obs.FunnelCounters
+}
+
+func newCoordMetrics(r *obs.Registry) *coordMetrics {
+	if r == nil {
+		return nil
+	}
+	return &coordMetrics{
+		reg:           r,
+		searches:      r.Counter("coord_searches_total"),
+		joins:         r.Counter("coord_joins_total"),
+		searchLatency: r.Histogram("coord_search_latency_us"),
+		joinLatency:   r.Histogram("coord_join_latency_us"),
+		admissionWait: r.Histogram("coord_admission_wait_us"),
+		retries:       r.Counter("coord_rpc_retries_total"),
+		failovers:     r.Counter("coord_replica_failovers_total"),
+		skips:         r.Counter("coord_partition_skips_total"),
+		searchFunnel:  obs.NewFunnelCounters(r, "coord_search_"),
+		joinFunnel:    obs.NewFunnelCounters(r, "coord_join_"),
+	}
+}
+
+// recordSkip counts one skipped partition, overall and by error class.
+// Skips are rare; the per-class registry lookup cost is irrelevant.
+func (m *coordMetrics) recordSkip(class string) {
+	if m == nil {
+		return
+	}
+	m.skips.Inc()
+	if class != "" {
+		m.reg.Counter("coord_partition_skips_" + class + "_total").Inc()
+	}
+}
+
+// recordRetries turns per-query attempt accounting into the retry and
+// failover counters: tried is replicas contacted, attempts the total RPC
+// attempts across them.
+func (m *coordMetrics) recordRetries(attempts, tried int) {
+	if m == nil {
+		return
+	}
+	if extra := attempts - tried; extra > 0 {
+		m.retries.Add(int64(extra))
+	}
+	if fo := tried - 1; fo > 0 {
+		m.failovers.Add(int64(fo))
+	}
+}

@@ -19,6 +19,7 @@ package dnet
 
 import (
 	"dita/internal/geom"
+	"dita/internal/obs"
 )
 
 // WireTrajectory is the gob wire form of a trajectory.
@@ -69,6 +70,10 @@ type SearchArgs struct {
 	// verification loop by it. 0 means no deadline. (net/rpc has no
 	// cancellation channel, so the deadline travels in-band.)
 	TimeoutMillis int64
+	// TraceID/SpanID tie this call to the coordinator's query trace so a
+	// whole-cluster picture can be assembled from per-worker reports (and
+	// worker-side logs can be correlated). Empty when tracing is off.
+	TraceID, SpanID string
 }
 
 // SearchHit is one search answer (the data stays on the worker; the
@@ -83,6 +88,12 @@ type SearchReply struct {
 	Hits       []SearchHit
 	Candidates int
 	Verified   int
+	// Funnel is the partition-local pruning funnel (Considered onward;
+	// the coordinator owns the global Partitions/Relevant stages).
+	Funnel obs.Funnel
+	// ElapsedMicros is the worker-measured handler time, so the
+	// coordinator's trace can split wire time from compute time.
+	ElapsedMicros int64
 }
 
 // FetchArgs retrieves full trajectories by id from a partition.
@@ -119,6 +130,9 @@ type ShipArgs struct {
 	// the remaining budget is forwarded to the destination's Join call.
 	// 0 means no deadline.
 	TimeoutMillis int64
+	// TraceID/SpanID are forwarded to the destination's Join call so both
+	// hops of the shipment correlate to the coordinator's query trace.
+	TraceID, SpanID string
 }
 
 // JoinArgs is the worker-to-worker shipment: probe the destination
@@ -131,6 +145,8 @@ type JoinArgs struct {
 	Flip      bool
 	// TimeoutMillis bounds the local join; 0 means no deadline.
 	TimeoutMillis int64
+	// TraceID/SpanID correlate the shipment to the coordinator's trace.
+	TraceID, SpanID string
 }
 
 // WirePair is one join result.
@@ -145,6 +161,13 @@ type JoinReply struct {
 	Candidates int
 	// BytesReceived is the wire size of the shipment, for accounting.
 	BytesReceived int
+	// Funnel is the destination-local pruning funnel of the shipment
+	// (Considered = shipped × destination trajectories, onward).
+	Funnel obs.Funnel
+	// ElapsedMicros is remote compute time: the Join handler's time, or —
+	// when the reply passed through Ship — the whole shipment (selection
+	// plus peer join), which subsumes it.
+	ElapsedMicros int64
 }
 
 // PingArgs/PingReply are the heartbeat probe: the coordinator's failure

@@ -13,6 +13,7 @@ import (
 
 	"dita/internal/core"
 	"dita/internal/measure"
+	"dita/internal/obs"
 	"dita/internal/pivot"
 	"dita/internal/traj"
 	"dita/internal/trie"
@@ -172,6 +173,33 @@ func (w *Worker) beginRPC() bool {
 	}
 	w.inflight++
 	return true
+}
+
+// Inflight returns the number of RPCs currently executing — the source of
+// the worker_queries_inflight gauge, and what a clean shutdown (and the
+// soak harness) expects to see drain to zero.
+func (w *Worker) Inflight() int {
+	w.stateMu.Lock()
+	defer w.stateMu.Unlock()
+	return w.inflight
+}
+
+// Instrument registers the worker's live state on a metrics registry:
+// the queries-inflight gauge, partition inventory, and the cumulative
+// call/byte counters, all read on scrape (no hot-path cost).
+func (w *Worker) Instrument(r *obs.Registry) {
+	if r == nil {
+		return
+	}
+	r.GaugeFunc("worker_queries_inflight", func() int64 { return int64(w.Inflight()) })
+	r.GaugeFunc("worker_partitions", func() int64 {
+		w.mu.RLock()
+		defer w.mu.RUnlock()
+		return int64(len(w.parts))
+	})
+	r.GaugeFunc("worker_search_calls_total", w.searchCalls.Load)
+	r.GaugeFunc("worker_join_calls_total", w.joinCalls.Load)
+	r.GaugeFunc("worker_bytes_in_total", w.bytesIn.Load)
 }
 
 func (w *Worker) endRPC() {
@@ -358,6 +386,8 @@ func (s *workerService) Search(args *SearchArgs, reply *SearchReply) (err error)
 	defer s.w.endRPC()
 	defer rpcRecover("search", &err)
 	s.w.searchCalls.Add(1)
+	start := time.Now()
+	defer func() { reply.ElapsedMicros = time.Since(start).Microseconds() }()
 	// The query context is derived before the hook so a hook that stalls
 	// (admission tests) models work happening inside an already-admitted
 	// query — CancelInflight then reaches it like any other in-flight work.
@@ -388,6 +418,7 @@ func (s *workerService) Search(args *SearchArgs, reply *SearchReply) (err error)
 		}
 	}
 	reply.Verified = v.Verified
+	reply.Funnel = v.Funnel(len(p.trajs), len(cands))
 	sort.Slice(reply.Hits, func(a, b int) bool { return reply.Hits[a].ID < reply.Hits[b].ID })
 	return nil
 }
@@ -433,6 +464,11 @@ func (s *workerService) Ship(args *ShipArgs, reply *JoinReply) (err error) {
 	}
 	defer s.w.endRPC()
 	defer rpcRecover("ship", &err)
+	start := time.Now()
+	// The whole-shipment time (selection + wire + peer join) replaces the
+	// peer's handler time: it is what the coordinator's edge span should
+	// count as remote work.
+	defer func() { reply.ElapsedMicros = time.Since(start).Microseconds() }()
 	p, err := s.partition(args.SrcDataset, args.SrcPartition)
 	if err != nil {
 		return err
@@ -461,6 +497,8 @@ func (s *workerService) Ship(args *ShipArgs, reply *JoinReply) (err error) {
 		Trajs:     shipped,
 		Tau:       args.Tau,
 		Flip:      args.Flip,
+		TraceID:   args.TraceID,
+		SpanID:    args.SpanID,
 	}
 	// Forward the remaining deadline budget to the peer's local join, and
 	// bound our own wait on it (CallContext shrinks the per-attempt
@@ -497,12 +535,17 @@ func (s *workerService) Join(args *JoinArgs, reply *JoinReply) (err error) {
 	defer s.w.endRPC()
 	defer rpcRecover("join", &err)
 	s.w.joinCalls.Add(1)
+	start := time.Now()
+	defer func() { reply.ElapsedMicros = time.Since(start).Microseconds() }()
 	p, err := s.partition(args.Dataset, args.Partition)
 	if err != nil {
 		return err
 	}
 	ctx, cancel := s.w.queryCtx(args.TimeoutMillis)
 	defer cancel()
+	// Considered counts every (shipped, local) pair the trie filtered; the
+	// verification stages accumulate per shipped trajectory.
+	reply.Funnel.Considered = int64(len(args.Trajs)) * int64(len(p.trajs))
 	for _, wt := range args.Trajs {
 		reply.BytesReceived += 16*len(wt.Points) + 8
 		idxs, err := p.index.SearchContext(ctx, wt.Points, p.m, args.Tau, nil)
@@ -528,6 +571,9 @@ func (s *workerService) Join(args *JoinArgs, reply *JoinReply) (err error) {
 				reply.Pairs = append(reply.Pairs, WirePair{TID: wt.ID, QID: p.trajs[i].ID, Distance: d})
 			}
 		}
+		vf := v.Funnel(0, len(idxs))
+		vf.Considered = 0 // already counted for the whole shipment above
+		reply.Funnel.Merge(vf)
 	}
 	s.w.bytesIn.Add(int64(reply.BytesReceived))
 	return nil

@@ -1,0 +1,163 @@
+package exp
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"dita/internal/core"
+	"dita/internal/gen"
+	"dita/internal/measure"
+	"dita/internal/obs"
+)
+
+// BenchReport is the machine-readable output of one `ditabench
+// -bench-json` run: for each workload (search, kNN, self-join) the
+// wall-clock latency distribution and the merged pruning funnel. The
+// schema is documented in EXPERIMENTS.md; CI and perf-tracking scripts
+// consume the JSON, humans read the tables.
+type BenchReport struct {
+	Name string `json:"name"` // dataset preset: "beijing", "chengdu", "osm"
+	// Trajectories is the dataset cardinality after Scale.
+	Trajectories int   `json:"trajectories"`
+	Workers      int   `json:"workers"`
+	Seed         int64 `json:"seed"`
+	// Scale is the cardinality multiplier the run used.
+	Scale float64 `json:"scale"`
+	// BuildMS is the wall-clock index build time in milliseconds.
+	BuildMS   float64          `json:"build_ms"`
+	Workloads []WorkloadReport `json:"workloads"`
+}
+
+// WorkloadReport is one workload's latency percentiles and funnel.
+type WorkloadReport struct {
+	// Workload is "search", "knn", or "join".
+	Workload string  `json:"workload"`
+	Tau      float64 `json:"tau,omitempty"`
+	K        int     `json:"k,omitempty"`
+	Latency  Latency `json:"latency"`
+	// Funnel is the pruning funnel summed over the workload's queries.
+	Funnel obs.Funnel `json:"funnel"`
+	// Results is the total answer count across the workload.
+	Results int `json:"results"`
+}
+
+// Latency summarizes a set of per-query wall-clock times. Percentiles
+// use the nearest-rank method on the sorted samples.
+type Latency struct {
+	Queries int     `json:"queries"`
+	MeanMS  float64 `json:"mean_ms"`
+	P50MS   float64 `json:"p50_ms"`
+	P95MS   float64 `json:"p95_ms"`
+	P99MS   float64 `json:"p99_ms"`
+	MaxMS   float64 `json:"max_ms"`
+}
+
+func summarize(samples []time.Duration) Latency {
+	if len(samples) == 0 {
+		return Latency{}
+	}
+	sorted := append([]time.Duration(nil), samples...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	ms := func(d time.Duration) float64 { return float64(d.Microseconds()) / 1000 }
+	// Nearest-rank percentile: ceil(p·n) th smallest sample.
+	rank := func(p float64) time.Duration {
+		i := int(p*float64(len(sorted))+0.999999) - 1
+		if i < 0 {
+			i = 0
+		}
+		if i >= len(sorted) {
+			i = len(sorted) - 1
+		}
+		return sorted[i]
+	}
+	var sum time.Duration
+	for _, d := range sorted {
+		sum += d
+	}
+	return Latency{
+		Queries: len(sorted),
+		MeanMS:  ms(sum / time.Duration(len(sorted))),
+		P50MS:   ms(rank(0.50)),
+		P95MS:   ms(rank(0.95)),
+		P99MS:   ms(rank(0.99)),
+		MaxMS:   ms(sorted[len(sorted)-1]),
+	}
+}
+
+// Bench runs the standard benchmark workloads — threshold search at
+// DefaultTau, kNN at k=10, and a self-join over a Scale-reduced subset —
+// against one preset dataset and returns the machine-readable report.
+// Unlike the figure/table experiments, times here are wall clock (the
+// report tracks real per-query latency, not simulated makespans).
+func Bench(kind string, cfg Config) (*BenchReport, error) {
+	cfg = cfg.sanitized()
+	d := cfg.dataset(kind)
+	m := measure.DTW{}
+	opts := engineOpts(m, cfg.Workers)
+
+	buildStart := time.Now()
+	e, err := core.NewEngine(d, opts)
+	if err != nil {
+		return nil, fmt.Errorf("exp: bench %s: %w", kind, err)
+	}
+	rep := &BenchReport{
+		Name:         kind,
+		Trajectories: d.Len(),
+		Workers:      cfg.Workers,
+		Seed:         cfg.Seed,
+		Scale:        cfg.Scale,
+		BuildMS:      float64(time.Since(buildStart).Microseconds()) / 1000,
+	}
+	qs := gen.Queries(d, cfg.Queries, cfg.Seed+10)
+
+	// Threshold search.
+	var lat []time.Duration
+	var funnel obs.Funnel
+	results := 0
+	for _, q := range qs {
+		var st core.SearchStats
+		qStart := time.Now()
+		hits := e.Search(q, DefaultTau, &st)
+		lat = append(lat, time.Since(qStart))
+		funnel.Merge(st.Funnel)
+		results += len(hits)
+	}
+	rep.Workloads = append(rep.Workloads, WorkloadReport{
+		Workload: "search", Tau: DefaultTau,
+		Latency: summarize(lat), Funnel: funnel, Results: results,
+	})
+
+	// kNN.
+	const k = 10
+	lat, funnel, results = nil, obs.Funnel{}, 0
+	for _, q := range qs {
+		var st core.SearchStats
+		qStart := time.Now()
+		hits := e.SearchKNNStats(q, k, &st)
+		lat = append(lat, time.Since(qStart))
+		funnel.Merge(st.Funnel)
+		results += len(hits)
+	}
+	rep.Workloads = append(rep.Workloads, WorkloadReport{
+		Workload: "knn", K: k,
+		Latency: summarize(lat), Funnel: funnel, Results: results,
+	})
+
+	// Self-join on a join-sized subset (a full-cardinality self-join would
+	// dwarf the rest of the run).
+	jd := cfg.joinData(kind)
+	je, err := core.NewEngine(jd, opts)
+	if err != nil {
+		return nil, fmt.Errorf("exp: bench %s join: %w", kind, err)
+	}
+	var js core.JoinStats
+	jStart := time.Now()
+	pairs := je.Join(je, DefaultTau, core.DefaultJoinOptions(), &js)
+	rep.Workloads = append(rep.Workloads, WorkloadReport{
+		Workload: "join", Tau: DefaultTau,
+		Latency: summarize([]time.Duration{time.Since(jStart)}),
+		Funnel:  js.Funnel, Results: len(pairs),
+	})
+	return rep, nil
+}

@@ -1,0 +1,45 @@
+package obs
+
+// FunnelCounters is a pre-resolved bundle of registry counters, one per
+// pruning-funnel stage, so hot paths record a whole funnel with a handful
+// of atomic adds and no registry map lookups. A nil *FunnelCounters is a
+// valid disabled bundle.
+type FunnelCounters struct {
+	partitions, relevant       *Counter
+	considered, trieCands      *Counter
+	afterLength, afterCoverage *Counter
+	verified, matched          *Counter
+}
+
+// NewFunnelCounters resolves the stage counters under
+// <prefix>funnel_<stage>_total. A nil registry yields a nil bundle.
+func NewFunnelCounters(r *Registry, prefix string) *FunnelCounters {
+	if r == nil {
+		return nil
+	}
+	return &FunnelCounters{
+		partitions:    r.Counter(prefix + "funnel_partitions_total"),
+		relevant:      r.Counter(prefix + "funnel_relevant_total"),
+		considered:    r.Counter(prefix + "funnel_considered_total"),
+		trieCands:     r.Counter(prefix + "funnel_trie_cands_total"),
+		afterLength:   r.Counter(prefix + "funnel_after_length_total"),
+		afterCoverage: r.Counter(prefix + "funnel_after_coverage_total"),
+		verified:      r.Counter(prefix + "funnel_verified_total"),
+		matched:       r.Counter(prefix + "funnel_matched_total"),
+	}
+}
+
+// Record adds one query's funnel to the stage counters.
+func (c *FunnelCounters) Record(f Funnel) {
+	if c == nil {
+		return
+	}
+	c.partitions.Add(f.Partitions)
+	c.relevant.Add(f.Relevant)
+	c.considered.Add(f.Considered)
+	c.trieCands.Add(f.TrieCands)
+	c.afterLength.Add(f.AfterLength)
+	c.afterCoverage.Add(f.AfterCoverage)
+	c.verified.Add(f.Verified)
+	c.matched.Add(f.Matched)
+}

@@ -1,0 +1,74 @@
+package obs
+
+import (
+	"encoding/json"
+	"expvar"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"runtime"
+	"sync"
+)
+
+// NewMux builds an http.ServeMux exposing the registry:
+//
+//	/metrics       Prometheus text exposition format
+//	/metrics.json  full Snapshot as JSON
+//	/debug/vars    standard expvar (plus the registry under "dita")
+//	/debug/pprof/  standard net/http/pprof profiles
+func NewMux(r *Registry) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		r.WritePrometheus(w)
+	})
+	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(r.Snapshot())
+	})
+	r.PublishExpvar("dita")
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+var (
+	expvarMu        sync.Mutex
+	expvarPublished = map[string]bool{}
+)
+
+// PublishExpvar publishes the registry's snapshot under the given expvar
+// name. expvar panics on duplicate names, so repeat publications (tests,
+// multiple serve calls) are deduplicated per process; the snapshot is
+// computed lazily on each /debug/vars read, so later registries published
+// under a taken name are the one change this cannot reflect.
+func (r *Registry) PublishExpvar(name string) {
+	if r == nil {
+		return
+	}
+	expvarMu.Lock()
+	defer expvarMu.Unlock()
+	if expvarPublished[name] {
+		return
+	}
+	expvarPublished[name] = true
+	expvar.Publish(name, expvar.Func(func() any { return r.Snapshot() }))
+}
+
+// Serve starts an HTTP server for the registry on addr in a background
+// goroutine and returns the bound listener (so addr may use port 0). The
+// caller owns shutdown via the returned listener's Close.
+func Serve(addr string, r *Registry) (net.Listener, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	r.GaugeFunc("process_goroutines", func() int64 { return int64(runtime.NumGoroutine()) })
+	srv := &http.Server{Handler: NewMux(r)}
+	go func() { _ = srv.Serve(ln) }()
+	return ln, nil
+}

@@ -1,0 +1,293 @@
+package obs
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGaugeNilSafe(t *testing.T) {
+	var c *Counter
+	c.Add(5)
+	c.Inc()
+	if c.Value() != 0 {
+		t.Fatalf("nil counter value = %d", c.Value())
+	}
+	var g *Gauge
+	g.Set(3)
+	g.Add(-1)
+	if g.Value() != 0 {
+		t.Fatalf("nil gauge value = %d", g.Value())
+	}
+	var h *Histogram
+	h.Observe(10)
+	if s := h.Snapshot(); s.Count != 0 {
+		t.Fatalf("nil histogram count = %d", s.Count)
+	}
+	var r *Registry
+	r.Counter("x").Inc()
+	r.Gauge("y").Set(1)
+	r.Histogram("z").Observe(1)
+	r.GaugeFunc("f", func() int64 { return 1 })
+	if s := r.Snapshot(); len(s.Counters) != 0 || len(s.Gauges) != 0 {
+		t.Fatalf("nil registry snapshot not empty: %+v", s)
+	}
+	var tr *Trace
+	tr.Add(Span{Name: "x"})
+	tr.StartSpan("y", -1)(nil)
+	if tr.Spans() != nil {
+		t.Fatal("nil trace has spans")
+	}
+}
+
+func TestCounterConcurrent(t *testing.T) {
+	r := New()
+	c := r.Counter("hits")
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Value() != 8000 {
+		t.Fatalf("counter = %d, want 8000", c.Value())
+	}
+	// Same name returns the same counter.
+	if r.Counter("hits") != c {
+		t.Fatal("Counter not idempotent per name")
+	}
+}
+
+func TestHistogramPercentiles(t *testing.T) {
+	h := &Histogram{}
+	for i := int64(1); i <= 1000; i++ {
+		h.Observe(i)
+	}
+	s := h.Snapshot()
+	if s.Count != 1000 || s.Min != 1 || s.Max != 1000 {
+		t.Fatalf("snapshot basics wrong: %+v", s)
+	}
+	if s.Sum != 1000*1001/2 {
+		t.Fatalf("sum = %d", s.Sum)
+	}
+	// Exponential buckets: percentile estimates are upper bucket bounds,
+	// within 2x of truth and never above max.
+	if s.P50 < 500 || s.P50 > 1000 {
+		t.Fatalf("p50 = %d, want within [500,1000]", s.P50)
+	}
+	if s.P95 < 950 || s.P95 > 1000 {
+		t.Fatalf("p95 = %d, want within [950,1000]", s.P95)
+	}
+	if s.P99 < 990 || s.P99 > 1000 {
+		t.Fatalf("p99 = %d", s.P99)
+	}
+	if s.Mean() < 500 || s.Mean() > 501 {
+		t.Fatalf("mean = %f", s.Mean())
+	}
+}
+
+func TestHistogramSingleAndNegative(t *testing.T) {
+	h := &Histogram{}
+	h.Observe(-5) // clamps to 0
+	s := h.Snapshot()
+	if s.Count != 1 || s.Min != 0 || s.Max != 0 || s.P99 != 0 {
+		t.Fatalf("clamped snapshot: %+v", s)
+	}
+}
+
+func TestBucketBoundaries(t *testing.T) {
+	cases := []struct {
+		v    int64
+		want int
+	}{{0, 0}, {1, 0}, {2, 1}, {3, 2}, {4, 2}, {5, 3}, {8, 3}, {9, 4}, {1024, 10}, {1025, 11}}
+	for _, c := range cases {
+		if got := bucketOf(c.v); got != c.want {
+			t.Errorf("bucketOf(%d) = %d, want %d", c.v, got, c.want)
+		}
+	}
+	for i := 0; i < 20; i++ {
+		u := bucketUpper(i)
+		if bucketOf(u) != i {
+			t.Errorf("bucketUpper(%d) = %d maps to bucket %d", i, u, bucketOf(u))
+		}
+	}
+}
+
+func TestSnapshotAndPrometheus(t *testing.T) {
+	r := New()
+	r.Counter("queries_total").Add(7)
+	r.Gauge("queries_inflight").Set(2)
+	r.GaugeFunc("live_func", func() int64 { return 42 })
+	r.Histogram("search_latency_us").Observe(100)
+	r.Histogram("search_latency_us").Observe(200)
+
+	s := r.Snapshot()
+	if s.Counters["queries_total"] != 7 {
+		t.Fatalf("counter snapshot: %+v", s.Counters)
+	}
+	if s.Gauges["queries_inflight"] != 2 || s.Gauges["live_func"] != 42 {
+		t.Fatalf("gauge snapshot: %+v", s.Gauges)
+	}
+	if s.Histograms["search_latency_us"].Count != 2 {
+		t.Fatalf("hist snapshot: %+v", s.Histograms)
+	}
+
+	var b strings.Builder
+	r.WritePrometheus(&b)
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE queries_total counter\nqueries_total 7\n",
+		"# TYPE queries_inflight gauge\nqueries_inflight 2\n",
+		"live_func 42\n",
+		"# TYPE search_latency_us summary\n",
+		"search_latency_us_count 2\n",
+		"search_latency_us_sum 300\n",
+		`search_latency_us{quantile="0.5"}`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("prometheus output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFunnelMergeMonotone(t *testing.T) {
+	a := Funnel{Partitions: 4, Relevant: 2, Considered: 100, TrieCands: 40, AfterLength: 30, AfterCoverage: 20, Verified: 20, Matched: 5}
+	b := Funnel{Partitions: 0, Relevant: 1, Considered: 50, TrieCands: 10, AfterLength: 8, AfterCoverage: 4, Verified: 4, Matched: 1}
+	a.Merge(b)
+	want := Funnel{Partitions: 4, Relevant: 3, Considered: 150, TrieCands: 50, AfterLength: 38, AfterCoverage: 24, Verified: 24, Matched: 6}
+	if a != want {
+		t.Fatalf("merge = %+v, want %+v", a, want)
+	}
+	if !a.Monotone() {
+		t.Fatalf("funnel should be monotone: %s", a)
+	}
+	bad := want
+	bad.Matched = bad.Verified + 1
+	if bad.Monotone() {
+		t.Fatal("non-monotone funnel passed Monotone")
+	}
+	if !strings.Contains(a.String(), "matched 6") {
+		t.Fatalf("String: %s", a)
+	}
+}
+
+func TestTraceSpans(t *testing.T) {
+	tr := NewTrace("search")
+	if tr.ID == "" || len(tr.ID) != 16 {
+		t.Fatalf("trace ID %q", tr.ID)
+	}
+	done := tr.StartSpan("plan", -1)
+	time.Sleep(time.Millisecond)
+	done(nil)
+	tr.Add(Span{Name: "partition", Partition: 3, Attempts: 2, Funnel: &Funnel{Matched: 1, Verified: 1, AfterCoverage: 1, AfterLength: 1, TrieCands: 1, Considered: 2}})
+	tr.StartSpan("merge", -1)(errors.New("boom"))
+
+	spans := tr.Spans()
+	if len(spans) != 3 {
+		t.Fatalf("got %d spans", len(spans))
+	}
+	byName := map[string]Span{}
+	for _, s := range spans {
+		byName[s.Name] = s
+	}
+	if byName["plan"].Duration < time.Millisecond {
+		t.Fatalf("plan duration %v", byName["plan"].Duration)
+	}
+	if byName["merge"].Err != "boom" || byName["merge"].Class != ClassApplication {
+		t.Fatalf("merge span: %+v", byName["merge"])
+	}
+	if f := tr.Funnel(); f.Matched != 1 || f.Considered != 2 {
+		t.Fatalf("trace funnel: %+v", f)
+	}
+	var b strings.Builder
+	tr.Write(&b)
+	for _, want := range []string{"trace " + tr.ID, "plan", "part=3", "attempts=2", `err[application]="boom"`, "total funnel"} {
+		if !strings.Contains(b.String(), want) {
+			t.Errorf("trace report missing %q:\n%s", want, b.String())
+		}
+	}
+}
+
+func TestTraceIDUnique(t *testing.T) {
+	seen := map[string]bool{}
+	for i := 0; i < 1000; i++ {
+		id := NewTraceID()
+		if seen[id] {
+			t.Fatalf("duplicate trace ID %s", id)
+		}
+		seen[id] = true
+	}
+}
+
+func TestClassify(t *testing.T) {
+	cases := []struct {
+		err  error
+		want string
+	}{
+		{nil, ClassNone},
+		{context.DeadlineExceeded, ClassTimeout},
+		{context.Canceled, ClassCancelled},
+		{fmt.Errorf("wrap: %w", context.DeadlineExceeded), ClassTimeout},
+		{errors.New("dita: worker panic: index out of range"), ClassPanic},
+		{errors.New("dita: overloaded"), ClassOverloaded},
+		{errors.New("read tcp: connection reset by peer"), ClassTransport},
+		{errors.New("unexpected EOF"), ClassTransport},
+		{errors.New("dial tcp: connection refused"), ClassTransport},
+		{errors.New("unknown dataset"), ClassApplication},
+	}
+	for _, c := range cases {
+		if got := Classify(c.err); got != c.want {
+			t.Errorf("Classify(%v) = %q, want %q", c.err, got, c.want)
+		}
+	}
+}
+
+func TestServeEndpoints(t *testing.T) {
+	r := New()
+	r.Counter("served_total").Add(3)
+	r.Histogram("lat_us").Observe(50)
+	ln, err := Serve("127.0.0.1:0", r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	base := "http://" + ln.Addr().String()
+
+	get := func(path string) (int, string) {
+		resp, err := http.Get(base + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(body)
+	}
+
+	if code, body := get("/metrics"); code != 200 || !strings.Contains(body, "served_total 3") {
+		t.Fatalf("/metrics code=%d body=%s", code, body)
+	}
+	if code, body := get("/metrics.json"); code != 200 || !strings.Contains(body, `"served_total":3`) {
+		t.Fatalf("/metrics.json code=%d body=%s", code, body)
+	}
+	if code, body := get("/debug/vars"); code != 200 || !strings.Contains(body, "cmdline") {
+		t.Fatalf("/debug/vars code=%d body=%s", code, body)
+	}
+	if code, _ := get("/debug/pprof/"); code != 200 {
+		t.Fatalf("/debug/pprof/ code=%d", code)
+	}
+	// goroutine gauge func registered by Serve
+	if s := r.Snapshot(); s.Gauges["process_goroutines"] <= 0 {
+		t.Fatalf("process_goroutines = %d", s.Gauges["process_goroutines"])
+	}
+}

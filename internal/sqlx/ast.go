@@ -74,8 +74,12 @@ type Drop struct {
 }
 
 // Explain is EXPLAIN SELECT ...: plan the statement without executing it.
+// With Analyze set (EXPLAIN ANALYZE SELECT ...), the statement executes
+// and the result carries the plan plus actual pruning-funnel counts and
+// wall-clock time instead of the rows.
 type Explain struct {
-	Stmt *Select
+	Stmt    *Select
+	Analyze bool
 }
 
 // Show is SHOW TABLES / SHOW INDEXES.

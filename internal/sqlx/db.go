@@ -7,11 +7,13 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"time"
 
 	"dita/internal/admit"
 	"dita/internal/cluster"
 	"dita/internal/core"
 	"dita/internal/measure"
+	"dita/internal/obs"
 	"dita/internal/traj"
 )
 
@@ -98,6 +100,30 @@ type Result struct {
 	// Count is the row/pair count for SELECT COUNT(*) queries (and is
 	// also filled for ordinary SELECTs).
 	Count int
+	// Analyze is the EXPLAIN ANALYZE report: the executed plan's pruning
+	// funnel and wall-clock time. Nil for every other statement.
+	Analyze *AnalyzeReport
+}
+
+// AnalyzeReport is the EXPLAIN ANALYZE output: the physical plan that
+// actually ran, the pruning funnel it produced, the row count, and the
+// wall-clock execution time (admission wait excluded).
+type AnalyzeReport struct {
+	Plan    string
+	Funnel  obs.Funnel
+	Rows    int
+	Elapsed time.Duration
+}
+
+// String renders the report in EXPLAIN ANALYZE style, one line of plan
+// and one line of funnel.
+func (a *AnalyzeReport) String() string {
+	return fmt.Sprintf(
+		"%s (actual rows=%d time=%s)\n  funnel: partitions=%d relevant=%d considered=%d trie=%d length=%d coverage=%d verified=%d matched=%d",
+		a.Plan, a.Rows, a.Elapsed.Round(time.Microsecond),
+		a.Funnel.Partitions, a.Funnel.Relevant, a.Funnel.Considered,
+		a.Funnel.TrieCands, a.Funnel.AfterLength, a.Funnel.AfterCoverage,
+		a.Funnel.Verified, a.Funnel.Matched)
 }
 
 // Exec parses and executes one statement. Positional '?' parameters bind
@@ -207,7 +233,7 @@ func (db *DB) ExecuteContext(ctx context.Context, st Statement, params ...*traj.
 		delete(db.tables, strings.ToLower(s.Table))
 		return &Result{Message: fmt.Sprintf("table %s dropped", t.name)}, nil
 	case *Select:
-		res, err := db.execSelect(ctx, s, params, false)
+		res, err := db.execSelect(ctx, s, params, false, false)
 		if err != nil {
 			return nil, err
 		}
@@ -218,7 +244,18 @@ func (db *DB) ExecuteContext(ctx context.Context, st Statement, params ...*traj.
 		}
 		return res, nil
 	case *Explain:
-		return db.execSelect(ctx, s.Stmt, params, true)
+		if !s.Analyze {
+			return db.execSelect(ctx, s.Stmt, params, true, false)
+		}
+		// EXPLAIN ANALYZE executes the statement for real — it passes
+		// admission like any query — but projects the report, not rows.
+		res, err := db.execSelect(ctx, s.Stmt, params, false, true)
+		if err != nil {
+			return nil, err
+		}
+		res.Count = len(res.Trajs) + len(res.Pairs)
+		res.Trajs, res.Pairs = nil, nil
+		return res, nil
 	}
 	return nil, fmt.Errorf("sqlx: unsupported statement %T", st)
 }
@@ -251,7 +288,7 @@ func (db *DB) engineLocked(t *table, m measure.Measure) (*core.Engine, error) {
 // actually bounds concurrent query *work* rather than serializing it
 // behind a mutex. Engines are immutable once built (an Insert clears the
 // cache instead of mutating them), so running one unlocked is safe.
-func (db *DB) execSelect(ctx context.Context, s *Select, params []*traj.T, planOnly bool) (*Result, error) {
+func (db *DB) execSelect(ctx context.Context, s *Select, params []*traj.T, planOnly, analyze bool) (*Result, error) {
 	// EXPLAIN never executes anything; only real queries pass admission.
 	if !planOnly {
 		release, err := db.adm.Acquire(ctx)
@@ -262,6 +299,23 @@ func (db *DB) execSelect(ctx context.Context, s *Select, params []*traj.T, planO
 	}
 	if err := ctx.Err(); err != nil {
 		return nil, err
+	}
+	// EXPLAIN ANALYZE: time execution (after admission, so queue wait is
+	// not charged to the plan) and attach the funnel each branch fills.
+	var aStart time.Time
+	if analyze {
+		aStart = time.Now()
+	}
+	report := func(res *Result, f obs.Funnel) *Result {
+		if analyze {
+			res.Analyze = &AnalyzeReport{
+				Plan:    res.Plan,
+				Funnel:  f,
+				Rows:    len(res.Trajs) + len(res.Pairs),
+				Elapsed: time.Since(aStart),
+			}
+		}
+		return res
 	}
 	db.mu.Lock()
 	locked := true
@@ -333,7 +387,10 @@ func (db *DB) execSelect(ctx context.Context, s *Select, params []*traj.T, planO
 				pairs = append(pairs, core.Pair{T: left[id], Q: r.Traj, Distance: r.Distance})
 			}
 		}
-		return &Result{Pairs: pairs, Plan: plan}, nil
+		// KNNJoin exposes no per-probe stats; report the flat upper bound
+		// (|left|·|right| pairs considered) so the funnel stays monotone.
+		return report(&Result{Pairs: pairs, Plan: plan},
+			flatFunnel(len(leftTrajs)*e2.Dataset().Len(), len(pairs))), nil
 	}
 
 	// kNN: ORDER BY f(T, Q) LIMIT k.
@@ -355,7 +412,16 @@ func (db *DB) execSelect(ctx context.Context, s *Select, params []*traj.T, planO
 			return nil, err
 		}
 		unlock()
-		return &Result{Trajs: e.SearchKNN(q, s.Limit), Plan: plan}, nil
+		var st *core.SearchStats
+		if analyze {
+			st = &core.SearchStats{}
+		}
+		res := &Result{Trajs: e.SearchKNNStats(q, s.Limit, st), Plan: plan}
+		var f obs.Funnel
+		if st != nil {
+			f = st.Funnel
+		}
+		return report(res, f), nil
 	}
 
 	// Join.
@@ -385,11 +451,19 @@ func (db *DB) execSelect(ctx context.Context, s *Select, params []*traj.T, planO
 			return nil, err
 		}
 		unlock()
-		pairs, err := e1.JoinContext(ctx, e2, s.Where.Tau, core.DefaultJoinOptions(), nil)
+		var js *core.JoinStats
+		if analyze {
+			js = &core.JoinStats{}
+		}
+		pairs, err := e1.JoinContext(ctx, e2, s.Where.Tau, core.DefaultJoinOptions(), js)
 		if err != nil {
 			return nil, err
 		}
-		return &Result{Pairs: pairs, Plan: plan}, nil
+		var f obs.Funnel
+		if js != nil {
+			f = js.Funnel
+		}
+		return report(&Result{Pairs: pairs, Plan: plan}, f), nil
 	}
 
 	// Plain scan.
@@ -403,7 +477,8 @@ func (db *DB) execSelect(ctx context.Context, s *Select, params []*traj.T, planO
 			out[i] = core.SearchResult{Traj: tr}
 		}
 		unlock()
-		return &Result{Trajs: out, Plan: plan}, nil
+		// A bare scan retrieves every row: the funnel is flat.
+		return report(&Result{Trajs: out, Plan: plan}, flatFunnel(len(out), len(out))), nil
 	}
 
 	// Similarity search: index scan when a trie index exists, full scan
@@ -433,11 +508,19 @@ func (db *DB) execSelect(ctx context.Context, s *Select, params []*traj.T, planO
 			return nil, err
 		}
 		unlock()
-		trajs, err := e.SearchContext(ctx, q, s.Where.Tau, nil)
+		var st *core.SearchStats
+		if analyze {
+			st = &core.SearchStats{}
+		}
+		trajs, err := e.SearchContext(ctx, q, s.Where.Tau, st)
 		if err != nil {
 			return nil, err
 		}
-		return &Result{Trajs: trajs, Plan: plan}, nil
+		var f obs.Funnel
+		if st != nil {
+			f = st.Funnel
+		}
+		return report(&Result{Trajs: trajs, Plan: plan}, f), nil
 	}
 	plan := fmt.Sprintf("FullScanFilter(%s, τ=%g, %s)", t.name, s.Where.Tau, m.Name())
 	trajs := append([]*traj.T(nil), t.data.Trajs...)
@@ -446,7 +529,19 @@ func (db *DB) execSelect(ctx context.Context, s *Select, params []*traj.T, planO
 	if err != nil {
 		return nil, err
 	}
-	return &Result{Trajs: out, Plan: plan}, nil
+	// The fallback scan exact-verifies every trajectory; that is exactly
+	// what a flat funnel says.
+	return report(&Result{Trajs: out, Plan: plan}, flatFunnel(len(trajs), len(out))), nil
+}
+
+// flatFunnel describes an unpruned path: n candidates enter, none are
+// filtered before verification, and matched of them survive.
+func flatFunnel(n, matched int) obs.Funnel {
+	c := int64(n)
+	return obs.Funnel{
+		Considered: c, TrieCands: c, AfterLength: c, AfterCoverage: c,
+		Verified: c, Matched: int64(matched),
+	}
 }
 
 // fullScan verifies every trajectory in parallel across the workers,

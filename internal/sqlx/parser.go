@@ -196,14 +196,18 @@ func (p *parser) statement() (Statement, error) {
 		}
 		return nil, fmt.Errorf("sqlx: DROP must be followed by TABLE or INDEX ON")
 	case p.acceptKw("EXPLAIN"):
+		analyze := p.acceptKw("ANALYZE")
 		if !p.acceptKw("SELECT") {
+			if analyze {
+				return nil, fmt.Errorf("sqlx: EXPLAIN ANALYZE supports only SELECT")
+			}
 			return nil, fmt.Errorf("sqlx: EXPLAIN supports only SELECT")
 		}
 		st, err := p.selectStmt()
 		if err != nil {
 			return nil, err
 		}
-		return &Explain{Stmt: st.(*Select)}, nil
+		return &Explain{Stmt: st.(*Select), Analyze: analyze}, nil
 	case p.acceptKw("SELECT"):
 		return p.selectStmt()
 	}

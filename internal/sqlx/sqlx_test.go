@@ -334,6 +334,93 @@ func TestExplain(t *testing.T) {
 	}
 }
 
+func TestExplainAnalyze(t *testing.T) {
+	db, d := newTestDB(t, 200)
+	q := gen.Queries(d, 1, 3)[0]
+	tau := 0.05
+	want := 0
+	for _, tr := range d.Trajs {
+		if (measure.DTW{}).Distance(tr.Points, q.Points) <= tau {
+			want++
+		}
+	}
+	check := func(res *Result, err error, plan string) *AnalyzeReport {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Analyze == nil {
+			t.Fatalf("EXPLAIN ANALYZE returned no report: %+v", res)
+		}
+		if res.Trajs != nil || res.Pairs != nil {
+			t.Errorf("EXPLAIN ANALYZE leaked rows: %+v", res)
+		}
+		if !strings.Contains(res.Analyze.Plan, plan) {
+			t.Errorf("plan = %q, want %q", res.Analyze.Plan, plan)
+		}
+		if !res.Analyze.Funnel.Monotone() {
+			t.Errorf("funnel not monotone: %+v", res.Analyze.Funnel)
+		}
+		if res.Analyze.Elapsed <= 0 {
+			t.Errorf("elapsed = %v, want > 0", res.Analyze.Elapsed)
+		}
+		return res.Analyze
+	}
+
+	// Unindexed: the fallback scan verifies everything.
+	res, err := db.Exec("EXPLAIN ANALYZE SELECT * FROM T WHERE DTW(T, ?) <= 0.05", q)
+	an := check(res, err, "FullScanFilter")
+	if an.Rows != want || res.Count != want {
+		t.Errorf("full scan analyze rows = %d (count %d), want %d", an.Rows, res.Count, want)
+	}
+	if an.Funnel.Considered != 200 || an.Funnel.Verified != 200 || an.Funnel.Matched != int64(want) {
+		t.Errorf("full scan funnel = %+v, want flat 200 → %d", an.Funnel, want)
+	}
+
+	// Indexed: the engine's real funnel, same answer, fewer verifications.
+	if _, err := db.Exec("CREATE INDEX i ON T USE TRIE"); err != nil {
+		t.Fatal(err)
+	}
+	res, err = db.Exec("EXPLAIN ANALYZE SELECT * FROM T WHERE DTW(T, ?) <= 0.05", q)
+	an = check(res, err, "TrieIndexSearch")
+	if an.Rows != want || an.Funnel.Matched != int64(want) {
+		t.Errorf("index analyze rows=%d matched=%d, want %d", an.Rows, an.Funnel.Matched, want)
+	}
+	if an.Funnel.Relevant == 0 || an.Funnel.Considered == 0 {
+		t.Errorf("index funnel missing stages: %+v", an.Funnel)
+	}
+
+	// Join: funnel from JoinStats; Matched must equal the pair count.
+	res, err = db.Exec("EXPLAIN ANALYZE SELECT * FROM T TRA-JOIN T ON DTW(T, T) <= 0.01")
+	an = check(res, err, "TrieIndexJoin")
+	if an.Funnel.Matched != int64(an.Rows) || res.Count != an.Rows {
+		t.Errorf("join analyze matched=%d rows=%d count=%d", an.Funnel.Matched, an.Rows, res.Count)
+	}
+
+	// kNN: exactly k rows out.
+	res, err = db.Exec("EXPLAIN ANALYZE SELECT * FROM T ORDER BY DTW(T, ?) LIMIT 3", q)
+	an = check(res, err, "KNNIndexSearch")
+	if an.Rows != 3 {
+		t.Errorf("knn analyze rows = %d, want 3", an.Rows)
+	}
+
+	// Bare scan: flat funnel over the whole table.
+	res, err = db.Exec("EXPLAIN ANALYZE SELECT * FROM T")
+	an = check(res, err, "FullScan(")
+	if an.Rows != 200 || an.Funnel.Matched != 200 {
+		t.Errorf("scan analyze = %+v", an)
+	}
+
+	// Plain EXPLAIN still does not execute.
+	res, err = db.Exec("EXPLAIN SELECT * FROM T WHERE DTW(T, ?) <= 0.05", q)
+	if err != nil || res.Analyze != nil {
+		t.Errorf("plain EXPLAIN gained a report: %v %+v", err, res)
+	}
+	if _, err := db.Exec("EXPLAIN ANALYZE SHOW TABLES"); err == nil {
+		t.Error("EXPLAIN ANALYZE of non-SELECT accepted")
+	}
+}
+
 func TestSQLCount(t *testing.T) {
 	db, d := newTestDB(t, 80)
 	res, err := db.Exec("SELECT COUNT(*) FROM T")

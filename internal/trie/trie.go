@@ -192,6 +192,10 @@ func (t *Trie) SizeBytes() int {
 type Stats struct {
 	// NodesVisited counts trie nodes whose MBR was distance-tested.
 	NodesVisited int
+	// Pruned counts subtrees cut because their level lower bound exceeded
+	// the remaining threshold budget — the trie's direct pruning power
+	// (NodesVisited = Pruned + descended).
+	Pruned int
 	// Candidates counts trajectories surviving the filter.
 	Candidates int
 }
@@ -302,6 +306,9 @@ func (s *searcher) visitChild(c *node, rem float64, suf int, out []int) []int {
 			d, nsuf = s.pivotMinDist(c.mbr, rem, suf)
 		}
 		if d > rem {
+			if s.stats != nil {
+				s.stats.Pruned++
+			}
 			return out
 		}
 		return s.descend(c, rem-d, nsuf, out)
@@ -317,6 +324,9 @@ func (s *searcher) visitChild(c *node, rem float64, suf int, out []int) []int {
 			d, nsuf = s.pivotMinDist(c.mbr, rem, suf)
 		}
 		if d > s.tau {
+			if s.stats != nil {
+				s.stats.Pruned++
+			}
 			return out
 		}
 		// Max semantics: the budget is not consumed (Appendix A).
@@ -331,6 +341,9 @@ func (s *searcher) visitChild(c *node, rem float64, suf int, out []int) []int {
 		if d > s.eps {
 			nrem = rem - 1
 			if nrem < 0 {
+				if s.stats != nil {
+					s.stats.Pruned++
+				}
 				return out
 			}
 		}

@@ -4,7 +4,10 @@
 # cancelled-query churn workload (-soak) against them. Every query must
 # end in a clean lifecycle outcome — completed (possibly partial),
 # deadline exceeded, cancelled, or overloaded; anything else fails the
-# run (dita-net exits non-zero), as does a worker crash.
+# run (dita-net exits non-zero), as does a worker crash. At exit the
+# workers' /metrics endpoints are scraped: a nonzero queries-inflight
+# gauge means a query leaked through the lifecycle machinery and fails
+# the run.
 #
 #   make soak                  # 30s run
 #   SOAK_DURATION=5s make soak # shorter
@@ -24,10 +27,10 @@ trap cleanup EXIT INT TERM
 go build -o "$TMP/dita-worker" ./cmd/dita-worker
 go build -o "$TMP/dita-net" ./cmd/dita-net
 
-"$TMP/dita-worker" -listen 127.0.0.1:17461 \
+"$TMP/dita-worker" -listen 127.0.0.1:17461 -metrics-addr 127.0.0.1:17471 \
 	-chaos seed=7,drop=0.02,err=0.01,delay=1ms >"$TMP/w1.log" 2>&1 &
 W1=$!
-"$TMP/dita-worker" -listen 127.0.0.1:17462 \
+"$TMP/dita-worker" -listen 127.0.0.1:17462 -metrics-addr 127.0.0.1:17472 \
 	-chaos seed=8,drop=0.02,err=0.01,delay=1ms >"$TMP/w2.log" 2>&1 &
 W2=$!
 sleep 1
@@ -39,4 +42,21 @@ sleep 1
 # Both workers must have survived the churn.
 kill -0 "$W1" 2>/dev/null || { echo "soak: worker 1 died"; cat "$TMP/w1.log"; exit 1; }
 kill -0 "$W2" 2>/dev/null || { echo "soak: worker 2 died"; cat "$TMP/w2.log"; exit 1; }
-echo "soak: ok"
+
+# Scrape each worker's metrics: after the workload drains, no query may
+# still be counted in flight — a nonzero gauge is a lifecycle leak.
+scrape() {
+	if command -v curl >/dev/null 2>&1; then curl -fsS "$1"; else wget -qO- "$1"; fi
+}
+for MPORT in 17471 17472; do
+	METRICS="$(scrape "http://127.0.0.1:$MPORT/metrics")" \
+		|| { echo "soak: metrics scrape on :$MPORT failed"; exit 1; }
+	INFLIGHT="$(printf '%s\n' "$METRICS" | awk '$1 == "worker_queries_inflight" { print $2 }')"
+	[ -n "$INFLIGHT" ] || { echo "soak: worker_queries_inflight missing from :$MPORT scrape"; exit 1; }
+	if [ "$INFLIGHT" != "0" ]; then
+		echo "soak: worker on :$MPORT still reports $INFLIGHT queries in flight"
+		printf '%s\n' "$METRICS" | grep '^worker_'
+		exit 1
+	fi
+done
+echo "soak: ok (workers alive, queries-inflight gauges zero)"
