@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: build test race vet staticcheck chaos check soak bench bench-json
+.PHONY: build test race vet staticcheck chaos fuzz check soak bench bench-json
 
 build:
 	$(GO) build ./...
@@ -33,17 +33,26 @@ race:
 chaos:
 	$(GO) test -race -run Chaos -count=2 ./...
 
+# Short coverage-guided fuzz smoke of every parser that takes untrusted
+# input (CSV trajectory loader, SQL lexer/parser). -run='^$$' skips the
+# unit tests so only the fuzz engine runs.
+FUZZTIME ?= 10s
+fuzz:
+	$(GO) test -run='^$$' -fuzz=FuzzReadCSV -fuzztime=$(FUZZTIME) ./internal/traj
+	$(GO) test -run='^$$' -fuzz=FuzzParse -fuzztime=$(FUZZTIME) ./internal/sqlx
+	$(GO) test -run='^$$' -fuzz=FuzzLexer -fuzztime=$(FUZZTIME) ./internal/sqlx
+
 bench:
 	$(GO) test -bench=. -benchtime=1x ./...
 
 # Machine-readable benchmark: per-workload latency percentiles plus the
 # pruning funnel, written to BENCH_<preset>.json (schema: EXPERIMENTS.md).
 BENCH_DIR ?= .
-BENCH_PRESETS ?= beijing
+BENCH_PRESETS ?= default
 bench-json:
 	$(GO) run ./cmd/ditabench -bench $(BENCH_PRESETS) -bench-json $(BENCH_DIR)
 
-check: vet staticcheck race chaos
+check: vet staticcheck race chaos fuzz
 
 # 30-second soak: dita-net's cancelled-query churn workload against
 # in-process workers running under fault injection (-chaos). Exits

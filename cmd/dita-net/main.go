@@ -64,6 +64,7 @@ func main() {
 	soak := flag.Duration("soak", 0, "run a cancelled-query churn workload for this long instead of the benchmark")
 	metricsAddr := flag.String("metrics-addr", "", "address to serve /metrics, /metrics.json, /debug/vars, and /debug/pprof on (empty disables)")
 	trace := flag.Bool("trace", false, "print the assembled cluster trace of the first search query (and the join)")
+	verifyPar := flag.Int("verify-parallelism", 0, "verification goroutines per RPC on -spawn'ed workers (0 = all cores, 1 = sequential)")
 	flag.Parse()
 
 	// SIGINT/SIGTERM cancel the context every query runs under, so an
@@ -78,6 +79,7 @@ func main() {
 	case *spawn > 0:
 		for i := 0; i < *spawn; i++ {
 			w := dnet.NewWorker()
+			w.VerifyParallelism = *verifyPar
 			addr, err := w.Serve("127.0.0.1:0")
 			if err != nil {
 				fatal(err)

@@ -32,9 +32,11 @@ func main() {
 	drain := flag.Duration("drain", 5*time.Second, "max time to wait for in-flight RPCs on shutdown")
 	chaos := flag.String("chaos", "", "fault-injection spec for soak testing, e.g. seed=7,drop=0.05,err=0.01,delay=2ms,sever=500 (testing only)")
 	metricsAddr := flag.String("metrics-addr", "", "address to serve /metrics, /metrics.json, /debug/vars, and /debug/pprof on (empty disables)")
+	verifyPar := flag.Int("verify-parallelism", 0, "verification goroutines per Search/Join RPC (0 = all cores, 1 = sequential)")
 	flag.Parse()
 
 	w := dnet.NewWorker()
+	w.VerifyParallelism = *verifyPar
 	if *metricsAddr != "" {
 		reg := obs.New()
 		w.Instrument(reg)

@@ -122,6 +122,8 @@ func run(db *dita.DB, sql string) error {
 		return err
 	}
 	switch {
+	case res.Analyze != nil:
+		fmt.Println(res.Analyze)
 	case res.Message != "":
 		fmt.Println(res.Message)
 	case res.Tables != nil:

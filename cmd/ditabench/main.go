@@ -35,6 +35,7 @@ func main() {
 	tsv := flag.Bool("tsv", false, "emit tab-separated values instead of aligned text")
 	bench := flag.String("bench", "beijing", "comma-separated dataset presets for -bench-json")
 	benchJSON := flag.String("bench-json", "", "run latency+funnel benchmarks and write BENCH_<preset>.json into this directory")
+	verifyPar := flag.Int("verify-parallelism", 0, "verification goroutines per partition (0 = all cores, 1 = sequential)")
 	flag.Parse()
 
 	if *list {
@@ -48,6 +49,7 @@ func main() {
 	cfg.Workers = *workers
 	cfg.Queries = *queries
 	cfg.Seed = *seed
+	cfg.VerifyParallelism = *verifyPar
 
 	if *benchJSON != "" {
 		for _, kind := range strings.Split(*bench, ",") {

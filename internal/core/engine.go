@@ -39,6 +39,12 @@ type Options struct {
 	// histograms, and the cumulative pruning funnel per query path. Nil
 	// disables all recording including the per-query clock reads.
 	Obs *obs.Registry
+	// VerifyParallelism bounds the worker pool that verifies a partition's
+	// candidate list concurrently: 0 (the default) uses every core
+	// (runtime.GOMAXPROCS), 1 forces the sequential path, and any other
+	// value caps the fan-out. Results and pruning funnels are identical
+	// at every setting; only wall-clock changes.
+	VerifyParallelism int
 }
 
 // DefaultOptions returns laptop-scale defaults: NG=8 (64 partitions),
@@ -228,6 +234,10 @@ func (e *Engine) Dataset() *traj.Dataset { return e.dataset }
 
 // CellD returns the cell side length used for verification metadata.
 func (e *Engine) CellD() float64 { return e.cellD }
+
+// VerifyParallelism returns the engine's resolved verification fan-out
+// (Options.VerifyParallelism with 0 mapped to runtime.GOMAXPROCS).
+func (e *Engine) VerifyParallelism() int { return ResolveParallelism(e.opts.VerifyParallelism) }
 
 // IndexSizeBytes returns (globalBytes, localBytes) — Table 5's "Global
 // Size" and "Local Size".

@@ -661,9 +661,17 @@ func boolToInt(b bool) int {
 // is |shipped|·|dst| pairs, TrieCands the candidate pairs the tries
 // emitted, and the later stages the verification cascade over those pairs.
 func localJoin(ctx context.Context, dstEngine *Engine, dst, src *Partition, shipped []int, tau float64, flip bool) ([]Pair, obs.Funnel, error) {
-	var out []Pair
 	f := obs.Funnel{Considered: int64(len(shipped)) * int64(len(dst.Trajs))}
 	m := dstEngine.opts.Measure
+	// Phase 1: sequential trie probes flatten the edge into candidate
+	// pairs, with one verifier per shipped trajectory (the filter stage is
+	// cheap; the DP-heavy cascade below is where the fan-out pays).
+	var (
+		pairs []JoinPair
+		vs    []*Verifier
+		ts    []*traj.T
+		nCand []int
+	)
 	for _, si := range shipped {
 		t := src.Trajs[si]
 		idxs, err := dst.Index.SearchContext(ctx, t.Points, m, tau, nil)
@@ -673,27 +681,35 @@ func localJoin(ctx context.Context, dstEngine *Engine, dst, src *Partition, ship
 		if len(idxs) == 0 {
 			continue
 		}
-		v := NewVerifierFromMeta(m, t.Points, tau, src.meta[si])
+		vi := len(vs)
+		vs = append(vs, NewVerifierFromMeta(m, t.Points, tau, src.meta[si]))
+		ts = append(ts, t)
+		nCand = append(nCand, len(idxs))
 		for _, i := range idxs {
-			if err := ctx.Err(); err != nil {
-				vf := v.Funnel(0, len(idxs))
-				vf.Considered = 0
-				f.Merge(vf)
-				return nil, f, err
-			}
-			d, ok := v.Verify(dst.Trajs[i], dst.meta[i])
-			if !ok {
-				continue
-			}
-			if flip {
-				out = append(out, Pair{T: dst.Trajs[i], Q: t, Distance: d})
-			} else {
-				out = append(out, Pair{T: t, Q: dst.Trajs[i], Distance: d})
-			}
+			pairs = append(pairs, JoinPair{Shipped: vi, Local: i})
 		}
-		vf := v.Funnel(0, len(idxs))
+	}
+	// Phase 2: the verification cascade over the flat pair list, fanned
+	// out across the verification pool. Hits come back in pairs order, so
+	// the output matches the old nested sequential loops byte for byte;
+	// the funnel merge is a sum per stage, so it is order-independent too.
+	hits, err := VerifyJoinPairs(ctx, pairs, vs, dst.Trajs, dst.meta, dstEngine.opts.VerifyParallelism)
+	for vi, v := range vs {
+		vf := v.Funnel(0, nCand[vi])
 		vf.Considered = 0
 		f.Merge(vf)
+	}
+	if err != nil {
+		return nil, f, err
+	}
+	var out []Pair
+	for _, h := range hits {
+		t, d := ts[h.Pair.Shipped], h.Pair.Local
+		if flip {
+			out = append(out, Pair{T: dst.Trajs[d], Q: t, Distance: h.Distance})
+		} else {
+			out = append(out, Pair{T: t, Q: dst.Trajs[d], Distance: h.Distance})
+		}
 	}
 	return out, f, nil
 }

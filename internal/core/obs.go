@@ -61,13 +61,13 @@ func (m *engineMetrics) recordSkip(class string) {
 // trie filtered (partition size for search, |shipped|·|dst| pairs for a
 // join edge); trieCands is the trie's output feeding this verifier.
 func (v *Verifier) Funnel(considered, trieCands int) obs.Funnel {
-	afterLen := trieCands - v.LengthPruned
+	afterLen := int64(trieCands) - v.LengthPruned.Load()
 	return obs.Funnel{
 		Considered:    int64(considered),
 		TrieCands:     int64(trieCands),
-		AfterLength:   int64(afterLen),
-		AfterCoverage: int64(afterLen - v.CoveragePruned),
-		Verified:      int64(v.Verified),
-		Matched:       int64(v.Accepted),
+		AfterLength:   afterLen,
+		AfterCoverage: afterLen - v.CoveragePruned.Load(),
+		Verified:      v.Verified.Load(),
+		Matched:       v.Accepted.Load(),
 	}
 }

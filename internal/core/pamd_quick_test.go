@@ -1,0 +1,108 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"dita/internal/geom"
+	"dita/internal/measure"
+	"dita/internal/pivot"
+)
+
+// qtraj is a testing/quick generator for random trajectories: 2–20 points
+// in a 10×10 box, so distances stay in a well-conditioned range instead of
+// quick's default full-float64 spread.
+type qtraj []geom.Point
+
+func (qtraj) Generate(r *rand.Rand, _ int) reflect.Value {
+	n := 2 + r.Intn(19)
+	pts := make([]geom.Point, n)
+	for i := range pts {
+		pts[i] = geom.Point{X: r.Float64() * 10, Y: r.Float64() * 10}
+	}
+	return reflect.ValueOf(qtraj(pts))
+}
+
+// qcfg keeps the property runs cheap but broad.
+var qcfg = &quick.Config{MaxCount: 300}
+
+const lbSlack = 1e-9 // float tolerance for lower-bound comparisons
+
+// Lemma 4.3: PAMD is a lower bound on DTW for any pivot selection
+// strategy and pivot count.
+func TestQuickPAMDLowerBoundsDTW(t *testing.T) {
+	prop := func(a, b qtraj, kRaw uint8) bool {
+		d := measure.DTW{}.Distance(a, b)
+		for _, s := range []pivot.Strategy{pivot.Neighbor, pivot.Inflection, pivot.FirstLast} {
+			k := int(kRaw)%len(a) + 1
+			if PAMDK(a, b, k, s) > d+lbSlack {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, qcfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// Lemma 5.1: OPAMD never prunes a true match — whenever DTW(T,Q) <= τ,
+// the ordered bound stays at or below the true distance.
+func TestQuickOPAMDSoundAtTau(t *testing.T) {
+	prop := func(a, b qtraj, kRaw uint8, tauRaw uint8) bool {
+		d := measure.DTW{}.Distance(a, b)
+		tau := float64(tauRaw) / 16 // 0 .. ~16, brackets typical DTW sums here
+		k := int(kRaw)%len(a) + 1
+		for _, s := range []pivot.Strategy{pivot.Neighbor, pivot.Inflection, pivot.FirstLast} {
+			lb := OPAMD(a, b, pivot.Points(a, k, s), tau)
+			if d <= tau && lb > d+lbSlack {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, qcfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// Lemma 5.6: the cell-compression bound (computed exactly, with an
+// infinite abandon budget) never exceeds the true DTW, in either
+// direction, at any cell side length.
+func TestQuickCellLowerBoundsDTW(t *testing.T) {
+	prop := func(a, b qtraj, dRaw uint8) bool {
+		cellD := 0.05 + float64(dRaw)/64 // 0.05 .. ~4
+		d := measure.DTW{}.Distance(a, b)
+		ca, cb := CompressCells(a, cellD), CompressCells(b, cellD)
+		inf := math.Inf(1)
+		return CellLowerBoundSum(ca, cb, inf) <= d+lbSlack &&
+			CellLowerBoundSum(cb, ca, inf) <= d+lbSlack
+	}
+	if err := quick.Check(prop, qcfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// DTWThreshold must agree with the exact DP whenever it does not abandon:
+// ok iff the true distance is within τ, and an ok result carries the exact
+// value (double-direction join included, Section 5.3.3).
+func TestQuickDTWThresholdAgreesWithDTW(t *testing.T) {
+	prop := func(a, b qtraj, tauRaw uint8) bool {
+		m := measure.DTW{}
+		d := m.Distance(a, b)
+		tau := float64(tauRaw) / 16
+		got, ok := m.DistanceThreshold(a, b, tau)
+		if ok {
+			return math.Abs(got-d) <= lbSlack && got <= tau+lbSlack
+		}
+		// An abandon must be justified: the true distance exceeds τ, and
+		// the reported value (a lower bound proof) exceeds τ too.
+		return d > tau-lbSlack && got > tau-lbSlack
+	}
+	if err := quick.Check(prop, qcfg); err != nil {
+		t.Error(err)
+	}
+}

@@ -282,14 +282,13 @@ func (e *Engine) localSearchContext(ctx context.Context, p *Partition, q []geom.
 		t0 = time.Now()
 	}
 	v := NewVerifier(e.opts.Measure, q, tau, e.cellD)
+	hits, err := v.VerifyAll(ctx, p.Trajs, p.meta, cands, e.opts.VerifyParallelism)
+	if err != nil {
+		return nil, v.Funnel(len(p.Trajs), len(cands)), err
+	}
 	var out []SearchResult
-	for _, i := range cands {
-		if err := ctx.Err(); err != nil {
-			return nil, v.Funnel(len(p.Trajs), len(cands)), err
-		}
-		if d, ok := v.Verify(p.Trajs[i], p.meta[i]); ok {
-			out = append(out, SearchResult{Traj: p.Trajs[i], Distance: d})
-		}
+	for _, h := range hits {
+		out = append(out, SearchResult{Traj: p.Trajs[h.Index], Distance: h.Distance})
 	}
 	f = v.Funnel(len(p.Trajs), len(cands))
 	if tr != nil {

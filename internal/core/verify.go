@@ -2,6 +2,7 @@ package core
 
 import (
 	"math"
+	"sync/atomic"
 
 	"dita/internal/geom"
 	"dita/internal/measure"
@@ -151,6 +152,11 @@ func NewVerifyMeta(t *traj.T, cellD float64) VerifyMeta { return newTrajMeta(t, 
 // coverage filtering (Lemma 5.4) → cell-based lower bound (Lemma 5.6) →
 // threshold distance with double-direction early abandoning. It caches
 // the query-side MBR, expanded MBR and cells.
+//
+// The cached query-side state is read-only after construction and the
+// stats counters are atomic, so one Verifier may be shared by the worker
+// pool that verifies a candidate list concurrently (VerifyAll). The
+// atomic counters make the struct non-copyable; always use it by pointer.
 type Verifier struct {
 	m     measure.Measure
 	tau   float64
@@ -159,11 +165,11 @@ type Verifier struct {
 	qEMBR geom.MBR
 	qCell CellList
 	// Stats
-	CoveragePruned int
-	CellPruned     int
-	LengthPruned   int
-	Verified       int
-	Accepted       int
+	CoveragePruned atomic.Int64
+	CellPruned     atomic.Int64
+	LengthPruned   atomic.Int64
+	Verified       atomic.Int64
+	Accepted       atomic.Int64
 }
 
 // NewVerifier prepares a verifier for query q at threshold tau. cellD is
@@ -195,14 +201,14 @@ func NewVerifierFromMeta(m measure.Measure, q []geom.Point, tau float64, meta tr
 func (v *Verifier) Verify(t *traj.T, meta trajMeta) (float64, bool) {
 	// Length filter (edit measures: Appendix A).
 	if lb := v.m.LengthLowerBound(len(t.Points), len(v.q)); lb > v.tau {
-		v.LengthPruned++
+		v.LengthPruned.Add(1)
 		return lb, false
 	}
 	// MBR coverage filtering, Lemma 5.4: if similar, EMBR_{T,τ} covers
 	// MBR_Q and EMBR_{Q,τ} covers MBR_T. O(1) per candidate.
 	if v.m.SupportsCoverageFilter() {
 		if !v.qEMBR.Covers(meta.mbr) || !meta.mbr.Expand(v.tau).Covers(v.qMBR) {
-			v.CoveragePruned++
+			v.CoveragePruned.Add(1)
 			return math.Inf(1), false
 		}
 	}
@@ -222,15 +228,15 @@ func (v *Verifier) Verify(t *traj.T, meta trajMeta) (float64, bool) {
 			}
 		}
 		if lb > v.tau {
-			v.CellPruned++
+			v.CellPruned.Add(1)
 			return lb, false
 		}
 	}
 	// Exact threshold verification (double-direction for DTW).
-	v.Verified++
+	v.Verified.Add(1)
 	d, ok := v.m.DistanceThreshold(t.Points, v.q, v.tau)
 	if ok {
-		v.Accepted++
+		v.Accepted.Add(1)
 	}
 	return d, ok
 }

@@ -57,8 +57,8 @@ func TestPaperExample55Coverage(t *testing.T) {
 	if _, ok := v.Verify(tr, newTrajMeta(tr, 2)); ok {
 		t.Error("verifier accepted the paper's pruned pair")
 	}
-	if v.CoveragePruned != 1 {
-		t.Errorf("coverage filter should have fired, stats=%+v", v)
+	if v.CoveragePruned.Load() != 1 {
+		t.Errorf("coverage filter should have fired, coverage=%d", v.CoveragePruned.Load())
 	}
 }
 
@@ -168,10 +168,10 @@ func TestVerifierFiltersFire(t *testing.T) {
 			t.Fatal("far candidate accepted")
 		}
 	}
-	if v.CoveragePruned == 0 {
+	if v.CoveragePruned.Load() == 0 {
 		t.Error("coverage filter never fired on far candidates")
 	}
-	if v.Verified != 0 {
-		t.Errorf("exact verification ran %d times; cheap filters should have pruned all", v.Verified)
+	if v.Verified.Load() != 0 {
+		t.Errorf("exact verification ran %d times; cheap filters should have pruned all", v.Verified.Load())
 	}
 }

@@ -1,0 +1,106 @@
+package dnet
+
+import (
+	"context"
+	"fmt"
+	"reflect"
+	"testing"
+
+	"dita/internal/gen"
+)
+
+// startClusterPar is startCluster with every worker's verification pool
+// set to the given fan-out.
+func startClusterPar(t *testing.T, n, par int, cfg Config) (*Coordinator, func()) {
+	t.Helper()
+	var workers []*Worker
+	var addrs []string
+	for i := 0; i < n; i++ {
+		w := NewWorker()
+		w.VerifyParallelism = par
+		addr, err := w.Serve("127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		workers = append(workers, w)
+		addrs = append(addrs, addr)
+	}
+	c, err := Connect(addrs, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, func() {
+		c.Close()
+		for _, w := range workers {
+			w.Close()
+		}
+	}
+}
+
+// TestNetParallelDifferential: the network mode must return identical
+// search hits, join pairs, and whole-query pruning funnels whether the
+// workers verify sequentially or on an 8-way pool.
+func TestNetParallelDifferential(t *testing.T) {
+	d := gen.Generate(gen.BeijingLike(300, 90))
+	d2 := gen.Generate(gen.BeijingLike(120, 90))
+	for _, tr := range d2.Trajs {
+		tr.ID += 100000
+	}
+	qs := gen.Queries(d, 6, 91)
+	const tau = 0.01
+
+	type outcome struct {
+		hits    [][]SearchHit
+		funnels []string
+		pairs   []WirePair
+		joinF   string
+	}
+	run := func(par int) outcome {
+		c, stop := startClusterPar(t, 3, par, testConfig())
+		defer stop()
+		if err := c.Dispatch("T", d); err != nil {
+			t.Fatal(err)
+		}
+		if err := c.Dispatch("Q", d2); err != nil {
+			t.Fatal(err)
+		}
+		var o outcome
+		for _, q := range qs {
+			var qst QueryStats
+			hits, _, err := c.SearchTraced(context.Background(), "T", q, tau, &qst)
+			if err != nil {
+				t.Fatal(err)
+			}
+			o.hits = append(o.hits, hits)
+			o.funnels = append(o.funnels, fmt.Sprintf("%+v", qst.Funnel))
+		}
+		var jst QueryStats
+		pairs, _, err := c.JoinTraced(context.Background(), "T", "Q", tau, &jst)
+		if err != nil {
+			t.Fatal(err)
+		}
+		o.pairs = pairs
+		o.joinF = fmt.Sprintf("%+v", jst.Funnel)
+		return o
+	}
+
+	base := run(1)
+	for _, par := range []int{2, 8} {
+		got := run(par)
+		for qi := range qs {
+			if !reflect.DeepEqual(got.hits[qi], base.hits[qi]) {
+				t.Errorf("par=%d q%d: hits diverge from sequential", par, qi)
+			}
+			if got.funnels[qi] != base.funnels[qi] {
+				t.Errorf("par=%d q%d: funnel diverges:\n seq: %s\n par: %s",
+					par, qi, base.funnels[qi], got.funnels[qi])
+			}
+		}
+		if !reflect.DeepEqual(got.pairs, base.pairs) {
+			t.Errorf("par=%d: join pairs diverge (%d vs %d)", par, len(got.pairs), len(base.pairs))
+		}
+		if got.joinF != base.joinF {
+			t.Errorf("par=%d: join funnel diverges:\n seq: %s\n par: %s", par, base.joinF, got.joinF)
+		}
+	}
+}

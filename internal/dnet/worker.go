@@ -46,6 +46,12 @@ type Worker struct {
 	// production.
 	FaultInjection *FaultPlan
 
+	// VerifyParallelism bounds the goroutine pool each Search/Join RPC
+	// uses to verify its candidate list: 0 means every core, 1 forces the
+	// sequential path. Set before Serve; results are identical at every
+	// setting.
+	VerifyParallelism int
+
 	// searchHook, when set (tests only), runs at the start of every
 	// Search RPC — panic injection and admission-blocking both hang off
 	// it. It runs inside the handler's recover, so a panicking hook
@@ -409,15 +415,14 @@ func (s *workerService) Search(args *SearchArgs, reply *SearchReply) (err error)
 	}
 	reply.Candidates = len(cands)
 	v := core.NewVerifier(p.m, args.Query, args.Tau, p.cellD)
-	for _, i := range cands {
-		if err := ctx.Err(); err != nil {
-			return err
-		}
-		if d, ok := v.Verify(p.trajs[i], p.meta[i]); ok {
-			reply.Hits = append(reply.Hits, SearchHit{ID: p.trajs[i].ID, Distance: d})
-		}
+	hits, err := v.VerifyAll(ctx, p.trajs, p.meta, cands, s.w.VerifyParallelism)
+	if err != nil {
+		return err
 	}
-	reply.Verified = v.Verified
+	for _, h := range hits {
+		reply.Hits = append(reply.Hits, SearchHit{ID: p.trajs[h.Index].ID, Distance: h.Distance})
+	}
+	reply.Verified = int(v.Verified.Load())
 	reply.Funnel = v.Funnel(len(p.trajs), len(cands))
 	sort.Slice(reply.Hits, func(a, b int) bool { return reply.Hits[a].ID < reply.Hits[b].ID })
 	return nil
@@ -546,7 +551,16 @@ func (s *workerService) Join(args *JoinArgs, reply *JoinReply) (err error) {
 	// Considered counts every (shipped, local) pair the trie filtered; the
 	// verification stages accumulate per shipped trajectory.
 	reply.Funnel.Considered = int64(len(args.Trajs)) * int64(len(p.trajs))
-	for _, wt := range args.Trajs {
+	// Phase 1: sequential trie probes flatten the shipment into candidate
+	// pairs, one verifier per shipped trajectory (mirrors core.localJoin).
+	var (
+		pairs []core.JoinPair
+		vs    []*core.Verifier
+		wts   []*WireTrajectory
+		nCand []int
+	)
+	for wi := range args.Trajs {
+		wt := &args.Trajs[wi]
 		reply.BytesReceived += 16*len(wt.Points) + 8
 		idxs, err := p.index.SearchContext(ctx, wt.Points, p.m, args.Tau, nil)
 		if err != nil {
@@ -556,24 +570,33 @@ func (s *workerService) Join(args *JoinArgs, reply *JoinReply) (err error) {
 		if len(idxs) == 0 {
 			continue
 		}
-		v := core.NewVerifier(p.m, wt.Points, args.Tau, p.cellD)
+		vi := len(vs)
+		vs = append(vs, core.NewVerifier(p.m, wt.Points, args.Tau, p.cellD))
+		wts = append(wts, wt)
+		nCand = append(nCand, len(idxs))
 		for _, i := range idxs {
-			if err := ctx.Err(); err != nil {
-				return err
-			}
-			d, ok := v.Verify(p.trajs[i], p.meta[i])
-			if !ok {
-				continue
-			}
-			if args.Flip {
-				reply.Pairs = append(reply.Pairs, WirePair{TID: p.trajs[i].ID, QID: wt.ID, Distance: d})
-			} else {
-				reply.Pairs = append(reply.Pairs, WirePair{TID: wt.ID, QID: p.trajs[i].ID, Distance: d})
-			}
+			pairs = append(pairs, core.JoinPair{Shipped: vi, Local: i})
 		}
-		vf := v.Funnel(0, len(idxs))
+	}
+	// Phase 2: verify the flat pair list on the worker's verification
+	// pool. Hits come back in pairs order, so reply.Pairs matches the old
+	// nested loops exactly; the funnel merge is order-independent sums.
+	hits, err := core.VerifyJoinPairs(ctx, pairs, vs, p.trajs, p.meta, s.w.VerifyParallelism)
+	for vi, v := range vs {
+		vf := v.Funnel(0, nCand[vi])
 		vf.Considered = 0 // already counted for the whole shipment above
 		reply.Funnel.Merge(vf)
+	}
+	if err != nil {
+		return err
+	}
+	for _, h := range hits {
+		wt, d := wts[h.Pair.Shipped], h.Pair.Local
+		if args.Flip {
+			reply.Pairs = append(reply.Pairs, WirePair{TID: p.trajs[d].ID, QID: wt.ID, Distance: h.Distance})
+		} else {
+			reply.Pairs = append(reply.Pairs, WirePair{TID: wt.ID, QID: p.trajs[d].ID, Distance: h.Distance})
+		}
 	}
 	s.w.bytesIn.Add(int64(reply.BytesReceived))
 	return nil

@@ -22,6 +22,9 @@ type BenchReport struct {
 	Trajectories int   `json:"trajectories"`
 	Workers      int   `json:"workers"`
 	Seed         int64 `json:"seed"`
+	// Parallelism is the resolved per-partition verification fan-out the
+	// run used (VerifyParallelism with 0 mapped to the core count).
+	Parallelism int `json:"parallelism"`
 	// Scale is the cardinality multiplier the run used.
 	Scale float64 `json:"scale"`
 	// BuildMS is the wall-clock index build time in milliseconds.
@@ -95,6 +98,7 @@ func Bench(kind string, cfg Config) (*BenchReport, error) {
 	d := cfg.dataset(kind)
 	m := measure.DTW{}
 	opts := engineOpts(m, cfg.Workers)
+	opts.VerifyParallelism = cfg.VerifyParallelism
 
 	buildStart := time.Now()
 	e, err := core.NewEngine(d, opts)
@@ -106,6 +110,7 @@ func Bench(kind string, cfg Config) (*BenchReport, error) {
 		Trajectories: d.Len(),
 		Workers:      cfg.Workers,
 		Seed:         cfg.Seed,
+		Parallelism:  e.VerifyParallelism(),
 		Scale:        cfg.Scale,
 		BuildMS:      float64(time.Since(buildStart).Microseconds()) / 1000,
 	}

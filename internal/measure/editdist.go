@@ -52,8 +52,8 @@ func (e EDR) Distance(t, q []geom.Point) float64 {
 	if n == 0 {
 		return float64(m)
 	}
-	prev := make([]float64, n+1)
-	cur := make([]float64, n+1)
+	prev, cur, scratch := twoRows(n)
+	defer scratch.Release()
 	for j := 0; j <= n; j++ {
 		prev[j] = float64(j)
 	}
@@ -144,8 +144,8 @@ func (l LCSS) Distance(t, q []geom.Point) float64 {
 	if n == 0 {
 		return float64(m)
 	}
-	prev := make([]float64, n+1)
-	cur := make([]float64, n+1)
+	prev, cur, scratch := twoRows(n)
+	defer scratch.Release()
 	for j := 0; j <= n; j++ {
 		prev[j] = float64(j)
 	}
@@ -235,8 +235,8 @@ func editBandedDP(t, q []geom.Point, tau float64, subCost func(a, b geom.Point) 
 		w = 0
 	}
 	inf := math.Inf(1)
-	prev := make([]float64, n+1)
-	cur := make([]float64, n+1)
+	prev, cur, scratch := twoRows(n)
+	defer scratch.Release()
 	for j := 0; j <= n; j++ {
 		if j <= w {
 			prev[j] = float64(j)

@@ -50,8 +50,8 @@ func (e ERP) GapPoint() (geom.Point, bool) { return e.Gap, true }
 func (e ERP) Distance(t, q []geom.Point) float64 {
 	m, n := len(t), len(q)
 	g := e.Gap
-	prev := make([]float64, n+1)
-	cur := make([]float64, n+1)
+	prev, cur, scratch := twoRows(n)
+	defer scratch.Release()
 	prev[0] = 0
 	for j := 1; j <= n; j++ {
 		prev[j] = prev[j-1] + q[j-1].Dist(g)
@@ -81,8 +81,8 @@ func (e ERP) Distance(t, q []geom.Point) float64 {
 func (e ERP) DistanceThreshold(t, q []geom.Point, tau float64) (float64, bool) {
 	m, n := len(t), len(q)
 	g := e.Gap
-	prev := make([]float64, n+1)
-	cur := make([]float64, n+1)
+	prev, cur, scratch := twoRows(n)
+	defer scratch.Release()
 	prev[0] = 0
 	for j := 1; j <= n; j++ {
 		prev[j] = prev[j-1] + q[j-1].Dist(g)

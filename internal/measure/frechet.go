@@ -3,6 +3,7 @@ package measure
 import (
 	"math"
 
+	"dita/internal/dppool"
 	"dita/internal/geom"
 )
 
@@ -46,8 +47,8 @@ func (Frechet) Distance(t, q []geom.Point) float64 {
 	if m == 0 || n == 0 {
 		return math.Inf(1)
 	}
-	prev := make([]float64, n+1)
-	cur := make([]float64, n+1)
+	prev, cur, scratch := twoRows(n)
+	defer scratch.Release()
 	inf := math.Inf(1)
 	for j := 0; j <= n; j++ {
 		prev[j] = inf
@@ -91,8 +92,12 @@ func (f Frechet) DistanceThreshold(t, q []geom.Point, tau float64) (float64, boo
 	if t[0].Dist(q[0]) > tau || t[m-1].Dist(q[n-1]) > tau {
 		return math.Inf(1), false
 	}
-	prev := make([]bool, n+1)
-	cur := make([]bool, n+1)
+	scratch := dppool.GetBools(2 * (n + 1))
+	defer scratch.Release()
+	prev, cur := scratch.S[:n+1], scratch.S[n+1:]
+	for j := range prev {
+		prev[j] = false
+	}
 	prev[0] = true
 	for i := 1; i <= m; i++ {
 		cur[0] = false

@@ -20,6 +20,7 @@ import (
 	"fmt"
 	"math"
 
+	"dita/internal/dppool"
 	"dita/internal/geom"
 )
 
@@ -113,14 +114,12 @@ func upper(s string) string {
 	return string(b)
 }
 
-// dtwBuf is a scratch buffer pool for the DP rows, sized generously to
-// avoid reallocation across calls on the hot verification path.
-type dpRows struct {
-	prev, cur []float64
-}
-
-func newRows(n int) *dpRows {
-	return &dpRows{prev: make([]float64, n+1), cur: make([]float64, n+1)}
+// twoRows borrows two pooled DP rows of width n+1 sharing one backing
+// buffer. Every distance kernel in this package draws its scratch from
+// internal/dppool so steady-state verification allocates nothing.
+func twoRows(n int) (prev, cur []float64, scratch *dppool.Floats) {
+	scratch = dppool.GetFloats(2 * (n + 1))
+	return scratch.S[:n+1], scratch.S[n+1:], scratch
 }
 
 // DTW is Dynamic Time Warping (Definition 2.2): the default, most robust
@@ -160,8 +159,8 @@ func (DTW) Distance(t, q []geom.Point) float64 {
 	if m == 0 || n == 0 {
 		return math.Inf(1)
 	}
-	rows := newRows(n)
-	prev, cur := rows.prev, rows.cur
+	prev, cur, scratch := twoRows(n)
+	defer scratch.Release()
 	inf := math.Inf(1)
 	for j := 0; j <= n; j++ {
 		prev[j] = inf
@@ -204,8 +203,8 @@ func dtwEarlyAbandon(t, q []geom.Point, tau float64) (float64, bool) {
 	if m == 0 || n == 0 {
 		return math.Inf(1), false
 	}
-	rows := newRows(n)
-	prev, cur := rows.prev, rows.cur
+	prev, cur, scratch := twoRows(n)
+	defer scratch.Release()
 	inf := math.Inf(1)
 	for j := 0; j <= n; j++ {
 		prev[j] = inf
@@ -262,17 +261,23 @@ func dtwDoubleDirection(t, q []geom.Point, tau float64) (float64, bool) {
 	mid := m / 2
 	inf := math.Inf(1)
 
+	// All four DP rows share one pooled buffer: forward rows are n+1 wide,
+	// backward rows n+2 (the extra out-of-range guard cell).
+	scratch := dppool.GetFloats(4*n + 6)
+	defer scratch.Release()
+	buf := scratch.S
+
 	// Forward DP over rows 1..mid.
-	fprev := make([]float64, n+1)
-	fcur := make([]float64, n+1)
+	fprev := buf[:n+1]
+	fcur := buf[n+1 : 2*n+2]
 	for j := 0; j <= n; j++ {
 		fprev[j] = inf
 	}
 	fprev[0] = 0
 	// Backward DP over rows m..mid+1. bprev[j] corresponds to B[i][j] for
 	// 1-based j; bprev[n+1] is the out-of-range guard.
-	bprev := make([]float64, n+2)
-	bcur := make([]float64, n+2)
+	bprev := buf[2*n+2 : 3*n+4]
+	bcur := buf[3*n+4:]
 	for j := 0; j <= n+1; j++ {
 		bprev[j] = inf
 	}

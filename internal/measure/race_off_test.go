@@ -1,0 +1,7 @@
+//go:build !race
+
+package measure
+
+// raceEnabled reports that this binary was built with -race, where the
+// instrumented allocator makes testing.AllocsPerRun unreliable.
+const raceEnabled = false

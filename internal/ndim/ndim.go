@@ -16,6 +16,8 @@ import (
 	"fmt"
 	"math"
 	"sort"
+
+	"dita/internal/dppool"
 )
 
 // Point is a d-dimensional location.
@@ -88,8 +90,9 @@ func DTW(t, q []Point) float64 {
 		return math.Inf(1)
 	}
 	inf := math.Inf(1)
-	prev := make([]float64, n+1)
-	cur := make([]float64, n+1)
+	scratch := dppool.GetFloats(2 * (n + 1))
+	defer scratch.Release()
+	prev, cur := scratch.S[:n+1], scratch.S[n+1:]
 	for j := 0; j <= n; j++ {
 		prev[j] = inf
 	}
@@ -119,8 +122,9 @@ func DTWThreshold(t, q []Point, tau float64) (float64, bool) {
 		return math.Inf(1), false
 	}
 	inf := math.Inf(1)
-	prev := make([]float64, n+1)
-	cur := make([]float64, n+1)
+	scratch := dppool.GetFloats(2 * (n + 1))
+	defer scratch.Release()
+	prev, cur := scratch.S[:n+1], scratch.S[n+1:]
 	for j := 0; j <= n; j++ {
 		prev[j] = inf
 	}
@@ -157,8 +161,9 @@ func Frechet(t, q []Point) float64 {
 		return math.Inf(1)
 	}
 	inf := math.Inf(1)
-	prev := make([]float64, n+1)
-	cur := make([]float64, n+1)
+	scratch := dppool.GetFloats(2 * (n + 1))
+	defer scratch.Release()
+	prev, cur := scratch.S[:n+1], scratch.S[n+1:]
 	for j := 0; j <= n; j++ {
 		prev[j] = inf
 	}
@@ -195,8 +200,9 @@ func EDR(t, q []Point, eps float64) float64 {
 	if n == 0 {
 		return float64(m)
 	}
-	prev := make([]float64, n+1)
-	cur := make([]float64, n+1)
+	scratch := dppool.GetFloats(2 * (n + 1))
+	defer scratch.Release()
+	prev, cur := scratch.S[:n+1], scratch.S[n+1:]
 	for j := 0; j <= n; j++ {
 		prev[j] = float64(j)
 	}

@@ -109,18 +109,21 @@ type Result struct {
 // actually ran, the pruning funnel it produced, the row count, and the
 // wall-clock execution time (admission wait excluded).
 type AnalyzeReport struct {
-	Plan    string
-	Funnel  obs.Funnel
-	Rows    int
-	Elapsed time.Duration
+	Plan   string
+	Funnel obs.Funnel
+	Rows   int
+	// Parallelism is the engine's resolved verification fan-out (0 when
+	// the plan never touched an engine, e.g. a full scan).
+	Parallelism int
+	Elapsed     time.Duration
 }
 
 // String renders the report in EXPLAIN ANALYZE style, one line of plan
 // and one line of funnel.
 func (a *AnalyzeReport) String() string {
 	return fmt.Sprintf(
-		"%s (actual rows=%d time=%s)\n  funnel: partitions=%d relevant=%d considered=%d trie=%d length=%d coverage=%d verified=%d matched=%d",
-		a.Plan, a.Rows, a.Elapsed.Round(time.Microsecond),
+		"%s (actual rows=%d time=%s parallelism=%d)\n  funnel: partitions=%d relevant=%d considered=%d trie=%d length=%d coverage=%d verified=%d matched=%d",
+		a.Plan, a.Rows, a.Elapsed.Round(time.Microsecond), a.Parallelism,
 		a.Funnel.Partitions, a.Funnel.Relevant, a.Funnel.Considered,
 		a.Funnel.TrieCands, a.Funnel.AfterLength, a.Funnel.AfterCoverage,
 		a.Funnel.Verified, a.Funnel.Matched)
@@ -306,13 +309,17 @@ func (db *DB) execSelect(ctx context.Context, s *Select, params []*traj.T, planO
 	if analyze {
 		aStart = time.Now()
 	}
+	// verifyPar is filled by the branches that resolve an engine, so the
+	// ANALYZE report shows the fan-out the executed plan actually used.
+	verifyPar := 0
 	report := func(res *Result, f obs.Funnel) *Result {
 		if analyze {
 			res.Analyze = &AnalyzeReport{
-				Plan:    res.Plan,
-				Funnel:  f,
-				Rows:    len(res.Trajs) + len(res.Pairs),
-				Elapsed: time.Since(aStart),
+				Plan:        res.Plan,
+				Funnel:      f,
+				Rows:        len(res.Trajs) + len(res.Pairs),
+				Parallelism: verifyPar,
+				Elapsed:     time.Since(aStart),
 			}
 		}
 		return res
@@ -369,6 +376,7 @@ func (db *DB) execSelect(ctx context.Context, s *Select, params []*traj.T, planO
 			return nil, err
 		}
 		leftTrajs := append([]*traj.T(nil), t.data.Trajs...)
+		verifyPar = e1.VerifyParallelism()
 		unlock()
 		nn := e1.KNNJoin(e2, s.Limit)
 		// Flatten to pairs: (left id, neighbor) in left-id order.
@@ -411,6 +419,7 @@ func (db *DB) execSelect(ctx context.Context, s *Select, params []*traj.T, planO
 		if err != nil {
 			return nil, err
 		}
+		verifyPar = e.VerifyParallelism()
 		unlock()
 		var st *core.SearchStats
 		if analyze {
@@ -450,6 +459,7 @@ func (db *DB) execSelect(ctx context.Context, s *Select, params []*traj.T, planO
 		if err != nil {
 			return nil, err
 		}
+		verifyPar = e1.VerifyParallelism()
 		unlock()
 		var js *core.JoinStats
 		if analyze {
@@ -507,6 +517,7 @@ func (db *DB) execSelect(ctx context.Context, s *Select, params []*traj.T, planO
 		if err != nil {
 			return nil, err
 		}
+		verifyPar = e.VerifyParallelism()
 		unlock()
 		var st *core.SearchStats
 		if analyze {
