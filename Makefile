@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: build test race vet staticcheck chaos fuzz check soak bench bench-json
+.PHONY: build test race vet staticcheck chaos knn fuzz check soak bench bench-json
 
 build:
 	$(GO) build ./...
@@ -33,6 +33,12 @@ race:
 chaos:
 	$(GO) test -race -run Chaos -count=2 ./...
 
+# kNN differential tests (best-first engine vs brute force locally, dnet
+# vs local over live TCP workers incl. a chaos worker kill) rerun under
+# the race detector; -count=2 defeats the cache like the chaos target.
+knn:
+	$(GO) test -race -run KNN -count=2 ./internal/core ./internal/dnet
+
 # Short coverage-guided fuzz smoke of every parser that takes untrusted
 # input (CSV trajectory loader, SQL lexer/parser). -run='^$$' skips the
 # unit tests so only the fuzz engine runs.
@@ -52,7 +58,7 @@ BENCH_PRESETS ?= default
 bench-json:
 	$(GO) run ./cmd/ditabench -bench $(BENCH_PRESETS) -bench-json $(BENCH_DIR)
 
-check: vet staticcheck race chaos fuzz
+check: vet staticcheck race chaos knn fuzz
 
 # 30-second soak: dita-net's cancelled-query churn workload against
 # in-process workers running under fault injection (-chaos). Exits

@@ -12,7 +12,7 @@
 //
 //	# terminal 4
 //	dita-net -workers 127.0.0.1:7001,127.0.0.1:7002,127.0.0.1:7003 \
-//	         -gen beijing:10000 -tau 0.005 -queries 100 -join
+//	         -gen beijing:10000 -tau 0.005 -queries 100 -join -knn 10
 //
 // With -spawn N the workers are started in-process on loopback instead,
 // for a one-command demo.
@@ -52,6 +52,7 @@ func main() {
 	tau := flag.Float64("tau", 0.005, "similarity threshold")
 	queries := flag.Int("queries", 50, "number of search queries")
 	doJoin := flag.Bool("join", false, "also run a self-join")
+	knnK := flag.Int("knn", 0, "also run the search queries as kNN at this k (0 disables)")
 	measureName := flag.String("measure", "DTW", "similarity function")
 	seed := flag.Int64("seed", 1, "generation seed")
 	replicas := flag.Int("replicas", 2, "partition replication factor (clamped to worker count)")
@@ -226,6 +227,55 @@ func main() {
 			ran, *tau, elapsed.Round(time.Millisecond),
 			float64(elapsed.Microseconds())/1000/float64(ran),
 			float64(totalHits)/float64(ran))
+	}
+
+	if *knnK > 0 {
+		start = time.Now()
+		totalHits, skippedParts, expired, ran = 0, 0, 0, 0
+		for i, q := range qs {
+			qctx, cancel := queryContext(ctx, *deadline)
+			var qstats *dnet.QueryStats
+			if *trace && i == 0 {
+				qstats = &dnet.QueryStats{Trace: obs.NewTrace("knn")}
+			}
+			hits, rep, err := coord.SearchKNNTraced(qctx, "trips", q, *knnK, qstats)
+			cancel()
+			if qstats != nil && err == nil {
+				qstats.Trace.Write(os.Stdout)
+				fmt.Printf("  knn funnel: %s\n", qstats.Funnel)
+			}
+			switch {
+			case err == nil:
+			case ctx.Err() != nil:
+				fmt.Println("dita-net: interrupted, stopping workload")
+				return
+			case errors.Is(err, context.DeadlineExceeded):
+				expired++
+				continue
+			case errors.Is(err, dnet.ErrOverloaded):
+				fatal(fmt.Errorf("%w (a serial workload should never queue; lower -queries or raise -max-concurrent)", err))
+			default:
+				fatal(err)
+			}
+			ran++
+			if rep.Partial() {
+				skippedParts += len(rep.Skipped)
+			}
+			totalHits += len(hits)
+		}
+		elapsed := time.Since(start)
+		if skippedParts > 0 {
+			fmt.Printf("knn: partial results — %d partition probes skipped\n", skippedParts)
+		}
+		if expired > 0 {
+			fmt.Printf("knn deadlines: %d/%d queries exceeded -deadline=%v\n", expired, len(qs), *deadline)
+		}
+		if ran > 0 {
+			fmt.Printf("knn: %d queries at k=%d in %v (%.2f ms/query, %.1f results/query)\n",
+				ran, *knnK, elapsed.Round(time.Millisecond),
+				float64(elapsed.Microseconds())/1000/float64(ran),
+				float64(totalHits)/float64(ran))
+		}
 	}
 
 	if *doJoin {

@@ -54,6 +54,8 @@ func main() {
 	if *benchJSON != "" {
 		for _, kind := range strings.Split(*bench, ",") {
 			kind = strings.TrimSpace(kind)
+			path := filepath.Join(*benchJSON, "BENCH_"+kind+".json")
+			before := knnMeanMS(path)
 			start := time.Now()
 			rep, err := exp.Bench(kind, cfg)
 			if err != nil {
@@ -65,13 +67,19 @@ func main() {
 				fmt.Fprintf(os.Stderr, "ditabench: %v\n", err)
 				os.Exit(1)
 			}
-			path := filepath.Join(*benchJSON, "BENCH_"+kind+".json")
 			if err := os.WriteFile(path, append(out, '\n'), 0o644); err != nil {
 				fmt.Fprintf(os.Stderr, "ditabench: %v\n", err)
 				os.Exit(1)
 			}
 			fmt.Printf("wrote %s (%d trajectories, %d workloads, %v)\n",
 				path, rep.Trajectories, len(rep.Workloads), time.Since(start).Round(time.Millisecond))
+			if after := knnMeanMS(path); after > 0 {
+				if before > 0 {
+					fmt.Printf("knn mean: %.3f ms -> %.3f ms (%.2fx)\n", before, after, before/after)
+				} else {
+					fmt.Printf("knn mean: %.3f ms (no previous run to compare)\n", after)
+				}
+			}
 		}
 		return
 	}
@@ -106,4 +114,25 @@ func main() {
 	if failed > 0 {
 		os.Exit(1)
 	}
+}
+
+// knnMeanMS reads a previously written BENCH_<preset>.json and returns its
+// knn workload's mean latency in milliseconds, or 0 when the file is
+// missing or has no knn workload. Used to print a before/after comparison
+// across bench-json runs.
+func knnMeanMS(path string) float64 {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return 0
+	}
+	var rep exp.BenchReport
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		return 0
+	}
+	for _, w := range rep.Workloads {
+		if w.Workload == "knn" {
+			return w.Latency.MeanMS
+		}
+	}
+	return 0
 }

@@ -36,7 +36,10 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	nn := left.KNNJoin(right, 2)
+	nn, err := left.KNNJoin(right, 2)
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	// 3. Trips whose nearest non-self neighbor is very close are
 	// duplicates of an existing route; everything else is a unique route.

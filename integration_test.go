@@ -176,7 +176,10 @@ func TestKNNJoinPublicAPI(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	nn := e1.KNNJoin(e2, 1)
+	nn, err := e1.KNNJoin(e2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(nn) != data.Len() {
 		t.Fatalf("KNNJoin covered %d of %d", len(nn), data.Len())
 	}

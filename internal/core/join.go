@@ -289,38 +289,11 @@ func (e *Engine) trajRelevantToPartition(t *traj.T, p *Partition, tau float64) b
 
 // TrajRelevant reports whether a trajectory may have answers in a
 // partition described by its first/last-point MBRs (Section 5.2's global
-// pruning, generalized per measure). Exported for the network-mode worker.
+// pruning, generalized per measure). It is defined as the partition's
+// lower bound being within τ, so threshold pruning and the best-first kNN
+// visit order share one bound. Exported for the network-mode worker.
 func TrajRelevant(m measure.Measure, q []geom.Point, mbrF, mbrL geom.MBR, tau float64) bool {
-	if m.AlignsEndpoints() {
-		df := mbrF.MinDist(q[0])
-		dl := mbrL.MinDist(q[len(q)-1])
-		if m.Accumulation() == measure.AccumMax {
-			return df <= tau && dl <= tau
-		}
-		return df+dl <= tau
-	}
-	gap, hasGap := m.GapPoint()
-	df := minDistTrajMBR(q, mbrF)
-	dl := minDistTrajMBR(q, mbrL)
-	if hasGap {
-		if d := mbrF.MinDist(gap); d < df {
-			df = d
-		}
-		if d := mbrL.MinDist(gap); d < dl {
-			dl = d
-		}
-	}
-	if m.Accumulation() == measure.AccumEdit {
-		cost := 0.0
-		if df > m.Epsilon() {
-			cost++
-		}
-		if dl > m.Epsilon() {
-			cost++
-		}
-		return cost <= tau
-	}
-	return df+dl <= tau
+	return PartitionLowerBound(m, q, mbrF, mbrL) <= tau
 }
 
 // orient chooses edge directions to minimize the maximum per-partition

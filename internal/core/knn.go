@@ -1,9 +1,14 @@
 package core
 
 import (
+	"context"
+	"fmt"
 	"math"
 	"sort"
+	"time"
 
+	"dita/internal/geom"
+	"dita/internal/obs"
 	"dita/internal/traj"
 )
 
@@ -11,88 +16,222 @@ import (
 // measure, ordered by ascending distance (ties broken by trajectory ID).
 //
 // kNN search is the paper's stated future work ("we plan to support
-// KNN-based search and join in DITA"); this implementation reuses the
-// threshold machinery: it probes with a geometrically growing threshold
-// until at least k answers are found, then trims. The initial radius is
-// seeded by the distance to a small sample, so well-clustered queries
-// converge in one or two probes.
+// KNN-based search and join in DITA"); the implementation is an
+// incremental best-first top-k engine in the style REPOSE uses for
+// distributed top-k trajectory search: partitions are visited in
+// ascending global-index lower bound order, a global k-max-heap's k-th
+// distance is the live threshold τ fed to the trie descent and the
+// verification cascade, and the search terminates exactly when the next
+// partition's lower bound exceeds τ. No candidate is ever verified twice,
+// and the result is exact even when fewer than k trajectories are
+// reachable (finite-distance neighbors simply run out and every partition
+// is scanned once — there is no probe cap to trip).
 func (e *Engine) SearchKNN(q *traj.T, k int) []SearchResult {
 	return e.SearchKNNStats(q, k, nil)
 }
 
-// SearchKNNStats is SearchKNN with observability: the funnels of every
-// threshold probe accumulate into stats.Funnel (a kNN query's total work
-// is the sum of its probes), probe spans land on stats.Trace when set,
-// and RelevantPartitions reports the final probe's partition count.
+// SearchKNNStats is SearchKNN with observability: the whole-query pruning
+// funnel lands in stats.Funnel, per-visit spans on stats.Trace when set.
+// A panic in a partition scan propagates (legacy crash semantics);
+// lifecycle-aware callers use SearchKNNContext.
 func (e *Engine) SearchKNNStats(q *traj.T, k int, stats *SearchStats) []SearchResult {
+	res, err := e.SearchKNNContext(context.Background(), q, k, stats)
+	if err != nil {
+		panic(err) // unreachable with a background context and no partition fault
+	}
+	return res
+}
+
+// SearchKNNContext is SearchKNN with query-lifecycle control: the context
+// is checked inside the trie descent, between verification steps, and
+// between partition visits. A panic in a partition scan surfaces as an
+// error. kNN has no partial-result variant — unlike a threshold search, a
+// top-k answer missing one partition's contribution is not a subset of
+// the true answer but potentially wrong everywhere, so any failed
+// partition fails the query.
+func (e *Engine) SearchKNNContext(ctx context.Context, q *traj.T, k int, stats *SearchStats) ([]SearchResult, error) {
 	if q == nil || len(q.Points) == 0 || k <= 0 || e.dataset.Len() == 0 {
-		return nil
+		return nil, ctx.Err()
 	}
 	if k > e.dataset.Len() {
 		k = e.dataset.Len()
 	}
 	e.met.knnInc()
-	tau := e.seedRadius(q, k)
-	for probe := 0; ; probe++ {
-		var ps *SearchStats
-		if stats != nil {
-			ps = &SearchStats{Trace: stats.Trace}
-		}
-		res := e.Search(q, tau, ps)
-		if stats != nil {
-			stats.Funnel.Merge(ps.Funnel)
-			stats.RelevantPartitions = ps.RelevantPartitions
-			stats.Candidates += ps.Candidates
-			stats.Verified += ps.Verified
-		}
-		if len(res) >= k || probe > 60 {
-			sort.Slice(res, func(a, b int) bool {
-				if res[a].Distance != res[b].Distance {
-					return res[a].Distance < res[b].Distance
-				}
-				return res[a].Traj.ID < res[b].Traj.ID
-			})
-			if len(res) > k {
-				res = res[:k]
-			}
-			if stats != nil {
-				stats.Results = len(res)
-			}
-			return res
-		}
-		tau *= 2
+	var tr *obs.Trace
+	if stats != nil {
+		tr = stats.Trace
 	}
+	timed := tr != nil || e.met != nil
+	var qStart time.Time
+	if timed {
+		qStart = time.Now()
+	}
+	funnel := obs.Funnel{Partitions: int64(len(e.parts))}
+	defer func() {
+		if stats != nil {
+			stats.Funnel = funnel
+			stats.RelevantPartitions = int(funnel.Relevant)
+			stats.Candidates = int(funnel.TrieCands)
+			stats.Verified = int(funnel.Verified)
+		}
+		if e.met != nil {
+			e.met.knnLatency.Observe(time.Since(qStart).Microseconds())
+			e.met.knnFunnel.Record(funnel)
+		}
+	}()
+	res, err := e.knnBestFirst(ctx, q, k, nil, &funnel, tr)
+	if stats != nil {
+		stats.Results = len(res)
+	}
+	return res, err
 }
 
-// seedRadius estimates a starting threshold: the k-th smallest distance
-// from q to a deterministic sample of the dataset, which upper-bounds the
-// true kNN radius when the sample is large enough and otherwise just
-// shortens the doubling search.
-func (e *Engine) seedRadius(q *traj.T, k int) float64 {
-	const sample = 24
-	n := e.dataset.Len()
-	step := n / sample
-	if step < 1 {
-		step = 1
+// knnOrder returns the engine's partitions sorted by ascending
+// (PartitionLowerBound, ID) — the best-first visit order.
+func (e *Engine) knnOrder(q []geom.Point) []knnVisit {
+	m := e.opts.Measure
+	order := make([]knnVisit, len(e.parts))
+	for i, p := range e.parts {
+		order[i] = knnVisit{pid: i, lb: PartitionLowerBound(m, q, p.MBRf, p.MBRl)}
 	}
-	var ds []float64
-	for i := 0; i < n; i += step {
-		d := e.opts.Measure.Distance(e.dataset.Trajs[i].Points, q.Points)
-		if !math.IsInf(d, 1) {
-			ds = append(ds, d)
+	sort.Slice(order, func(a, b int) bool {
+		if order[a].lb != order[b].lb {
+			return order[a].lb < order[b].lb
+		}
+		return order[a].pid < order[b].pid
+	})
+	return order
+}
+
+type knnVisit struct {
+	pid int
+	lb  float64
+}
+
+// knnBestFirst runs the incremental best-first top-k engine: seed τ from
+// a sample (or the caller's primed warm-start trajectories), then visit
+// partitions in ascending lower-bound order, each visit tightening τ
+// through the shared accumulator, until the next partition's bound
+// exceeds τ. Visits run inline on the driver — the scan is inherently
+// sequential (τ mutates between candidates) — but query shipping is still
+// charged to the simulated cluster. funnel accumulates the whole query's
+// pruning stages; funnel.Relevant counts partitions actually visited.
+func (e *Engine) knnBestFirst(ctx context.Context, q *traj.T, k int, prime []*traj.T, funnel *obs.Funnel, tr *obs.Trace) ([]SearchResult, error) {
+	acc := NewKNNAcc(k)
+	planDone := tr.StartSpan("knn-plan", -1)
+	order := e.knnOrder(q.Points)
+	planDone(nil)
+	if err := e.knnSeed(ctx, q, k, prime, acc, funnel, tr); err != nil {
+		return nil, err
+	}
+	const driver = 0
+	for _, po := range order {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		// Termination bound: once k answers exist, a partition whose lower
+		// bound strictly exceeds the k-th distance cannot improve the
+		// result (at lb == τ it still may, through an ID tie), and the
+		// order is ascending, so neither can any later one.
+		if acc.Full() && po.lb > acc.Tau() {
+			break
+		}
+		funnel.Relevant++
+		p := e.parts[po.pid]
+		e.cl.Transfer(driver, p.Worker, q.Bytes())
+		var vStart time.Time
+		if tr != nil {
+			vStart = time.Now()
+		}
+		f, err := e.knnVisit(ctx, p, q.Points, acc)
+		if tr != nil {
+			ff := f
+			span := obs.Span{Name: "knn-visit", Partition: p.ID,
+				Start: vStart.Sub(tr.Begin), Duration: time.Since(vStart), Funnel: &ff}
+			if err != nil {
+				span.Err, span.Class = err.Error(), obs.Classify(err)
+			}
+			tr.Add(span)
+		}
+		if err != nil {
+			if ctxErr := ctx.Err(); ctxErr != nil {
+				return nil, ctxErr
+			}
+			return nil, fmt.Errorf("core: knn: partition %d: %w", p.ID, err)
+		}
+		funnel.Merge(f)
+	}
+	return acc.Results(), nil
+}
+
+// knnVisit scans one partition with panic isolation (a poisoned partition
+// surfaces as this visit's error, not a process crash).
+func (e *Engine) knnVisit(ctx context.Context, p *Partition, q []geom.Point, acc *KNNAcc) (f obs.Funnel, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("panic: %v", r)
+		}
+	}()
+	return KNNScanPartition(ctx, e.opts.Measure, q, p.Index, p.Trajs, p.meta, e.cellD, acc, math.Inf(1))
+}
+
+// knnSeed primes the accumulator so partition visits start with a finite
+// τ: either from the caller's warm-start trajectories (kNN join passes a
+// partition neighbor's resolved answer set) or from a deterministic
+// stride sample of the dataset. The first k seeds are verified with the
+// exact kernel, the rest early-abandon against the live τ; every primed
+// distance is exact, so τ is sound from the first partition visit on. The
+// seeds' verification work is merged into the funnel as a flat stage.
+func (e *Engine) knnSeed(ctx context.Context, q *traj.T, k int, prime []*traj.T, acc *KNNAcc, funnel *obs.Funnel, tr *obs.Trace) error {
+	seedDone := tr.StartSpan("knn-seed", -1)
+	seeds := prime
+	if len(seeds) == 0 {
+		n := e.dataset.Len()
+		want := 2 * k
+		if want < 32 {
+			want = 32
+		}
+		step := n / want
+		if step < 1 {
+			step = 1
+		}
+		for i := 0; i < n; i += step {
+			seeds = append(seeds, e.dataset.Trajs[i])
 		}
 	}
-	if len(ds) == 0 {
-		return 1
+	m := e.opts.Measure
+	var considered, verified, matched int64
+	for si, t := range seeds {
+		if si%knnScanCtxEvery == 0 {
+			if err := ctx.Err(); err != nil {
+				seedDone(err)
+				return err
+			}
+		}
+		if t == nil || len(t.Points) == 0 || acc.Resolved(t) {
+			continue
+		}
+		considered++
+		tau := acc.Tau()
+		if math.IsInf(tau, 1) {
+			// Threshold kernels must never see τ=+Inf (the banded edit DP
+			// sizes its band from τ); the heap isn't full yet, so pay for
+			// the exact kernel.
+			verified++
+			acc.Add(t, m.Distance(t.Points, q.Points))
+			matched++
+			continue
+		}
+		verified++
+		d, ok := m.DistanceThreshold(t.Points, q.Points, tau)
+		acc.Resolve(t)
+		if ok {
+			acc.Offer(t, d)
+			matched++
+		}
 	}
-	sort.Float64s(ds)
-	idx := k - 1
-	if idx >= len(ds) {
-		idx = len(ds) - 1
-	}
-	r := ds[idx]
-	if r <= 0 {
-		r = 1e-9
-	}
-	return r
+	funnel.Merge(obs.Funnel{Considered: considered, TrieCands: considered,
+		AfterLength: considered, AfterCoverage: considered, Verified: verified, Matched: matched})
+	seedDone(nil)
+	return nil
 }

@@ -1,10 +1,13 @@
 package core
 
 import (
+	"context"
+	"math"
 	"sort"
 	"testing"
 
 	"dita/internal/gen"
+	"dita/internal/geom"
 	"dita/internal/measure"
 	"dita/internal/traj"
 )
@@ -101,7 +104,10 @@ func TestKNNJoinMatchesBruteForce(t *testing.T) {
 		t.Fatal(err)
 	}
 	k := 3
-	got := ea.KNNJoin(eb, k)
+	got, err := ea.KNNJoin(eb, k)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(got) != a.Len() {
 		t.Fatalf("KNNJoin covered %d of %d left trajectories", len(got), a.Len())
 	}
@@ -125,14 +131,220 @@ func TestKNNJoinDegenerate(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got := e.KNNJoin(e, 0); got != nil {
-		t.Error("k=0 should return nil")
+	if got, err := e.KNNJoin(e, 0); err != nil || got != nil {
+		t.Errorf("k=0 should return nil, got %v (err %v)", got, err)
 	}
 	// k exceeding the right side clamps.
-	got := e.KNNJoin(e, 1000)
+	got, err := e.KNNJoin(e, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
 	for id, res := range got {
 		if len(res) != d.Len() {
 			t.Fatalf("traj %d: %d neighbors, want %d", id, len(res), d.Len())
 		}
+	}
+}
+
+// TestKNNAllMeasuresMatchesBruteForce sweeps the best-first engine against
+// brute force under every supported measure, including k == n and k > n.
+func TestKNNAllMeasuresMatchesBruteForce(t *testing.T) {
+	d := smallDataset(200, 40)
+	for _, m := range []measure.Measure{
+		measure.DTW{}, measure.Frechet{}, measure.ERP{},
+		measure.EDR{Eps: 0.01}, measure.LCSS{Eps: 0.01, Delta: 8},
+	} {
+		opts := smallOpts(4)
+		opts.Measure = m
+		e, err := NewEngine(d, opts)
+		if err != nil {
+			t.Fatalf("%s: %v", m.Name(), err)
+		}
+		for qi, q := range gen.Queries(d, 4, 41) {
+			for _, k := range []int{1, 7, 50, d.Len(), d.Len() + 17} {
+				want := bruteKNN(d, m, q, k)
+				got := e.SearchKNN(q, k)
+				if len(got) != len(want) {
+					t.Fatalf("%s q%d k=%d: got %d results, want %d",
+						m.Name(), qi, k, len(got), len(want))
+				}
+				for i := range want {
+					if got[i].Traj.ID != want[i] {
+						t.Fatalf("%s q%d k=%d: result %d = traj %d, want %d",
+							m.Name(), qi, k, i, got[i].Traj.ID, want[i])
+					}
+				}
+				for i := 1; i < len(got); i++ {
+					if got[i].Distance < got[i-1].Distance {
+						t.Fatalf("%s q%d k=%d: results not sorted", m.Name(), qi, k)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestKNNTiesAtKth cuts k through groups of byte-identical trajectories:
+// every member of a tie group has the same distance, so the ID ordering
+// must decide — exactly as brute force does.
+func TestKNNTiesAtKth(t *testing.T) {
+	base := smallDataset(15, 42)
+	var trajs []*traj.T
+	id := 0
+	for _, tr := range base.Trajs {
+		for c := 0; c < 4; c++ {
+			pts := append([]geom.Point(nil), tr.Points...)
+			trajs = append(trajs, &traj.T{ID: id, Points: pts})
+			id++
+		}
+	}
+	d := traj.NewDataset("ties", trajs)
+	e, err := NewEngine(d, smallOpts(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := trajs[8] // a member: its whole tie group sits at distance 0
+	for _, k := range []int{1, 2, 3, 5, 6, 10, 59} {
+		want := bruteKNN(d, measure.DTW{}, q, k)
+		got := e.SearchKNN(q, k)
+		if len(got) != len(want) {
+			t.Fatalf("k=%d: got %d results, want %d", k, len(got), len(want))
+		}
+		for i := range want {
+			if got[i].Traj.ID != want[i] {
+				t.Fatalf("k=%d: result %d = traj %d, want %d (tie broken wrong)",
+					k, i, got[i].Traj.ID, want[i])
+			}
+		}
+	}
+}
+
+// radiusMeasure is DTW clipped to a reachability radius: anything farther
+// than r is at distance +Inf. Standard measures never return Inf on
+// non-empty inputs, so this is how the unreachable-neighbor path (and the
+// old code's silent probe>60 truncation) is exercised.
+type radiusMeasure struct {
+	measure.DTW
+	r float64
+}
+
+func (m radiusMeasure) Name() string { return "RADIUS" }
+
+func (m radiusMeasure) Distance(t, q []geom.Point) float64 {
+	d := m.DTW.Distance(t, q)
+	if d > m.r {
+		return math.Inf(1)
+	}
+	return d
+}
+
+func (m radiusMeasure) DistanceThreshold(t, q []geom.Point, tau float64) (float64, bool) {
+	d, ok := m.DTW.DistanceThreshold(t, q, tau)
+	if !ok {
+		return d, false // DTW > tau, so the clipped distance is too
+	}
+	if d > m.r {
+		return math.Inf(1), false
+	}
+	return d, ok
+}
+
+// TestKNNUnreachableNeighbors: when fewer than k trajectories are at
+// finite distance, the result must still have k entries — the unreachable
+// tail at +Inf in ID order, exactly like brute force — instead of being
+// silently truncated (the old doubling path's probe>60 cap).
+func TestKNNUnreachableNeighbors(t *testing.T) {
+	d := smallDataset(80, 43)
+	q := gen.Queries(d, 1, 44)[0]
+	// Pick r so only a handful of trajectories are reachable.
+	dtw := make([]float64, 0, d.Len())
+	for _, tr := range d.Trajs {
+		dtw = append(dtw, measure.DTW{}.Distance(tr.Points, q.Points))
+	}
+	sort.Float64s(dtw)
+	reach := 5
+	r := (dtw[reach-1] + dtw[reach]) / 2
+	m := radiusMeasure{r: r}
+	opts := smallOpts(4)
+	opts.Measure = m
+	e, err := NewEngine(d, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []int{3, reach, reach + 1, 20, d.Len()} {
+		want := bruteKNN(d, m, q, k)
+		got := e.SearchKNN(q, k)
+		if len(got) != len(want) {
+			t.Fatalf("k=%d: got %d results, want %d (silent truncation?)",
+				k, len(got), len(want))
+		}
+		infs := 0
+		for i := range want {
+			if got[i].Traj.ID != want[i] {
+				t.Fatalf("k=%d: result %d = traj %d, want %d", k, i, got[i].Traj.ID, want[i])
+			}
+			if math.IsInf(got[i].Distance, 1) {
+				infs++
+			}
+		}
+		if wantInfs := k - reach; wantInfs > 0 && infs != wantInfs {
+			t.Fatalf("k=%d: %d Inf-distance results, want %d", k, infs, wantInfs)
+		}
+	}
+}
+
+// TestSearchKNNContextCancel: a cancelled context aborts the query.
+func TestSearchKNNContextCancel(t *testing.T) {
+	d := smallDataset(100, 45)
+	e, err := NewEngine(d, smallOpts(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := e.SearchKNNContext(ctx, d.Trajs[0], 3, nil); err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+// TestKNNJoinValidation: mismatched clusters or measures are errors, not
+// silently mis-scheduled work.
+func TestKNNJoinValidation(t *testing.T) {
+	a := smallDataset(30, 46)
+	b := smallDataset(30, 47)
+	ea, err := NewEngine(a, smallOpts(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Different cluster.
+	eb, err := NewEngine(b, smallOpts(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ea.KNNJoin(eb, 2); err == nil {
+		t.Error("KNNJoin across clusters should fail")
+	}
+	// Same cluster, different measure.
+	opts := smallOpts(2)
+	opts.Cluster = ea.Cluster()
+	opts.Measure = measure.Frechet{}
+	ec, err := NewEngine(b, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ea.KNNJoin(ec, 2); err == nil {
+		t.Error("KNNJoin across measures should fail")
+	}
+	// Cancelled context aborts between probes.
+	opts2 := smallOpts(2)
+	opts2.Cluster = ea.Cluster()
+	ed, err := NewEngine(b, opts2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := ea.KNNJoinContext(ctx, ed, 2, nil); err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
 	}
 }

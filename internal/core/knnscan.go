@@ -1,0 +1,298 @@
+package core
+
+import (
+	"context"
+	"math"
+	"sort"
+
+	"dita/internal/geom"
+	"dita/internal/measure"
+	"dita/internal/obs"
+	"dita/internal/traj"
+	"dita/internal/trie"
+)
+
+// PartitionLowerBound returns a lower bound on the distance from query q
+// to any trajectory in a partition described by its first/last-point MBRs
+// (the quantitative form of the global pruning of Section 5.2, generalized
+// per measure exactly like TrajRelevant):
+//
+//   - Endpoint-anchored, sum-accumulating (DTW):
+//     MinDist(q1, MBRf) + MinDist(qn, MBRl).
+//   - Endpoint-anchored, max-accumulating (Fréchet):
+//     max(MinDist(q1, MBRf), MinDist(qn, MBRl)).
+//   - Edit measures: the number of endpoint MBRs farther than ε from every
+//     query point (each costs at least one edit).
+//   - ERP: like DTW but each term may be satisfied by the gap point, and
+//     any query point may align with the partition's endpoints.
+//
+// TrajRelevant(m, q, mbrF, mbrL, tau) ≡ PartitionLowerBound(...) <= tau,
+// so threshold pruning and best-first kNN ordering can never disagree.
+// Exported for the network-mode coordinator's visit ordering.
+func PartitionLowerBound(m measure.Measure, q []geom.Point, mbrF, mbrL geom.MBR) float64 {
+	if m.AlignsEndpoints() {
+		df := mbrF.MinDist(q[0])
+		dl := mbrL.MinDist(q[len(q)-1])
+		if m.Accumulation() == measure.AccumMax {
+			return math.Max(df, dl)
+		}
+		return df + dl
+	}
+	gap, hasGap := m.GapPoint()
+	df := minDistTrajMBR(q, mbrF)
+	dl := minDistTrajMBR(q, mbrL)
+	if hasGap {
+		if d := mbrF.MinDist(gap); d < df {
+			df = d
+		}
+		if d := mbrL.MinDist(gap); d < dl {
+			dl = d
+		}
+	}
+	if m.Accumulation() == measure.AccumEdit {
+		cost := 0.0
+		if df > m.Epsilon() {
+			cost++
+		}
+		if dl > m.Epsilon() {
+			cost++
+		}
+		return cost
+	}
+	return df + dl
+}
+
+// knnEntry is one heap slot of a KNNAcc.
+type knnEntry struct {
+	t *traj.T
+	d float64
+}
+
+// worse orders heap entries by (distance, ID) descending-priority: a is
+// worse than b when it sorts after b in the final ascending result order.
+func worse(a, b knnEntry) bool {
+	if a.d != b.d {
+		return a.d > b.d
+	}
+	return a.t.ID > b.t.ID
+}
+
+// KNNAcc accumulates the best k (distance, trajectory) pairs seen so far —
+// the global top-k state of the incremental best-first kNN. It is a
+// k-bounded max-heap ordered by (distance, trajectory ID), so the root is
+// always the current k-th best and Tau() is the live pruning threshold.
+// It also tracks which trajectories have been resolved (verified exactly,
+// or ruled out at a threshold no looser than the final one) so no
+// candidate is ever verified twice. Not safe for concurrent use.
+type KNNAcc struct {
+	k        int
+	heap     []knnEntry
+	resolved map[*traj.T]struct{}
+}
+
+// NewKNNAcc returns an empty accumulator for k results. k must be >= 1.
+func NewKNNAcc(k int) *KNNAcc {
+	return &KNNAcc{k: k, heap: make([]knnEntry, 0, k), resolved: make(map[*traj.T]struct{})}
+}
+
+// Full reports whether k results have been accumulated.
+func (a *KNNAcc) Full() bool { return len(a.heap) >= a.k }
+
+// Len returns the number of accumulated results (at most k).
+func (a *KNNAcc) Len() int { return len(a.heap) }
+
+// Tau returns the live pruning threshold: the k-th best distance once the
+// heap is full, +Inf before. Distances are accepted at <= Tau (with ID
+// tie-breaking), so candidates with a lower bound strictly above Tau can
+// never enter the result.
+func (a *KNNAcc) Tau() float64 {
+	if !a.Full() {
+		return math.Inf(1)
+	}
+	return a.heap[0].d
+}
+
+// Resolved reports whether t has already been resolved.
+func (a *KNNAcc) Resolved(t *traj.T) bool {
+	_, ok := a.resolved[t]
+	return ok
+}
+
+// Resolve marks t resolved: it was verified exactly or ruled out at the
+// current threshold. Since Tau only shrinks, a candidate pruned at the
+// threshold of its resolution stays pruned forever.
+func (a *KNNAcc) Resolve(t *traj.T) { a.resolved[t] = struct{}{} }
+
+// Add resolves t and offers its exact distance in one step.
+func (a *KNNAcc) Add(t *traj.T, d float64) {
+	a.Resolve(t)
+	a.Offer(t, d)
+}
+
+// Offer inserts (t, d) when it beats the current k-th best under the
+// (distance, ID) order, evicting the worst entry if the heap is full.
+// d must be the exact distance. Reports whether the entry was kept.
+func (a *KNNAcc) Offer(t *traj.T, d float64) bool {
+	e := knnEntry{t: t, d: d}
+	if len(a.heap) < a.k {
+		a.heap = append(a.heap, e)
+		a.siftUp(len(a.heap) - 1)
+		return true
+	}
+	if !worse(a.heap[0], e) {
+		return false
+	}
+	a.heap[0] = e
+	a.siftDown(0)
+	return true
+}
+
+func (a *KNNAcc) siftUp(i int) {
+	for i > 0 {
+		p := (i - 1) / 2
+		if !worse(a.heap[i], a.heap[p]) {
+			return
+		}
+		a.heap[i], a.heap[p] = a.heap[p], a.heap[i]
+		i = p
+	}
+}
+
+func (a *KNNAcc) siftDown(i int) {
+	n := len(a.heap)
+	for {
+		l, r := 2*i+1, 2*i+2
+		big := i
+		if l < n && worse(a.heap[l], a.heap[big]) {
+			big = l
+		}
+		if r < n && worse(a.heap[r], a.heap[big]) {
+			big = r
+		}
+		if big == i {
+			return
+		}
+		a.heap[i], a.heap[big] = a.heap[big], a.heap[i]
+		i = big
+	}
+}
+
+// Results returns the accumulated neighbors in ascending (distance, ID)
+// order — the kNN answer.
+func (a *KNNAcc) Results() []SearchResult {
+	out := make([]SearchResult, 0, len(a.heap))
+	for _, e := range a.heap {
+		out = append(out, SearchResult{Traj: e.t, Distance: e.d})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Distance != out[j].Distance {
+			return out[i].Distance < out[j].Distance
+		}
+		return out[i].Traj.ID < out[j].Traj.ID
+	})
+	return out
+}
+
+// knnScanCtxEvery is the candidate stride between context checks in the
+// scan loop (the verification step itself is the abort granularity).
+const knnScanCtxEvery = 32
+
+// KNNScanPartition runs the best-first candidate scan of one partition:
+// a bound-aware trie descent at the current threshold, candidates sorted
+// by their trie lower bound, then verification in bound order with the
+// threshold re-read from acc before every candidate (early abandoning
+// against the live k-th best) and an exact cut as soon as the next bound
+// exceeds it. Already-resolved trajectories are skipped, and every
+// processed candidate is marked resolved.
+//
+// capTau caps the threshold (the network mode passes the coordinator's
+// round τ; the local engine passes +Inf). While acc is not yet full and
+// capTau is +Inf the effective threshold is +Inf: candidates are then
+// verified with the exact Distance kernel, never DistanceThreshold
+// (threshold kernels must not see an infinite τ — the banded edit DP
+// sizes its band from it).
+//
+// This exact function backs both the local engine and the network-mode
+// worker, which is what makes dnet kNN results identical to local ones.
+// It is sequential by design: τ mutates between candidates.
+func KNNScanPartition(ctx context.Context, m measure.Measure, q []geom.Point,
+	idx *trie.Trie, trajs []*traj.T, meta []VerifyMeta, cellD float64,
+	acc *KNNAcc, capTau float64) (obs.Funnel, error) {
+
+	f := obs.Funnel{Considered: int64(len(trajs))}
+	entryTau := math.Min(capTau, acc.Tau())
+	cands, err := idx.SearchBoundsContext(ctx, q, m, entryTau, nil)
+	f.TrieCands = int64(len(cands))
+	if err != nil || len(cands) == 0 {
+		// An empty candidate list still narrows monotonically.
+		return f, err
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].LB != cands[j].LB {
+			return cands[i].LB < cands[j].LB
+		}
+		return cands[i].Idx < cands[j].Idx
+	})
+	var v *Verifier
+	vTau := math.Inf(-1)
+	// The exact-Distance path bypasses the Verifier, so its counts are
+	// tracked by hand and merged with the verifier's below.
+	var exactVerified, matched int64
+	for ci, c := range cands {
+		if ci%knnScanCtxEvery == 0 {
+			if err := ctx.Err(); err != nil {
+				return knnScanFunnel(f, v, exactVerified, matched), err
+			}
+		}
+		tau := math.Min(capTau, acc.Tau())
+		if acc.Full() && c.LB > tau {
+			break // candidates are bound-sorted: the rest are pruned too
+		}
+		t := trajs[c.Idx]
+		if acc.Resolved(t) {
+			continue
+		}
+		if math.IsInf(tau, 1) {
+			d := m.Distance(t.Points, q)
+			exactVerified++
+			acc.Add(t, d)
+			matched++
+			continue
+		}
+		if v == nil {
+			v = NewVerifier(m, q, tau, cellD)
+			vTau = tau
+		} else if tau != vTau {
+			v.SetTau(tau)
+			vTau = tau
+		}
+		d, ok := v.Verify(t, meta[c.Idx])
+		acc.Resolve(t)
+		if ok {
+			// Within τ means within the current k-th best (or losing only
+			// the ID tie at exactly that distance); the heap sorts it out.
+			acc.Offer(t, d)
+			matched++
+		}
+	}
+	return knnScanFunnel(f, v, exactVerified, matched), nil
+}
+
+// knnScanFunnel assembles the scan's pruning funnel from the verifier's
+// cascade counters plus the exact-Distance path's manual counts. Unvisited
+// bound-sorted tail candidates (cut by the τ bound) count as surviving the
+// length/coverage stages they never reached, which keeps the funnel
+// monotone.
+func knnScanFunnel(f obs.Funnel, v *Verifier, exactVerified, matched int64) obs.Funnel {
+	var lenPruned, covPruned, verified int64
+	if v != nil {
+		lenPruned = v.LengthPruned.Load()
+		covPruned = v.CoveragePruned.Load()
+		verified = v.Verified.Load()
+	}
+	f.AfterLength = f.TrieCands - lenPruned
+	f.AfterCoverage = f.AfterLength - covPruned
+	f.Verified = verified + exactVerified
+	f.Matched = matched
+	return f
+}

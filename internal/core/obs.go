@@ -14,8 +14,10 @@ type engineMetrics struct {
 	knns          *obs.Counter
 	searchLatency *obs.Histogram
 	joinLatency   *obs.Histogram
+	knnLatency    *obs.Histogram
 	searchFunnel  *obs.FunnelCounters
 	joinFunnel    *obs.FunnelCounters
+	knnFunnel     *obs.FunnelCounters
 	skips         *obs.Counter
 }
 
@@ -30,13 +32,15 @@ func newEngineMetrics(r *obs.Registry) *engineMetrics {
 		knns:          r.Counter("engine_knn_total"),
 		searchLatency: r.Histogram("engine_search_latency_us"),
 		joinLatency:   r.Histogram("engine_join_latency_us"),
+		knnLatency:    r.Histogram("engine_knn_latency_us"),
 		searchFunnel:  obs.NewFunnelCounters(r, "engine_search_"),
 		joinFunnel:    obs.NewFunnelCounters(r, "engine_join_"),
+		knnFunnel:     obs.NewFunnelCounters(r, "engine_knn_"),
 		skips:         r.Counter("engine_partition_skips_total"),
 	}
 }
 
-// knnInc counts one kNN query (its probes also count as searches).
+// knnInc counts one kNN query.
 func (m *engineMetrics) knnInc() {
 	if m != nil {
 		m.knns.Inc()

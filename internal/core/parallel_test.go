@@ -51,8 +51,10 @@ func TestParallelSearchDifferential(t *testing.T) {
 	}
 }
 
-// TestParallelKNNDifferential: the doubling-τ kNN probes inherit the
-// verification pool; answers and funnels must match the sequential path.
+// TestParallelKNNDifferential: the best-first kNN's partition scans run
+// above the verification pool setting; answers and funnels must be
+// byte-identical across fan-outs (the scan itself is sequential — the
+// live τ mutates between candidates — so fan-out must change nothing).
 func TestParallelKNNDifferential(t *testing.T) {
 	d := smallDataset(400, 23)
 	qs := gen.Queries(d, 6, 24)

@@ -4,7 +4,6 @@ import (
 	"context"
 	"fmt"
 	"sort"
-	"sync"
 	"time"
 
 	"dita/internal/cluster"
@@ -215,46 +214,125 @@ func (e *Engine) SearchPartialContext(ctx context.Context, q *traj.T, tau float6
 
 // SearchBatch runs many queries in one cluster stage, modelling the
 // paper's workload of 1,000 random queries: each query's local tasks are
-// scattered to the owning workers and execute in parallel.
+// scattered to the owning workers and execute in parallel. A panic in a
+// partition task propagates (legacy crash semantics); lifecycle-aware
+// callers use SearchBatchContext.
 func (e *Engine) SearchBatch(qs []*traj.T, tau float64) [][]SearchResult {
+	out, reports, err := e.SearchBatchContext(context.Background(), qs, tau)
+	if err != nil {
+		panic(err) // unreachable with a background context
+	}
+	for _, r := range reports {
+		if r.Partial() {
+			panic(r.err("search batch"))
+		}
+	}
+	return out
+}
+
+// SearchBatchContext is SearchBatch with query-lifecycle control and
+// per-query observability: every (query, partition) task runs under a
+// recover, a failed partition lands in that query's SkipReport (the
+// in-process analogue of AllowPartial) instead of crashing the process,
+// and each non-empty query counts into the engine's search metrics with
+// its own pruning funnel. Cancellation is never partial: a done context
+// returns ctx.Err(). The returned reports slice is indexed like qs.
+func (e *Engine) SearchBatchContext(ctx context.Context, qs []*traj.T, tau float64) ([][]SearchResult, []*SkipReport, error) {
 	out := make([][]SearchResult, len(qs))
-	var mu sync.Mutex
+	reports := make([]*SkipReport, len(qs))
+	for i := range reports {
+		reports[i] = &SkipReport{}
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, reports, err
+	}
+	timed := e.met != nil
+	var qStart time.Time
+	if timed {
+		qStart = time.Now()
+	}
+	// One result slot per (query, partition) task; merged after the stage
+	// so the batch needs no locking in the hot path.
+	type slot struct {
+		qi, pid int
+		res     []SearchResult
+		funnel  obs.Funnel
+		elapsed time.Duration
+		err     error
+	}
+	var slots []*slot
+	funnels := make([]obs.Funnel, len(qs))
+	valid := make([]bool, len(qs))
 	tasks := make([]cluster.Task, 0, len(qs))
 	const driver = 0
 	for qi, q := range qs {
 		if q == nil || len(q.Points) == 0 {
 			continue
 		}
-		qi, q := qi, q
-		for _, pid := range e.relevantPartitions(q.Points, tau) {
+		valid[qi] = true
+		q := q
+		rel := e.relevantPartitions(q.Points, tau)
+		funnels[qi] = obs.Funnel{Partitions: int64(len(e.parts)), Relevant: int64(len(rel))}
+		for _, pid := range rel {
 			p := e.parts[pid]
 			e.cl.Transfer(driver, p.Worker, q.Bytes())
+			st := &slot{qi: qi, pid: pid}
+			slots = append(slots, st)
 			tasks = append(tasks, cluster.Task{Worker: p.Worker, Fn: func() {
-				res, _ := e.localSearch(p, q.Points, tau)
-				if len(res) == 0 {
-					return
+				var t0 time.Time
+				if timed {
+					t0 = time.Now()
 				}
-				mu.Lock()
-				out[qi] = append(out[qi], res...)
-				mu.Unlock()
+				defer func() {
+					if r := recover(); r != nil {
+						st.err = fmt.Errorf("panic: %v", r)
+					}
+					if timed {
+						st.elapsed = time.Since(t0)
+					}
+				}()
+				st.res, st.funnel, st.err = e.localSearchContext(ctx, p, q.Points, tau, nil)
 			}})
 		}
 	}
-	e.cl.Run(tasks)
+	if err := e.cl.RunContext(ctx, tasks); err != nil {
+		return nil, reports, err
+	}
+	for _, st := range slots {
+		if st.err != nil {
+			if ctxErr := ctx.Err(); ctxErr != nil {
+				return nil, reports, ctxErr
+			}
+			class := obs.Classify(st.err)
+			reports[st.qi].Skipped = append(reports[st.qi].Skipped, SkippedPartition{
+				Partition: st.pid, Err: st.err.Error(), Elapsed: st.elapsed, Class: class})
+			e.met.recordSkip(class)
+			continue
+		}
+		funnels[st.qi].Merge(st.funnel)
+		out[st.qi] = append(out[st.qi], st.res...)
+	}
 	for _, r := range out {
 		sort.Slice(r, func(a, b int) bool { return r[a].Traj.ID < r[b].Traj.ID })
 	}
-	return out
+	if e.met != nil {
+		// Per-query counters and funnels; the stage's wall time lands as a
+		// single latency observation (the queries ran interleaved in one
+		// stage, so per-query latencies are not individually attributable).
+		e.met.searchLatency.Observe(time.Since(qStart).Microseconds())
+		for qi, ok := range valid {
+			if !ok {
+				continue
+			}
+			e.met.searches.Inc()
+			e.met.searchFunnel.Record(funnels[qi])
+		}
+	}
+	return out, reports, nil
 }
 
-// localSearch runs one partition's trie filter and verification cascade
-// and returns (results, partitionFunnel).
-func (e *Engine) localSearch(p *Partition, q []geom.Point, tau float64) ([]SearchResult, obs.Funnel) {
-	out, f, _ := e.localSearchContext(context.Background(), p, q, tau, nil)
-	return out, f
-}
-
-// localSearchContext is localSearch with cancellation checked inside the
+// localSearchContext runs one partition's trie filter and verification
+// cascade with cancellation checked inside the
 // trie descent and before every verification step ("one verification
 // step" — a single threshold-distance computation — is the abort
 // granularity). When tr is non-nil, a trie-descend span and a verify span

@@ -196,6 +196,17 @@ func NewVerifierFromMeta(m measure.Measure, q []geom.Point, tau float64, meta tr
 	return v
 }
 
+// SetTau re-targets the verifier to a tighter threshold, recomputing the
+// cached expanded query MBR. The best-first kNN scan shrinks τ as better
+// neighbors land, and rebuilding a Verifier per candidate would recompress
+// the query's cells every time. NOT safe to call while VerifyAll workers
+// are running — the kNN scan verifies sequentially precisely because τ
+// mutates between candidates. tau must be finite.
+func (v *Verifier) SetTau(tau float64) {
+	v.tau = tau
+	v.qEMBR = v.qMBR.Expand(tau)
+}
+
 // Verify decides whether candidate t (with its cached metadata) is within
 // tau of the query, returning the distance when accepted.
 func (v *Verifier) Verify(t *traj.T, meta trajMeta) (float64, bool) {

@@ -1,0 +1,216 @@
+package dnet
+
+import (
+	"context"
+	"math"
+	"sort"
+	"testing"
+
+	"dita/internal/core"
+	"dita/internal/gen"
+	"dita/internal/measure"
+	"dita/internal/obs"
+	"dita/internal/traj"
+	"dita/internal/trie"
+)
+
+// bruteKNNHits is the reference answer: exact distances to every
+// trajectory, sorted by (distance, ID), trimmed to k.
+func bruteKNNHits(d *traj.Dataset, m measure.Measure, q *traj.T, k int) []SearchHit {
+	hits := make([]SearchHit, 0, d.Len())
+	for _, tr := range d.Trajs {
+		hits = append(hits, SearchHit{ID: tr.ID, Distance: m.Distance(tr.Points, q.Points)})
+	}
+	sort.Slice(hits, func(a, b int) bool {
+		if hits[a].Distance != hits[b].Distance {
+			return hits[a].Distance < hits[b].Distance
+		}
+		return hits[a].ID < hits[b].ID
+	})
+	if len(hits) > k {
+		hits = hits[:k]
+	}
+	return hits
+}
+
+// sameHits compares IDs exactly and distances to within a relative
+// 1e-9: the threshold kernels (banded, early-abandoning) may differ from
+// the exact DP in the last ulp.
+func sameHits(a, b []SearchHit) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].ID != b[i].ID {
+			return false
+		}
+		da, db := a[i].Distance, b[i].Distance
+		if da == db {
+			continue
+		}
+		if math.Abs(da-db) > 1e-9*math.Max(math.Abs(da), math.Abs(db)) {
+			return false
+		}
+	}
+	return true
+}
+
+// TestNetKNNMatchesLocal: network-mode kNN over a live 3-worker TCP
+// cluster must return exactly what the local engine's SearchKNN returns
+// over the same data — which in turn must be the brute-force top-k.
+// The traced variant must assemble knn-plan / knn-round / partition-knn
+// spans with a monotone whole-query funnel.
+func TestNetKNNMatchesLocal(t *testing.T) {
+	d := gen.Generate(gen.BeijingLike(400, 110))
+	c, stop := startCluster(t, 3, testConfig())
+	defer stop()
+	if err := c.Dispatch("trips", d); err != nil {
+		t.Fatal(err)
+	}
+	opts := core.DefaultOptions()
+	opts.NG = 3
+	opts.Trie = trie.DefaultConfig()
+	opts.Trie.MinNode = 2
+	e, err := core.NewEngine(d, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := measure.DTW{}
+	for qi, q := range gen.Queries(d, 5, 111) {
+		for _, k := range []int{1, 3, 10, d.Len() + 5} {
+			want := bruteKNNHits(d, m, q, k)
+			local := e.SearchKNN(q, k)
+			lhits := make([]SearchHit, len(local))
+			for i, r := range local {
+				lhits[i] = SearchHit{ID: r.Traj.ID, Distance: r.Distance}
+			}
+			if !sameHits(lhits, want) {
+				t.Fatalf("query %d k=%d: local engine disagrees with brute force", qi, k)
+			}
+			got, err := c.SearchKNN("trips", q, k)
+			if err != nil {
+				t.Fatalf("query %d k=%d: %v", qi, k, err)
+			}
+			if !sameHits(got, want) {
+				t.Fatalf("query %d k=%d: net kNN disagrees with brute force:\ngot  %v\nwant %v",
+					qi, k, got, want)
+			}
+		}
+	}
+
+	// Traced run: per-round spans must be visible in the assembled trace.
+	q := gen.Queries(d, 1, 112)[0]
+	qs := &QueryStats{Trace: obs.NewTrace("knn")}
+	hits, report, err := c.SearchKNNTraced(context.Background(), "trips", q, 7, qs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Partial() {
+		t.Fatalf("unexpected partial report: %+v", report.Skipped)
+	}
+	if !sameHits(hits, bruteKNNHits(d, m, q, 7)) {
+		t.Fatal("traced kNN disagrees with brute force")
+	}
+	names := map[string]int{}
+	partSpans := 0
+	for _, s := range qs.Trace.Spans() {
+		names[s.Name]++
+		if s.Name == "partition-knn" {
+			partSpans++
+			if s.Worker == "" {
+				t.Fatalf("partition-knn span for partition %d has no worker", s.Partition)
+			}
+			if s.Funnel == nil {
+				t.Fatalf("partition-knn span for partition %d has no funnel", s.Partition)
+			}
+		}
+	}
+	if names["knn-plan"] != 1 {
+		t.Fatalf("knn-plan spans = %d, want 1 (names: %v)", names["knn-plan"], names)
+	}
+	if names["knn-round"] < 1 {
+		t.Fatalf("no knn-round spans (names: %v)", names)
+	}
+	if partSpans < 1 || int64(partSpans) != qs.Funnel.Relevant {
+		t.Fatalf("partition-knn spans = %d, want funnel.Relevant = %d", partSpans, qs.Funnel.Relevant)
+	}
+	if !qs.Funnel.Monotone() {
+		t.Fatalf("funnel not monotone: %s", qs.Funnel)
+	}
+	if qs.Elapsed <= 0 {
+		t.Fatal("Elapsed not recorded")
+	}
+}
+
+// TestNetKNNEdgeCases: degenerate inputs short-circuit cleanly.
+func TestNetKNNEdgeCases(t *testing.T) {
+	d := gen.Generate(gen.BeijingLike(40, 113))
+	c, stop := startCluster(t, 2, testConfig())
+	defer stop()
+	if err := c.Dispatch("trips", d); err != nil {
+		t.Fatal(err)
+	}
+	q := d.Trajs[0]
+	if hits, err := c.SearchKNN("trips", q, 0); err != nil || hits != nil {
+		t.Fatalf("k=0: hits=%v err=%v, want nil/nil", hits, err)
+	}
+	if hits, err := c.SearchKNN("trips", nil, 3); err != nil || hits != nil {
+		t.Fatalf("nil query: hits=%v err=%v, want nil/nil", hits, err)
+	}
+	if _, err := c.SearchKNN("nope", q, 3); err == nil {
+		t.Fatal("unknown dataset accepted")
+	}
+	// k beyond the dataset saturates at every trajectory, no Inf padding.
+	hits, err := c.SearchKNN("trips", q, d.Len()+100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hits) != d.Len() {
+		t.Fatalf("k>n returned %d hits, want %d", len(hits), d.Len())
+	}
+	for i := 1; i < len(hits); i++ {
+		if hits[i].Distance < hits[i-1].Distance ||
+			(hits[i].Distance == hits[i-1].Distance && hits[i].ID <= hits[i-1].ID) {
+			t.Fatalf("hits not in ascending (distance, ID) order at %d", i)
+		}
+	}
+	// A cancelled context fails the query rather than returning a partial
+	// top-k.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := c.SearchKNNContext(ctx, "trips", q, 3); err != context.Canceled {
+		t.Fatalf("cancelled kNN err = %v, want context.Canceled", err)
+	}
+	if math.IsInf(hits[0].Distance, 1) {
+		t.Fatal("nearest neighbor distance is +Inf on a dense dataset")
+	}
+}
+
+// TestNetKNNChaos: killing one of three workers mid-workload must not
+// change kNN results — every partition fails over to its second replica,
+// and the merged top-k stays exactly the brute-force answer.
+func TestNetKNNChaos(t *testing.T) {
+	d := gen.Generate(gen.BeijingLike(300, 114))
+	workers, _, c := chaosCluster(t, 3, chaosConfig())
+	if err := c.Dispatch("trips", d); err != nil {
+		t.Fatal(err)
+	}
+	m := measure.DTW{}
+	qs := gen.Queries(d, 6, 115)
+	const k = 9
+	for i, q := range qs {
+		if i == len(qs)/2 {
+			// Crash a worker mid-workload.
+			workers[1].Close()
+		}
+		hits, err := c.SearchKNN("trips", q, k)
+		if err != nil {
+			t.Fatalf("query %d: %v", i, err)
+		}
+		want := bruteKNNHits(d, m, q, k)
+		if !sameHits(hits, want) {
+			t.Fatalf("query %d: kNN after worker kill disagrees with brute force:\ngot  %v\nwant %v",
+				i, hits, want)
+		}
+	}
+}

@@ -38,14 +38,17 @@ type coordMetrics struct {
 	reg           *obs.Registry
 	searches      *obs.Counter
 	joins         *obs.Counter
+	knns          *obs.Counter
 	searchLatency *obs.Histogram
 	joinLatency   *obs.Histogram
+	knnLatency    *obs.Histogram
 	admissionWait *obs.Histogram
 	retries       *obs.Counter
 	failovers     *obs.Counter
 	skips         *obs.Counter
 	searchFunnel  *obs.FunnelCounters
 	joinFunnel    *obs.FunnelCounters
+	knnFunnel     *obs.FunnelCounters
 }
 
 func newCoordMetrics(r *obs.Registry) *coordMetrics {
@@ -56,14 +59,17 @@ func newCoordMetrics(r *obs.Registry) *coordMetrics {
 		reg:           r,
 		searches:      r.Counter("coord_searches_total"),
 		joins:         r.Counter("coord_joins_total"),
+		knns:          r.Counter("coord_knn_total"),
 		searchLatency: r.Histogram("coord_search_latency_us"),
 		joinLatency:   r.Histogram("coord_join_latency_us"),
+		knnLatency:    r.Histogram("coord_knn_latency_us"),
 		admissionWait: r.Histogram("coord_admission_wait_us"),
 		retries:       r.Counter("coord_rpc_retries_total"),
 		failovers:     r.Counter("coord_replica_failovers_total"),
 		skips:         r.Counter("coord_partition_skips_total"),
 		searchFunnel:  obs.NewFunnelCounters(r, "coord_search_"),
 		joinFunnel:    obs.NewFunnelCounters(r, "coord_join_"),
+		knnFunnel:     obs.NewFunnelCounters(r, "coord_knn_"),
 	}
 }
 

@@ -96,6 +96,33 @@ type SearchReply struct {
 	ElapsedMicros int64
 }
 
+// KNNArgs runs a best-first top-k scan against one loaded partition.
+type KNNArgs struct {
+	Dataset   string
+	Partition int
+	Query     []geom.Point
+	// K is the global k; the worker returns its partition-local top-k so
+	// the coordinator's merge can never miss a global answer.
+	K int
+	// Tau caps the scan's threshold: the coordinator's current global
+	// k-th distance at round start (+Inf on the first round, before k
+	// answers exist). Candidates provably beyond it are never verified.
+	Tau float64
+	// TimeoutMillis / TraceID / SpanID: as in SearchArgs.
+	TimeoutMillis   int64
+	TraceID, SpanID string
+}
+
+// KNNReply returns the partition-local top-k (exact distances, ascending
+// (distance, ID)) plus the scan's pruning funnel.
+type KNNReply struct {
+	Hits []SearchHit
+	// Funnel is the partition-local pruning funnel (Considered onward).
+	Funnel obs.Funnel
+	// ElapsedMicros is the worker-measured handler time.
+	ElapsedMicros int64
+}
+
 // FetchArgs retrieves full trajectories by id from a partition.
 type FetchArgs struct {
 	Dataset   string

@@ -37,6 +37,7 @@ type Worker struct {
 	parts map[partKey]*workerPartition
 
 	searchCalls atomic.Int64
+	knnCalls    atomic.Int64
 	joinCalls   atomic.Int64
 	bytesIn     atomic.Int64
 
@@ -204,6 +205,7 @@ func (w *Worker) Instrument(r *obs.Registry) {
 		return int64(len(w.parts))
 	})
 	r.GaugeFunc("worker_search_calls_total", w.searchCalls.Load)
+	r.GaugeFunc("worker_knn_calls_total", w.knnCalls.Load)
 	r.GaugeFunc("worker_join_calls_total", w.joinCalls.Load)
 	r.GaugeFunc("worker_bytes_in_total", w.bytesIn.Load)
 }
@@ -425,6 +427,46 @@ func (s *workerService) Search(args *SearchArgs, reply *SearchReply) (err error)
 	reply.Verified = int(v.Verified.Load())
 	reply.Funnel = v.Funnel(len(p.trajs), len(cands))
 	sort.Slice(reply.Hits, func(a, b int) bool { return reply.Hits[a].ID < reply.Hits[b].ID })
+	return nil
+}
+
+// KNN implements the per-partition top-k RPC of the network mode's
+// best-first kNN. It runs the exact scan the local engine runs
+// (core.KNNScanPartition), seeded empty and capped by the coordinator's
+// round threshold, and replies with the partition-local top-k: any
+// trajectory omitted is beaten by k partition-mates (or provably beyond
+// the round threshold) and can never be a global answer, so the
+// coordinator's merge is exact.
+func (s *workerService) KNN(args *KNNArgs, reply *KNNReply) (err error) {
+	if !s.w.beginRPC() {
+		return errDraining
+	}
+	defer s.w.endRPC()
+	defer rpcRecover("knn", &err)
+	s.w.knnCalls.Add(1)
+	start := time.Now()
+	defer func() { reply.ElapsedMicros = time.Since(start).Microseconds() }()
+	ctx, cancel := s.w.queryCtx(args.TimeoutMillis)
+	defer cancel()
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if args.K <= 0 {
+		return fmt.Errorf("dnet: knn: k must be positive, got %d", args.K)
+	}
+	p, err := s.partition(args.Dataset, args.Partition)
+	if err != nil {
+		return err
+	}
+	acc := core.NewKNNAcc(args.K)
+	f, err := core.KNNScanPartition(ctx, p.m, args.Query, p.index, p.trajs, p.meta, p.cellD, acc, args.Tau)
+	if err != nil {
+		return err
+	}
+	for _, r := range acc.Results() {
+		reply.Hits = append(reply.Hits, SearchHit{ID: r.Traj.ID, Distance: r.Distance})
+	}
+	reply.Funnel = f
 	return nil
 }
 

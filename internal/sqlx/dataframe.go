@@ -101,7 +101,7 @@ func (df *DataFrame) KNNJoin(other *DataFrame, measureName string, k int) (map[i
 	if err != nil {
 		return nil, err
 	}
-	return e1.KNNJoin(e2, k), nil
+	return e1.KNNJoin(e2, k)
 }
 
 // KNN returns the k nearest trajectories to q under the named measure.

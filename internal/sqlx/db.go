@@ -378,7 +378,14 @@ func (db *DB) execSelect(ctx context.Context, s *Select, params []*traj.T, planO
 		leftTrajs := append([]*traj.T(nil), t.data.Trajs...)
 		verifyPar = e1.VerifyParallelism()
 		unlock()
-		nn := e1.KNNJoin(e2, s.Limit)
+		var js *core.JoinStats
+		if analyze {
+			js = &core.JoinStats{}
+		}
+		nn, err := e1.KNNJoinContext(ctx, e2, s.Limit, js)
+		if err != nil {
+			return nil, err
+		}
 		// Flatten to pairs: (left id, neighbor) in left-id order.
 		ids := make([]int, 0, len(nn))
 		for id := range nn {
@@ -395,10 +402,13 @@ func (db *DB) execSelect(ctx context.Context, s *Select, params []*traj.T, planO
 				pairs = append(pairs, core.Pair{T: left[id], Q: r.Traj, Distance: r.Distance})
 			}
 		}
-		// KNNJoin exposes no per-probe stats; report the flat upper bound
-		// (|left|·|right| pairs considered) so the funnel stays monotone.
-		return report(&Result{Pairs: pairs, Plan: plan},
-			flatFunnel(len(leftTrajs)*e2.Dataset().Len(), len(pairs))), nil
+		// The per-probe pruning funnels accumulate into the join stats;
+		// EXPLAIN ANALYZE reports their sum over every left trajectory.
+		var jf obs.Funnel
+		if js != nil {
+			jf = js.Funnel
+		}
+		return report(&Result{Pairs: pairs, Plan: plan}, jf), nil
 	}
 
 	// kNN: ORDER BY f(T, Q) LIMIT k.
@@ -425,7 +435,11 @@ func (db *DB) execSelect(ctx context.Context, s *Select, params []*traj.T, planO
 		if analyze {
 			st = &core.SearchStats{}
 		}
-		res := &Result{Trajs: e.SearchKNNStats(q, s.Limit, st), Plan: plan}
+		hits, err := e.SearchKNNContext(ctx, q, s.Limit, st)
+		if err != nil {
+			return nil, err
+		}
+		res := &Result{Trajs: hits, Plan: plan}
 		var f obs.Funnel
 		if st != nil {
 			f = st.Funnel

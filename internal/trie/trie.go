@@ -217,13 +217,9 @@ func (t *Trie) SearchContext(ctx context.Context, q []geom.Point, m measure.Meas
 	if len(q) == 0 || t.root == nil {
 		return nil, ctx.Err()
 	}
-	s := searcher{t: t, q: q, m: m, tau: tau, stats: stats, ctx: ctx}
-	s.gapPt, s.hasGap = m.GapPoint()
-	s.anchored = m.AlignsEndpoints()
-	s.accum = m.Accumulation()
-	s.eps = m.Epsilon()
+	s := newSearcher(ctx, t, q, m, tau, stats)
 	var out []int
-	out = s.descend(t.root, tau, 0, out)
+	out = s.descend(t.root, tau, 0, 0, out)
 	if s.err != nil {
 		return nil, s.err
 	}
@@ -231,6 +227,48 @@ func (t *Trie) SearchContext(ctx context.Context, q []geom.Point, m measure.Meas
 		stats.Candidates = len(out)
 	}
 	return out, nil
+}
+
+// Cand is one candidate of a bound-aware trie search: a trajectory index
+// plus the accumulated per-level lower bound of the path that emitted it
+// (a sound lower bound on the true distance under the trie's level
+// semantics — summed for DTW/ERP, maxed for Fréchet, an edit count for
+// EDR/LCSS; 0 when the trajectory sat in an exhausted always-candidate
+// bucket at the root).
+type Cand struct {
+	Idx int
+	LB  float64
+}
+
+// SearchBoundsContext is SearchContext returning each candidate with the
+// lower bound its trie path accumulated, so a best-first caller can
+// verify candidates in bound order and stop at the first bound exceeding
+// its live threshold. tau may be +Inf (no pruning: every trajectory is a
+// candidate at its path bound) — the descent is pure float comparison and
+// handles an infinite budget exactly.
+func (t *Trie) SearchBoundsContext(ctx context.Context, q []geom.Point, m measure.Measure, tau float64, stats *Stats) ([]Cand, error) {
+	if len(q) == 0 || t.root == nil {
+		return nil, ctx.Err()
+	}
+	s := newSearcher(ctx, t, q, m, tau, stats)
+	s.bounds = true
+	s.descend(t.root, tau, 0, 0, nil)
+	if s.err != nil {
+		return nil, s.err
+	}
+	if stats != nil {
+		stats.Candidates = len(s.bcands)
+	}
+	return s.bcands, nil
+}
+
+func newSearcher(ctx context.Context, t *Trie, q []geom.Point, m measure.Measure, tau float64, stats *Stats) *searcher {
+	s := &searcher{t: t, q: q, m: m, tau: tau, stats: stats, ctx: ctx}
+	s.gapPt, s.hasGap = m.GapPoint()
+	s.anchored = m.AlignsEndpoints()
+	s.accum = m.Accumulation()
+	s.eps = m.Epsilon()
+	return s
 }
 
 // ctxCheckEvery is the node-visit stride between context checks during
@@ -253,13 +291,31 @@ type searcher struct {
 	ctx    context.Context
 	visits int
 	err    error
+
+	// bounds mode: emit (index, accumulated lower bound) pairs instead of
+	// bare indices. acc threads the path's level-bound accumulation down
+	// the descent (sum / max / edit count, mirroring how rem is consumed).
+	bounds bool
+	bcands []Cand
+}
+
+// emit records the candidates of one leaf at the given path lower bound.
+func (s *searcher) emit(idxs []int, lb float64, out []int) []int {
+	if s.bounds {
+		for _, i := range idxs {
+			s.bcands = append(s.bcands, Cand{Idx: i, LB: lb})
+		}
+		return out
+	}
+	return append(out, idxs...)
 }
 
 // descend visits n's children; rem is the remaining threshold budget (for
 // AccumSum), the full tau (AccumMax), or the remaining edit budget
 // (AccumEdit). suf is the query suffix start for the Lemma 5.1
-// optimization.
-func (s *searcher) descend(n *node, rem float64, suf int, out []int) []int {
+// optimization. acc is the lower bound accumulated along the path so far
+// (only consumed in bounds mode).
+func (s *searcher) descend(n *node, rem float64, suf int, acc float64, out []int) []int {
 	if s.err != nil {
 		return out
 	}
@@ -270,7 +326,7 @@ func (s *searcher) descend(n *node, rem float64, suf int, out []int) []int {
 		}
 	}
 	if n.isLeaf() {
-		return append(out, n.leafIdx...)
+		return s.emit(n.leafIdx, acc, out)
 	}
 	for _, c := range n.children {
 		if s.err != nil {
@@ -278,21 +334,21 @@ func (s *searcher) descend(n *node, rem float64, suf int, out []int) []int {
 		}
 		if c.isLeaf() && c.mbr.IsEmpty() {
 			// Exhausted bucket: no level point to test; all members stay
-			// candidates.
-			out = append(out, c.leafIdx...)
+			// candidates at the bound accumulated so far.
+			out = s.emit(c.leafIdx, acc, out)
 			continue
 		}
 		if s.stats != nil {
 			s.stats.NodesVisited++
 		}
-		out = s.visitChild(c, rem, suf, out)
+		out = s.visitChild(c, rem, suf, acc, out)
 	}
 	return out
 }
 
 // visitChild applies the level-appropriate lower bound to child c and
 // recurses when it survives.
-func (s *searcher) visitChild(c *node, rem float64, suf int, out []int) []int {
+func (s *searcher) visitChild(c *node, rem float64, suf int, acc float64, out []int) []int {
 	q := s.q
 	switch s.accum {
 	case measure.AccumSum:
@@ -311,7 +367,7 @@ func (s *searcher) visitChild(c *node, rem float64, suf int, out []int) []int {
 			}
 			return out
 		}
-		return s.descend(c, rem-d, nsuf, out)
+		return s.descend(c, rem-d, nsuf, acc+d, out)
 
 	case measure.AccumMax:
 		var d float64
@@ -330,7 +386,7 @@ func (s *searcher) visitChild(c *node, rem float64, suf int, out []int) []int {
 			return out
 		}
 		// Max semantics: the budget is not consumed (Appendix A).
-		return s.descend(c, rem, nsuf, out)
+		return s.descend(c, rem, nsuf, math.Max(acc, d), out)
 
 	default: // AccumEdit
 		// Every level (endpoints included — they may be edited away) is
@@ -338,8 +394,10 @@ func (s *searcher) visitChild(c *node, rem float64, suf int, out []int) []int {
 		// every query point costs one edit.
 		d, _ := s.pivotMinDist(c.mbr, math.Inf(1), 0)
 		nrem := rem
+		nacc := acc
 		if d > s.eps {
 			nrem = rem - 1
+			nacc = acc + 1
 			if nrem < 0 {
 				if s.stats != nil {
 					s.stats.Pruned++
@@ -347,7 +405,7 @@ func (s *searcher) visitChild(c *node, rem float64, suf int, out []int) []int {
 				return out
 			}
 		}
-		return s.descend(c, nrem, 0, out)
+		return s.descend(c, nrem, 0, nacc, out)
 	}
 }
 
