@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: build test race vet staticcheck chaos knn fuzz check soak bench bench-json
+.PHONY: build test race vet staticcheck chaos knn snap fuzz check soak bench bench-json
 
 build:
 	$(GO) build ./...
@@ -39,14 +39,23 @@ chaos:
 knn:
 	$(GO) test -race -run KNN -count=2 ./internal/core ./internal/dnet
 
+# Snapshot persistence tests: format round-trip/corruption detection,
+# serialized-trie integrity, engine cold start, and the dnet
+# cold-restart/heal chaos paths — rerun under the race detector,
+# -count=2 to defeat the cache.
+snap:
+	$(GO) test -race -run 'Snap|Snapshot|ColdStart|RetainPayloads|Serial' -count=2 \
+		./internal/snap ./internal/trie ./internal/core ./internal/dnet
+
 # Short coverage-guided fuzz smoke of every parser that takes untrusted
-# input (CSV trajectory loader, SQL lexer/parser). -run='^$$' skips the
-# unit tests so only the fuzz engine runs.
+# input (CSV trajectory loader, SQL lexer/parser, snapshot decoder).
+# -run='^$$' skips the unit tests so only the fuzz engine runs.
 FUZZTIME ?= 10s
 fuzz:
 	$(GO) test -run='^$$' -fuzz=FuzzReadCSV -fuzztime=$(FUZZTIME) ./internal/traj
 	$(GO) test -run='^$$' -fuzz=FuzzParse -fuzztime=$(FUZZTIME) ./internal/sqlx
 	$(GO) test -run='^$$' -fuzz=FuzzLexer -fuzztime=$(FUZZTIME) ./internal/sqlx
+	$(GO) test -run='^$$' -fuzz=FuzzSnapshot -fuzztime=$(FUZZTIME) ./internal/snap
 
 bench:
 	$(GO) test -bench=. -benchtime=1x ./...
@@ -58,7 +67,7 @@ BENCH_PRESETS ?= default
 bench-json:
 	$(GO) run ./cmd/ditabench -bench $(BENCH_PRESETS) -bench-json $(BENCH_DIR)
 
-check: vet staticcheck race chaos knn fuzz
+check: vet staticcheck race chaos knn snap fuzz
 
 # 30-second soak: dita-net's cancelled-query churn workload against
 # in-process workers running under fault injection (-chaos). Exits

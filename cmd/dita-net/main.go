@@ -27,9 +27,12 @@ package main
 
 import (
 	"context"
+	"encoding/binary"
 	"errors"
 	"flag"
 	"fmt"
+	"hash/fnv"
+	"math"
 	"math/rand"
 	"os"
 	"os/signal"
@@ -65,6 +68,8 @@ func main() {
 	soak := flag.Duration("soak", 0, "run a cancelled-query churn workload for this long instead of the benchmark")
 	metricsAddr := flag.String("metrics-addr", "", "address to serve /metrics, /metrics.json, /debug/vars, and /debug/pprof on (empty disables)")
 	trace := flag.Bool("trace", false, "print the assembled cluster trace of the first search query (and the join)")
+	retainPayloads := flag.Bool("retain-payloads", false, "keep raw partition payloads in coordinator memory even when durable snapshots cover them")
+	digest := flag.Bool("digest", false, "print an order-independent FNV-1a digest of all search results (for comparing runs, e.g. fresh build vs cold start)")
 	verifyPar := flag.Int("verify-parallelism", 0, "verification goroutines per RPC on -spawn'ed workers (0 = all cores, 1 = sequential)")
 	flag.Parse()
 
@@ -109,6 +114,7 @@ func main() {
 	cfg.Admission.MaxConcurrent = *maxConcurrent
 	cfg.Admission.MaxQueue = *maxQueue
 	cfg.Admission.QueueTimeout = *queueTimeout
+	cfg.RetainPayloads = *retainPayloads
 	var reg *obs.Registry
 	if *metricsAddr != "" {
 		reg = obs.New()
@@ -158,11 +164,14 @@ func main() {
 	}
 
 	start := time.Now()
-	if err := coord.Dispatch("trips", data); err != nil {
+	drep, err := coord.DispatchStats("trips", data)
+	if err != nil {
 		fatal(err)
 	}
 	fmt.Printf("dispatched %d trajectories across %d workers in %v\n",
 		data.Len(), len(addrs), time.Since(start).Round(time.Millisecond))
+	fmt.Printf("dispatch: %d partitions — %d shipped, %d reused from worker snapshots, %d payloads released\n",
+		drep.Partitions, drep.Loads, drep.Reused, drep.PayloadsDropped)
 	stats, err := coord.WorkerStats()
 	if err != nil {
 		fatal(err)
@@ -184,6 +193,7 @@ func main() {
 	skippedParts := 0
 	expired := 0
 	ran := 0
+	var resultDigest uint64
 	for i, q := range qs {
 		qctx, cancel := queryContext(ctx, *deadline)
 		var qstats *dnet.QueryStats
@@ -214,6 +224,9 @@ func main() {
 			skippedParts += len(rep.Skipped)
 		}
 		totalHits += len(hits)
+		if *digest {
+			resultDigest ^= hitsDigest(i, hits)
+		}
 	}
 	elapsed := time.Since(start)
 	if skippedParts > 0 {
@@ -227,6 +240,9 @@ func main() {
 			ran, *tau, elapsed.Round(time.Millisecond),
 			float64(elapsed.Microseconds())/1000/float64(ran),
 			float64(totalHits)/float64(ran))
+	}
+	if *digest {
+		fmt.Printf("search digest: %016x (%d queries, %d hits)\n", resultDigest, ran, totalHits)
 	}
 
 	if *knnK > 0 {
@@ -311,6 +327,26 @@ func main() {
 		fmt.Printf("self-join at τ=%g: %d pairs in %v\n",
 			*tau, len(pairs), time.Since(start).Round(time.Millisecond))
 	}
+}
+
+// hitsDigest folds one query's results into an order-independent FNV-1a
+// word: per-hit hashes over (query index, id, distance bits) are XORed, so
+// the digest is insensitive to merge order but sensitive to any missing,
+// extra, or numerically different answer. Two runs over the same dataset
+// and queries — e.g. a fresh build and a cold start from snapshots — must
+// print identical digests.
+func hitsDigest(qIdx int, hits []dnet.SearchHit) uint64 {
+	var acc uint64
+	var buf [24]byte
+	for _, h := range hits {
+		binary.LittleEndian.PutUint64(buf[0:], uint64(qIdx))
+		binary.LittleEndian.PutUint64(buf[8:], uint64(h.ID))
+		binary.LittleEndian.PutUint64(buf[16:], math.Float64bits(h.Distance))
+		f := fnv.New64a()
+		f.Write(buf[:])
+		acc ^= f.Sum64()
+	}
+	return acc
 }
 
 // queryContext derives the per-query context: the signal-cancelled parent

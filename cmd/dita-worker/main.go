@@ -25,12 +25,15 @@ import (
 
 	"dita/internal/dnet"
 	"dita/internal/obs"
+	"dita/internal/snap"
 )
 
 func main() {
 	listen := flag.String("listen", "127.0.0.1:0", "address to listen on (port 0 picks a free port)")
 	drain := flag.Duration("drain", 5*time.Second, "max time to wait for in-flight RPCs on shutdown")
 	chaos := flag.String("chaos", "", "fault-injection spec for soak testing, e.g. seed=7,drop=0.05,err=0.01,delay=2ms,sever=500 (testing only)")
+	snapDir := flag.String("snapshot-dir", "", "directory for durable partition snapshots; on startup the worker cold-starts from it (empty disables persistence)")
+	snapChaos := flag.String("snap-chaos", "", "snapshot-write fault-injection spec, e.g. seed=7,crash=0.1,fail=0.02,torn=0.2,flip=0.1 (testing only; requires -snapshot-dir)")
 	metricsAddr := flag.String("metrics-addr", "", "address to serve /metrics, /metrics.json, /debug/vars, and /debug/pprof on (empty disables)")
 	verifyPar := flag.Int("verify-parallelism", 0, "verification goroutines per Search/Join RPC (0 = all cores, 1 = sequential)")
 	flag.Parse()
@@ -56,6 +59,41 @@ func main() {
 		}
 		w.FaultInjection = &plan
 		fmt.Printf("dita-worker: fault injection active: %+v\n", plan)
+	}
+	if *snapChaos != "" && *snapDir == "" {
+		fmt.Fprintln(os.Stderr, "dita-worker: -snap-chaos requires -snapshot-dir")
+		os.Exit(2)
+	}
+	if *snapDir != "" {
+		st, err := snap.NewStore(*snapDir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dita-worker: snapshot dir: %v\n", err)
+			os.Exit(2)
+		}
+		if *snapChaos != "" {
+			plan, err := snap.ParseFaultPlan(*snapChaos)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "dita-worker: %v\n", err)
+				os.Exit(2)
+			}
+			st.Faults = plan
+			fmt.Printf("dita-worker: snapshot fault injection active: %s\n", *snapChaos)
+		}
+		w.SnapStore = st
+		rep, err := w.LoadSnapshots()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dita-worker: cold start: %v\n", err)
+			os.Exit(1)
+		}
+		for _, l := range rep.Loaded {
+			fmt.Printf("dita-worker: restored %s/%d: %d trajectories, %d bytes, fingerprint %016x\n",
+				l.Dataset, l.Partition, l.Trajs, l.Bytes, l.Fingerprint)
+		}
+		for _, s := range rep.Skipped {
+			fmt.Fprintf(os.Stderr, "dita-worker: skipped snapshot %s [%s]: %s\n", s.Path, s.Class, s.Err)
+		}
+		fmt.Printf("dita-worker: cold start from %s: %d partitions restored, %d snapshots skipped\n",
+			*snapDir, len(rep.Loaded), len(rep.Skipped))
 	}
 	addr, err := w.Serve(*listen)
 	if err != nil {

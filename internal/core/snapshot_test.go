@@ -1,0 +1,137 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"dita/internal/gen"
+	"dita/internal/measure"
+	"dita/internal/snap"
+)
+
+// TestColdStartMatchesFreshBuild is the core cold-start contract: an engine
+// reassembled from snapshots answers searches, kNN, and joins identically
+// to the engine that exported them.
+func TestColdStartMatchesFreshBuild(t *testing.T) {
+	d := smallDataset(400, 21)
+	opts := smallOpts(4)
+	opts.Measure = measure.LCSS{Eps: 0.002, Delta: 5}
+	fresh, err := NewEngine(d, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Export through the full byte format — this is what disk round-trips.
+	var snaps []*snap.Snapshot
+	for _, p := range fresh.Partitions() {
+		s, err := snap.Decode(snap.Encode(fresh.ExportSnapshot("trips", p)))
+		if err != nil {
+			t.Fatalf("partition %d: %v", p.ID, err)
+		}
+		snaps = append(snaps, s)
+	}
+
+	cold, err := NewEngineFromSnapshots(snaps, smallOpts(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cold.BuildTime <= 0 {
+		t.Error("cold start BuildTime not recorded")
+	}
+	if cold.Measure().Name() != "LCSS" || cold.CellD() != fresh.CellD() {
+		t.Fatalf("cold engine config drifted: measure=%s cellD=%v (want LCSS, %v)",
+			cold.Measure().Name(), cold.CellD(), fresh.CellD())
+	}
+	if l, ok := cold.Measure().(measure.LCSS); !ok || l.Delta != 5 || l.Eps != 0.002 {
+		t.Fatalf("LCSS parameters lost: %+v", cold.Measure())
+	}
+
+	queries := gen.Queries(d, 10, 22)
+	for _, q := range queries {
+		want := fresh.Search(q, 5, nil)
+		got := cold.Search(q, 5, nil)
+		if !sameResults(want, got) {
+			t.Fatalf("search differs for query %d: fresh %d results, cold %d", q.ID, len(want), len(got))
+		}
+		wantK := fresh.SearchKNN(q, 5)
+		gotK := cold.SearchKNN(q, 5)
+		if !reflect.DeepEqual(idsOf(wantK), idsOf(gotK)) {
+			t.Fatalf("kNN differs for query %d: fresh %v, cold %v", q.ID, idsOf(wantK), idsOf(gotK))
+		}
+	}
+}
+
+func idsOf(rs []SearchResult) []int {
+	out := make([]int, len(rs))
+	for i, r := range rs {
+		out[i] = r.Traj.ID
+	}
+	return out
+}
+
+func sameResults(a, b []SearchResult) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	am := map[int]float64{}
+	for _, r := range a {
+		am[r.Traj.ID] = r.Distance
+	}
+	for _, r := range b {
+		if d, ok := am[r.Traj.ID]; !ok || d != r.Distance {
+			return false
+		}
+	}
+	return true
+}
+
+func TestColdStartValidation(t *testing.T) {
+	d := smallDataset(150, 23)
+	e, err := NewEngine(d, smallOpts(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snaps []*snap.Snapshot
+	for _, p := range e.Partitions() {
+		snaps = append(snaps, e.ExportSnapshot("trips", p))
+	}
+
+	if _, err := NewEngineFromSnapshots(nil, smallOpts(2)); err == nil {
+		t.Error("empty snapshot set accepted")
+	}
+	if _, err := NewEngineFromSnapshots(snaps[1:], smallOpts(2)); err == nil {
+		t.Error("incomplete snapshot set accepted")
+	}
+	mixed := append([]*snap.Snapshot(nil), snaps...)
+	clone := *mixed[1]
+	clone.Opts.CellD *= 2
+	mixed[1] = &clone
+	if _, err := NewEngineFromSnapshots(mixed, smallOpts(2)); err == nil {
+		t.Error("mixed build options accepted")
+	}
+	other := *snaps[0]
+	other.Dataset = "other"
+	if _, err := NewEngineFromSnapshots(append([]*snap.Snapshot{&other}, snaps[1:]...), smallOpts(2)); err == nil {
+		t.Error("mixed datasets accepted")
+	}
+}
+
+func TestMeasureParamsRoundTrip(t *testing.T) {
+	for _, m := range []measure.Measure{
+		measure.DTW{},
+		measure.Frechet{},
+		measure.EDR{Eps: 0.01},
+		measure.LCSS{Eps: 0.02, Delta: 7},
+		measure.ERP{},
+		measure.Hausdorff{},
+	} {
+		name, eps, delta := MeasureParams(m)
+		got, err := measure.ByName(name, eps, delta)
+		if err != nil {
+			t.Fatalf("%s: %v", m.Name(), err)
+		}
+		if !reflect.DeepEqual(got, m) {
+			t.Errorf("measure %s did not round-trip: got %+v", m.Name(), got)
+		}
+	}
+}

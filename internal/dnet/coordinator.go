@@ -16,6 +16,7 @@ import (
 	"dita/internal/measure"
 	"dita/internal/obs"
 	"dita/internal/rtree"
+	"dita/internal/snap"
 	"dita/internal/str"
 	"dita/internal/traj"
 	"dita/internal/trie"
@@ -43,6 +44,15 @@ type Config struct {
 	// report of unreachable partitions when every replica of a partition
 	// is down, instead of failing the whole query.
 	AllowPartial bool
+	// RetainPayloads keeps the raw dispatch payloads in coordinator
+	// memory even when enough workers confirmed durable snapshots of a
+	// partition. By default the coordinator frees a partition's payload
+	// once ≥ Replicas workers hold it durably — healing then pulls the
+	// snapshot worker-to-worker (Worker.Replicate) instead of re-shipping
+	// from the coordinator. Set this when workers run without snapshot
+	// directories but you still want payload-based healing... it is also
+	// the escape hatch if snapshot-based healing misbehaves.
+	RetainPayloads bool
 	// Retry bounds the managed RPC clients (deadline, backoff, attempts).
 	Retry RetryPolicy
 	// Health configures the failure detector and optional heartbeat loop.
@@ -128,12 +138,14 @@ type Coordinator struct {
 // Dispatch; the replica lists are mutable (healing rewrites them) and
 // guarded by their own lock.
 type dispatchedDataset struct {
+	name  string
 	parts []dispatchedPartition
 	rtF   *rtree.Tree
 	rtL   *rtree.Tree
 
-	// mu guards replicas: replicas[pid] lists the partition's owners
-	// (indexes into Coordinator.addrs), preferred first.
+	// mu guards replicas and the partitions' mutable payload fields:
+	// replicas[pid] lists the partition's owners (indexes into
+	// Coordinator.addrs), preferred first.
 	mu       sync.Mutex
 	replicas [][]int
 }
@@ -141,9 +153,28 @@ type dispatchedDataset struct {
 type dispatchedPartition struct {
 	mbrF, mbrL geom.MBR
 	trajs      int
+	// fingerprint is the partition's content hash (snap.Fingerprint over
+	// build options and trajectories) — how the coordinator recognizes a
+	// worker already holding this exact partition.
+	fingerprint uint64
 	// payload is the retained load request, kept so a dead replica can
-	// be rebuilt on a surviving worker without re-partitioning.
+	// be rebuilt on a surviving worker without re-partitioning. It is
+	// released (nil) once enough workers confirm durable snapshots;
+	// healing then transfers snapshots worker-to-worker instead. Guarded
+	// by the dataset's mu after dispatch.
 	payload *LoadArgs
+}
+
+// DispatchReport accounts one dispatch: how many partitions the dataset
+// has, how many replica loads actually crossed the wire, how many
+// placements were satisfied by content the workers already held
+// (cold-started from snapshots), and how many raw payloads the
+// coordinator could release because durable snapshots cover them.
+type DispatchReport struct {
+	Partitions      int
+	Loads           int
+	Reused          int
+	PayloadsDropped int
 }
 
 // Connect dials the workers and returns a coordinator. If
@@ -249,14 +280,62 @@ func replicaOwners(pid, r, w int) []int {
 // partial failure every partition already shipped is unloaded, so a
 // retried Dispatch cannot double-index data.
 func (c *Coordinator) Dispatch(name string, d *traj.Dataset) error {
+	_, err := c.DispatchStats(name, d)
+	return err
+}
+
+// workerInventories asks every worker what it holds, concurrently. A
+// worker that fails the call simply reports nothing — dispatch then ships
+// it everything, which is always safe.
+func (c *Coordinator) workerInventories() []map[partKey]InventoryPart {
+	inv := make([]map[partKey]InventoryPart, len(c.clients))
+	var wg sync.WaitGroup
+	for i := range c.clients {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			var reply InventoryReply
+			if err := c.clients[i].CallOnce("Worker.Inventory", &InventoryArgs{}, &reply, c.cfg.Retry.CallTimeout); err != nil {
+				return
+			}
+			inv[i] = make(map[partKey]InventoryPart, len(reply.Parts))
+			for _, p := range reply.Parts {
+				inv[i][partKey{p.Dataset, p.Partition}] = p
+			}
+		}(i)
+	}
+	wg.Wait()
+	return inv
+}
+
+// DispatchStats is Dispatch plus the shipping report. Before loading, the
+// coordinator asks each worker what it already holds (Worker.Inventory);
+// replica placements whose (dataset, partition, fingerprint) match are
+// reused without re-shipping or re-indexing — the cold-start fast path.
+// After a fully successful dispatch, partitions durably snapshotted on at
+// least Replicas workers have their raw payloads released (unless
+// Config.RetainPayloads), shrinking coordinator memory; healing for those
+// partitions transfers snapshots between workers.
+func (c *Coordinator) DispatchStats(name string, d *traj.Dataset) (*DispatchReport, error) {
 	if d == nil || d.Len() == 0 {
-		return fmt.Errorf("dnet: empty dataset %q", name)
+		return nil, fmt.Errorf("dnet: empty dataset %q", name)
 	}
 	cellD := c.cfg.CellD
 	if cellD <= 0 {
 		cellD = defaultCellD(d)
 	}
-	dd := &dispatchedDataset{}
+	opts := snap.BuildOptions{
+		Measure:  c.cfg.Measure.Name,
+		Eps:      c.cfg.Measure.Eps,
+		Delta:    c.cfg.Measure.Delta,
+		K:        c.cfg.Trie.K,
+		NLAlign:  c.cfg.Trie.NLAlign,
+		NLPivot:  c.cfg.Trie.NLPivot,
+		MinNode:  c.cfg.Trie.MinNode,
+		Strategy: int(c.cfg.Trie.Strategy),
+		CellD:    cellD,
+	}
+	dd := &dispatchedDataset{name: name}
 	trajs := d.Trajs
 	firsts := make([]geom.Point, len(trajs))
 	for i, t := range trajs {
@@ -267,6 +346,10 @@ func (c *Coordinator) Dispatch(name string, d *traj.Dataset) error {
 		args   *LoadArgs
 	}
 	var calls []loadCall
+	rep := &DispatchReport{}
+	// held[pid] counts owners that already hold the partition durably.
+	var durable []int
+	inv := c.workerInventories()
 	for _, bucket := range str.Tile(firsts, c.cfg.NG) {
 		if len(bucket) == 0 {
 			continue
@@ -294,33 +377,49 @@ func (c *Coordinator) Dispatch(name string, d *traj.Dataset) error {
 				CellD:     cellD,
 			}
 			mbrF, mbrL := geom.EmptyMBR(), geom.EmptyMBR()
+			members := make([]*traj.T, 0, len(sub))
 			for _, k := range sub {
 				t := trajs[bucket[k]]
 				args.Trajs = append(args.Trajs, WireTrajectory{ID: t.ID, Points: t.Points})
+				members = append(members, t)
 				mbrF = mbrF.Extend(t.First())
 				mbrL = mbrL.Extend(t.Last())
 			}
+			args.Fingerprint = snap.Fingerprint(opts, members)
 			owners := replicaOwners(pid, c.cfg.Replicas, len(c.clients))
 			dd.parts = append(dd.parts, dispatchedPartition{
 				mbrF: mbrF, mbrL: mbrL,
-				trajs: len(args.Trajs), payload: args,
+				trajs: len(args.Trajs), fingerprint: args.Fingerprint, payload: args,
 			})
 			dd.replicas = append(dd.replicas, owners)
+			durable = append(durable, 0)
 			for _, w := range owners {
+				if held, ok := inv[w][partKey{name, pid}]; ok && held.Fingerprint == args.Fingerprint {
+					// The worker already holds exactly this content
+					// (cold-started from a snapshot, or surviving from an
+					// earlier dispatch): nothing to ship.
+					rep.Reused++
+					if held.Snapshotted {
+						durable[pid]++
+					}
+					continue
+				}
 				calls = append(calls, loadCall{w, args})
 			}
 		}
 	}
+	rep.Partitions = len(dd.parts)
+	rep.Loads = len(calls)
 	// Load all replicas concurrently through the managed clients
 	// (net/rpc multiplexes on one connection per worker).
 	errs := make([]error, len(calls))
+	replies := make([]LoadReply, len(calls))
 	var wg sync.WaitGroup
 	for i, call := range calls {
 		wg.Add(1)
 		go func(i int, call loadCall) {
 			defer wg.Done()
-			var reply LoadReply
-			errs[i] = c.clients[call.worker].Call("Worker.Load", call.args, &reply)
+			errs[i] = c.clients[call.worker].Call("Worker.Load", call.args, &replies[i])
 		}(i, call)
 	}
 	wg.Wait()
@@ -333,7 +432,9 @@ func (c *Coordinator) Dispatch(name string, d *traj.Dataset) error {
 	}
 	if firstErr != nil {
 		// Roll back: unload every partition that did land, best-effort,
-		// so a retried Dispatch starts from a clean slate.
+		// so a retried Dispatch starts from a clean slate. Reused
+		// partitions are left in place — they predate this dispatch and
+		// will be reused again by the retry.
 		var uwg sync.WaitGroup
 		for i, call := range calls {
 			if errs[i] != nil {
@@ -348,7 +449,23 @@ func (c *Coordinator) Dispatch(name string, d *traj.Dataset) error {
 			}(call)
 		}
 		uwg.Wait()
-		return firstErr
+		return nil, firstErr
+	}
+	for i, call := range calls {
+		if replies[i].Snapshotted {
+			durable[call.args.Partition]++
+		}
+	}
+	if !c.cfg.RetainPayloads {
+		// Partitions durable on a full replica set no longer need their
+		// raw payload in coordinator memory: healing can pull the
+		// snapshot from a surviving replica (Worker.Replicate).
+		for pid := range dd.parts {
+			if durable[pid] >= c.cfg.Replicas {
+				dd.parts[pid].payload = nil
+				rep.PayloadsDropped++
+			}
+		}
 	}
 	ef := make([]rtree.Entry, len(dd.parts))
 	el := make([]rtree.Entry, len(dd.parts))
@@ -361,7 +478,11 @@ func (c *Coordinator) Dispatch(name string, d *traj.Dataset) error {
 	c.mu.Lock()
 	c.datasets[name] = dd
 	c.mu.Unlock()
-	return nil
+	if c.met != nil {
+		c.met.dispatchReused.Add(int64(rep.Reused))
+		c.met.payloadsDropped.Add(int64(rep.PayloadsDropped))
+	}
+	return rep, nil
 }
 
 func (c *Coordinator) dataset(name string) (*dispatchedDataset, error) {
@@ -1018,16 +1139,23 @@ func (c *Coordinator) removeWorker(dead int) {
 	}
 }
 
-// rereplicate scans every dispatched partition and re-dispatches retained
-// payloads onto the least-loaded eligible live workers until each is back
+// rereplicate scans every dispatched partition and rebuilds missing
+// replicas onto the least-loaded eligible live workers until each is back
 // at the configured replication factor (or no eligible worker remains —
-// then the next scan tries again). Dataset healing is what substitutes
-// for Spark recomputing lost RDD partitions from lineage.
+// then the next scan tries again). Partitions whose raw payload the
+// coordinator still retains are re-dispatched from it (Worker.Load);
+// partitions whose payload was released after durable snapshotting are
+// healed worker-to-worker: the target pulls the snapshot image from a
+// surviving replica (Worker.Replicate → Worker.Export) and verifies it
+// end to end. Dataset healing is what substitutes for Spark recomputing
+// lost RDD partitions from lineage.
 func (c *Coordinator) rereplicate() {
 	type healLoad struct {
 		dd      *dispatchedDataset
 		pid     int
-		payload *LoadArgs
+		payload *LoadArgs // nil → snapshot-based healing via srcs
+		fp      uint64
+		srcs    []int // pre-heal owners, the candidate snapshot sources
 		target  int
 	}
 	dds := c.lockedDatasets()
@@ -1048,6 +1176,7 @@ func (c *Coordinator) rereplicate() {
 		dd.mu.Lock()
 		for pid := range dd.replicas {
 			owners := append([]int(nil), dd.replicas[pid]...)
+			srcs := append([]int(nil), owners...)
 			for len(owners) < c.cfg.Replicas {
 				// Pick the least-loaded live worker not already a replica.
 				target := -1
@@ -1074,7 +1203,13 @@ func (c *Coordinator) rereplicate() {
 				}
 				loads[target]++
 				owners = append(owners, target)
-				plan = append(plan, healLoad{dd: dd, pid: pid, payload: dd.parts[pid].payload, target: target})
+				plan = append(plan, healLoad{
+					dd: dd, pid: pid,
+					payload: dd.parts[pid].payload,
+					fp:      dd.parts[pid].fingerprint,
+					srcs:    srcs,
+					target:  target,
+				})
 			}
 		}
 		dd.mu.Unlock()
@@ -1087,8 +1222,31 @@ func (c *Coordinator) rereplicate() {
 		wg.Add(1)
 		go func(h healLoad) {
 			defer wg.Done()
-			var reply LoadReply
-			if err := c.clients[h.target].Call("Worker.Load", h.payload, &reply); err != nil {
+			healed := false
+			if h.payload != nil {
+				var reply LoadReply
+				healed = c.clients[h.target].Call("Worker.Load", h.payload, &reply) == nil
+			} else {
+				// Payload released after durable snapshotting: the target
+				// pulls the snapshot from a surviving replica. Sources are
+				// tried live-first; a transfer the target classifies as
+				// peer-unreachable or corrupt just moves to the next source.
+				for _, src := range c.health.order(h.srcs) {
+					if states[src] == Dead {
+						continue
+					}
+					var reply ReplicateReply
+					err := c.clients[h.target].Call("Worker.Replicate", &ReplicateArgs{
+						Dataset: h.dd.name, Partition: h.pid,
+						SrcAddr: c.addrs[src], Fingerprint: h.fp,
+					}, &reply)
+					if err == nil {
+						healed = true
+						break
+					}
+				}
+			}
+			if !healed {
 				return // retried on the next CheckHealth
 			}
 			h.dd.mu.Lock()
@@ -1111,7 +1269,7 @@ func (c *Coordinator) rereplicate() {
 			// other workers; drop the surplus copy.
 			var ur UnloadReply
 			c.clients[h.target].CallOnce("Worker.Unload",
-				&UnloadArgs{Dataset: h.payload.Dataset, Partition: h.payload.Partition}, &ur,
+				&UnloadArgs{Dataset: h.dd.name, Partition: h.pid}, &ur,
 				c.cfg.Retry.CallTimeout)
 		}(h)
 	}

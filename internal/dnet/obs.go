@@ -49,6 +49,10 @@ type coordMetrics struct {
 	searchFunnel  *obs.FunnelCounters
 	joinFunnel    *obs.FunnelCounters
 	knnFunnel     *obs.FunnelCounters
+	// Snapshot economy: replica placements satisfied without shipping,
+	// and raw payloads released because durable snapshots cover them.
+	dispatchReused  *obs.Counter
+	payloadsDropped *obs.Counter
 }
 
 func newCoordMetrics(r *obs.Registry) *coordMetrics {
@@ -56,20 +60,22 @@ func newCoordMetrics(r *obs.Registry) *coordMetrics {
 		return nil
 	}
 	return &coordMetrics{
-		reg:           r,
-		searches:      r.Counter("coord_searches_total"),
-		joins:         r.Counter("coord_joins_total"),
-		knns:          r.Counter("coord_knn_total"),
-		searchLatency: r.Histogram("coord_search_latency_us"),
-		joinLatency:   r.Histogram("coord_join_latency_us"),
-		knnLatency:    r.Histogram("coord_knn_latency_us"),
-		admissionWait: r.Histogram("coord_admission_wait_us"),
-		retries:       r.Counter("coord_rpc_retries_total"),
-		failovers:     r.Counter("coord_replica_failovers_total"),
-		skips:         r.Counter("coord_partition_skips_total"),
-		searchFunnel:  obs.NewFunnelCounters(r, "coord_search_"),
-		joinFunnel:    obs.NewFunnelCounters(r, "coord_join_"),
-		knnFunnel:     obs.NewFunnelCounters(r, "coord_knn_"),
+		reg:             r,
+		searches:        r.Counter("coord_searches_total"),
+		joins:           r.Counter("coord_joins_total"),
+		knns:            r.Counter("coord_knn_total"),
+		searchLatency:   r.Histogram("coord_search_latency_us"),
+		joinLatency:     r.Histogram("coord_join_latency_us"),
+		knnLatency:      r.Histogram("coord_knn_latency_us"),
+		admissionWait:   r.Histogram("coord_admission_wait_us"),
+		retries:         r.Counter("coord_rpc_retries_total"),
+		failovers:       r.Counter("coord_replica_failovers_total"),
+		skips:           r.Counter("coord_partition_skips_total"),
+		searchFunnel:    obs.NewFunnelCounters(r, "coord_search_"),
+		joinFunnel:      obs.NewFunnelCounters(r, "coord_join_"),
+		knnFunnel:       obs.NewFunnelCounters(r, "coord_knn_"),
+		dispatchReused:  r.Counter("coord_dispatch_reused_total"),
+		payloadsDropped: r.Counter("coord_payloads_dropped_total"),
 	}
 }
 

@@ -51,12 +51,79 @@ type LoadArgs struct {
 	MinNode  int
 	Strategy int
 	CellD    float64
+	// Fingerprint is the snap.Fingerprint content hash over (build
+	// options, trajectories). The coordinator stamps it so the worker can
+	// recognize an identical partition it already holds (idempotent
+	// reloads skip the trie rebuild) and so snapshots written from this
+	// load carry the same identity the coordinator tracks. 0 = unknown.
+	Fingerprint uint64
 }
 
-// LoadReply reports the built index's footprint.
+// LoadReply reports the built index's footprint and durability.
 type LoadReply struct {
 	Trajs      int
 	IndexBytes int
+	// Snapshotted reports that the partition was persisted durably to the
+	// worker's snapshot directory (false when the worker runs without one
+	// or the write failed — the load itself still succeeded).
+	Snapshotted bool
+	// SnapshotBytes is the on-disk snapshot size when Snapshotted.
+	SnapshotBytes int64
+}
+
+// InventoryArgs asks a worker what partitions it holds in memory; the
+// coordinator calls it at Dispatch to skip re-shipping partitions a
+// cold-started worker already restored from snapshots.
+type InventoryArgs struct{}
+
+// InventoryPart identifies one held partition by content.
+type InventoryPart struct {
+	Dataset     string
+	Partition   int
+	Fingerprint uint64
+	// Snapshotted reports whether a durable snapshot of exactly this
+	// content exists on the worker's disk — what payload-release
+	// decisions count.
+	Snapshotted bool
+}
+
+// InventoryReply lists a worker's in-memory partitions.
+type InventoryReply struct {
+	Parts []InventoryPart
+}
+
+// ExportArgs asks a worker for the encoded snapshot image of one held
+// partition — the worker-to-worker healing transfer.
+type ExportArgs struct {
+	Dataset   string
+	Partition int
+}
+
+// ExportReply carries the sealed snapshot image. The receiver runs the
+// full snap.Decode verification, so corruption on the wire (or a torn
+// source) is detected exactly like disk corruption.
+type ExportReply struct {
+	Data []byte
+}
+
+// ReplicateArgs asks a worker to fetch a partition's snapshot image from
+// a peer (Worker.Export on SrcAddr), verify it, install it, and persist
+// it locally. This is how healing works once the coordinator has dropped
+// its retained raw payloads: the bytes flow worker-to-worker.
+type ReplicateArgs struct {
+	Dataset   string
+	Partition int
+	SrcAddr   string
+	// Fingerprint, when non-zero, is the content the coordinator expects;
+	// a mismatched transfer is refused.
+	Fingerprint uint64
+}
+
+// ReplicateReply reports the installed partition's footprint.
+type ReplicateReply struct {
+	Trajs       int
+	IndexBytes  int
+	Snapshotted bool
 }
 
 // SearchArgs runs a threshold search against one loaded partition.

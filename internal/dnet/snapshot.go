@@ -1,0 +1,261 @@
+package dnet
+
+import (
+	"fmt"
+	"os"
+	"sort"
+
+	"dita/internal/core"
+	"dita/internal/measure"
+	"dita/internal/snap"
+)
+
+// loadBuildOptions maps a load request's index configuration to the
+// snapshot build options — the content identity both sides fingerprint.
+func loadBuildOptions(args *LoadArgs) snap.BuildOptions {
+	return snap.BuildOptions{
+		Measure:  args.Measure.Name,
+		Eps:      args.Measure.Eps,
+		Delta:    args.Measure.Delta,
+		K:        args.K,
+		NLAlign:  args.NLAlign,
+		NLPivot:  args.NLPivot,
+		MinNode:  args.MinNode,
+		Strategy: args.Strategy,
+		CellD:    args.CellD,
+	}
+}
+
+// partitionFromSnapshot rebuilds the in-memory partition state from a
+// verified snapshot: measure by name, verification metadata recomputed
+// (it is derived state, deliberately not serialized).
+func partitionFromSnapshot(s *snap.Snapshot) (*workerPartition, error) {
+	m, err := measure.ByName(s.Opts.Measure, s.Opts.Eps, s.Opts.Delta)
+	if err != nil {
+		return nil, err
+	}
+	p := &workerPartition{
+		trajs:       s.Trajs,
+		index:       s.Index,
+		m:           m,
+		cellD:       s.Opts.CellD,
+		opts:        s.Opts,
+		fingerprint: s.Fingerprint,
+	}
+	p.meta = make([]core.VerifyMeta, len(s.Trajs))
+	for i, t := range s.Trajs {
+		p.meta[i] = core.NewVerifyMeta(t, s.Opts.CellD)
+	}
+	return p, nil
+}
+
+// snapshotOf wraps a held partition as a snapshot for Save or Export.
+func snapshotOf(dataset string, pid int, p *workerPartition) *snap.Snapshot {
+	return &snap.Snapshot{
+		Dataset:   dataset,
+		Partition: pid,
+		Opts:      p.opts,
+		Trajs:     p.trajs,
+		Index:     p.index,
+	}
+}
+
+// persistPartition saves the partition to the snapshot store, if one is
+// configured. Persistence failure degrades: the partition still serves
+// from memory, the write is counted, and the reply advertises
+// Snapshotted=false so the coordinator keeps other durability.
+func (w *Worker) persistPartition(dataset string, pid int, p *workerPartition) {
+	if w.SnapStore == nil {
+		return
+	}
+	size, err := w.SnapStore.Save(snapshotOf(dataset, pid, p))
+	if err != nil {
+		w.snapWriteErr.Add(1)
+		return
+	}
+	w.snapWriteOK.Add(1)
+	p.snapped = true
+	p.snapBytes = size
+}
+
+func (w *Worker) installPartition(dataset string, pid int, p *workerPartition) {
+	w.mu.Lock()
+	w.parts[partKey{dataset, pid}] = p
+	w.mu.Unlock()
+}
+
+// SnapshotLoaded describes one partition restored during cold start.
+type SnapshotLoaded struct {
+	Dataset     string
+	Partition   int
+	Trajs       int
+	Bytes       int64
+	Fingerprint uint64
+}
+
+// SnapshotSkipped describes one snapshot file the cold start refused,
+// with its error class ("corrupt", "version", "io", "config") — the
+// classified skip report the operator sees at startup.
+type SnapshotSkipped struct {
+	Path  string
+	Class string
+	Err   string
+}
+
+// SnapshotLoadReport summarizes a cold start from the snapshot directory.
+type SnapshotLoadReport struct {
+	Loaded  []SnapshotLoaded
+	Skipped []SnapshotSkipped
+}
+
+// LoadSnapshots cold-starts the worker from its snapshot directory: every
+// file is fully verified and installed; anything torn, bit-rotted,
+// version-mismatched, or unreadable is skipped with a classified report
+// entry — never a crash — and the coordinator re-ships those partitions
+// on its next dispatch or heal. Call before Serve (it does not lock out
+// RPCs during the scan).
+func (w *Worker) LoadSnapshots() (*SnapshotLoadReport, error) {
+	rep := &SnapshotLoadReport{}
+	if w.SnapStore == nil {
+		return rep, nil
+	}
+	entries, err := w.SnapStore.Scan()
+	if err != nil {
+		return rep, err
+	}
+	for _, e := range entries {
+		s, err := snap.LoadFile(e.Path)
+		if err != nil {
+			class := snap.Classify(err)
+			if class == "io" {
+				w.snapLoadErr.Add(1)
+			} else {
+				w.snapLoadCorrupt.Add(1)
+			}
+			rep.Skipped = append(rep.Skipped, SnapshotSkipped{Path: e.Path, Class: class, Err: err.Error()})
+			continue
+		}
+		p, err := partitionFromSnapshot(s)
+		if err != nil {
+			// The image verified but this build can't serve it (e.g. a
+			// measure name this binary doesn't know).
+			w.snapLoadErr.Add(1)
+			rep.Skipped = append(rep.Skipped, SnapshotSkipped{Path: e.Path, Class: "config", Err: err.Error()})
+			continue
+		}
+		p.snapped = true
+		if fi, err := os.Stat(e.Path); err == nil {
+			p.snapBytes = fi.Size()
+		}
+		w.installPartition(s.Dataset, s.Partition, p)
+		w.snapLoadOK.Add(1)
+		rep.Loaded = append(rep.Loaded, SnapshotLoaded{
+			Dataset:     s.Dataset,
+			Partition:   s.Partition,
+			Trajs:       len(s.Trajs),
+			Bytes:       p.snapBytes,
+			Fingerprint: s.Fingerprint,
+		})
+	}
+	return rep, nil
+}
+
+// Inventory implements the held-partition listing the coordinator uses to
+// skip re-shipping content a worker already holds (cold-started from
+// snapshots or surviving from an earlier dispatch).
+func (s *workerService) Inventory(args *InventoryArgs, reply *InventoryReply) error {
+	if !s.w.beginRPC() {
+		return errDraining
+	}
+	defer s.w.endRPC()
+	s.w.mu.RLock()
+	for k, p := range s.w.parts {
+		reply.Parts = append(reply.Parts, InventoryPart{
+			Dataset: k.dataset, Partition: k.id,
+			Fingerprint: p.fingerprint, Snapshotted: p.snapped,
+		})
+	}
+	s.w.mu.RUnlock()
+	sort.Slice(reply.Parts, func(a, b int) bool {
+		if reply.Parts[a].Dataset != reply.Parts[b].Dataset {
+			return reply.Parts[a].Dataset < reply.Parts[b].Dataset
+		}
+		return reply.Parts[a].Partition < reply.Parts[b].Partition
+	})
+	return nil
+}
+
+// Export implements the healing transfer source: the sealed snapshot
+// image of one held partition, encoded from live memory (so it works even
+// on workers running without a snapshot directory).
+func (s *workerService) Export(args *ExportArgs, reply *ExportReply) (err error) {
+	if !s.w.beginRPC() {
+		return errDraining
+	}
+	defer s.w.endRPC()
+	defer rpcRecover("export", &err)
+	p, err := s.partition(args.Dataset, args.Partition)
+	if err != nil {
+		return err
+	}
+	reply.Data = snap.Encode(snapshotOf(args.Dataset, args.Partition, p))
+	return nil
+}
+
+// Replicate implements snapshot-based healing: fetch the partition's
+// image from a peer, verify it end to end (snap.Decode catches wire
+// corruption exactly like disk corruption), install, and persist. A
+// transport-level failure reaching the peer is reported with the
+// peer-unreachable prefix so the coordinator can distinguish "source is
+// down" from "this worker failed".
+func (s *workerService) Replicate(args *ReplicateArgs, reply *ReplicateReply) (err error) {
+	if !s.w.beginRPC() {
+		return errDraining
+	}
+	defer s.w.endRPC()
+	defer rpcRecover("replicate", &err)
+
+	// Already holding the content? Nothing to transfer.
+	s.w.mu.RLock()
+	held, ok := s.w.parts[partKey{args.Dataset, args.Partition}]
+	s.w.mu.RUnlock()
+	if ok && args.Fingerprint != 0 && held.fingerprint == args.Fingerprint {
+		reply.Trajs = len(held.trajs)
+		reply.IndexBytes = held.index.SizeBytes()
+		reply.Snapshotted = held.snapped
+		return nil
+	}
+
+	mc := newManagedClient(args.SrcAddr, shipRetry)
+	defer mc.Close()
+	var ex ExportReply
+	if err := mc.Call("Worker.Export", &ExportArgs{Dataset: args.Dataset, Partition: args.Partition}, &ex); err != nil {
+		if retryableError(err) {
+			return fmt.Errorf("%s%s: %v", peerUnreachablePrefix, args.SrcAddr, err)
+		}
+		return err
+	}
+	sn, err := snap.Decode(ex.Data)
+	if err != nil {
+		return fmt.Errorf("dnet: replicate %s/%d from %s: %w", args.Dataset, args.Partition, args.SrcAddr, err)
+	}
+	if sn.Dataset != args.Dataset || sn.Partition != args.Partition {
+		return fmt.Errorf("dnet: replicate: peer sent %s/%d, want %s/%d",
+			sn.Dataset, sn.Partition, args.Dataset, args.Partition)
+	}
+	if args.Fingerprint != 0 && sn.Fingerprint != args.Fingerprint {
+		return fmt.Errorf("dnet: replicate %s/%d: content fingerprint %016x, want %016x",
+			args.Dataset, args.Partition, sn.Fingerprint, args.Fingerprint)
+	}
+	p, err := partitionFromSnapshot(sn)
+	if err != nil {
+		return fmt.Errorf("dnet: replicate %s/%d: %w", args.Dataset, args.Partition, err)
+	}
+	s.w.persistPartition(args.Dataset, args.Partition, p)
+	s.w.installPartition(args.Dataset, args.Partition, p)
+	s.w.bytesIn.Add(int64(len(ex.Data)))
+	reply.Trajs = len(p.trajs)
+	reply.IndexBytes = p.index.SizeBytes()
+	reply.Snapshotted = p.snapped
+	return nil
+}

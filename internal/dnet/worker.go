@@ -15,6 +15,7 @@ import (
 	"dita/internal/measure"
 	"dita/internal/obs"
 	"dita/internal/pivot"
+	"dita/internal/snap"
 	"dita/internal/traj"
 	"dita/internal/trie"
 )
@@ -46,6 +47,18 @@ type Worker struct {
 	// transport (tests and `dita-worker -chaos`). Never set it in
 	// production.
 	FaultInjection *FaultPlan
+
+	// SnapStore, when set before Serve, persists every loaded partition
+	// as a crash-safe snapshot and lets LoadSnapshots cold-start the
+	// worker from disk. Its Faults field is the storage-side chaos plan
+	// (`dita-worker -snap-chaos`).
+	SnapStore *snap.Store
+
+	snapLoadOK      atomic.Int64
+	snapLoadCorrupt atomic.Int64
+	snapLoadErr     atomic.Int64
+	snapWriteOK     atomic.Int64
+	snapWriteErr    atomic.Int64
 
 	// VerifyParallelism bounds the goroutine pool each Search/Join RPC
 	// uses to verify its candidate list: 0 means every core, 1 forces the
@@ -94,6 +107,14 @@ type workerPartition struct {
 	meta  []core.VerifyMeta
 	m     measure.Measure
 	cellD float64
+	// opts and fingerprint are the partition's content identity
+	// (snap.BuildOptions plus the hash over it and the trajectories);
+	// snapped/snapBytes record whether a durable snapshot of exactly this
+	// content exists in the worker's store.
+	opts        snap.BuildOptions
+	fingerprint uint64
+	snapped     bool
+	snapBytes   int64
 }
 
 // NewWorker creates an unstarted worker.
@@ -208,6 +229,11 @@ func (w *Worker) Instrument(r *obs.Registry) {
 	r.GaugeFunc("worker_knn_calls_total", w.knnCalls.Load)
 	r.GaugeFunc("worker_join_calls_total", w.joinCalls.Load)
 	r.GaugeFunc("worker_bytes_in_total", w.bytesIn.Load)
+	r.GaugeFunc("snap_load_ok", w.snapLoadOK.Load)
+	r.GaugeFunc("snap_load_corrupt", w.snapLoadCorrupt.Load)
+	r.GaugeFunc("snap_load_err", w.snapLoadErr.Load)
+	r.GaugeFunc("snap_write_ok", w.snapWriteOK.Load)
+	r.GaugeFunc("snap_write_err", w.snapWriteErr.Load)
 }
 
 func (w *Worker) endRPC() {
@@ -333,6 +359,21 @@ func (s *workerService) Load(args *LoadArgs, reply *LoadReply) (err error) {
 		trajs[i] = &traj.T{ID: wt.ID, Points: wt.Points}
 		bytes += trajs[i].Bytes()
 	}
+	opts := loadBuildOptions(args)
+	fp := snap.Fingerprint(opts, trajs)
+	s.w.bytesIn.Add(int64(bytes))
+	// Identical content already held (a retry, or a cold start restored
+	// it): skip the rebuild, answer from the existing partition.
+	s.w.mu.RLock()
+	held, ok := s.w.parts[partKey{args.Dataset, args.Partition}]
+	s.w.mu.RUnlock()
+	if ok && held.fingerprint == fp {
+		reply.Trajs = len(held.trajs)
+		reply.IndexBytes = held.index.SizeBytes()
+		reply.Snapshotted = held.snapped
+		reply.SnapshotBytes = held.snapBytes
+		return nil
+	}
 	cfg := trie.Config{
 		K:        args.K,
 		NLAlign:  args.NLAlign,
@@ -341,21 +382,23 @@ func (s *workerService) Load(args *LoadArgs, reply *LoadReply) (err error) {
 		Strategy: pivot.Strategy(args.Strategy),
 	}
 	p := &workerPartition{
-		trajs: trajs,
-		index: trie.Build(trajs, cfg),
-		meta:  make([]core.VerifyMeta, len(trajs)),
-		m:     m,
-		cellD: args.CellD,
+		trajs:       trajs,
+		index:       trie.Build(trajs, cfg),
+		meta:        make([]core.VerifyMeta, len(trajs)),
+		m:           m,
+		cellD:       args.CellD,
+		opts:        opts,
+		fingerprint: fp,
 	}
 	for i, t := range trajs {
 		p.meta[i] = core.NewVerifyMeta(t, args.CellD)
 	}
-	s.w.mu.Lock()
-	s.w.parts[partKey{args.Dataset, args.Partition}] = p
-	s.w.mu.Unlock()
-	s.w.bytesIn.Add(int64(bytes))
+	s.w.persistPartition(args.Dataset, args.Partition, p)
+	s.w.installPartition(args.Dataset, args.Partition, p)
 	reply.Trajs = len(trajs)
 	reply.IndexBytes = p.index.SizeBytes()
+	reply.Snapshotted = p.snapped
+	reply.SnapshotBytes = p.snapBytes
 	return nil
 }
 
@@ -370,6 +413,11 @@ func (s *workerService) Unload(args *UnloadArgs, reply *UnloadReply) error {
 	_, reply.Unloaded = s.w.parts[key]
 	delete(s.w.parts, key)
 	s.w.mu.Unlock()
+	// The snapshot must go with the partition, or a cold start would
+	// resurrect data the coordinator rolled back.
+	if s.w.SnapStore != nil {
+		s.w.SnapStore.Remove(args.Dataset, args.Partition)
+	}
 	return nil
 }
 

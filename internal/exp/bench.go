@@ -9,6 +9,7 @@ import (
 	"dita/internal/gen"
 	"dita/internal/measure"
 	"dita/internal/obs"
+	"dita/internal/snap"
 )
 
 // BenchReport is the machine-readable output of one `ditabench
@@ -27,9 +28,23 @@ type BenchReport struct {
 	Parallelism int `json:"parallelism"`
 	// Scale is the cardinality multiplier the run used.
 	Scale float64 `json:"scale"`
-	// BuildMS is the wall-clock index build time in milliseconds.
-	BuildMS   float64          `json:"build_ms"`
-	Workloads []WorkloadReport `json:"workloads"`
+	// BuildMS is the wall-clock engine construction time in milliseconds
+	// (partitioning + indexing + metadata).
+	BuildMS float64 `json:"build_ms"`
+	// IndexBuildMS is the engine-measured index construction time in
+	// milliseconds (the paper's Table 5 number; a subset of BuildMS).
+	IndexBuildMS float64 `json:"index_build_ms"`
+	// SnapshotBytes is the total encoded snapshot size over all
+	// partitions — what a worker fleet would persist for this dataset.
+	SnapshotBytes int64 `json:"snapshot_bytes"`
+	// BytesPerTraj is SnapshotBytes over Trajectories: the durable
+	// footprint per trajectory, points and trie included.
+	BytesPerTraj float64 `json:"bytes_per_traj"`
+	// ColdStartMS is the wall-clock time to decode every partition
+	// snapshot (full checksum verification) and reassemble a serving
+	// engine from them — restart cost, to compare against BuildMS.
+	ColdStartMS float64          `json:"cold_start_ms"`
+	Workloads   []WorkloadReport `json:"workloads"`
 }
 
 // WorkloadReport is one workload's latency percentiles and funnel.
@@ -113,7 +128,40 @@ func Bench(kind string, cfg Config) (*BenchReport, error) {
 		Parallelism:  e.VerifyParallelism(),
 		Scale:        cfg.Scale,
 		BuildMS:      float64(time.Since(buildStart).Microseconds()) / 1000,
+		IndexBuildMS: float64(e.BuildTime.Microseconds()) / 1000,
 	}
+
+	// Persistence economics: encode every partition's snapshot (the
+	// durable footprint a worker fleet would write), then measure a cold
+	// start — decode with full verification and reassemble an engine.
+	images := make([][]byte, 0, len(e.Partitions()))
+	for _, p := range e.Partitions() {
+		img := snap.Encode(e.ExportSnapshot(d.Name, p))
+		rep.SnapshotBytes += int64(len(img))
+		images = append(images, img)
+	}
+	if d.Len() > 0 {
+		rep.BytesPerTraj = float64(rep.SnapshotBytes) / float64(d.Len())
+	}
+	coldStart := time.Now()
+	snaps := make([]*snap.Snapshot, len(images))
+	for i, img := range images {
+		s, err := snap.Decode(img)
+		if err != nil {
+			return nil, fmt.Errorf("exp: bench %s: snapshot decode: %w", kind, err)
+		}
+		snaps[i] = s
+	}
+	cold, err := core.NewEngineFromSnapshots(snaps, opts)
+	if err != nil {
+		return nil, fmt.Errorf("exp: bench %s: cold start: %w", kind, err)
+	}
+	rep.ColdStartMS = float64(time.Since(coldStart).Microseconds()) / 1000
+	if cold.Dataset().Len() != d.Len() {
+		return nil, fmt.Errorf("exp: bench %s: cold start restored %d trajectories, want %d",
+			kind, cold.Dataset().Len(), d.Len())
+	}
+
 	qs := gen.Queries(d, cfg.Queries, cfg.Seed+10)
 
 	// Threshold search.

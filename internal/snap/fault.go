@@ -1,0 +1,115 @@
+package snap
+
+import (
+	"fmt"
+	"math/rand"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// FaultPlan configures deterministic, seeded fault injection on snapshot
+// writes — the storage-side counterpart of dnet's network FaultPlan. Each
+// Save rolls the dice in a fixed order (crash, fail, torn, flip), so a
+// fixed plan plus a fixed save sequence produces a reproducible fault
+// schedule.
+//
+// The same plan drives the snap/dnet chaos tests and
+// `dita-worker -snap-chaos` manual soak testing. Never enable it in
+// production.
+type FaultPlan struct {
+	// Seed makes the fault schedule deterministic.
+	Seed int64
+	// CrashRate is the probability a Save "dies" mid-write: a random
+	// prefix lands in the temp file, nothing is renamed, and Save returns
+	// an InjectedFault — the SIGKILL-mid-write model. The final path is
+	// untouched.
+	CrashRate float64
+	// FailRate is the probability a Save fails cleanly with an injected
+	// I/O error before writing (disk full, permission flip).
+	FailRate float64
+	// TornRate is the probability a Save commits only a random prefix of
+	// the image yet renames it into place — the power-loss-with-reordered-
+	// writes model that the sealed footer exists to catch. The reader must
+	// classify the file as corrupt, never decode it.
+	TornRate float64
+	// FlipRate is the probability one random bit of the image is flipped
+	// before the write — the bit-rot model the checksums exist to catch.
+	FlipRate float64
+
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+// ParseFaultPlan parses a comma-separated spec like
+// "seed=7,crash=0.1,fail=0.02,torn=0.2,flip=0.1". Unknown keys are an
+// error; every key is optional.
+func ParseFaultPlan(spec string) (*FaultPlan, error) {
+	plan := &FaultPlan{Seed: 1}
+	if strings.TrimSpace(spec) == "" {
+		return plan, nil
+	}
+	for _, field := range strings.Split(spec, ",") {
+		k, v, ok := strings.Cut(strings.TrimSpace(field), "=")
+		if !ok {
+			return nil, fmt.Errorf("snap: fault spec %q: want key=value", field)
+		}
+		var err error
+		switch k {
+		case "seed":
+			plan.Seed, err = strconv.ParseInt(v, 10, 64)
+		case "crash":
+			plan.CrashRate, err = strconv.ParseFloat(v, 64)
+		case "fail":
+			plan.FailRate, err = strconv.ParseFloat(v, 64)
+		case "torn":
+			plan.TornRate, err = strconv.ParseFloat(v, 64)
+		case "flip":
+			plan.FlipRate, err = strconv.ParseFloat(v, 64)
+		default:
+			return nil, fmt.Errorf("snap: fault spec: unknown key %q", k)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("snap: fault spec %q: %w", field, err)
+		}
+	}
+	return plan, nil
+}
+
+// InjectedFault is the error an injected crash or I/O failure returns. It
+// is distinguishable from real filesystem errors so tests can assert the
+// fault fired.
+type InjectedFault struct {
+	Kind string // "crash" or "fail"
+}
+
+func (e *InjectedFault) Error() string { return "snap: injected fault: " + e.Kind }
+
+// apply rolls the plan's dice for one Save over the encoded image. It
+// returns the (possibly mutilated) bytes to write, a crash offset
+// (-1 = no crash), or an immediate injected error.
+func (p *FaultPlan) apply(data []byte) (write []byte, crashAfter int, err error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.rng == nil {
+		p.rng = rand.New(rand.NewSource(p.Seed))
+	}
+	if p.CrashRate > 0 && p.rng.Float64() < p.CrashRate {
+		return data, p.rng.Intn(len(data) + 1), nil
+	}
+	if p.FailRate > 0 && p.rng.Float64() < p.FailRate {
+		return nil, -1, &InjectedFault{Kind: "fail"}
+	}
+	if p.TornRate > 0 && p.rng.Float64() < p.TornRate {
+		// Keep a strict prefix so the seal footer is always lost.
+		n := p.rng.Intn(len(data))
+		return data[:n], -1, nil
+	}
+	if p.FlipRate > 0 && p.rng.Float64() < p.FlipRate {
+		mut := append([]byte(nil), data...)
+		i := p.rng.Intn(len(mut))
+		mut[i] ^= 1 << uint(p.rng.Intn(8))
+		return mut, -1, nil
+	}
+	return data, -1, nil
+}

@@ -1,0 +1,127 @@
+package trie
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"dita/internal/geom"
+	"dita/internal/measure"
+	"dita/internal/traj"
+)
+
+func serialTrajs(n int, seed int64) []*traj.T {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]*traj.T, n)
+	for i := range out {
+		np := 2 + rng.Intn(15)
+		pts := make([]geom.Point, np)
+		x, y := rng.Float64()*10, rng.Float64()*10
+		for j := range pts {
+			x += rng.NormFloat64() * 0.05
+			y += rng.NormFloat64() * 0.05
+			pts[j] = geom.Point{X: x, Y: y}
+		}
+		out[i] = &traj.T{ID: i, Points: pts}
+	}
+	return out
+}
+
+func TestSerialRoundTrip(t *testing.T) {
+	trajs := serialTrajs(120, 42)
+	built := Build(trajs, Config{K: 3, NLAlign: 4, NLPivot: 3, MinNode: 4})
+	enc := built.AppendBinary(nil)
+
+	dec, err := DecodeBinary(enc, trajs)
+	if err != nil {
+		t.Fatalf("DecodeBinary: %v", err)
+	}
+	// Canonical encoding: the decoded trie re-encodes bit-exactly.
+	if !bytes.Equal(dec.AppendBinary(nil), enc) {
+		t.Fatal("decoded trie does not re-encode to the same bytes")
+	}
+	if dec.nodes != built.nodes {
+		t.Fatalf("node count: decoded %d, built %d", dec.nodes, built.nodes)
+	}
+	if dec.cfg != built.cfg {
+		t.Fatalf("config: decoded %+v, built %+v", dec.cfg, built.cfg)
+	}
+
+	// The decoded trie must answer queries identically to the built one.
+	m := measure.DTW{}
+	for qi := 0; qi < 10; qi++ {
+		q := trajs[qi*7%len(trajs)].Points
+		for _, tau := range []float64{0.01, 0.1, 1.0} {
+			want := built.Search(q, m, tau, nil)
+			got := dec.Search(q, m, tau, nil)
+			if !reflect.DeepEqual(want, got) {
+				t.Fatalf("query %d tau %g: built %v, decoded %v", qi, tau, want, got)
+			}
+		}
+	}
+}
+
+func TestSerialDeterministic(t *testing.T) {
+	trajs := serialTrajs(60, 7)
+	a := Build(trajs, Config{K: 2, NLAlign: 3, NLPivot: 2, MinNode: 8}).AppendBinary(nil)
+	b := Build(trajs, Config{K: 2, NLAlign: 3, NLPivot: 2, MinNode: 8}).AppendBinary(nil)
+	if !bytes.Equal(a, b) {
+		t.Fatal("two builds over identical input encode differently")
+	}
+}
+
+// TestSerialDecodeRejectsCorruption walks every truncation and a bit flip
+// in every byte: DecodeBinary must fail or produce a trie that re-encodes
+// differently — and must never panic or accept structural nonsense like
+// out-of-range leaf indexes. (In the snapshot format a CRC guards this
+// payload; this test proves the decoder is safe even without it.)
+func TestSerialDecodeRejectsCorruption(t *testing.T) {
+	trajs := serialTrajs(25, 9)
+	enc := Build(trajs, Config{K: 2, NLAlign: 3, NLPivot: 2, MinNode: 4}).AppendBinary(nil)
+
+	for n := 0; n < len(enc); n++ {
+		if _, err := DecodeBinary(enc[:n], trajs); err == nil {
+			t.Fatalf("truncation to %d/%d bytes decoded successfully", n, len(enc))
+		}
+	}
+	for i := range enc {
+		mut := append([]byte(nil), enc...)
+		mut[i] ^= 0x40
+		dec, err := DecodeBinary(mut, trajs)
+		if err != nil {
+			continue
+		}
+		// Some flips (e.g. in an MBR float) still decode; they must at
+		// least survive re-encoding and never corrupt shared state.
+		if dec == nil {
+			t.Fatalf("flip at byte %d: nil trie without error", i)
+		}
+		for _, n := range collectLeafIdx(dec.root) {
+			if n < 0 || n >= len(trajs) {
+				t.Fatalf("flip at byte %d: leaf index %d out of range", i, n)
+			}
+		}
+	}
+
+	if _, err := DecodeBinary(enc, trajs[:len(trajs)-1]); err == nil {
+		t.Fatal("decode with wrong trajectory slice succeeded")
+	}
+	if _, err := DecodeBinary(nil, nil); err == nil {
+		t.Fatal("decode of empty buffer succeeded")
+	}
+}
+
+func collectLeafIdx(n *node) []int {
+	if n == nil {
+		return nil
+	}
+	if n.isLeaf() {
+		return n.leafIdx
+	}
+	var out []int
+	for _, c := range n.children {
+		out = append(out, collectLeafIdx(c)...)
+	}
+	return out
+}

@@ -169,6 +169,22 @@ func (t *Trie) build(idxs []int, level int) *node {
 // NodeCount returns the number of trie nodes (Appendix B sizing).
 func (t *Trie) NodeCount() int { return t.nodes }
 
+// LeafIndexes returns every trajectory index referenced by a leaf, in
+// preorder. Exposed for integrity checks on deserialized tries: each
+// index must address the trajectory slice the trie was decoded against.
+func (t *Trie) LeafIndexes() []int {
+	var out []int
+	var walk func(*node)
+	walk = func(n *node) {
+		out = append(out, n.leafIdx...)
+		for _, c := range n.children {
+			walk(c)
+		}
+	}
+	walk(t.root)
+	return out
+}
+
 // SizeBytes estimates the index footprint excluding trajectory data: per
 // node an MBR (32 bytes) plus slice headers, plus leaf index entries.
 func (t *Trie) SizeBytes() int {

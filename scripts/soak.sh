@@ -11,15 +11,24 @@
 #
 #   make soak                  # 30s run
 #   SOAK_DURATION=5s make soak # shorter
+# After the churn workload, a cold-restart phase exercises the snapshot
+# persistence path end to end: a fresh run records a result digest, the
+# workers are SIGKILLed (no drain — a crash), restarted over the same
+# -snapshot-dir, and the rerun must ship zero partitions and print the
+# identical digest; then one snapshot file is truncated (a torn write)
+# and the next restart must classify it, re-ship only what was lost, and
+# still print the identical digest.
 set -eu
 
 cd "$(dirname "$0")/.."
 DUR="${SOAK_DURATION:-30s}"
 TMP="$(mktemp -d)"
-W1= W2=
+W1= W2= W3= W4=
 cleanup() {
 	[ -n "$W1" ] && kill "$W1" 2>/dev/null || true
 	[ -n "$W2" ] && kill "$W2" 2>/dev/null || true
+	[ -n "$W3" ] && kill -9 "$W3" 2>/dev/null || true
+	[ -n "$W4" ] && kill -9 "$W4" 2>/dev/null || true
 	rm -rf "$TMP"
 }
 trap cleanup EXIT INT TERM
@@ -60,3 +69,57 @@ for MPORT in 17471 17472; do
 	fi
 done
 echo "soak: ok (workers alive, queries-inflight gauges zero)"
+
+# ---------------------------------------------------------------------
+# Cold-restart phase: snapshot persistence under crashes and torn writes.
+SNAP1="$TMP/snap1" SNAP2="$TMP/snap2"
+NETARGS="-gen beijing:800 -tau 0.005 -queries 40 -digest"
+
+start_snap_workers() {
+	"$TMP/dita-worker" -listen 127.0.0.1:17463 -snapshot-dir "$SNAP1" >"$TMP/w3.log" 2>&1 &
+	W3=$!
+	"$TMP/dita-worker" -listen 127.0.0.1:17464 -snapshot-dir "$SNAP2" >"$TMP/w4.log" 2>&1 &
+	W4=$!
+	sleep 1
+}
+crash_snap_workers() { # SIGKILL: no drain, no cleanup — a crash
+	kill -9 "$W3" "$W4" 2>/dev/null || true
+	wait "$W3" "$W4" 2>/dev/null || true
+	W3= W4=
+}
+digest_of() { awk '$1 == "search" && $2 == "digest:" { print $3 }' "$1"; }
+shipped_of() { grep -o '[0-9]* shipped' "$1" | awk '{ print $1 }'; }
+
+# Run A: fresh build, record the digest.
+start_snap_workers
+"$TMP/dita-net" -workers 127.0.0.1:17463,127.0.0.1:17464 $NETARGS >"$TMP/runA.log"
+DIG_A="$(digest_of "$TMP/runA.log")"
+[ -n "$DIG_A" ] || { echo "soak: run A produced no digest"; cat "$TMP/runA.log"; exit 1; }
+[ "$(shipped_of "$TMP/runA.log")" != "0" ] || { echo "soak: run A shipped nothing"; exit 1; }
+
+# Run B: crash + cold restart over intact snapshots — zero re-ship,
+# identical answers.
+crash_snap_workers
+start_snap_workers
+grep -q "restored" "$TMP/w3.log" || { echo "soak: worker 3 restored nothing"; cat "$TMP/w3.log"; exit 1; }
+"$TMP/dita-net" -workers 127.0.0.1:17463,127.0.0.1:17464 $NETARGS >"$TMP/runB.log"
+DIG_B="$(digest_of "$TMP/runB.log")"
+SHIP_B="$(shipped_of "$TMP/runB.log")"
+[ "$SHIP_B" = "0" ] || { echo "soak: cold restart re-shipped $SHIP_B partitions, want 0"; cat "$TMP/runB.log"; exit 1; }
+[ "$DIG_B" = "$DIG_A" ] || { echo "soak: cold-start digest $DIG_B != fresh digest $DIG_A"; exit 1; }
+
+# Run C: crash, tear one snapshot in half, restart — the corrupt file is
+# classified and re-shipped; answers still identical.
+crash_snap_workers
+SNAPFILE="$(ls "$SNAP1"/*.snap | head -1)"
+SIZE="$(wc -c < "$SNAPFILE")"
+head -c "$((SIZE / 2))" "$SNAPFILE" > "$SNAPFILE.torn" && mv "$SNAPFILE.torn" "$SNAPFILE"
+start_snap_workers
+grep -q "skipped snapshot .*corrupt" "$TMP/w3.log" \
+	|| { echo "soak: torn snapshot was not classified corrupt"; cat "$TMP/w3.log"; exit 1; }
+"$TMP/dita-net" -workers 127.0.0.1:17463,127.0.0.1:17464 $NETARGS >"$TMP/runC.log"
+DIG_C="$(digest_of "$TMP/runC.log")"
+SHIP_C="$(shipped_of "$TMP/runC.log")"
+[ "$SHIP_C" != "0" ] || { echo "soak: torn snapshot was not re-shipped"; cat "$TMP/runC.log"; exit 1; }
+[ "$DIG_C" = "$DIG_A" ] || { echo "soak: post-corruption digest $DIG_C != fresh digest $DIG_A"; exit 1; }
+echo "soak: cold-restart ok (zero re-ship on clean restart, torn snapshot recovered, digests identical)"
