@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: build test race vet staticcheck chaos knn snap fuzz check soak bench bench-json
+.PHONY: build test race vet staticcheck chaos knn snap ingest fuzz check soak bench bench-json
 
 build:
 	$(GO) build ./...
@@ -47,15 +47,26 @@ snap:
 	$(GO) test -race -run 'Snap|Snapshot|ColdStart|RetainPayloads|Serial' -count=2 \
 		./internal/snap ./internal/trie ./internal/core ./internal/dnet
 
+# Streaming-ingest tests: WAL append/replay/torn-tail handling, engine
+# insert/delete/merge differential checks, and the dnet ingest paths
+# (replication-before-ack, kill-restart replay, backpressure, seq
+# seeding) — rerun under the race detector, -count=2 to defeat the
+# cache.
+ingest:
+	$(GO) test -race -run 'Ingest|WAL|Replay|Merge|Backpressure' -count=2 \
+		./internal/wal ./internal/core ./internal/dnet
+
 # Short coverage-guided fuzz smoke of every parser that takes untrusted
-# input (CSV trajectory loader, SQL lexer/parser, snapshot decoder).
-# -run='^$$' skips the unit tests so only the fuzz engine runs.
+# input (CSV trajectory loader, SQL lexer/parser, snapshot decoder, WAL
+# replay). -run='^$$' skips the unit tests so only the fuzz engine runs.
 FUZZTIME ?= 10s
 fuzz:
 	$(GO) test -run='^$$' -fuzz=FuzzReadCSV -fuzztime=$(FUZZTIME) ./internal/traj
 	$(GO) test -run='^$$' -fuzz=FuzzParse -fuzztime=$(FUZZTIME) ./internal/sqlx
 	$(GO) test -run='^$$' -fuzz=FuzzLexer -fuzztime=$(FUZZTIME) ./internal/sqlx
 	$(GO) test -run='^$$' -fuzz=FuzzSnapshot -fuzztime=$(FUZZTIME) ./internal/snap
+	$(GO) test -run='^$$' -fuzz='FuzzWALReplay$$' -fuzztime=$(FUZZTIME) ./internal/wal
+	$(GO) test -run='^$$' -fuzz='FuzzWALReplayRaw$$' -fuzztime=$(FUZZTIME) ./internal/wal
 
 bench:
 	$(GO) test -bench=. -benchtime=1x ./...
@@ -67,7 +78,7 @@ BENCH_PRESETS ?= default
 bench-json:
 	$(GO) run ./cmd/ditabench -bench $(BENCH_PRESETS) -bench-json $(BENCH_DIR)
 
-check: vet staticcheck race chaos knn snap fuzz
+check: vet staticcheck race chaos knn snap ingest fuzz
 
 # 30-second soak: dita-net's cancelled-query churn workload against
 # in-process workers running under fault injection (-chaos). Exits

@@ -17,6 +17,11 @@
 // With -spawn N the workers are started in-process on loopback instead,
 // for a one-command demo.
 //
+// With -ingest N the coordinator streams N mutations (fresh upserts plus
+// ~10% deletes) into the dispatched dataset before the query workload —
+// against workers started with -snapshot-dir, every mutation is WAL-logged
+// on all replicas before it is acked and survives a worker crash.
+//
 // Query lifecycle flags: -deadline bounds each query (expiry is reported,
 // not fatal); -max-concurrent/-max-queue/-queue-timeout enable admission
 // control on the coordinator; SIGINT cancels the in-flight query and
@@ -55,6 +60,7 @@ func main() {
 	tau := flag.Float64("tau", 0.005, "similarity threshold")
 	queries := flag.Int("queries", 50, "number of search queries")
 	doJoin := flag.Bool("join", false, "also run a self-join")
+	ingestN := flag.Int("ingest", 0, "stream N trajectory mutations (fresh upserts plus ~10% deletes) into the dispatched dataset before the query workload (0 disables)")
 	knnK := flag.Int("knn", 0, "also run the search queries as kNN at this k (0 disables)")
 	measureName := flag.String("measure", "DTW", "similarity function")
 	seed := flag.Int64("seed", 1, "generation seed")
@@ -179,6 +185,10 @@ func main() {
 	for i, s := range stats {
 		fmt.Printf("  worker %d (%s): %d partitions, %d trajectories, %.1f KB index\n",
 			i, addrs[i], s.Partitions, s.Trajs, float64(s.IndexBytes)/1e3)
+	}
+
+	if *ingestN > 0 {
+		runIngest(ctx, coord, data, *ingestN, *seed)
 	}
 
 	qs := dita.Queries(data, *queries, *seed+1)
@@ -356,6 +366,83 @@ func queryContext(parent context.Context, d time.Duration) (context.Context, con
 		return context.WithCancel(parent)
 	}
 	return context.WithTimeout(parent, d)
+}
+
+// runIngest streams n mutations into the dispatched dataset: fresh
+// trajectories (ids above the dataset's range, geometry recycled from its
+// members) with ~10% deletes of earlier ingested ids mixed in. Every
+// write is replicated to all owners and WAL-logged before it is acked;
+// backpressure (ErrOverloaded) is handled the way a well-behaved producer
+// does — back off and retry — and counted.
+func runIngest(ctx context.Context, coord *dnet.Coordinator, data *dita.Dataset, n int, seed int64) {
+	if data.Len() == 0 {
+		return
+	}
+	rng := rand.New(rand.NewSource(seed + 7))
+	const idBase = 1 << 28
+	start := time.Now()
+	var upserts, deletes, retries int
+	var live []int
+	for i := 0; i < n && ctx.Err() == nil; i++ {
+		if len(live) > 4 && rng.Intn(10) == 0 {
+			j := rng.Intn(len(live))
+			id := live[j]
+			for {
+				_, err := coord.DeleteContext(ctx, "trips", id)
+				if err == nil {
+					break
+				}
+				if errors.Is(err, dnet.ErrOverloaded) {
+					retries++
+					time.Sleep(2 * time.Millisecond)
+					continue
+				}
+				if ctx.Err() != nil {
+					return
+				}
+				fatal(err)
+			}
+			live[j] = live[len(live)-1]
+			live = live[:len(live)-1]
+			deletes++
+			continue
+		}
+		t := &traj.T{ID: idBase + i, Points: data.Trajs[i%data.Len()].Points}
+		for {
+			err := coord.IngestContext(ctx, "trips", t)
+			if err == nil {
+				break
+			}
+			if errors.Is(err, dnet.ErrOverloaded) {
+				retries++
+				time.Sleep(2 * time.Millisecond)
+				continue
+			}
+			if ctx.Err() != nil {
+				return
+			}
+			fatal(err)
+		}
+		upserts++
+		live = append(live, t.ID)
+	}
+	elapsed := time.Since(start)
+	ops := upserts + deletes
+	if ops > 0 {
+		fmt.Printf("ingest: %d upserts + %d deletes in %v (%.0f acked ops/s, %d backpressure retries)\n",
+			upserts, deletes, elapsed.Round(time.Millisecond),
+			float64(ops)/elapsed.Seconds(), retries)
+	}
+	if stats, err := coord.WorkerStats(); err == nil {
+		var calls int64
+		var delta int64
+		for _, s := range stats {
+			calls += s.IngestCalls
+			delta += int64(s.DeltaBytes)
+		}
+		fmt.Printf("ingest: %d worker ingest RPCs, %.1f KB un-merged delta across the fleet\n",
+			calls, float64(delta)/1e3)
+	}
 }
 
 // runSoak hammers the cluster with queries whose lifecycles are cut short

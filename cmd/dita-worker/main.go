@@ -26,6 +26,7 @@ import (
 	"dita/internal/dnet"
 	"dita/internal/obs"
 	"dita/internal/snap"
+	"dita/internal/wal"
 )
 
 func main() {
@@ -34,6 +35,9 @@ func main() {
 	chaos := flag.String("chaos", "", "fault-injection spec for soak testing, e.g. seed=7,drop=0.05,err=0.01,delay=2ms,sever=500 (testing only)")
 	snapDir := flag.String("snapshot-dir", "", "directory for durable partition snapshots; on startup the worker cold-starts from it (empty disables persistence)")
 	snapChaos := flag.String("snap-chaos", "", "snapshot-write fault-injection spec, e.g. seed=7,crash=0.1,fail=0.02,torn=0.2,flip=0.1 (testing only; requires -snapshot-dir)")
+	walChaos := flag.String("wal-chaos", "", "WAL-append fault-injection spec, same grammar as -snap-chaos (testing only; requires -snapshot-dir)")
+	mergeBytes := flag.Int("merge-bytes", 0, "per-partition delta size that triggers a merge (fold overlay, seal snapshot, truncate WAL); 0 uses the default")
+	maxDeltaBytes := flag.Int("max-delta-bytes", 0, "per-partition backpressure bound: ingest batches are refused past this delta size; 0 uses the default")
 	metricsAddr := flag.String("metrics-addr", "", "address to serve /metrics, /metrics.json, /debug/vars, and /debug/pprof on (empty disables)")
 	verifyPar := flag.Int("verify-parallelism", 0, "verification goroutines per Search/Join RPC (0 = all cores, 1 = sequential)")
 	flag.Parse()
@@ -64,6 +68,12 @@ func main() {
 		fmt.Fprintln(os.Stderr, "dita-worker: -snap-chaos requires -snapshot-dir")
 		os.Exit(2)
 	}
+	if *walChaos != "" && *snapDir == "" {
+		fmt.Fprintln(os.Stderr, "dita-worker: -wal-chaos requires -snapshot-dir")
+		os.Exit(2)
+	}
+	w.MergeBytes = *mergeBytes
+	w.MaxDeltaBytes = *maxDeltaBytes
 	if *snapDir != "" {
 		st, err := snap.NewStore(*snapDir)
 		if err != nil {
@@ -80,20 +90,41 @@ func main() {
 			fmt.Printf("dita-worker: snapshot fault injection active: %s\n", *snapChaos)
 		}
 		w.SnapStore = st
+		// The WAL shares the snapshot directory: a partition's durable
+		// state is the pair (sealed snapshot, log suffix past its
+		// watermark), and they recover together.
+		ws, err := wal.NewStore(*snapDir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dita-worker: wal dir: %v\n", err)
+			os.Exit(2)
+		}
+		if *walChaos != "" {
+			plan, err := snap.ParseFaultPlan(*walChaos)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "dita-worker: %v\n", err)
+				os.Exit(2)
+			}
+			ws.Faults = plan
+			fmt.Printf("dita-worker: wal fault injection active: %s\n", *walChaos)
+		}
+		w.WALStore = ws
 		rep, err := w.LoadSnapshots()
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "dita-worker: cold start: %v\n", err)
 			os.Exit(1)
 		}
+		walRecords, walTruncated := 0, int64(0)
 		for _, l := range rep.Loaded {
-			fmt.Printf("dita-worker: restored %s/%d: %d trajectories, %d bytes, fingerprint %016x\n",
-				l.Dataset, l.Partition, l.Trajs, l.Bytes, l.Fingerprint)
+			fmt.Printf("dita-worker: restored %s/%d: %d trajectories, %d bytes, fingerprint %016x, %d WAL records replayed\n",
+				l.Dataset, l.Partition, l.Trajs, l.Bytes, l.Fingerprint, l.WALRecords)
+			walRecords += l.WALRecords
+			walTruncated += l.WALTruncatedBytes
 		}
 		for _, s := range rep.Skipped {
-			fmt.Fprintf(os.Stderr, "dita-worker: skipped snapshot %s [%s]: %s\n", s.Path, s.Class, s.Err)
+			fmt.Fprintf(os.Stderr, "dita-worker: skipped %s [%s]: %s\n", s.Path, s.Class, s.Err)
 		}
-		fmt.Printf("dita-worker: cold start from %s: %d partitions restored, %d snapshots skipped\n",
-			*snapDir, len(rep.Loaded), len(rep.Skipped))
+		fmt.Printf("dita-worker: cold start from %s: %d partitions restored, %d files skipped, %d WAL records replayed, %d torn WAL bytes truncated\n",
+			*snapDir, len(rep.Loaded), len(rep.Skipped), walRecords, walTruncated)
 	}
 	addr, err := w.Serve(*listen)
 	if err != nil {

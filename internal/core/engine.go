@@ -2,6 +2,8 @@ package core
 
 import (
 	"fmt"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"dita/internal/cluster"
@@ -12,6 +14,7 @@ import (
 	"dita/internal/str"
 	"dita/internal/traj"
 	"dita/internal/trie"
+	"dita/internal/wal"
 )
 
 // Options configures an Engine.
@@ -64,6 +67,22 @@ type Partition struct {
 	MBRl   geom.MBR // MBR of members' last points
 	meta   []trajMeta
 	bytes  int
+
+	// Streaming-ingest overlay (all nil/zero until EnableIngest; see
+	// ingest.go): delta holds live inserts since the last merge, frozen
+	// the rotated delta an in-flight merge is folding, tomb the ids whose
+	// base/frozen copies are masked by deletes or upserts, frozenTomb the
+	// pre-rotation masks the fold consumes (they mask base only),
+	// baseIdx an id → Trajs index for partition-local upsert detection,
+	// watermark the highest WAL sequence folded into Trajs, and wlog the
+	// partition's write-ahead log.
+	delta      *Delta
+	frozen     *Delta
+	tomb       map[int]bool
+	frozenTomb map[int]bool
+	baseIdx    map[int]int
+	watermark  uint64
+	wlog       *wal.Log
 }
 
 // Bytes returns the approximate wire size of the partition's trajectory
@@ -82,8 +101,49 @@ type Engine struct {
 	cellD   float64
 	met     *engineMetrics // nil when Options.Obs is nil
 
+	// mu serializes mutations (Insert/Delete/merge rotation) against
+	// queries: every public query path holds the read side for its whole
+	// run, so overlay state and partition MBRs are stable per query.
+	// serial orders lock acquisition when a join spans two engines.
+	mu     sync.RWMutex
+	serial uint64
+	ing    *ingestState // nil until EnableIngest
+
 	// BuildTime is the wall-clock index construction time (Table 5).
 	BuildTime time.Duration
+}
+
+// engineSerial hands out lock-ordering serials; see rlockPair.
+var engineSerial atomic.Uint64
+
+// rlockPair read-locks both engines of a two-engine operation in serial
+// order (one lock when they are the same engine), returning the unlock.
+// Consistent ordering prevents the classic AB/BA deadlock with a writer
+// wedged between two readers.
+func rlockPair(a, b *Engine) func() {
+	if a == b {
+		a.mu.RLock()
+		return a.mu.RUnlock
+	}
+	if a.serial > b.serial {
+		a, b = b, a
+	}
+	a.mu.RLock()
+	b.mu.RLock()
+	return func() {
+		b.mu.RUnlock()
+		a.mu.RUnlock()
+	}
+}
+
+// visibleCount is the number of currently visible trajectories: the
+// dataset size until ingest is enabled, the live location map after.
+// Callers hold mu.
+func (e *Engine) visibleCount() int {
+	if e.ing == nil {
+		return e.dataset.Len()
+	}
+	return len(e.ing.loc)
 }
 
 // NewEngine partitions and indexes the dataset (Algorithm 1). It is the
@@ -101,7 +161,8 @@ func NewEngine(d *traj.Dataset, opts Options) (*Engine, error) {
 	if opts.Cluster == nil {
 		opts.Cluster = cluster.New(cluster.DefaultConfig(4))
 	}
-	e := &Engine{opts: opts, cl: opts.Cluster, dataset: d, met: newEngineMetrics(opts.Obs)}
+	e := &Engine{opts: opts, cl: opts.Cluster, dataset: d, met: newEngineMetrics(opts.Obs),
+		serial: engineSerial.Add(1)}
 	start := time.Now()
 	e.cellD = opts.CellD
 	if e.cellD <= 0 {

@@ -1,0 +1,739 @@
+package core
+
+import (
+	"errors"
+	"math/rand"
+	"os"
+	"sort"
+	"testing"
+
+	"dita/internal/gen"
+	"dita/internal/snap"
+	"dita/internal/traj"
+	"dita/internal/wal"
+)
+
+// mutPool returns fresh trajectories whose ids cannot collide with a
+// BeijingLike base dataset (gen ids are small and dense).
+func mutPool(n int, seed int64) []*traj.T {
+	d := gen.Generate(gen.BeijingLike(n, seed))
+	for i, t := range d.Trajs {
+		t.ID = 10000 + i
+	}
+	return d.Trajs
+}
+
+// visibleDataset materializes the model's visible set as a dataset, in
+// ascending id order, for the brute-force oracles.
+func visibleDataset(want map[int]*traj.T) *traj.Dataset {
+	ids := make([]int, 0, len(want))
+	for id := range want {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	trajs := make([]*traj.T, len(ids))
+	for i, id := range ids {
+		trajs[i] = want[id]
+	}
+	return traj.NewDataset("visible", trajs)
+}
+
+// checkVisible compares the engine's search and kNN answers against
+// brute force over the model's visible set — the strongest oracle the
+// repo has (a rebuilt engine is itself tested against brute force).
+func checkVisible(t *testing.T, e *Engine, want map[int]*traj.T, queries []*traj.T, label string) {
+	t.Helper()
+	vis := visibleDataset(want)
+	m := e.Measure()
+	for _, q := range queries {
+		bs := bruteSearch(vis, m, q, 0.05)
+		got := e.Search(q, 0.05, nil)
+		ids := map[int]bool{}
+		for _, r := range got {
+			if ids[r.Traj.ID] {
+				t.Fatalf("%s: q=%d: duplicate search result %d", label, q.ID, r.Traj.ID)
+			}
+			ids[r.Traj.ID] = true
+		}
+		if len(ids) != len(bs) {
+			t.Fatalf("%s: q=%d: search got %d results, brute force %d", label, q.ID, len(ids), len(bs))
+		}
+		for id := range bs {
+			if !ids[id] {
+				t.Fatalf("%s: q=%d: search missing %d", label, q.ID, id)
+			}
+		}
+		k := 7
+		if k > vis.Len() {
+			k = vis.Len()
+		}
+		wantK := bruteKNN(vis, m, q, k)
+		gotK := idsOf(e.SearchKNN(q, k))
+		if len(gotK) != len(wantK) {
+			t.Fatalf("%s: q=%d: knn got %d results, want %d", label, q.ID, len(gotK), len(wantK))
+		}
+		for i := range wantK {
+			if gotK[i] != wantK[i] {
+				t.Fatalf("%s: q=%d: knn[%d] = %d, want %d (got %v want %v)",
+					label, q.ID, i, gotK[i], wantK[i], gotK, wantK)
+			}
+		}
+	}
+}
+
+// TestIngestDifferential is the tentpole's core contract: an engine
+// mutated by an interleaved stream of inserts, upserts, deletes, and
+// merges answers every query exactly like a brute-force scan of the
+// currently visible set — and, at the end, exactly like an engine
+// rebuilt from scratch over that set.
+func TestIngestDifferential(t *testing.T) {
+	d := smallDataset(300, 31)
+	opts := smallOpts(4)
+	e, err := NewEngine(d, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.EnableIngest(IngestConfig{}); err != nil {
+		t.Fatal(err)
+	}
+	if !e.IngestEnabled() {
+		t.Fatal("ingest not enabled")
+	}
+	want := map[int]*traj.T{}
+	for _, tr := range d.Trajs {
+		want[tr.ID] = tr
+	}
+	pool := mutPool(220, 32)
+	queries := gen.Queries(d, 6, 34)
+	rng := rand.New(rand.NewSource(33))
+
+	randomVisible := func() int {
+		ids := make([]int, 0, len(want))
+		for id := range want {
+			ids = append(ids, id)
+		}
+		sort.Ints(ids)
+		return ids[rng.Intn(len(ids))]
+	}
+
+	next := 0
+	for round := 0; round < 4; round++ {
+		for i := 0; i < 30; i++ {
+			tr := pool[next]
+			next++
+			if err := e.Insert(tr); err != nil {
+				t.Fatal(err)
+			}
+			want[tr.ID] = tr
+		}
+		for i := 0; i < 8; i++ {
+			id := randomVisible()
+			up := &traj.T{ID: id, Points: pool[next].Points}
+			next++
+			if err := e.Insert(up); err != nil {
+				t.Fatal(err)
+			}
+			want[id] = up
+		}
+		for i := 0; i < 8; i++ {
+			id := randomVisible()
+			ok, err := e.Delete(id)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !ok {
+				t.Fatalf("delete of visible id %d reported absent", id)
+			}
+			delete(want, id)
+		}
+		checkVisible(t, e, want, queries, "round")
+		if round%2 == 1 {
+			if err := e.MergeAll(); err != nil {
+				t.Fatal(err)
+			}
+			for _, p := range e.parts {
+				if p.frozen != nil || len(p.tomb) != 0 || len(p.delta.Live) != 0 {
+					t.Fatalf("partition %d still has overlay after MergeAll", p.ID)
+				}
+			}
+			checkVisible(t, e, want, queries, "post-merge")
+		}
+	}
+
+	// Deleting an unknown id is a silent no-op that appends nothing.
+	seq := e.LastSeq()
+	if ok, err := e.Delete(999999); err != nil || ok {
+		t.Fatalf("delete of unknown id: ok=%v err=%v", ok, err)
+	}
+	if e.LastSeq() != seq {
+		t.Fatal("no-op delete advanced the sequence")
+	}
+
+	// Final differential: a fresh engine over exactly the visible set
+	// must agree answer-for-answer, distances included.
+	vis := visibleDataset(want)
+	oracle, err := NewEngine(vis, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range queries {
+		if !sameResults(oracle.Search(q, 0.05, nil), e.Search(q, 0.05, nil)) {
+			t.Fatalf("final search differs from rebuilt engine for query %d", q.ID)
+		}
+		// kNN distances may differ by an ulp between the two engines: a
+		// candidate is resolved by the exact kernel or the threshold
+		// kernel depending on the live τ when it is reached, and the two
+		// DPs are mathematically — not bitwise — equal. IDs and order
+		// must still agree exactly.
+		wk, gk := oracle.SearchKNN(q, 7), e.SearchKNN(q, 7)
+		if len(wk) != len(gk) {
+			t.Fatalf("final knn count differs for query %d: %d vs %d", q.ID, len(wk), len(gk))
+		}
+		for i := range wk {
+			rel := wk[i].Distance - gk[i].Distance
+			if rel < 0 {
+				rel = -rel
+			}
+			if wk[i].Traj.ID != gk[i].Traj.ID || rel > 1e-12*(1+wk[i].Distance) {
+				t.Fatalf("final knn[%d] differs for query %d: oracle=(%d,%g) live=(%d,%g)",
+					i, q.ID, wk[i].Traj.ID, wk[i].Distance, gk[i].Traj.ID, gk[i].Distance)
+			}
+		}
+	}
+
+	// Join: the mutated engine joined against a static side must produce
+	// the brute-force pair set over (visible, static).
+	bcfg := gen.BeijingLike(80, 35)
+	bcfg.Name = "B"
+	b := gen.Generate(bcfg)
+	for _, tr := range b.Trajs {
+		tr.ID += 50000
+	}
+	eb, err := NewEngine(b, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pairs := e.Join(eb, 0.05, DefaultJoinOptions(), nil)
+	checkJoin(t, pairs, bruteJoin(vis, b, e.Measure(), 0.05), "ingest-join")
+
+	// kNN join from the mutated side: one probe per visible trajectory.
+	kj, err := e.KNNJoin(eb, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(kj) != len(want) {
+		t.Fatalf("knn join answered %d probes, visible set has %d", len(kj), len(want))
+	}
+	for id, res := range kj {
+		wk := bruteKNN(b, e.Measure(), want[id], 3)
+		gk := idsOf(res)
+		for i := range wk {
+			if gk[i] != wk[i] {
+				t.Fatalf("knn join probe %d: got %v want %v", id, gk, wk)
+			}
+		}
+	}
+}
+
+// TestIngestMergeWindow exercises the frozen-overlay state
+// deterministically: while a merge's off-lock fold is in flight, queries
+// must see (base − masks) ∪ frozen ∪ delta, and mutations landing in the
+// window (upserts over frozen members, deletes of base and frozen
+// members, fresh inserts) must all be visible immediately and survive the
+// merge's install.
+func TestIngestMergeWindow(t *testing.T) {
+	d := smallDataset(200, 41)
+	opts := smallOpts(4)
+	e, err := NewEngine(d, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.EnableIngest(IngestConfig{}); err != nil {
+		t.Fatal(err)
+	}
+	want := map[int]*traj.T{}
+	for _, tr := range d.Trajs {
+		want[tr.ID] = tr
+	}
+	pool := mutPool(80, 42)
+	queries := gen.Queries(d, 4, 43)
+
+	// Stage mutations so partition pid has a rich overlay to rotate.
+	for i := 0; i < 30; i++ {
+		if err := e.Insert(pool[i]); err != nil {
+			t.Fatal(err)
+		}
+		want[pool[i].ID] = pool[i]
+	}
+	pid := e.ing.loc[pool[0].ID].pid
+	p := e.parts[pid]
+	frozenID := pool[0].ID // will be in the frozen delta after rotation
+	var baseID int         // a base member of pid, untouched so far
+	for _, tr := range p.Trajs {
+		if _, inWant := want[tr.ID]; inWant && tr.ID < 10000 {
+			baseID = tr.ID
+			break
+		}
+	}
+
+	hookRan := false
+	mergeFoldHook = func(he *Engine, hpid int) {
+		if hpid != pid {
+			return
+		}
+		hookRan = true
+		if p.frozen == nil {
+			t.Error("hook ran without a frozen delta")
+			return
+		}
+		// Queries during the window.
+		checkVisible(t, e, want, queries, "window-pre")
+		// Upsert over a frozen member: the frozen copy must be masked.
+		up := &traj.T{ID: frozenID, Points: pool[60].Points}
+		if err := e.Insert(up); err != nil {
+			t.Error(err)
+			return
+		}
+		want[frozenID] = up
+		// Delete a base member of the merging partition.
+		if ok, err := e.Delete(baseID); err != nil || !ok {
+			t.Errorf("window delete of %d: ok=%v err=%v", baseID, ok, err)
+			return
+		}
+		delete(want, baseID)
+		// Fresh insert racing the merge.
+		if err := e.Insert(pool[61]); err != nil {
+			t.Error(err)
+			return
+		}
+		want[pool[61].ID] = pool[61]
+		checkVisible(t, e, want, queries, "window-post")
+	}
+	defer func() { mergeFoldHook = nil }()
+
+	did, err := e.MergePartition(pid)
+	mergeFoldHook = nil // one shot: MergeAll below must not re-run it
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !did || !hookRan {
+		t.Fatalf("merge did=%v hookRan=%v", did, hookRan)
+	}
+	if p.frozen != nil || p.frozenTomb != nil {
+		t.Fatal("frozen overlay not cleared after merge")
+	}
+	checkVisible(t, e, want, queries, "after-merge")
+	// The window's mutations are post-rotation overlay; fold them too.
+	if err := e.MergeAll(); err != nil {
+		t.Fatal(err)
+	}
+	checkVisible(t, e, want, queries, "after-merge-all")
+}
+
+// sealAll persists every partition's current base so a cold start has a
+// complete snapshot set.
+func sealAll(t *testing.T, e *Engine, st *snap.Store) {
+	t.Helper()
+	for _, p := range e.Partitions() {
+		if _, err := st.Save(e.ExportSnapshot(e.dataset.Name, p)); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// coldStart reassembles an engine from the directory's snapshots and
+// replays the WAL suffixes.
+func coldStart(t *testing.T, snapStore *snap.Store, walStore *wal.Store, opts Options) (*Engine, *ReplaySummary) {
+	t.Helper()
+	ents, err := snapStore.Scan()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snaps []*snap.Snapshot
+	for _, en := range ents {
+		s, err := snap.LoadFile(en.Path)
+		if err != nil {
+			t.Fatalf("load %s: %v", en.Path, err)
+		}
+		snaps = append(snaps, s)
+	}
+	e, err := NewEngineFromSnapshots(snaps, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum, err := e.EnableIngest(IngestConfig{WAL: walStore, Snap: snapStore, Replay: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e, sum
+}
+
+// TestIngestWALRecovery is the crash-recovery contract: after a hard stop
+// (no shutdown, no final merge), the newest sealed snapshots plus each
+// partition's WAL suffix past its watermark reconstruct exactly the acked
+// state — and the replayed record count is exactly the acked mutations
+// not yet folded into a snapshot.
+func TestIngestWALRecovery(t *testing.T) {
+	dir := t.TempDir()
+	snapStore, err := snap.NewStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	walStore, err := wal.NewStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := smallDataset(250, 51)
+	opts := smallOpts(4)
+	e, err := NewEngine(d, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sealAll(t, e, snapStore)
+	sum, err := e.EnableIngest(IngestConfig{WAL: walStore, Snap: snapStore})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Records != 0 || sum.TruncatedBytes != 0 {
+		t.Fatalf("fresh enable replayed something: %+v", sum)
+	}
+
+	want := map[int]*traj.T{}
+	for _, tr := range d.Trajs {
+		want[tr.ID] = tr
+	}
+	pool := mutPool(120, 52)
+	queries := gen.Queries(d, 5, 53)
+	rng := rand.New(rand.NewSource(54))
+
+	mutate := func(n int) int {
+		acked := 0
+		for i := 0; i < n; i++ {
+			switch rng.Intn(3) {
+			case 0, 1:
+				tr := pool[0]
+				pool = pool[1:]
+				if err := e.Insert(tr); err != nil {
+					t.Fatal(err)
+				}
+				want[tr.ID] = tr
+			default:
+				ids := make([]int, 0, len(want))
+				for id := range want {
+					ids = append(ids, id)
+				}
+				sort.Ints(ids)
+				id := ids[rng.Intn(len(ids))]
+				if ok, err := e.Delete(id); err != nil || !ok {
+					t.Fatalf("delete %d: ok=%v err=%v", id, ok, err)
+				}
+				delete(want, id)
+			}
+			acked++
+		}
+		return acked
+	}
+
+	// Phase 1: mutations, then fold everything into sealed snapshots
+	// (every partition's WAL truncates through its watermark).
+	mutate(60)
+	if err := e.MergeAll(); err != nil {
+		t.Fatal(err)
+	}
+	// Phase 2: the suffix a crash would lose without the WAL.
+	suffix := mutate(40)
+	liveSeq := e.LastSeq()
+	checkVisible(t, e, want, queries, "live")
+
+	// Hard stop: no CloseIngest, no merge — exactly what a SIGKILL
+	// leaves on disk (appends are fsync'd per mutation).
+	cold, csum := coldStart(t, snapStore, walStore, smallOpts(4))
+	if csum.Records != suffix {
+		t.Fatalf("replayed %d records, want the %d-mutation suffix", csum.Records, suffix)
+	}
+	if csum.MaxSeq != liveSeq || cold.LastSeq() != liveSeq {
+		t.Fatalf("sequence drift: replay max %d, cold last %d, live last %d",
+			csum.MaxSeq, cold.LastSeq(), liveSeq)
+	}
+	if csum.DupsMasked != 0 {
+		t.Fatalf("clean recovery masked %d duplicates", csum.DupsMasked)
+	}
+	checkVisible(t, cold, want, queries, "recovered")
+	// Distances too: the recovered engine must answer byte-identically
+	// to the live engine it replaced.
+	for _, q := range queries {
+		if !sameResults(e.Search(q, 0.05, nil), cold.Search(q, 0.05, nil)) {
+			t.Fatalf("recovered search differs for query %d", q.ID)
+		}
+	}
+
+	// The recovered engine keeps ingesting: sequences continue past the
+	// replayed ones, and a second recovery sees the new writes.
+	tr := pool[0]
+	if err := cold.Insert(tr); err != nil {
+		t.Fatal(err)
+	}
+	want[tr.ID] = tr
+	if cold.LastSeq() <= liveSeq {
+		t.Fatal("post-recovery sequence did not advance")
+	}
+	if err := cold.CloseIngest(); err != nil {
+		t.Fatal(err)
+	}
+	cold2, _ := coldStart(t, snapStore, walStore, smallOpts(4))
+	checkVisible(t, cold2, want, queries, "recovered-twice")
+}
+
+// TestIngestTornTail: a torn final record (partial write at the moment of
+// a crash) is truncated on recovery — the log's valid prefix replays, the
+// torn mutation is lost (it was never acked durable), and nothing else is
+// disturbed.
+func TestIngestTornTail(t *testing.T) {
+	dir := t.TempDir()
+	snapStore, err := snap.NewStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	walStore, err := wal.NewStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := smallDataset(150, 61)
+	opts := smallOpts(2)
+	e, err := NewEngine(d, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sealAll(t, e, snapStore)
+	if _, err := e.EnableIngest(IngestConfig{WAL: walStore, Snap: snapStore}); err != nil {
+		t.Fatal(err)
+	}
+	pool := mutPool(20, 62)
+	for _, tr := range pool {
+		if err := e.Insert(tr); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Tear the last record of the last-written partition's log: chop a
+	// few bytes off the file, as a crash mid-write would.
+	lastID := pool[len(pool)-1].ID
+	victim := e.ing.loc[lastID].pid
+	if err := e.CloseIngest(); err != nil {
+		t.Fatal(err)
+	}
+	path := walStore.Path(d.Name, victim)
+	fi, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(path, fi.Size()-3); err != nil {
+		t.Fatal(err)
+	}
+
+	cold, sum := coldStart(t, snapStore, walStore, smallOpts(2))
+	if sum.TruncatedBytes <= 0 {
+		t.Fatalf("torn tail not truncated: %+v", sum)
+	}
+	if sum.Records != len(pool)-1 {
+		t.Fatalf("replayed %d records, want %d (all but the torn one)", sum.Records, len(pool)-1)
+	}
+	if _, ok := cold.ing.loc[lastID]; ok {
+		t.Fatal("torn mutation resurrected")
+	}
+	for _, tr := range pool[:len(pool)-1] {
+		le, ok := cold.ing.loc[tr.ID]
+		if !ok || le.t.ID != tr.ID {
+			t.Fatalf("durable insert %d lost", tr.ID)
+		}
+	}
+	// The truncation repaired the file in place: a second open is clean.
+	if fi2, err := os.Stat(path); err != nil || fi2.Size() >= fi.Size()-3 {
+		t.Fatalf("log not repaired in place: %v size=%d", err, fi2.Size())
+	}
+	if err := cold.CloseIngest(); err != nil {
+		t.Fatal(err)
+	}
+	_, sum2 := coldStart(t, snapStore, walStore, smallOpts(2))
+	if sum2.TruncatedBytes != 0 {
+		t.Fatalf("second recovery still truncating: %+v", sum2)
+	}
+}
+
+// TestIngestAppendFaults: an injected append failure (clean I/O error or
+// mid-write crash) must leave the engine byte-for-byte unchanged — the
+// mutation was never acked, so it must not be visible, and the sequence
+// must not advance. After the fault clears, the same mutation succeeds.
+func TestIngestAppendFaults(t *testing.T) {
+	dir := t.TempDir()
+	snapStore, err := snap.NewStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	walStore, err := wal.NewStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := &snap.FaultPlan{Seed: 7, FailRate: 1}
+	walStore.Faults = plan
+
+	d := smallDataset(100, 71)
+	e, err := NewEngine(d, smallOpts(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sealAll(t, e, snapStore)
+	if _, err := e.EnableIngest(IngestConfig{WAL: walStore, Snap: snapStore}); err != nil {
+		t.Fatal(err)
+	}
+	pool := mutPool(3, 72)
+	tr := pool[0]
+
+	var inj *snap.InjectedFault
+	if err := e.Insert(tr); !errors.As(err, &inj) || inj.Kind != "fail" {
+		t.Fatalf("want injected fail, got %v", err)
+	}
+	if e.LastSeq() != 0 || e.DeltaBytes() != 0 {
+		t.Fatalf("failed append mutated state: seq=%d delta=%d", e.LastSeq(), e.DeltaBytes())
+	}
+	if _, ok := e.ing.loc[tr.ID]; ok {
+		t.Fatal("unacked insert visible")
+	}
+
+	plan.FailRate, plan.CrashRate = 0, 1
+	if err := e.Insert(tr); !errors.As(err, &inj) || inj.Kind != "crash" {
+		t.Fatalf("want injected crash, got %v", err)
+	}
+	if e.LastSeq() != 0 || e.DeltaBytes() != 0 {
+		t.Fatalf("crashed append mutated state: seq=%d delta=%d", e.LastSeq(), e.DeltaBytes())
+	}
+
+	// Fault cleared: the retry succeeds, overwriting the torn bytes the
+	// injected crash left at the append offset.
+	plan.CrashRate = 0
+	if err := e.Insert(tr); err != nil {
+		t.Fatal(err)
+	}
+	if e.LastSeq() != 1 {
+		t.Fatalf("seq = %d after first durable append", e.LastSeq())
+	}
+	if err := e.CloseIngest(); err != nil {
+		t.Fatal(err)
+	}
+	walStore.Faults = nil
+	cold, sum := coldStart(t, snapStore, walStore, smallOpts(2))
+	if sum.Records != 1 {
+		t.Fatalf("replayed %d records, want 1", sum.Records)
+	}
+	if _, ok := cold.ing.loc[tr.ID]; !ok {
+		t.Fatal("durable insert lost after faults")
+	}
+}
+
+// TestIngestBackpressure: MaxDeltaBytes bounds a partition's unmerged
+// backlog with a typed error, and a merge drains it.
+func TestIngestBackpressure(t *testing.T) {
+	d := smallDataset(100, 81)
+	e, err := NewEngine(d, smallOpts(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.EnableIngest(IngestConfig{MaxDeltaBytes: 1}); err != nil {
+		t.Fatal(err)
+	}
+	pool := mutPool(2, 82)
+	if err := e.Insert(pool[0]); err != nil {
+		t.Fatal(err)
+	}
+	// Upsert the same id: sticky routing targets the same partition,
+	// whose backlog is now at the bound.
+	up := &traj.T{ID: pool[0].ID, Points: pool[1].Points}
+	if err := e.Insert(up); !errors.Is(err, ErrDeltaBacklog) {
+		t.Fatalf("want ErrDeltaBacklog, got %v", err)
+	}
+	if err := e.MergeAll(); err != nil {
+		t.Fatal(err)
+	}
+	if e.DeltaBytes() != 0 {
+		t.Fatalf("backlog after MergeAll: %d", e.DeltaBytes())
+	}
+	if err := e.Insert(up); err != nil {
+		t.Fatalf("insert after drain: %v", err)
+	}
+}
+
+// TestIngestAutoMerge: with AutoMerge on and a tiny threshold, inserts
+// trigger synchronous merges that seal snapshots and truncate logs.
+func TestIngestAutoMerge(t *testing.T) {
+	dir := t.TempDir()
+	snapStore, err := snap.NewStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	walStore, err := wal.NewStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := smallDataset(120, 91)
+	e, err := NewEngine(d, smallOpts(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sealAll(t, e, snapStore)
+	if _, err := e.EnableIngest(IngestConfig{WAL: walStore, Snap: snapStore, MergeBytes: 1, AutoMerge: true}); err != nil {
+		t.Fatal(err)
+	}
+	pool := mutPool(10, 92)
+	for _, tr := range pool {
+		if err := e.Insert(tr); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if e.DeltaBytes() != 0 {
+		t.Fatalf("auto-merge left %d overlay bytes", e.DeltaBytes())
+	}
+	merged := false
+	for _, p := range e.parts {
+		if p.watermark > 0 {
+			merged = true
+		}
+	}
+	if !merged {
+		t.Fatal("no partition carries a watermark after auto-merges")
+	}
+	// Every log was truncated through its watermark; a cold start
+	// replays nothing and still sees every insert.
+	if err := e.CloseIngest(); err != nil {
+		t.Fatal(err)
+	}
+	cold, sum := coldStart(t, snapStore, walStore, smallOpts(2))
+	if sum.Records != 0 {
+		t.Fatalf("replayed %d records after full auto-merge, want 0", sum.Records)
+	}
+	for _, tr := range pool {
+		if _, ok := cold.ing.loc[tr.ID]; !ok {
+			t.Fatalf("insert %d lost across auto-merge cold start", tr.ID)
+		}
+	}
+}
+
+// TestIngestDisabled: mutation entry points demand EnableIngest, and
+// enabling twice is rejected.
+func TestIngestDisabled(t *testing.T) {
+	d := smallDataset(50, 95)
+	e, err := NewEngine(d, smallOpts(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Insert(mutPool(1, 96)[0]); err == nil {
+		t.Fatal("insert accepted without ingest")
+	}
+	if _, err := e.Delete(1); err == nil {
+		t.Fatal("delete accepted without ingest")
+	}
+	if _, err := e.EnableIngest(IngestConfig{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.EnableIngest(IngestConfig{}); err == nil {
+		t.Fatal("double enable accepted")
+	}
+}

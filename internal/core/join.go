@@ -131,6 +131,8 @@ func (e *Engine) JoinContext(ctx context.Context, other *Engine, tau float64, op
 // done context returns ctx.Err().
 func (e *Engine) JoinPartialContext(ctx context.Context, other *Engine, tau float64, opts JoinOptions, stats *JoinStats) ([]Pair, *SkipReport, error) {
 	report := &SkipReport{}
+	unlock := rlockPair(e, other)
+	defer unlock()
 	if opts.SampleRate <= 0 || opts.SampleRate > 1 {
 		opts.SampleRate = 0.05
 	}
@@ -486,7 +488,8 @@ func (e *Engine) executeJoin(ctx context.Context, other *Engine, tau float64, ed
 	tasks := make([]cluster.Task, 0, len(edges))
 	type edgeState struct {
 		ed      *edge
-		shipped []int // indices into the source partition
+		shipped []*traj.T    // selected source trajectories (base + overlay)
+		smeta   []VerifyMeta // their verification metadata
 		funnel  obs.Funnel
 		elapsed time.Duration
 		err     error
@@ -505,12 +508,35 @@ func (e *Engine) executeJoin(ctx context.Context, other *Engine, tau float64, ed
 					st.err = fmt.Errorf("panic: %v", r)
 				}
 			}()
+			overlay := src.hasOverlay()
+			pick := func(t *traj.T, m VerifyMeta) {
+				if dstEngine.trajRelevantToPartition(t, dst, tau) {
+					st.shipped = append(st.shipped, t)
+					st.smeta = append(st.smeta, m)
+				}
+			}
 			for i, t := range src.Trajs {
 				if st.err = ctx.Err(); st.err != nil {
 					return
 				}
-				if dstEngine.trajRelevantToPartition(t, dst, tau) {
-					st.shipped = append(st.shipped, i)
+				if overlay && src.maskedBase(t.ID) {
+					continue
+				}
+				pick(t, src.meta[i])
+			}
+			if !overlay {
+				return
+			}
+			if src.frozen != nil {
+				for i, t := range src.frozen.Live {
+					if !src.tomb[t.ID] {
+						pick(t, src.frozen.Meta[i])
+					}
+				}
+			}
+			if src.delta != nil {
+				for i, t := range src.delta.Live {
+					pick(t, src.delta.Meta[i])
 				}
 			}
 		}})
@@ -533,8 +559,8 @@ func (e *Engine) executeJoin(ctx context.Context, other *Engine, tau float64, ed
 		}
 		src, dst, dstEngine, flip := e.edgeSides(other, st.ed)
 		bytes := 0
-		for _, i := range st.shipped {
-			bytes += src.Trajs[i].Bytes()
+		for _, t := range st.shipped {
+			bytes += t.Bytes()
 		}
 		e.cl.Transfer(src.Worker, st.ed.execWorker, bytes)
 		trajsSent += len(st.shipped)
@@ -559,7 +585,7 @@ func (e *Engine) executeJoin(ctx context.Context, other *Engine, tau float64, ed
 					st.elapsed = time.Since(t0)
 				}
 			}()
-			local, f, err := localJoin(ctx, dstEngine, dst, src, st.shipped, tau, flip)
+			local, f, err := localJoin(ctx, dstEngine, dst, st.shipped, st.smeta, tau, flip)
 			st.funnel = f
 			if err != nil {
 				st.err = err
@@ -626,16 +652,44 @@ func boolToInt(b bool) int {
 	return 0
 }
 
-// localJoin probes dst's trie with each shipped trajectory (given as
-// indices into the source partition, whose precomputed metadata feeds the
-// verifier) and verifies candidates. flip=false: shipped are T-side, dst
-// holds Q-side. Cancellation is checked inside each trie probe and before
-// every verification step. The returned funnel covers the edge: Considered
-// is |shipped|·|dst| pairs, TrieCands the candidate pairs the tries
-// emitted, and the later stages the verification cascade over those pairs.
-func localJoin(ctx context.Context, dstEngine *Engine, dst, src *Partition, shipped []int, tau float64, flip bool) ([]Pair, obs.Funnel, error) {
-	f := obs.Funnel{Considered: int64(len(shipped)) * int64(len(dst.Trajs))}
+// localJoin probes dst's trie with each shipped trajectory (whose
+// precomputed metadata feeds the verifier) and verifies candidates.
+// flip=false: shipped are T-side, dst holds Q-side. When dst carries an
+// ingest overlay, trie candidates masked by tombstones are dropped and
+// the overlay's live members are paired with every shipped trajectory
+// brute-force — the verification cascade prunes them like any candidate.
+// Cancellation is checked inside each trie probe and before every
+// verification step. The returned funnel covers the edge: Considered is
+// |shipped|·|visible dst| pairs, TrieCands the candidate pairs probed,
+// and the later stages the verification cascade over those pairs.
+func localJoin(ctx context.Context, dstEngine *Engine, dst *Partition, shipped []*traj.T, smeta []VerifyMeta, tau float64, flip bool) ([]Pair, obs.Funnel, error) {
 	m := dstEngine.opts.Measure
+	// The destination view: base followed by the overlay's visible live
+	// members (indices past len(dst.Trajs) address the overlay).
+	dstTrajs, dstMeta := dst.Trajs, dst.meta
+	var overlayIdx []int
+	overlay := dst.hasOverlay()
+	if overlay {
+		dstTrajs = append([]*traj.T{}, dst.Trajs...)
+		dstMeta = append([]VerifyMeta{}, dst.meta...)
+		if dst.frozen != nil {
+			for i, t := range dst.frozen.Live {
+				if !dst.tomb[t.ID] {
+					overlayIdx = append(overlayIdx, len(dstTrajs))
+					dstTrajs = append(dstTrajs, t)
+					dstMeta = append(dstMeta, dst.frozen.Meta[i])
+				}
+			}
+		}
+		if dst.delta != nil {
+			for i, t := range dst.delta.Live {
+				overlayIdx = append(overlayIdx, len(dstTrajs))
+				dstTrajs = append(dstTrajs, t)
+				dstMeta = append(dstMeta, dst.delta.Meta[i])
+			}
+		}
+	}
+	f := obs.Funnel{Considered: int64(len(shipped)) * int64(len(dstTrajs))}
 	// Phase 1: sequential trie probes flatten the edge into candidate
 	// pairs, with one verifier per shipped trajectory (the filter stage is
 	// cheap; the DP-heavy cascade below is where the fan-out pays).
@@ -645,17 +699,25 @@ func localJoin(ctx context.Context, dstEngine *Engine, dst, src *Partition, ship
 		ts    []*traj.T
 		nCand []int
 	)
-	for _, si := range shipped {
-		t := src.Trajs[si]
+	for si, t := range shipped {
 		idxs, err := dst.Index.SearchContext(ctx, t.Points, m, tau, nil)
 		if err != nil {
 			return nil, f, err
+		}
+		if overlay {
+			kept := idxs[:0]
+			for _, i := range idxs {
+				if !dst.maskedBase(dst.Trajs[i].ID) {
+					kept = append(kept, i)
+				}
+			}
+			idxs = append(kept, overlayIdx...)
 		}
 		if len(idxs) == 0 {
 			continue
 		}
 		vi := len(vs)
-		vs = append(vs, NewVerifierFromMeta(m, t.Points, tau, src.meta[si]))
+		vs = append(vs, NewVerifierFromMeta(m, t.Points, tau, smeta[si]))
 		ts = append(ts, t)
 		nCand = append(nCand, len(idxs))
 		for _, i := range idxs {
@@ -666,7 +728,7 @@ func localJoin(ctx context.Context, dstEngine *Engine, dst, src *Partition, ship
 	// out across the verification pool. Hits come back in pairs order, so
 	// the output matches the old nested sequential loops byte for byte;
 	// the funnel merge is a sum per stage, so it is order-independent too.
-	hits, err := VerifyJoinPairs(ctx, pairs, vs, dst.Trajs, dst.meta, dstEngine.opts.VerifyParallelism)
+	hits, err := VerifyJoinPairs(ctx, pairs, vs, dstTrajs, dstMeta, dstEngine.opts.VerifyParallelism)
 	for vi, v := range vs {
 		vf := v.Funnel(0, nCand[vi])
 		vf.Considered = 0

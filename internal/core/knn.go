@@ -50,11 +50,13 @@ func (e *Engine) SearchKNNStats(q *traj.T, k int, stats *SearchStats) []SearchRe
 // the true answer but potentially wrong everywhere, so any failed
 // partition fails the query.
 func (e *Engine) SearchKNNContext(ctx context.Context, q *traj.T, k int, stats *SearchStats) ([]SearchResult, error) {
-	if q == nil || len(q.Points) == 0 || k <= 0 || e.dataset.Len() == 0 {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	if q == nil || len(q.Points) == 0 || k <= 0 || e.visibleCount() == 0 {
 		return nil, ctx.Err()
 	}
-	if k > e.dataset.Len() {
-		k = e.dataset.Len()
+	if n := e.visibleCount(); k > n {
+		k = n
 	}
 	e.met.knnInc()
 	var tr *obs.Trace
@@ -165,14 +167,41 @@ func (e *Engine) knnBestFirst(ctx context.Context, q *traj.T, k int, prime []*tr
 }
 
 // knnVisit scans one partition with panic isolation (a poisoned partition
-// surfaces as this visit's error, not a process crash).
+// surfaces as this visit's error, not a process crash). A partition with
+// an ingest overlay is scanned in three layers sharing the accumulator:
+// the trie-backed base (masked members hidden), then the frozen and live
+// deltas brute-forced — the bound-tightening τ carries across layers.
 func (e *Engine) knnVisit(ctx context.Context, p *Partition, q []geom.Point, acc *KNNAcc) (f obs.Funnel, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			err = fmt.Errorf("panic: %v", r)
 		}
 	}()
-	return KNNScanPartition(ctx, e.opts.Measure, q, p.Index, p.Trajs, p.meta, e.cellD, acc, math.Inf(1))
+	var masked func(int) bool
+	if p.hasOverlay() {
+		masked = p.maskedBase
+	}
+	f, err = KNNScanPartition(ctx, e.opts.Measure, q, p.Index, p.Trajs, p.meta, masked, e.cellD, acc, math.Inf(1))
+	if err != nil || !p.hasOverlay() {
+		return f, err
+	}
+	if p.frozen != nil && len(p.frozen.Live) > 0 {
+		ff, err := KNNScanLive(ctx, e.opts.Measure, q, p.frozen.Live, p.frozen.Meta,
+			func(id int) bool { return p.tomb[id] }, e.cellD, acc, math.Inf(1))
+		f.Merge(ff)
+		if err != nil {
+			return f, err
+		}
+	}
+	if p.delta != nil && len(p.delta.Live) > 0 {
+		df, err := KNNScanLive(ctx, e.opts.Measure, q, p.delta.Live, p.delta.Meta,
+			nil, e.cellD, acc, math.Inf(1))
+		f.Merge(df)
+		if err != nil {
+			return f, err
+		}
+	}
+	return f, nil
 }
 
 // knnSeed primes the accumulator so partition visits start with a finite
@@ -210,6 +239,15 @@ func (e *Engine) knnSeed(ctx context.Context, q *traj.T, k int, prime []*traj.T,
 		}
 		if t == nil || len(t.Points) == 0 || acc.Resolved(t) {
 			continue
+		}
+		// With ingest enabled the dataset slice is stale: seed only
+		// trajectories that are still the current visible version (a
+		// deleted or superseded seed must never enter the answer heap).
+		// Skipping seeds is always safe — they only prime τ.
+		if e.ing != nil {
+			if le, ok := e.ing.loc[t.ID]; !ok || le.t != t {
+				continue
+			}
 		}
 		considered++
 		tau := acc.Tau()

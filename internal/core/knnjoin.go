@@ -43,13 +43,15 @@ func (e *Engine) KNNJoinContext(ctx context.Context, other *Engine, k int, stats
 			e.opts.Measure.Name(), e.opts.Measure.Epsilon(),
 			other.opts.Measure.Name(), other.opts.Measure.Epsilon())
 	}
-	if k <= 0 || e.dataset.Len() == 0 || other.dataset.Len() == 0 {
+	unlock := rlockPair(e, other)
+	defer unlock()
+	if k <= 0 || e.visibleCount() == 0 || other.visibleCount() == 0 {
 		return nil, ctx.Err()
 	}
-	if k > other.dataset.Len() {
-		k = other.dataset.Len()
+	if n := other.visibleCount(); k > n {
+		k = n
 	}
-	out := make(map[int][]SearchResult, e.dataset.Len())
+	out := make(map[int][]SearchResult, e.visibleCount())
 	var total obs.Funnel
 	results := int64(0)
 	errs := make([]error, len(e.parts))
@@ -67,9 +69,13 @@ func (e *Engine) KNNJoinContext(ctx context.Context, other *Engine, k int, stats
 					errs[i] = fmt.Errorf("left partition %d: panic: %v", p.ID, r)
 				}
 			}()
-			local := make(map[int][]SearchResult, len(p.Trajs))
+			// With an ingest overlay the probe set is the partition's
+			// visible members (masked base hidden, frozen+delta included);
+			// without one visibleTrajs returns p.Trajs unchanged.
+			probes := p.visibleTrajs()
+			local := make(map[int][]SearchResult, len(probes))
 			var prime []*traj.T
-			for _, t := range p.Trajs {
+			for _, t := range probes {
 				if err := ctx.Err(); err != nil {
 					errs[i] = err
 					return

@@ -215,13 +215,26 @@ const knnScanCtxEvery = 32
 // This exact function backs both the local engine and the network-mode
 // worker, which is what makes dnet kNN results identical to local ones.
 // It is sequential by design: τ mutates between candidates.
+//
+// masked, when non-nil, hides base members superseded or deleted by a
+// partition's ingest overlay (the overlay's own live members are scanned
+// by KNNScanLive).
 func KNNScanPartition(ctx context.Context, m measure.Measure, q []geom.Point,
-	idx *trie.Trie, trajs []*traj.T, meta []VerifyMeta, cellD float64,
-	acc *KNNAcc, capTau float64) (obs.Funnel, error) {
+	idx *trie.Trie, trajs []*traj.T, meta []VerifyMeta, masked func(id int) bool,
+	cellD float64, acc *KNNAcc, capTau float64) (obs.Funnel, error) {
 
 	f := obs.Funnel{Considered: int64(len(trajs))}
 	entryTau := math.Min(capTau, acc.Tau())
 	cands, err := idx.SearchBoundsContext(ctx, q, m, entryTau, nil)
+	if masked != nil && len(cands) > 0 {
+		kept := cands[:0]
+		for _, c := range cands {
+			if !masked(trajs[c.Idx].ID) {
+				kept = append(kept, c)
+			}
+		}
+		cands = kept
+	}
 	f.TrieCands = int64(len(cands))
 	if err != nil || len(cands) == 0 {
 		// An empty candidate list still narrows monotonically.
@@ -271,6 +284,57 @@ func KNNScanPartition(ctx context.Context, m measure.Measure, q []geom.Point,
 		if ok {
 			// Within τ means within the current k-th best (or losing only
 			// the ID tie at exactly that distance); the heap sorts it out.
+			acc.Offer(t, d)
+			matched++
+		}
+	}
+	return knnScanFunnel(f, v, exactVerified, matched), nil
+}
+
+// KNNScanLive brute-forces an ingest overlay's live list into the
+// accumulator: no trie exists over a delta, so every unmasked member
+// goes straight to the verification cascade with the threshold re-read
+// from acc before each candidate, exactly like KNNScanPartition's
+// post-trie loop. masked, when non-nil, hides superseded frozen members.
+// Shared by the local engine and the network-mode worker.
+func KNNScanLive(ctx context.Context, m measure.Measure, q []geom.Point,
+	live []*traj.T, meta []VerifyMeta, masked func(id int) bool,
+	cellD float64, acc *KNNAcc, capTau float64) (obs.Funnel, error) {
+
+	f := obs.Funnel{Considered: int64(len(live)), TrieCands: int64(len(live))}
+	var v *Verifier
+	vTau := math.Inf(-1)
+	var exactVerified, matched int64
+	for ci, t := range live {
+		if ci%knnScanCtxEvery == 0 {
+			if err := ctx.Err(); err != nil {
+				return knnScanFunnel(f, v, exactVerified, matched), err
+			}
+		}
+		if masked != nil && masked(t.ID) {
+			continue
+		}
+		if acc.Resolved(t) {
+			continue
+		}
+		tau := math.Min(capTau, acc.Tau())
+		if math.IsInf(tau, 1) {
+			d := m.Distance(t.Points, q)
+			exactVerified++
+			acc.Add(t, d)
+			matched++
+			continue
+		}
+		if v == nil {
+			v = NewVerifier(m, q, tau, cellD)
+			vTau = tau
+		} else if tau != vTau {
+			v.SetTau(tau)
+			vTau = tau
+		}
+		d, ok := v.Verify(t, meta[ci])
+		acc.Resolve(t)
+		if ok {
 			acc.Offer(t, d)
 			matched++
 		}

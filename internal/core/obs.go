@@ -19,6 +19,12 @@ type engineMetrics struct {
 	joinFunnel    *obs.FunnelCounters
 	knnFunnel     *obs.FunnelCounters
 	skips         *obs.Counter
+	inserts       *obs.Counter
+	deletes       *obs.Counter
+	merges        *obs.Counter
+	deltaBytes    *obs.Gauge
+	replayRecords *obs.Counter
+	replayLatency *obs.Histogram
 }
 
 func newEngineMetrics(r *obs.Registry) *engineMetrics {
@@ -37,7 +43,29 @@ func newEngineMetrics(r *obs.Registry) *engineMetrics {
 		joinFunnel:    obs.NewFunnelCounters(r, "engine_join_"),
 		knnFunnel:     obs.NewFunnelCounters(r, "engine_knn_"),
 		skips:         r.Counter("engine_partition_skips_total"),
+		inserts:       r.Counter("engine_inserts_total"),
+		deletes:       r.Counter("engine_deletes_total"),
+		merges:        r.Counter("engine_merges_total"),
+		deltaBytes:    r.Gauge("engine_delta_bytes"),
+		replayRecords: r.Counter("engine_wal_replayed_records_total"),
+		replayLatency: r.Histogram("engine_wal_replay_us"),
 	}
+}
+
+// setDeltaBytes publishes the engine's total unmerged overlay size.
+func (m *engineMetrics) setDeltaBytes(n int64) {
+	if m != nil {
+		m.deltaBytes.Set(n)
+	}
+}
+
+// replayObserve records one WAL recovery pass.
+func (m *engineMetrics) replayObserve(sum *ReplaySummary) {
+	if m == nil {
+		return
+	}
+	m.replayRecords.Add(int64(sum.Records))
+	m.replayLatency.Observe(sum.Duration.Microseconds())
 }
 
 // knnInc counts one kNN query.

@@ -44,7 +44,9 @@ func (e *Engine) SnapshotOptions() snap.BuildOptions {
 
 // ExportSnapshot wraps one built partition as a snapshot. The snapshot
 // shares the partition's trajectory slice and trie; callers must not
-// mutate either.
+// mutate either. Only the sealed base is exported — overlay state (see
+// ingest.go) lives in the partition's WAL, which the snapshot's
+// watermark delimits.
 func (e *Engine) ExportSnapshot(dataset string, p *Partition) *snap.Snapshot {
 	return &snap.Snapshot{
 		Dataset:   dataset,
@@ -52,6 +54,7 @@ func (e *Engine) ExportSnapshot(dataset string, p *Partition) *snap.Snapshot {
 		Opts:      e.SnapshotOptions(),
 		Trajs:     p.Trajs,
 		Index:     p.Index,
+		Watermark: p.watermark,
 	}
 }
 
@@ -117,11 +120,14 @@ func NewEngineFromSnapshots(snaps []*snap.Snapshot, opts Options) (*Engine, erro
 		dataset: traj.NewDataset(ref.Dataset, all),
 		cellD:   ref.Opts.CellD,
 		met:     newEngineMetrics(opts.Obs),
+		serial:  engineSerial.Add(1),
 	}
 	W := e.cl.Workers()
 	for _, s := range sorted {
 		e.addPartition(s.Trajs, W)
-		e.parts[len(e.parts)-1].Index = s.Index
+		p := e.parts[len(e.parts)-1]
+		p.Index = s.Index
+		p.watermark = s.Watermark
 	}
 	e.buildGlobalIndex()
 

@@ -134,9 +134,10 @@ type Coordinator struct {
 }
 
 // dispatchedDataset records where a dataset's partitions live plus the
-// global index over their endpoint MBRs. parts is immutable after
-// Dispatch; the replica lists are mutable (healing rewrites them) and
-// guarded by their own lock.
+// global index over their endpoint MBRs. The parts slice's length is
+// immutable after Dispatch; ingest grows a partition's bounds in place
+// (and replaces the R-trees) under mu, so query paths read the global
+// index through boundsView, never directly.
 type dispatchedDataset struct {
 	name  string
 	parts []dispatchedPartition
@@ -145,9 +146,54 @@ type dispatchedDataset struct {
 
 	// mu guards replicas and the partitions' mutable payload fields:
 	// replicas[pid] lists the partition's owners (indexes into
-	// Coordinator.addrs), preferred first.
+	// Coordinator.addrs), preferred first. It also guards the ingest
+	// state below and the partitions' mbrF/mbrL/trajs plus the R-trees.
 	mu       sync.Mutex
 	replicas [][]int
+
+	// Ingest state: loc maps trajectory id → owning partition (routing
+	// stickiness for upserts, lookup for deletes); nextSeq[pid] is the
+	// last sequence number assigned to the partition (reserved before the
+	// RPC, burned on failure); netDelta is ids inserted minus deleted
+	// since dispatch (the visible-count correction); mutated records that
+	// any write was acked — healing must then never fall back to the
+	// stale dispatch payloads.
+	loc      map[int]int
+	nextSeq  []uint64
+	netDelta int
+	mutated  bool
+}
+
+// partBounds is one partition's global-index entry as captured by
+// boundsView.
+type partBounds struct {
+	mbrF, mbrL geom.MBR
+	trajs      int
+}
+
+// ddView is a query's consistent picture of the dataset's global index.
+// The R-tree pointers are safe to use off-lock: ingest replaces the
+// trees, never mutates them.
+type ddView struct {
+	bounds   []partBounds
+	rtF, rtL *rtree.Tree
+	// visible is the dataset's live member count: dispatch-time totals
+	// corrected by the acked inserts and deletes since.
+	visible int
+}
+
+// boundsView snapshots the global index under the dataset lock.
+func (dd *dispatchedDataset) boundsView() ddView {
+	dd.mu.Lock()
+	defer dd.mu.Unlock()
+	v := ddView{bounds: make([]partBounds, len(dd.parts)), rtF: dd.rtF, rtL: dd.rtL}
+	for i := range dd.parts {
+		p := &dd.parts[i]
+		v.bounds[i] = partBounds{mbrF: p.mbrF, mbrL: p.mbrL, trajs: p.trajs}
+		v.visible += p.trajs
+	}
+	v.visible += dd.netDelta
+	return v
 }
 
 type dispatchedPartition struct {
@@ -335,7 +381,7 @@ func (c *Coordinator) DispatchStats(name string, d *traj.Dataset) (*DispatchRepo
 		Strategy: int(c.cfg.Trie.Strategy),
 		CellD:    cellD,
 	}
-	dd := &dispatchedDataset{name: name}
+	dd := &dispatchedDataset{name: name, loc: map[int]int{}}
 	trajs := d.Trajs
 	firsts := make([]geom.Point, len(trajs))
 	for i, t := range trajs {
@@ -347,8 +393,12 @@ func (c *Coordinator) DispatchStats(name string, d *traj.Dataset) (*DispatchRepo
 	}
 	var calls []loadCall
 	rep := &DispatchReport{}
-	// held[pid] counts owners that already hold the partition durably.
+	// held[pid] counts owners that already hold the partition durably;
+	// seqFloor[pid] is the highest ingest sequence any worker reports for
+	// the partition — a restarted coordinator must assign numbers past it
+	// or workers would dedupe fresh writes as retransmissions.
 	var durable []int
+	var seqFloor []uint64
 	inv := c.workerInventories()
 	for _, bucket := range str.Tile(firsts, c.cfg.NG) {
 		if len(bucket) == 0 {
@@ -384,6 +434,7 @@ func (c *Coordinator) DispatchStats(name string, d *traj.Dataset) (*DispatchRepo
 				members = append(members, t)
 				mbrF = mbrF.Extend(t.First())
 				mbrL = mbrL.Extend(t.Last())
+				dd.loc[t.ID] = pid
 			}
 			args.Fingerprint = snap.Fingerprint(opts, members)
 			owners := replicaOwners(pid, c.cfg.Replicas, len(c.clients))
@@ -393,6 +444,15 @@ func (c *Coordinator) DispatchStats(name string, d *traj.Dataset) (*DispatchRepo
 			})
 			dd.replicas = append(dd.replicas, owners)
 			durable = append(durable, 0)
+			seqFloor = append(seqFloor, 0)
+			// Every worker's inventory raises the sequence floor, owner or
+			// not — a copy left behind by healing still pins numbers its
+			// dedupe floor would swallow.
+			for w := range inv {
+				if held, ok := inv[w][partKey{name, pid}]; ok && held.LastSeq > seqFloor[pid] {
+					seqFloor[pid] = held.LastSeq
+				}
+			}
 			for _, w := range owners {
 				if held, ok := inv[w][partKey{name, pid}]; ok && held.Fingerprint == args.Fingerprint {
 					// The worker already holds exactly this content
@@ -467,14 +527,8 @@ func (c *Coordinator) DispatchStats(name string, d *traj.Dataset) (*DispatchRepo
 			}
 		}
 	}
-	ef := make([]rtree.Entry, len(dd.parts))
-	el := make([]rtree.Entry, len(dd.parts))
-	for i, p := range dd.parts {
-		ef[i] = rtree.Entry{MBR: p.mbrF, ID: i}
-		el[i] = rtree.Entry{MBR: p.mbrL, ID: i}
-	}
-	dd.rtF = rtree.New(ef)
-	dd.rtL = rtree.New(el)
+	dd.nextSeq = seqFloor
+	rebuildTreesLocked(dd)
 	c.mu.Lock()
 	c.datasets[name] = dd
 	c.mu.Unlock()
@@ -506,19 +560,21 @@ func (c *Coordinator) replicaOrder(dd *dispatchedDataset, pid int) []int {
 
 // relevantPartitions mirrors the engine's global pruning for the
 // dispatched dataset: the R-trees narrow the candidates for anchored
-// measures, the measure-aware check decides.
-func (c *Coordinator) relevantPartitions(dd *dispatchedDataset, q []geom.Point, tau float64) []int {
+// measures, the measure-aware check decides. It works on a boundsView
+// snapshot so concurrent ingests (which grow bounds in place) can't
+// tear a partition's MBR pair mid-read.
+func (c *Coordinator) relevantPartitions(v ddView, q []geom.Point, tau float64) []int {
 	var out []int
 	if c.m.AlignsEndpoints() {
 		inF := map[int]bool{}
-		for _, e := range dd.rtF.WithinDist(q[0], tau, nil) {
+		for _, e := range v.rtF.WithinDist(q[0], tau, nil) {
 			inF[e.ID] = true
 		}
-		for _, e := range dd.rtL.WithinDist(q[len(q)-1], tau, nil) {
+		for _, e := range v.rtL.WithinDist(q[len(q)-1], tau, nil) {
 			if !inF[e.ID] {
 				continue
 			}
-			p := dd.parts[e.ID]
+			p := v.bounds[e.ID]
 			if core.TrajRelevant(c.m, q, p.mbrF, p.mbrL, tau) {
 				out = append(out, e.ID)
 			}
@@ -526,7 +582,7 @@ func (c *Coordinator) relevantPartitions(dd *dispatchedDataset, q []geom.Point, 
 		sort.Ints(out)
 		return out
 	}
-	for i, p := range dd.parts {
+	for i, p := range v.bounds {
 		if core.TrajRelevant(c.m, q, p.mbrF, p.mbrL, tau) {
 			out = append(out, i)
 		}
@@ -631,7 +687,7 @@ func (c *Coordinator) SearchTraced(ctx context.Context, name string, q *traj.T, 
 	if timed {
 		gStart = time.Now()
 	}
-	rel := c.relevantPartitions(dd, q.Points, tau)
+	rel := c.relevantPartitions(dd.boundsView(), q.Points, tau)
 	funnel := obs.Funnel{Partitions: int64(len(dd.parts)), Relevant: int64(len(rel))}
 	if tr != nil {
 		gf := funnel
@@ -856,12 +912,16 @@ func (c *Coordinator) JoinTraced(ctx context.Context, left, right string, tau fl
 		src, dst         int // partition ids in their datasets
 		srcName, dstName string
 		flip             bool
+		// Destination bounds, captured at plan time so concurrent ingests
+		// growing them can't tear the relevance check on the workers.
+		dstMBRf, dstMBRl geom.MBR
 	}
 	var edges []edge
 	anchored := c.m.AlignsEndpoints()
 	maxForm := c.m.Accumulation() == measure.AccumMax
-	for i, pt := range lt.parts {
-		for j, pq := range rt.parts {
+	ltV, rtV := lt.boundsView(), rt.boundsView()
+	for i, pt := range ltV.bounds {
+		for j, pq := range rtV.bounds {
 			if anchored {
 				df := pt.mbrF.MinDistMBR(pq.mbrF)
 				dl := pt.mbrL.MinDistMBR(pq.mbrL)
@@ -875,9 +935,11 @@ func (c *Coordinator) JoinTraced(ctx context.Context, left, right string, tau fl
 			}
 			// Orientation: ship the smaller side.
 			if pt.trajs <= pq.trajs {
-				edges = append(edges, edge{src: i, dst: j, srcName: left, dstName: right, flip: false})
+				edges = append(edges, edge{src: i, dst: j, srcName: left, dstName: right, flip: false,
+					dstMBRf: pq.mbrF, dstMBRl: pq.mbrL})
 			} else {
-				edges = append(edges, edge{src: j, dst: i, srcName: right, dstName: left, flip: true})
+				edges = append(edges, edge{src: j, dst: i, srcName: right, dstName: left, flip: true,
+					dstMBRf: pt.mbrF, dstMBRl: pt.mbrL})
 			}
 		}
 	}
@@ -903,14 +965,13 @@ func (c *Coordinator) JoinTraced(ctx context.Context, left, right string, tau fl
 			if ed.flip {
 				srcDD, dstDD = rt, lt
 			}
-			dst := dstDD.parts[ed.dst]
 			args := &ShipArgs{
 				SrcDataset:   ed.srcName,
 				SrcPartition: ed.src,
 				DstDataset:   ed.dstName,
 				DstPartition: ed.dst,
-				DstMBRf:      dst.mbrF,
-				DstMBRl:      dst.mbrL,
+				DstMBRf:      ed.dstMBRf,
+				DstMBRl:      ed.dstMBRl,
 				Tau:          tau,
 				Flip:         ed.flip,
 			}
@@ -1203,10 +1264,19 @@ func (c *Coordinator) rereplicate() {
 				}
 				loads[target]++
 				owners = append(owners, target)
+				payload, fp := dd.parts[pid].payload, dd.parts[pid].fingerprint
+				if dd.mutated {
+					// Acked writes live only on the workers now: the retained
+					// dispatch payload predates them, and the dispatch-time
+					// fingerprint no longer names any replica's content once a
+					// merge ran. Heal worker-to-worker, unpinned, so the
+					// export carries the overlay.
+					payload, fp = nil, 0
+				}
 				plan = append(plan, healLoad{
 					dd: dd, pid: pid,
-					payload: dd.parts[pid].payload,
-					fp:      dd.parts[pid].fingerprint,
+					payload: payload,
+					fp:      fp,
 					srcs:    srcs,
 					target:  target,
 				})

@@ -172,15 +172,15 @@ func (c *Coordinator) SearchKNNTraced(ctx context.Context, name string, q *traj.
 	if err != nil {
 		return nil, report, err
 	}
-	total := 0
-	for _, p := range dd.parts {
-		total += p.trajs
-	}
-	if total == 0 {
+	// The view pins the global index for the whole query: bounds grown by
+	// concurrent ingests (and the visible-count correction from acked
+	// inserts and deletes) land in the next query's plan, not mid-plan.
+	v := dd.boundsView()
+	if v.visible <= 0 {
 		return nil, report, nil
 	}
-	if k > total {
-		k = total
+	if k > v.visible {
+		k = v.visible
 	}
 	// Visit order: ascending (global-index lower bound, partition id) —
 	// the same bound TrajRelevant prunes with.
@@ -189,8 +189,8 @@ func (c *Coordinator) SearchKNNTraced(ctx context.Context, name string, q *traj.
 		pid int
 		lb  float64
 	}
-	order := make([]visit, len(dd.parts))
-	for i, p := range dd.parts {
+	order := make([]visit, len(v.bounds))
+	for i, p := range v.bounds {
 		order[i] = visit{pid: i, lb: core.PartitionLowerBound(c.m, q.Points, p.mbrF, p.mbrL)}
 	}
 	sort.Slice(order, func(a, b int) bool {

@@ -53,6 +53,11 @@ type coordMetrics struct {
 	// and raw payloads released because durable snapshots cover them.
 	dispatchReused  *obs.Counter
 	payloadsDropped *obs.Counter
+	// Streaming ingest: acked upserts, acked deletes, and writes refused
+	// by worker backpressure (ErrOverloaded surfaced to the caller).
+	ingests        *obs.Counter
+	deletes        *obs.Counter
+	ingestRejected *obs.Counter
 }
 
 func newCoordMetrics(r *obs.Registry) *coordMetrics {
@@ -76,6 +81,9 @@ func newCoordMetrics(r *obs.Registry) *coordMetrics {
 		knnFunnel:       obs.NewFunnelCounters(r, "coord_knn_"),
 		dispatchReused:  r.Counter("coord_dispatch_reused_total"),
 		payloadsDropped: r.Counter("coord_payloads_dropped_total"),
+		ingests:         r.Counter("coord_ingests_total"),
+		deletes:         r.Counter("coord_deletes_total"),
+		ingestRejected:  r.Counter("coord_ingest_rejected_total"),
 	}
 }
 

@@ -85,6 +85,50 @@ type InventoryPart struct {
 	// content exists on the worker's disk — what payload-release
 	// decisions count.
 	Snapshotted bool
+	// LastSeq is the highest ingest sequence number applied to the
+	// partition (snapshot watermark plus replayed WAL suffix). The
+	// coordinator seeds its per-partition sequence counter past it so a
+	// restarted coordinator never reissues a number a worker would dedupe.
+	LastSeq uint64
+}
+
+// WireRecord is one streamed mutation on the wire: an upsert (Op =
+// wal.OpInsert, Points set) or a delete (Op = wal.OpDelete, Points empty)
+// of one trajectory id. Seq is the partition-scoped sequence number the
+// coordinator assigned; workers append records to their WAL under it and
+// dedupe retransmissions by it.
+type WireRecord struct {
+	Seq    uint64
+	Op     byte
+	ID     int
+	Points []geom.Point
+}
+
+// IngestArgs applies a batch of mutations to one partition. Records must
+// be in ascending Seq order; the worker appends them to the partition's
+// WAL (fsync) before touching in-memory state, so a positive reply means
+// the batch survives a crash.
+type IngestArgs struct {
+	Dataset   string
+	Partition int
+	Records   []WireRecord
+}
+
+// IngestReply reports what the worker did with the batch.
+type IngestReply struct {
+	// Applied counts records logged and applied by this call.
+	Applied int
+	// Deduped counts records skipped because their Seq was at or below the
+	// partition's durable floor — retransmissions of already-acked writes.
+	Deduped int
+	// LastSeq is the partition's highest applied sequence number.
+	LastSeq uint64
+	// DeltaBytes is the partition's delta-buffer size after the batch (and
+	// after any merge it triggered).
+	DeltaBytes int
+	// Merged reports that the batch pushed the delta over the merge
+	// threshold and the partition folded it into a fresh base.
+	Merged bool
 }
 
 // InventoryReply lists a worker's in-memory partitions.
@@ -298,4 +342,8 @@ type StatsReply struct {
 	SearchCalls int64
 	JoinCalls   int64
 	BytesIn     int64
+	// DeltaBytes is the summed size of the worker's un-merged ingest
+	// deltas; IngestCalls counts Worker.Ingest RPCs served.
+	DeltaBytes  int
+	IngestCalls int64
 }

@@ -4,10 +4,15 @@ import (
 	"fmt"
 	"os"
 	"sort"
+	"time"
 
 	"dita/internal/core"
 	"dita/internal/measure"
+	"dita/internal/pivot"
 	"dita/internal/snap"
+	"dita/internal/traj"
+	"dita/internal/trie"
+	"dita/internal/wal"
 )
 
 // loadBuildOptions maps a load request's index configuration to the
@@ -46,10 +51,16 @@ func partitionFromSnapshot(s *snap.Snapshot) (*workerPartition, error) {
 	for i, t := range s.Trajs {
 		p.meta[i] = core.NewVerifyMeta(t, s.Opts.CellD)
 	}
+	// The image's watermark is the ingest floor: every logged record at or
+	// below it is already folded into Trajs.
+	p.watermark, p.lastSeq = s.Watermark, s.Watermark
 	return p, nil
 }
 
-// snapshotOf wraps a held partition as a snapshot for Save or Export.
+// snapshotOf wraps a held partition as a snapshot for Save. Callers own
+// the partition exclusively (it is not yet installed) — published
+// partitions are sealed by mergePartition, which captures its own
+// consistent image under the overlay lock.
 func snapshotOf(dataset string, pid int, p *workerPartition) *snap.Snapshot {
 	return &snap.Snapshot{
 		Dataset:   dataset,
@@ -57,6 +68,7 @@ func snapshotOf(dataset string, pid int, p *workerPartition) *snap.Snapshot {
 		Opts:      p.opts,
 		Trajs:     p.trajs,
 		Index:     p.index,
+		Watermark: p.watermark,
 	}
 }
 
@@ -91,6 +103,12 @@ type SnapshotLoaded struct {
 	Trajs       int
 	Bytes       int64
 	Fingerprint uint64
+	// WALRecords is how many logged mutations past the snapshot's
+	// watermark were replayed onto it; WALTruncatedBytes is the torn tail
+	// (a crashed append) the WAL open cut off. Both zero when the worker
+	// runs without a WAL store.
+	WALRecords        int
+	WALTruncatedBytes int64
 }
 
 // SnapshotSkipped describes one snapshot file the cold start refused,
@@ -117,6 +135,9 @@ type SnapshotLoadReport struct {
 func (w *Worker) LoadSnapshots() (*SnapshotLoadReport, error) {
 	rep := &SnapshotLoadReport{}
 	if w.SnapStore == nil {
+		// No snapshots means no WAL can be replayed either: every log in
+		// the WAL store extends a base this worker no longer has.
+		w.sweepOrphanWALs()
 		return rep, nil
 	}
 	entries, err := w.SnapStore.Scan()
@@ -147,17 +168,89 @@ func (w *Worker) LoadSnapshots() (*SnapshotLoadReport, error) {
 		if fi, err := os.Stat(e.Path); err == nil {
 			p.snapBytes = fi.Size()
 		}
-		w.installPartition(s.Dataset, s.Partition, p)
-		w.snapLoadOK.Add(1)
-		rep.Loaded = append(rep.Loaded, SnapshotLoaded{
+		loaded := SnapshotLoaded{
 			Dataset:     s.Dataset,
 			Partition:   s.Partition,
 			Trajs:       len(s.Trajs),
 			Bytes:       p.snapBytes,
 			Fingerprint: s.Fingerprint,
-		})
+		}
+		w.replayWAL(p, &loaded, rep)
+		w.installPartition(s.Dataset, s.Partition, p)
+		w.snapLoadOK.Add(1)
+		rep.Loaded = append(rep.Loaded, loaded)
 	}
+	w.sweepOrphanWALs()
 	return rep, nil
+}
+
+// replayWAL opens the partition's write-ahead log, replays the suffix
+// past the snapshot's watermark onto the restored partition, and leaves
+// the log open for the partition's future appends. The open itself
+// truncates any torn tail from a crashed append — expected, counted,
+// never an error. A mangled header leaves no trustworthy suffix: the
+// file is discarded (classified in the skip report) and a fresh log
+// opened; mutations it held past the watermark are restored from
+// replica peers, not this disk. Runs before the partition is installed,
+// so no lock is needed.
+func (w *Worker) replayWAL(p *workerPartition, loaded *SnapshotLoaded, rep *SnapshotLoadReport) {
+	if w.WALStore == nil {
+		return
+	}
+	ds, pid := loaded.Dataset, loaded.Partition
+	start := time.Now()
+	l, wrep, err := w.WALStore.Open(ds, pid)
+	if err != nil {
+		rep.Skipped = append(rep.Skipped, SnapshotSkipped{
+			Path: w.WALStore.Path(ds, pid), Class: wal.Classify(err), Err: err.Error(),
+		})
+		w.WALStore.Remove(ds, pid)
+		if l2, _, err2 := w.WALStore.Open(ds, pid); err2 == nil {
+			p.wlog = l2
+		}
+		return
+	}
+	p.wlog = l
+	for _, r := range wrep.Records {
+		if r.Seq <= p.watermark {
+			// Already folded into the snapshot (a crash between seal and
+			// truncate leaves the full log behind — replay just skips the
+			// covered prefix).
+			continue
+		}
+		p.applyLocked(WireRecord{Seq: r.Seq, Op: r.Op, ID: r.ID, Points: r.Points})
+		if r.Seq > p.lastSeq {
+			p.lastSeq = r.Seq
+		}
+		loaded.WALRecords++
+	}
+	loaded.WALTruncatedBytes = wrep.TruncatedBytes
+	w.walReplayed.Add(int64(loaded.WALRecords))
+	w.walTruncated.Add(wrep.TruncatedBytes)
+	w.walReplayUS.Add(time.Since(start).Microseconds())
+}
+
+// sweepOrphanWALs deletes log files with no matching held partition: a
+// WAL without its base snapshot cannot be replayed (the deltas extend a
+// base that no longer exists), and keeping it would poison whatever
+// lands at that (dataset, partition) next. The coordinator re-ships or
+// re-replicates those partitions from its other copies.
+func (w *Worker) sweepOrphanWALs() {
+	if w.WALStore == nil {
+		return
+	}
+	entries, err := w.WALStore.Scan()
+	if err != nil {
+		return
+	}
+	for _, e := range entries {
+		w.mu.RLock()
+		_, held := w.parts[partKey{e.Dataset, e.Partition}]
+		w.mu.RUnlock()
+		if !held {
+			w.WALStore.Remove(e.Dataset, e.Partition)
+		}
+	}
 }
 
 // Inventory implements the held-partition listing the coordinator uses to
@@ -170,9 +263,10 @@ func (s *workerService) Inventory(args *InventoryArgs, reply *InventoryReply) er
 	defer s.w.endRPC()
 	s.w.mu.RLock()
 	for k, p := range s.w.parts {
+		fp, snapped, _, lastSeq := p.identity()
 		reply.Parts = append(reply.Parts, InventoryPart{
 			Dataset: k.dataset, Partition: k.id,
-			Fingerprint: p.fingerprint, Snapshotted: p.snapped,
+			Fingerprint: fp, Snapshotted: snapped, LastSeq: lastSeq,
 		})
 	}
 	s.w.mu.RUnlock()
@@ -187,7 +281,9 @@ func (s *workerService) Inventory(args *InventoryArgs, reply *InventoryReply) er
 
 // Export implements the healing transfer source: the sealed snapshot
 // image of one held partition, encoded from live memory (so it works even
-// on workers running without a snapshot directory).
+// on workers running without a snapshot directory). A live ingest overlay
+// is folded into the image — the transfer must carry every acked write,
+// or healing onto a new replica would silently roll them back.
 func (s *workerService) Export(args *ExportArgs, reply *ExportReply) (err error) {
 	if !s.w.beginRPC() {
 		return errDraining
@@ -198,8 +294,48 @@ func (s *workerService) Export(args *ExportArgs, reply *ExportReply) (err error)
 	if err != nil {
 		return err
 	}
-	reply.Data = snap.Encode(snapshotOf(args.Dataset, args.Partition, p))
+	reply.Data = exportImage(args.Dataset, args.Partition, p)
 	return nil
+}
+
+// exportImage encodes the partition's visible state. Without an overlay
+// this is the base verbatim; with one, the visible members (base minus
+// tombstones, plus delta) get a freshly built trie, and the image's
+// watermark advances to lastSeq so a receiver restoring it replays
+// nothing the image already covers.
+func exportImage(dataset string, pid int, p *workerPartition) []byte {
+	p.omu.RLock()
+	if len(p.delta) == 0 && len(p.tomb) == 0 {
+		sn := &snap.Snapshot{
+			Dataset: dataset, Partition: pid, Opts: p.opts,
+			Trajs: p.trajs, Index: p.index, Watermark: p.lastSeq,
+		}
+		p.omu.RUnlock()
+		return snap.Encode(sn)
+	}
+	visible := make([]*traj.T, 0, len(p.trajs)+len(p.delta))
+	for _, t := range p.trajs {
+		if !p.tomb[t.ID] {
+			visible = append(visible, t)
+		}
+	}
+	visible = append(visible, p.delta...)
+	opts := p.opts
+	watermark := p.lastSeq
+	p.omu.RUnlock()
+	// The trie build runs off-lock: visible is a private slice, and the
+	// trajectories it points to are immutable.
+	idx := trie.Build(visible, trie.Config{
+		K:        opts.K,
+		NLAlign:  opts.NLAlign,
+		NLPivot:  opts.NLPivot,
+		MinNode:  opts.MinNode,
+		Strategy: pivot.Strategy(opts.Strategy),
+	})
+	return snap.Encode(&snap.Snapshot{
+		Dataset: dataset, Partition: pid, Opts: opts,
+		Trajs: visible, Index: idx, Watermark: watermark,
+	})
 }
 
 // Replicate implements snapshot-based healing: fetch the partition's
@@ -219,11 +355,12 @@ func (s *workerService) Replicate(args *ReplicateArgs, reply *ReplicateReply) (e
 	s.w.mu.RLock()
 	held, ok := s.w.parts[partKey{args.Dataset, args.Partition}]
 	s.w.mu.RUnlock()
-	if ok && args.Fingerprint != 0 && held.fingerprint == args.Fingerprint {
-		reply.Trajs = len(held.trajs)
-		reply.IndexBytes = held.index.SizeBytes()
-		reply.Snapshotted = held.snapped
-		return nil
+	if ok && args.Fingerprint != 0 {
+		if hfp, hsnapped, _, _ := held.identity(); hfp == args.Fingerprint {
+			reply.Trajs, reply.IndexBytes = held.baseStats()
+			reply.Snapshotted = hsnapped
+			return nil
+		}
 	}
 
 	mc := newManagedClient(args.SrcAddr, shipRetry)
@@ -250,6 +387,18 @@ func (s *workerService) Replicate(args *ReplicateArgs, reply *ReplicateReply) (e
 	p, err := partitionFromSnapshot(sn)
 	if err != nil {
 		return fmt.Errorf("dnet: replicate %s/%d: %w", args.Dataset, args.Partition, err)
+	}
+	// The transferred image starts a new WAL epoch: any log this worker
+	// kept extends a base the install replaces wholesale. (The image's
+	// watermark already covers every mutation folded into it.)
+	if ok {
+		held.closeLog()
+	}
+	if s.w.WALStore != nil {
+		s.w.WALStore.Remove(args.Dataset, args.Partition)
+		if l, _, err := s.w.WALStore.Open(args.Dataset, args.Partition); err == nil {
+			p.wlog = l
+		}
 	}
 	s.w.persistPartition(args.Dataset, args.Partition, p)
 	s.w.installPartition(args.Dataset, args.Partition, p)

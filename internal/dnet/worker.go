@@ -18,6 +18,7 @@ import (
 	"dita/internal/snap"
 	"dita/internal/traj"
 	"dita/internal/trie"
+	"dita/internal/wal"
 )
 
 // shipRetry bounds the worker-to-worker shipment calls (peer may be
@@ -54,11 +55,40 @@ type Worker struct {
 	// (`dita-worker -snap-chaos`).
 	SnapStore *snap.Store
 
+	// WALStore, when set before Serve, gives every partition a write-ahead
+	// log: Worker.Ingest appends mutations durably before applying them,
+	// and LoadSnapshots replays each log's suffix past its snapshot's
+	// watermark on cold start. Pair it with SnapStore (same directory works)
+	// — a WAL without a base snapshot cannot be replayed and is discarded.
+	// Its Faults field is the WAL-side chaos plan (`dita-worker -wal-chaos`).
+	WALStore *wal.Store
+
+	// MergeBytes is the per-partition delta size that triggers folding the
+	// overlay into a fresh base (rebuild trie, seal snapshot, truncate WAL).
+	// <= 0 uses defaultMergeBytes. Set before Serve.
+	MergeBytes int
+
+	// MaxDeltaBytes is the per-partition backpressure bound: an ingest
+	// batch arriving while the delta holds at least this many bytes is
+	// rejected with an overloaded error (the coordinator surfaces
+	// ErrOverloaded) and a merge is kicked to drain the buffer. <= 0 uses
+	// defaultMaxDeltaBytes. Set before Serve.
+	MaxDeltaBytes int
+
 	snapLoadOK      atomic.Int64
 	snapLoadCorrupt atomic.Int64
 	snapLoadErr     atomic.Int64
 	snapWriteOK     atomic.Int64
 	snapWriteErr    atomic.Int64
+
+	ingestCalls    atomic.Int64
+	ingestRecords  atomic.Int64
+	ingestDeduped  atomic.Int64
+	ingestRejected atomic.Int64
+	merges         atomic.Int64
+	walReplayed    atomic.Int64
+	walTruncated   atomic.Int64
+	walReplayUS    atomic.Int64
 
 	// VerifyParallelism bounds the goroutine pool each Search/Join RPC
 	// uses to verify its candidate list: 0 means every core, 1 forces the
@@ -115,6 +145,31 @@ type workerPartition struct {
 	fingerprint uint64
 	snapped     bool
 	snapBytes   int64
+
+	// Ingest overlay, all guarded by omu. The base fields above are never
+	// mutated in place: a merge installs fresh slices and a fresh trie, so
+	// a view captured under omu.RLock stays consistent for the rest of its
+	// query. delta holds inserted/updated members (deltaIdx maps id →
+	// delta index); tomb masks base members that were deleted or
+	// superseded; lastSeq is the durable dedupe floor; watermark is the
+	// highest sequence folded into the base (what the sealed snapshot
+	// records); wlog is the partition's open WAL, nil when the worker runs
+	// without a WAL store.
+	// mergeMu serializes merges on this partition end to end (fold, seal,
+	// truncate) so a slow seal can never overwrite a newer image and then
+	// truncate the log past it. Taken before omu, never while holding it.
+	mergeMu sync.Mutex
+
+	omu        sync.RWMutex
+	delta      []*traj.T
+	deltaMeta  []core.VerifyMeta
+	deltaIdx   map[int]int
+	tomb       map[int]bool
+	baseIDs    map[int]bool
+	deltaBytes int
+	lastSeq    uint64
+	watermark  uint64
+	wlog       *wal.Log
 }
 
 // NewWorker creates an unstarted worker.
@@ -234,6 +289,23 @@ func (w *Worker) Instrument(r *obs.Registry) {
 	r.GaugeFunc("snap_load_err", w.snapLoadErr.Load)
 	r.GaugeFunc("snap_write_ok", w.snapWriteOK.Load)
 	r.GaugeFunc("snap_write_err", w.snapWriteErr.Load)
+	r.GaugeFunc("worker_ingest_calls_total", w.ingestCalls.Load)
+	r.GaugeFunc("worker_ingest_records_total", w.ingestRecords.Load)
+	r.GaugeFunc("worker_ingest_deduped_total", w.ingestDeduped.Load)
+	r.GaugeFunc("worker_ingest_rejected_total", w.ingestRejected.Load)
+	r.GaugeFunc("worker_merges_total", w.merges.Load)
+	r.GaugeFunc("wal_replayed_records", w.walReplayed.Load)
+	r.GaugeFunc("wal_truncated_bytes", w.walTruncated.Load)
+	r.GaugeFunc("wal_replay_us", w.walReplayUS.Load)
+	r.GaugeFunc("worker_delta_bytes", func() int64 {
+		w.mu.RLock()
+		defer w.mu.RUnlock()
+		var total int64
+		for _, p := range w.parts {
+			total += int64(p.DeltaBytes())
+		}
+		return total
+	})
 }
 
 func (w *Worker) endRPC() {
@@ -290,6 +362,15 @@ func (w *Worker) Close() error {
 		}
 		w.conns = map[net.Conn]struct{}{}
 		w.connMu.Unlock()
+		// Close the WAL handles so an in-process "restart" (tests) can
+		// reopen the files exclusively. An append racing this close fails
+		// like any crashed write: the record was never acked, and the torn
+		// tail (if any) is truncated on the next Open.
+		w.mu.RLock()
+		for _, p := range w.parts {
+			p.closeLog()
+		}
+		w.mu.RUnlock()
 	})
 	return w.closeErr
 }
@@ -367,12 +448,13 @@ func (s *workerService) Load(args *LoadArgs, reply *LoadReply) (err error) {
 	s.w.mu.RLock()
 	held, ok := s.w.parts[partKey{args.Dataset, args.Partition}]
 	s.w.mu.RUnlock()
-	if ok && held.fingerprint == fp {
-		reply.Trajs = len(held.trajs)
-		reply.IndexBytes = held.index.SizeBytes()
-		reply.Snapshotted = held.snapped
-		reply.SnapshotBytes = held.snapBytes
-		return nil
+	if ok {
+		if hfp, hsnapped, hsnapBytes, _ := held.identity(); hfp == fp {
+			reply.Trajs, reply.IndexBytes = held.baseStats()
+			reply.Snapshotted = hsnapped
+			reply.SnapshotBytes = hsnapBytes
+			return nil
+		}
 	}
 	cfg := trie.Config{
 		K:        args.K,
@@ -393,6 +475,19 @@ func (s *workerService) Load(args *LoadArgs, reply *LoadReply) (err error) {
 	for i, t := range trajs {
 		p.meta[i] = core.NewVerifyMeta(t, args.CellD)
 	}
+	// A fresh load starts a new WAL epoch: any previous log extended a base
+	// this payload replaces wholesale, so replaying it would resurrect
+	// deltas from a dead epoch. (The fingerprint fast-path above keeps the
+	// held partition — and with it the replayed overlay and open log.)
+	if ok && held.wlog != nil {
+		held.closeLog()
+	}
+	if s.w.WALStore != nil {
+		s.w.WALStore.Remove(args.Dataset, args.Partition)
+		if l, _, err := s.w.WALStore.Open(args.Dataset, args.Partition); err == nil {
+			p.wlog = l
+		}
+	}
 	s.w.persistPartition(args.Dataset, args.Partition, p)
 	s.w.installPartition(args.Dataset, args.Partition, p)
 	reply.Trajs = len(trajs)
@@ -410,13 +505,22 @@ func (s *workerService) Unload(args *UnloadArgs, reply *UnloadReply) error {
 	defer s.w.endRPC()
 	key := partKey{args.Dataset, args.Partition}
 	s.w.mu.Lock()
-	_, reply.Unloaded = s.w.parts[key]
+	p, held := s.w.parts[key]
+	reply.Unloaded = held
 	delete(s.w.parts, key)
 	s.w.mu.Unlock()
-	// The snapshot must go with the partition, or a cold start would
-	// resurrect data the coordinator rolled back.
+	if held {
+		p.closeLog()
+	}
+	// The durable pair must go with the partition: a surviving snapshot
+	// would resurrect data the coordinator rolled back, and a surviving
+	// WAL would replay deltas from a previous epoch onto whatever lands at
+	// this (dataset, partition) next.
 	if s.w.SnapStore != nil {
 		s.w.SnapStore.Remove(args.Dataset, args.Partition)
+	}
+	if s.w.WALStore != nil {
+		s.w.WALStore.Remove(args.Dataset, args.Partition)
 	}
 	return nil
 }
@@ -459,21 +563,44 @@ func (s *workerService) Search(args *SearchArgs, reply *SearchReply) (err error)
 	if err != nil {
 		return err
 	}
-	cands, err := p.index.SearchContext(ctx, args.Query, p.m, args.Tau, nil)
+	pv := p.view()
+	cands, err := pv.index.SearchContext(ctx, args.Query, p.m, args.Tau, nil)
 	if err != nil {
 		return err
 	}
+	trajs, meta := pv.trajs, pv.meta
+	if pv.overlay() {
+		// Trie candidates masked by the tombstones, delta members appended
+		// unconditionally (they are few and unindexed until the next merge).
+		kept := cands[:0]
+		for _, i := range cands {
+			if !pv.tomb[trajs[i].ID] {
+				kept = append(kept, i)
+			}
+		}
+		cands = kept
+		combined := make([]*traj.T, 0, len(trajs)+len(pv.delta))
+		combined = append(combined, trajs...)
+		combined = append(combined, pv.delta...)
+		cmeta := make([]core.VerifyMeta, 0, len(meta)+len(pv.deltaMeta))
+		cmeta = append(cmeta, meta...)
+		cmeta = append(cmeta, pv.deltaMeta...)
+		for j := range pv.delta {
+			cands = append(cands, len(trajs)+j)
+		}
+		trajs, meta = combined, cmeta
+	}
 	reply.Candidates = len(cands)
 	v := core.NewVerifier(p.m, args.Query, args.Tau, p.cellD)
-	hits, err := v.VerifyAll(ctx, p.trajs, p.meta, cands, s.w.VerifyParallelism)
+	hits, err := v.VerifyAll(ctx, trajs, meta, cands, s.w.VerifyParallelism)
 	if err != nil {
 		return err
 	}
 	for _, h := range hits {
-		reply.Hits = append(reply.Hits, SearchHit{ID: p.trajs[h.Index].ID, Distance: h.Distance})
+		reply.Hits = append(reply.Hits, SearchHit{ID: trajs[h.Index].ID, Distance: h.Distance})
 	}
 	reply.Verified = int(v.Verified.Load())
-	reply.Funnel = v.Funnel(len(p.trajs), len(cands))
+	reply.Funnel = v.Funnel(len(trajs), len(cands))
 	sort.Slice(reply.Hits, func(a, b int) bool { return reply.Hits[a].ID < reply.Hits[b].ID })
 	return nil
 }
@@ -506,10 +633,25 @@ func (s *workerService) KNN(args *KNNArgs, reply *KNNReply) (err error) {
 	if err != nil {
 		return err
 	}
+	pv := p.view()
+	var masked func(id int) bool
+	if len(pv.tomb) > 0 {
+		tomb := pv.tomb
+		masked = func(id int) bool { return tomb[id] }
+	}
 	acc := core.NewKNNAcc(args.K)
-	f, err := core.KNNScanPartition(ctx, p.m, args.Query, p.index, p.trajs, p.meta, p.cellD, acc, args.Tau)
+	f, err := core.KNNScanPartition(ctx, p.m, args.Query, pv.index, pv.trajs, pv.meta, masked, p.cellD, acc, args.Tau)
 	if err != nil {
 		return err
+	}
+	if len(pv.delta) > 0 {
+		// Delta members are unindexed until the next merge: the linear
+		// best-first scan resolves them exactly against the same accumulator.
+		lf, err := core.KNNScanLive(ctx, p.m, args.Query, pv.delta, pv.deltaMeta, nil, p.cellD, acc, args.Tau)
+		if err != nil {
+			return err
+		}
+		f.Merge(lf)
 	}
 	for _, r := range acc.Results() {
 		reply.Hits = append(reply.Hits, SearchHit{ID: r.Traj.ID, Distance: r.Distance})
@@ -532,7 +674,13 @@ func (s *workerService) Fetch(args *FetchArgs, reply *FetchReply) error {
 	for _, id := range args.IDs {
 		want[id] = true
 	}
-	for _, t := range p.trajs {
+	pv := p.view()
+	for _, t := range pv.trajs {
+		if want[t.ID] && !pv.tomb[t.ID] {
+			reply.Trajs = append(reply.Trajs, WireTrajectory{ID: t.ID, Points: t.Points})
+		}
+	}
+	for _, t := range pv.delta {
 		if want[t.ID] {
 			reply.Trajs = append(reply.Trajs, WireTrajectory{ID: t.ID, Points: t.Points})
 		}
@@ -570,8 +718,20 @@ func (s *workerService) Ship(args *ShipArgs, reply *JoinReply) (err error) {
 	}
 	ctx, cancel := s.w.queryCtx(args.TimeoutMillis)
 	defer cancel()
+	pv := p.view()
 	var shipped []WireTrajectory
-	for _, t := range p.trajs {
+	for _, t := range pv.trajs {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		if pv.tomb[t.ID] {
+			continue
+		}
+		if core.TrajRelevant(p.m, t.Points, args.DstMBRf, args.DstMBRl, args.Tau) {
+			shipped = append(shipped, WireTrajectory{ID: t.ID, Points: t.Points})
+		}
+	}
+	for _, t := range pv.delta {
 		if err := ctx.Err(); err != nil {
 			return err
 		}
@@ -638,9 +798,28 @@ func (s *workerService) Join(args *JoinArgs, reply *JoinReply) (err error) {
 	}
 	ctx, cancel := s.w.queryCtx(args.TimeoutMillis)
 	defer cancel()
+	// The destination view: base slices plus — when an ingest overlay is
+	// live — the delta members appended past them, their view indexes kept
+	// so every trie probe can consider them (they are unindexed until the
+	// next merge). Mirrors core.localJoin's overlay handling.
+	pv := p.view()
+	dstTrajs, dstMeta := pv.trajs, pv.meta
+	var overlayIdx []int
+	if pv.overlay() {
+		combined := make([]*traj.T, 0, len(dstTrajs)+len(pv.delta))
+		combined = append(combined, dstTrajs...)
+		combined = append(combined, pv.delta...)
+		cmeta := make([]core.VerifyMeta, 0, len(dstMeta)+len(pv.deltaMeta))
+		cmeta = append(cmeta, dstMeta...)
+		cmeta = append(cmeta, pv.deltaMeta...)
+		for j := range pv.delta {
+			overlayIdx = append(overlayIdx, len(dstTrajs)+j)
+		}
+		dstTrajs, dstMeta = combined, cmeta
+	}
 	// Considered counts every (shipped, local) pair the trie filtered; the
 	// verification stages accumulate per shipped trajectory.
-	reply.Funnel.Considered = int64(len(args.Trajs)) * int64(len(p.trajs))
+	reply.Funnel.Considered = int64(len(args.Trajs)) * int64(len(dstTrajs))
 	// Phase 1: sequential trie probes flatten the shipment into candidate
 	// pairs, one verifier per shipped trajectory (mirrors core.localJoin).
 	var (
@@ -652,9 +831,18 @@ func (s *workerService) Join(args *JoinArgs, reply *JoinReply) (err error) {
 	for wi := range args.Trajs {
 		wt := &args.Trajs[wi]
 		reply.BytesReceived += 16*len(wt.Points) + 8
-		idxs, err := p.index.SearchContext(ctx, wt.Points, p.m, args.Tau, nil)
+		idxs, err := pv.index.SearchContext(ctx, wt.Points, p.m, args.Tau, nil)
 		if err != nil {
 			return err
+		}
+		if pv.overlay() {
+			kept := idxs[:0]
+			for _, i := range idxs {
+				if !pv.tomb[dstTrajs[i].ID] {
+					kept = append(kept, i)
+				}
+			}
+			idxs = append(kept, overlayIdx...)
 		}
 		reply.Candidates += len(idxs)
 		if len(idxs) == 0 {
@@ -671,7 +859,7 @@ func (s *workerService) Join(args *JoinArgs, reply *JoinReply) (err error) {
 	// Phase 2: verify the flat pair list on the worker's verification
 	// pool. Hits come back in pairs order, so reply.Pairs matches the old
 	// nested loops exactly; the funnel merge is order-independent sums.
-	hits, err := core.VerifyJoinPairs(ctx, pairs, vs, p.trajs, p.meta, s.w.VerifyParallelism)
+	hits, err := core.VerifyJoinPairs(ctx, pairs, vs, dstTrajs, dstMeta, s.w.VerifyParallelism)
 	for vi, v := range vs {
 		vf := v.Funnel(0, nCand[vi])
 		vf.Considered = 0 // already counted for the whole shipment above
@@ -683,9 +871,9 @@ func (s *workerService) Join(args *JoinArgs, reply *JoinReply) (err error) {
 	for _, h := range hits {
 		wt, d := wts[h.Pair.Shipped], h.Pair.Local
 		if args.Flip {
-			reply.Pairs = append(reply.Pairs, WirePair{TID: p.trajs[d].ID, QID: wt.ID, Distance: h.Distance})
+			reply.Pairs = append(reply.Pairs, WirePair{TID: dstTrajs[d].ID, QID: wt.ID, Distance: h.Distance})
 		} else {
-			reply.Pairs = append(reply.Pairs, WirePair{TID: wt.ID, QID: p.trajs[d].ID, Distance: h.Distance})
+			reply.Pairs = append(reply.Pairs, WirePair{TID: wt.ID, QID: dstTrajs[d].ID, Distance: h.Distance})
 		}
 	}
 	s.w.bytesIn.Add(int64(reply.BytesReceived))
@@ -702,11 +890,14 @@ func (s *workerService) Stats(args *StatsArgs, reply *StatsReply) error {
 	defer s.w.mu.RUnlock()
 	reply.Partitions = len(s.w.parts)
 	for _, p := range s.w.parts {
-		reply.Trajs += len(p.trajs)
-		reply.IndexBytes += p.index.SizeBytes()
+		nt, ib := p.baseStats()
+		reply.Trajs += nt
+		reply.IndexBytes += ib
+		reply.DeltaBytes += p.DeltaBytes()
 	}
 	reply.SearchCalls = s.w.searchCalls.Load()
 	reply.JoinCalls = s.w.joinCalls.Load()
 	reply.BytesIn = s.w.bytesIn.Load()
+	reply.IngestCalls = s.w.ingestCalls.Load()
 	return nil
 }

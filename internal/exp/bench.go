@@ -2,6 +2,7 @@ package exp
 
 import (
 	"fmt"
+	"os"
 	"sort"
 	"time"
 
@@ -10,6 +11,8 @@ import (
 	"dita/internal/measure"
 	"dita/internal/obs"
 	"dita/internal/snap"
+	"dita/internal/traj"
+	"dita/internal/wal"
 )
 
 // BenchReport is the machine-readable output of one `ditabench
@@ -43,8 +46,21 @@ type BenchReport struct {
 	// ColdStartMS is the wall-clock time to decode every partition
 	// snapshot (full checksum verification) and reassemble a serving
 	// engine from them — restart cost, to compare against BuildMS.
-	ColdStartMS float64          `json:"cold_start_ms"`
-	Workloads   []WorkloadReport `json:"workloads"`
+	ColdStartMS float64 `json:"cold_start_ms"`
+	// IngestMeanUS is the mean wall-clock microseconds per WAL-backed
+	// single-trajectory insert: checksummed append, fsync, and the
+	// in-memory delta apply.
+	IngestMeanUS float64 `json:"ingest_mean_us"`
+	// DeltaScanOverheadPct is the relative increase in mean search
+	// latency when ~10% of the dataset sits in unmerged delta overlays
+	// versus the fully merged base — the price queries pay between
+	// merges. Small negative values are measurement noise.
+	DeltaScanOverheadPct float64 `json:"delta_scan_overhead_pct"`
+	// ReplayMS is the cold-start WAL recovery time: opening every
+	// partition's log, verifying checksums, and re-applying the suffix
+	// past each snapshot's watermark.
+	ReplayMS  float64          `json:"replay_ms"`
+	Workloads []WorkloadReport `json:"workloads"`
 }
 
 // WorkloadReport is one workload's latency percentiles and funnel.
@@ -212,5 +228,100 @@ func Bench(kind string, cfg Config) (*BenchReport, error) {
 		Latency: summarize([]time.Duration{time.Since(jStart)}),
 		Funnel:  js.Funnel, Results: len(pairs),
 	})
+
+	// Streaming-ingest economics: WAL-backed insert latency, the
+	// delta-overlay scan penalty, and cold-start replay — against a
+	// disposable store so the bench leaves nothing behind.
+	if err := benchIngest(rep, d, images, opts, qs); err != nil {
+		return nil, fmt.Errorf("exp: bench %s: ingest: %w", kind, err)
+	}
 	return rep, nil
+}
+
+// benchIngest measures streaming ingest on an engine cold-started from
+// the already-encoded partition snapshots: mean per-insert wall time with
+// a real fsync'd WAL, the search-latency penalty of scanning the
+// resulting overlays (vs the merged-base search workload already in the
+// report), and the time to replay the logs on the next cold start.
+func benchIngest(rep *BenchReport, d *traj.Dataset, images [][]byte, opts core.Options, qs []*traj.T) error {
+	if d.Len() == 0 || len(rep.Workloads) == 0 {
+		return nil
+	}
+	dir, err := os.MkdirTemp("", "ditabench-wal-")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	ws, err := wal.NewStore(dir)
+	if err != nil {
+		return err
+	}
+	restore := func() (*core.Engine, error) {
+		snaps := make([]*snap.Snapshot, len(images))
+		for i, img := range images {
+			s, err := snap.Decode(img)
+			if err != nil {
+				return nil, err
+			}
+			snaps[i] = s
+		}
+		return core.NewEngineFromSnapshots(snaps, opts)
+	}
+	e, err := restore()
+	if err != nil {
+		return err
+	}
+	// Merges off: every insert stays in the overlay and in the log, so
+	// the overhead and replay numbers measure the un-merged worst case.
+	if _, err := e.EnableIngest(core.IngestConfig{WAL: ws, MergeBytes: 1 << 30}); err != nil {
+		return err
+	}
+	// ~10% of the dataset streams in as new members (existing geometry,
+	// fresh ids) so the overlay fraction is comparable across presets.
+	n := d.Len() / 10
+	if n < 32 {
+		n = 32
+	}
+	if n > 2048 {
+		n = 2048
+	}
+	const idBase = 1 << 28
+	start := time.Now()
+	for i := 0; i < n; i++ {
+		t := d.Trajs[i%d.Len()]
+		if err := e.Insert(&traj.T{ID: idBase + i, Points: t.Points}); err != nil {
+			return err
+		}
+	}
+	rep.IngestMeanUS = float64(time.Since(start).Microseconds()) / float64(n)
+
+	// The search workload again, now paying the delta scan on every
+	// partition the overlay touched.
+	var lat []time.Duration
+	for _, q := range qs {
+		qStart := time.Now()
+		e.Search(q, DefaultTau, nil)
+		lat = append(lat, time.Since(qStart))
+	}
+	if base := rep.Workloads[0].Latency.MeanMS; base > 0 && len(lat) > 0 {
+		rep.DeltaScanOverheadPct = (summarize(lat).MeanMS - base) / base * 100
+	}
+	if err := e.CloseIngest(); err != nil {
+		return err
+	}
+
+	// Cold start over the same logs: every insert must replay.
+	e2, err := restore()
+	if err != nil {
+		return err
+	}
+	sum, err := e2.EnableIngest(core.IngestConfig{WAL: ws, Replay: true})
+	if err != nil {
+		return err
+	}
+	if sum.Records != n {
+		return fmt.Errorf("replayed %d WAL records, want %d", sum.Records, n)
+	}
+	rep.ReplayMS = float64(sum.Duration.Microseconds()) / 1000
+	return e2.CloseIngest()
 }

@@ -85,6 +85,13 @@ type InjectedFault struct {
 
 func (e *InjectedFault) Error() string { return "snap: injected fault: " + e.Kind }
 
+// Apply rolls the plan's dice for one write over an encoded image. It is
+// exported for sibling storage packages (internal/wal reuses the same
+// fault model on log appends) and the package's own Save path.
+func (p *FaultPlan) Apply(data []byte) (write []byte, crashAfter int, err error) {
+	return p.apply(data)
+}
+
 // apply rolls the plan's dice for one Save over the encoded image. It
 // returns the (possibly mutilated) bytes to write, a crash offset
 // (-1 = no crash), or an immediate injected error.

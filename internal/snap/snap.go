@@ -57,6 +57,12 @@ const (
 	kindMeta  uint32 = 1
 	kindTrajs uint32 = 2
 	kindTrie  uint32 = 3
+	// kindWatermark carries the WAL truncation watermark (u64): every
+	// logged mutation with sequence number <= the watermark is already
+	// folded into this snapshot's trajectories, so recovery replays only
+	// the WAL suffix past it. Additive and optional: snapshots from
+	// before streaming ingest simply have watermark 0.
+	kindWatermark uint32 = 4
 )
 
 // castagnoli is the CRC-32C table (the polynomial with hardware support
@@ -91,6 +97,12 @@ type Snapshot struct {
 	Trajs       []*traj.T
 	// Index is the partition's trie, sharing the Trajs slice.
 	Index *trie.Trie
+	// Watermark is the highest WAL sequence number folded into Trajs
+	// (0 = none): recovery loads the snapshot, then replays only WAL
+	// records with Seq > Watermark. Not part of the content fingerprint —
+	// the same logical content reached via different merge schedules must
+	// still fingerprint-match for dispatch reuse.
+	Watermark uint64
 }
 
 // CorruptError reports a snapshot that failed structural or checksum
@@ -342,13 +354,22 @@ func appendSection(b []byte, kind uint32, payload []byte) []byte {
 func Encode(s *Snapshot) []byte {
 	fp := Fingerprint(s.Opts, s.Trajs)
 	s.Fingerprint = fp
+	nSections := uint32(3)
+	if s.Watermark > 0 {
+		nSections = 4
+	}
 	body := make([]byte, 0, 1024)
 	body = append(body, magic...)
 	body = appendU32(body, Version)
-	body = appendU32(body, 3) // section count
+	body = appendU32(body, nSections)
 	body = appendSection(body, kindMeta, encodeMeta(s, fp))
 	body = appendSection(body, kindTrajs, encodeTrajs(s.Trajs))
 	body = appendSection(body, kindTrie, s.Index.AppendBinary(nil))
+	if s.Watermark > 0 {
+		// Emitted only when set so pre-ingest snapshot images stay
+		// byte-identical to what earlier builds wrote.
+		body = appendSection(body, kindWatermark, appendU64(nil, s.Watermark))
+	}
 
 	out := body
 	out = append(out, sealMagic...)
@@ -439,6 +460,17 @@ func Decode(data []byte) (*Snapshot, error) {
 			}
 			trieSeen = true
 			triePayload = payload
+		case kindWatermark:
+			if s.Watermark != 0 {
+				return nil, corruptf("duplicate watermark section")
+			}
+			if len(payload) != 8 {
+				return nil, corruptf("watermark section is %d bytes, want 8", len(payload))
+			}
+			s.Watermark = binary.LittleEndian.Uint64(payload)
+			if s.Watermark == 0 {
+				return nil, corruptf("watermark section holds zero")
+			}
 		default:
 			// Unknown additive section: checksum verified above, content
 			// ignored by this decoder.

@@ -92,6 +92,36 @@ func TestSnapshotRoundTrip(t *testing.T) {
 	}
 }
 
+func TestSnapshotWatermarkRoundTrip(t *testing.T) {
+	s := testSnapshot(t, 20, 3)
+	base := Encode(s)
+	s.Watermark = 12345
+	data := Encode(s)
+	got, err := Decode(data)
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if got.Watermark != 12345 {
+		t.Fatalf("Watermark = %d, want 12345", got.Watermark)
+	}
+	// The watermark is outside the content fingerprint: merge schedules
+	// differ across replicas but content-equal partitions must still match.
+	if got.Fingerprint != s.Fingerprint {
+		t.Fatal("watermark changed the content fingerprint")
+	}
+	if !bytes.Equal(Encode(got), data) {
+		t.Fatal("re-encoded watermarked snapshot differs")
+	}
+	// Watermark 0 keeps the pre-ingest image: no extra section at all.
+	s.Watermark = 0
+	if !bytes.Equal(Encode(s), base) {
+		t.Fatal("zero watermark altered the snapshot image")
+	}
+	if dec, err := Decode(base); err != nil || dec.Watermark != 0 {
+		t.Fatalf("pre-ingest image: watermark %d err %v", dec.Watermark, err)
+	}
+}
+
 // TestSnapshotEveryBitFlipDetected flips one bit in every byte of the
 // image and requires Decode to fail — no single-bit corruption anywhere
 // (header, sections, footer) may decode successfully or panic.

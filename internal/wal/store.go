@@ -1,0 +1,141 @@
+package wal
+
+import (
+	"fmt"
+	"net/url"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+
+	"dita/internal/snap"
+)
+
+// suffix is the log filename extension; tmpSuffix marks in-progress
+// truncation rewrites, which readers ignore and Scan cleans up.
+const (
+	suffix    = ".wal"
+	tmpSuffix = ".wal.tmp"
+)
+
+// Store manages the per-partition log files of one directory — usually
+// the same directory as the partition snapshots, so a partition's durable
+// pair (snapshot, WAL) travels together.
+type Store struct {
+	dir string
+	// Faults, when non-nil, is installed on every log the store opens.
+	Faults *snap.FaultPlan
+}
+
+// NewStore opens (creating if needed) a log directory.
+func NewStore(dir string) (*Store, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("wal: empty log directory")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("wal: %w", err)
+	}
+	return &Store{dir: dir}, nil
+}
+
+// Dir returns the store's directory.
+func (st *Store) Dir() string { return st.dir }
+
+// Filename returns the file name (not path) a partition log uses. Same
+// escaping contract as snap.Filename.
+func Filename(dataset string, partition int) string {
+	return url.PathEscape(dataset) + "-p" + strconv.Itoa(partition) + suffix
+}
+
+// ParseFilename inverts Filename. ok is false for names this store did
+// not produce (including temp files).
+func ParseFilename(name string) (dataset string, partition int, ok bool) {
+	if strings.HasSuffix(name, tmpSuffix) || !strings.HasSuffix(name, suffix) {
+		return "", 0, false
+	}
+	stem := strings.TrimSuffix(name, suffix)
+	i := strings.LastIndex(stem, "-p")
+	if i < 0 {
+		return "", 0, false
+	}
+	pid, err := strconv.Atoi(stem[i+2:])
+	if err != nil || pid < 0 {
+		return "", 0, false
+	}
+	ds, err := url.PathUnescape(stem[:i])
+	if err != nil {
+		return "", 0, false
+	}
+	return ds, pid, true
+}
+
+// Path returns the full path of a partition's log file.
+func (st *Store) Path(dataset string, partition int) string {
+	return filepath.Join(st.dir, Filename(dataset, partition))
+}
+
+// Open opens (creating if needed) a partition's log and recovers its
+// valid prefix; see Open.
+func (st *Store) Open(dataset string, partition int) (*Log, *ReplayReport, error) {
+	l, rep, err := Open(st.Path(dataset, partition))
+	if err != nil {
+		return nil, nil, err
+	}
+	l.Faults = st.Faults
+	return l, rep, nil
+}
+
+// Remove deletes a partition's log (and any orphaned temp file). Removing
+// a log that does not exist is not an error. Call it whenever the
+// partition's base is discarded or replaced wholesale (Unload, a fresh
+// Load) — a WAL must never outlive the snapshot epoch it extends, or a
+// re-dispatched partition would replay deltas from a previous life.
+func (st *Store) Remove(dataset string, partition int) error {
+	final := st.Path(dataset, partition)
+	os.Remove(final + ".tmp")
+	if err := os.Remove(final); err != nil && !os.IsNotExist(err) {
+		return fmt.Errorf("wal: %w", err)
+	}
+	return nil
+}
+
+// Entry names one log file found by Scan.
+type Entry struct {
+	Path      string
+	Dataset   string
+	Partition int
+}
+
+// Scan lists the directory's log files (sorted by dataset, then
+// partition) and removes orphaned temp files left by crashed truncation
+// rewrites.
+func (st *Store) Scan() ([]Entry, error) {
+	des, err := os.ReadDir(st.dir)
+	if err != nil {
+		return nil, fmt.Errorf("wal: %w", err)
+	}
+	var out []Entry
+	for _, de := range des {
+		if de.IsDir() {
+			continue
+		}
+		name := de.Name()
+		if strings.HasSuffix(name, tmpSuffix) {
+			os.Remove(filepath.Join(st.dir, name))
+			continue
+		}
+		ds, pid, ok := ParseFilename(name)
+		if !ok {
+			continue
+		}
+		out = append(out, Entry{Path: filepath.Join(st.dir, name), Dataset: ds, Partition: pid})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Dataset != out[j].Dataset {
+			return out[i].Dataset < out[j].Dataset
+		}
+		return out[i].Partition < out[j].Partition
+	})
+	return out, nil
+}

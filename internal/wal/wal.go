@@ -1,0 +1,421 @@
+// Package wal is the write-ahead log under DITA's streaming ingest: one
+// append-only file per partition holding the mutations (inserts, deletes)
+// applied since the partition's last sealed snapshot. A partition's
+// durable state is always the pair (sealed snapshot, WAL suffix past the
+// snapshot's watermark); replaying the suffix onto the snapshot
+// reconstructs the partition exactly, so a crash at any instant loses
+// nothing that was acknowledged.
+//
+// Format (all little-endian):
+//
+//	header   8 bytes  magic "DITAWAL1"
+//	record   u32 payload length
+//	         u32 CRC-32C over (u64 record offset ‖ payload)
+//	         payload:
+//	           u64 seq        strictly increasing per log
+//	           u8  op         1 = insert, 2 = delete
+//	           u64 id         trajectory id
+//	           u32 n          point count (0 for deletes)
+//	           n × (f64 x, f64 y)
+//
+// The CRC binds each record to its file offset, so a valid record copied
+// to a different position (disk-level block reshuffling, or a fuzzer
+// splicing real bytes) fails validation instead of replaying a genuine
+// record in the wrong place. Replay accepts the longest valid prefix: the
+// first short, checksum-failing, undecodable, or sequence-regressing
+// record ends the log there and the tail is truncated — a torn tail from
+// a crashed append is expected, not an error. A mangled header is
+// CorruptError: there is no prefix to trust.
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"math"
+	"os"
+	"sync"
+
+	"dita/internal/geom"
+	"dita/internal/snap"
+)
+
+// Op codes. The zero value is invalid on purpose: a zeroed payload must
+// not decode into a plausible record.
+const (
+	OpInsert byte = 1
+	OpDelete byte = 2
+)
+
+const (
+	magic     = "DITAWAL1"
+	headerLen = len(magic)
+	// maxPayload bounds a single record so a mangled length prefix cannot
+	// drive a multi-gigabyte allocation during replay. A trajectory is at
+	// most a few thousand points; 16 MiB is orders of magnitude above any
+	// legitimate record.
+	maxPayload = 16 << 20
+	// recordOverhead is the fixed per-record framing: length + CRC.
+	recordOverhead = 8
+)
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Record is one logged mutation. For OpDelete, Points is empty.
+type Record struct {
+	Seq    uint64
+	Op     byte
+	ID     int
+	Points []geom.Point
+}
+
+// CorruptError reports a log whose header failed validation — unlike a
+// torn tail (silently truncated), a bad header leaves no trustworthy
+// prefix, so the caller must discard the file and rebuild from the
+// snapshot plus re-replication.
+type CorruptError struct {
+	Reason string
+}
+
+func (e *CorruptError) Error() string { return "wal: corrupt log: " + e.Reason }
+
+// IsCorrupt reports whether err marks a structurally invalid log.
+func IsCorrupt(err error) bool {
+	var ce *CorruptError
+	return errors.As(err, &ce)
+}
+
+// Classify maps an Open/Append error to the coarse class skip reports and
+// obs counters use: "corrupt" (structure/checksum), "io" (filesystem or
+// injected fault), or "" for nil.
+func Classify(err error) string {
+	switch {
+	case err == nil:
+		return ""
+	case IsCorrupt(err):
+		return "corrupt"
+	default:
+		return "io"
+	}
+}
+
+func corruptf(format string, args ...any) error {
+	return &CorruptError{Reason: fmt.Sprintf(format, args...)}
+}
+
+// encodePayload serializes one record's payload (everything the CRC
+// covers except the offset binding).
+func encodePayload(r Record) []byte {
+	b := make([]byte, 0, 8+1+8+4+16*len(r.Points))
+	b = binary.LittleEndian.AppendUint64(b, r.Seq)
+	b = append(b, r.Op)
+	b = binary.LittleEndian.AppendUint64(b, uint64(int64(r.ID)))
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(r.Points)))
+	for _, p := range r.Points {
+		b = binary.LittleEndian.AppendUint64(b, math.Float64bits(p.X))
+		b = binary.LittleEndian.AppendUint64(b, math.Float64bits(p.Y))
+	}
+	return b
+}
+
+// decodePayload is the strict inverse: every byte must be accounted for.
+func decodePayload(b []byte) (Record, error) {
+	var r Record
+	if len(b) < 8+1+8+4 {
+		return r, corruptf("payload too short (%d bytes)", len(b))
+	}
+	r.Seq = binary.LittleEndian.Uint64(b)
+	r.Op = b[8]
+	if r.Op != OpInsert && r.Op != OpDelete {
+		return r, corruptf("unknown op %d", r.Op)
+	}
+	r.ID = int(int64(binary.LittleEndian.Uint64(b[9:])))
+	n := int(binary.LittleEndian.Uint32(b[17:]))
+	if rest := len(b) - (8 + 1 + 8 + 4); rest != 16*n {
+		return r, corruptf("point count %d disagrees with payload size", n)
+	}
+	if n > 0 {
+		r.Points = make([]geom.Point, n)
+		off := 21
+		for i := range r.Points {
+			r.Points[i].X = math.Float64frombits(binary.LittleEndian.Uint64(b[off:]))
+			r.Points[i].Y = math.Float64frombits(binary.LittleEndian.Uint64(b[off+8:]))
+			off += 16
+		}
+	}
+	return r, nil
+}
+
+// recordCRC binds payload bytes to the file offset of the record's
+// length prefix.
+func recordCRC(off int64, payload []byte) uint32 {
+	var ob [8]byte
+	binary.LittleEndian.PutUint64(ob[:], uint64(off))
+	crc := crc32.Checksum(ob[:], castagnoli)
+	return crc32.Update(crc, castagnoli, payload)
+}
+
+// appendRecord frames one record at offset off.
+func appendRecord(b []byte, off int64, r Record) []byte {
+	payload := encodePayload(r)
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(payload)))
+	b = binary.LittleEndian.AppendUint32(b, recordCRC(off, payload))
+	return append(b, payload...)
+}
+
+// scan walks data (a full log image, header included) and returns the
+// longest valid record prefix plus the byte offset just past it. It never
+// fails: anything after the first invalid record is a tail to truncate.
+func scan(data []byte) (recs []Record, valid int64) {
+	off := int64(headerLen)
+	lastSeq := uint64(0)
+	for {
+		rest := data[off:]
+		if len(rest) < recordOverhead {
+			return recs, off
+		}
+		n := int(binary.LittleEndian.Uint32(rest))
+		if n > maxPayload || recordOverhead+n > len(rest) {
+			return recs, off
+		}
+		crc := binary.LittleEndian.Uint32(rest[4:])
+		payload := rest[recordOverhead : recordOverhead+n]
+		if recordCRC(off, payload) != crc {
+			return recs, off
+		}
+		r, err := decodePayload(payload)
+		if err != nil || r.Seq <= lastSeq {
+			// An undecodable payload with a passing CRC, or a sequence
+			// regression, can only come from corruption the CRC happened
+			// to survive (or a crafted file); the prefix before it is
+			// still exact, so stop here like any other torn tail.
+			return recs, off
+		}
+		lastSeq = r.Seq
+		recs = append(recs, r)
+		off += int64(recordOverhead + n)
+	}
+}
+
+// ReplayReport accounts one Open: the valid records recovered and any
+// invalid tail dropped.
+type ReplayReport struct {
+	// Records is the longest valid prefix of the log, in append order.
+	Records []Record
+	// TruncatedBytes is how much invalid tail Open cut off (0 = clean).
+	TruncatedBytes int64
+}
+
+// Log is one partition's open write-ahead log. All methods are safe for
+// concurrent use; Append is durable (fsync) before it returns.
+type Log struct {
+	mu   sync.Mutex
+	path string
+	f    *os.File
+	size int64 // current valid file size; records append here
+	last uint64
+
+	// Faults, when non-nil, injects seeded append failures (clean errors,
+	// mid-write crashes leaving a torn tail) — the chaos harness for WAL
+	// I/O, sharing snap's fault model. Never set it in production.
+	Faults *snap.FaultPlan
+}
+
+// Open opens (creating if needed) the log at path, validates it, and
+// recovers the longest valid record prefix. A torn or bit-rotted tail is
+// truncated on the spot — the file on disk is valid after a successful
+// Open. A mangled header is a CorruptError; the caller should delete the
+// file and rebuild from its snapshot.
+func Open(path string) (*Log, *ReplayReport, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, nil, fmt.Errorf("wal: %w", err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		f.Close()
+		return nil, nil, fmt.Errorf("wal: %w", err)
+	}
+	l := &Log{path: path, f: f}
+	rep := &ReplayReport{}
+	if len(data) == 0 {
+		// Fresh log: write the header now so every later append is pure
+		// record bytes and a crash can only tear a record, never the
+		// header.
+		if _, err := f.Write([]byte(magic)); err != nil {
+			f.Close()
+			return nil, nil, fmt.Errorf("wal: %w", err)
+		}
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return nil, nil, fmt.Errorf("wal: %w", err)
+		}
+		l.size = int64(headerLen)
+		return l, rep, nil
+	}
+	if len(data) < headerLen || string(data[:headerLen]) != magic {
+		f.Close()
+		return nil, nil, corruptf("bad magic in %s", path)
+	}
+	recs, valid := scan(data)
+	if valid < int64(len(data)) {
+		if err := f.Truncate(valid); err != nil {
+			f.Close()
+			return nil, nil, fmt.Errorf("wal: truncating torn tail: %w", err)
+		}
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return nil, nil, fmt.Errorf("wal: %w", err)
+		}
+		rep.TruncatedBytes = int64(len(data)) - valid
+	}
+	rep.Records = recs
+	l.size = valid
+	if len(recs) > 0 {
+		l.last = recs[len(recs)-1].Seq
+	}
+	return l, rep, nil
+}
+
+// LastSeq returns the sequence number of the last durable record (0 when
+// the log is empty).
+func (l *Log) LastSeq() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.last
+}
+
+// Size returns the log's current on-disk size in bytes.
+func (l *Log) Size() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.size
+}
+
+// Append frames, writes, and fsyncs the records, in order, as one write.
+// Sequence numbers must be strictly increasing across the log's life;
+// gaps are fine (truncation watermarks and coordinator-side assignment
+// both skip numbers). On any error nothing is considered appended: the
+// file is restored to its prior valid length (or left with a torn tail an
+// injected crash planted, which the next Open truncates), and the caller
+// must treat the mutation as not durable.
+func (l *Log) Append(recs ...Record) error {
+	if len(recs) == 0 {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	var buf []byte
+	off := l.size
+	lastSeq := l.last
+	for _, r := range recs {
+		if r.Seq <= lastSeq {
+			return corruptf("append seq %d not after %d", r.Seq, lastSeq)
+		}
+		lastSeq = r.Seq
+		next := appendRecord(buf, off, r)
+		off += int64(len(next) - len(buf))
+		buf = next
+	}
+	write := buf
+	crashAfter := -1
+	if l.Faults != nil {
+		var err error
+		write, crashAfter, err = l.Faults.Apply(buf)
+		if err != nil {
+			return err
+		}
+	}
+	if crashAfter >= 0 {
+		// Injected mid-append crash: a prefix lands on disk with no fsync
+		// and the "process dies" — the torn tail the next Open truncates.
+		// The in-memory log keeps its pre-append size so nothing built on
+		// this "process" trusts the record.
+		if crashAfter > len(write) {
+			crashAfter = len(write)
+		}
+		l.f.WriteAt(write[:crashAfter], l.size)
+		return &snap.InjectedFault{Kind: "crash"}
+	}
+	if _, err := l.f.WriteAt(write, l.size); err != nil {
+		l.f.Truncate(l.size)
+		return fmt.Errorf("wal: %w", err)
+	}
+	if err := l.f.Sync(); err != nil {
+		l.f.Truncate(l.size)
+		return fmt.Errorf("wal: %w", err)
+	}
+	// A fault plan may have torn or bit-flipped the buffer (write !=
+	// buf); the file then holds a tail the next Open will cut. The
+	// in-memory view still advances — the fault models silent media
+	// corruption after a successful syscall, which only a replay sees.
+	l.size += int64(len(buf))
+	l.last = lastSeq
+	return nil
+}
+
+// TruncateThrough drops every record with Seq <= watermark by rewriting
+// the suffix into a fresh file and renaming it into place (temp → fsync →
+// rename), the same discipline snapshots use. A crash mid-truncate leaves
+// either the old complete log or the new one — both replay correctly
+// against their snapshot, the old one merely redundantly (replay onto a
+// merged snapshot skips records at or below its watermark).
+func (l *Log) TruncateThrough(watermark uint64) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	data, err := os.ReadFile(l.path)
+	if err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	if int64(len(data)) > l.size {
+		data = data[:l.size]
+	}
+	recs, _ := scan(data)
+	img := make([]byte, 0, headerLen)
+	img = append(img, magic...)
+	last := uint64(0)
+	for _, r := range recs {
+		if r.Seq <= watermark {
+			continue
+		}
+		img = appendRecord(img, int64(len(img)), r)
+		last = r.Seq
+	}
+	tmp := l.path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	if _, err := f.Write(img); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("wal: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("wal: %w", err)
+	}
+	if err := os.Rename(tmp, l.path); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("wal: %w", err)
+	}
+	// The old handle now points at an unlinked inode; move to the new one.
+	old := l.f
+	l.f = f
+	old.Close()
+	l.size = int64(len(img))
+	if last > l.last {
+		l.last = last
+	}
+	return nil
+}
+
+// Close closes the underlying file. The log is unusable afterwards.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.f.Close()
+}

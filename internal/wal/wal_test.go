@@ -1,0 +1,326 @@
+package wal
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"dita/internal/geom"
+	"dita/internal/snap"
+)
+
+func rec(seq uint64, op byte, id int, pts ...geom.Point) Record {
+	return Record{Seq: seq, Op: op, ID: id, Points: pts}
+}
+
+func mustOpen(t *testing.T, path string) (*Log, *ReplayReport) {
+	t.Helper()
+	l, rep, err := Open(path)
+	if err != nil {
+		t.Fatalf("Open(%s): %v", path, err)
+	}
+	return l, rep
+}
+
+func sampleRecords() []Record {
+	return []Record{
+		rec(1, OpInsert, 100, geom.Point{X: 1, Y: 2}, geom.Point{X: 3, Y: 4}),
+		rec(2, OpInsert, 101, geom.Point{X: 5, Y: 6}),
+		rec(3, OpDelete, 100),
+		rec(7, OpInsert, 102, geom.Point{X: -1, Y: -2}, geom.Point{X: 0, Y: 0}, geom.Point{X: 9, Y: 9}),
+		rec(8, OpDelete, 101),
+	}
+}
+
+func TestWALRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "p.wal")
+	l, rep := mustOpen(t, path)
+	if len(rep.Records) != 0 || rep.TruncatedBytes != 0 {
+		t.Fatalf("fresh log not empty: %+v", rep)
+	}
+	want := sampleRecords()
+	// Mixed batch sizes: single appends and a multi-record batch.
+	if err := l.Append(want[0]); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append(want[1], want[2]); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append(want[3], want[4]); err != nil {
+		t.Fatal(err)
+	}
+	if got := l.LastSeq(); got != 8 {
+		t.Fatalf("LastSeq = %d, want 8", got)
+	}
+	l.Close()
+
+	l2, rep2 := mustOpen(t, path)
+	defer l2.Close()
+	if rep2.TruncatedBytes != 0 {
+		t.Fatalf("clean log reported %d truncated bytes", rep2.TruncatedBytes)
+	}
+	if !reflect.DeepEqual(rep2.Records, want) {
+		t.Fatalf("replay mismatch:\n got %+v\nwant %+v", rep2.Records, want)
+	}
+	if got := l2.LastSeq(); got != 8 {
+		t.Fatalf("reopened LastSeq = %d, want 8", got)
+	}
+	// Appends continue past the replayed sequence.
+	if err := l2.Append(rec(9, OpInsert, 103, geom.Point{X: 1, Y: 1})); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWALRejectsNonIncreasingSeq(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "p.wal")
+	l, _ := mustOpen(t, path)
+	defer l.Close()
+	if err := l.Append(rec(5, OpInsert, 1, geom.Point{})); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append(rec(5, OpInsert, 2, geom.Point{})); err == nil {
+		t.Fatal("append with repeated seq succeeded")
+	}
+	if err := l.Append(rec(4, OpInsert, 2, geom.Point{})); err == nil {
+		t.Fatal("append with regressing seq succeeded")
+	}
+	// Gaps are fine.
+	if err := l.Append(rec(100, OpInsert, 2, geom.Point{})); err != nil {
+		t.Fatalf("gapped seq rejected: %v", err)
+	}
+}
+
+func TestWALTornTailTruncated(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "p.wal")
+	l, _ := mustOpen(t, path)
+	want := sampleRecords()
+	if err := l.Append(want...); err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Tear mid-way through the last record.
+	torn := data[:len(data)-11]
+	if err := os.WriteFile(path, torn, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	l2, rep := mustOpen(t, path)
+	if rep.TruncatedBytes == 0 {
+		t.Fatal("torn tail not reported")
+	}
+	if !reflect.DeepEqual(rep.Records, want[:len(want)-1]) {
+		t.Fatalf("torn replay is not the strict prefix: %+v", rep.Records)
+	}
+	// The file was repaired in place: appends and clean reopens work.
+	if err := l2.Append(rec(50, OpInsert, 9, geom.Point{X: 1, Y: 2})); err != nil {
+		t.Fatal(err)
+	}
+	l2.Close()
+	_, rep3 := mustOpen(t, path)
+	if rep3.TruncatedBytes != 0 {
+		t.Fatal("repaired log still reports truncation")
+	}
+	if n := len(rep3.Records); n != len(want)-1+1 {
+		t.Fatalf("repaired log has %d records", n)
+	}
+}
+
+func TestWALBitFlipStopsReplayAtFlip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "p.wal")
+	l, _ := mustOpen(t, path)
+	want := sampleRecords()
+	if err := l.Append(want...); err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+	data, _ := os.ReadFile(path)
+	// Flip a bit inside the second record's payload: replay must stop
+	// after record one — never skip ahead to the still-intact tail.
+	size0 := recordOverhead + len(encodePayload(want[0]))
+	flipAt := headerLen + size0 + recordOverhead + 3
+	data[flipAt] ^= 0x10
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, rep := mustOpen(t, path)
+	if !reflect.DeepEqual(rep.Records, want[:1]) {
+		t.Fatalf("flip replay = %+v, want just record 1", rep.Records)
+	}
+	if rep.TruncatedBytes == 0 {
+		t.Fatal("flip did not report dropped bytes")
+	}
+}
+
+func TestWALBadHeaderIsCorrupt(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "p.wal")
+	if err := os.WriteFile(path, []byte("NOTAWAL!xxxx"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, _, err := Open(path)
+	if err == nil {
+		t.Fatal("bad header accepted")
+	}
+	if !IsCorrupt(err) || Classify(err) != "corrupt" {
+		t.Fatalf("bad header classified %q (%v), want corrupt", Classify(err), err)
+	}
+}
+
+func TestWALRelocatedRecordRejected(t *testing.T) {
+	// A genuine record's bytes copied over another offset must not
+	// validate: the CRC binds records to their position.
+	path := filepath.Join(t.TempDir(), "p.wal")
+	l, _ := mustOpen(t, path)
+	want := sampleRecords()[:3]
+	if err := l.Append(want...); err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+	data, _ := os.ReadFile(path)
+	s0 := recordOverhead + len(encodePayload(want[0]))
+	s1 := recordOverhead + len(encodePayload(want[1]))
+	s2 := recordOverhead + len(encodePayload(want[2]))
+	if s1 != s2 {
+		t.Skip("need equal-size records for the splice")
+	}
+	r1 := headerLen + s0
+	r2 := r1 + s1
+	copy(data[r1:r1+s1], append([]byte(nil), data[r2:r2+s2]...))
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, rep := mustOpen(t, path)
+	if !reflect.DeepEqual(rep.Records, want[:1]) {
+		t.Fatalf("relocated record replayed: %+v", rep.Records)
+	}
+}
+
+func TestWALTruncateThrough(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "p.wal")
+	l, _ := mustOpen(t, path)
+	want := sampleRecords()
+	if err := l.Append(want...); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.TruncateThrough(3); err != nil {
+		t.Fatal(err)
+	}
+	if got := l.LastSeq(); got != 8 {
+		t.Fatalf("LastSeq after truncate = %d, want 8", got)
+	}
+	// Appends keep working on the rewritten file.
+	extra := rec(9, OpInsert, 200, geom.Point{X: 7, Y: 7})
+	if err := l.Append(extra); err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+	_, rep := mustOpen(t, path)
+	wantAfter := append(append([]Record{}, want[3:]...), extra)
+	if !reflect.DeepEqual(rep.Records, wantAfter) {
+		t.Fatalf("post-truncate replay:\n got %+v\nwant %+v", rep.Records, wantAfter)
+	}
+	// Truncating through everything empties the log.
+	l2, _ := mustOpen(t, path)
+	if err := l2.TruncateThrough(1000); err != nil {
+		t.Fatal(err)
+	}
+	l2.Close()
+	_, rep2 := mustOpen(t, path)
+	if len(rep2.Records) != 0 {
+		t.Fatalf("truncate-all left %d records", len(rep2.Records))
+	}
+}
+
+func TestWALInjectedCrashLeavesValidPrefix(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "p.wal")
+	l, _ := mustOpen(t, path)
+	want := sampleRecords()
+	if err := l.Append(want[0], want[1]); err != nil {
+		t.Fatal(err)
+	}
+	l.Faults = &snap.FaultPlan{Seed: 3, CrashRate: 1}
+	err := l.Append(want[2])
+	var inj *snap.InjectedFault
+	if !errors.As(err, &inj) || inj.Kind != "crash" {
+		t.Fatalf("crash-injected append returned %v", err)
+	}
+	l.Close()
+	_, rep := mustOpen(t, path)
+	if len(rep.Records) > 2 {
+		t.Fatalf("crashed append became durable: %+v", rep.Records)
+	}
+	if !reflect.DeepEqual(rep.Records, want[:2]) {
+		t.Fatalf("crash damaged the durable prefix: %+v", rep.Records)
+	}
+}
+
+func TestWALInjectedFailIsClean(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "p.wal")
+	l, _ := mustOpen(t, path)
+	defer l.Close()
+	l.Faults = &snap.FaultPlan{Seed: 1, FailRate: 1}
+	err := l.Append(rec(1, OpInsert, 1, geom.Point{}))
+	var inj *snap.InjectedFault
+	if !errors.As(err, &inj) || inj.Kind != "fail" {
+		t.Fatalf("fail-injected append returned %v", err)
+	}
+	if Classify(err) != "io" {
+		t.Fatalf("injected fail classified %q, want io", Classify(err))
+	}
+	l.Faults = nil
+	if err := l.Append(rec(1, OpInsert, 1, geom.Point{})); err != nil {
+		t.Fatalf("append after clean failure: %v", err)
+	}
+}
+
+func TestWALStore(t *testing.T) {
+	dir := t.TempDir()
+	st, err := NewStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	name := Filename("trips/v1", 3)
+	ds, pid, ok := ParseFilename(name)
+	if !ok || ds != "trips/v1" || pid != 3 {
+		t.Fatalf("ParseFilename(%q) = %q, %d, %v", name, ds, pid, ok)
+	}
+	if _, _, ok := ParseFilename("foo.wal.tmp"); ok {
+		t.Fatal("temp file parsed as a log")
+	}
+	l, _, err := st.Open("trips", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append(rec(1, OpInsert, 1, geom.Point{X: 1, Y: 1})); err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+	// An orphan temp file is cleaned by Scan and never listed.
+	if err := os.WriteFile(filepath.Join(dir, "trips-p9.wal.tmp"), []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	ents, err := st.Scan()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != 1 || ents[0].Dataset != "trips" || ents[0].Partition != 0 {
+		t.Fatalf("Scan = %+v", ents)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "trips-p9.wal.tmp")); !os.IsNotExist(err) {
+		t.Fatal("orphan temp file survived Scan")
+	}
+	if err := st.Remove("trips", 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Remove("trips", 0); err != nil {
+		t.Fatal("removing a missing log errored:", err)
+	}
+	ents, _ = st.Scan()
+	if len(ents) != 0 {
+		t.Fatalf("Scan after Remove = %+v", ents)
+	}
+}
