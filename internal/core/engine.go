@@ -83,6 +83,13 @@ type Partition struct {
 	baseIdx    map[int]int
 	watermark  uint64
 	wlog       *wal.Log
+
+	// imu serializes this partition's WAL appends with their in-memory
+	// application, so the fsync can run outside Engine.mu (queries and
+	// other partitions' mutations proceed during the disk wait) while the
+	// log's record order still equals the apply order. Lock order: imu
+	// before Engine.mu, never the reverse.
+	imu sync.Mutex
 }
 
 // Bytes returns the approximate wire size of the partition's trajectory

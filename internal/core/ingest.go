@@ -150,7 +150,10 @@ type locEntry struct {
 type ingestState struct {
 	cfg IngestConfig
 	loc map[int]locEntry // trajectory id -> current version
-	seq uint64           // last durably assigned WAL sequence number
+	// seq is the last assigned WAL sequence number. A failed append burns
+	// its number (a retry gets a fresh, higher one), so per-log sequences
+	// may gap but never regress or reorder.
+	seq uint64
 }
 
 // IngestEnabled reports whether the engine accepts mutations.
@@ -171,7 +174,7 @@ func (e *Engine) DeltaBytes() int {
 	return total
 }
 
-// LastSeq returns the last durably assigned WAL sequence number.
+// LastSeq returns the last assigned WAL sequence number.
 func (e *Engine) LastSeq() uint64 {
 	e.mu.RLock()
 	defer e.mu.RUnlock()
@@ -272,6 +275,14 @@ func (e *Engine) openLogs(st *ingestState, cfg IngestConfig, sum *ReplaySummary)
 		if n := l.LastSeq(); n > st.seq {
 			st.seq = n
 		}
+		// A merge truncates the log through its snapshot's watermark, so
+		// after a clean merge the log is empty and LastSeq alone would
+		// restart the counter below numbers already burned. Fresh seqs must
+		// exceed every watermark, or the next replay's watermark skip would
+		// silently drop acked writes.
+		if p.watermark > st.seq {
+			st.seq = p.watermark
+		}
 		if !cfg.Replay {
 			continue
 		}
@@ -299,8 +310,9 @@ func (e *Engine) openLogs(st *ingestState, cfg IngestConfig, sum *ReplaySummary)
 
 // Insert adds (or, for an existing id, replaces) a trajectory. The
 // record is durably appended to the owning partition's WAL before the
-// in-memory overlay changes; an append error leaves the engine exactly
-// as it was. An upsert stays in the partition that already holds the id
+// in-memory overlay changes; an append error leaves the visible state
+// exactly as it was (see unreserveSeq for the sequence number). An
+// upsert stays in the partition that already holds the id
 // — the partition's endpoint MBRs are extended to keep global pruning
 // sound — so the id's whole history lives in one log. New ids are routed
 // to the partition whose endpoint MBRs are nearest the trajectory's
@@ -309,30 +321,36 @@ func (e *Engine) Insert(t *traj.T) error {
 	if err := t.Validate(); err != nil {
 		return fmt.Errorf("core: insert: %w", err)
 	}
-	e.mu.Lock()
-	st := e.ing
-	if st == nil {
-		e.mu.Unlock()
-		return fmt.Errorf("core: insert: ingest not enabled")
+	st, p, err := e.lockMutationTarget("insert", func(st *ingestState) *Partition {
+		if le, ok := st.loc[t.ID]; ok {
+			return e.parts[le.pid]
+		}
+		return e.routePartition(t)
+	})
+	if err != nil {
+		return err
 	}
-	var p *Partition
-	if le, ok := st.loc[t.ID]; ok {
-		p = e.parts[le.pid]
-	} else {
-		p = e.routePartition(t)
-	}
+	// Holding p.imu and e.mu.
 	if st.cfg.MaxDeltaBytes > 0 && p.overlayBytes() >= st.cfg.MaxDeltaBytes {
 		e.mu.Unlock()
+		p.imu.Unlock()
 		return fmt.Errorf("core: insert: partition %d: %w", p.ID, ErrDeltaBacklog)
 	}
 	seq := st.seq + 1
-	if p.wlog != nil {
-		if err := p.wlog.Append(wal.Record{Seq: seq, Op: wal.OpInsert, ID: t.ID, Points: t.Points}); err != nil {
-			e.mu.Unlock()
+	st.seq = seq
+	wlog := p.wlog
+	e.mu.Unlock()
+	// The fsync runs off the engine lock: queries and mutations on other
+	// partitions proceed during the disk wait; p.imu keeps this
+	// partition's append order equal to its seq order.
+	if wlog != nil {
+		if err := wlog.Append(wal.Record{Seq: seq, Op: wal.OpInsert, ID: t.ID, Points: t.Points}); err != nil {
+			e.unreserveSeq(st, seq)
+			p.imu.Unlock()
 			return fmt.Errorf("core: insert: wal: %w", err)
 		}
 	}
-	st.seq = seq
+	e.mu.Lock()
 	e.applyInsertLocal(st, p, t)
 	if nf, nl := p.MBRf.Extend(t.First()), p.MBRl.Extend(t.Last()); nf != p.MBRf || nl != p.MBRl {
 		p.MBRf, p.MBRl = nf, nl
@@ -345,6 +363,7 @@ func (e *Engine) Insert(t *traj.T) error {
 	mergeNow := st.cfg.AutoMerge && p.frozen == nil && p.delta.Bytes >= st.cfg.MergeBytes
 	pid := p.ID
 	e.mu.Unlock()
+	p.imu.Unlock()
 	if mergeNow {
 		if _, err := e.MergePartition(pid); err != nil {
 			return fmt.Errorf("core: insert: merge partition %d: %w", pid, err)
@@ -357,30 +376,86 @@ func (e *Engine) Insert(t *traj.T) error {
 // Insert, the WAL record is durable before memory changes; deleting an
 // unknown id is a no-op and appends nothing.
 func (e *Engine) Delete(id int) (bool, error) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	st := e.ing
-	if st == nil {
-		return false, fmt.Errorf("core: delete: ingest not enabled")
+	var missing bool
+	st, p, err := e.lockMutationTarget("delete", func(st *ingestState) *Partition {
+		le, ok := st.loc[id]
+		if !ok {
+			missing = true
+			return nil
+		}
+		return e.parts[le.pid]
+	})
+	if err != nil {
+		return false, err
 	}
-	le, ok := st.loc[id]
-	if !ok {
+	if missing {
 		return false, nil
 	}
-	p := e.parts[le.pid]
 	seq := st.seq + 1
-	if p.wlog != nil {
-		if err := p.wlog.Append(wal.Record{Seq: seq, Op: wal.OpDelete, ID: id}); err != nil {
+	st.seq = seq
+	wlog := p.wlog
+	e.mu.Unlock()
+	if wlog != nil {
+		if err := wlog.Append(wal.Record{Seq: seq, Op: wal.OpDelete, ID: id}); err != nil {
+			e.unreserveSeq(st, seq)
+			p.imu.Unlock()
 			return false, fmt.Errorf("core: delete: wal: %w", err)
 		}
 	}
-	st.seq = seq
+	e.mu.Lock()
 	e.applyDeleteLocal(st, p, id)
 	if e.met != nil {
 		e.met.deletes.Inc()
 		e.met.setDeltaBytes(e.overlayBytesLocked())
 	}
+	e.mu.Unlock()
+	p.imu.Unlock()
 	return true, nil
+}
+
+// unreserveSeq returns a reserved sequence number after a failed append.
+// When nothing was reserved past it the counter rolls back (a sequential
+// caller observes no state change at all); otherwise the number is
+// burned — gaps in a log are fine, regressions and reorders are not.
+// Caller still holds the partition's imu, so the number cannot race its
+// own partition's next append.
+func (e *Engine) unreserveSeq(st *ingestState, seq uint64) {
+	e.mu.Lock()
+	if st.seq == seq {
+		st.seq = seq - 1
+	}
+	e.mu.Unlock()
+}
+
+// lockMutationTarget resolves the partition a mutation lands in and takes
+// the ingest locks in order (the partition's imu, then e.mu): route under
+// the read lock, lock the partition, then re-check the route under the
+// write lock — a concurrent mutation may have moved the id while we
+// waited on imu, and appending to the wrong partition's log would fork
+// the id's history across logs. route returns nil to abort (id unknown
+// to Delete); the locks are then released and (nil, nil, nil) returned.
+// On success the caller holds p.imu and e.mu and must release both.
+func (e *Engine) lockMutationTarget(op string, route func(*ingestState) *Partition) (*ingestState, *Partition, error) {
+	for {
+		e.mu.RLock()
+		st := e.ing
+		if st == nil {
+			e.mu.RUnlock()
+			return nil, nil, fmt.Errorf("core: %s: ingest not enabled", op)
+		}
+		p := route(st)
+		e.mu.RUnlock()
+		if p == nil {
+			return nil, nil, nil
+		}
+		p.imu.Lock()
+		e.mu.Lock()
+		if again := route(st); again == p {
+			return st, p, nil
+		}
+		e.mu.Unlock()
+		p.imu.Unlock()
+	}
 }
 
 // routePartition picks the partition for a brand-new trajectory: the one
@@ -516,29 +591,37 @@ func (p *Partition) visibleTrajs() []*traj.T {
 // suffix the new snapshot already contains, which the watermark skip
 // makes idempotent.
 func (e *Engine) MergePartition(pid int) (bool, error) {
-	e.mu.Lock()
+	e.mu.RLock()
 	st := e.ing
 	if st == nil {
-		e.mu.Unlock()
+		e.mu.RUnlock()
 		return false, fmt.Errorf("core: merge: ingest not enabled")
 	}
 	if pid < 0 || pid >= len(e.parts) {
-		e.mu.Unlock()
+		e.mu.RUnlock()
 		return false, fmt.Errorf("core: merge: no partition %d", pid)
 	}
 	p := e.parts[pid]
+	e.mu.RUnlock()
+	// Rotation holds the partition's ingest lock (imu before e.mu, the
+	// mutation order) so no append is in flight: every record in the log
+	// is applied, and every applied record is in the log.
+	p.imu.Lock()
+	e.mu.Lock()
 	if p.frozen != nil {
 		e.mu.Unlock()
+		p.imu.Unlock()
 		return false, nil // merge already in flight
 	}
 	if len(p.delta.Live) == 0 && len(p.tomb) == 0 {
 		e.mu.Unlock()
+		p.imu.Unlock()
 		return false, nil
 	}
 	// Rotation: the live delta freezes, mutations start a new delta, and
 	// the current masks become the fold set. A watermark taken from the
-	// partition's log (all appended records are applied, we hold the
-	// lock) marks exactly what the fold will contain.
+	// partition's log (quiesced by imu) marks exactly what the fold will
+	// contain.
 	p.frozen, p.delta = p.delta, &Delta{}
 	p.frozenTomb, p.tomb = p.tomb, make(map[int]bool)
 	watermark := p.watermark
@@ -551,6 +634,7 @@ func (e *Engine) MergePartition(pid int) (bool, error) {
 	}
 	base, frozen, fold := p.Trajs, p.frozen, p.frozenTomb
 	e.mu.Unlock()
+	p.imu.Unlock()
 
 	if mergeFoldHook != nil {
 		mergeFoldHook(e, pid)

@@ -484,6 +484,86 @@ func TestIngestWALRecovery(t *testing.T) {
 	checkVisible(t, cold2, want, queries, "recovered-twice")
 }
 
+// TestIngestSeqResumesPastWatermark: after a merge truncates every log
+// through its snapshot watermark, a cold start finds empty WALs — the
+// sequence counter must be seeded from the watermarks, not just the
+// logs' last records, or fresh mutations would reuse burned numbers and
+// the NEXT restart's watermark skip would silently drop them (acked
+// writes lost).
+func TestIngestSeqResumesPastWatermark(t *testing.T) {
+	dir := t.TempDir()
+	snapStore, err := snap.NewStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	walStore, err := wal.NewStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := smallDataset(200, 91)
+	e, err := NewEngine(d, smallOpts(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sealAll(t, e, snapStore)
+	if _, err := e.EnableIngest(IngestConfig{WAL: walStore, Snap: snapStore}); err != nil {
+		t.Fatal(err)
+	}
+	want := map[int]*traj.T{}
+	for _, tr := range d.Trajs {
+		want[tr.ID] = tr
+	}
+	// One delete per partition, so after MergeAll every partition's
+	// snapshot watermark is positive and every log is truncated empty.
+	for _, p := range e.Partitions() {
+		id := p.Trajs[0].ID
+		if ok, err := e.Delete(id); err != nil || !ok {
+			t.Fatalf("delete %d: ok=%v err=%v", id, ok, err)
+		}
+		delete(want, id)
+	}
+	if err := e.MergeAll(); err != nil {
+		t.Fatal(err)
+	}
+	liveSeq := e.LastSeq()
+	if liveSeq == 0 {
+		t.Fatal("no sequence numbers assigned")
+	}
+	if err := e.CloseIngest(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Cold start over (merged snapshots, empty logs): nothing to replay,
+	// but the counter must resume past every snapshot's watermark.
+	cold, sum := coldStart(t, snapStore, walStore, smallOpts(4))
+	if sum.Records != 0 {
+		t.Fatalf("replayed %d records from truncated logs", sum.Records)
+	}
+	if cold.LastSeq() < liveSeq {
+		t.Fatalf("sequence counter restarted at %d, below the snapshot watermarks (max %d)",
+			cold.LastSeq(), liveSeq)
+	}
+
+	// The write that the bug would lose: its seq must exceed the target
+	// partition's watermark, so the next replay applies it.
+	tr := mutPool(1, 92)[0]
+	if err := cold.Insert(tr); err != nil {
+		t.Fatal(err)
+	}
+	want[tr.ID] = tr
+	if cold.LastSeq() <= liveSeq {
+		t.Fatal("post-recovery insert did not advance past the watermarks")
+	}
+	if err := cold.CloseIngest(); err != nil {
+		t.Fatal(err)
+	}
+	cold2, sum2 := coldStart(t, snapStore, walStore, smallOpts(4))
+	if sum2.Records != 1 {
+		t.Fatalf("second recovery replayed %d records, want the 1 post-merge insert", sum2.Records)
+	}
+	checkVisible(t, cold2, want, gen.Queries(d, 4, 93), "recovered-past-watermark")
+}
+
 // TestIngestTornTail: a torn final record (partial write at the moment of
 // a crash) is truncated on recovery — the log's valid prefix replays, the
 // torn mutation is lost (it was never acked durable), and nothing else is

@@ -162,6 +162,14 @@ type dispatchedDataset struct {
 	nextSeq  []uint64
 	netDelta int
 	mutated  bool
+
+	// pmu[pid] serializes writes to one partition end to end: held from
+	// sequence reservation through the replica fan-out and the post-ack
+	// bookkeeping. Without it two writes could reserve ordered numbers
+	// yet reach the workers out of order, and the workers' monotone
+	// dedupe floor would silently drop the lower-seq (acked!) write.
+	// Taken before mu, never while holding it.
+	pmu []sync.Mutex
 }
 
 // partBounds is one partition's global-index entry as captured by
@@ -528,6 +536,7 @@ func (c *Coordinator) DispatchStats(name string, d *traj.Dataset) (*DispatchRepo
 		}
 	}
 	dd.nextSeq = seqFloor
+	dd.pmu = make([]sync.Mutex, len(dd.parts))
 	rebuildTreesLocked(dd)
 	c.mu.Lock()
 	c.datasets[name] = dd

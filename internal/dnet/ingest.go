@@ -191,9 +191,13 @@ func (p *workerPartition) applyLocked(r WireRecord) {
 // strictly before the in-memory apply, so an acked batch is durable at
 // every instant afterwards. Records at or below the partition's dedupe
 // floor are skipped — a retransmission of an acked batch is a cheap
-// no-op, which is what makes rpc-layer retries safe. A delta at the
-// backpressure bound rejects the whole batch with the overloaded error
-// and kicks a background merge so a later retry finds room.
+// no-op, which is what makes rpc-layer retries safe. The floor is sound
+// only because the coordinator serializes a partition's writes end to
+// end (dispatchedDataset.pmu): first delivery is always in seq order, so
+// anything at or below the floor is a retransmission, never a fresh
+// write that lost a race. A delta at the backpressure bound rejects the
+// whole batch with the overloaded error and kicks a background merge so
+// a later retry finds room.
 func (s *workerService) Ingest(args *IngestArgs, reply *IngestReply) (err error) {
 	if !s.w.beginRPC() {
 		return errDraining
@@ -354,7 +358,11 @@ func (w *Worker) mergePartition(dataset string, pid int, p *workerPartition) boo
 		return true
 	}
 	// The partition may have been unloaded while we folded; sealing now
-	// would resurrect a snapshot the coordinator rolled back.
+	// would resurrect a snapshot the coordinator rolled back. The check
+	// alone is racy — Unload can run right after it — but Unload (and the
+	// epoch resets in Load/Replicate) waits on this partition's mergeMu
+	// before touching the durable pair, so a teardown that loses the race
+	// deletes whatever this merge writes once it finishes.
 	w.mu.RLock()
 	installed := w.parts[partKey{dataset, pid}] == p
 	w.mu.RUnlock()
@@ -440,15 +448,18 @@ func (c *Coordinator) IngestContext(ctx context.Context, name string, t *traj.T)
 	if !known {
 		pid = routeLocked(dd, t)
 	}
-	// The sequence number is reserved before the RPC and burned on
-	// failure: a retry gets a fresh, higher number. The per-record dedupe
-	// floor on the worker only needs to absorb retransmissions of the
-	// same already-acked call.
+	dd.mu.Unlock()
+	pid = dd.lockPartitionWrite(pid, t.ID)
+	// Holding pmu[pid] and dd.mu: reserve the sequence number. It is
+	// burned on failure — a retry gets a fresh, higher number, so the
+	// workers' per-record dedupe floor only ever absorbs retransmissions
+	// of the same already-acked call.
 	dd.nextSeq[pid]++
 	seq := dd.nextSeq[pid]
 	dd.mu.Unlock()
 	rec := WireRecord{Seq: seq, Op: wal.OpInsert, ID: t.ID, Points: t.Points}
 	if err := c.ingestReplicas(ctx, dd, pid, rec); err != nil {
+		dd.pmu[pid].Unlock()
 		return err
 	}
 	dd.mu.Lock()
@@ -466,10 +477,32 @@ func (c *Coordinator) IngestContext(ctx context.Context, name string, t *traj.T)
 		rebuildTreesLocked(dd)
 	}
 	dd.mu.Unlock()
+	dd.pmu[pid].Unlock()
 	if c.met != nil {
 		c.met.ingests.Inc()
 	}
 	return nil
+}
+
+// lockPartitionWrite takes the per-partition write lock for a mutation
+// headed to pid, re-checking under the dataset lock that the id still
+// belongs there — a concurrent write may have created or moved it while
+// we waited, and a write serialized on the wrong partition's lock would
+// reintroduce the out-of-order arrival the lock exists to prevent. It
+// returns the partition actually locked; the caller holds its pmu entry
+// AND dd.mu, and must release both.
+func (dd *dispatchedDataset) lockPartitionWrite(pid, id int) int {
+	for {
+		dd.pmu[pid].Lock()
+		dd.mu.Lock()
+		cur, ok := dd.loc[id]
+		if !ok || cur == pid {
+			return pid
+		}
+		dd.mu.Unlock()
+		dd.pmu[pid].Unlock()
+		pid = cur
+	}
 }
 
 // Delete streams one deletion into a dispatched dataset. It returns
@@ -491,20 +524,28 @@ func (c *Coordinator) DeleteContext(ctx context.Context, name string, id int) (b
 		dd.mu.Unlock()
 		return false, nil
 	}
+	dd.mu.Unlock()
+	pid = dd.lockPartitionWrite(pid, id)
+	if _, still := dd.loc[id]; !still {
+		// Deleted by a concurrent call while we waited for the lock.
+		dd.mu.Unlock()
+		dd.pmu[pid].Unlock()
+		return false, nil
+	}
 	dd.nextSeq[pid]++
 	seq := dd.nextSeq[pid]
 	dd.mu.Unlock()
 	rec := WireRecord{Seq: seq, Op: wal.OpDelete, ID: id}
 	if err := c.ingestReplicas(ctx, dd, pid, rec); err != nil {
+		dd.pmu[pid].Unlock()
 		return false, err
 	}
 	dd.mu.Lock()
-	if _, still := dd.loc[id]; still {
-		delete(dd.loc, id)
-		dd.netDelta--
-	}
+	delete(dd.loc, id)
+	dd.netDelta--
 	dd.mutated = true
 	dd.mu.Unlock()
+	dd.pmu[pid].Unlock()
 	if c.met != nil {
 		c.met.deletes.Inc()
 	}

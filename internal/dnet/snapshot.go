@@ -390,9 +390,13 @@ func (s *workerService) Replicate(args *ReplicateArgs, reply *ReplicateReply) (e
 	}
 	// The transferred image starts a new WAL epoch: any log this worker
 	// kept extends a base the install replaces wholesale. (The image's
-	// watermark already covers every mutation folded into it.)
+	// watermark already covers every mutation folded into it.) The old
+	// partition's mergeMu fences any in-flight merge so its seal and WAL
+	// truncation cannot land on top of the new epoch's files.
 	if ok {
 		held.closeLog()
+		held.mergeMu.Lock()
+		defer held.mergeMu.Unlock()
 	}
 	if s.w.WALStore != nil {
 		s.w.WALStore.Remove(args.Dataset, args.Partition)

@@ -479,8 +479,13 @@ func (s *workerService) Load(args *LoadArgs, reply *LoadReply) (err error) {
 	// this payload replaces wholesale, so replaying it would resurrect
 	// deltas from a dead epoch. (The fingerprint fast-path above keeps the
 	// held partition — and with it the replayed overlay and open log.)
-	if ok && held.wlog != nil {
+	// Waiting on the old partition's mergeMu fences any in-flight merge:
+	// its seal and WAL truncation land before the epoch reset below, never
+	// on top of the new epoch's files.
+	if ok {
 		held.closeLog()
+		held.mergeMu.Lock()
+		defer held.mergeMu.Unlock()
 	}
 	if s.w.WALStore != nil {
 		s.w.WALStore.Remove(args.Dataset, args.Partition)
@@ -511,6 +516,14 @@ func (s *workerService) Unload(args *UnloadArgs, reply *UnloadReply) error {
 	s.w.mu.Unlock()
 	if held {
 		p.closeLog()
+		// An in-flight merge may already have passed its installed check
+		// (taken before sealing) and be about to rewrite the snapshot and
+		// truncate the WAL — state that must not outlive this rollback.
+		// mergePartition holds mergeMu end to end, so waiting on it here
+		// guarantees the removals below run after any such merge finished
+		// writing.
+		p.mergeMu.Lock()
+		defer p.mergeMu.Unlock()
 	}
 	// The durable pair must go with the partition: a surviving snapshot
 	// would resurrect data the coordinator rolled back, and a surviving
