@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: build test race vet staticcheck chaos knn snap ingest fuzz check soak bench bench-json
+.PHONY: build test race vet staticcheck chaos knn snap ingest serve fuzz check soak serve-soak bench bench-json
 
 build:
 	$(GO) build ./...
@@ -56,6 +56,13 @@ ingest:
 	$(GO) test -race -run 'Ingest|WAL|Replay|Merge|Backpressure' -count=2 \
 		./internal/wal ./internal/core ./internal/dnet
 
+# Serving-layer tests: the result-cache/coalescing/shedding stack plus
+# the cost-gate admission primitive — including the cache-vs-ingest
+# differential against a live 2-worker cluster — rerun under the race
+# detector, -count=2 to defeat the cache.
+serve:
+	$(GO) test -race -count=2 ./internal/serve/ ./internal/admit/
+
 # Short coverage-guided fuzz smoke of every parser that takes untrusted
 # input (CSV trajectory loader, SQL lexer/parser, snapshot decoder, WAL
 # replay). -run='^$$' skips the unit tests so only the fuzz engine runs.
@@ -78,7 +85,7 @@ BENCH_PRESETS ?= default
 bench-json:
 	$(GO) run ./cmd/ditabench -bench $(BENCH_PRESETS) -bench-json $(BENCH_DIR)
 
-check: vet staticcheck race chaos knn snap ingest fuzz
+check: vet staticcheck race chaos knn snap ingest serve fuzz
 
 # 30-second soak: dita-net's cancelled-query churn workload against
 # in-process workers running under fault injection (-chaos). Exits
@@ -86,3 +93,10 @@ check: vet staticcheck race chaos knn snap ingest fuzz
 # lifecycle outcome (done / deadline / cancelled / overloaded).
 soak:
 	./scripts/soak.sh
+
+# Serving-layer soak: dita-serve over loopback workers under a mixed
+# load (stale-hit detection against bypass queries, served-p99 SLO),
+# then an overload phase that must shed with typed 429/503. Reports
+# land in SERVE_REPORT_DIR when set.
+serve-soak:
+	./scripts/serve_soak.sh

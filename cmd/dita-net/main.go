@@ -49,6 +49,7 @@ import (
 	"dita"
 	"dita/internal/dnet"
 	"dita/internal/obs"
+	"dita/internal/serve"
 	"dita/internal/traj"
 )
 
@@ -122,10 +123,12 @@ func main() {
 	cfg.Admission.QueueTimeout = *queueTimeout
 	cfg.RetainPayloads = *retainPayloads
 	var reg *obs.Registry
+	var health *obs.Health
 	if *metricsAddr != "" {
 		reg = obs.New()
 		cfg.Obs = reg
-		ln, err := obs.Serve(*metricsAddr, reg)
+		health = obs.NewHealth()
+		ln, err := obs.Serve(*metricsAddr, reg, health)
 		if err != nil {
 			fatal(err)
 		}
@@ -137,6 +140,7 @@ func main() {
 		fatal(err)
 	}
 	defer coord.Close()
+	health.SetCheck("coordinator", coord.Ready)
 
 	var data *dita.Dataset
 	if *load != "" {
@@ -373,7 +377,7 @@ func queryContext(parent context.Context, d time.Duration) (context.Context, con
 // members) with ~10% deletes of earlier ingested ids mixed in. Every
 // write is replicated to all owners and WAL-logged before it is acked;
 // backpressure (ErrOverloaded) is handled the way a well-behaved producer
-// does — back off and retry — and counted.
+// does — jittered exponential backoff (serve.Backoff) — and counted.
 func runIngest(ctx context.Context, coord *dnet.Coordinator, data *dita.Dataset, n int, seed int64) {
 	if data.Len() == 0 {
 		return
@@ -383,24 +387,28 @@ func runIngest(ctx context.Context, coord *dnet.Coordinator, data *dita.Dataset,
 	start := time.Now()
 	var upserts, deletes, retries int
 	var live []int
+	backoff := serve.Backoff{Seed: seed + 11}
+	write := func(fn func() error) bool {
+		r, err := serve.RetryOverloaded(ctx, backoff, fn)
+		retries += r
+		if err == nil {
+			return true
+		}
+		if ctx.Err() != nil {
+			return false
+		}
+		fatal(err)
+		return false
+	}
 	for i := 0; i < n && ctx.Err() == nil; i++ {
 		if len(live) > 4 && rng.Intn(10) == 0 {
 			j := rng.Intn(len(live))
 			id := live[j]
-			for {
+			if !write(func() error {
 				_, err := coord.DeleteContext(ctx, "trips", id)
-				if err == nil {
-					break
-				}
-				if errors.Is(err, dnet.ErrOverloaded) {
-					retries++
-					time.Sleep(2 * time.Millisecond)
-					continue
-				}
-				if ctx.Err() != nil {
-					return
-				}
-				fatal(err)
+				return err
+			}) {
+				return
 			}
 			live[j] = live[len(live)-1]
 			live = live[:len(live)-1]
@@ -408,20 +416,10 @@ func runIngest(ctx context.Context, coord *dnet.Coordinator, data *dita.Dataset,
 			continue
 		}
 		t := &traj.T{ID: idBase + i, Points: data.Trajs[i%data.Len()].Points}
-		for {
-			err := coord.IngestContext(ctx, "trips", t)
-			if err == nil {
-				break
-			}
-			if errors.Is(err, dnet.ErrOverloaded) {
-				retries++
-				time.Sleep(2 * time.Millisecond)
-				continue
-			}
-			if ctx.Err() != nil {
-				return
-			}
-			fatal(err)
+		if !write(func() error {
+			return coord.IngestContext(ctx, "trips", t)
+		}) {
+			return
 		}
 		upserts++
 		live = append(live, t.ID)

@@ -47,7 +47,9 @@ func main() {
 	if *metricsAddr != "" {
 		reg := obs.New()
 		w.Instrument(reg)
-		ln, err := obs.Serve(*metricsAddr, reg)
+		h := obs.NewHealth()
+		h.SetCheck("worker", w.Ready)
+		ln, err := obs.Serve(*metricsAddr, reg, h)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "dita-worker: metrics: %v\n", err)
 			os.Exit(2)

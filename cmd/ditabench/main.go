@@ -80,6 +80,10 @@ func main() {
 					fmt.Printf("knn mean: %.3f ms (no previous run to compare)\n", after)
 				}
 			}
+			fmt.Printf("delta scan: %.3f ms -> %.3f ms (%+.2f%%)\n",
+				rep.DeltaScanBaseMS, rep.DeltaScanDeltaMS, rep.DeltaScanOverheadPct)
+			fmt.Printf("serve: %.0f qps, %.1f%% cache hits, p99 %.3f ms, %.1f%% shed under overload\n",
+				rep.ServeQPS, rep.CacheHitPct, rep.P99ServedMS, rep.ShedPct)
 		}
 		return
 	}

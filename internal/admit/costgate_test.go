@@ -1,0 +1,177 @@
+package admit
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+// A nil gate (cost admission disabled) admits everything.
+func TestCostGateNil(t *testing.T) {
+	var g *CostGate
+	release, err := g.Acquire(context.Background(), 1<<40)
+	if err != nil {
+		t.Fatalf("nil gate rejected: %v", err)
+	}
+	release()
+	if g.InFlight() != 0 || g.UsedUS() != 0 || g.Waiting() != 0 {
+		t.Fatal("nil gate reported activity")
+	}
+	if NewCostGate(CostPolicy{}) != nil || NewCostGate(CostPolicy{BudgetUS: -5}) != nil {
+		t.Fatal("BudgetUS <= 0 should build a nil gate")
+	}
+}
+
+// Cheap queries pack into the budget; the one that would exceed it is
+// shed once the queue is full.
+func TestCostGateBudgetSheds(t *testing.T) {
+	g := NewCostGate(CostPolicy{BudgetUS: 100, MaxQueue: 0})
+	r1, err := g.Acquire(context.Background(), 60)
+	if err != nil {
+		t.Fatalf("first acquire: %v", err)
+	}
+	r2, err := g.Acquire(context.Background(), 40)
+	if err != nil {
+		t.Fatalf("second acquire (exactly fills budget): %v", err)
+	}
+	if _, err := g.Acquire(context.Background(), 1); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("over-budget acquire with no queue: got %v, want ErrOverloaded", err)
+	}
+	if got := g.UsedUS(); got != 100 {
+		t.Fatalf("UsedUS = %d, want 100", got)
+	}
+	r1()
+	r1() // double release must not corrupt the budget
+	r2()
+	if g.UsedUS() != 0 || g.InFlight() != 0 {
+		t.Fatalf("budget not returned: used=%d inflight=%d", g.UsedUS(), g.InFlight())
+	}
+}
+
+// A query costing more than the entire budget still runs when the gate
+// is idle — otherwise it could never run at all.
+func TestCostGateOversizeAdmittedWhenIdle(t *testing.T) {
+	g := NewCostGate(CostPolicy{BudgetUS: 10})
+	release, err := g.Acquire(context.Background(), 1000)
+	if err != nil {
+		t.Fatalf("oversize query on idle gate: %v", err)
+	}
+	defer release()
+	if g.InFlight() != 1 {
+		t.Fatalf("InFlight = %d, want 1", g.InFlight())
+	}
+}
+
+// Queued waiters are granted FIFO when budget frees up, and the wait
+// observes the release rather than polling.
+func TestCostGateQueueFIFO(t *testing.T) {
+	g := NewCostGate(CostPolicy{BudgetUS: 100, MaxQueue: 2, QueueTimeout: 5 * time.Second})
+	r1, err := g.Acquire(context.Background(), 100)
+	if err != nil {
+		t.Fatalf("fill budget: %v", err)
+	}
+	order := make(chan int, 2)
+	var wg sync.WaitGroup
+	acquireAsync := func(id int, cost int64) {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			release, err := g.Acquire(context.Background(), cost)
+			if err != nil {
+				t.Errorf("queued acquire %d: %v", id, err)
+				return
+			}
+			order <- id
+			release()
+		}()
+	}
+	acquireAsync(1, 80)
+	for g.Waiting() != 1 { // ensure 1 is queued before 2 arrives
+		time.Sleep(time.Millisecond)
+	}
+	acquireAsync(2, 80)
+	for g.Waiting() != 2 {
+		time.Sleep(time.Millisecond)
+	}
+	// Query 2 must NOT slip past the head 1; they can't co-run
+	// (80+80 > 100), so grants serialize in queue order.
+	r1()
+	wg.Wait()
+	if first := <-order; first != 1 {
+		t.Fatalf("grant order: got %d first, want 1 (FIFO)", first)
+	}
+}
+
+// A queued waiter whose timeout expires is shed with ErrOverloaded and
+// leaves the queue; a cancelled waiter returns its context error.
+func TestCostGateQueueTimeoutAndCancel(t *testing.T) {
+	g := NewCostGate(CostPolicy{BudgetUS: 10, MaxQueue: 4, QueueTimeout: 20 * time.Millisecond})
+	release, err := g.Acquire(context.Background(), 10)
+	if err != nil {
+		t.Fatalf("fill budget: %v", err)
+	}
+	defer release()
+
+	if _, err := g.Acquire(context.Background(), 5); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("queue timeout: got %v, want ErrOverloaded", err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := g.Acquire(ctx, 5)
+		done <- err
+	}()
+	for g.Waiting() != 1 {
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+	if err := <-done; !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled waiter: got %v, want context.Canceled", err)
+	}
+	if g.Waiting() != 0 {
+		t.Fatalf("abandoned waiters left in queue: %d", g.Waiting())
+	}
+}
+
+// Hammer the gate from many goroutines with mixed costs; the budget
+// invariant (used == sum of admitted costs, never negative) must hold
+// and everything must eventually be admitted or shed, never deadlock.
+func TestCostGateConcurrentStress(t *testing.T) {
+	g := NewCostGate(CostPolicy{BudgetUS: 500, MaxQueue: 64, QueueTimeout: 2 * time.Second})
+	var wg sync.WaitGroup
+	var admitted, shed int64
+	var mu sync.Mutex
+	for i := 0; i < 200; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			cost := int64(1 + (i%10)*37)
+			release, err := g.Acquire(context.Background(), cost)
+			if err != nil {
+				if !errors.Is(err, ErrOverloaded) {
+					t.Errorf("unexpected error: %v", err)
+				}
+				mu.Lock()
+				shed++
+				mu.Unlock()
+				return
+			}
+			mu.Lock()
+			admitted++
+			mu.Unlock()
+			release()
+		}(i)
+	}
+	wg.Wait()
+	if g.UsedUS() != 0 || g.InFlight() != 0 || g.Waiting() != 0 {
+		t.Fatalf("gate not drained: used=%d inflight=%d waiting=%d",
+			g.UsedUS(), g.InFlight(), g.Waiting())
+	}
+	if admitted == 0 {
+		t.Fatal("nothing admitted under stress")
+	}
+	t.Logf("admitted=%d shed=%d", admitted, shed)
+}

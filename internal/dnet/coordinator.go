@@ -163,6 +163,18 @@ type dispatchedDataset struct {
 	netDelta int
 	mutated  bool
 
+	// Epoch counters for cache invalidation (internal/serve).
+	// writeMark[pid] counts ACKED writes to the partition — bumped in the
+	// post-ack bookkeeping under mu, after the replica fan-out succeeded,
+	// unlike nextSeq which advances at reservation time and may be burned
+	// by a failed write. boundsEpoch bumps whenever a write grows a
+	// partition's MBR (the same writes that call rebuildTreesLocked): a
+	// cached answer's touched-partition set is computed from the bounds,
+	// so growth can make a partition newly relevant and must invalidate
+	// even answers that never touched it.
+	writeMark   []uint64
+	boundsEpoch uint64
+
 	// pmu[pid] serializes writes to one partition end to end: held from
 	// sequence reservation through the replica fan-out and the post-ack
 	// bookkeeping. Without it two writes could reserve ordered numbers
@@ -537,6 +549,7 @@ func (c *Coordinator) DispatchStats(name string, d *traj.Dataset) (*DispatchRepo
 	}
 	dd.nextSeq = seqFloor
 	dd.pmu = make([]sync.Mutex, len(dd.parts))
+	dd.writeMark = make([]uint64, len(dd.parts))
 	rebuildTreesLocked(dd)
 	c.mu.Lock()
 	c.datasets[name] = dd

@@ -468,12 +468,14 @@ func (c *Coordinator) IngestContext(ctx context.Context, name string, t *traj.T)
 	}
 	dd.loc[t.ID] = pid
 	dd.mutated = true
+	dd.writeMark[pid]++
 	pb := &dd.parts[pid]
 	nf, nl := pb.mbrF.Extend(t.First()), pb.mbrL.Extend(t.Last())
 	if nf != pb.mbrF || nl != pb.mbrL {
 		// The partition's bounds grew: the global index must cover the new
 		// member or searches would prune the partition it lives in.
 		pb.mbrF, pb.mbrL = nf, nl
+		dd.boundsEpoch++
 		rebuildTreesLocked(dd)
 	}
 	dd.mu.Unlock()
@@ -544,6 +546,7 @@ func (c *Coordinator) DeleteContext(ctx context.Context, name string, id int) (b
 	delete(dd.loc, id)
 	dd.netDelta--
 	dd.mutated = true
+	dd.writeMark[pid]++
 	dd.mu.Unlock()
 	dd.pmu[pid].Unlock()
 	if c.met != nil {

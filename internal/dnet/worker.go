@@ -267,6 +267,19 @@ func (w *Worker) Inflight() int {
 	return w.inflight
 }
 
+// Ready reports whether the worker is accepting RPCs — nil while
+// serving, an error once draining begins. The /readyz endpoint on
+// -metrics-addr keys on it, so a draining worker drops out of load
+// balancing before its RPCs start failing.
+func (w *Worker) Ready() error {
+	w.stateMu.Lock()
+	defer w.stateMu.Unlock()
+	if w.draining {
+		return errDraining
+	}
+	return nil
+}
+
 // Instrument registers the worker's live state on a metrics registry:
 // the queries-inflight gauge, partition inventory, and the cumulative
 // call/byte counters, all read on scrape (no hot-path cost).

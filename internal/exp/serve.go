@@ -1,0 +1,212 @@
+package exp
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"sync"
+	"time"
+
+	"dita/internal/core"
+	"dita/internal/geom"
+	"dita/internal/serve"
+	"dita/internal/traj"
+)
+
+// Serve-phase wire bodies. With omitempty a single struct covers both
+// query endpoints without tripping the server's DisallowUnknownFields:
+// search sends {query, tau}, kNN sends {query, k}.
+type serveQueryBody struct {
+	Query [][2]float64 `json:"query"`
+	Tau   float64      `json:"tau,omitempty"`
+	K     int          `json:"k,omitempty"`
+}
+
+type serveIngestBody struct {
+	ID     int          `json:"id"`
+	Points [][2]float64 `json:"points"`
+}
+
+func rawPts(ps []geom.Point) [][2]float64 {
+	out := make([][2]float64, len(ps))
+	for i, p := range ps {
+		out[i] = [2]float64{p.X, p.Y}
+	}
+	return out
+}
+
+// benchServe fronts the bench engine with a loopback dita-serve (real
+// TCP, real JSON) and measures the serving layer itself. Phase one
+// drives a repeated mixed workload — four passes over the query set
+// with kNN sprinkled in and one ingest after the first pass so the
+// numbers include a full cache invalidation — through 8 concurrent
+// clients: ServeQPS, CacheHitPct, and P99ServedMS come from it. Phase
+// two points a fresh server with a 1µs cost budget (only the
+// work-conserving slot runs) at a concurrent burst of bypass queries:
+// ShedPct is the fraction refused with a typed 429.
+func benchServe(rep *BenchReport, e *core.Engine, kind string, qs []*traj.T) error {
+	if len(qs) == 0 {
+		return nil
+	}
+	// Memory-only ingest: the serve phase needs a writable engine but
+	// must leave nothing behind.
+	if _, err := e.EnableIngest(core.IngestConfig{}); err != nil {
+		return err
+	}
+	defer func() { _ = e.CloseIngest() }()
+	backend := &serve.EngineBackend{E: e, Dataset: kind}
+
+	start := func(budgetUS int64) (*serve.Server, *http.Server, string, error) {
+		s, err := serve.New(serve.Config{
+			Backend:      backend,
+			Dataset:      kind,
+			Measure:      "DTW",
+			CostBudgetUS: budgetUS,
+		})
+		if err != nil {
+			return nil, nil, "", err
+		}
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return nil, nil, "", err
+		}
+		hs := &http.Server{Handler: s.Handler()}
+		go func() { _ = hs.Serve(ln) }()
+		return s, hs, "http://" + ln.Addr().String(), nil
+	}
+	client := &http.Client{Timeout: 30 * time.Second}
+	post := func(url string, body any) (int, error) {
+		raw, err := json.Marshal(body)
+		if err != nil {
+			return 0, err
+		}
+		resp, err := client.Post(url, "application/json", bytes.NewReader(raw))
+		if err != nil {
+			return 0, err
+		}
+		defer resp.Body.Close()
+		_, _ = io.Copy(io.Discard, resp.Body)
+		return resp.StatusCode, nil
+	}
+
+	// --- Phase one: sustained mixed traffic, no shedding expected. ---
+	srv, hs, base, err := start(0)
+	if err != nil {
+		return err
+	}
+	defer hs.Close()
+
+	type job struct {
+		path string
+		body any
+	}
+	var jobs []job
+	const passes = 4
+	for pass := 0; pass < passes; pass++ {
+		for qi, q := range qs {
+			jobs = append(jobs, job{"/v1/search", serveQueryBody{Query: rawPts(q.Points), Tau: DefaultTau}})
+			if qi%4 == 0 {
+				jobs = append(jobs, job{"/v1/knn", serveQueryBody{Query: rawPts(q.Points), K: 10}})
+			}
+		}
+		if pass == 0 {
+			// One write between passes: the single-epoch dev backend
+			// invalidates the whole cache, so the measured hit rate pays
+			// for a real re-warm instead of assuming a read-only world.
+			jobs = append(jobs, job{"/v1/ingest", serveIngestBody{ID: 1 << 29, Points: rawPts(qs[0].Points)}})
+		}
+	}
+
+	var mu sync.Mutex
+	var lat []time.Duration
+	var completed int
+	var firstErr error
+	jobCh := make(chan job)
+	var wg sync.WaitGroup
+	phaseStart := time.Now()
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range jobCh {
+				t0 := time.Now()
+				status, err := post(base+j.path, j.body)
+				d := time.Since(t0)
+				mu.Lock()
+				switch {
+				case err != nil:
+					if firstErr == nil {
+						firstErr = err
+					}
+				case status != http.StatusOK:
+					if firstErr == nil {
+						firstErr = fmt.Errorf("serve %s: unexpected status %d", j.path, status)
+					}
+				default:
+					completed++
+					lat = append(lat, d)
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	for _, j := range jobs {
+		jobCh <- j
+	}
+	close(jobCh)
+	wg.Wait()
+	elapsed := time.Since(phaseStart)
+	if firstErr != nil {
+		return firstErr
+	}
+	if elapsed > 0 {
+		rep.ServeQPS = float64(completed) / elapsed.Seconds()
+	}
+	rep.P99ServedMS = summarize(lat).P99MS
+	if st := srv.CacheStats(); st.Hits+st.Misses > 0 {
+		rep.CacheHitPct = float64(st.Hits) / float64(st.Hits+st.Misses) * 100
+	}
+
+	// --- Phase two: overload probe against a starved budget. ---
+	_, hsB, baseB, err := start(1)
+	if err != nil {
+		return err
+	}
+	defer hsB.Close()
+	const burst, rounds = 32, 2
+	var shed, total, unexpected int
+	for r := 0; r < rounds; r++ {
+		var bw sync.WaitGroup
+		for i := 0; i < burst; i++ {
+			q := qs[(r*burst+i)%len(qs)]
+			bw.Add(1)
+			go func(q *traj.T) {
+				defer bw.Done()
+				// Bypass: cache hits and coalesced waiters skip admission,
+				// which would let repeats dodge the gate being probed.
+				status, err := post(baseB+"/v1/search?cache=bypass",
+					serveQueryBody{Query: rawPts(q.Points), Tau: DefaultTau})
+				mu.Lock()
+				total++
+				switch {
+				case err != nil || (status != http.StatusOK && status != http.StatusTooManyRequests):
+					unexpected++
+				case status == http.StatusTooManyRequests:
+					shed++
+				}
+				mu.Unlock()
+			}(q)
+		}
+		bw.Wait()
+	}
+	if unexpected > 0 {
+		return fmt.Errorf("serve overload probe: %d responses were neither 200 nor typed 429", unexpected)
+	}
+	if total > 0 {
+		rep.ShedPct = float64(shed) / float64(total) * 100
+	}
+	return nil
+}

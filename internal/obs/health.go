@@ -1,0 +1,118 @@
+package obs
+
+import (
+	"fmt"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Health aggregates named readiness checks for the HTTP mux. Liveness
+// (/healthz) is unconditional — the process answered, it is alive.
+// Readiness (/readyz) runs every registered check and fails with 503
+// when any of them errors, which is what load balancers and the serving
+// layer's drain logic key on. A nil *Health is valid and always ready.
+type Health struct {
+	mu     sync.Mutex
+	checks map[string]func() error
+}
+
+// NewHealth returns an empty health tracker (always ready until checks
+// are registered).
+func NewHealth() *Health {
+	return &Health{checks: map[string]func() error{}}
+}
+
+// SetCheck registers (or replaces) a named readiness check. The function
+// must be cheap and concurrency-safe; it runs on every /readyz probe.
+func (h *Health) SetCheck(name string, fn func() error) {
+	if h == nil {
+		return
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.checks[name] = fn
+}
+
+// Err runs every check and returns the first failure (by check name
+// order, so probes are deterministic), or nil when ready.
+func (h *Health) Err() error {
+	if h == nil {
+		return nil
+	}
+	h.mu.Lock()
+	names := make([]string, 0, len(h.checks))
+	for name := range h.checks {
+		names = append(names, name)
+	}
+	fns := make([]func() error, len(names))
+	sort.Strings(names)
+	for i, name := range names {
+		fns[i] = h.checks[name]
+	}
+	h.mu.Unlock()
+	for i, fn := range fns {
+		if err := fn(); err != nil {
+			return fmt.Errorf("%s: %w", names[i], err)
+		}
+	}
+	return nil
+}
+
+// register mounts /healthz and /readyz on the mux. healthz always
+// answers 200 "ok"; readyz answers 200 "ready" or 503 with the failing
+// check's error.
+func (h *Health) register(mux *http.ServeMux) {
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/readyz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if err := h.Err(); err != nil {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			fmt.Fprintf(w, "not ready: %v\n", err)
+			return
+		}
+		fmt.Fprintln(w, "ready")
+	})
+}
+
+// statusWriter captures the status code a handler wrote.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// InstrumentHandler wraps an HTTP handler with request metrics under
+// <name>_: requests_total, a latency histogram in microseconds, and
+// outcome counters split by class (client_errors_total for 4xx,
+// errors_total for 5xx). A nil registry returns the handler unchanged.
+func InstrumentHandler(r *Registry, name string, h http.Handler) http.Handler {
+	if r == nil {
+		return h
+	}
+	requests := r.Counter(name + "_requests_total")
+	clientErrs := r.Counter(name + "_client_errors_total")
+	serverErrs := r.Counter(name + "_errors_total")
+	latency := r.Histogram(name + "_latency_us")
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		requests.Inc()
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		start := time.Now()
+		h.ServeHTTP(sw, req)
+		latency.Observe(time.Since(start).Microseconds())
+		switch {
+		case sw.status >= 500:
+			serverErrs.Inc()
+		case sw.status >= 400:
+			clientErrs.Inc()
+		}
+	})
+}

@@ -10,14 +10,17 @@ import (
 	"sync"
 )
 
-// NewMux builds an http.ServeMux exposing the registry:
+// NewMux builds an http.ServeMux exposing the registry plus health:
 //
 //	/metrics       Prometheus text exposition format
 //	/metrics.json  full Snapshot as JSON
 //	/debug/vars    standard expvar (plus the registry under "dita")
 //	/debug/pprof/  standard net/http/pprof profiles
-func NewMux(r *Registry) *http.ServeMux {
+//	/healthz       liveness (always 200 while the process answers)
+//	/readyz        readiness (503 while any check on h fails; nil h = ready)
+func NewMux(r *Registry, h *Health) *http.ServeMux {
 	mux := http.NewServeMux()
+	h.register(mux)
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		r.WritePrometheus(w)
@@ -61,14 +64,15 @@ func (r *Registry) PublishExpvar(name string) {
 
 // Serve starts an HTTP server for the registry on addr in a background
 // goroutine and returns the bound listener (so addr may use port 0). The
-// caller owns shutdown via the returned listener's Close.
-func Serve(addr string, r *Registry) (net.Listener, error) {
+// caller owns shutdown via the returned listener's Close. h (may be nil)
+// supplies the /readyz checks.
+func Serve(addr string, r *Registry, h *Health) (net.Listener, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
 	r.GaugeFunc("process_goroutines", func() int64 { return int64(runtime.NumGoroutine()) })
-	srv := &http.Server{Handler: NewMux(r)}
+	srv := &http.Server{Handler: NewMux(r, h)}
 	go func() { _ = srv.Serve(ln) }()
 	return ln, nil
 }

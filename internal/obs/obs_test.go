@@ -257,7 +257,15 @@ func TestServeEndpoints(t *testing.T) {
 	r := New()
 	r.Counter("served_total").Add(3)
 	r.Histogram("lat_us").Observe(50)
-	ln, err := Serve("127.0.0.1:0", r)
+	health := NewHealth()
+	var readyMu sync.Mutex
+	ready := errors.New("still dispatching")
+	health.SetCheck("dispatch", func() error {
+		readyMu.Lock()
+		defer readyMu.Unlock()
+		return ready
+	})
+	ln, err := Serve("127.0.0.1:0", r, health)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -289,5 +297,20 @@ func TestServeEndpoints(t *testing.T) {
 	// goroutine gauge func registered by Serve
 	if s := r.Snapshot(); s.Gauges["process_goroutines"] <= 0 {
 		t.Fatalf("process_goroutines = %d", s.Gauges["process_goroutines"])
+	}
+
+	// Liveness is unconditional; readiness tracks the registered checks:
+	// 503 naming the failing check while it errors, 200 once it clears.
+	if code, body := get("/healthz"); code != 200 || !strings.Contains(body, "ok") {
+		t.Fatalf("/healthz code=%d body=%s", code, body)
+	}
+	if code, body := get("/readyz"); code != 503 || !strings.Contains(body, "dispatch: still dispatching") {
+		t.Fatalf("/readyz while failing: code=%d body=%s", code, body)
+	}
+	readyMu.Lock()
+	ready = nil
+	readyMu.Unlock()
+	if code, body := get("/readyz"); code != 200 || !strings.Contains(body, "ready") {
+		t.Fatalf("/readyz after clearing: code=%d body=%s", code, body)
 	}
 }

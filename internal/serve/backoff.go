@@ -1,0 +1,97 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"sync"
+	"time"
+
+	"dita/internal/admit"
+	"dita/internal/core"
+)
+
+// Backoff is a jittered exponential backoff policy for retrying
+// overload rejections: delay doubles from Base toward Max, each sleep
+// scaled by a uniform [0.5, 1.5) jitter so a shed burst of clients
+// doesn't reconverge into the same instant (full-throttle thundering
+// herd is exactly what shedding exists to break up).
+type Backoff struct {
+	// Base is the first retry delay (default 2ms).
+	Base time.Duration
+	// Max caps the delay growth (default 250ms).
+	Max time.Duration
+	// MaxRetries bounds the retry count; <= 0 retries until the
+	// context ends.
+	MaxRetries int
+	// Seed makes the jitter sequence reproducible; 0 seeds from a
+	// process-global source.
+	Seed int64
+}
+
+func (b Backoff) withDefaults() Backoff {
+	if b.Base <= 0 {
+		b.Base = 2 * time.Millisecond
+	}
+	if b.Max <= 0 {
+		b.Max = 250 * time.Millisecond
+	}
+	return b
+}
+
+var (
+	seedMu  sync.Mutex
+	seedSrc = rand.New(rand.NewSource(1))
+)
+
+// IsOverload reports whether an error is a typed backpressure
+// rejection worth retrying: admission shedding (admit.ErrOverloaded,
+// which dnet.ErrOverloaded aliases) or the ingest delta backlog bound
+// (core.ErrDeltaBacklog). Anything else — bad queries, dead workers,
+// cancelled contexts — is not transient overload and must surface.
+func IsOverload(err error) bool {
+	return errors.Is(err, admit.ErrOverloaded) || errors.Is(err, core.ErrDeltaBacklog)
+}
+
+// RetryOverloaded runs fn, retrying with jittered exponential backoff
+// while it fails with a typed overload rejection (IsOverload). It
+// returns the retry count alongside fn's final error: nil on success,
+// the overload error when retries ran out, ctx.Err() when the context
+// ended first.
+func RetryOverloaded(ctx context.Context, b Backoff, fn func() error) (retries int, err error) {
+	b = b.withDefaults()
+	var rng *rand.Rand
+	if b.Seed != 0 {
+		rng = rand.New(rand.NewSource(b.Seed))
+	}
+	delay := b.Base
+	for {
+		err = fn()
+		if err == nil || !IsOverload(err) {
+			return retries, err
+		}
+		if b.MaxRetries > 0 && retries >= b.MaxRetries {
+			return retries, err
+		}
+		retries++
+		var jitter float64
+		if rng != nil {
+			jitter = rng.Float64()
+		} else {
+			seedMu.Lock()
+			jitter = seedSrc.Float64()
+			seedMu.Unlock()
+		}
+		sleep := time.Duration(float64(delay) * (0.5 + jitter))
+		t := time.NewTimer(sleep)
+		select {
+		case <-t.C:
+		case <-ctx.Done():
+			t.Stop()
+			return retries, ctx.Err()
+		}
+		if delay *= 2; delay > b.Max {
+			delay = b.Max
+		}
+	}
+}

@@ -1,0 +1,252 @@
+package serve
+
+import (
+	"container/list"
+	"hash/fnv"
+	"math"
+	"sync"
+
+	"dita/internal/geom"
+)
+
+// Op names a cacheable query kind.
+type Op uint8
+
+const (
+	OpSearch Op = iota + 1
+	OpKNN
+	OpJoin
+)
+
+func (o Op) String() string {
+	switch o {
+	case OpSearch:
+		return "search"
+	case OpKNN:
+		return "knn"
+	case OpJoin:
+		return "join"
+	}
+	return "unknown"
+}
+
+// Key identifies one cacheable query: the operation, its parameters,
+// and a 64-bit hash of the canonical query trajectory. Two distinct
+// queries can collide on QHash, so entries additionally store the
+// full query points and Get compares them exactly — the hash narrows,
+// the points decide.
+type Key struct {
+	Op      Op
+	Right   string // join right dataset; "" otherwise
+	Measure string
+	Tau     float64
+	K       int
+	QHash   uint64
+}
+
+// HashQuery folds a query trajectory's point coordinates (exact float
+// bits — serving must not conflate nearly-equal queries) into an
+// FNV-1a hash.
+func HashQuery(q []geom.Point) uint64 {
+	h := fnv.New64a()
+	var buf [16]byte
+	for _, p := range q {
+		putU64(buf[0:8], math.Float64bits(p.X))
+		putU64(buf[8:16], math.Float64bits(p.Y))
+		h.Write(buf[:])
+	}
+	return h.Sum64()
+}
+
+func putU64(b []byte, v uint64) {
+	_ = b[7]
+	b[0] = byte(v)
+	b[1] = byte(v >> 8)
+	b[2] = byte(v >> 16)
+	b[3] = byte(v >> 24)
+	b[4] = byte(v >> 32)
+	b[5] = byte(v >> 40)
+	b[6] = byte(v >> 48)
+	b[7] = byte(v >> 56)
+}
+
+// entry is one cached answer plus the evidence needed to prove it
+// current: the epochs it was computed at and the partitions it
+// depends on (nil touched = all partitions).
+type entry struct {
+	key     Key
+	q       []geom.Point // collision guard; nil for join
+	val     any          // []Hit or []JoinPair
+	bytes   int
+	epochs  EpochView
+	touched []int
+	elem    *list.Element
+}
+
+// Cache is the epoch-validated result cache. Invalidation is lazy:
+// entries are not purged when a write lands — instead every Get
+// compares the entry's recorded epochs against the live ones and
+// discards the entry if any partition it depends on has advanced (or
+// any partition's bounds grew, which can make a pruned partition
+// newly relevant). Lazy validation needs no write→cache plumbing and
+// no clocks, and is exactly as fresh: a stale entry can never be
+// returned because staleness is checked on the read path itself.
+type Cache struct {
+	maxEntries int
+	maxBytes   int
+
+	mu      sync.Mutex
+	entries map[Key]*entry
+	lru     *list.List // front = most recent
+	bytes   int
+
+	hits, misses, stale, evicted int64
+}
+
+// NewCache builds a cache bounded by entry count and approximate
+// result bytes. maxEntries <= 0 disables the cache (Get always
+// misses, Put drops).
+func NewCache(maxEntries, maxBytes int) *Cache {
+	if maxEntries <= 0 {
+		return nil
+	}
+	if maxBytes <= 0 {
+		maxBytes = 64 << 20
+	}
+	return &Cache{
+		maxEntries: maxEntries,
+		maxBytes:   maxBytes,
+		entries:    map[Key]*entry{},
+		lru:        list.New(),
+	}
+}
+
+// Get returns the cached answer for (key, q) if present and provably
+// current at the live epochs cur. A stale or colliding entry is
+// removed and reported as a miss. A nil cache always misses.
+func (c *Cache) Get(key Key, q []geom.Point, cur EpochView) (any, bool) {
+	if c == nil {
+		return nil, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.entries[key]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	if !pointsEqual(e.q, q) {
+		// 64-bit hash collision between distinct queries: serving the
+		// resident entry would answer the wrong query. Evict it; the
+		// colliding pair will keep displacing each other, which is
+		// correct if unlucky.
+		c.removeLocked(e)
+		c.misses++
+		return nil, false
+	}
+	if !currentLocked(e, cur) {
+		c.removeLocked(e)
+		c.stale++
+		c.misses++
+		return nil, false
+	}
+	c.lru.MoveToFront(e.elem)
+	c.hits++
+	return e.val, true
+}
+
+// currentLocked proves the entry fresh at the live epochs: bounds
+// unchanged AND every partition the answer depends on unwritten since
+// the entry was computed. touched == nil depends on every partition.
+func currentLocked(e *entry, cur EpochView) bool {
+	if e.epochs.Bounds != cur.Bounds {
+		return false
+	}
+	if e.touched == nil {
+		if len(e.epochs.Parts) != len(cur.Parts) {
+			return false
+		}
+		for i := range cur.Parts {
+			if e.epochs.Parts[i] != cur.Parts[i] {
+				return false
+			}
+		}
+		return true
+	}
+	for _, pid := range e.touched {
+		if pid < 0 || pid >= len(cur.Parts) || pid >= len(e.epochs.Parts) {
+			return false
+		}
+		if e.epochs.Parts[pid] != cur.Parts[pid] {
+			return false
+		}
+	}
+	return true
+}
+
+// Put stores an answer computed at the given epochs. bytes is the
+// approximate result size used for the byte cap.
+func (c *Cache) Put(key Key, q []geom.Point, val any, bytes int, epochs EpochView, touched []int) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if old, ok := c.entries[key]; ok {
+		c.removeLocked(old)
+	}
+	e := &entry{key: key, q: q, val: val, bytes: bytes, epochs: epochs, touched: touched}
+	e.elem = c.lru.PushFront(e)
+	c.entries[key] = e
+	c.bytes += bytes
+	for (c.lru.Len() > c.maxEntries || c.bytes > c.maxBytes) && c.lru.Len() > 1 {
+		back := c.lru.Back().Value.(*entry)
+		c.removeLocked(back)
+		c.evicted++
+	}
+}
+
+func (c *Cache) removeLocked(e *entry) {
+	delete(c.entries, e.key)
+	c.lru.Remove(e.elem)
+	c.bytes -= e.bytes
+}
+
+func pointsEqual(a, b []geom.Point) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// CacheStats is a point-in-time counter snapshot.
+type CacheStats struct {
+	Entries int
+	Bytes   int
+	Hits    int64
+	Misses  int64
+	Stale   int64
+	Evicted int64
+}
+
+// Stats snapshots the cache counters (zero for a nil cache).
+func (c *Cache) Stats() CacheStats {
+	if c == nil {
+		return CacheStats{}
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{
+		Entries: c.lru.Len(),
+		Bytes:   c.bytes,
+		Hits:    c.hits,
+		Misses:  c.misses,
+		Stale:   c.stale,
+		Evicted: c.evicted,
+	}
+}

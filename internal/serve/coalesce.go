@@ -1,0 +1,82 @@
+package serve
+
+import (
+	"context"
+	"sync"
+)
+
+// flight is one shared execution of a query. The leader goroutine runs
+// the function under a context detached from every caller; waiters
+// count references so the flight is cancelled exactly when the last
+// interested caller walks away — one caller's cancellation never
+// poisons the others.
+type flight struct {
+	done    chan struct{}
+	val     any
+	err     error
+	waiters int
+	cancel  context.CancelFunc
+}
+
+// flightGroup coalesces identical in-flight queries (singleflight
+// keyed by the cache Key). Unlike the classic singleflight, the
+// function runs under its own context: callers subscribe and may
+// individually time out or disconnect without affecting the shared
+// execution, and the execution is cancelled only when nobody is left
+// waiting for it.
+type flightGroup struct {
+	mu      sync.Mutex
+	flights map[Key]*flight
+}
+
+func newFlightGroup() *flightGroup {
+	return &flightGroup{flights: map[Key]*flight{}}
+}
+
+// Do returns fn's result for key, executing it once no matter how many
+// callers arrive while it is in flight. shared reports whether this
+// caller joined an existing execution. When ctx ends before the flight
+// finishes, Do returns ctx.Err() for THIS caller only; the flight runs
+// on for the others and is cancelled (and forgotten, so a later
+// arrival starts fresh) when its waiter count reaches zero.
+func (g *flightGroup) Do(ctx context.Context, key Key, fn func(ctx context.Context) (any, error)) (val any, shared bool, err error) {
+	g.mu.Lock()
+	f, ok := g.flights[key]
+	if ok {
+		f.waiters++
+	} else {
+		fctx, cancel := context.WithCancel(context.WithoutCancel(ctx))
+		f = &flight{done: make(chan struct{}), waiters: 1, cancel: cancel}
+		g.flights[key] = f
+		go func() {
+			f.val, f.err = fn(fctx)
+			g.mu.Lock()
+			if g.flights[key] == f {
+				delete(g.flights, key)
+			}
+			g.mu.Unlock()
+			cancel()
+			close(f.done)
+		}()
+	}
+	g.mu.Unlock()
+
+	select {
+	case <-f.done:
+		return f.val, ok, f.err
+	case <-ctx.Done():
+		g.mu.Lock()
+		f.waiters--
+		if f.waiters == 0 {
+			// Last caller gone: stop the execution and forget the
+			// flight so a future identical query doesn't latch onto a
+			// cancelled run.
+			f.cancel()
+			if g.flights[key] == f {
+				delete(g.flights, key)
+			}
+		}
+		g.mu.Unlock()
+		return nil, ok, ctx.Err()
+	}
+}

@@ -1,0 +1,179 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// N identical concurrent queries execute the backend exactly once and
+// all receive the shared answer.
+func TestCoalesceExecutesOnce(t *testing.T) {
+	g := newFlightGroup()
+	key := Key{Op: OpSearch, QHash: 42}
+	var execs atomic.Int32
+	gate := make(chan struct{})
+
+	const n = 16
+	var wg sync.WaitGroup
+	sharedCount := atomic.Int32{}
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			val, shared, err := g.Do(context.Background(), key, func(context.Context) (any, error) {
+				execs.Add(1)
+				<-gate
+				return []Hit{{ID: 9}}, nil
+			})
+			if err != nil {
+				t.Errorf("Do: %v", err)
+				return
+			}
+			if hits := val.([]Hit); len(hits) != 1 || hits[0].ID != 9 {
+				t.Errorf("wrong shared value: %+v", val)
+			}
+			if shared {
+				sharedCount.Add(1)
+			}
+		}()
+	}
+	// Wait until every caller has joined the flight, then release it.
+	for {
+		g.mu.Lock()
+		f := g.flights[key]
+		w := 0
+		if f != nil {
+			w = f.waiters
+		}
+		g.mu.Unlock()
+		if w == n {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(gate)
+	wg.Wait()
+	if got := execs.Load(); got != 1 {
+		t.Fatalf("executed %d times, want 1", got)
+	}
+	if got := sharedCount.Load(); got != n-1 {
+		t.Fatalf("shared for %d callers, want %d", got, n-1)
+	}
+	// The finished flight is forgotten: a later identical query starts
+	// fresh (the result cache, not the flight table, handles reuse).
+	_, _, _ = g.Do(context.Background(), key, func(context.Context) (any, error) {
+		execs.Add(1)
+		return nil, nil
+	})
+	if got := execs.Load(); got != 2 {
+		t.Fatalf("post-completion query reused a dead flight (execs=%d)", got)
+	}
+}
+
+// One waiter's cancellation returns promptly for THAT waiter and does
+// not fail the others or cancel the shared execution.
+func TestCoalesceCancelIsolation(t *testing.T) {
+	g := newFlightGroup()
+	key := Key{Op: OpSearch, QHash: 7}
+	gate := make(chan struct{})
+	execCtxErr := make(chan error, 1)
+
+	type result struct {
+		val any
+		err error
+	}
+	results := make(chan result, 3)
+	ctxs := make([]context.Context, 3)
+	cancels := make([]context.CancelFunc, 3)
+	for i := range ctxs {
+		ctxs[i], cancels[i] = context.WithCancel(context.Background())
+	}
+	for i := 0; i < 3; i++ {
+		go func(i int) {
+			val, _, err := g.Do(ctxs[i], key, func(fctx context.Context) (any, error) {
+				<-gate
+				execCtxErr <- fctx.Err()
+				return "answer", nil
+			})
+			results <- result{val, err}
+		}(i)
+	}
+	for {
+		g.mu.Lock()
+		f := g.flights[key]
+		w := 0
+		if f != nil {
+			w = f.waiters
+		}
+		g.mu.Unlock()
+		if w == 3 {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	cancels[1]()
+	r := <-results
+	if !errors.Is(r.err, context.Canceled) {
+		t.Fatalf("cancelled waiter got %v, want context.Canceled", r.err)
+	}
+	close(gate)
+	for i := 0; i < 2; i++ {
+		r := <-results
+		if r.err != nil {
+			t.Fatalf("surviving waiter poisoned by peer's cancel: %v", r.err)
+		}
+		if r.val != "answer" {
+			t.Fatalf("surviving waiter got %v", r.val)
+		}
+	}
+	if err := <-execCtxErr; err != nil {
+		t.Fatalf("shared execution was cancelled by a single waiter: %v", err)
+	}
+	for i, c := range cancels {
+		_ = i
+		c()
+	}
+}
+
+// When every waiter abandons the flight, the shared execution IS
+// cancelled and the flight forgotten, so a later identical query does
+// not latch onto a cancelled run.
+func TestCoalesceAllCancelledStopsExecution(t *testing.T) {
+	g := newFlightGroup()
+	key := Key{Op: OpKNN, QHash: 3}
+	started := make(chan struct{})
+	stopped := make(chan struct{})
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, _, err := g.Do(ctx, key, func(fctx context.Context) (any, error) {
+			close(started)
+			<-fctx.Done() // runs until the group cancels us
+			close(stopped)
+			return nil, fctx.Err()
+		})
+		done <- err
+	}()
+	<-started
+	cancel()
+	if err := <-done; !errors.Is(err, context.Canceled) {
+		t.Fatalf("abandoning waiter got %v", err)
+	}
+	select {
+	case <-stopped:
+	case <-time.After(2 * time.Second):
+		t.Fatal("execution not cancelled after last waiter left")
+	}
+	// The key is free again: a fresh query executes fresh.
+	val, shared, err := g.Do(context.Background(), key, func(context.Context) (any, error) {
+		return 99, nil
+	})
+	if err != nil || shared || val != 99 {
+		t.Fatalf("fresh query after abandoned flight: val=%v shared=%v err=%v", val, shared, err)
+	}
+}

@@ -1,0 +1,86 @@
+package serve
+
+import (
+	"math/bits"
+	"sync"
+)
+
+// costModel predicts a query's execution cost (µs) from history. Keys
+// are (op, partition-bound bucket): the touched-partition count is the
+// piece of the pruning funnel known before execution, and bucketing it
+// by powers of two keeps the table tiny while separating "touches one
+// partition" from "fans out across the dataset" — the actual cost
+// driver for anchored measures. Each bucket holds an EWMA of observed
+// wall-clock, so the model tracks load and data drift with no
+// persistence and O(1) state.
+type costModel struct {
+	alpha     float64 // EWMA weight of the newest observation
+	defaultUS int64   // prediction for never-observed buckets
+
+	mu    sync.Mutex
+	costs map[costKey]float64
+}
+
+type costKey struct {
+	op     Op
+	bucket int
+}
+
+func newCostModel(defaultUS int64) *costModel {
+	if defaultUS <= 0 {
+		defaultUS = 2000
+	}
+	return &costModel{alpha: 0.2, defaultUS: defaultUS, costs: map[costKey]float64{}}
+}
+
+// bucket maps a touched-partition count to its power-of-two bucket.
+// parts <= 0 means "unknown / all partitions" and lands in its own
+// bucket below the singletons.
+func bucket(parts int) int {
+	if parts <= 0 {
+		return -1
+	}
+	return bits.Len(uint(parts))
+}
+
+// predict returns the expected cost (µs) for an op touching the given
+// number of partitions. Unseen buckets fall back to the nearest
+// observed bucket for the op (pessimistically preferring wider ones),
+// then to the default.
+func (m *costModel) predict(op Op, parts int) int64 {
+	b := bucket(parts)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if c, ok := m.costs[costKey{op, b}]; ok {
+		return int64(c)
+	}
+	// Nearest fallback: a wider bucket's cost is an upper bound for a
+	// narrower query, which errs toward shedding — the safe direction
+	// when the model is cold.
+	for wider := b + 1; wider <= 64; wider++ {
+		if c, ok := m.costs[costKey{op, wider}]; ok {
+			return int64(c)
+		}
+	}
+	for narrower := b - 1; narrower >= -1; narrower-- {
+		if c, ok := m.costs[costKey{op, narrower}]; ok {
+			return int64(c)
+		}
+	}
+	return m.defaultUS
+}
+
+// observe feeds one executed query's wall-clock (µs) into the model.
+func (m *costModel) observe(op Op, parts int, elapsedUS int64) {
+	if elapsedUS < 1 {
+		elapsedUS = 1
+	}
+	k := costKey{op, bucket(parts)}
+	m.mu.Lock()
+	if c, ok := m.costs[k]; ok {
+		m.costs[k] = (1-m.alpha)*c + m.alpha*float64(elapsedUS)
+	} else {
+		m.costs[k] = float64(elapsedUS)
+	}
+	m.mu.Unlock()
+}

@@ -1,0 +1,247 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+
+	"dita/internal/core"
+	"dita/internal/dnet"
+	"dita/internal/gen"
+	"dita/internal/traj"
+)
+
+// netServer spins up an in-process 2-worker cluster, dispatches a
+// dataset, and fronts it with a serve.Server over CoordBackend.
+func netServer(t *testing.T) (*httptest.Server, *traj.Dataset) {
+	t.Helper()
+	var workers []*dnet.Worker
+	var addrs []string
+	for i := 0; i < 2; i++ {
+		w := dnet.NewWorker()
+		addr, err := w.Serve("127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		workers = append(workers, w)
+		addrs = append(addrs, addr)
+	}
+	cfg := dnet.DefaultNetConfig()
+	cfg.Replicas = 2
+	c, err := dnet.Connect(addrs, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		c.Close()
+		for _, w := range workers {
+			w.Close()
+		}
+	})
+	d := gen.Generate(gen.BeijingLike(140, 71))
+	if err := c.Dispatch("trips", d); err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(Config{
+		Backend: &CoordBackend{C: c, Dataset: "trips"},
+		Dataset: "trips",
+		Measure: "DTW",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return ts, d
+}
+
+func hitSet(hits []Hit) string {
+	s := make([]string, len(hits))
+	for i, h := range hits {
+		s[i] = fmt.Sprintf("%d:%.9g", h.ID, h.Distance)
+	}
+	sort.Strings(s)
+	return fmt.Sprint(s)
+}
+
+// TestServeCacheIngestDifferential runs a mixed stream of queries and
+// Insert/Delete against a real 2-worker cluster and re-verifies EVERY
+// cache hit against a bypass query executed before any further write
+// can land (writers and verification pairs exclude each other on an
+// RWMutex; concurrent verifiers still overlap). A single stale hit —
+// an answer the live cluster no longer agrees with — fails the test.
+// Run under -race in CI (make serve).
+func TestServeCacheIngestDifferential(t *testing.T) {
+	ts, d := netServer(t)
+	client := ts.Client()
+
+	postJSON := func(path string, body any) (int, string, queryResponse) {
+		raw, err := json.Marshal(body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := client.Post(ts.URL+path, "application/json", bytes.NewReader(raw))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var qr queryResponse
+		_ = json.NewDecoder(resp.Body).Decode(&qr)
+		return resp.StatusCode, resp.Header.Get("X-Dita-Cache"), qr
+	}
+
+	queries := gen.Queries(d, 5, 72)
+	extra := gen.Generate(gen.BeijingLike(60, 73))
+	const tau = 0.4
+
+	// pairMu: writers exclusive, (hit, bypass) verification pairs
+	// shared. Without it a write could land between the hit and its
+	// bypass check and a legitimate difference would masquerade as a
+	// stale cache hit.
+	var pairMu sync.RWMutex
+	var hitsVerified, staleHits int64
+	var cmu sync.Mutex
+
+	verify := func(iters int, seed int) {
+		for i := 0; i < iters; i++ {
+			q := queries[(i+seed)%len(queries)]
+			req := searchRequest{Query: rawPoints(q.Points), Tau: tau}
+			pairMu.RLock()
+			status, state, got := postJSON("/v1/search", req)
+			if status != http.StatusOK {
+				pairMu.RUnlock()
+				t.Errorf("search: status %d", status)
+				return
+			}
+			if state == "hit" {
+				bstatus, _, want := postJSON("/v1/search?cache=bypass", req)
+				pairMu.RUnlock()
+				if bstatus != http.StatusOK {
+					t.Errorf("bypass: status %d", bstatus)
+					return
+				}
+				cmu.Lock()
+				hitsVerified++
+				if hitSet(got.Hits) != hitSet(want.Hits) {
+					staleHits++
+					t.Errorf("stale cache hit for query %d: cached %s live %s",
+						q.ID, hitSet(got.Hits), hitSet(want.Hits))
+				}
+				cmu.Unlock()
+			} else {
+				pairMu.RUnlock()
+			}
+		}
+	}
+
+	write := func(n int, seed int) {
+		for i := 0; i < n; i++ {
+			tr := extra.Trajs[(i+seed)%len(extra.Trajs)]
+			var body any
+			var path string
+			if i%3 == 2 {
+				path, body = "/v1/delete", deleteRequest{ID: tr.ID + 200000}
+			} else {
+				path, body = "/v1/ingest", ingestRequest{ID: tr.ID + 200000, Points: rawPoints(tr.Points)}
+			}
+			_, err := RetryOverloaded(context.Background(), Backoff{Base: time.Millisecond, Seed: int64(seed)}, func() error {
+				pairMu.Lock()
+				status, _, _ := postJSON(path, body)
+				pairMu.Unlock()
+				switch status {
+				case http.StatusOK:
+					return nil
+				case http.StatusServiceUnavailable, http.StatusTooManyRequests:
+					return core.ErrDeltaBacklog
+				default:
+					return fmt.Errorf("%s status %d", path, status)
+				}
+			})
+			if err != nil {
+				t.Errorf("write: %v", err)
+				return
+			}
+		}
+	}
+
+	var wg sync.WaitGroup
+	for v := 0; v < 3; v++ {
+		wg.Add(1)
+		go func(v int) { defer wg.Done(); verify(40, v*7) }(v)
+	}
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func(w int) { defer wg.Done(); write(25, w*13) }(w)
+	}
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+
+	// Quiet phase: with writers done, every repeated query must hit and
+	// every hit must agree with the live cluster — guarantees the
+	// mixed phase above wasn't all misses.
+	for _, q := range queries {
+		req := searchRequest{Query: rawPoints(q.Points), Tau: tau}
+		postJSON("/v1/search", req) // warm
+		status, state, got := postJSON("/v1/search", req)
+		if status != http.StatusOK || state != "hit" {
+			t.Fatalf("quiet-phase repeat: status=%d state=%q, want hit", status, state)
+		}
+		_, _, want := postJSON("/v1/search?cache=bypass", req)
+		hitsVerified++
+		if hitSet(got.Hits) != hitSet(want.Hits) {
+			t.Fatalf("quiet-phase stale hit for query %d", q.ID)
+		}
+	}
+	if staleHits != 0 {
+		t.Fatalf("%d stale cache hits across %d verified", staleHits, hitsVerified)
+	}
+	t.Logf("verified %d cache hits, 0 stale", hitsVerified)
+}
+
+// TestServeKNNInvalidationNet checks the coarse (all-partition) kNN
+// dependency against the cluster: a kNN answer is served from cache
+// until ANY write lands, then recomputed.
+func TestServeKNNInvalidationNet(t *testing.T) {
+	ts, d := netServer(t)
+	q := d.Trajs[9]
+	req := knnRequest{Query: rawPoints(q.Points), K: 4}
+
+	status, _, body := post(t, ts.URL+"/v1/knn", req)
+	if status != http.StatusOK {
+		t.Fatalf("knn: %d %s", status, body)
+	}
+	_, hdr, _ := post(t, ts.URL+"/v1/knn", req)
+	if hdr.Get("X-Dita-Cache") != "hit" {
+		t.Fatal("repeat kNN not cached")
+	}
+	ins := ingestRequest{ID: 300000, Points: rawPoints(q.Points)}
+	if status, _, body := post(t, ts.URL+"/v1/ingest", ins); status != http.StatusOK {
+		t.Fatalf("ingest: %d %s", status, body)
+	}
+	_, hdr, body = post(t, ts.URL+"/v1/knn", req)
+	if hdr.Get("X-Dita-Cache") != "miss" {
+		t.Fatal("kNN cache survived a write")
+	}
+	var qr queryResponse
+	if err := json.Unmarshal(body, &qr); err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, h := range qr.Hits {
+		if h.ID == 300000 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("recomputed kNN answer misses the trajectory just ingested at distance 0")
+	}
+}

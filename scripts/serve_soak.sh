@@ -1,0 +1,95 @@
+#!/bin/sh
+# Soak test for the HTTP serving layer (internal/serve + dita-serve):
+# two phases against real processes over real sockets.
+#
+# Phase 1 (steady state): a dita-serve fronting 2 loopback workers takes
+# a mixed query/write load at a sustainable rate. The drive harness
+# re-checks sampled cache hits against bypass queries — a single stale
+# hit fails the run — and the run also fails on untyped errors (the
+# overload contract is typed 429/503, never a timeout pile-up), on a
+# served-p99 SLO breach, or if the cache never hit at all (a serving
+# layer whose cache does nothing is misconfigured, not lucky).
+#
+# Phase 2 (overload): a second dita-serve with a starved admission
+# budget takes ~3x its capacity. The run fails unless load is refused
+# with typed 429/503 sheds, and fails on any untyped error: shedding,
+# not collapsing, is the contract under pressure.
+#
+#   make serve-soak                        # default 10s steady phase
+#   SERVE_SOAK_DURATION=5s make serve-soak # shorter
+#   SERVE_REPORT_DIR=out make serve-soak   # keep the JSON reports
+set -eu
+
+cd "$(dirname "$0")/.."
+DUR="${SERVE_SOAK_DURATION:-10s}"
+TMP="$(mktemp -d)"
+REPORT_DIR="${SERVE_REPORT_DIR:-$TMP}"
+mkdir -p "$REPORT_DIR"
+S1= S2=
+cleanup() {
+	[ -n "$S1" ] && kill "$S1" 2>/dev/null || true
+	[ -n "$S2" ] && kill "$S2" 2>/dev/null || true
+	rm -rf "$TMP"
+}
+trap cleanup EXIT INT TERM
+
+go build -o "$TMP/dita-serve" ./cmd/dita-serve
+
+scrape() {
+	if command -v curl >/dev/null 2>&1; then curl -fsS "$1"; else wget -qO- "$1"; fi
+}
+wait_ready() { # $1 = base URL
+	i=0
+	while ! scrape "$1/readyz" >/dev/null 2>&1; do
+		i=$((i + 1))
+		[ "$i" -lt 60 ] || { echo "serve-soak: $1 never became ready"; exit 1; }
+		sleep 0.5
+	done
+}
+json_field() { # $1 = file, $2 = field name; integer-valued fields only
+	sed -n "s/^  \"$2\": \([0-9][0-9]*\).*/\1/p" "$1"
+}
+
+# ---------------------------------------------------------------------
+# Phase 1: steady state. No admission budget; the rate is set well under
+# loopback capacity so every shed or SLO breach is a real bug.
+"$TMP/dita-serve" -listen 127.0.0.1:18095 -spawn 2 -gen beijing:1500 \
+	>"$TMP/s1.log" 2>&1 &
+S1=$!
+wait_ready http://127.0.0.1:18095
+scrape http://127.0.0.1:18095/healthz >/dev/null \
+	|| { echo "serve-soak: /healthz not serving"; exit 1; }
+
+# Join is excluded from the mix: a self-join recomputed after every
+# write invalidation costs seconds, which is a capacity decision, not a
+# latency bug — the serve tests and ditabench cover the join path.
+"$TMP/dita-serve" -drive http://127.0.0.1:18095 -duration "$DUR" -rate 150 \
+	-mix 'search=57,knn=25,ingest=13,delete=5' \
+	-slo-p99-ms 500 -report "$REPORT_DIR/serve_slo.json" \
+	|| { echo "serve-soak: steady phase failed (stale hit, untyped error, or SLO breach)"; cat "$TMP/s1.log"; exit 1; }
+
+HITS="$(json_field "$REPORT_DIR/serve_slo.json" cache_hits)"
+[ -n "$HITS" ] && [ "$HITS" -gt 0 ] \
+	|| { echo "serve-soak: steady phase produced no cache hits (got '${HITS:-missing}')"; exit 1; }
+STALE="$(json_field "$REPORT_DIR/serve_slo.json" stale_hits)"
+[ "$STALE" = "0" ] || { echo "serve-soak: $STALE stale cache hits"; exit 1; }
+
+kill "$S1" 2>/dev/null || true
+wait "$S1" 2>/dev/null || true
+S1=
+echo "serve-soak: steady phase ok ($HITS cache hits verified against bypass, 0 stale)"
+
+# ---------------------------------------------------------------------
+# Phase 2: overload. A 2ms concurrent-cost budget with a 4-deep queue
+# takes 500 req/s: most of it must be refused with typed 429/503.
+"$TMP/dita-serve" -listen 127.0.0.1:18096 -spawn 2 -gen beijing:1500 \
+	-cost-budget-us 2000 -max-queue 4 >"$TMP/s2.log" 2>&1 &
+S2=$!
+wait_ready http://127.0.0.1:18096
+
+"$TMP/dita-serve" -drive http://127.0.0.1:18096 -duration "$DUR" -rate 500 \
+	-expect-shed 1 -report "$REPORT_DIR/serve_overload.json" \
+	|| { echo "serve-soak: overload phase failed (no typed sheds, a stale hit, or untyped errors)"; cat "$TMP/s2.log"; exit 1; }
+
+SHED="$(json_field "$REPORT_DIR/serve_overload.json" shed)"
+echo "serve-soak: overload phase ok ($SHED typed 429 sheds, reports in $REPORT_DIR)"
