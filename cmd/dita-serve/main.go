@@ -404,10 +404,12 @@ func runDrive(cfg driveConfig) int {
 		default:
 			record(func(r *driveReport) { r.Untyped++ })
 		}
-		// Stale detection: re-check sampled hits against a bypass
-		// query. A write can land between the pair, so a mismatch is
-		// retried; only a persistent mismatch counts as stale.
-		if status == http.StatusOK && state == "hit" && (kind == opSearch || kind == opKNN) && sample {
+		// Stale detection: re-check sampled hit AND coalesced responses
+		// against a bypass query (a coalesced answer fills the cache, so
+		// the re-query exercises the same epoch snapshot the waiter was
+		// served from). A write can land between the pair, so a mismatch
+		// is retried; only a persistent mismatch counts as stale.
+		if status == http.StatusOK && (state == "hit" || state == "coalesced") && (kind == opSearch || kind == opKNN) && sample {
 			record(func(r *driveReport) { r.HitsChecked++ })
 			stale := true
 			for attempt := 0; attempt < 3 && stale; attempt++ {

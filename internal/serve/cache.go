@@ -144,7 +144,7 @@ func (c *Cache) Get(key Key, q []geom.Point, cur EpochView) (any, bool) {
 		c.misses++
 		return nil, false
 	}
-	if !currentLocked(e, cur) {
+	if !freshAt(e.epochs, e.touched, cur) {
 		c.removeLocked(e)
 		c.stale++
 		c.misses++
@@ -155,29 +155,31 @@ func (c *Cache) Get(key Key, q []geom.Point, cur EpochView) (any, bool) {
 	return e.val, true
 }
 
-// currentLocked proves the entry fresh at the live epochs: bounds
-// unchanged AND every partition the answer depends on unwritten since
-// the entry was computed. touched == nil depends on every partition.
-func currentLocked(e *entry, cur EpochView) bool {
-	if e.epochs.Bounds != cur.Bounds {
+// freshAt proves an answer computed at snapshot epochs snap fresh at
+// the live epochs cur: bounds unchanged AND every partition the answer
+// depends on unwritten since the snapshot. touched == nil depends on
+// every partition. Shared by the cache and by the coalescer's
+// late-waiter validation in runQuery.
+func freshAt(snap EpochView, touched []int, cur EpochView) bool {
+	if snap.Bounds != cur.Bounds {
 		return false
 	}
-	if e.touched == nil {
-		if len(e.epochs.Parts) != len(cur.Parts) {
+	if touched == nil {
+		if len(snap.Parts) != len(cur.Parts) {
 			return false
 		}
 		for i := range cur.Parts {
-			if e.epochs.Parts[i] != cur.Parts[i] {
+			if snap.Parts[i] != cur.Parts[i] {
 				return false
 			}
 		}
 		return true
 	}
-	for _, pid := range e.touched {
-		if pid < 0 || pid >= len(cur.Parts) || pid >= len(e.epochs.Parts) {
+	for _, pid := range touched {
+		if pid < 0 || pid >= len(cur.Parts) || pid >= len(snap.Parts) {
 			return false
 		}
-		if e.epochs.Parts[pid] != cur.Parts[pid] {
+		if snap.Parts[pid] != cur.Parts[pid] {
 			return false
 		}
 	}
@@ -188,6 +190,11 @@ func currentLocked(e *entry, cur EpochView) bool {
 // approximate result size used for the byte cap.
 func (c *Cache) Put(key Key, q []geom.Point, val any, bytes int, epochs EpochView, touched []int) {
 	if c == nil {
+		return
+	}
+	if bytes > c.maxBytes {
+		// A result bigger than the whole cache would evict everything
+		// else and still bust the byte cap; leave it uncached.
 		return
 	}
 	c.mu.Lock()

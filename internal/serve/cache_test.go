@@ -135,6 +135,23 @@ func TestCacheCaps(t *testing.T) {
 	if st := cb.Stats(); st.Entries != 1 || st.Bytes != 60 {
 		t.Fatalf("byte cap not enforced: %+v", st)
 	}
+
+	// A result larger than the whole byte cap is never admitted: it
+	// would pin more than maxBytes indefinitely (the evict loop keeps
+	// one resident entry) and displace everything else for nothing.
+	qh := q2(9, 9)
+	cb.Put(searchKey(qh, 0.5), qh, []Hit{}, 101, ev(0, 0), nil)
+	if _, ok := cb.Get(searchKey(qh, 0.5), qh, ev(0, 0)); ok {
+		t.Fatal("oversized result was cached")
+	}
+	if st := cb.Stats(); st.Bytes > 100 {
+		t.Fatalf("cache exceeds its byte cap: %+v", st)
+	}
+	// ...and the resident small entry survived the oversized Put.
+	q3 := q2(3, 1)
+	if _, ok := cb.Get(searchKey(q3, 0.5), q3, ev(0, 0)); !ok {
+		t.Fatal("oversized Put displaced the resident entry")
+	}
 }
 
 func TestCacheNilAndHashing(t *testing.T) {

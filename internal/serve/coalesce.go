@@ -3,14 +3,19 @@ package serve
 import (
 	"context"
 	"sync"
+
+	"dita/internal/geom"
 )
 
 // flight is one shared execution of a query. The leader goroutine runs
 // the function under a context detached from every caller; waiters
 // count references so the flight is cancelled exactly when the last
 // interested caller walks away — one caller's cancellation never
-// poisons the others.
+// poisons the others. q is the leader's full query trajectory: the
+// same collision guard the cache uses (Key carries only a 64-bit
+// query hash, and two distinct queries may collide on it).
 type flight struct {
+	q       []geom.Point
 	done    chan struct{}
 	val     any
 	err     error
@@ -33,20 +38,31 @@ func newFlightGroup() *flightGroup {
 	return &flightGroup{flights: map[Key]*flight{}}
 }
 
-// Do returns fn's result for key, executing it once no matter how many
-// callers arrive while it is in flight. shared reports whether this
-// caller joined an existing execution. When ctx ends before the flight
-// finishes, Do returns ctx.Err() for THIS caller only; the flight runs
-// on for the others and is cancelled (and forgotten, so a later
-// arrival starts fresh) when its waiter count reaches zero.
-func (g *flightGroup) Do(ctx context.Context, key Key, fn func(ctx context.Context) (any, error)) (val any, shared bool, err error) {
+// Do returns fn's result for (key, q), executing it once no matter how
+// many callers arrive while it is in flight. shared reports whether
+// this caller joined an existing execution. When ctx ends before the
+// flight finishes, Do returns ctx.Err() for THIS caller only; the
+// flight runs on for the others and is cancelled (and forgotten, so a
+// later arrival starts fresh) when its waiter count reaches zero.
+//
+// q is the caller's full query trajectory (nil for joins). A resident
+// flight whose q differs is a 64-bit QHash collision between distinct
+// queries — joining it would hand this caller the other query's
+// answer, so the colliding caller runs fn directly, uncoalesced (the
+// hash narrows, the points decide, same as Cache.Get).
+func (g *flightGroup) Do(ctx context.Context, key Key, q []geom.Point, fn func(ctx context.Context) (any, error)) (val any, shared bool, err error) {
 	g.mu.Lock()
 	f, ok := g.flights[key]
+	if ok && !pointsEqual(f.q, q) {
+		g.mu.Unlock()
+		val, err = fn(ctx)
+		return val, false, err
+	}
 	if ok {
 		f.waiters++
 	} else {
 		fctx, cancel := context.WithCancel(context.WithoutCancel(ctx))
-		f = &flight{done: make(chan struct{}), waiters: 1, cancel: cancel}
+		f = &flight{q: q, done: make(chan struct{}), waiters: 1, cancel: cancel}
 		g.flights[key] = f
 		go func() {
 			f.val, f.err = fn(fctx)

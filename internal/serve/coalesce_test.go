@@ -7,6 +7,8 @@ import (
 	"sync/atomic"
 	"testing"
 	"time"
+
+	"dita/internal/geom"
 )
 
 // N identical concurrent queries execute the backend exactly once and
@@ -24,7 +26,7 @@ func TestCoalesceExecutesOnce(t *testing.T) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			val, shared, err := g.Do(context.Background(), key, func(context.Context) (any, error) {
+			val, shared, err := g.Do(context.Background(), key, nil, func(context.Context) (any, error) {
 				execs.Add(1)
 				<-gate
 				return []Hit{{ID: 9}}, nil
@@ -65,7 +67,7 @@ func TestCoalesceExecutesOnce(t *testing.T) {
 	}
 	// The finished flight is forgotten: a later identical query starts
 	// fresh (the result cache, not the flight table, handles reuse).
-	_, _, _ = g.Do(context.Background(), key, func(context.Context) (any, error) {
+	_, _, _ = g.Do(context.Background(), key, nil, func(context.Context) (any, error) {
 		execs.Add(1)
 		return nil, nil
 	})
@@ -94,7 +96,7 @@ func TestCoalesceCancelIsolation(t *testing.T) {
 	}
 	for i := 0; i < 3; i++ {
 		go func(i int) {
-			val, _, err := g.Do(ctxs[i], key, func(fctx context.Context) (any, error) {
+			val, _, err := g.Do(ctxs[i], key, nil, func(fctx context.Context) (any, error) {
 				<-gate
 				execCtxErr <- fctx.Err()
 				return "answer", nil
@@ -151,7 +153,7 @@ func TestCoalesceAllCancelledStopsExecution(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	done := make(chan error, 1)
 	go func() {
-		_, _, err := g.Do(ctx, key, func(fctx context.Context) (any, error) {
+		_, _, err := g.Do(ctx, key, nil, func(fctx context.Context) (any, error) {
 			close(started)
 			<-fctx.Done() // runs until the group cancels us
 			close(stopped)
@@ -170,10 +172,81 @@ func TestCoalesceAllCancelledStopsExecution(t *testing.T) {
 		t.Fatal("execution not cancelled after last waiter left")
 	}
 	// The key is free again: a fresh query executes fresh.
-	val, shared, err := g.Do(context.Background(), key, func(context.Context) (any, error) {
+	val, shared, err := g.Do(context.Background(), key, nil, func(context.Context) (any, error) {
 		return 99, nil
 	})
 	if err != nil || shared || val != 99 {
 		t.Fatalf("fresh query after abandoned flight: val=%v shared=%v err=%v", val, shared, err)
 	}
+}
+
+// Two distinct queries colliding on the same 64-bit QHash must not
+// share a flight: the collider runs its own execution and gets its own
+// answer, mirroring the cache's points-decide collision guard.
+func TestCoalesceQHashCollision(t *testing.T) {
+	g := newFlightGroup()
+	key := Key{Op: OpSearch, QHash: 77} // same key for both queries
+	qa := []geom.Point{{X: 0, Y: 0}, {X: 1, Y: 1}}
+	qb := []geom.Point{{X: 2, Y: 2}, {X: 3, Y: 3}}
+	gate := make(chan struct{})
+
+	leaderDone := make(chan struct{})
+	go func() {
+		defer close(leaderDone)
+		val, shared, err := g.Do(context.Background(), key, qa, func(context.Context) (any, error) {
+			<-gate
+			return "answer-a", nil
+		})
+		if err != nil || shared || val != "answer-a" {
+			t.Errorf("leader: val=%v shared=%v err=%v", val, shared, err)
+		}
+	}()
+	// Wait for the leader's flight to be resident.
+	for {
+		g.mu.Lock()
+		_, ok := g.flights[key]
+		g.mu.Unlock()
+		if ok {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// The collider must not block on the leader's gate: its execution
+	// is direct and returns its own answer with shared=false.
+	val, shared, err := g.Do(context.Background(), key, qb, func(context.Context) (any, error) {
+		return "answer-b", nil
+	})
+	if err != nil || shared || val != "answer-b" {
+		t.Fatalf("collider: val=%v shared=%v err=%v — got the other query's answer?", val, shared, err)
+	}
+	// Identical query points DO still coalesce: a second qa caller
+	// joins the resident flight instead of executing.
+	joined := make(chan struct{})
+	go func() {
+		defer close(joined)
+		val, shared, err := g.Do(context.Background(), key, qa, func(context.Context) (any, error) {
+			t.Error("identical query executed instead of coalescing")
+			return nil, nil
+		})
+		if err != nil || !shared || val != "answer-a" {
+			t.Errorf("joiner: val=%v shared=%v err=%v", val, shared, err)
+		}
+	}()
+	for {
+		g.mu.Lock()
+		f := g.flights[key]
+		w := 0
+		if f != nil {
+			w = f.waiters
+		}
+		g.mu.Unlock()
+		if w == 2 {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(gate)
+	<-leaderDone
+	<-joined
 }

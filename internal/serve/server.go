@@ -280,53 +280,60 @@ func (s *Server) runQuery(w http.ResponseWriter, r *http.Request, op Op, tau flo
 		s.met.cacheMisses.Inc()
 	}
 
-	exec := func(fctx context.Context) (any, error) {
-		// The touched set doubles as the cost-model feature and the
-		// cache entry's dependency set. A lookup error degrades to nil
-		// ("all partitions") — sound, just coarser.
-		var touched []int
+	exec := func(fctx context.Context) (*execResult, error) {
+		// Pre-gate Touched lookup feeds the cost model ONLY. It must
+		// not become the cache dependency set: Acquire can queue for
+		// up to QueueTimeout, and a write growing a partition's MBR in
+		// between would leave us with a post-growth Bounds epoch over a
+		// pre-growth touched set — a stale entry that looks fresh.
+		var predicted []int
 		if op == OpSearch {
-			touched, _ = s.cfg.Backend.Touched(q, tau)
+			predicted, _ = s.cfg.Backend.Touched(q, tau)
 		}
-		release, err := s.gate.Acquire(fctx, s.model.predict(op, len(touched)))
+		release, err := s.gate.Acquire(fctx, s.model.predict(op, len(predicted)))
 		if err != nil {
 			return nil, err
 		}
 		defer release()
-		var epochs EpochView
-		epochsOK := false
-		if cacheable {
-			// BEFORE execution: a write landing after this snapshot
-			// makes the entry look stale, never fresh.
-			if epochs, err = s.cfg.Backend.Epochs(); err == nil {
-				epochsOK = true
+		res := &execResult{}
+		// Epoch snapshot BEFORE execution: a write landing after it
+		// makes the answer look stale, never fresh. The dependency set
+		// is computed AFTER the snapshot — bounds growth in between
+		// bumps Bounds and fails validation anyway, and a touched set
+		// computed at later bounds is a superset of the snapshot-time
+		// set (bounds only grow), so it can only over-invalidate. A
+		// Touched error degrades to nil ("all partitions") — sound,
+		// just coarser.
+		if res.epochs, err = s.cfg.Backend.Epochs(); err == nil {
+			res.epochsOK = true
+			if op == OpSearch {
+				res.touched, _ = s.cfg.Backend.Touched(q, tau)
 			}
 		}
 		t0 := time.Now()
-		var val any
 		var bytes int
 		switch op {
 		case OpSearch:
 			hits, herr := s.cfg.Backend.Search(fctx, q, tau)
-			val, bytes, err = hits, 32+16*len(hits), herr
+			res.val, bytes, err = hits, 32+16*len(hits), herr
 		case OpKNN:
 			hits, herr := s.cfg.Backend.KNN(fctx, q, k)
-			val, bytes, err = hits, 32+16*len(hits), herr
+			res.val, bytes, err = hits, 32+16*len(hits), herr
 		case OpJoin:
 			pairs, jerr := s.cfg.Backend.Join(fctx, right, tau)
-			val, bytes, err = pairs, 32+24*len(pairs), jerr
+			res.val, bytes, err = pairs, 32+24*len(pairs), jerr
 		}
 		if err != nil {
 			return nil, err
 		}
-		s.model.observe(op, len(touched), time.Since(t0).Microseconds())
-		if epochsOK {
-			s.cache.Put(key, q, val, bytes, epochs, touched)
+		s.model.observe(op, len(res.touched), time.Since(t0).Microseconds())
+		if cacheable && res.epochsOK {
+			s.cache.Put(key, q, res.val, bytes, res.epochs, res.touched)
 		}
-		return val, nil
+		return res, nil
 	}
 
-	var val any
+	var res *execResult
 	var shared bool
 	var err error
 	if bypass {
@@ -334,9 +341,26 @@ func (s *Server) runQuery(w http.ResponseWriter, r *http.Request, op Op, tau flo
 		// cache fill, and no coalescing either, or it could be handed
 		// a flight that started (and snapshotted its answer) before a
 		// write the client has already seen acked.
-		val, err = exec(ctx)
+		res, err = exec(ctx)
 	} else {
-		val, shared, err = s.flights.Do(ctx, key, exec)
+		var v any
+		v, shared, err = s.flights.Do(ctx, key, q, func(fctx context.Context) (any, error) {
+			return exec(fctx)
+		})
+		if err == nil {
+			res = v.(*execResult)
+		}
+		if err == nil && shared && !s.flightCurrent(res) {
+			// Read-your-writes for late joiners: the flight snapshotted
+			// its answer before this caller's request began (or at
+			// least before a write this caller may have seen acked).
+			// Exactly like a cache hit, the shared result must be
+			// proven current at the live epochs; when it is not — or
+			// when it carries no snapshot to check — re-execute
+			// uncoalesced and report a plain miss.
+			shared = false
+			res, err = exec(ctx)
+		}
 	}
 	if err != nil {
 		s.writeQueryError(w, err)
@@ -350,7 +374,34 @@ func (s *Server) runQuery(w http.ResponseWriter, r *http.Request, op Op, tau flo
 		state = "coalesced"
 		s.met.coalesced.Inc()
 	}
-	s.respond(w, op, val, state, start)
+	s.respond(w, op, res.val, state, start)
+}
+
+// execResult is one backend execution's answer plus the epoch evidence
+// needed to prove it current later: the snapshot it was computed at
+// and the partitions it depends on (nil touched = all partitions).
+// The coalescer shares it between waiters; epochsOK is false when the
+// epoch snapshot itself failed, in which case nothing can be proven.
+type execResult struct {
+	val      any
+	epochs   EpochView
+	epochsOK bool
+	touched  []int
+}
+
+// flightCurrent reports whether a coalesced flight's result is still
+// provably current at the live epochs — the same validation Cache.Get
+// applies to a resident entry. Epoch-lookup failure counts as "not
+// current": the caller re-executes rather than serve unproven state.
+func (s *Server) flightCurrent(res *execResult) bool {
+	if !res.epochsOK {
+		return false
+	}
+	cur, err := s.cfg.Backend.Epochs()
+	if err != nil {
+		return false
+	}
+	return freshAt(res.epochs, res.touched, cur)
 }
 
 func (s *Server) respond(w http.ResponseWriter, op Op, val any, state string, start time.Time) {

@@ -9,6 +9,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -238,9 +239,10 @@ func TestServerHealthEndpoints(t *testing.T) {
 
 // blockingBackend wraps EngineBackend-free fakes for shed/backlog tests.
 type fakeBackend struct {
-	searchFn func(ctx context.Context, q []geom.Point, tau float64) ([]Hit, error)
-	ingestFn func(ctx context.Context, t *traj.T) error
-	epochFn  func() (EpochView, error)
+	searchFn  func(ctx context.Context, q []geom.Point, tau float64) ([]Hit, error)
+	ingestFn  func(ctx context.Context, t *traj.T) error
+	epochFn   func() (EpochView, error)
+	touchedFn func() ([]int, error)
 }
 
 func (f *fakeBackend) Search(ctx context.Context, q []geom.Point, tau float64) ([]Hit, error) {
@@ -264,8 +266,152 @@ func (f *fakeBackend) Epochs() (EpochView, error) {
 	}
 	return EpochView{Parts: []uint64{0}}, nil
 }
-func (f *fakeBackend) Touched([]geom.Point, float64) ([]int, error) { return nil, nil }
+func (f *fakeBackend) Touched([]geom.Point, float64) ([]int, error) {
+	if f.touchedFn != nil {
+		return f.touchedFn()
+	}
+	return nil, nil
+}
 func (f *fakeBackend) Ready() error                                 { return nil }
+
+// The cache dependency set must be computed after the epoch snapshot,
+// not before admission: if a partition's MBR grows while the request
+// waits at the gate, a touched set from before the growth paired with
+// a Bounds epoch from after it would let later non-growing writes to
+// the newly relevant partition pass validation — a stale hit. The fake
+// backend emulates exactly that interleaving: the first Touched call
+// (pre-gate, cost prediction) sees {0}, every later one (post-growth)
+// sees {0, 1}, and Epochs always reports the post-growth Bounds.
+func TestServerNoStaleHitWhenBoundsGrowDuringAdmission(t *testing.T) {
+	var touchedCalls atomic.Int32
+	var mu sync.Mutex
+	parts := []uint64{5, 5}
+	fb := &fakeBackend{
+		searchFn: func(context.Context, []geom.Point, float64) ([]Hit, error) {
+			return []Hit{{ID: 1}}, nil
+		},
+		touchedFn: func() ([]int, error) {
+			if touchedCalls.Add(1) == 1 {
+				return []int{0}, nil // pre-growth view
+			}
+			return []int{0, 1}, nil // partition 1 grew into relevance
+		},
+		epochFn: func() (EpochView, error) {
+			mu.Lock()
+			defer mu.Unlock()
+			return EpochView{Bounds: 1, Parts: append([]uint64{}, parts...)}, nil
+		},
+	}
+	s, err := New(Config{Backend: fb, Dataset: "trips", Measure: "DTW"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	req := searchRequest{Query: [][2]float64{{0, 0}, {1, 1}}, Tau: 0.5}
+	if status, hdr, body := post(t, ts.URL+"/v1/search", req); status != http.StatusOK || hdr.Get("X-Dita-Cache") != "miss" {
+		t.Fatalf("first query: %d %q %s", status, hdr.Get("X-Dita-Cache"), body)
+	}
+	// A non-growing write to the newly relevant partition 1. The entry
+	// must depend on it (touched computed after the snapshot) and die.
+	mu.Lock()
+	parts[1]++
+	mu.Unlock()
+	if status, hdr, _ := post(t, ts.URL+"/v1/search", req); status != http.StatusOK || hdr.Get("X-Dita-Cache") == "hit" {
+		t.Fatalf("stale hit: write to a post-growth-relevant partition did not invalidate (state %q)", hdr.Get("X-Dita-Cache"))
+	}
+}
+
+// A waiter that joins an in-flight execution AFTER a write has been
+// acked must not be handed the flight's pre-write answer: coalesced
+// results are validated against live epochs like cache entries, and a
+// stale flight re-executes for the late joiner (read-your-writes).
+func TestServerCoalescedWaiterRevalidates(t *testing.T) {
+	var epoch atomic.Uint64
+	var calls atomic.Int32
+	leaderIn := make(chan struct{}, 1)
+	release := make(chan struct{})
+	fb := &fakeBackend{
+		searchFn: func(ctx context.Context, _ []geom.Point, _ float64) ([]Hit, error) {
+			if calls.Add(1) == 1 {
+				leaderIn <- struct{}{}
+				select {
+				case <-release:
+				case <-ctx.Done():
+					return nil, ctx.Err()
+				}
+				return []Hit{{ID: 1}}, nil // answer from before the write
+			}
+			return []Hit{{ID: 2}}, nil // answer including the write
+		},
+		epochFn: func() (EpochView, error) {
+			return EpochView{Parts: []uint64{epoch.Load()}}, nil
+		},
+	}
+	s, err := New(Config{Backend: fb, Dataset: "trips", Measure: "DTW"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	req := searchRequest{Query: [][2]float64{{0, 0}, {1, 1}}, Tau: 0.5}
+	key := Key{Op: OpSearch, Measure: "DTW", Tau: 0.5, QHash: HashQuery([]geom.Point{{X: 0, Y: 0}, {X: 1, Y: 1}})}
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { // leader: snapshots epoch 0, blocks mid-execution
+		defer wg.Done()
+		status, _, body := post(t, ts.URL+"/v1/search", req)
+		if status != http.StatusOK {
+			t.Errorf("leader: %d %s", status, body)
+		}
+	}()
+	<-leaderIn
+	epoch.Add(1) // an acked write lands while the flight is in progress
+
+	waiterDone := make(chan struct{})
+	var waiterState string
+	var waiterHits []Hit
+	go func() { // late joiner: its request begins after the write
+		defer close(waiterDone)
+		status, hdr, body := post(t, ts.URL+"/v1/search", req)
+		if status != http.StatusOK {
+			t.Errorf("waiter: %d %s", status, body)
+			return
+		}
+		waiterState = hdr.Get("X-Dita-Cache")
+		waiterHits = decodeQuery(t, body).Hits
+	}()
+	// Hold the flight open until the waiter has actually joined it, so
+	// the coalesced path (not a fresh leadership) is exercised.
+	for {
+		s.flights.mu.Lock()
+		f := s.flights.flights[key]
+		w := 0
+		if f != nil {
+			w = f.waiters
+		}
+		s.flights.mu.Unlock()
+		if w >= 2 {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(release)
+	wg.Wait()
+	<-waiterDone
+
+	if waiterState == "coalesced" {
+		t.Fatalf("stale flight result served as coalesced")
+	}
+	if len(waiterHits) != 1 || waiterHits[0].ID != 2 {
+		t.Fatalf("waiter got pre-write answer: %+v (state %q)", waiterHits, waiterState)
+	}
+	if got := calls.Load(); got != 2 {
+		t.Fatalf("backend executed %d times, want 2 (leader + revalidating waiter)", got)
+	}
+}
 
 // Saturating the cost budget sheds with a typed 429 + Retry-After
 // while the in-flight query is unaffected.
