@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: build test race vet staticcheck chaos knn snap ingest serve fuzz check soak serve-soak bench bench-json
+.PHONY: build test race vet staticcheck chaos knn snap ingest serve rebalance fuzz check soak serve-soak bench bench-json
 
 build:
 	$(GO) build ./...
@@ -63,6 +63,15 @@ ingest:
 serve:
 	$(GO) test -race -count=2 ./internal/serve/ ./internal/admit/
 
+# Online re-partitioning tests: the engine split/merge/planner
+# differential suite, the dnet live-cluster cutover suite (all five
+# measures, concurrent writes racing cutovers, abort-never-a-mix), and
+# the coordinator-recovery regressions — rerun under the race detector,
+# -count=2 to defeat the cache.
+rebalance:
+	$(GO) test -race -run 'Rebalance|Repartition|Recover|CutoverAbort' -count=2 \
+		./internal/str ./internal/core ./internal/dnet
+
 # Short coverage-guided fuzz smoke of every parser that takes untrusted
 # input (CSV trajectory loader, SQL lexer/parser, snapshot decoder, WAL
 # replay). -run='^$$' skips the unit tests so only the fuzz engine runs.
@@ -74,6 +83,7 @@ fuzz:
 	$(GO) test -run='^$$' -fuzz=FuzzSnapshot -fuzztime=$(FUZZTIME) ./internal/snap
 	$(GO) test -run='^$$' -fuzz='FuzzWALReplay$$' -fuzztime=$(FUZZTIME) ./internal/wal
 	$(GO) test -run='^$$' -fuzz='FuzzWALReplayRaw$$' -fuzztime=$(FUZZTIME) ./internal/wal
+	$(GO) test -run='^$$' -fuzz=FuzzRepartitionPlan -fuzztime=$(FUZZTIME) ./internal/str
 
 bench:
 	$(GO) test -bench=. -benchtime=1x ./...
@@ -85,7 +95,7 @@ BENCH_PRESETS ?= default
 bench-json:
 	$(GO) run ./cmd/ditabench -bench $(BENCH_PRESETS) -bench-json $(BENCH_DIR)
 
-check: vet staticcheck race chaos knn snap ingest serve fuzz
+check: vet staticcheck race chaos knn snap ingest serve rebalance fuzz
 
 # 30-second soak: dita-net's cancelled-query churn workload against
 # in-process workers running under fault injection (-chaos). Exits

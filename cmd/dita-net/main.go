@@ -47,7 +47,9 @@ import (
 	"time"
 
 	"dita"
+	"dita/internal/core"
 	"dita/internal/dnet"
+	"dita/internal/geom"
 	"dita/internal/obs"
 	"dita/internal/serve"
 	"dita/internal/traj"
@@ -62,6 +64,9 @@ func main() {
 	queries := flag.Int("queries", 50, "number of search queries")
 	doJoin := flag.Bool("join", false, "also run a self-join")
 	ingestN := flag.Int("ingest", 0, "stream N trajectory mutations (fresh upserts plus ~10% deletes) into the dispatched dataset before the query workload (0 disables)")
+	ingestSkew := flag.Float64("ingest-skew", 0, "fraction of -ingest writes aimed at one hot partition's geometry (0..1), to provoke occupancy skew")
+	rebalance := flag.Bool("rebalance", false, "after ingest, run the online STR re-partitioning planner until occupancy skew is within bound")
+	rebalanceSkew := flag.Float64("rebalance-skew", 2, "max/mean occupancy ratio the -rebalance planner tolerates before splitting")
 	knnK := flag.Int("knn", 0, "also run the search queries as kNN at this k (0 disables)")
 	measureName := flag.String("measure", "DTW", "similarity function")
 	seed := flag.Int64("seed", 1, "generation seed")
@@ -192,7 +197,33 @@ func main() {
 	}
 
 	if *ingestN > 0 {
-		runIngest(ctx, coord, data, *ingestN, *seed)
+		runIngest(ctx, coord, data, *ingestN, *seed, *ingestSkew)
+	}
+
+	if *rebalance {
+		skewBefore, err := coord.OccupancySkew("trips")
+		if err != nil {
+			fatal(err)
+		}
+		start := time.Now()
+		steps, err := coord.Rebalance("trips", core.RebalancePolicy{SkewBound: *rebalanceSkew})
+		if err != nil {
+			fatal(err)
+		}
+		skewAfter, err := coord.OccupancySkew("trips")
+		if err != nil {
+			fatal(err)
+		}
+		moved := 0
+		for _, st := range steps {
+			moved += st.Trajs
+		}
+		fmt.Printf("rebalance: occupancy skew %.2f -> %.2f in %d cutover(s), %d trajectories re-cut, %v total\n",
+			skewBefore, skewAfter, len(steps), moved, time.Since(start).Round(time.Millisecond))
+		for i, st := range steps {
+			fmt.Printf("  cutover %d: retired %v -> created %v (%d trajs, %v)\n",
+				i, st.Retired, st.Created, st.Trajs, st.Duration.Round(time.Millisecond))
+		}
 	}
 
 	qs := dita.Queries(data, *queries, *seed+1)
@@ -378,7 +409,10 @@ func queryContext(parent context.Context, d time.Duration) (context.Context, con
 // write is replicated to all owners and WAL-logged before it is acked;
 // backpressure (ErrOverloaded) is handled the way a well-behaved producer
 // does — jittered exponential backoff (serve.Backoff) — and counted.
-func runIngest(ctx context.Context, coord *dnet.Coordinator, data *dita.Dataset, n int, seed int64) {
+// A skew fraction aims that share of the upserts at one member's
+// geometry (with a per-write jitter so the copies stay separable by STR
+// cuts), concentrating them in a single partition.
+func runIngest(ctx context.Context, coord *dnet.Coordinator, data *dita.Dataset, n int, seed int64, skew float64) {
 	if data.Len() == 0 {
 		return
 	}
@@ -415,7 +449,17 @@ func runIngest(ctx context.Context, coord *dnet.Coordinator, data *dita.Dataset,
 			deletes++
 			continue
 		}
-		t := &traj.T{ID: idBase + i, Points: data.Trajs[i%data.Len()].Points}
+		pts := data.Trajs[i%data.Len()].Points
+		if skew > 0 && rng.Float64() < skew {
+			hot := data.Trajs[0].Points
+			jit := make([]geom.Point, len(hot))
+			off := float64(i) * 1e-7
+			for pi, p := range hot {
+				jit[pi] = geom.Point{X: p.X + off, Y: p.Y + off}
+			}
+			pts = jit
+		}
+		t := &traj.T{ID: idBase + i, Points: pts}
 		if !write(func() error {
 			return coord.IngestContext(ctx, "trips", t)
 		}) {

@@ -82,6 +82,8 @@ func main() {
 			}
 			fmt.Printf("delta scan: %.3f ms -> %.3f ms (%+.2f%%)\n",
 				rep.DeltaScanBaseMS, rep.DeltaScanDeltaMS, rep.DeltaScanOverheadPct)
+			fmt.Printf("rebalance: occupancy skew %.2f -> %.2f in %d cutover(s), %.1f ms\n",
+				rep.OccupancySkewBefore, rep.OccupancySkew, rep.RebalanceCutovers, rep.RebalanceMS)
 			fmt.Printf("serve: %.0f qps, %.1f%% cache hits, p99 %.3f ms, %.1f%% shed under overload\n",
 				rep.ServeQPS, rep.CacheHitPct, rep.P99ServedMS, rep.ShedPct)
 		}

@@ -68,6 +68,13 @@ type Partition struct {
 	meta   []trajMeta
 	bytes  int
 
+	// retired marks a partition whose contents were moved to newer
+	// partitions by a split/merge (see rebalance.go). Retired partitions
+	// stay in the slice — partition ids are stable (they key WAL and
+	// snapshot filenames, location maps, and the dnet replica lists) —
+	// but hold no data and are skipped by every query and routing path.
+	retired bool
+
 	// Streaming-ingest overlay (all nil/zero until EnableIngest; see
 	// ingest.go): delta holds live inserts since the last merge, frozen
 	// the rotated delta an in-flight merge is folding, tomb the ids whose
@@ -95,6 +102,9 @@ type Partition struct {
 // Bytes returns the approximate wire size of the partition's trajectory
 // data.
 func (p *Partition) Bytes() int { return p.bytes }
+
+// Retired reports whether the partition was emptied by a split/merge.
+func (p *Partition) Retired() bool { return p.retired }
 
 // Engine is a built DITA index over one dataset, ready to serve searches
 // and act as a join side.
@@ -261,11 +271,14 @@ func (e *Engine) addPartition(group []*traj.T, workers int) {
 // NG=128) and conceptually replicated to every worker; it lives on the
 // driver here.
 func (e *Engine) buildGlobalIndex() {
-	ef := make([]rtree.Entry, len(e.parts))
-	el := make([]rtree.Entry, len(e.parts))
-	for i, p := range e.parts {
-		ef[i] = rtree.Entry{MBR: p.MBRf, ID: p.ID}
-		el[i] = rtree.Entry{MBR: p.MBRl, ID: p.ID}
+	ef := make([]rtree.Entry, 0, len(e.parts))
+	el := make([]rtree.Entry, 0, len(e.parts))
+	for _, p := range e.parts {
+		if p.retired {
+			continue
+		}
+		ef = append(ef, rtree.Entry{MBR: p.MBRf, ID: p.ID})
+		el = append(el, rtree.Entry{MBR: p.MBRl, ID: p.ID})
 	}
 	e.rtF = rtree.New(ef)
 	e.rtL = rtree.New(el)
@@ -364,6 +377,12 @@ func (e *Engine) relevantPartitions(q []geom.Point, tau float64) []int {
 	gap, hasGap := m.GapPoint()
 	eps := m.Epsilon()
 	for _, p := range e.parts {
+		if p.retired {
+			// An empty MBR's MinDist is +Inf, which the edit-measure
+			// branch would still count as a finite 2-edit cost — skip
+			// explicitly.
+			continue
+		}
 		df := minDistTrajMBR(q, p.MBRf)
 		dl := minDistTrajMBR(q, p.MBRl)
 		if hasGap {

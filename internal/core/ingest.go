@@ -463,8 +463,15 @@ func (e *Engine) lockMutationTarget(op string, route func(*ingestState) *Partiti
 // (ties to the lower id). This is the ingest-time analogue of the STR
 // placement the base partitioning computed in bulk.
 func (e *Engine) routePartition(t *traj.T) *Partition {
-	best, bestD := e.parts[0], math.Inf(1)
+	var best *Partition
+	bestD := math.Inf(1)
 	for _, p := range e.parts {
+		if p.retired {
+			continue
+		}
+		if best == nil {
+			best = p
+		}
 		d := p.MBRf.MinDist(t.First()) + p.MBRl.MinDist(t.Last())
 		if d < bestD {
 			best, bestD = p, d
@@ -709,7 +716,10 @@ func (e *Engine) MergePartition(pid int) (bool, error) {
 // MergeAll merges every partition with outstanding overlay state,
 // stopping at the first error.
 func (e *Engine) MergeAll() error {
-	for pid := range e.parts {
+	for pid, p := range e.parts {
+		if p.retired {
+			continue
+		}
 		if _, err := e.MergePartition(pid); err != nil {
 			return err
 		}

@@ -220,7 +220,13 @@ func (e *Engine) buildBigraph(ctx context.Context, other *Engine, tau float64, o
 	rng := rand.New(rand.NewSource(opts.Seed))
 	var edges []*edge
 	for ti, pt := range e.parts {
+		if pt.retired {
+			continue
+		}
 		for qj, pq := range other.parts {
+			if pq.retired {
+				continue
+			}
 			if err := ctx.Err(); err != nil {
 				return nil, err
 			}

@@ -92,9 +92,12 @@ func (e *Engine) SearchKNNContext(ctx context.Context, q *traj.T, k int, stats *
 // (PartitionLowerBound, ID) — the best-first visit order.
 func (e *Engine) knnOrder(q []geom.Point) []knnVisit {
 	m := e.opts.Measure
-	order := make([]knnVisit, len(e.parts))
+	order := make([]knnVisit, 0, len(e.parts))
 	for i, p := range e.parts {
-		order[i] = knnVisit{pid: i, lb: PartitionLowerBound(m, q, p.MBRf, p.MBRl)}
+		if p.retired {
+			continue
+		}
+		order = append(order, knnVisit{pid: i, lb: PartitionLowerBound(m, q, p.MBRf, p.MBRl)})
 	}
 	sort.Slice(order, func(a, b int) bool {
 		if order[a].lb != order[b].lb {

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"time"
+
 	"dita/internal/obs"
 )
 
@@ -25,6 +27,9 @@ type engineMetrics struct {
 	deltaBytes    *obs.Gauge
 	replayRecords *obs.Counter
 	replayLatency *obs.Histogram
+	rebalances    *obs.Counter
+	rebalanceMS   *obs.Histogram
+	occupancySkew *obs.FloatGauge
 }
 
 func newEngineMetrics(r *obs.Registry) *engineMetrics {
@@ -49,7 +54,21 @@ func newEngineMetrics(r *obs.Registry) *engineMetrics {
 		deltaBytes:    r.Gauge("engine_delta_bytes"),
 		replayRecords: r.Counter("engine_wal_replayed_records_total"),
 		replayLatency: r.Histogram("engine_wal_replay_us"),
+		rebalances:    r.Counter("engine_rebalance_total"),
+		rebalanceMS:   r.Histogram("engine_rebalance_ms"),
+		occupancySkew: r.FloatGauge("engine_occupancy_skew"),
 	}
+}
+
+// rebalanceObserve records one completed split/merge cutover and the
+// post-cutover occupancy skew.
+func (m *engineMetrics) rebalanceObserve(d time.Duration, skew float64) {
+	if m == nil {
+		return
+	}
+	m.rebalances.Inc()
+	m.rebalanceMS.Observe(d.Milliseconds())
+	m.occupancySkew.Set(skew)
 }
 
 // setDeltaBytes publishes the engine's total unmerged overlay size.

@@ -1,0 +1,534 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"dita/internal/geom"
+	"dita/internal/snap"
+	"dita/internal/str"
+	"dita/internal/traj"
+	"dita/internal/trie"
+)
+
+// This file implements online STR re-partitioning: splitting a hot
+// partition into several pieces and merging cold siblings into one,
+// re-running the STR boundary cuts and per-trajectory pivot selection
+// (the trie rebuild) over the group's *current visible* members — base
+// minus tombstones plus delta — so sustained skewed ingest cannot pin
+// occupancy onto a few dispatch-time partitions.
+//
+// Partition identity is retire-in-place: ids are stable (they key WAL
+// and snapshot filenames, the location map, and dnet replica lists), so
+// a split/merge never renumbers — the old partitions are emptied and
+// flagged retired, and the pieces take fresh ids appended at the end.
+//
+// Durability ordering (the crash matrix; DESIGN.md §14). All steps run
+// under the group's ingest locks and the engine write lock, so no write
+// lands and no query runs mid-cutover:
+//
+//  1. Build the pieces in memory and open their fresh WALs.
+//  2. Seal the pieces' snapshots, ascending pid. A crash here leaves
+//     the old partitions' (snapshot, WAL) pairs authoritative; any
+//     already-sealed piece duplicates old content and is masked
+//     deterministically at the next EnableIngest (lowest pid wins), so
+//     recovery sees exactly the old layout.
+//  3. Seal an empty tombstone snapshot over each old partition (its
+//     watermark = the cut sequence, so a leftover WAL suffix replays as
+//     a no-op), then remove its WAL. A crash between tombstones leaves
+//     some groups old, some new — but per partition group the layout is
+//     one or the other, never a mix of visible copies.
+//  4. Install the new layout in memory: retire the old partitions,
+//     append the pieces, rewrite the location map, rebuild the global
+//     R-trees. Only after this can a write route to a piece, so a
+//     piece's WAL can never hold records while an old full snapshot is
+//     still live.
+//
+// An error in step 2 aborts the cutover (pieces removed, old layout
+// untouched). An error in step 3 rolls forward — the memory cutover
+// installs anyway and the error is reported — because the first
+// tombstone seal already made the new layout durable for part of the
+// group; the affected partition keeps its full snapshot AND its WAL, so
+// its content stays exactly recoverable.
+
+// ErrRebalanceBusy is returned when a group member has a merge fold in
+// flight; the caller should retry after the merge completes.
+var ErrRebalanceBusy = errors.New("core: rebalance: merge in flight")
+
+// rebalanceCrashHook, when non-nil, is consulted at the named durability
+// boundaries of a cutover ("wals-open", "pieces-sealed", "tombstoned").
+// Returning true simulates a crash at that instant: the cutover stops
+// with the disk in exactly the state a power cut would leave, no memory
+// install happens, and errRebalanceCrashed is returned. Test-only.
+var rebalanceCrashHook func(stage string) bool
+
+var errRebalanceCrashed = errors.New("core: rebalance: simulated crash")
+
+// crashPoint closes the pieces' log handles (their files stay, as they
+// would across a real crash) when the hook asks for a crash.
+func crashPoint(stage string, pieces []*Partition) bool {
+	if rebalanceCrashHook == nil || !rebalanceCrashHook(stage) {
+		return false
+	}
+	for _, q := range pieces {
+		if q.wlog != nil {
+			q.wlog.Close()
+			q.wlog = nil
+		}
+	}
+	return true
+}
+
+// RebalanceStats reports one split/merge cutover.
+type RebalanceStats struct {
+	// Retired are the partition ids emptied by the cutover.
+	Retired []int
+	// Created are the fresh partition ids holding the re-cut pieces.
+	Created []int
+	// Trajs is the number of visible trajectories moved.
+	Trajs int
+	// Plan is the STR boundary plan the cut used (one tile per piece
+	// requested; empty tiles are dropped from Created).
+	Plan str.Plan
+	// Duration is the wall-clock cutover time, sealing included.
+	Duration time.Duration
+}
+
+// SplitPartition re-cuts one partition's visible members into up to k
+// pieces with fresh STR boundaries and freshly selected pivots,
+// retiring the original. Returns the new partition ids.
+func (e *Engine) SplitPartition(pid, k int) (*RebalanceStats, error) {
+	if k < 2 {
+		return nil, fmt.Errorf("core: split: k=%d, need >= 2", k)
+	}
+	return e.repartitionGroup([]int{pid}, k)
+}
+
+// MergePartitions folds several partitions' visible members into one
+// fresh partition (re-built trie, re-selected pivots, exact MBRs),
+// retiring the originals.
+func (e *Engine) MergePartitions(pids []int) (*RebalanceStats, error) {
+	if len(pids) < 2 {
+		return nil, fmt.Errorf("core: merge partitions: need >= 2 pids, got %d", len(pids))
+	}
+	return e.repartitionGroup(pids, 1)
+}
+
+// repartitionGroup is the unified cutover: the visible members of pids
+// are re-cut into up to k pieces (k=1 merges). See the file comment for
+// the locking and durability ordering.
+func (e *Engine) repartitionGroup(pids []int, k int) (*RebalanceStats, error) {
+	start := time.Now()
+	group, err := e.validateGroup(pids)
+	if err != nil {
+		return nil, err
+	}
+	// Ingest locks in ascending pid order (the same single-partition
+	// order Insert/Delete/Merge use), then the engine write lock.
+	for _, p := range group {
+		p.imu.Lock()
+	}
+	e.mu.Lock()
+	unlock := func() {
+		e.mu.Unlock()
+		for i := len(group) - 1; i >= 0; i-- {
+			group[i].imu.Unlock()
+		}
+	}
+	st := e.ing
+	if st == nil {
+		unlock()
+		return nil, fmt.Errorf("core: rebalance: ingest not enabled")
+	}
+	for _, p := range group {
+		if p.retired {
+			unlock()
+			return nil, fmt.Errorf("core: rebalance: partition %d already retired", p.ID)
+		}
+		if p.frozen != nil {
+			unlock()
+			return nil, ErrRebalanceBusy
+		}
+	}
+
+	// The cut sequence: every record in the group's logs is <= st.seq
+	// (imu held, so no append is in flight), and every piece starts its
+	// life at this watermark — a leftover old-WAL suffix replayed over a
+	// tombstone snapshot skips entirely.
+	cutSeq := st.seq
+	var visible []*traj.T
+	for _, p := range group {
+		visible = append(visible, p.visibleTrajs()...)
+	}
+
+	// Re-run the STR boundary cut over the current first points. The
+	// plan is total, so trajectories ingested after the cut (routed by
+	// nearest-MBR) and the pieces' exact MBRs stay consistent.
+	firsts := make([]geom.Point, len(visible))
+	for i, t := range visible {
+		firsts[i] = t.First()
+	}
+	plan := str.Cut(firsts, k)
+	groups := plan.Assign(firsts)
+
+	stats := &RebalanceStats{Plan: plan, Trajs: len(visible)}
+	var pieces []*Partition
+	nextID := len(e.parts)
+	W := e.cl.Workers()
+	for _, g := range groups {
+		if len(g) == 0 && len(pieces) > 0 {
+			continue // drop empty tiles, but always create at least one piece
+		}
+		members := make([]*traj.T, len(g))
+		for i, j := range g {
+			members[i] = visible[j]
+		}
+		pieces = append(pieces, e.buildPiece(nextID, W, members, cutSeq))
+		nextID++
+	}
+	if len(pieces) == 0 {
+		pieces = append(pieces, e.buildPiece(nextID, W, nil, cutSeq))
+	}
+
+	// Fresh WALs for the pieces before anything becomes visible; a
+	// failure here aborts with no state change.
+	if st.cfg.WAL != nil {
+		name := e.dataset.Name
+		for _, p := range pieces {
+			_ = st.cfg.WAL.Remove(name, p.ID)
+			l, _, err := st.cfg.WAL.Open(name, p.ID)
+			if err != nil {
+				for _, q := range pieces {
+					if q.wlog != nil {
+						q.wlog.Close()
+						_ = st.cfg.WAL.Remove(name, q.ID)
+						q.wlog = nil
+					}
+				}
+				unlock()
+				return nil, fmt.Errorf("core: rebalance: piece %d wal: %w", p.ID, err)
+			}
+			p.wlog = l
+		}
+	}
+
+	if crashPoint("wals-open", pieces) {
+		unlock()
+		return nil, errRebalanceCrashed
+	}
+
+	// Step 2: seal the pieces (ascending pid, so a crash leaves a
+	// contiguous id space). Abort on failure — old layout intact.
+	if st.cfg.Snap != nil {
+		name := e.dataset.Name
+		for i, p := range pieces {
+			s := e.ExportSnapshot(name, p)
+			s.Watermark = cutSeq
+			if _, err := st.cfg.Snap.Save(s); err != nil {
+				for _, q := range pieces[:i+1] {
+					_ = st.cfg.Snap.Remove(name, q.ID)
+				}
+				for _, q := range pieces {
+					if q.wlog != nil {
+						q.wlog.Close()
+						_ = st.cfg.WAL.Remove(name, q.ID)
+						q.wlog = nil
+					}
+				}
+				unlock()
+				return nil, fmt.Errorf("core: rebalance: seal piece %d: %w", p.ID, err)
+			}
+		}
+	}
+
+	if crashPoint("pieces-sealed", pieces) {
+		unlock()
+		return nil, errRebalanceCrashed
+	}
+
+	// Step 3: tombstone the old partitions (empty snapshot at cutSeq),
+	// then drop their WALs. Failures roll forward; see file comment.
+	var sealErr error
+	emptyIdx := trie.Build(nil, e.opts.Trie)
+	for _, p := range group {
+		if st.cfg.Snap != nil {
+			tomb := &snap.Snapshot{
+				Dataset:   e.dataset.Name,
+				Partition: p.ID,
+				Opts:      e.SnapshotOptions(),
+				Index:     emptyIdx,
+				Watermark: cutSeq,
+			}
+			if _, err := st.cfg.Snap.Save(tomb); err != nil {
+				if sealErr == nil {
+					sealErr = fmt.Errorf("core: rebalance: tombstone partition %d: %w", p.ID, err)
+				}
+				continue // keep this partition's WAL: full snapshot + log stay recoverable
+			}
+		}
+		if p.wlog != nil {
+			p.wlog.Close()
+			p.wlog = nil
+			if st.cfg.WAL != nil {
+				_ = st.cfg.WAL.Remove(e.dataset.Name, p.ID)
+			}
+		}
+	}
+
+	if crashPoint("tombstoned", pieces) {
+		unlock()
+		return nil, errRebalanceCrashed
+	}
+
+	// Step 4: memory install — the single atomic commit point for
+	// queries and writers.
+	for _, p := range group {
+		p.retired = true
+		p.Trajs, p.Index, p.meta = nil, emptyIdx, nil
+		p.baseIdx = nil
+		p.delta, p.frozen = &Delta{}, nil
+		p.tomb, p.frozenTomb = make(map[int]bool), nil
+		p.bytes = 0
+		p.watermark = cutSeq
+		p.MBRf, p.MBRl = geom.EmptyMBR(), geom.EmptyMBR()
+		stats.Retired = append(stats.Retired, p.ID)
+	}
+	for _, p := range pieces {
+		e.parts = append(e.parts, p)
+		for _, t := range p.Trajs {
+			st.loc[t.ID] = locEntry{pid: p.ID, t: t}
+		}
+		stats.Created = append(stats.Created, p.ID)
+	}
+	e.buildGlobalIndex()
+	stats.Duration = time.Since(start)
+	if e.met != nil {
+		_, _, skew := e.occupancySkewLocked()
+		e.met.rebalanceObserve(stats.Duration, skew)
+	}
+	unlock()
+	return stats, sealErr
+}
+
+// validateGroup resolves and sanity-checks the group under the read
+// lock (re-validated under the write lock by the caller).
+func (e *Engine) validateGroup(pids []int) ([]*Partition, error) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	if e.ing == nil {
+		return nil, fmt.Errorf("core: rebalance: ingest not enabled")
+	}
+	sorted := append([]int(nil), pids...)
+	sort.Ints(sorted)
+	group := make([]*Partition, 0, len(sorted))
+	for i, pid := range sorted {
+		if pid < 0 || pid >= len(e.parts) {
+			return nil, fmt.Errorf("core: rebalance: no partition %d", pid)
+		}
+		if i > 0 && pid == sorted[i-1] {
+			return nil, fmt.Errorf("core: rebalance: duplicate partition %d", pid)
+		}
+		if e.parts[pid].retired {
+			return nil, fmt.Errorf("core: rebalance: partition %d is retired", pid)
+		}
+		group = append(group, e.parts[pid])
+	}
+	return group, nil
+}
+
+// buildPiece constructs one fully-indexed piece: trie build re-runs
+// pivot selection over the members' current geometry, metadata and
+// MBRs are exact.
+func (e *Engine) buildPiece(id, workers int, members []*traj.T, watermark uint64) *Partition {
+	p := &Partition{ID: id, Worker: id % workers, Trajs: members}
+	p.Index = trie.Build(members, e.opts.Trie)
+	p.meta = make([]trajMeta, len(members))
+	p.baseIdx = make(map[int]int, len(members))
+	p.MBRf, p.MBRl = geom.EmptyMBR(), geom.EmptyMBR()
+	for i, t := range members {
+		p.meta[i] = newTrajMeta(t, e.cellD)
+		p.baseIdx[t.ID] = i
+		p.bytes += t.Bytes()
+		p.MBRf = p.MBRf.Extend(t.First())
+		p.MBRl = p.MBRl.Extend(t.Last())
+	}
+	p.delta = &Delta{}
+	p.tomb = make(map[int]bool)
+	p.watermark = watermark
+	return p
+}
+
+// OccupancySkew returns the live partitions' occupancy distribution:
+// max and mean bytes (base plus unmerged overlay) and their ratio. A
+// skew of 1 is perfectly balanced; 0 means no live partitions.
+func (e *Engine) OccupancySkew() (max, mean, skew float64) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.occupancySkewLocked()
+}
+
+func (e *Engine) occupancySkewLocked() (max, mean, skew float64) {
+	n := 0
+	total := 0.0
+	for _, p := range e.parts {
+		if p.retired {
+			continue
+		}
+		occ := float64(p.bytes + p.overlayBytes())
+		total += occ
+		if occ > max {
+			max = occ
+		}
+		n++
+	}
+	if n == 0 || total == 0 {
+		return max, 0, 0
+	}
+	mean = total / float64(n)
+	return max, mean, max / mean
+}
+
+// RebalancePolicy tunes the planner; zero values take defaults.
+type RebalancePolicy struct {
+	// SkewBound is the max/mean occupancy ratio above which the planner
+	// acts. Default 2.
+	SkewBound float64
+	// MaxPieces caps a split's fan-out. Default 8.
+	MaxPieces int
+	// MergeFraction: partitions below MergeFraction·mean occupancy are
+	// cold-merge candidates. Default 0.25.
+	MergeFraction float64
+}
+
+// Sanitized returns the policy with zero or out-of-range fields replaced
+// by the documented defaults.
+func (pol RebalancePolicy) Sanitized() RebalancePolicy {
+	if pol.SkewBound <= 1 {
+		pol.SkewBound = 2
+	}
+	if pol.MaxPieces < 2 {
+		pol.MaxPieces = 8
+	}
+	if pol.MergeFraction <= 0 || pol.MergeFraction >= 1 {
+		pol.MergeFraction = 0.25
+	}
+	return pol
+}
+
+// RebalanceOnce runs one planner step: when occupancy skew exceeds the
+// bound it splits the hottest partition into about max/mean pieces;
+// otherwise, when at least two cold partitions sit below
+// MergeFraction·mean, it merges the coldest with its spatially nearest
+// cold sibling. Returns nil when no action was needed.
+func (e *Engine) RebalanceOnce(pol RebalancePolicy) (*RebalanceStats, error) {
+	pol = pol.Sanitized()
+	hot, cold := e.planRebalance(pol)
+	switch {
+	case hot >= 0:
+		maxOcc, mean, _ := e.OccupancySkew()
+		k := int(math.Round(maxOcc / mean))
+		if k < 2 {
+			k = 2
+		}
+		if k > pol.MaxPieces {
+			k = pol.MaxPieces
+		}
+		return e.SplitPartition(hot, k)
+	case len(cold) >= 2:
+		return e.MergePartitions(cold)
+	}
+	return nil, nil
+}
+
+// Rebalance runs planner steps until the skew is within bound and no
+// cold merge remains, or no further progress is possible. Returns the
+// steps taken.
+func (e *Engine) Rebalance(pol RebalancePolicy) ([]*RebalanceStats, error) {
+	var steps []*RebalanceStats
+	for i := 0; i < 32; i++ {
+		st, err := e.RebalanceOnce(pol)
+		if err != nil {
+			return steps, err
+		}
+		if st == nil {
+			return steps, nil
+		}
+		steps = append(steps, st)
+	}
+	return steps, nil
+}
+
+// planRebalance picks the next action: the hottest partition's id when
+// skew exceeds the bound (split), else a group of cold partitions to
+// merge (the coldest plus its nearest cold sibling), else (-1, nil).
+func (e *Engine) planRebalance(pol RebalancePolicy) (hot int, cold []int) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	hot = -1
+	if e.ing == nil {
+		return hot, nil
+	}
+	type occ struct {
+		pid    int
+		bytes  float64
+		center geom.Point
+	}
+	var live []occ
+	total := 0.0
+	for _, p := range e.parts {
+		if p.retired {
+			continue
+		}
+		o := occ{pid: p.ID, bytes: float64(p.bytes + p.overlayBytes())}
+		if !p.MBRf.IsEmpty() {
+			o.center = p.MBRf.Center()
+		}
+		live = append(live, o)
+		total += o.bytes
+	}
+	if len(live) < 2 || total == 0 {
+		return hot, nil
+	}
+	mean := total / float64(len(live))
+	maxOcc, maxPid := 0.0, -1
+	for _, o := range live {
+		if o.bytes > maxOcc {
+			maxOcc, maxPid = o.bytes, o.pid
+		}
+	}
+	if maxOcc/mean > pol.SkewBound {
+		return maxPid, nil
+	}
+	// Cold merge: the coldest partition plus its spatially nearest
+	// sibling below the cold bar. Merging raises the mean, which lowers
+	// the skew ratio and frees partition slots for future splits.
+	bar := pol.MergeFraction * mean
+	var coldest *occ
+	for i := range live {
+		if live[i].bytes < bar && (coldest == nil || live[i].bytes < coldest.bytes) {
+			coldest = &live[i]
+		}
+	}
+	if coldest == nil {
+		return hot, nil
+	}
+	var buddy *occ
+	bestD := math.Inf(1)
+	for i := range live {
+		o := &live[i]
+		if o.pid == coldest.pid || o.bytes >= bar {
+			continue
+		}
+		d := o.center.Dist(coldest.center)
+		if d < bestD {
+			buddy, bestD = o, d
+		}
+	}
+	if buddy == nil {
+		return hot, nil
+	}
+	return -1, []int{coldest.pid, buddy.pid}
+}

@@ -134,10 +134,15 @@ type Coordinator struct {
 }
 
 // dispatchedDataset records where a dataset's partitions live plus the
-// global index over their endpoint MBRs. The parts slice's length is
-// immutable after Dispatch; ingest grows a partition's bounds in place
-// (and replaces the R-trees) under mu, so query paths read the global
-// index through boundsView, never directly.
+// global index over their endpoint MBRs. The parts slice only ever
+// GROWS, and only under a rebalance cutover (repartitionGroup) holding
+// both the group's write locks and mu; partition ids are never reused —
+// a split or merge retires the old pids in place (empty bounds, no
+// replicas) and appends the pieces at fresh ids, so WAL and snapshot
+// filenames, loc entries, and replica lists never alias across layouts.
+// Ingest grows a partition's bounds in place (and replaces the R-trees)
+// under mu, so query paths read the global index through boundsView,
+// never directly.
 type dispatchedDataset struct {
 	name  string
 	parts []dispatchedPartition
@@ -154,14 +159,16 @@ type dispatchedDataset struct {
 	// Ingest state: loc maps trajectory id → owning partition (routing
 	// stickiness for upserts, lookup for deletes); nextSeq[pid] is the
 	// last sequence number assigned to the partition (reserved before the
-	// RPC, burned on failure); netDelta is ids inserted minus deleted
-	// since dispatch (the visible-count correction); mutated records that
-	// any write was acked — healing must then never fall back to the
-	// stale dispatch payloads.
-	loc      map[int]int
-	nextSeq  []uint64
-	netDelta int
-	mutated  bool
+	// RPC, burned on failure); live[pid] is the partition's current
+	// visible member count (dispatch size, corrected by acked inserts and
+	// deletes) — the occupancy the rebalance planner reads and the term
+	// the dataset's visible total sums; mutated records that any write
+	// was acked — healing must then never fall back to the stale dispatch
+	// payloads.
+	loc     map[int]int
+	nextSeq []uint64
+	live    []int
+	mutated bool
 
 	// Epoch counters for cache invalidation (internal/serve).
 	// writeMark[pid] counts ACKED writes to the partition — bumped in the
@@ -180,15 +187,29 @@ type dispatchedDataset struct {
 	// bookkeeping. Without it two writes could reserve ordered numbers
 	// yet reach the workers out of order, and the workers' monotone
 	// dedupe floor would silently drop the lower-seq (acked!) write.
-	// Taken before mu, never while holding it.
-	pmu []sync.Mutex
+	// Rebalance cutovers hold every group member's pmu across the whole
+	// export→load→install sequence, so a quiesced partition stays exactly
+	// the exported image until the new layout is installed. The entries
+	// are pointers because the slice grows at cutover: a blocked writer
+	// re-reads the slice under mu but must keep the mutex it resolved.
+	// Each pmu is taken before mu, never while holding it.
+	pmu []*sync.Mutex
+
+	// rebalMu serializes rebalance cutovers on this dataset (they lock
+	// multiple pmu entries; two concurrent cutovers over overlapping
+	// groups would deadlock).
+	rebalMu sync.Mutex
 }
 
 // partBounds is one partition's global-index entry as captured by
-// boundsView.
+// boundsView. retired marks a partition replaced by a rebalance cutover:
+// its bounds are empty, it owns no data, and every query path must skip
+// it — an empty-MBR check alone is NOT enough, because edit-distance
+// measures convert an infinite MinDist into a finite edit cost.
 type partBounds struct {
 	mbrF, mbrL geom.MBR
 	trajs      int
+	retired    bool
 }
 
 // ddView is a query's consistent picture of the dataset's global index.
@@ -209,16 +230,21 @@ func (dd *dispatchedDataset) boundsView() ddView {
 	v := ddView{bounds: make([]partBounds, len(dd.parts)), rtF: dd.rtF, rtL: dd.rtL}
 	for i := range dd.parts {
 		p := &dd.parts[i]
-		v.bounds[i] = partBounds{mbrF: p.mbrF, mbrL: p.mbrL, trajs: p.trajs}
-		v.visible += p.trajs
+		v.bounds[i] = partBounds{mbrF: p.mbrF, mbrL: p.mbrL, trajs: p.trajs, retired: p.retired}
+		v.visible += dd.live[i]
 	}
-	v.visible += dd.netDelta
 	return v
 }
 
 type dispatchedPartition struct {
 	mbrF, mbrL geom.MBR
 	trajs      int
+	// retired marks a partition replaced by a rebalance cutover. Its id is
+	// never reused; it keeps its slot (empty MBRs, zero trajs, nil
+	// replicas) so existing pids, WAL/snapshot names, and loc entries stay
+	// unambiguous across layouts. Query, routing, and healing paths all
+	// skip it.
+	retired bool
 	// fingerprint is the partition's content hash (snap.Fingerprint over
 	// build options and trajectories) — how the coordinator recognizes a
 	// worker already holding this exact partition.
@@ -548,7 +574,12 @@ func (c *Coordinator) DispatchStats(name string, d *traj.Dataset) (*DispatchRepo
 		}
 	}
 	dd.nextSeq = seqFloor
-	dd.pmu = make([]sync.Mutex, len(dd.parts))
+	dd.pmu = make([]*sync.Mutex, len(dd.parts))
+	dd.live = make([]int, len(dd.parts))
+	for pid := range dd.parts {
+		dd.pmu[pid] = new(sync.Mutex)
+		dd.live[pid] = dd.parts[pid].trajs
+	}
 	dd.writeMark = make([]uint64, len(dd.parts))
 	rebuildTreesLocked(dd)
 	c.mu.Lock()
@@ -597,6 +628,12 @@ func (c *Coordinator) relevantPartitions(v ddView, q []geom.Point, tau float64) 
 				continue
 			}
 			p := v.bounds[e.ID]
+			// Retired partitions are absent from the rebuilt trees, but a
+			// view captured mid-cutover may still pair older trees with
+			// newer bounds; the explicit check keeps the path airtight.
+			if p.retired {
+				continue
+			}
 			if core.TrajRelevant(c.m, q, p.mbrF, p.mbrL, tau) {
 				out = append(out, e.ID)
 			}
@@ -605,6 +642,12 @@ func (c *Coordinator) relevantPartitions(v ddView, q []geom.Point, tau float64) 
 		return out
 	}
 	for i, p := range v.bounds {
+		// Skip retired explicitly: edit-distance measures turn the empty
+		// MBR's +Inf MinDist into a finite edit cost, so TrajRelevant can
+		// pass on a partition that owns nothing.
+		if p.retired {
+			continue
+		}
 		if core.TrajRelevant(c.m, q, p.mbrF, p.mbrL, tau) {
 			out = append(out, i)
 		}
@@ -943,7 +986,13 @@ func (c *Coordinator) JoinTraced(ctx context.Context, left, right string, tau fl
 	maxForm := c.m.Accumulation() == measure.AccumMax
 	ltV, rtV := lt.boundsView(), rt.boundsView()
 	for i, pt := range ltV.bounds {
+		if pt.retired {
+			continue
+		}
 		for j, pq := range rtV.bounds {
+			if pq.retired {
+				continue
+			}
 			if anchored {
 				df := pt.mbrF.MinDistMBR(pq.mbrF)
 				dl := pt.mbrL.MinDistMBR(pq.mbrL)
@@ -1258,6 +1307,12 @@ func (c *Coordinator) rereplicate() {
 	for _, dd := range dds {
 		dd.mu.Lock()
 		for pid := range dd.replicas {
+			if dd.parts[pid].retired {
+				// Retired partitions have no replicas and nothing to heal;
+				// without this skip the planner would emit entries that can
+				// never succeed (no payload, no sources) every scan.
+				continue
+			}
 			owners := append([]int(nil), dd.replicas[pid]...)
 			srcs := append([]int(nil), owners...)
 			for len(owners) < c.cfg.Replicas {

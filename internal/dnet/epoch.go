@@ -55,8 +55,11 @@ func (c *Coordinator) RelevantPartitions(name string, q []geom.Point, tau float6
 	return c.relevantPartitions(dd.boundsView(), q, tau), nil
 }
 
-// NumPartitions reports the dataset's partition count (immutable after
-// Dispatch).
+// NumPartitions reports the dataset's partition count, retired slots
+// included. It only ever grows: a rebalance cutover appends the new
+// pieces and retires the replaced pids in place, so any pid a caller
+// captured stays a valid index (serve's freshness check treats an
+// out-of-range pid as stale, which a grown parts slice never produces).
 func (c *Coordinator) NumPartitions(name string) (int, error) {
 	dd, err := c.dataset(name)
 	if err != nil {

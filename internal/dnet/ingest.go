@@ -410,10 +410,13 @@ func isOverloaded(err error) bool {
 // (distance 0 when it falls inside both boxes). Caller holds dd.mu.
 func routeLocked(dd *dispatchedDataset, t *traj.T) int {
 	first, last := t.First(), t.Last()
-	best, bestD := 0, math.Inf(1)
+	best, bestD := -1, math.Inf(1)
 	for i := range dd.parts {
+		if dd.parts[i].retired {
+			continue
+		}
 		d := dd.parts[i].mbrF.MinDist(first) + dd.parts[i].mbrL.MinDist(last)
-		if d < bestD {
+		if best < 0 || d < bestD {
 			best, bestD = i, d
 		}
 	}
@@ -449,22 +452,22 @@ func (c *Coordinator) IngestContext(ctx context.Context, name string, t *traj.T)
 		pid = routeLocked(dd, t)
 	}
 	dd.mu.Unlock()
-	pid = dd.lockPartitionWrite(pid, t.ID)
-	// Holding pmu[pid] and dd.mu: reserve the sequence number. It is
-	// burned on failure — a retry gets a fresh, higher number, so the
-	// workers' per-record dedupe floor only ever absorbs retransmissions
-	// of the same already-acked call.
+	pid, pmu := dd.lockPartitionWrite(pid, t.ID, t)
+	// Holding the partition's write lock and dd.mu: reserve the sequence
+	// number. It is burned on failure — a retry gets a fresh, higher
+	// number, so the workers' per-record dedupe floor only ever absorbs
+	// retransmissions of the same already-acked call.
 	dd.nextSeq[pid]++
 	seq := dd.nextSeq[pid]
 	dd.mu.Unlock()
 	rec := WireRecord{Seq: seq, Op: wal.OpInsert, ID: t.ID, Points: t.Points}
 	if err := c.ingestReplicas(ctx, dd, pid, rec); err != nil {
-		dd.pmu[pid].Unlock()
+		pmu.Unlock()
 		return err
 	}
 	dd.mu.Lock()
 	if _, ok := dd.loc[t.ID]; !ok {
-		dd.netDelta++
+		dd.live[pid]++
 	}
 	dd.loc[t.ID] = pid
 	dd.mutated = true
@@ -479,7 +482,7 @@ func (c *Coordinator) IngestContext(ctx context.Context, name string, t *traj.T)
 		rebuildTreesLocked(dd)
 	}
 	dd.mu.Unlock()
-	dd.pmu[pid].Unlock()
+	pmu.Unlock()
 	if c.met != nil {
 		c.met.ingests.Inc()
 	}
@@ -490,19 +493,35 @@ func (c *Coordinator) IngestContext(ctx context.Context, name string, t *traj.T)
 // headed to pid, re-checking under the dataset lock that the id still
 // belongs there — a concurrent write may have created or moved it while
 // we waited, and a write serialized on the wrong partition's lock would
-// reintroduce the out-of-order arrival the lock exists to prevent. It
-// returns the partition actually locked; the caller holds its pmu entry
-// AND dd.mu, and must release both.
-func (dd *dispatchedDataset) lockPartitionWrite(pid, id int) int {
+// reintroduce the out-of-order arrival the lock exists to prevent. A
+// rebalance cutover can also retire pid while we waited; a known id is
+// then re-routed through loc (the cutover rewrote it to the live piece)
+// and an unknown one re-routed over the live layout (t non-nil only for
+// inserts — deletes of unknown ids bail out in the caller's re-check).
+// The pmu pointer is resolved under dd.mu because the slice grows at
+// cutover. Returns the partition actually locked and its mutex; the
+// caller holds that mutex AND dd.mu, and must release both (the mutex
+// via the returned pointer — re-indexing pmu off-lock would race the
+// slice growth).
+func (dd *dispatchedDataset) lockPartitionWrite(pid, id int, t *traj.T) (int, *sync.Mutex) {
 	for {
-		dd.pmu[pid].Lock()
+		dd.mu.Lock()
+		mu := dd.pmu[pid]
+		dd.mu.Unlock()
+		mu.Lock()
 		dd.mu.Lock()
 		cur, ok := dd.loc[id]
-		if !ok || cur == pid {
-			return pid
+		if ok {
+			if cur == pid {
+				return pid, mu
+			}
+		} else if t == nil || !dd.parts[pid].retired {
+			return pid, mu
+		} else {
+			cur = routeLocked(dd, t)
 		}
 		dd.mu.Unlock()
-		dd.pmu[pid].Unlock()
+		mu.Unlock()
 		pid = cur
 	}
 }
@@ -527,11 +546,11 @@ func (c *Coordinator) DeleteContext(ctx context.Context, name string, id int) (b
 		return false, nil
 	}
 	dd.mu.Unlock()
-	pid = dd.lockPartitionWrite(pid, id)
+	pid, pmu := dd.lockPartitionWrite(pid, id, nil)
 	if _, still := dd.loc[id]; !still {
 		// Deleted by a concurrent call while we waited for the lock.
 		dd.mu.Unlock()
-		dd.pmu[pid].Unlock()
+		pmu.Unlock()
 		return false, nil
 	}
 	dd.nextSeq[pid]++
@@ -539,16 +558,16 @@ func (c *Coordinator) DeleteContext(ctx context.Context, name string, id int) (b
 	dd.mu.Unlock()
 	rec := WireRecord{Seq: seq, Op: wal.OpDelete, ID: id}
 	if err := c.ingestReplicas(ctx, dd, pid, rec); err != nil {
-		dd.pmu[pid].Unlock()
+		pmu.Unlock()
 		return false, err
 	}
 	dd.mu.Lock()
 	delete(dd.loc, id)
-	dd.netDelta--
+	dd.live[pid]--
 	dd.mutated = true
 	dd.writeMark[pid]++
 	dd.mu.Unlock()
-	dd.pmu[pid].Unlock()
+	pmu.Unlock()
 	if c.met != nil {
 		c.met.deletes.Inc()
 	}
@@ -561,11 +580,15 @@ func (c *Coordinator) DeleteContext(ctx context.Context, name string, id int) (b
 // earlier keeps its (older, smaller) trees, which at worst misses a
 // member ingested after the view was taken, never one before.
 func rebuildTreesLocked(dd *dispatchedDataset) {
-	ef := make([]rtree.Entry, len(dd.parts))
-	el := make([]rtree.Entry, len(dd.parts))
-	for i, p := range dd.parts {
-		ef[i] = rtree.Entry{MBR: p.mbrF, ID: i}
-		el[i] = rtree.Entry{MBR: p.mbrL, ID: i}
+	ef := make([]rtree.Entry, 0, len(dd.parts))
+	el := make([]rtree.Entry, 0, len(dd.parts))
+	for i := range dd.parts {
+		p := &dd.parts[i]
+		if p.retired {
+			continue
+		}
+		ef = append(ef, rtree.Entry{MBR: p.mbrF, ID: i})
+		el = append(el, rtree.Entry{MBR: p.mbrL, ID: i})
 	}
 	dd.rtF = rtree.New(ef)
 	dd.rtL = rtree.New(el)

@@ -189,9 +189,15 @@ func (c *Coordinator) SearchKNNTraced(ctx context.Context, name string, q *traj.
 		pid int
 		lb  float64
 	}
-	order := make([]visit, len(v.bounds))
+	order := make([]visit, 0, len(v.bounds))
 	for i, p := range v.bounds {
-		order[i] = visit{pid: i, lb: core.PartitionLowerBound(c.m, q.Points, p.mbrF, p.mbrL)}
+		// Retired partitions own nothing and may not even be loadable on
+		// any worker; visiting one would burn a round (or fail the query)
+		// for a guaranteed-empty contribution.
+		if p.retired {
+			continue
+		}
+		order = append(order, visit{pid: i, lb: core.PartitionLowerBound(c.m, q.Points, p.mbrF, p.mbrL)})
 	}
 	sort.Slice(order, func(a, b int) bool {
 		if order[a].lb != order[b].lb {

@@ -58,6 +58,11 @@ type coordMetrics struct {
 	ingests        *obs.Counter
 	deletes        *obs.Counter
 	ingestRejected *obs.Counter
+	// Online re-partitioning: completed split/merge cutovers, their
+	// wall-clock cost, and the post-cutover occupancy skew.
+	rebalances    *obs.Counter
+	rebalanceMS   *obs.Histogram
+	occupancySkew *obs.FloatGauge
 }
 
 func newCoordMetrics(r *obs.Registry) *coordMetrics {
@@ -84,7 +89,21 @@ func newCoordMetrics(r *obs.Registry) *coordMetrics {
 		ingests:         r.Counter("coord_ingests_total"),
 		deletes:         r.Counter("coord_deletes_total"),
 		ingestRejected:  r.Counter("coord_ingest_rejected_total"),
+		rebalances:      r.Counter("coord_rebalance_total"),
+		rebalanceMS:     r.Histogram("coord_rebalance_ms"),
+		occupancySkew:   r.FloatGauge("coord_occupancy_skew"),
 	}
+}
+
+// rebalanceObserve records one completed cutover and the dataset's
+// post-cutover occupancy skew.
+func (m *coordMetrics) rebalanceObserve(d time.Duration, skew float64) {
+	if m == nil {
+		return
+	}
+	m.rebalances.Inc()
+	m.rebalanceMS.Observe(d.Milliseconds())
+	m.occupancySkew.Set(skew)
 }
 
 // recordSkip counts one skipped partition, overall and by error class.

@@ -92,6 +92,32 @@ type InventoryPart struct {
 	LastSeq uint64
 }
 
+// ManifestArgs asks a worker for the exact visible contents of one held
+// partition — base members minus tombstones plus delta. Rebalance
+// recovery uses it to rebuild the coordinator's routing table and true
+// partition bounds from worker state, instead of re-running the original
+// dispatch (which would clobber every acked overlay and prune with
+// dispatch-time MBRs that ingested outliers have outgrown).
+type ManifestArgs struct {
+	Dataset   string
+	Partition int
+}
+
+// ManifestReply describes one partition's visible state.
+type ManifestReply struct {
+	// IDs lists the visible trajectory ids, ascending.
+	IDs []int
+	// MBRf/MBRl bound the visible members' endpoints — the partition's
+	// TRUE current bounds, overlay included.
+	MBRf, MBRl geom.MBR
+	// Fingerprint is the base content hash; Snapshotted whether a durable
+	// snapshot of that base exists; LastSeq the highest applied sequence
+	// number (the freshness order between diverged holders of one pid).
+	Fingerprint uint64
+	Snapshotted bool
+	LastSeq     uint64
+}
+
 // WireRecord is one streamed mutation on the wire: an upsert (Op =
 // wal.OpInsert, Points set) or a delete (Op = wal.OpDelete, Points empty)
 // of one trajectory id. Seq is the partition-scoped sequence number the

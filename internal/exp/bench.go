@@ -8,6 +8,7 @@ import (
 
 	"dita/internal/core"
 	"dita/internal/gen"
+	"dita/internal/geom"
 	"dita/internal/measure"
 	"dita/internal/obs"
 	"dita/internal/snap"
@@ -66,6 +67,16 @@ type BenchReport struct {
 	// partition's log, verifying checksums, and re-applying the suffix
 	// past each snapshot's watermark.
 	ReplayMS float64 `json:"replay_ms"`
+	// Online re-partitioning economics: a hotspot ingest stream pushes
+	// occupancy skew (max/mean partition occupancy) to SkewBefore; the
+	// rebalance planner's split/merge cutovers bring it to OccupancySkew
+	// in RebalanceCutovers steps taking RebalanceMS total, with search
+	// results verified identical before and after. The run fails unless
+	// the skew reduction is at least 2x.
+	OccupancySkewBefore float64 `json:"occupancy_skew_before"`
+	OccupancySkew       float64 `json:"occupancy_skew"`
+	RebalanceMS         float64 `json:"rebalance_ms"`
+	RebalanceCutovers   int     `json:"rebalance_cutovers"`
 	// Serving-layer numbers from a loopback dita-serve over this
 	// engine (see internal/serve): sustained queries/second under a
 	// mixed repeated-query workload, the fraction answered from the
@@ -251,6 +262,12 @@ func Bench(kind string, cfg Config) (*BenchReport, error) {
 		return nil, fmt.Errorf("exp: bench %s: ingest: %w", kind, err)
 	}
 
+	// Online re-partitioning economics: hotspot-skewed ingest, then the
+	// planner's cutovers, with answers verified identical across them.
+	if err := benchRebalance(rep, d, images, opts, qs); err != nil {
+		return nil, fmt.Errorf("exp: bench %s: rebalance: %w", kind, err)
+	}
+
 	// Serving-layer economics: a loopback dita-serve over the built
 	// engine — sustained QPS, cache hit rate, served p99, and the shed
 	// fraction under a starved admission budget.
@@ -258,6 +275,97 @@ func Bench(kind string, cfg Config) (*BenchReport, error) {
 		return nil, fmt.Errorf("exp: bench %s: serve: %w", kind, err)
 	}
 	return rep, nil
+}
+
+// benchRebalance measures the online STR re-partitioning path on an
+// engine cold-started from the encoded snapshots: a hotspot ingest
+// stream (one member's geometry with a per-clone jitter, so routing
+// concentrates the writes while STR cuts can still separate them) skews
+// one partition well past the planner bound; Rebalance then re-cuts the
+// layout until balanced. The search workload must return identical
+// results before and after the cutovers — a rebalance moves data, never
+// changes answers — and the skew must drop at least 2x, or the bench
+// run fails rather than report numbers for a broken planner.
+func benchRebalance(rep *BenchReport, d *traj.Dataset, images [][]byte, opts core.Options, qs []*traj.T) error {
+	if d.Len() == 0 {
+		return nil
+	}
+	snaps := make([]*snap.Snapshot, len(images))
+	for i, img := range images {
+		s, err := snap.Decode(img)
+		if err != nil {
+			return err
+		}
+		snaps[i] = s
+	}
+	e, err := core.NewEngineFromSnapshots(snaps, opts)
+	if err != nil {
+		return err
+	}
+	if _, err := e.EnableIngest(core.IngestConfig{MergeBytes: 1 << 30}); err != nil {
+		return err
+	}
+	defer e.CloseIngest()
+	// Hotspot size: enough clones to dominate one partition's occupancy
+	// on every preset, bounded so the phase stays cheap at scale.
+	n := d.Len() / 4
+	if n < 64 {
+		n = 64
+	}
+	if n > 1024 {
+		n = 1024
+	}
+	hot := d.Trajs[0]
+	const idBase = 1 << 29
+	for i := 0; i < n; i++ {
+		pts := make([]geom.Point, len(hot.Points))
+		off := float64(i) * 1e-7
+		for pi, p := range hot.Points {
+			pts[pi] = geom.Point{X: p.X + off, Y: p.Y + off}
+		}
+		if err := e.Insert(&traj.T{ID: idBase + i, Points: pts}); err != nil {
+			return err
+		}
+	}
+	answers := func() map[int]int {
+		out := map[int]int{}
+		for qi, q := range qs {
+			for _, h := range e.Search(q, DefaultTau, nil) {
+				out[qi*1000003+h.Traj.ID]++
+			}
+		}
+		return out
+	}
+	before := answers()
+	_, _, skewBefore := e.OccupancySkew()
+	rep.OccupancySkewBefore = skewBefore
+
+	start := time.Now()
+	steps, err := e.Rebalance(core.RebalancePolicy{})
+	if err != nil {
+		return err
+	}
+	rep.RebalanceMS = float64(time.Since(start).Microseconds()) / 1000
+	rep.RebalanceCutovers = len(steps)
+	_, _, skewAfter := e.OccupancySkew()
+	rep.OccupancySkew = skewAfter
+
+	if len(steps) == 0 {
+		return fmt.Errorf("planner took no action at skew %.2f", skewBefore)
+	}
+	if skewAfter*2 > skewBefore {
+		return fmt.Errorf("skew reduced %.2f -> %.2f, want >= 2x", skewBefore, skewAfter)
+	}
+	after := answers()
+	if len(after) != len(before) {
+		return fmt.Errorf("rebalance changed answer count: %d -> %d", len(before), len(after))
+	}
+	for k, v := range before {
+		if after[k] != v {
+			return fmt.Errorf("rebalance changed search answers (key %d: %d -> %d)", k, v, after[k])
+		}
+	}
+	return nil
 }
 
 // benchIngest measures streaming ingest on an engine cold-started from

@@ -20,6 +20,7 @@ package obs
 import (
 	"fmt"
 	"io"
+	"math"
 	"math/bits"
 	"sort"
 	"sync"
@@ -74,6 +75,27 @@ func (g *Gauge) Value() int64 {
 		return 0
 	}
 	return g.v.Load()
+}
+
+// FloatGauge is a settable instantaneous float64 value, for ratios
+// (occupancy skew) that an int64 Gauge would truncate. Nil-safe.
+type FloatGauge struct {
+	bits atomic.Uint64
+}
+
+// Set stores the gauge value.
+func (g *FloatGauge) Set(v float64) {
+	if g != nil {
+		g.bits.Store(math.Float64bits(v))
+	}
+}
+
+// Value returns the current value (0 for nil).
+func (g *FloatGauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
 }
 
 // histBuckets is the number of exponential histogram buckets: bucket i
@@ -205,20 +227,22 @@ func (h *Histogram) Snapshot() HistogramSnapshot {
 // usable; create with New. A nil *Registry is a valid disabled registry:
 // every lookup returns a nil metric whose methods no-op.
 type Registry struct {
-	mu         sync.RWMutex
-	counters   map[string]*Counter
-	gauges     map[string]*Gauge
-	gaugeFuncs map[string]func() int64
-	hists      map[string]*Histogram
+	mu          sync.RWMutex
+	counters    map[string]*Counter
+	gauges      map[string]*Gauge
+	floatGauges map[string]*FloatGauge
+	gaugeFuncs  map[string]func() int64
+	hists       map[string]*Histogram
 }
 
 // New creates an empty registry.
 func New() *Registry {
 	return &Registry{
-		counters:   map[string]*Counter{},
-		gauges:     map[string]*Gauge{},
-		gaugeFuncs: map[string]func() int64{},
-		hists:      map[string]*Histogram{},
+		counters:    map[string]*Counter{},
+		gauges:      map[string]*Gauge{},
+		floatGauges: map[string]*FloatGauge{},
+		gaugeFuncs:  map[string]func() int64{},
+		hists:       map[string]*Histogram{},
 	}
 }
 
@@ -262,6 +286,26 @@ func (r *Registry) Gauge(name string) *Gauge {
 	return g
 }
 
+// FloatGauge returns the named float gauge, creating it on first use.
+func (r *Registry) FloatGauge(name string) *FloatGauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	g := r.floatGauges[name]
+	r.mu.RUnlock()
+	if g != nil {
+		return g
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if g = r.floatGauges[name]; g == nil {
+		g = &FloatGauge{}
+		r.floatGauges[name] = g
+	}
+	return g
+}
+
 // GaugeFunc registers (or replaces) a callback-backed gauge, for values
 // that live elsewhere (in-flight RPC count, goroutine count).
 func (r *Registry) GaugeFunc(name string, fn func() int64) {
@@ -295,17 +339,19 @@ func (r *Registry) Histogram(name string) *Histogram {
 
 // Snapshot is a point-in-time copy of every metric in a registry.
 type Snapshot struct {
-	Counters   map[string]int64             `json:"counters,omitempty"`
-	Gauges     map[string]int64             `json:"gauges,omitempty"`
-	Histograms map[string]HistogramSnapshot `json:"histograms,omitempty"`
+	Counters    map[string]int64             `json:"counters,omitempty"`
+	Gauges      map[string]int64             `json:"gauges,omitempty"`
+	FloatGauges map[string]float64           `json:"float_gauges,omitempty"`
+	Histograms  map[string]HistogramSnapshot `json:"histograms,omitempty"`
 }
 
 // Snapshot copies every metric. Gauge funcs are evaluated at call time.
 func (r *Registry) Snapshot() Snapshot {
 	s := Snapshot{
-		Counters:   map[string]int64{},
-		Gauges:     map[string]int64{},
-		Histograms: map[string]HistogramSnapshot{},
+		Counters:    map[string]int64{},
+		Gauges:      map[string]int64{},
+		FloatGauges: map[string]float64{},
+		Histograms:  map[string]HistogramSnapshot{},
 	}
 	if r == nil {
 		return s
@@ -318,6 +364,10 @@ func (r *Registry) Snapshot() Snapshot {
 	gauges := make(map[string]*Gauge, len(r.gauges))
 	for k, v := range r.gauges {
 		gauges[k] = v
+	}
+	floats := make(map[string]*FloatGauge, len(r.floatGauges))
+	for k, v := range r.floatGauges {
+		floats[k] = v
 	}
 	funcs := make(map[string]func() int64, len(r.gaugeFuncs))
 	for k, v := range r.gaugeFuncs {
@@ -333,6 +383,9 @@ func (r *Registry) Snapshot() Snapshot {
 	}
 	for k, v := range gauges {
 		s.Gauges[k] = v.Value()
+	}
+	for k, v := range floats {
+		s.FloatGauges[k] = v.Value()
 	}
 	for k, fn := range funcs {
 		s.Gauges[k] = fn()
@@ -364,6 +417,14 @@ func (r *Registry) WritePrometheus(w io.Writer) {
 	sort.Strings(names)
 	for _, k := range names {
 		fmt.Fprintf(w, "# TYPE %s gauge\n%s %d\n", k, k, s.Gauges[k])
+	}
+	names = names[:0]
+	for k := range s.FloatGauges {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	for _, k := range names {
+		fmt.Fprintf(w, "# TYPE %s gauge\n%s %g\n", k, k, s.FloatGauges[k])
 	}
 	names = names[:0]
 	for k := range s.Histograms {

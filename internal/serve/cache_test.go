@@ -197,3 +197,31 @@ func TestCacheStatsString(t *testing.T) {
 	}
 	_ = fmt.Sprintf("%+v", NewCache(1, 1).Stats())
 }
+
+// TestCacheAcrossRebalanceCutover pins the cache's behavior against the
+// coordinator's online re-partitioning: a cutover APPENDS piece
+// partitions (Parts grows), retires the replaced pids in place, and
+// bumps the bounds epoch. Growth alone must not fake-stale entries whose
+// touched partitions are unwritten; the cutover's bounds bump must stale
+// everything; and a touched pid the live layout lacks (a recovery that
+// shrank the table) reads stale, never out of range.
+func TestCacheAcrossRebalanceCutover(t *testing.T) {
+	c := NewCache(16, 0)
+	q := q2(1, 2)
+	key := searchKey(q, 0.5)
+	c.Put(key, q, []Hit{{ID: 7}}, 48, ev(4, 1, 2), []int{1})
+	// Parts grown, touched pid and bounds unchanged: still fresh — an
+	// appended partition cannot hold a qualifying member without the
+	// bounds epoch advancing.
+	if _, ok := c.Get(key, q, ev(4, 1, 2, 0, 0)); !ok {
+		t.Fatal("grown Parts with unchanged touched pid invalidated the entry")
+	}
+	// The cutover itself bumps Bounds: every entry dies.
+	if _, ok := c.Get(key, q, ev(5, 1, 2, 0, 0)); ok {
+		t.Fatal("cache served across a cutover's bounds bump")
+	}
+	c.Put(key, q, []Hit{{ID: 7}}, 48, ev(6, 1, 2, 3), []int{2})
+	if _, ok := c.Get(key, q, ev(6, 1, 2)); ok {
+		t.Fatal("cache served an entry touching a partition the live layout lacks")
+	}
+}

@@ -1,0 +1,274 @@
+package str
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"dita/internal/geom"
+)
+
+// Plan is an explicit STR boundary-cut description: the vertical cuts
+// that bound the slabs, and per-slab horizontal cuts that bound the
+// tiles. Unlike Tile — which returns a membership listing for one fixed
+// point set — a Plan is a total function over the plane: every point
+// locates to exactly one tile (the outermost slabs and tiles extend to
+// infinity), so the cuts cover the space with no overlap and no gap by
+// construction. That totality is what online re-partitioning needs: a
+// split computed from a partition's current members must still place a
+// trajectory ingested a millisecond later, wherever it lands.
+//
+// Tiles are numbered slab-major: tile t of slab s has index
+// sum(len(YCuts[i])+1 for i<s) + t.
+type Plan struct {
+	// XCuts are the interior vertical cuts, ascending. len(XCuts)+1
+	// slabs. A point with X < XCuts[i] (strictly) falls left of cut i.
+	XCuts []float64
+	// YCuts holds, per slab, the interior horizontal cuts, ascending.
+	// len(YCuts) == len(XCuts)+1; slab s has len(YCuts[s])+1 tiles.
+	YCuts [][]float64
+}
+
+// Cut computes an STR boundary plan that divides keys into about n
+// tiles of near-equal cardinality: the same sort-tile-recursive pass as
+// Tile, but returning the cut coordinates (midpoints between adjacent
+// sorted keys at each split position) instead of the membership. Ties
+// at a split position degrade balance, never correctness — Locate stays
+// total. Returns a one-tile plan (no cuts) when n <= 1 or keys is
+// empty.
+func Cut(keys []geom.Point, n int) Plan {
+	if n > len(keys) {
+		n = len(keys)
+	}
+	if n <= 1 {
+		return Plan{YCuts: [][]float64{nil}}
+	}
+	idx := make([]int, len(keys))
+	for i := range idx {
+		idx[i] = i
+	}
+	s := int(math.Ceil(math.Sqrt(float64(n))))
+	sort.SliceStable(idx, func(a, b int) bool {
+		ka, kb := keys[idx[a]], keys[idx[b]]
+		if ka.X != kb.X {
+			return ka.X < kb.X
+		}
+		return ka.Y < kb.Y
+	})
+	slabs := split(idx, s)
+	tilesPerSlab := int(math.Ceil(float64(n) / float64(len(slabs))))
+	p := Plan{YCuts: make([][]float64, len(slabs))}
+	for si, slab := range slabs {
+		if si > 0 {
+			lo := keys[slabs[si-1][len(slabs[si-1])-1]].X
+			hi := keys[slab[0]].X
+			p.XCuts = append(p.XCuts, midCut(lo, hi, p.XCuts))
+		}
+		sort.SliceStable(slab, func(a, b int) bool {
+			ka, kb := keys[slab[a]], keys[slab[b]]
+			if ka.Y != kb.Y {
+				return ka.Y < kb.Y
+			}
+			return ka.X < kb.X
+		})
+		tiles := split(slab, tilesPerSlab)
+		for ti := 1; ti < len(tiles); ti++ {
+			lo := keys[tiles[ti-1][len(tiles[ti-1])-1]].Y
+			hi := keys[tiles[ti][0]].Y
+			p.YCuts[si] = append(p.YCuts[si], midCut(lo, hi, p.YCuts[si]))
+		}
+	}
+	return p
+}
+
+// midCut picks a cut between lo and hi (the adjacent sorted key values
+// straddling a split position), clamped to stay monotone with the cuts
+// already chosen. Equal values yield a cut at that value — the tiles on
+// one side may run empty under heavy ties, but Locate stays total.
+func midCut(lo, hi float64, prev []float64) float64 {
+	c := lo + (hi-lo)/2
+	if len(prev) > 0 && c < prev[len(prev)-1] {
+		c = prev[len(prev)-1]
+	}
+	return c
+}
+
+// Tiles returns the number of tiles the plan defines.
+func (p Plan) Tiles() int {
+	n := 0
+	for _, yc := range p.YCuts {
+		n += len(yc) + 1
+	}
+	return n
+}
+
+// Locate maps a point to its tile index in [0, Tiles()). A point on a
+// cut belongs to the higher side (slab/tile i is [cut[i-1], cut[i])),
+// so every point locates to exactly one tile: the cuts partition the
+// plane with no overlap and no gap.
+func (p Plan) Locate(pt geom.Point) int {
+	s := sort.SearchFloat64s(p.XCuts, pt.X)
+	// SearchFloat64s finds the first cut >= X; a point exactly on cut i
+	// belongs to slab i+1, so step past equal cuts.
+	for s < len(p.XCuts) && p.XCuts[s] == pt.X {
+		s++
+	}
+	base := 0
+	for i := 0; i < s; i++ {
+		base += len(p.YCuts[i]) + 1
+	}
+	yc := p.YCuts[s]
+	t := sort.SearchFloat64s(yc, pt.Y)
+	for t < len(yc) && yc[t] == pt.Y {
+		t++
+	}
+	return base + t
+}
+
+// Assign groups the indices of keys by Locate. The returned slice has
+// exactly Tiles() groups; groups may be empty (unlike Tile's), e.g.
+// when keys have moved since the plan was cut, or under heavy ties.
+func (p Plan) Assign(keys []geom.Point) [][]int {
+	out := make([][]int, p.Tiles())
+	for i, k := range keys {
+		t := p.Locate(k)
+		out[t] = append(out[t], i)
+	}
+	return out
+}
+
+// Validate checks structural invariants: matching slab counts, finite
+// ascending cuts. A valid plan's Locate is total and injective per
+// point, i.e. the cuts cover the plane with no overlap or gap.
+func (p Plan) Validate() error {
+	if len(p.YCuts) != len(p.XCuts)+1 {
+		return fmt.Errorf("str: plan has %d slabs for %d x-cuts", len(p.YCuts), len(p.XCuts))
+	}
+	if err := ascending(p.XCuts); err != nil {
+		return fmt.Errorf("str: x-cuts: %w", err)
+	}
+	for i, yc := range p.YCuts {
+		if err := ascending(yc); err != nil {
+			return fmt.Errorf("str: slab %d y-cuts: %w", i, err)
+		}
+	}
+	return nil
+}
+
+func ascending(cuts []float64) error {
+	for i, c := range cuts {
+		if math.IsNaN(c) || math.IsInf(c, 0) {
+			return fmt.Errorf("cut %d is %v", i, c)
+		}
+		if i > 0 && c < cuts[i-1] {
+			return fmt.Errorf("cut %d (%v) below cut %d (%v)", i, c, i-1, cuts[i-1])
+		}
+	}
+	return nil
+}
+
+// planMagic versions the plan wire encoding.
+const planMagic = 0x44525031 // "DRP1"
+
+// Encode serializes the plan: magic, slab count, x-cuts, then each
+// slab's y-cut count and cuts, all little-endian fixed width. The
+// format is self-delimiting so a decoded plan can ride inside larger
+// messages.
+func (p Plan) Encode() []byte {
+	n := 8 + 8*len(p.XCuts)
+	for _, yc := range p.YCuts {
+		n += 4 + 8*len(yc)
+	}
+	b := make([]byte, 0, n)
+	b = binary.LittleEndian.AppendUint32(b, planMagic)
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(p.YCuts)))
+	for _, c := range p.XCuts {
+		b = binary.LittleEndian.AppendUint64(b, math.Float64bits(c))
+	}
+	for _, yc := range p.YCuts {
+		b = binary.LittleEndian.AppendUint32(b, uint32(len(yc)))
+		for _, c := range yc {
+			b = binary.LittleEndian.AppendUint64(b, math.Float64bits(c))
+		}
+	}
+	return b
+}
+
+// maxPlanCuts bounds decoded plan sizes: a re-partitioning plan has at
+// most a few hundred tiles; anything claiming more is garbage input.
+const maxPlanCuts = 1 << 16
+
+var errPlanTruncated = errors.New("str: plan truncated")
+
+// DecodePlan parses an Encode'd plan, validating structure as it goes.
+// It rejects truncated, oversized, and non-monotone inputs — untrusted
+// bytes (the fuzz target feeds it arbitrary input) must never yield a
+// plan whose Locate is not total.
+func DecodePlan(b []byte) (Plan, error) {
+	u32 := func() (uint32, error) {
+		if len(b) < 4 {
+			return 0, errPlanTruncated
+		}
+		v := binary.LittleEndian.Uint32(b)
+		b = b[4:]
+		return v, nil
+	}
+	f64 := func() (float64, error) {
+		if len(b) < 8 {
+			return 0, errPlanTruncated
+		}
+		v := math.Float64frombits(binary.LittleEndian.Uint64(b))
+		b = b[8:]
+		return v, nil
+	}
+	magic, err := u32()
+	if err != nil {
+		return Plan{}, err
+	}
+	if magic != planMagic {
+		return Plan{}, fmt.Errorf("str: bad plan magic %#x", magic)
+	}
+	slabs, err := u32()
+	if err != nil {
+		return Plan{}, err
+	}
+	if slabs == 0 || slabs > maxPlanCuts {
+		return Plan{}, fmt.Errorf("str: plan slab count %d out of range", slabs)
+	}
+	var p Plan
+	if slabs > 1 {
+		p.XCuts = make([]float64, slabs-1)
+		for i := range p.XCuts {
+			if p.XCuts[i], err = f64(); err != nil {
+				return Plan{}, err
+			}
+		}
+	}
+	p.YCuts = make([][]float64, slabs)
+	for i := range p.YCuts {
+		n, err := u32()
+		if err != nil {
+			return Plan{}, err
+		}
+		if n > maxPlanCuts {
+			return Plan{}, fmt.Errorf("str: plan y-cut count %d out of range", n)
+		}
+		if n > 0 {
+			p.YCuts[i] = make([]float64, n)
+			for j := range p.YCuts[i] {
+				if p.YCuts[i][j], err = f64(); err != nil {
+					return Plan{}, err
+				}
+			}
+		}
+	}
+	if len(b) != 0 {
+		return Plan{}, fmt.Errorf("str: %d trailing bytes after plan", len(b))
+	}
+	if err := p.Validate(); err != nil {
+		return Plan{}, err
+	}
+	return p, nil
+}

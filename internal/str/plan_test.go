@@ -1,0 +1,203 @@
+package str
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+
+	"dita/internal/geom"
+)
+
+func TestCutLocateTotal(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	for iter := 0; iter < 100; iter++ {
+		n := 1 + rng.Intn(400)
+		k := 1 + rng.Intn(30)
+		keys := randPoints(rng, n)
+		p := Cut(keys, k)
+		if err := p.Validate(); err != nil {
+			t.Fatalf("Cut produced invalid plan: %v", err)
+		}
+		tiles := p.Tiles()
+		if tiles < 1 {
+			t.Fatalf("plan has %d tiles", tiles)
+		}
+		// Every key — and arbitrary other points — must locate in range.
+		probe := append(append([]geom.Point{}, keys...), randPoints(rng, 50)...)
+		probe = append(probe, geom.Point{X: -1e18, Y: 1e18}, geom.Point{X: 1e18, Y: -1e18})
+		for _, pt := range probe {
+			ti := p.Locate(pt)
+			if ti < 0 || ti >= tiles {
+				t.Fatalf("Locate(%v) = %d, want [0,%d)", pt, ti, tiles)
+			}
+		}
+	}
+}
+
+func TestCutBalance(t *testing.T) {
+	// On tie-free keys, Assign over the cut's own keys reproduces STR's
+	// near-equal cardinalities.
+	rng := rand.New(rand.NewSource(11))
+	keys := randPoints(rng, 5000)
+	p := Cut(keys, 9)
+	groups := p.Assign(keys)
+	min, max := len(keys), 0
+	for _, g := range groups {
+		if len(g) < min {
+			min = len(g)
+		}
+		if len(g) > max {
+			max = len(g)
+		}
+	}
+	if min == 0 || max > 3*min {
+		t.Errorf("imbalanced assignment: min=%d max=%d over %d tiles", min, max, len(groups))
+	}
+}
+
+func TestCutAssignPartitions(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	for iter := 0; iter < 50; iter++ {
+		keys := randPoints(rng, 1+rng.Intn(300))
+		p := Cut(keys, 1+rng.Intn(20))
+		groups := p.Assign(keys)
+		if len(groups) != p.Tiles() {
+			t.Fatalf("Assign returned %d groups for %d tiles", len(groups), p.Tiles())
+		}
+		seen := make([]bool, len(keys))
+		for _, g := range groups {
+			for _, i := range g {
+				if seen[i] {
+					t.Fatalf("key %d assigned twice", i)
+				}
+				seen[i] = true
+			}
+		}
+		for i, s := range seen {
+			if !s {
+				t.Fatalf("key %d unassigned", i)
+			}
+		}
+	}
+}
+
+func TestCutDegenerate(t *testing.T) {
+	// All-identical keys: ties collapse every cut onto the same value;
+	// the plan must stay valid and total.
+	keys := make([]geom.Point, 100)
+	for i := range keys {
+		keys[i] = geom.Point{X: 1, Y: 2}
+	}
+	p := Cut(keys, 8)
+	if err := p.Validate(); err != nil {
+		t.Fatalf("degenerate plan invalid: %v", err)
+	}
+	groups := p.Assign(keys)
+	total := 0
+	for _, g := range groups {
+		total += len(g)
+	}
+	if total != len(keys) {
+		t.Fatalf("degenerate assignment lost keys: %d/%d", total, len(keys))
+	}
+	if Cut(nil, 4).Tiles() != 1 {
+		t.Error("empty keys should yield a one-tile plan")
+	}
+	if Cut(keys, 0).Tiles() != 1 {
+		t.Error("n=0 should yield a one-tile plan")
+	}
+}
+
+func TestPlanEncodeDecode(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for iter := 0; iter < 50; iter++ {
+		keys := randPoints(rng, 1+rng.Intn(500))
+		p := Cut(keys, 1+rng.Intn(25))
+		enc := p.Encode()
+		q, err := DecodePlan(enc)
+		if err != nil {
+			t.Fatalf("decode of encode failed: %v", err)
+		}
+		if !bytes.Equal(enc, q.Encode()) {
+			t.Fatal("re-encode differs")
+		}
+		if q.Tiles() != p.Tiles() {
+			t.Fatalf("tiles %d != %d after round trip", q.Tiles(), p.Tiles())
+		}
+	}
+}
+
+func TestDecodePlanRejectsGarbage(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		{1, 2, 3},
+		Cut(randPoints(rand.New(rand.NewSource(14)), 100), 9).Encode()[:10],
+	}
+	// Non-monotone cuts.
+	bad := Plan{XCuts: []float64{5, 1}, YCuts: [][]float64{nil, nil, nil}}.Encode()
+	cases = append(cases, bad)
+	nan := Plan{XCuts: []float64{math.NaN()}, YCuts: [][]float64{nil, nil}}.Encode()
+	cases = append(cases, nan)
+	for i, c := range cases {
+		if _, err := DecodePlan(c); err == nil {
+			t.Errorf("case %d: decode accepted garbage", i)
+		}
+	}
+}
+
+// FuzzRepartitionPlan drives the two properties a re-partitioning plan
+// must never violate, no matter the input: (1) Encode/DecodePlan round
+// trips exactly; (2) any plan that DecodePlan accepts — including ones
+// built from arbitrary fuzzed bytes — has a total Locate: every probe
+// point falls in exactly one tile index within range, i.e. the boundary
+// cuts cover the space with no overlap and no gap.
+func FuzzRepartitionPlan(f *testing.F) {
+	rng := rand.New(rand.NewSource(15))
+	f.Add(Cut(randPoints(rng, 200), 9).Encode(), 3.5, -2.25)
+	f.Add(Cut(randPoints(rng, 7), 4).Encode(), 0.0, 0.0)
+	f.Add([]byte{}, 1.0, 1.0)
+	f.Fuzz(func(t *testing.T, data []byte, px, py float64) {
+		p, err := DecodePlan(data)
+		if err != nil {
+			return // rejected input: nothing more to hold
+		}
+		if err := p.Validate(); err != nil {
+			t.Fatalf("DecodePlan accepted an invalid plan: %v", err)
+		}
+		enc := p.Encode()
+		q, err := DecodePlan(enc)
+		if err != nil {
+			t.Fatalf("re-decode of accepted plan failed: %v", err)
+		}
+		if !bytes.Equal(enc, q.Encode()) {
+			t.Fatal("encode/decode round trip not stable")
+		}
+		tiles := p.Tiles()
+		if tiles < 1 {
+			t.Fatalf("accepted plan has %d tiles", tiles)
+		}
+		probes := []geom.Point{
+			{X: px, Y: py},
+			{X: math.Inf(-1), Y: math.Inf(1)},
+			{X: math.Inf(1), Y: math.Inf(-1)},
+		}
+		for _, c := range p.XCuts {
+			probes = append(probes, geom.Point{X: c, Y: py}, geom.Point{X: math.Nextafter(c, math.Inf(-1)), Y: py})
+		}
+		for _, yc := range p.YCuts {
+			for _, c := range yc {
+				probes = append(probes, geom.Point{X: px, Y: c})
+			}
+		}
+		for _, pt := range probes {
+			if math.IsNaN(pt.X) || math.IsNaN(pt.Y) {
+				continue
+			}
+			ti := p.Locate(pt)
+			if ti < 0 || ti >= tiles {
+				t.Fatalf("Locate(%v) = %d, want [0,%d)", pt, ti, tiles)
+			}
+		}
+	})
+}

@@ -156,3 +156,30 @@ REPLAYED="$(grep -o '[0-9]* WAL records replayed' "$TMP/w3.log" | tail -1 | awk 
 DIG_E="$(digest_of "$TMP/runE.log")"
 [ "$DIG_E" = "$DIG_D" ] || { echo "soak: post-crash ingest digest $DIG_E != pre-crash digest $DIG_D"; exit 1; }
 echo "soak: ingest ok ($REPLAYED WAL records replayed on worker 3, digests identical across the crash)"
+
+# ---------------------------------------------------------------------
+# Skew phase: online STR re-partitioning under hotspot ingest. A skewed
+# mutation stream concentrates writes in one partition; -rebalance must
+# run at least one cutover and bring occupancy skew back within the
+# bound, without changing a single answer. The stream is seeded, so
+# re-running it (idempotent upserts into the already re-cut cluster,
+# plus a second planner pass) must reproduce the digest exactly.
+crash_snap_workers
+SNAP1="$TMP/snap5" SNAP2="$TMP/snap6"
+SKEW_ARGS="-gen beijing:800 -tau 0.005 -queries 40 -digest -ingest 400 -ingest-skew 0.8 -rebalance -rebalance-skew 2"
+
+start_snap_workers
+"$TMP/dita-net" -workers 127.0.0.1:17463,127.0.0.1:17464 $SKEW_ARGS >"$TMP/runF.log"
+CUTOVERS="$(awk '$1 == "rebalance:" { print $8 }' "$TMP/runF.log")"
+[ -n "$CUTOVERS" ] && [ "$CUTOVERS" -ge 1 ] \
+	|| { echo "soak: skewed ingest triggered no rebalance cutover"; cat "$TMP/runF.log"; exit 1; }
+SKEW_OK="$(awk '$1 == "rebalance:" { print ($6 <= 2.0 && $6 < $4) ? "yes" : "no" }' "$TMP/runF.log")"
+[ "$SKEW_OK" = "yes" ] \
+	|| { echo "soak: rebalance left occupancy skew above the bound"; cat "$TMP/runF.log"; exit 1; }
+DIG_F="$(digest_of "$TMP/runF.log")"
+[ -n "$DIG_F" ] || { echo "soak: run F produced no digest"; cat "$TMP/runF.log"; exit 1; }
+
+"$TMP/dita-net" -workers 127.0.0.1:17463,127.0.0.1:17464 $SKEW_ARGS >"$TMP/runG.log"
+DIG_G="$(digest_of "$TMP/runG.log")"
+[ "$DIG_G" = "$DIG_F" ] || { echo "soak: post-rebalance re-stream digest $DIG_G != $DIG_F"; exit 1; }
+echo "soak: rebalance ok ($CUTOVERS cutover(s), skew within bound, digest identical across re-stream)"
