@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: build test race vet staticcheck chaos knn snap ingest serve rebalance fuzz check soak serve-soak bench bench-json
+.PHONY: build test race vet staticcheck chaos knn snap ingest serve rebalance autopilot fuzz check soak serve-soak bench bench-json
 
 build:
 	$(GO) build ./...
@@ -72,6 +72,17 @@ rebalance:
 	$(GO) test -race -run 'Rebalance|Repartition|Recover|CutoverAbort' -count=2 \
 		./internal/str ./internal/core ./internal/dnet
 
+# Rebalancing-autopilot differential suite: the cost tracker/planner
+# unit gates, the planner single-snapshot race regression, the rotated
+# read-spread and failover-ordering contracts, and the live-cluster
+# skewed-read differential (autopilot acts on its own; answers stay
+# byte-identical to an autopilot-disabled run) — under the race
+# detector, -count=2 to defeat the cache.
+autopilot:
+	$(GO) test -race -count=2 \
+		-run 'CostTracker|CostHot|AutopilotCostSplit|SearchFeedsCost|ConvergenceBudget|SingleSnapshotRace|ReadSpread|AutopilotSkewed' \
+		./internal/core ./internal/dnet
+
 # Short coverage-guided fuzz smoke of every parser that takes untrusted
 # input (CSV trajectory loader, SQL lexer/parser, snapshot decoder, WAL
 # replay). -run='^$$' skips the unit tests so only the fuzz engine runs.
@@ -95,7 +106,7 @@ BENCH_PRESETS ?= default
 bench-json:
 	$(GO) run ./cmd/ditabench -bench $(BENCH_PRESETS) -bench-json $(BENCH_DIR)
 
-check: vet staticcheck race chaos knn snap ingest serve rebalance fuzz
+check: vet staticcheck race chaos knn snap ingest serve rebalance autopilot fuzz
 
 # 30-second soak: dita-net's cancelled-query churn workload against
 # in-process workers running under fault injection (-chaos). Exits

@@ -67,6 +67,9 @@ func main() {
 	ingestSkew := flag.Float64("ingest-skew", 0, "fraction of -ingest writes aimed at one hot partition's geometry (0..1), to provoke occupancy skew")
 	rebalance := flag.Bool("rebalance", false, "after ingest, run the online STR re-partitioning planner until occupancy skew is within bound")
 	rebalanceSkew := flag.Float64("rebalance-skew", 2, "max/mean occupancy ratio the -rebalance planner tolerates before splitting")
+	autopilot := flag.Bool("autopilot", false, "run the rebalancing autopilot: a coordinator loop that watches per-partition read costs and occupancy skew and triggers cutovers/replica promotions automatically")
+	autopilotInterval := flag.Duration("autopilot-interval", 200*time.Millisecond, "autopilot tick interval")
+	querySkew := flag.Float64("query-skew", 0, "fraction of search queries aimed at one hot partition's geometry (0..1), to provoke a read hotspot")
 	knnK := flag.Int("knn", 0, "also run the search queries as kNN at this k (0 disables)")
 	measureName := flag.String("measure", "DTW", "similarity function")
 	seed := flag.Int64("seed", 1, "generation seed")
@@ -140,6 +143,21 @@ func main() {
 		defer ln.Close()
 		fmt.Printf("metrics on http://%s/metrics\n", ln.Addr())
 	}
+	if *autopilot {
+		if reg == nil {
+			// The autopilot's actions are observed through its counters;
+			// a registry is required even without -metrics-addr.
+			reg = obs.New()
+			cfg.Obs = reg
+		}
+		cfg.Autopilot = dnet.AutopilotConfig{
+			Interval: *autopilotInterval,
+			Policy:   core.RebalancePolicy{SkewBound: *rebalanceSkew},
+			Logf: func(format string, args ...any) {
+				fmt.Printf(format+"\n", args...)
+			},
+		}
+	}
 	coord, err := dnet.Connect(addrs, cfg)
 	if err != nil {
 		fatal(err)
@@ -206,9 +224,12 @@ func main() {
 			fatal(err)
 		}
 		start := time.Now()
-		steps, err := coord.Rebalance("trips", core.RebalancePolicy{SkewBound: *rebalanceSkew})
+		steps, converged, err := coord.Rebalance("trips", core.RebalancePolicy{SkewBound: *rebalanceSkew})
 		if err != nil {
 			fatal(err)
+		}
+		if !converged {
+			fmt.Println("rebalance: planner hit its step budget without converging")
 		}
 		skewAfter, err := coord.OccupancySkew("trips")
 		if err != nil {
@@ -227,6 +248,18 @@ func main() {
 	}
 
 	qs := dita.Queries(data, *queries, *seed+1)
+	if *querySkew > 0 {
+		skewQueries(qs, data, *querySkew, *seed+2)
+	}
+
+	// Warm up BEFORE the measured (and digested) workload: the warmup
+	// feeds the read-cost signal until the autopilot takes its first
+	// automatic action, so the digest below reflects the post-cutover,
+	// post-promotion layout — the differential the soak harness compares
+	// against an autopilot-disabled run.
+	if *autopilot {
+		runAutopilotWarmup(ctx, coord, reg, qs, *tau)
+	}
 
 	if *soak > 0 {
 		runSoak(ctx, coord, qs, *tau, *soak, *seed)
@@ -392,6 +425,66 @@ func hitsDigest(qIdx int, hits []dnet.SearchHit) uint64 {
 		acc ^= f.Sum64()
 	}
 	return acc
+}
+
+// skewQueries aims the given fraction of the query workload at the hot
+// member's geometry — the same geometry -ingest-skew concentrates — with
+// a per-query jitter so the queries stay distinct. A skewed read
+// workload drives one partition's verify cost up, the signal the
+// autopilot's cost-aware planner and replica promotion act on. The
+// rewrite is deterministic in the seed, so two runs (autopilot on and
+// off) see byte-identical query sets.
+func skewQueries(qs []*traj.T, data *dita.Dataset, frac float64, seed int64) {
+	if data.Len() == 0 {
+		return
+	}
+	rng := rand.New(rand.NewSource(seed))
+	hot := data.Trajs[0].Points
+	for i := range qs {
+		if rng.Float64() >= frac {
+			continue
+		}
+		jit := make([]geom.Point, len(hot))
+		off := float64(i) * 1e-7
+		for pi, p := range hot {
+			jit[pi] = geom.Point{X: p.X + off, Y: p.Y + off}
+		}
+		qs[i] = &traj.T{ID: qs[i].ID, Points: jit}
+	}
+}
+
+// runAutopilotWarmup keeps replaying the query workload until the
+// autopilot takes its first automatic action (cutover or replica
+// promotion) or a timeout passes — the cost EWMAs need a minimum number
+// of observations per partition before the planner trusts them, and the
+// benchmark workload alone can finish before the first tick. Prints the
+// `autopilot: ...` summary line the soak harness parses.
+func runAutopilotWarmup(ctx context.Context, coord *dnet.Coordinator, reg *obs.Registry, qs []*traj.T, tau float64) {
+	actions := func() int64 {
+		return reg.Counter("coord_autopilot_cutovers_total").Value() +
+			reg.Counter("coord_autopilot_promotions_total").Value()
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	rounds := 0
+	for actions() == 0 && time.Now().Before(deadline) && ctx.Err() == nil {
+		for _, q := range qs {
+			if _, _, err := coord.SearchPartialContext(ctx, "trips", q, tau); err != nil {
+				break
+			}
+		}
+		rounds++
+	}
+	fmt.Printf("autopilot: %d automatic cutover(s), %d promotion(s) after %d warmup round(s)\n",
+		reg.Counter("coord_autopilot_cutovers_total").Value(),
+		reg.Counter("coord_autopilot_promotions_total").Value(),
+		rounds)
+	if stats, err := coord.WorkerStats(); err == nil {
+		parts := make([]string, len(stats))
+		for i, s := range stats {
+			parts[i] = fmt.Sprintf("%d", s.SearchCalls)
+		}
+		fmt.Printf("autopilot: per-worker search calls: %s\n", strings.Join(parts, " "))
+	}
 }
 
 // queryContext derives the per-query context: the signal-cancelled parent

@@ -117,6 +117,7 @@ type Engine struct {
 	rtL     *rtree.Tree // global index over partition MBRl
 	cellD   float64
 	met     *engineMetrics // nil when Options.Obs is nil
+	cost    *CostTracker   // per-partition read-cost EWMAs (timed paths only)
 
 	// mu serializes mutations (Insert/Delete/merge rotation) against
 	// queries: every public query path holds the read side for its whole
@@ -179,7 +180,7 @@ func NewEngine(d *traj.Dataset, opts Options) (*Engine, error) {
 		opts.Cluster = cluster.New(cluster.DefaultConfig(4))
 	}
 	e := &Engine{opts: opts, cl: opts.Cluster, dataset: d, met: newEngineMetrics(opts.Obs),
-		serial: engineSerial.Add(1)}
+		cost: NewCostTracker(), serial: engineSerial.Add(1)}
 	start := time.Now()
 	e.cellD = opts.CellD
 	if e.cellD <= 0 {

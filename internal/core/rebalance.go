@@ -310,6 +310,9 @@ func (e *Engine) repartitionGroup(pids []int, k int) (*RebalanceStats, error) {
 		e.met.rebalanceObserve(stats.Duration, skew)
 	}
 	unlock()
+	// Retired pids never serve reads again; forget their cost EWMAs so
+	// the planner sees only the fresh pieces' signal.
+	e.cost.Drop(stats.Retired...)
 	return stats, sealErr
 }
 
@@ -401,6 +404,15 @@ type RebalancePolicy struct {
 	// MergeFraction: partitions below MergeFraction·mean occupancy are
 	// cold-merge candidates. Default 0.25.
 	MergeFraction float64
+	// CostBound enables cost-driven splits: a partition whose smoothed
+	// per-query verify cost exceeds CostBound times the mean cost (and
+	// sits at or above the CostPercentile of the distribution) is split
+	// even when byte occupancy is balanced — the paper's cost-division
+	// idea applied online to the observed read load. 0 disables.
+	CostBound float64
+	// CostPercentile is the nearest-rank percentile of the per-partition
+	// cost distribution a cost-hot candidate must reach. Default 98.
+	CostPercentile float64
 }
 
 // Sanitized returns the policy with zero or out-of-range fields replaced
@@ -415,27 +427,28 @@ func (pol RebalancePolicy) Sanitized() RebalancePolicy {
 	if pol.MergeFraction <= 0 || pol.MergeFraction >= 1 {
 		pol.MergeFraction = 0.25
 	}
+	if pol.CostPercentile <= 0 || pol.CostPercentile > 100 {
+		pol.CostPercentile = 98
+	}
 	return pol
 }
 
 // RebalanceOnce runs one planner step: when occupancy skew exceeds the
-// bound it splits the hottest partition into about max/mean pieces;
-// otherwise, when at least two cold partitions sit below
-// MergeFraction·mean, it merges the coldest with its spatially nearest
-// cold sibling. Returns nil when no action was needed.
+// bound it splits the hottest partition into about max/mean pieces; when
+// the byte layout is balanced but one partition's observed per-query
+// verify cost exceeds the policy's cost bound, it splits that read
+// hotspot instead; otherwise, when at least two cold partitions sit
+// below MergeFraction·mean, it merges the coldest with its spatially
+// nearest cold sibling. Returns nil when no action was needed.
 func (e *Engine) RebalanceOnce(pol RebalancePolicy) (*RebalanceStats, error) {
 	pol = pol.Sanitized()
-	hot, cold := e.planRebalance(pol)
+	// hot and k come from ONE occupancy snapshot inside planRebalance: a
+	// second OccupancySkew() here would read fresh max/mean after
+	// concurrent ingest moved them, pairing a stale hot pid with a
+	// fan-out computed for a different layout.
+	hot, cold, k := e.planRebalance(pol)
 	switch {
 	case hot >= 0:
-		maxOcc, mean, _ := e.OccupancySkew()
-		k := int(math.Round(maxOcc / mean))
-		if k < 2 {
-			k = 2
-		}
-		if k > pol.MaxPieces {
-			k = pol.MaxPieces
-		}
 		return e.SplitPartition(hot, k)
 	case len(cold) >= 2:
 		return e.MergePartitions(cold)
@@ -443,33 +456,42 @@ func (e *Engine) RebalanceOnce(pol RebalancePolicy) (*RebalanceStats, error) {
 	return nil, nil
 }
 
+// rebalanceMaxSteps caps one Rebalance call's planner steps; a var so
+// the convergence-reporting tests can shrink the budget.
+var rebalanceMaxSteps = 32
+
 // Rebalance runs planner steps until the skew is within bound and no
 // cold merge remains, or no further progress is possible. Returns the
-// steps taken.
-func (e *Engine) Rebalance(pol RebalancePolicy) ([]*RebalanceStats, error) {
+// steps taken and whether the planner converged: false means the step
+// budget ran out with work still planned — the layout may be thrashing
+// (e.g. a bound the data cannot satisfy) and callers should back off
+// rather than immediately retry.
+func (e *Engine) Rebalance(pol RebalancePolicy) ([]*RebalanceStats, bool, error) {
 	var steps []*RebalanceStats
-	for i := 0; i < 32; i++ {
+	for i := 0; i < rebalanceMaxSteps; i++ {
 		st, err := e.RebalanceOnce(pol)
 		if err != nil {
-			return steps, err
+			return steps, false, err
 		}
 		if st == nil {
-			return steps, nil
+			return steps, true, nil
 		}
 		steps = append(steps, st)
 	}
-	return steps, nil
+	return steps, false, nil
 }
 
-// planRebalance picks the next action: the hottest partition's id when
-// skew exceeds the bound (split), else a group of cold partitions to
-// merge (the coldest plus its nearest cold sibling), else (-1, nil).
-func (e *Engine) planRebalance(pol RebalancePolicy) (hot int, cold []int) {
+// planRebalance picks the next action under one occupancy snapshot: the
+// hottest partition's id and split fan-out when byte skew exceeds the
+// bound (split), else a cost-hot partition when the policy enables
+// cost-driven splits, else a group of cold partitions to merge (the
+// coldest plus its nearest cold sibling), else (-1, nil, 0).
+func (e *Engine) planRebalance(pol RebalancePolicy) (hot int, cold []int, kSplit int) {
 	e.mu.RLock()
 	defer e.mu.RUnlock()
 	hot = -1
 	if e.ing == nil {
-		return hot, nil
+		return hot, nil, 0
 	}
 	type occ struct {
 		pid    int
@@ -490,7 +512,7 @@ func (e *Engine) planRebalance(pol RebalancePolicy) (hot int, cold []int) {
 		total += o.bytes
 	}
 	if len(live) < 2 || total == 0 {
-		return hot, nil
+		return hot, nil, 0
 	}
 	mean := total / float64(len(live))
 	maxOcc, maxPid := 0.0, -1
@@ -500,7 +522,24 @@ func (e *Engine) planRebalance(pol RebalancePolicy) (hot int, cold []int) {
 		}
 	}
 	if maxOcc/mean > pol.SkewBound {
-		return maxPid, nil
+		k := int(math.Round(maxOcc / mean))
+		if k < 2 {
+			k = 2
+		}
+		if k > pol.MaxPieces {
+			k = pol.MaxPieces
+		}
+		return maxPid, nil, k
+	}
+	// Byte occupancy is balanced; consult the observed read cost. A
+	// single-member partition cannot be divided, so it never qualifies
+	// (promotion, in dnet, is the remedy there).
+	livePids := make([]int, len(live))
+	for i, o := range live {
+		livePids[i] = o.pid
+	}
+	if pid, k := CostHot(e.cost, livePids, pol); pid >= 0 && len(e.parts[pid].visibleTrajs()) > 1 {
+		return pid, nil, k
 	}
 	// Cold merge: the coldest partition plus its spatially nearest
 	// sibling below the cold bar. Merging raises the mean, which lowers
@@ -513,7 +552,7 @@ func (e *Engine) planRebalance(pol RebalancePolicy) (hot int, cold []int) {
 		}
 	}
 	if coldest == nil {
-		return hot, nil
+		return hot, nil, 0
 	}
 	var buddy *occ
 	bestD := math.Inf(1)
@@ -528,7 +567,7 @@ func (e *Engine) planRebalance(pol RebalancePolicy) (hot int, cold []int) {
 		}
 	}
 	if buddy == nil {
-		return hot, nil
+		return hot, nil, 0
 	}
-	return -1, []int{coldest.pid, buddy.pid}
+	return -1, []int{coldest.pid, buddy.pid}, 0
 }

@@ -662,12 +662,15 @@ func TestRebalancePolicy(t *testing.T) {
 		t.Fatalf("skewed ingest produced skew %.2f, want > 2", skew0)
 	}
 
-	steps, err := e.Rebalance(RebalancePolicy{})
+	steps, converged, err := e.Rebalance(RebalancePolicy{})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(steps) == 0 {
 		t.Fatal("planner took no action above the bound")
+	}
+	if !converged {
+		t.Fatal("rebalance hit the step budget without converging")
 	}
 	_, _, skew1 := e.OccupancySkew()
 	if skew1 > skew0/2 {

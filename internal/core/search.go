@@ -202,6 +202,9 @@ func (e *Engine) SearchPartialContext(ctx context.Context, q *traj.T, tau float6
 			continue
 		}
 		funnel.Merge(funnels[i])
+		if timed {
+			e.cost.Observe(rel[i], funnels[i].Verified, elapsed[i])
+		}
 		out = append(out, r...)
 		if len(r) > 0 {
 			// Results ship back to the driver.
@@ -317,6 +320,9 @@ func (e *Engine) SearchBatchContext(ctx context.Context, qs []*traj.T, tau float
 			continue
 		}
 		funnels[st.qi].Merge(st.funnel)
+		if timed {
+			e.cost.Observe(st.pid, st.funnel.Verified, st.elapsed)
+		}
 		out[st.qi] = append(out[st.qi], st.res...)
 	}
 	for _, r := range out {

@@ -120,6 +120,7 @@ func NewEngineFromSnapshots(snaps []*snap.Snapshot, opts Options) (*Engine, erro
 		dataset: traj.NewDataset(ref.Dataset, all),
 		cellD:   ref.Opts.CellD,
 		met:     newEngineMetrics(opts.Obs),
+		cost:    NewCostTracker(),
 		serial:  engineSerial.Add(1),
 	}
 	W := e.cl.Workers()

@@ -8,6 +8,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"dita/internal/admit"
@@ -67,6 +68,11 @@ type Config struct {
 	// (coord_* names). Nil disables recording and the per-query clock
 	// reads that feed it.
 	Obs *obs.Registry
+	// Autopilot, when Interval > 0, runs the rebalancing autopilot: a
+	// background loop that watches per-partition read costs and occupancy
+	// skew, triggers Rebalance cutovers and read-replica promotions
+	// automatically, and backs off when the planner fails to converge.
+	Autopilot AutopilotConfig
 }
 
 // ErrOverloaded is returned by Search/Join when the admission controller
@@ -128,6 +134,17 @@ type Coordinator struct {
 	hbStop   chan struct{}
 	hbOnce   sync.Once
 	hbClosed sync.WaitGroup
+
+	// readTick drives orderRotated's spreading of reads across
+	// equally-healthy replicas; one bump per replica-ordered probe.
+	readTick atomic.Uint64
+
+	// Autopilot pacing, keyed by dataset name (stable across the
+	// RecoverDataset pointer swap): last action time and consecutive
+	// non-convergence count.
+	apMu      sync.Mutex
+	apLast    map[string]time.Time
+	apBackoff map[string]int
 
 	mu       sync.Mutex
 	datasets map[string]*dispatchedDataset
@@ -199,6 +216,12 @@ type dispatchedDataset struct {
 	// multiple pmu entries; two concurrent cutovers over overlapping
 	// groups would deadlock).
 	rebalMu sync.Mutex
+
+	// cost holds the per-partition read-cost EWMAs the query paths feed
+	// (verified candidates and partition-probe wall time per query) and
+	// the cost-aware planner and autopilot read. Internally synchronized;
+	// never nil after construction.
+	cost *core.CostTracker
 }
 
 // partBounds is one partition's global-index entry as captured by
@@ -294,14 +317,16 @@ func Connect(addrs []string, cfg Config) (*Coordinator, error) {
 		return nil, err
 	}
 	c := &Coordinator{
-		cfg:      cfg,
-		m:        m,
-		addrs:    addrs,
-		health:   newHealthTracker(len(addrs), cfg.Health),
-		adm:      admit.New(cfg.Admission),
-		met:      newCoordMetrics(cfg.Obs),
-		hbStop:   make(chan struct{}),
-		datasets: map[string]*dispatchedDataset{},
+		cfg:       cfg,
+		m:         m,
+		addrs:     addrs,
+		health:    newHealthTracker(len(addrs), cfg.Health),
+		adm:       admit.New(cfg.Admission),
+		met:       newCoordMetrics(cfg.Obs),
+		hbStop:    make(chan struct{}),
+		apLast:    map[string]time.Time{},
+		apBackoff: map[string]int{},
+		datasets:  map[string]*dispatchedDataset{},
 	}
 	c.adm.Instrument(cfg.Obs, "coord_admit")
 	for i, a := range addrs {
@@ -319,6 +344,11 @@ func Connect(addrs []string, cfg Config) (*Coordinator, error) {
 	if cfg.Health.Interval > 0 {
 		c.hbClosed.Add(1)
 		go c.heartbeatLoop(cfg.Health.Interval)
+	}
+	if cfg.Autopilot.Interval > 0 {
+		c.cfg.Autopilot = cfg.Autopilot.withDefaults(cfg)
+		c.hbClosed.Add(1)
+		go c.autopilotLoop(c.cfg.Autopilot.Interval)
 	}
 	return c, nil
 }
@@ -427,7 +457,7 @@ func (c *Coordinator) DispatchStats(name string, d *traj.Dataset) (*DispatchRepo
 		Strategy: int(c.cfg.Trie.Strategy),
 		CellD:    cellD,
 	}
-	dd := &dispatchedDataset{name: name, loc: map[int]int{}}
+	dd := &dispatchedDataset{name: name, loc: map[int]int{}, cost: core.NewCostTracker()}
 	trajs := d.Trajs
 	firsts := make([]geom.Point, len(trajs))
 	for i, t := range trajs {
@@ -603,12 +633,16 @@ func (c *Coordinator) dataset(name string) (*dispatchedDataset, error) {
 }
 
 // replicaOrder copies a partition's replica list (under the lock healing
-// takes to rewrite it) and orders it live-first.
+// takes to rewrite it) and orders it live-first, rotating each run of
+// equally-healthy replicas so repeated reads spread across them instead
+// of pinning every probe for a partition to the same first live worker.
+// Failover ordering is preserved: suspect replicas still come after
+// every healthy one, dead ones last.
 func (c *Coordinator) replicaOrder(dd *dispatchedDataset, pid int) []int {
 	dd.mu.Lock()
 	ws := append([]int(nil), dd.replicas[pid]...)
 	dd.mu.Unlock()
-	return c.health.order(ws)
+	return c.health.orderRotated(ws, c.readTick.Add(1))
 }
 
 // relevantPartitions mirrors the engine's global pruning for the
@@ -696,6 +730,31 @@ func remainingMillis(ctx context.Context) int64 {
 	return rem
 }
 
+// cutoverReplans bounds how many times one query re-plans after losing
+// the race with a concurrent rebalance cutover (its pinned view named a
+// partition that retired before the probe landed). Each re-plan reads a
+// strictly newer layout, so more than a few only happen under continuous
+// cutover churn — then the query reports the skips like any other.
+const cutoverReplans = 3
+
+// allSkippedRetired reports whether every partition the query skipped is
+// now retired — the signature of probes racing a cutover rather than of
+// unreachable workers, and the trigger for a re-plan against the fresh
+// layout (the moved trajectories are all serveable there).
+func (c *Coordinator) allSkippedRetired(dd *dispatchedDataset, rep *PartialReport) bool {
+	if !rep.Partial() {
+		return false
+	}
+	dd.mu.Lock()
+	defer dd.mu.Unlock()
+	for _, s := range rep.Skipped {
+		if s.Partition < 0 || s.Partition >= len(dd.parts) || !dd.parts[s.Partition].retired {
+			return false
+		}
+	}
+	return true
+}
+
 // SearchPartialContext is SearchContext plus the partial-result report.
 // Cancellation is never partial: a done context fails the query with
 // ctx.Err() after the fan-out goroutines drain.
@@ -748,121 +807,143 @@ func (c *Coordinator) SearchTraced(ctx context.Context, name string, q *traj.T, 
 	if err != nil {
 		return nil, report, err
 	}
-	var gStart time.Time
-	if timed {
-		gStart = time.Now()
-	}
-	rel := c.relevantPartitions(dd.boundsView(), q.Points, tau)
-	funnel := obs.Funnel{Partitions: int64(len(dd.parts)), Relevant: int64(len(rel))}
-	if tr != nil {
-		gf := funnel
-		tr.Add(obs.Span{Name: "global-prune", Partition: -1,
-			Start: gStart.Sub(tr.Begin), Duration: time.Since(gStart), Funnel: &gf})
-	}
-	replies := make([]SearchReply, len(rel))
-	skipped := make([]*SkippedPartition, len(rel))
-	attempts := make([]int, len(rel))
-	tried := make([]int, len(rel))
-	var wg sync.WaitGroup
-	for i, pid := range rel {
-		wg.Add(1)
-		go func(i, pid int) {
-			defer wg.Done()
-			// Unconditional: a clock read is noise next to the RPC it
-			// brackets, and skip reports must carry timing even with
-			// observability off.
-			pStart := time.Now()
-			args := &SearchArgs{Dataset: name, Partition: pid, Query: q.Points, Tau: tau}
-			if tr != nil {
-				args.TraceID, args.SpanID = tr.ID, obs.NewTraceID()
-			}
-			var lastErr error
-			for _, w := range c.replicaOrder(dd, pid) {
-				// A dead query must not burn failover attempts: the check
-				// runs before every replica, so deadline expiry on one
-				// worker cancels the remaining attempts instead of
-				// retrying them.
-				if err := ctx.Err(); err != nil {
-					lastErr = err
-					break
+	// A rebalance cutover can retire partitions between this query's view
+	// pin and its partition probes: the probes then fail on every replica
+	// ("not loaded" — the former owners unloaded the retired pid) even
+	// though no worker is unhealthy and every moved trajectory is
+	// serveable in the fresh layout. When ALL skipped partitions turn out
+	// retired, the failure is staleness, not health: re-plan against the
+	// current view, bounded in case cutovers keep landing mid-query. With
+	// the autopilot triggering cutovers on its own schedule this race is
+	// routine, not an operator-window corner case.
+	var out []SearchHit
+	var funnel obs.Funnel
+	var totalAttempts, totalFailovers int
+	for attempt := 0; ; attempt++ {
+		out = nil
+		report = &PartialReport{}
+		var gStart time.Time
+		if timed {
+			gStart = time.Now()
+		}
+		rel := c.relevantPartitions(dd.boundsView(), q.Points, tau)
+		funnel = obs.Funnel{Partitions: int64(len(dd.parts)), Relevant: int64(len(rel))}
+		if tr != nil {
+			gf := funnel
+			tr.Add(obs.Span{Name: "global-prune", Partition: -1,
+				Start: gStart.Sub(tr.Begin), Duration: time.Since(gStart), Funnel: &gf})
+		}
+		replies := make([]SearchReply, len(rel))
+		skipped := make([]*SkippedPartition, len(rel))
+		attempts := make([]int, len(rel))
+		tried := make([]int, len(rel))
+		var wg sync.WaitGroup
+		for i, pid := range rel {
+			wg.Add(1)
+			go func(i, pid int) {
+				defer wg.Done()
+				// Unconditional: a clock read is noise next to the RPC it
+				// brackets, and skip reports must carry timing even with
+				// observability off.
+				pStart := time.Now()
+				args := &SearchArgs{Dataset: name, Partition: pid, Query: q.Points, Tau: tau}
+				if tr != nil {
+					args.TraceID, args.SpanID = tr.ID, obs.NewTraceID()
 				}
-				args.TimeoutMillis = remainingMillis(ctx)
-				replies[i] = SearchReply{}
-				tried[i]++
-				n, err := c.clients[w].CallContextN(ctx, "Worker.Search", args, &replies[i])
-				attempts[i] += n
-				if err != nil {
-					lastErr = err
-					if ctx.Err() != nil {
-						// Cancelled mid-call: not the worker's fault, so
-						// no health verdict either way.
+				var lastErr error
+				for _, w := range c.replicaOrder(dd, pid) {
+					// A dead query must not burn failover attempts: the check
+					// runs before every replica, so deadline expiry on one
+					// worker cancels the remaining attempts instead of
+					// retrying them.
+					if err := ctx.Err(); err != nil {
+						lastErr = err
 						break
 					}
-					if retryableError(err) {
-						c.health.failure(w, false)
-					} else {
-						// An application error is proof of life: the
-						// worker answered, it just can't serve this
-						// partition. Don't deprioritize it.
-						c.health.success(w)
+					args.TimeoutMillis = remainingMillis(ctx)
+					replies[i] = SearchReply{}
+					tried[i]++
+					n, err := c.clients[w].CallContextN(ctx, "Worker.Search", args, &replies[i])
+					attempts[i] += n
+					if err != nil {
+						lastErr = err
+						if ctx.Err() != nil {
+							// Cancelled mid-call: not the worker's fault, so
+							// no health verdict either way.
+							break
+						}
+						if retryableError(err) {
+							c.health.failure(w, false)
+						} else {
+							// An application error is proof of life: the
+							// worker answered, it just can't serve this
+							// partition. Don't deprioritize it.
+							c.health.success(w)
+						}
+						continue
 					}
-					continue
+					c.health.success(w)
+					// Feed the autopilot's cost signal: this partition's share of
+					// the query, as verified candidates and probe wall time.
+					dd.cost.Observe(pid, replies[i].Funnel.Verified, time.Since(pStart))
+					if tr != nil {
+						f := replies[i].Funnel
+						tr.Add(obs.Span{Name: "partition-search", Worker: c.addrs[w],
+							Partition: pid, Attempts: attempts[i],
+							Start: pStart.Sub(tr.Begin), Duration: time.Since(pStart),
+							Remote: time.Duration(replies[i].ElapsedMicros) * time.Microsecond,
+							Funnel: &f})
+					}
+					return
 				}
-				c.health.success(w)
+				if lastErr == nil {
+					// Healing can drain a replica list to empty (Replicas=1,
+					// or every re-load still failing): nothing to even try.
+					lastErr = fmt.Errorf("dnet: no replicas for partition %s/%d", name, pid)
+				}
+				elapsed := time.Since(pStart)
+				skipped[i] = &SkippedPartition{Dataset: name, Partition: pid, Err: lastErr.Error(),
+					Attempts: attempts[i], Elapsed: elapsed, Class: obs.Classify(lastErr)}
 				if tr != nil {
-					f := replies[i].Funnel
-					tr.Add(obs.Span{Name: "partition-search", Worker: c.addrs[w],
-						Partition: pid, Attempts: attempts[i],
-						Start: pStart.Sub(tr.Begin), Duration: time.Since(pStart),
-						Remote: time.Duration(replies[i].ElapsedMicros) * time.Microsecond,
-						Funnel: &f})
+					tr.Add(obs.Span{Name: "partition-search", Partition: pid,
+						Attempts: attempts[i], Start: pStart.Sub(tr.Begin), Duration: elapsed,
+						Err: lastErr.Error(), Class: obs.Classify(lastErr)})
 				}
-				return
+			}(i, pid)
+		}
+		wg.Wait()
+		if err := ctx.Err(); err != nil {
+			return nil, report, err
+		}
+		mergeDone := tr.StartSpan("merge", -1)
+		for i := range rel {
+			c.met.recordRetries(attempts[i], tried[i])
+			totalAttempts += attempts[i]
+			if tried[i] > 1 {
+				totalFailovers += tried[i] - 1
 			}
-			if lastErr == nil {
-				// Healing can drain a replica list to empty (Replicas=1,
-				// or every re-load still failing): nothing to even try.
-				lastErr = fmt.Errorf("dnet: no replicas for partition %s/%d", name, pid)
+			if skipped[i] != nil {
+				report.Skipped = append(report.Skipped, *skipped[i])
+				c.met.recordSkip(skipped[i].Class)
+				continue
 			}
-			elapsed := time.Since(pStart)
-			skipped[i] = &SkippedPartition{Dataset: name, Partition: pid, Err: lastErr.Error(),
-				Attempts: attempts[i], Elapsed: elapsed, Class: obs.Classify(lastErr)}
-			if tr != nil {
-				tr.Add(obs.Span{Name: "partition-search", Partition: pid,
-					Attempts: attempts[i], Start: pStart.Sub(tr.Begin), Duration: elapsed,
-					Err: lastErr.Error(), Class: obs.Classify(lastErr)})
-			}
-		}(i, pid)
-	}
-	wg.Wait()
-	if err := ctx.Err(); err != nil {
-		return nil, report, err
-	}
-	mergeDone := tr.StartSpan("merge", -1)
-	var out []SearchHit
-	for i := range rel {
-		c.met.recordRetries(attempts[i], tried[i])
-		if skipped[i] != nil {
-			report.Skipped = append(report.Skipped, *skipped[i])
-			c.met.recordSkip(skipped[i].Class)
+			funnel.Merge(replies[i].Funnel)
+			out = append(out, replies[i].Hits...)
+		}
+		sort.Slice(out, func(a, b int) bool { return out[a].ID < out[b].ID })
+		mergeDone(nil)
+		if report.Partial() && attempt < cutoverReplans && c.allSkippedRetired(dd, report) {
 			continue
 		}
-		funnel.Merge(replies[i].Funnel)
-		out = append(out, replies[i].Hits...)
+		break
 	}
-	sort.Slice(out, func(a, b int) bool { return out[a].ID < out[b].ID })
-	mergeDone(nil)
 	if timed {
 		elapsed := time.Since(qStart)
 		if qs != nil {
 			qs.Funnel = funnel
 			qs.Elapsed = elapsed
-			for i := range rel {
-				qs.Attempts += attempts[i]
-				if tried[i] > 1 {
-					qs.Failovers += tried[i] - 1
-				}
-			}
+			qs.Attempts = totalAttempts
+			qs.Failovers = totalFailovers
 		}
 		if c.met != nil {
 			c.met.searches.Inc()

@@ -131,8 +131,45 @@ func (h *healthTracker) snapshot() []WorkerState {
 func (h *healthTracker) order(replicas []int) []int {
 	h.mu.Lock()
 	defer h.mu.Unlock()
+	h.orderLocked(replicas)
+	return replicas
+}
+
+func (h *healthTracker) orderLocked(replicas []int) {
 	sort.SliceStable(replicas, func(a, b int) bool {
 		return h.states[replicas[a]] < h.states[replicas[b]]
 	})
+}
+
+// orderRotated is order for the read paths: live-first like order, but
+// each run of equal-health replicas is rotated by tick so equally-healthy
+// copies share the read load. The plain stable order would send every
+// read for a partition to the same first live worker — a built-in
+// hotspot that makes replica promotion pointless. Healing and recovery
+// keep the deterministic order.
+func (h *healthTracker) orderRotated(replicas []int, tick uint64) []int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.orderLocked(replicas)
+	for i := 0; i < len(replicas); {
+		j := i + 1
+		for j < len(replicas) && h.states[replicas[j]] == h.states[replicas[i]] {
+			j++
+		}
+		if n := j - i; n > 1 {
+			rotateLeft(replicas[i:j], int(tick%uint64(n)))
+		}
+		i = j
+	}
 	return replicas
+}
+
+// rotateLeft rotates s left by k (0 <= k < len(s)).
+func rotateLeft(s []int, k int) {
+	if k == 0 {
+		return
+	}
+	tmp := append([]int(nil), s[:k]...)
+	copy(s, s[k:])
+	copy(s[len(s)-k:], tmp)
 }

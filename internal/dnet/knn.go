@@ -172,160 +172,176 @@ func (c *Coordinator) SearchKNNTraced(ctx context.Context, name string, q *traj.
 	if err != nil {
 		return nil, report, err
 	}
-	// The view pins the global index for the whole query: bounds grown by
-	// concurrent ingests (and the visible-count correction from acked
-	// inserts and deletes) land in the next query's plan, not mid-plan.
-	v := dd.boundsView()
-	if v.visible <= 0 {
-		return nil, report, nil
-	}
-	if k > v.visible {
-		k = v.visible
-	}
-	// Visit order: ascending (global-index lower bound, partition id) —
-	// the same bound TrajRelevant prunes with.
-	planDone := tr.StartSpan("knn-plan", -1)
-	type visit struct {
-		pid int
-		lb  float64
-	}
-	order := make([]visit, 0, len(v.bounds))
-	for i, p := range v.bounds {
-		// Retired partitions own nothing and may not even be loadable on
-		// any worker; visiting one would burn a round (or fail the query)
-		// for a guaranteed-empty contribution.
-		if p.retired {
-			continue
-		}
-		order = append(order, visit{pid: i, lb: core.PartitionLowerBound(c.m, q.Points, p.mbrF, p.mbrL)})
-	}
-	sort.Slice(order, func(a, b int) bool {
-		if order[a].lb != order[b].lb {
-			return order[a].lb < order[b].lb
-		}
-		return order[a].pid < order[b].pid
-	})
-	planDone(nil)
-
-	merger := newKNNMerger(k)
-	funnel := obs.Funnel{Partitions: int64(len(dd.parts))}
-	var totalAttempts, totalFailovers int
-	next := 0
 	// Round size: one partition per worker per round keeps every worker
 	// busy without racing ahead of the tightening τ.
 	roundSize := len(c.addrs)
 	if roundSize < 1 {
 		roundSize = 1
 	}
-	for next < len(order) {
-		if err := ctx.Err(); err != nil {
-			return nil, report, err
+	var merger *knnMerger
+	var funnel obs.Funnel
+	var totalAttempts, totalFailovers int
+	// The whole plan re-runs when every skipped partition turns out
+	// retired by a concurrent cutover — same staleness-vs-health
+	// distinction as SearchTraced (see allSkippedRetired).
+	for attempt := 0; ; attempt++ {
+		report = &PartialReport{}
+		// The view pins the global index for the whole query: bounds grown by
+		// concurrent ingests (and the visible-count correction from acked
+		// inserts and deletes) land in the next query's plan, not mid-plan.
+		v := dd.boundsView()
+		if v.visible <= 0 {
+			return nil, report, nil
 		}
-		// Round-start τ: an upper bound on the final k-th distance (τ only
-		// shrinks), so pruning against it inside the round stays sound
-		// even as other partitions in the batch tighten it further.
-		tau := merger.tau()
-		batch := make([]visit, 0, roundSize)
-		for next < len(order) && len(batch) < roundSize {
-			// Termination bound: at lb == τ a partition may still improve
-			// the result through an ID tie, so only a strictly greater
-			// bound ends the search.
-			if merger.full() && order[next].lb > tau {
-				next = len(order)
-				break
-			}
-			batch = append(batch, order[next])
-			next++
+		kq := k
+		if kq > v.visible {
+			kq = v.visible
 		}
-		if len(batch) == 0 {
-			break
+		// Visit order: ascending (global-index lower bound, partition id) —
+		// the same bound TrajRelevant prunes with.
+		planDone := tr.StartSpan("knn-plan", -1)
+		type visit struct {
+			pid int
+			lb  float64
 		}
-		roundDone := tr.StartSpan("knn-round", -1)
-		replies := make([]KNNReply, len(batch))
-		skipped := make([]*SkippedPartition, len(batch))
-		attempts := make([]int, len(batch))
-		tried := make([]int, len(batch))
-		var wg sync.WaitGroup
-		for i, bv := range batch {
-			wg.Add(1)
-			go func(i, pid int) {
-				defer wg.Done()
-				pStart := time.Now()
-				args := &KNNArgs{Dataset: name, Partition: pid, Query: q.Points, K: k, Tau: tau}
-				if tr != nil {
-					args.TraceID, args.SpanID = tr.ID, obs.NewTraceID()
-				}
-				var lastErr error
-				for _, w := range c.replicaOrder(dd, pid) {
-					if err := ctx.Err(); err != nil {
-						lastErr = err
-						break
-					}
-					args.TimeoutMillis = remainingMillis(ctx)
-					replies[i] = KNNReply{}
-					tried[i]++
-					n, err := c.clients[w].CallContextN(ctx, "Worker.KNN", args, &replies[i])
-					attempts[i] += n
-					if err != nil {
-						lastErr = err
-						if ctx.Err() != nil {
-							break
-						}
-						if retryableError(err) {
-							c.health.failure(w, false)
-						} else {
-							// Application errors are proof of life.
-							c.health.success(w)
-						}
-						continue
-					}
-					c.health.success(w)
-					if tr != nil {
-						f := replies[i].Funnel
-						tr.Add(obs.Span{Name: "partition-knn", Worker: c.addrs[w],
-							Partition: pid, Attempts: attempts[i],
-							Start: pStart.Sub(tr.Begin), Duration: time.Since(pStart),
-							Remote: time.Duration(replies[i].ElapsedMicros) * time.Microsecond,
-							Funnel: &f})
-					}
-					return
-				}
-				if lastErr == nil {
-					lastErr = fmt.Errorf("dnet: no replicas for partition %s/%d", name, pid)
-				}
-				elapsed := time.Since(pStart)
-				skipped[i] = &SkippedPartition{Dataset: name, Partition: pid, Err: lastErr.Error(),
-					Attempts: attempts[i], Elapsed: elapsed, Class: obs.Classify(lastErr)}
-				if tr != nil {
-					tr.Add(obs.Span{Name: "partition-knn", Partition: pid,
-						Attempts: attempts[i], Start: pStart.Sub(tr.Begin), Duration: elapsed,
-						Err: lastErr.Error(), Class: obs.Classify(lastErr)})
-				}
-			}(i, bv.pid)
-		}
-		wg.Wait()
-		if err := ctx.Err(); err != nil {
-			roundDone(err)
-			return nil, report, err
-		}
-		for i := range batch {
-			c.met.recordRetries(attempts[i], tried[i])
-			totalAttempts += attempts[i]
-			if tried[i] > 1 {
-				totalFailovers += tried[i] - 1
-			}
-			if skipped[i] != nil {
-				report.Skipped = append(report.Skipped, *skipped[i])
-				c.met.recordSkip(skipped[i].Class)
+		order := make([]visit, 0, len(v.bounds))
+		for i, p := range v.bounds {
+			// Retired partitions own nothing and may not even be loadable on
+			// any worker; visiting one would burn a round (or fail the query)
+			// for a guaranteed-empty contribution.
+			if p.retired {
 				continue
 			}
-			funnel.Relevant++
-			funnel.Merge(replies[i].Funnel)
-			for _, h := range replies[i].Hits {
-				merger.offer(h)
-			}
+			order = append(order, visit{pid: i, lb: core.PartitionLowerBound(c.m, q.Points, p.mbrF, p.mbrL)})
 		}
-		roundDone(nil)
+		sort.Slice(order, func(a, b int) bool {
+			if order[a].lb != order[b].lb {
+				return order[a].lb < order[b].lb
+			}
+			return order[a].pid < order[b].pid
+		})
+		planDone(nil)
+
+		merger = newKNNMerger(kq)
+		funnel = obs.Funnel{Partitions: int64(len(dd.parts))}
+		next := 0
+		for next < len(order) {
+			if err := ctx.Err(); err != nil {
+				return nil, report, err
+			}
+			// Round-start τ: an upper bound on the final k-th distance (τ only
+			// shrinks), so pruning against it inside the round stays sound
+			// even as other partitions in the batch tighten it further.
+			tau := merger.tau()
+			batch := make([]visit, 0, roundSize)
+			for next < len(order) && len(batch) < roundSize {
+				// Termination bound: at lb == τ a partition may still improve
+				// the result through an ID tie, so only a strictly greater
+				// bound ends the search.
+				if merger.full() && order[next].lb > tau {
+					next = len(order)
+					break
+				}
+				batch = append(batch, order[next])
+				next++
+			}
+			if len(batch) == 0 {
+				break
+			}
+			roundDone := tr.StartSpan("knn-round", -1)
+			replies := make([]KNNReply, len(batch))
+			skipped := make([]*SkippedPartition, len(batch))
+			attempts := make([]int, len(batch))
+			tried := make([]int, len(batch))
+			var wg sync.WaitGroup
+			for i, bv := range batch {
+				wg.Add(1)
+				go func(i, pid int) {
+					defer wg.Done()
+					pStart := time.Now()
+					args := &KNNArgs{Dataset: name, Partition: pid, Query: q.Points, K: kq, Tau: tau}
+					if tr != nil {
+						args.TraceID, args.SpanID = tr.ID, obs.NewTraceID()
+					}
+					var lastErr error
+					for _, w := range c.replicaOrder(dd, pid) {
+						if err := ctx.Err(); err != nil {
+							lastErr = err
+							break
+						}
+						args.TimeoutMillis = remainingMillis(ctx)
+						replies[i] = KNNReply{}
+						tried[i]++
+						n, err := c.clients[w].CallContextN(ctx, "Worker.KNN", args, &replies[i])
+						attempts[i] += n
+						if err != nil {
+							lastErr = err
+							if ctx.Err() != nil {
+								break
+							}
+							if retryableError(err) {
+								c.health.failure(w, false)
+							} else {
+								// Application errors are proof of life.
+								c.health.success(w)
+							}
+							continue
+						}
+						c.health.success(w)
+						// Same read-cost signal as threshold search: the kNN
+						// rounds are partition probes too.
+						dd.cost.Observe(pid, replies[i].Funnel.Verified, time.Since(pStart))
+						if tr != nil {
+							f := replies[i].Funnel
+							tr.Add(obs.Span{Name: "partition-knn", Worker: c.addrs[w],
+								Partition: pid, Attempts: attempts[i],
+								Start: pStart.Sub(tr.Begin), Duration: time.Since(pStart),
+								Remote: time.Duration(replies[i].ElapsedMicros) * time.Microsecond,
+								Funnel: &f})
+						}
+						return
+					}
+					if lastErr == nil {
+						lastErr = fmt.Errorf("dnet: no replicas for partition %s/%d", name, pid)
+					}
+					elapsed := time.Since(pStart)
+					skipped[i] = &SkippedPartition{Dataset: name, Partition: pid, Err: lastErr.Error(),
+						Attempts: attempts[i], Elapsed: elapsed, Class: obs.Classify(lastErr)}
+					if tr != nil {
+						tr.Add(obs.Span{Name: "partition-knn", Partition: pid,
+							Attempts: attempts[i], Start: pStart.Sub(tr.Begin), Duration: elapsed,
+							Err: lastErr.Error(), Class: obs.Classify(lastErr)})
+					}
+				}(i, bv.pid)
+			}
+			wg.Wait()
+			if err := ctx.Err(); err != nil {
+				roundDone(err)
+				return nil, report, err
+			}
+			for i := range batch {
+				c.met.recordRetries(attempts[i], tried[i])
+				totalAttempts += attempts[i]
+				if tried[i] > 1 {
+					totalFailovers += tried[i] - 1
+				}
+				if skipped[i] != nil {
+					report.Skipped = append(report.Skipped, *skipped[i])
+					c.met.recordSkip(skipped[i].Class)
+					continue
+				}
+				funnel.Relevant++
+				funnel.Merge(replies[i].Funnel)
+				for _, h := range replies[i].Hits {
+					merger.offer(h)
+				}
+			}
+			roundDone(nil)
+		}
+		if report.Partial() && attempt < cutoverReplans && c.allSkippedRetired(dd, report) {
+			continue
+		}
+		break
 	}
 	out := merger.results()
 	if timed {

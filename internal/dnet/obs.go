@@ -1,8 +1,10 @@
 package dnet
 
 import (
+	"strconv"
 	"time"
 
+	"dita/internal/core"
 	"dita/internal/obs"
 )
 
@@ -63,6 +65,13 @@ type coordMetrics struct {
 	rebalances    *obs.Counter
 	rebalanceMS   *obs.Histogram
 	occupancySkew *obs.FloatGauge
+	// Autopilot: planner passes that exhausted the step budget without
+	// converging, autopilot ticks, and the automatic actions it took
+	// (rebalance cutovers, replica promotions).
+	rebalanceNoConverge *obs.Counter
+	autopilotTicks      *obs.Counter
+	autopilotCutovers   *obs.Counter
+	autopilotPromotions *obs.Counter
 }
 
 func newCoordMetrics(r *obs.Registry) *coordMetrics {
@@ -70,28 +79,32 @@ func newCoordMetrics(r *obs.Registry) *coordMetrics {
 		return nil
 	}
 	return &coordMetrics{
-		reg:             r,
-		searches:        r.Counter("coord_searches_total"),
-		joins:           r.Counter("coord_joins_total"),
-		knns:            r.Counter("coord_knn_total"),
-		searchLatency:   r.Histogram("coord_search_latency_us"),
-		joinLatency:     r.Histogram("coord_join_latency_us"),
-		knnLatency:      r.Histogram("coord_knn_latency_us"),
-		admissionWait:   r.Histogram("coord_admission_wait_us"),
-		retries:         r.Counter("coord_rpc_retries_total"),
-		failovers:       r.Counter("coord_replica_failovers_total"),
-		skips:           r.Counter("coord_partition_skips_total"),
-		searchFunnel:    obs.NewFunnelCounters(r, "coord_search_"),
-		joinFunnel:      obs.NewFunnelCounters(r, "coord_join_"),
-		knnFunnel:       obs.NewFunnelCounters(r, "coord_knn_"),
-		dispatchReused:  r.Counter("coord_dispatch_reused_total"),
-		payloadsDropped: r.Counter("coord_payloads_dropped_total"),
-		ingests:         r.Counter("coord_ingests_total"),
-		deletes:         r.Counter("coord_deletes_total"),
-		ingestRejected:  r.Counter("coord_ingest_rejected_total"),
-		rebalances:      r.Counter("coord_rebalance_total"),
-		rebalanceMS:     r.Histogram("coord_rebalance_ms"),
-		occupancySkew:   r.FloatGauge("coord_occupancy_skew"),
+		reg:                 r,
+		searches:            r.Counter("coord_searches_total"),
+		joins:               r.Counter("coord_joins_total"),
+		knns:                r.Counter("coord_knn_total"),
+		searchLatency:       r.Histogram("coord_search_latency_us"),
+		joinLatency:         r.Histogram("coord_join_latency_us"),
+		knnLatency:          r.Histogram("coord_knn_latency_us"),
+		admissionWait:       r.Histogram("coord_admission_wait_us"),
+		retries:             r.Counter("coord_rpc_retries_total"),
+		failovers:           r.Counter("coord_replica_failovers_total"),
+		skips:               r.Counter("coord_partition_skips_total"),
+		searchFunnel:        obs.NewFunnelCounters(r, "coord_search_"),
+		joinFunnel:          obs.NewFunnelCounters(r, "coord_join_"),
+		knnFunnel:           obs.NewFunnelCounters(r, "coord_knn_"),
+		dispatchReused:      r.Counter("coord_dispatch_reused_total"),
+		payloadsDropped:     r.Counter("coord_payloads_dropped_total"),
+		ingests:             r.Counter("coord_ingests_total"),
+		deletes:             r.Counter("coord_deletes_total"),
+		ingestRejected:      r.Counter("coord_ingest_rejected_total"),
+		rebalances:          r.Counter("coord_rebalance_total"),
+		rebalanceMS:         r.Histogram("coord_rebalance_ms"),
+		occupancySkew:       r.FloatGauge("coord_occupancy_skew"),
+		rebalanceNoConverge: r.Counter("coord_rebalance_noconverge_total"),
+		autopilotTicks:      r.Counter("coord_autopilot_ticks_total"),
+		autopilotCutovers:   r.Counter("coord_autopilot_cutovers_total"),
+		autopilotPromotions: r.Counter("coord_autopilot_promotions_total"),
 	}
 }
 
@@ -104,6 +117,22 @@ func (m *coordMetrics) rebalanceObserve(d time.Duration, skew float64) {
 	m.rebalances.Inc()
 	m.rebalanceMS.Observe(d.Milliseconds())
 	m.occupancySkew.Set(skew)
+}
+
+// publishPartitionCosts exports the per-partition read-cost EWMAs as
+// coord_partition_cost_us_p<pid> and coord_partition_cost_verified_p<pid>
+// float gauges (the registry has flat names, so the pid lands in the
+// name like the per-class skip counters). Called from the autopilot tick,
+// not the query hot path, so the name-mangled lookups stay off queries.
+func (m *coordMetrics) publishPartitionCosts(costs []core.PartitionCost) {
+	if m == nil {
+		return
+	}
+	for _, pc := range costs {
+		id := strconv.Itoa(pc.Pid)
+		m.reg.FloatGauge("coord_partition_cost_us_p" + id).Set(pc.VerifyUS)
+		m.reg.FloatGauge("coord_partition_cost_verified_p" + id).Set(pc.Verified)
+	}
 }
 
 // recordSkip counts one skipped partition, overall and by error class.

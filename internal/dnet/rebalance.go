@@ -425,6 +425,9 @@ func (c *Coordinator) repartitionGroup(name string, pids []int, k int) (*NetReba
 	st.Skew = occupancySkewLocked(dd)
 	dd.mu.Unlock()
 	unlock()
+	// Retired pids never serve reads again; forget their cost EWMAs so
+	// the planner sees only the fresh pieces' signal.
+	dd.cost.Drop(group...)
 
 	// Retired pids leave their former owners; a failed unload leaves a
 	// stale copy behind that inventory-driven recovery skips (its ids
@@ -504,27 +507,40 @@ func (c *Coordinator) RebalanceOnce(name string, pol core.RebalancePolicy) (*Net
 	return nil, nil
 }
 
+// netRebalanceMaxSteps caps one Rebalance call's planner steps; a var so
+// the convergence-reporting tests can shrink the budget.
+var netRebalanceMaxSteps = 32
+
 // Rebalance runs planner steps until the skew is within bound and no
-// cold merge remains, or no further progress is possible.
-func (c *Coordinator) Rebalance(name string, pol core.RebalancePolicy) ([]*NetRebalanceStats, error) {
+// cold merge remains, or no further progress is possible. The second
+// return reports convergence: false means the step budget ran out with
+// work still planned — callers (the autopilot in particular) should back
+// off instead of immediately retrying, and the condition is counted as
+// coord_rebalance_noconverge_total.
+func (c *Coordinator) Rebalance(name string, pol core.RebalancePolicy) ([]*NetRebalanceStats, bool, error) {
 	var steps []*NetRebalanceStats
-	for i := 0; i < 32; i++ {
+	for i := 0; i < netRebalanceMaxSteps; i++ {
 		st, err := c.RebalanceOnce(name, pol)
 		if err != nil {
-			return steps, err
+			return steps, false, err
 		}
 		if st == nil {
-			return steps, nil
+			return steps, true, nil
 		}
 		steps = append(steps, st)
 	}
-	return steps, nil
+	if c.met != nil {
+		c.met.rebalanceNoConverge.Inc()
+	}
+	return steps, false, nil
 }
 
 // planNetRebalance mirrors the engine planner over coordinator state:
 // occupancy is the per-partition visible member count (dd.live), spatial
-// nearness the first-point MBR centers. Returns the hot pid and split
-// fan-out, or a cold pair to merge, or (-1, nil, 0).
+// nearness the first-point MBR centers; when byte occupancy is balanced
+// the observed per-partition read cost can nominate a split instead.
+// Returns the hot pid and split fan-out, or a cold pair to merge, or
+// (-1, nil, 0).
 func planNetRebalance(dd *dispatchedDataset, pol core.RebalancePolicy) (hot int, cold []int, kSplit int) {
 	dd.mu.Lock()
 	defer dd.mu.Unlock()
@@ -566,6 +582,16 @@ func planNetRebalance(dd *dispatchedDataset, pol core.RebalancePolicy) (hot int,
 			k = pol.MaxPieces
 		}
 		return maxPid, nil, k
+	}
+	// Byte occupancy is balanced; a partition dominating the observed
+	// read cost is still split-worthy. Single-member partitions cannot be
+	// divided — the autopilot promotes replicas of those instead.
+	livePids := make([]int, len(live))
+	for i, o := range live {
+		livePids[i] = o.pid
+	}
+	if pid, k := core.CostHot(dd.cost, livePids, pol); pid >= 0 && dd.live[pid] > 1 {
+		return pid, nil, k
 	}
 	bar := pol.MergeFraction * mean
 	var coldest *occ
@@ -771,7 +797,7 @@ func (c *Coordinator) RecoverDataset(name string) (*RecoverReport, error) {
 	// Rebuild the dataset. Unheld pid slots below maxPid (retired by
 	// completed cutovers whose unloads all landed) stay retired
 	// placeholders, preserving the never-renumber invariant.
-	dd := &dispatchedDataset{name: name, loc: map[int]int{}}
+	dd := &dispatchedDataset{name: name, loc: map[int]int{}, cost: core.NewCostTracker()}
 	dd.parts = make([]dispatchedPartition, maxPid+1)
 	dd.replicas = make([][]int, maxPid+1)
 	dd.nextSeq = make([]uint64, maxPid+1)

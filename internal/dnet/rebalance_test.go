@@ -353,12 +353,15 @@ func TestNetRebalancePolicyReducesSkew(t *testing.T) {
 	if skewBefore <= pol.SkewBound {
 		t.Fatalf("hotspot did not skew the dataset: skew %.2f <= bound %.2f", skewBefore, pol.SkewBound)
 	}
-	steps, err := c.Rebalance("trips", pol)
+	steps, converged, err := c.Rebalance("trips", pol)
 	if err != nil {
 		t.Fatalf("rebalance: %v", err)
 	}
 	if len(steps) == 0 {
 		t.Fatal("planner took no action above the skew bound")
+	}
+	if !converged {
+		t.Fatal("rebalance hit the step budget without converging")
 	}
 	skewAfter, err := c.OccupancySkew("trips")
 	if err != nil {
@@ -376,12 +379,15 @@ func TestNetRebalancePolicyReducesSkew(t *testing.T) {
 	checkNetDifferentialM(t, c, "trips", oracle, gen.Queries(d, 3, 423), 0.01, measure.DTW{})
 
 	// Idempotence: a second pass over the balanced dataset is a no-op.
-	steps, err = c.Rebalance("trips", pol)
+	steps, converged, err = c.Rebalance("trips", pol)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(steps) != 0 {
 		t.Fatalf("second rebalance took %d steps over a balanced dataset", len(steps))
+	}
+	if !converged {
+		t.Fatal("no-op rebalance reported non-convergence")
 	}
 }
 

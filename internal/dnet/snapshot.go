@@ -112,8 +112,10 @@ type SnapshotLoaded struct {
 }
 
 // SnapshotSkipped describes one snapshot file the cold start refused,
-// with its error class ("corrupt", "version", "io", "config") — the
-// classified skip report the operator sees at startup.
+// with its error class ("corrupt", "version", "io", "config", "orphan")
+// — the classified skip report the operator sees at startup. "orphan"
+// names a WAL whose base snapshot is gone: its deltas are unreplayable,
+// so the file is reported and deleted rather than silently discarded.
 type SnapshotSkipped struct {
 	Path  string
 	Class string
@@ -137,7 +139,7 @@ func (w *Worker) LoadSnapshots() (*SnapshotLoadReport, error) {
 	if w.SnapStore == nil {
 		// No snapshots means no WAL can be replayed either: every log in
 		// the WAL store extends a base this worker no longer has.
-		w.sweepOrphanWALs()
+		w.sweepOrphanWALs(rep)
 		return rep, nil
 	}
 	entries, err := w.SnapStore.Scan()
@@ -180,7 +182,7 @@ func (w *Worker) LoadSnapshots() (*SnapshotLoadReport, error) {
 		w.snapLoadOK.Add(1)
 		rep.Loaded = append(rep.Loaded, loaded)
 	}
-	w.sweepOrphanWALs()
+	w.sweepOrphanWALs(rep)
 	return rep, nil
 }
 
@@ -234,8 +236,12 @@ func (w *Worker) replayWAL(p *workerPartition, loaded *SnapshotLoaded, rep *Snap
 // WAL without its base snapshot cannot be replayed (the deltas extend a
 // base that no longer exists), and keeping it would poison whatever
 // lands at that (dataset, partition) next. The coordinator re-ships or
-// re-replicates those partitions from its other copies.
-func (w *Worker) sweepOrphanWALs() {
+// re-replicates those partitions from its other copies. Each orphan is
+// counted (snap_wal_orphaned_total) and lands in the cold-start report
+// as a classified "orphan" skip — durably logged mutations are being
+// dropped, and an operator staring at a post-crash recovery needs that
+// fact in front of them, not silently swept away.
+func (w *Worker) sweepOrphanWALs(rep *SnapshotLoadReport) {
 	if w.WALStore == nil {
 		return
 	}
@@ -248,6 +254,15 @@ func (w *Worker) sweepOrphanWALs() {
 		_, held := w.parts[partKey{e.Dataset, e.Partition}]
 		w.mu.RUnlock()
 		if !held {
+			w.walOrphaned.Add(1)
+			if rep != nil {
+				rep.Skipped = append(rep.Skipped, SnapshotSkipped{
+					Path:  w.WALStore.Path(e.Dataset, e.Partition),
+					Class: "orphan",
+					Err: fmt.Sprintf("WAL for %s/%d has no base snapshot; unreplayable, deleted",
+						e.Dataset, e.Partition),
+				})
+			}
 			w.WALStore.Remove(e.Dataset, e.Partition)
 		}
 	}

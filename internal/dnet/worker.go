@@ -59,7 +59,9 @@ type Worker struct {
 	// log: Worker.Ingest appends mutations durably before applying them,
 	// and LoadSnapshots replays each log's suffix past its snapshot's
 	// watermark on cold start. Pair it with SnapStore (same directory works)
-	// — a WAL without a base snapshot cannot be replayed and is discarded.
+	// — a WAL without a base snapshot cannot be replayed; cold start
+	// reports it as a classified "orphan" skip, counts it
+	// (snap_wal_orphaned_total), and deletes the file.
 	// Its Faults field is the WAL-side chaos plan (`dita-worker -wal-chaos`).
 	WALStore *wal.Store
 
@@ -89,6 +91,7 @@ type Worker struct {
 	walReplayed    atomic.Int64
 	walTruncated   atomic.Int64
 	walReplayUS    atomic.Int64
+	walOrphaned    atomic.Int64
 
 	// VerifyParallelism bounds the goroutine pool each Search/Join RPC
 	// uses to verify its candidate list: 0 means every core, 1 forces the
@@ -310,6 +313,7 @@ func (w *Worker) Instrument(r *obs.Registry) {
 	r.GaugeFunc("wal_replayed_records", w.walReplayed.Load)
 	r.GaugeFunc("wal_truncated_bytes", w.walTruncated.Load)
 	r.GaugeFunc("wal_replay_us", w.walReplayUS.Load)
+	r.GaugeFunc("snap_wal_orphaned_total", w.walOrphaned.Load)
 	r.GaugeFunc("worker_delta_bytes", func() int64 {
 		w.mu.RLock()
 		defer w.mu.RUnlock()

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"dita/internal/core"
+	"dita/internal/dnet"
 	"dita/internal/gen"
 	"dita/internal/geom"
 	"dita/internal/measure"
@@ -77,6 +78,18 @@ type BenchReport struct {
 	OccupancySkew       float64 `json:"occupancy_skew"`
 	RebalanceMS         float64 `json:"rebalance_ms"`
 	RebalanceCutovers   int     `json:"rebalance_cutovers"`
+	// Autopilot economics on a loopback 3-worker cluster: a read workload
+	// aimed at one member's geometry runs with the background autopilot
+	// enabled and no operator Rebalance/PromoteReplica calls until the
+	// watcher takes its first automatic action. AutopilotCutovers counts
+	// those actions (cost-driven split cutovers plus read-replica
+	// promotions); ReadSpread is the min/max search-call ratio over the
+	// workers that served the workload — 1.0 is a perfectly uniform
+	// spread (relevance pruning can exempt a worker that owns no replica
+	// of the hot partitions, so only serving workers count). The phase
+	// fails if the autopilot never acts or fewer than two workers serve.
+	AutopilotCutovers int     `json:"autopilot_cutovers"`
+	ReadSpread        float64 `json:"read_spread"`
 	// Serving-layer numbers from a loopback dita-serve over this
 	// engine (see internal/serve): sustained queries/second under a
 	// mixed repeated-query workload, the fraction answered from the
@@ -268,6 +281,13 @@ func Bench(kind string, cfg Config) (*BenchReport, error) {
 		return nil, fmt.Errorf("exp: bench %s: rebalance: %w", kind, err)
 	}
 
+	// Autopilot economics: a skewed read workload on a loopback worker
+	// fleet, with the background watcher — not an operator — deciding
+	// when to split or promote.
+	if err := benchAutopilot(rep, d); err != nil {
+		return nil, fmt.Errorf("exp: bench %s: autopilot: %w", kind, err)
+	}
+
 	// Serving-layer economics: a loopback dita-serve over the built
 	// engine — sustained QPS, cache hit rate, served p99, and the shed
 	// fraction under a starved admission budget.
@@ -341,7 +361,7 @@ func benchRebalance(rep *BenchReport, d *traj.Dataset, images [][]byte, opts cor
 	rep.OccupancySkewBefore = skewBefore
 
 	start := time.Now()
-	steps, err := e.Rebalance(core.RebalancePolicy{})
+	steps, _, err := e.Rebalance(core.RebalancePolicy{})
 	if err != nil {
 		return err
 	}
@@ -364,6 +384,123 @@ func benchRebalance(rep *BenchReport, d *traj.Dataset, images [][]byte, opts cor
 		if after[k] != v {
 			return fmt.Errorf("rebalance changed search answers (key %d: %d -> %d)", k, v, after[k])
 		}
+	}
+	return nil
+}
+
+// benchAutopilot measures the rebalancing autopilot end to end on a
+// loopback 3-worker cluster: dispatch a bounded slice of the dataset,
+// aim every read at the first member's geometry (the same hotspot shape
+// benchRebalance ingests), and let the background watcher — cost-aware
+// planner plus read-replica promotion, no operator calls — take its
+// first automatic action. Reports the action count and how evenly the
+// rotated replica order spread the reads across the fleet.
+func benchAutopilot(rep *BenchReport, d *traj.Dataset) error {
+	if d.Len() == 0 {
+		return nil
+	}
+	// A bounded slice keeps the phase cheap at scale; the autopilot's
+	// behavior is layout-driven, not cardinality-driven.
+	sub := d
+	if sub.Len() > 1200 {
+		sub = &traj.Dataset{Name: d.Name, Trajs: d.Trajs[:1200]}
+	}
+	var workers []*dnet.Worker
+	defer func() {
+		for _, w := range workers {
+			w.Close()
+		}
+	}()
+	var addrs []string
+	for i := 0; i < 3; i++ {
+		w := dnet.NewWorker()
+		addr, err := w.Serve("127.0.0.1:0")
+		if err != nil {
+			return err
+		}
+		workers = append(workers, w)
+		addrs = append(addrs, addr)
+	}
+	reg := obs.New()
+	cfg := dnet.DefaultNetConfig()
+	cfg.Replicas = 2
+	cfg.Obs = reg
+	cfg.Autopilot = dnet.AutopilotConfig{
+		Interval: 25 * time.Millisecond,
+		Cooldown: 50 * time.Millisecond,
+		// Quiet byte paths: the phase measures the read-cost signal, so
+		// geometry-driven splits and merges must not claim the action.
+		Policy: core.RebalancePolicy{SkewBound: 50, CostBound: 2, MergeFraction: 0.001},
+	}
+	c, err := dnet.Connect(addrs, cfg)
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+	if err := c.Dispatch("bench", sub); err != nil {
+		return err
+	}
+
+	hot := sub.Trajs[0].Points
+	hotQs := make([]*traj.T, 12)
+	for i := range hotQs {
+		pts := make([]geom.Point, len(hot))
+		off := float64(i) * 1e-7
+		for pi, p := range hot {
+			pts[pi] = geom.Point{X: p.X + off, Y: p.Y + off}
+		}
+		hotQs[i] = &traj.T{ID: (1 << 29) + i, Points: pts}
+	}
+	actions := func() int64 {
+		return reg.Counter("coord_autopilot_cutovers_total").Value() +
+			reg.Counter("coord_autopilot_promotions_total").Value()
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for actions() == 0 && time.Now().Before(deadline) {
+		for _, q := range hotQs {
+			if _, err := c.Search("bench", q, DefaultTau); err != nil {
+				return err
+			}
+		}
+	}
+	rep.AutopilotCutovers = int(actions())
+	if rep.AutopilotCutovers == 0 {
+		return fmt.Errorf("autopilot took no automatic action under a skewed read workload")
+	}
+	// Give the post-action layout — promoted replicas, fresh split
+	// pieces — a few more rounds to serve before measuring the spread.
+	for r := 0; r < 5; r++ {
+		for _, q := range hotQs {
+			if _, err := c.Search("bench", q, DefaultTau); err != nil {
+				return err
+			}
+		}
+	}
+	stats, err := c.WorkerStats()
+	if err != nil {
+		return err
+	}
+	var minCalls, maxCalls int64 = -1, 0
+	busy := 0
+	for _, s := range stats {
+		if s.SearchCalls == 0 {
+			// Relevance pruning can exempt a worker that owns no replica
+			// of the hot partitions; spread is over the serving set.
+			continue
+		}
+		busy++
+		if minCalls < 0 || s.SearchCalls < minCalls {
+			minCalls = s.SearchCalls
+		}
+		if s.SearchCalls > maxCalls {
+			maxCalls = s.SearchCalls
+		}
+	}
+	if busy >= 2 && maxCalls > 0 {
+		rep.ReadSpread = float64(minCalls) / float64(maxCalls)
+	}
+	if busy < 2 {
+		return fmt.Errorf("skewed reads hit only %d worker(s), want >= 2", busy)
 	}
 	return nil
 }

@@ -24,6 +24,12 @@
 # restarts them: the logs must replay every acked mutation, and re-running
 # the identical (idempotent) mutation stream must reproduce the digest
 # exactly — zero acked writes lost to the crash.
+#
+# The closing phases cover online re-partitioning: a hotspot ingest
+# stream that the operator-driven -rebalance planner must re-cut without
+# changing an answer, then a skewed READ workload that the background
+# autopilot must act on by itself (split cutover or replica promotion)
+# while the digest stays byte-identical to an autopilot-disabled run.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -183,3 +189,36 @@ DIG_F="$(digest_of "$TMP/runF.log")"
 DIG_G="$(digest_of "$TMP/runG.log")"
 [ "$DIG_G" = "$DIG_F" ] || { echo "soak: post-rebalance re-stream digest $DIG_G != $DIG_F"; exit 1; }
 echo "soak: rebalance ok ($CUTOVERS cutover(s), skew within bound, digest identical across re-stream)"
+
+# ---------------------------------------------------------------------
+# Autopilot phase: cost-driven re-partitioning with nobody at the wheel.
+# A skewed read workload (-query-skew) concentrates verify cost in one
+# partition; the coordinator's background autopilot — no operator
+# -rebalance flag — must take at least one automatic action (split
+# cutover or replica promotion) during warmup, spread the measured reads
+# across every worker, and leave the digested answers byte-identical to
+# an autopilot-disabled control run over the same data and query stream.
+crash_snap_workers
+SNAP1="$TMP/snap7" SNAP2="$TMP/snap8"
+AP_ARGS="-gen beijing:800 -tau 0.005 -queries 40 -digest -query-skew 0.8"
+
+start_snap_workers
+"$TMP/dita-net" -workers 127.0.0.1:17463,127.0.0.1:17464 $AP_ARGS >"$TMP/runH.log"
+DIG_H="$(digest_of "$TMP/runH.log")"
+[ -n "$DIG_H" ] || { echo "soak: run H produced no digest"; cat "$TMP/runH.log"; exit 1; }
+
+crash_snap_workers
+SNAP1="$TMP/snap9" SNAP2="$TMP/snap10"
+start_snap_workers
+"$TMP/dita-net" -workers 127.0.0.1:17463,127.0.0.1:17464 $AP_ARGS \
+	-autopilot -autopilot-interval 50ms >"$TMP/runI.log"
+# Summary line: "autopilot: N automatic cutover(s), M promotion(s) ..."
+ACTIONS="$(awk '$1 == "autopilot:" && $3 == "automatic" { print $2 + $5 }' "$TMP/runI.log")"
+[ -n "$ACTIONS" ] && [ "$ACTIONS" -ge 1 ] \
+	|| { echo "soak: autopilot took no automatic action under skewed reads"; cat "$TMP/runI.log"; exit 1; }
+BUSY="$(awk '$1 == "autopilot:" && $2 == "per-worker" { n = 0; for (i = 5; i <= NF; i++) if ($i > 0) n++; print n }' "$TMP/runI.log")"
+[ -n "$BUSY" ] && [ "$BUSY" -ge 2 ] \
+	|| { echo "soak: skewed reads hit only ${BUSY:-0} worker(s), want >= 2"; cat "$TMP/runI.log"; exit 1; }
+DIG_I="$(digest_of "$TMP/runI.log")"
+[ "$DIG_I" = "$DIG_H" ] || { echo "soak: autopilot digest $DIG_I != control digest $DIG_H"; exit 1; }
+echo "soak: autopilot ok ($ACTIONS automatic action(s), reads on $BUSY workers, digest identical to control)"
